@@ -1,0 +1,17 @@
+"""Fig. 4: presence maps/statistics of the top species of mammal pattern 1.
+
+The paper shows the wood mouse, mountain hare and moose maps; our check
+is structural — the top species' prevalence differs strongly inside vs
+outside the cold-March pattern.
+"""
+
+from repro.experiments.mammals_exp import run_fig4
+
+
+def bench_fig4_mammals_presence(benchmark, save_result):
+    result = benchmark.pedantic(
+        run_fig4, args=(0,), kwargs={"n_species": 3}, rounds=1, iterations=1
+    )
+    save_result("fig04_mammals_presence", result.format(with_maps=True))
+    for species in result.species:
+        assert abs(species.prevalence_inside - species.prevalence_outside) > 0.4

@@ -1,0 +1,15 @@
+"""Fig. 5: per-species surprisal of the first mammal pattern.
+
+Observed vs model mean with 95% CI, before and after assimilating the
+pattern; after the update the model mean equals the observed value.
+"""
+
+from repro.experiments.mammals_exp import run_fig5
+
+
+def bench_fig5_mammals_species_ci(benchmark, save_result):
+    result = benchmark.pedantic(run_fig5, args=(0,), rounds=1, iterations=1)
+    save_result("fig05_mammals_species_ci", result.format())
+    for before in result.top_species:
+        lo, hi = before.ci95
+        assert before.observed < lo or before.observed > hi

@@ -1,0 +1,17 @@
+"""Fig. 6: the top three location patterns on the mammal data.
+
+Paper: (a) cold March (north + Alps), (b) dry August (south),
+(c) dry October + warm wettest quarter (east). Benchmarks the full
+three-iteration location mining (beam over 67 climate attributes,
+n = 2220, d_y = 124).
+"""
+
+from repro.experiments.mammals_exp import run_fig6
+
+
+def bench_fig6_mammals_patterns(benchmark, save_result):
+    result = benchmark.pedantic(run_fig6, args=(0,), rounds=1, iterations=1)
+    save_result("fig06_mammals_patterns", result.format(with_maps=True))
+    regions = {p.best_region for p in result.patterns}
+    assert regions == {"cold_march", "dry_august", "dry_october_warm"}
+    assert result.patterns[0].best_region == "cold_march"

@@ -1,0 +1,16 @@
+"""Fig. 7: the top three location patterns on the socio-economics data.
+
+Paper: (a) few children -> East + student cities, Left strong;
+(b) many middle-aged -> big cities, Greens strong; (c) many children ->
+complement of (a), Left weak.
+"""
+
+from repro.experiments.socio_exp import run_fig7
+
+
+def bench_fig7_socio_patterns(benchmark, save_result):
+    result = benchmark.pedantic(run_fig7, args=(0,), rounds=3, iterations=1)
+    save_result("fig07_socio_patterns", result.format())
+    first = result.patterns[0]
+    assert first.region_shares["east"] > 0.9
+    assert first.vote_means["left_2009"] > first.overall_vote_means["left_2009"] + 10

@@ -1,0 +1,18 @@
+"""Fig. 8: the East pattern's party surprisals and 2-sparse spread.
+
+Paper: weight vector (0.5704, 0.8214) on (CDU, SPD); variance along it
+far smaller than the background expects.
+"""
+
+import numpy as np
+
+from repro.experiments.socio_exp import run_fig8
+
+
+def bench_fig8_socio_spread(benchmark, save_result):
+    result = benchmark.pedantic(run_fig8, args=(0,), rounds=3, iterations=1)
+    save_result("fig08_socio_spread", result.format())
+    assert set(result.direction_attributes) == {"cdu_2009", "spd_2009"}
+    nonzero = result.direction[np.abs(result.direction) > 1e-12]
+    assert abs(float(nonzero @ np.array([0.5704, 0.8214]))) > 0.99
+    assert result.observed_variance < 0.2 * result.expected_variance

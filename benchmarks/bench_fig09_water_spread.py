@@ -1,0 +1,14 @@
+"""Fig. 9: the water pattern's spread direction (16-dim sphere search).
+
+Paper: high weights on bod and kmno4; variance along w much LARGER than
+expected — the surprising high-variance case.
+"""
+
+from repro.experiments.water_exp import run_fig9
+
+
+def bench_fig9_water_spread(benchmark, save_result):
+    result = benchmark.pedantic(run_fig9, args=(0,), rounds=3, iterations=1)
+    save_result("fig09_water_spread", result.format())
+    assert set(result.top_weight_names) == {"bod", "kmno4"}
+    assert result.observed_variance > 2.0 * result.expected_variance

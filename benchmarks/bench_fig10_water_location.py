@@ -1,0 +1,17 @@
+"""Fig. 10: the top water location pattern.
+
+Paper: 'Amphipoda Gammarus fossarum <= 0 AND Oligochaeta Tubifex >= 3',
+91 records, elevated BOD / Cl / conductivity / KMnO4 / K2Cr2O7.
+"""
+
+from repro.experiments.water_exp import FIG10_PARAMETERS, run_fig10
+
+
+def bench_fig10_water_location(benchmark, save_result):
+    result = benchmark.pedantic(run_fig10, args=(0,), rounds=3, iterations=1)
+    save_result("fig10_water_location", result.format())
+    assert "amphipoda_gammarus_fossarum <= 0" in result.intention
+    assert "oligochaeta_tubifex >= 3" in result.intention
+    by_name = {r.name: r for r in result.surprisals_before}
+    for name in FIG10_PARAMETERS:
+        assert by_name[name].observed > by_name[name].expected

@@ -1,0 +1,73 @@
+"""Micro-benchmarks of the model primitives.
+
+These are the operations the paper's Table II aggregates: the location
+update (Theorem 1), the spread update (Theorem 2 with Brent's method on
+Eq. 12), a full refit sweep, and the two IC evaluations. Timed with
+pytest-benchmark's default repetition for stable statistics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.socio import make_socio
+from repro.interest.ic import location_ic, spread_ic
+from repro.model.background import BackgroundModel
+from repro.model.patterns import LocationConstraint, SpreadConstraint
+from repro.stats.statistics import subgroup_mean
+
+
+@pytest.fixture(scope="module")
+def setup():
+    dataset = make_socio(0)
+    targets = dataset.targets
+    idx = np.arange(80)
+    w = np.zeros(targets.shape[1])
+    w[0] = 1.0
+    return targets, idx, w
+
+
+def bench_location_update(benchmark, setup):
+    targets, idx, _ = setup
+    constraint = LocationConstraint.from_data(targets, idx)
+
+    def run():
+        model = BackgroundModel.from_targets(targets)
+        model.assimilate(constraint)
+
+    benchmark(run)
+
+
+def bench_spread_update(benchmark, setup):
+    targets, idx, w = setup
+    constraint = SpreadConstraint.from_data(targets, idx, w)
+
+    def run():
+        model = BackgroundModel.from_targets(targets)
+        model.assimilate(constraint)
+
+    benchmark(run)
+
+
+def bench_refit_five_patterns(benchmark, setup):
+    targets, _, w = setup
+    rng = np.random.default_rng(0)
+    constraints = []
+    for _ in range(5):
+        idx = rng.choice(targets.shape[0], size=60, replace=False)
+        constraints.append(LocationConstraint.from_data(targets, idx))
+    model = BackgroundModel.from_targets(targets)
+    benchmark(lambda: model.refit(constraints))
+
+
+def bench_location_ic(benchmark, setup):
+    targets, idx, _ = setup
+    model = BackgroundModel.from_targets(targets)
+    observed = subgroup_mean(targets, idx)
+    benchmark(lambda: location_ic(model, idx, observed))
+
+
+def bench_spread_ic(benchmark, setup):
+    targets, idx, w = setup
+    model = BackgroundModel.from_targets(targets)
+    center = subgroup_mean(targets, idx)
+    benchmark(lambda: spread_ic(model, idx, w, 1.5, center))

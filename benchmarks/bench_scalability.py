@@ -1,0 +1,59 @@
+"""Scalability (§III-E): runtime is linear in the number of data points.
+
+The paper: "for both algorithms, the runtime is linear in the number of
+data points". We scale the synthetic generator and time (a) one beam
+search and (b) one location+spread model update, asserting sub-quadratic
+growth (timer noise makes exact linearity too strict to assert).
+"""
+
+import numpy as np
+
+from repro.datasets.synthetic import make_synthetic
+from repro.model.background import BackgroundModel
+from repro.model.patterns import LocationConstraint, SpreadConstraint
+from repro.report.tables import format_table
+from repro.search.miner import SubgroupDiscovery
+from repro.utils.timer import Stopwatch
+
+SCALES = (1, 2, 4, 8)
+
+
+def measure(seed: int = 0):
+    rows = []
+    for scale in SCALES:
+        dataset = make_synthetic(
+            seed, n_background=500 * scale, cluster_size=40 * scale
+        )
+        n = dataset.n_rows
+
+        search_watch = Stopwatch()
+        with search_watch:
+            SubgroupDiscovery(dataset, seed=seed).search_locations()
+
+        model = BackgroundModel.from_targets(dataset.targets)
+        idx = np.arange(40 * scale)
+        update_watch = Stopwatch()
+        with update_watch:
+            model.assimilate(LocationConstraint.from_data(dataset.targets, idx))
+            model.assimilate(
+                SpreadConstraint.from_data(
+                    dataset.targets, idx, np.array([1.0, 0.0])
+                )
+            )
+        rows.append((n, search_watch.elapsed, update_watch.elapsed))
+    return rows
+
+
+def bench_scalability(benchmark, save_result):
+    rows = benchmark.pedantic(measure, args=(0,), rounds=1, iterations=1)
+    table = format_table(
+        ["n rows", "beam search (s)", "model update (s)"],
+        rows,
+        floatfmt=".4f",
+        title="Scalability: runtime vs number of data points",
+    )
+    save_result("scalability", table)
+    # 8x the data must cost far less than 64x the time (sub-quadratic).
+    n_ratio = rows[-1][0] / rows[0][0]
+    time_ratio = rows[-1][1] / max(rows[0][1], 1e-9)
+    assert time_ratio < n_ratio**2

@@ -1,0 +1,57 @@
+"""Micro-benchmarks of the search primitives.
+
+The batched candidate scorer is the beam search's inner loop; the spread
+objective's value-and-gradient is the sphere optimizer's.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.mammals import make_mammals
+from repro.datasets.water import make_water
+from repro.model.background import BackgroundModel
+from repro.search.beam import LocationICScorer
+from repro.search.spread import SpreadObjective
+
+
+@pytest.fixture(scope="module")
+def mammal_scorer():
+    dataset = make_mammals(0)
+    model = BackgroundModel.from_targets(dataset.targets)
+    scorer = LocationICScorer(model, dataset.targets)
+    rng = np.random.default_rng(0)
+    masks = np.stack([rng.random(dataset.n_rows) < 0.2 for _ in range(256)])
+    return scorer, masks
+
+
+def bench_batched_scoring_256_candidates(benchmark, mammal_scorer):
+    """256 subgroup ICs on the mammals data (n=2220, d_y=124)."""
+    scorer, masks = mammal_scorer
+    benchmark(lambda: scorer.score_masks(masks))
+
+
+@pytest.fixture(scope="module")
+def water_objective():
+    dataset = make_water(0)
+    model = BackgroundModel.from_targets(dataset.targets)
+    objective = SpreadObjective(model, np.arange(100), dataset.targets)
+    rng = np.random.default_rng(0)
+    w = rng.standard_normal(dataset.n_targets)
+    w /= np.linalg.norm(w)
+    return objective, w
+
+
+def bench_spread_value_and_grad(benchmark, water_objective):
+    """One objective+gradient evaluation on the water data (d_y=16)."""
+    objective, w = water_objective
+    benchmark(lambda: objective.value_and_grad(w))
+
+
+def bench_spread_pair_search(benchmark, water_objective):
+    """The 2-sparse pair sweep over all 120 target pairs (socio-style)."""
+    from repro.search.spread import _best_pair_direction
+
+    objective, _ = water_objective
+    benchmark.pedantic(
+        lambda: _best_pair_direction(objective), rounds=1, iterations=1
+    )

@@ -1,0 +1,17 @@
+"""Table I: SI of the top first-iteration patterns across four iterations.
+
+Paper: the three planted single-condition patterns top the list; once a
+pattern is assimilated its SI (and its redundant variants') collapses to
+a small negative value and stays there.
+"""
+
+from repro.experiments.synthetic_exp import run_table1
+
+
+def bench_table1_synthetic_si(benchmark, save_result):
+    result = benchmark.pedantic(run_table1, args=(0,), rounds=3, iterations=1)
+    save_result("table1_synthetic_si", result.format())
+    assert len(result.rows) == 10
+    for row in result.rows:
+        assert row.si_per_iteration[0] > 20.0
+        assert row.si_per_iteration[3] < 1.0

@@ -1,0 +1,29 @@
+"""Table II: background-distribution update runtimes (§III-E).
+
+Reproduced shape: init cost roughly constant across datasets; location
+refits grow superlinearly in the pattern count and are dominated by the
+target dimension (Mammals, d_y = 124, is the slow column and is
+truncated like the paper's); spread refits stay cheap (rank-one).
+
+Absolute numbers are far below the paper's Matlab timings — we refit
+with closed-form block updates — but the orderings the paper reports
+hold, which is what the assertions check.
+"""
+
+from repro.experiments.runtime_exp import run_table2
+
+
+def bench_table2_runtime(benchmark, save_result):
+    result = benchmark.pedantic(
+        run_table2,
+        args=(0,),
+        kwargs={"n_iterations": 12, "mammals_max_iter": 8},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("table2_runtime", result.format())
+    for label, series in result.location_seconds.items():
+        assert series[-1] > series[0], label
+    k = 7  # compare all datasets at iteration 8
+    ma = result.location_seconds["Ma"][k]
+    assert ma > max(result.location_seconds[l][k] for l in ("GSE", "WQ", "Cr"))

@@ -1,0 +1,30 @@
+"""Benchmark fixtures.
+
+Every bench reproduces one of the paper's tables/figures, times its core
+computation with pytest-benchmark, and saves the reproduced rows to
+``benchmarks/results/<name>.txt`` so the artifacts survive the run (the
+pytest-benchmark table only shows timings). Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist a reproduced table/figure to benchmarks/results/."""
+
+    def _save(name: str, text: str) -> Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _save

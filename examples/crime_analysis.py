@@ -1,0 +1,58 @@
+"""The paper's running example: violent crime demographics (Fig. 1, §I).
+
+Mines the Communities-and-Crime stand-in for the single most
+subjectively interesting location pattern, prints the Fig. 1 density
+curves as an ASCII chart, and then shows what *iterative* mining adds:
+the second pattern is informative *given* the first.
+
+Run with::
+
+    python examples/crime_analysis.py
+"""
+
+import numpy as np
+
+from repro import SubgroupDiscovery, load_dataset
+from repro.report.ascii import render_series
+from repro.report.series import kde_series
+
+
+def main() -> None:
+    dataset = load_dataset("crime", seed=0)
+    miner = SubgroupDiscovery(dataset, seed=0)
+
+    print("Mining the most subjectively interesting pattern "
+          f"({dataset.n_descriptions} attributes, {dataset.n_rows} districts)...")
+    first = miner.find_location()
+    crime = dataset.targets[:, 0]
+    subgroup = crime[first.indices]
+
+    print()
+    print(f"top pattern : {first.description}")
+    print(f"coverage    : {first.coverage:.1%}   (paper: 20.5%)")
+    print(f"crime mean  : {subgroup.mean():.3f} in subgroup vs "
+          f"{crime.mean():.3f} overall   (paper: 0.53 vs 0.24)")
+    print(f"SI          : {first.si:.1f}")
+
+    grid = np.linspace(0.0, 1.0, 96)
+    _, full_density = kde_series(crime, grid=grid)
+    _, subgroup_density = kde_series(subgroup, grid=grid, weight=first.coverage)
+    print()
+    print("Fig. 1 - crime-rate densities (x = violent crimes per pop):")
+    print(render_series(
+        grid,
+        {"full data": full_density, "subgroup share": subgroup_density},
+        width=72, height=10,
+    ))
+
+    # Iterative step: assimilate and ask again.
+    miner.assimilate(first)
+    second = miner.find_location()
+    print()
+    print("After assimilating the first pattern, the next most informative is:")
+    print(f"  {second.description}  (SI {second.si:.1f})")
+    print("  - informative *beyond* what the first pattern already told us.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Iterative mining mechanics: how the belief state evolves.
+
+A close-up of the FORSIED machinery on the synthetic data: the SI of
+every candidate pattern before and after each assimilation, the block
+structure of the background model, and a demonstration that refitting
+from scratch reproduces the incrementally updated model (the Table II
+computation).
+
+Run with::
+
+    python examples/iterative_mining.py
+"""
+
+import numpy as np
+
+from repro import SubgroupDiscovery, load_dataset
+from repro.lang import Description, EqualsCondition
+from repro.utils.timer import Stopwatch
+
+
+def main() -> None:
+    dataset = load_dataset("synthetic", seed=0)
+    miner = SubgroupDiscovery(dataset, seed=0)
+
+    tracked = [
+        Description((EqualsCondition(f"attr{j}", 1.0),)) for j in (3, 4, 5, 6)
+    ]
+
+    def si_row(label: str) -> None:
+        cells = "  ".join(
+            f"{str(d):12s}={miner.score_description(d).si:8.2f}" for d in tracked
+        )
+        print(f"{label:22s} {cells}")
+
+    print("SI of the candidate intentions as the belief state evolves")
+    print("(attr3-5 are planted subgroups; attr6 is noise):")
+    si_row("initial beliefs")
+    for k in range(3):
+        iteration = miner.step(kind="spread")
+        si_row(f"after {iteration.location.description}")
+
+    print()
+    print(f"background model now has {miner.model.n_blocks} parameter blocks "
+          f"(one per planted cluster + the rest), "
+          f"{len(miner.model.constraints)} constraints assimilated")
+    print(f"max constraint residual: {miner.model.max_residual():.2e}")
+
+    # The Table II computation: refit the same belief state from scratch.
+    refit_model = miner.model.copy()
+    watch = Stopwatch()
+    with watch:
+        sweeps = refit_model.refit(list(miner.model.constraints))
+    drift = float(
+        np.abs(refit_model.point_means() - miner.model.point_means()).max()
+    )
+    print()
+    print(f"refit from prior: {sweeps} coordinate-descent sweep(s) "
+          f"in {watch.elapsed*1000:.1f} ms; max parameter drift vs the "
+          f"incremental model: {drift:.2e}")
+
+
+if __name__ == "__main__":
+    main()

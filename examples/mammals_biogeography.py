@@ -1,0 +1,49 @@
+"""European mammals biogeography (§III-B, Figs. 4-6).
+
+Mines location patterns over 124 species presence targets described by
+67 climate attributes and renders the found climate regions as text maps
+of Europe. The paper's three regions - cold-March north+Alps, dry-summer
+Mediterranean, dry-autumn continental east - come out in order.
+
+Run with::
+
+    python examples/mammals_biogeography.py
+"""
+
+import numpy as np
+
+from repro import SubgroupDiscovery, attribute_surprisals, load_dataset
+from repro.report.ascii import text_map
+
+
+def main() -> None:
+    dataset = load_dataset("mammals", seed=0)
+    lat = np.asarray(dataset.metadata["lat"])
+    lon = np.asarray(dataset.metadata["lon"])
+    miner = SubgroupDiscovery(dataset, seed=0)
+
+    print(f"{dataset.n_rows} grid cells, {dataset.n_targets} species, "
+          f"{dataset.n_descriptions} climate attributes")
+    for index in range(1, 4):
+        pattern = miner.find_location()
+        mask = np.zeros(dataset.n_rows, dtype=bool)
+        mask[pattern.indices] = True
+        print()
+        print(f"=== iteration {index}: {pattern.description} "
+              f"(SI {pattern.si:.0f}, {pattern.size} cells) ===")
+        print(text_map(lat, lon, mask, width=60, height=16))
+        # Rank species surprisal BEFORE assimilating, like the paper's Fig. 5.
+        records = attribute_surprisals(
+            miner.model, pattern.indices, pattern.mean,
+            names=dataset.target_names,
+        )
+        print("  most surprising species:")
+        for record in records[:5]:
+            direction = "present" if record.z > 0 else "absent"
+            print(f"    {record.name:28s} {direction:8s} "
+                  f"(observed {record.observed:.2f}, expected {record.expected:.2f})")
+        miner.assimilate(pattern)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Quickstart: mine subjectively interesting subgroups in ~20 lines.
+
+Runs the paper's two-step mining loop on the bundled synthetic data:
+find the most informative location pattern, find its most surprising
+variance direction, update the belief model, repeat. Each iteration
+surfaces a *different* planted subgroup because the model remembers what
+it has already been told.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import SubgroupDiscovery, load_dataset
+
+
+def main() -> None:
+    dataset = load_dataset("synthetic", seed=0)
+    print(dataset.summary())
+    print()
+
+    miner = SubgroupDiscovery(dataset, seed=0)
+    for iteration in miner.run(3, kind="spread"):
+        print(f"--- iteration {iteration.index} ---")
+        print(iteration.location)
+        print(iteration.spread)
+        mean = iteration.location.mean
+        print(
+            f"    subgroup mean = ({mean[0]:+.2f}, {mean[1]:+.2f}); "
+            f"the background now expects this, so re-finding it is worthless."
+        )
+    print()
+    print(
+        "Three iterations, three distinct planted subgroups - the SI measure "
+        "collapses for assimilated patterns (Table I of the paper)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""German socio-economics case study (§III-C, Figs. 7-8).
+
+Reproduces the paper's analysis: the East-Germany pattern (few children,
+Left party strong), its per-party surprisals with confidence intervals,
+and the 2-sparse spread direction showing CDU and SPD battling for the
+same voters (weight vector ~(0.57, 0.82) with far less variance than
+expected).
+
+Run with::
+
+    python examples/socio_case_study.py
+"""
+
+import numpy as np
+
+from repro import SubgroupDiscovery, attribute_surprisals, load_dataset
+from repro.report.ascii import bar_chart, render_series
+from repro.report.series import cdf_series, normal_cdf_series
+
+
+def main() -> None:
+    dataset = load_dataset("socio", seed=0)
+    miner = SubgroupDiscovery(dataset, seed=0)
+
+    location = miner.find_location()
+    print(f"pattern   : {location.description}")
+    print(f"districts : {location.size} of {dataset.n_rows}")
+    region = np.asarray(dataset.metadata["region"])
+    mask = np.zeros(dataset.n_rows, dtype=bool)
+    mask[location.indices] = True
+    print(f"east share: {(region[mask] == 'east').mean():.0%}")
+
+    print()
+    print("Fig. 8a - how surprising is each party's vote share? (z-scores)")
+    records = attribute_surprisals(
+        miner.model, location.indices, location.mean, names=dataset.target_names
+    )
+    print(bar_chart([r.name for r in records], [r.z for r in records], width=44))
+
+    miner.assimilate(location)
+    spread = miner.find_spread_for(location, sparsity=2)
+    expected = miner.model.expected_spread(
+        location.indices, spread.direction, spread.center
+    )
+    involved = [
+        dataset.target_names[j]
+        for j in np.flatnonzero(np.abs(spread.direction) > 1e-12)
+    ]
+    weights = spread.direction[np.abs(spread.direction) > 1e-12]
+    print()
+    print("Fig. 8b - most surprising 2-sparse spread direction:")
+    print(f"  w = {weights[0]:+.4f} * {involved[0]}  {weights[1]:+.4f} * {involved[1]}")
+    print(f"  (paper: (0.5704, 0.8214) on (CDU, SPD))")
+    print(f"  variance along w: observed {spread.variance:.2f} vs expected "
+          f"{expected:.2f} - these parties move in lockstep (anti-correlated).")
+
+    projections = dataset.targets[location.indices] @ spread.direction
+    sd = float(np.sqrt(expected))
+    grid = np.linspace(projections.mean() - 3 * sd, projections.mean() + 3 * sd, 96)
+    _, model_cdf = normal_cdf_series(float(projections.mean()), sd, grid)
+    _, data_cdf = cdf_series(projections, grid=grid)
+    print()
+    print("Fig. 8c - CDF of the projected subgroup vs the updated model:")
+    print(render_series(grid, {"model": model_cdf, "data": data_cdf},
+                        width=72, height=10))
+
+
+if __name__ == "__main__":
+    main()

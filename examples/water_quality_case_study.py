@@ -1,0 +1,54 @@
+"""River water-quality case study (§III-D, Figs. 9-10).
+
+Reproduces the paper's finding: sites where Gammarus fossarum is absent
+and Tubifex is frequent have strongly elevated oxygen-demand chemistry,
+and - the paper's headline for this dataset - the most surprising
+spread direction has *larger* variance than expected (polluted sites
+are chemically heterogeneous), concentrated on BOD and KMnO4.
+
+Run with::
+
+    python examples/water_quality_case_study.py
+"""
+
+import numpy as np
+
+from repro import SubgroupDiscovery, attribute_surprisals, load_dataset
+from repro.report.ascii import bar_chart
+
+
+def main() -> None:
+    dataset = load_dataset("water", seed=0)
+    miner = SubgroupDiscovery(dataset, seed=0)
+
+    location = miner.find_location()
+    print(f"pattern : {location.description}")
+    print(f"records : {location.size} of {dataset.n_rows}  (paper: 91)")
+
+    print()
+    print("Fig. 10 - chemistry surprisals (z-scores; + above expectation):")
+    records = attribute_surprisals(
+        miner.model, location.indices, location.mean, names=dataset.target_names
+    )
+    top = records[:8]
+    print(bar_chart([r.name for r in top], [r.z for r in top], width=44))
+
+    miner.assimilate(location)
+    spread = miner.find_spread_for(location)
+    expected = miner.model.expected_spread(
+        location.indices, spread.direction, spread.center
+    )
+    order = np.argsort(-np.abs(spread.direction))
+    print()
+    print("Fig. 9 - most surprising spread direction (top weights):")
+    for j in order[:5]:
+        print(f"  {dataset.target_names[j]:10s} {spread.direction[j]:+.3f}")
+    ratio = spread.variance / expected
+    print(f"  variance along w: observed {spread.variance:.2f} vs expected "
+          f"{expected:.2f}  (x{ratio:.1f} LARGER than expected)")
+    print("  -> surprising high-variance directions exist, not just displaced "
+          "low-variance subgroups.")
+
+
+if __name__ == "__main__":
+    main()

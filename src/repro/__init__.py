@@ -1,0 +1,157 @@
+"""SISD: Subjectively Interesting Subgroup Discovery on real-valued targets.
+
+A from-scratch reproduction of Lijffijt et al., "Subjectively Interesting
+Subgroup Discovery on Real-valued Targets" (ICDE 2018): the FORSIED
+background model over multivariate real targets, location and spread
+pattern syntaxes, the SI = IC/DL interestingness measure, beam search
+over Cortana-style descriptions, and spread-direction optimization on
+the unit sphere.
+
+Quickstart::
+
+    from repro import SubgroupDiscovery, load_dataset
+
+    miner = SubgroupDiscovery(load_dataset("synthetic", seed=0))
+    iteration = miner.step(kind="spread")
+    print(iteration.location)
+    print(iteration.spread)
+"""
+
+from repro.version import __version__
+from repro.errors import (
+    ConvergenceError,
+    DataError,
+    LanguageError,
+    ModelError,
+    NotFittedError,
+    ReproError,
+    SearchError,
+)
+from repro.datasets import (
+    AttributeKind,
+    Column,
+    Dataset,
+    available_datasets,
+    load_dataset,
+    make_crime,
+    make_mammals,
+    make_socio,
+    make_synthetic,
+    make_water,
+    read_csv,
+    write_csv,
+)
+from repro.lang import (
+    Condition,
+    Description,
+    EqualsCondition,
+    NumericCondition,
+    RefinementOperator,
+)
+from repro.model import (
+    BackgroundModel,
+    BlockPartition,
+    LocationConstraint,
+    Prior,
+    SpreadConstraint,
+    empirical_prior,
+)
+from repro.stats import Chi2Mixture, subgroup_cov, subgroup_mean, subgroup_spread
+from repro.interest import (
+    AttributeSurprisal,
+    DLParams,
+    PatternScore,
+    attribute_surprisals,
+    description_length,
+    location_ic,
+    score_location,
+    score_spread,
+    spread_ic,
+)
+from repro.search import (
+    LocationBeamSearch,
+    LocationPatternResult,
+    MiningIteration,
+    ScoredSubgroup,
+    SearchConfig,
+    SearchResult,
+    SpreadObjective,
+    SpreadPatternResult,
+    SubgroupDiscovery,
+    find_spread_direction,
+)
+from repro.search.branch_bound import (
+    BranchAndBoundLocationSearch,
+    find_optimal_location,
+)
+from repro.model.bernoulli import BernoulliBackgroundModel
+from repro.session import MiningSession
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "DataError",
+    "LanguageError",
+    "ModelError",
+    "NotFittedError",
+    "SearchError",
+    "ConvergenceError",
+    # datasets
+    "AttributeKind",
+    "Column",
+    "Dataset",
+    "available_datasets",
+    "load_dataset",
+    "make_synthetic",
+    "make_crime",
+    "make_mammals",
+    "make_socio",
+    "make_water",
+    "read_csv",
+    "write_csv",
+    # language
+    "Condition",
+    "NumericCondition",
+    "EqualsCondition",
+    "Description",
+    "RefinementOperator",
+    # model
+    "BackgroundModel",
+    "BlockPartition",
+    "LocationConstraint",
+    "SpreadConstraint",
+    "Prior",
+    "empirical_prior",
+    # statistics
+    "subgroup_mean",
+    "subgroup_cov",
+    "subgroup_spread",
+    "Chi2Mixture",
+    # interestingness
+    "DLParams",
+    "description_length",
+    "location_ic",
+    "spread_ic",
+    "PatternScore",
+    "score_location",
+    "score_spread",
+    "AttributeSurprisal",
+    "attribute_surprisals",
+    # search
+    "SearchConfig",
+    "SubgroupDiscovery",
+    "LocationBeamSearch",
+    "LocationPatternResult",
+    "SpreadPatternResult",
+    "MiningIteration",
+    "ScoredSubgroup",
+    "SearchResult",
+    "SpreadObjective",
+    "find_spread_direction",
+    # extensions (paper's §V future work)
+    "BranchAndBoundLocationSearch",
+    "find_optimal_location",
+    "BernoulliBackgroundModel",
+    "MiningSession",
+]

@@ -1,0 +1,26 @@
+"""Baseline subgroup-quality measures and reference searchers.
+
+The paper positions SI against the classical subgroup-discovery quality
+functions (§IV): mean-shift tests, WRAcc, and the dispersion-corrected
+score of Boley et al. (2017). This package implements them — each as a
+:class:`QualityMeasure` pluggable into the same beam search — plus the
+random-subgroup baseline that the Fig. 3 noise experiment plots.
+"""
+
+from repro.baselines.quality import (
+    DispersionCorrectedQuality,
+    MeanShiftQuality,
+    QualityMeasure,
+    WRAccQuality,
+)
+from repro.baselines.beam import QualityBeamSearch
+from repro.baselines.random_baseline import random_subgroup_si
+
+__all__ = [
+    "QualityMeasure",
+    "MeanShiftQuality",
+    "WRAccQuality",
+    "DispersionCorrectedQuality",
+    "QualityBeamSearch",
+    "random_subgroup_si",
+]

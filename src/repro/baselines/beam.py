@@ -1,0 +1,113 @@
+"""Beam search driven by a classical quality measure.
+
+Same level-wise exploration as :class:`repro.search.beam.LocationBeamSearch`
+but scored by any :class:`~repro.baselines.quality.QualityMeasure` —
+the apples-to-apples comparison harness for SI vs the classical measures
+(same language, same beam, different objective).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.quality import QualityMeasure
+from repro.lang.description import Description
+from repro.lang.refinement import RefinementOperator
+from repro.search.config import SearchConfig
+from repro.utils.timer import TimeBudget
+
+
+@dataclass(frozen=True)
+class QualitySubgroup:
+    """A subgroup scored by a baseline quality measure."""
+
+    description: Description
+    indices: np.ndarray
+    quality: float
+
+    @property
+    def size(self) -> int:
+        return int(self.indices.shape[0])
+
+    def __str__(self) -> str:
+        return f"{self.description}  (n={self.size}, q={self.quality:.4g})"
+
+
+@dataclass(frozen=True)
+class QualitySearchResult:
+    best: QualitySubgroup | None
+    log: tuple[QualitySubgroup, ...]
+    n_evaluated: int
+
+
+class QualityBeamSearch:
+    """Beam search maximizing an objective quality measure."""
+
+    def __init__(
+        self,
+        operator: RefinementOperator,
+        quality: QualityMeasure,
+        *,
+        config: SearchConfig = SearchConfig(),
+    ) -> None:
+        self.operator = operator
+        self.quality = quality
+        self.config = config
+
+    def run(self) -> QualitySearchResult:
+        """Execute the level-wise search under the quality measure."""
+        config = self.config
+        n_rows = self.quality.n_rows
+        budget = TimeBudget(config.time_budget_seconds)
+        max_size = min(
+            int(config.max_coverage_fraction * n_rows), n_rows - 1
+        )
+
+        entries: list[tuple[float, int, QualitySubgroup]] = []
+        counter = 0
+        beam: list[tuple[Description, np.ndarray]] = [
+            (Description(), np.ones(n_rows, dtype=bool))
+        ]
+        seen: set[Description] = set()
+        n_evaluated = 0
+
+        for _depth in range(1, config.max_depth + 1):
+            level: list[QualitySubgroup] = []
+            for parent_description, parent_mask in beam:
+                if budget.expired:
+                    break
+                for refined, condition in self.operator.refinements(parent_description):
+                    if refined in seen:
+                        continue
+                    seen.add(refined)
+                    mask = parent_mask & self.operator.mask_of(condition)
+                    size = int(mask.sum())
+                    if size < config.min_coverage or size > max_size:
+                        continue
+                    subgroup = QualitySubgroup(
+                        description=refined,
+                        indices=np.flatnonzero(mask),
+                        quality=float(self.quality(mask)),
+                    )
+                    level.append(subgroup)
+                    entries.append((subgroup.quality, counter, subgroup))
+                    counter += 1
+                    n_evaluated += 1
+            if not level or budget.expired:
+                break
+            level.sort(key=lambda s: -s.quality)
+            beam = []
+            for subgroup in level[: config.beam_width]:
+                mask = np.zeros(n_rows, dtype=bool)
+                mask[subgroup.indices] = True
+                beam.append((subgroup.description, mask))
+
+        entries.sort(key=lambda t: (-t[0], t[1]))
+        log = tuple(entry for _, _, entry in entries[: config.top_k])
+        return QualitySearchResult(
+            best=log[0] if log else None,
+            log=log,
+            n_evaluated=n_evaluated,
+        )

@@ -1,0 +1,142 @@
+"""Command-line interface: ``sisd`` (or ``python -m repro``).
+
+Subcommands:
+
+- ``sisd datasets`` — list the available datasets with their shapes.
+- ``sisd mine DATASET`` — run iterative mining and print each pattern.
+- ``sisd experiment NAME`` — reproduce one of the paper's tables/figures.
+- ``sisd experiments`` — list the reproducible experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro import experiments
+from repro.datasets import available_datasets, load_dataset
+from repro.errors import ReproError
+from repro.interest.dl import DLParams
+from repro.search.config import SearchConfig
+from repro.search.miner import SubgroupDiscovery
+from repro.version import __version__
+
+#: Experiment name -> zero-config runner returning an object with .format().
+EXPERIMENTS: dict[str, Callable[[int], object]] = {
+    "fig1": experiments.run_fig1,
+    "fig2": experiments.run_fig2,
+    "fig3": experiments.run_fig3,
+    "fig4": experiments.run_fig4,
+    "fig5": experiments.run_fig5,
+    "fig6": experiments.run_fig6,
+    "fig7": experiments.run_fig7,
+    "fig8": experiments.run_fig8,
+    "fig9": experiments.run_fig9,
+    "fig10": experiments.run_fig10,
+    "table1": experiments.run_table1,
+    "table2": experiments.run_table2,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sisd",
+        description=(
+            "Subjectively Interesting Subgroup Discovery on real-valued "
+            "targets (ICDE 2018 reproduction)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"sisd {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list available datasets")
+
+    mine = sub.add_parser("mine", help="run iterative subgroup discovery")
+    mine.add_argument("dataset", choices=available_datasets())
+    mine.add_argument("--seed", type=int, default=0, help="dataset/search seed")
+    mine.add_argument("--iterations", type=int, default=3, help="mining iterations")
+    mine.add_argument(
+        "--kind", choices=("location", "spread"), default="location",
+        help="pattern type per iteration (spread = the two-step process)",
+    )
+    mine.add_argument("--beam-width", type=int, default=40)
+    mine.add_argument("--depth", type=int, default=4)
+    mine.add_argument("--gamma", type=float, default=0.1, help="DL weight per condition")
+    mine.add_argument(
+        "--time-budget", type=float, default=None,
+        help="wall-clock budget per beam search, in seconds",
+    )
+    mine.add_argument(
+        "--sparsity", type=int, default=None,
+        help="restrict spread directions to this many coordinates (2 only)",
+    )
+
+    sub.add_parser("experiments", help="list reproducible tables/figures")
+
+    exp = sub.add_parser("experiment", help="reproduce a paper table/figure")
+    exp.add_argument("name", choices=sorted(EXPERIMENTS))
+    exp.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_datasets() -> int:
+    for name in available_datasets():
+        dataset = load_dataset(name, seed=0)
+        print(
+            f"{name:10s} n={dataset.n_rows:5d}  "
+            f"d_x={dataset.n_descriptions:4d}  d_y={dataset.n_targets:4d}"
+        )
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, seed=args.seed)
+    config = SearchConfig(
+        beam_width=args.beam_width,
+        max_depth=args.depth,
+        time_budget_seconds=args.time_budget,
+    )
+    miner = SubgroupDiscovery(
+        dataset,
+        config=config,
+        dl_params=DLParams(gamma=args.gamma),
+        seed=args.seed,
+    )
+    for iteration in miner.run(args.iterations, kind=args.kind, sparsity=args.sparsity):
+        print(f"--- iteration {iteration.index} ---")
+        print(iteration.location)
+        if iteration.spread is not None:
+            print(iteration.spread)
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    result = EXPERIMENTS[args.name](args.seed)
+    print(result.format())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "datasets":
+            return _cmd_datasets()
+        if args.command == "experiments":
+            for name in sorted(EXPERIMENTS):
+                print(name)
+            return 0
+        if args.command == "mine":
+            return _cmd_mine(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

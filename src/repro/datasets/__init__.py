@@ -1,0 +1,32 @@
+"""Datasets: typed tabular schema, CSV IO, and the five paper datasets.
+
+The paper evaluates on one synthetic dataset (fully specified in §III-A)
+and four real datasets that are not redistributable/reachable offline.
+Each real dataset is replaced by a seeded generator that preserves its
+shape (rows, attribute counts, attribute kinds) and plants the structure
+each experiment measures — see DESIGN.md §3 for the substitution table.
+"""
+
+from repro.datasets.schema import AttributeKind, Column, Dataset
+from repro.datasets.synthetic import make_synthetic
+from repro.datasets.crime import make_crime
+from repro.datasets.mammals import make_mammals
+from repro.datasets.socio import make_socio
+from repro.datasets.water import make_water
+from repro.datasets.registry import available_datasets, load_dataset
+from repro.datasets.io import read_csv, write_csv
+
+__all__ = [
+    "AttributeKind",
+    "Column",
+    "Dataset",
+    "make_synthetic",
+    "make_crime",
+    "make_mammals",
+    "make_socio",
+    "make_water",
+    "available_datasets",
+    "load_dataset",
+    "read_csv",
+    "write_csv",
+]

@@ -1,0 +1,98 @@
+"""CSV persistence for :class:`~repro.datasets.schema.Dataset`.
+
+The on-disk format is a plain CSV with a two-line header:
+
+- line 1: column names (descriptions first, then targets);
+- line 2: column roles — one of ``numeric``/``ordinal``/``categorical``/
+  ``binary`` for description attributes, or ``target`` for targets.
+
+This keeps datasets round-trippable without a side-car schema file and
+readable by any CSV tool (the role line just looks like a first data row
+to them).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.schema import AttributeKind, Column, Dataset
+from repro.errors import DataError
+
+_ROLE_TARGET = "target"
+
+
+def write_csv(dataset: Dataset, path: str | Path) -> Path:
+    """Write ``dataset`` to ``path``; returns the path written.
+
+    Metadata is intentionally not persisted: it is experiment-side
+    information (ground truth, coordinates), not part of the data a
+    downstream miner should see.
+    """
+    path = Path(path)
+    names = dataset.description_names + dataset.target_names
+    roles = [dataset.column(c).kind.value for c in dataset.description_names]
+    roles += [_ROLE_TARGET] * dataset.n_targets
+
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        writer.writerow(roles)
+        desc_values = [dataset.column(c).values for c in dataset.description_names]
+        for i in range(dataset.n_rows):
+            row: list[object] = []
+            for col, values in zip(dataset.description_names, desc_values):
+                value = values[i]
+                if dataset.column(col).kind is AttributeKind.CATEGORICAL:
+                    row.append(str(value))
+                else:
+                    row.append(repr(float(value)))
+            row.extend(repr(float(v)) for v in dataset.targets[i])
+            writer.writerow(row)
+    return path
+
+
+def read_csv(path: str | Path, *, name: str | None = None) -> Dataset:
+    """Read a dataset previously written by :func:`write_csv`."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            names = next(reader)
+            roles = next(reader)
+        except StopIteration:
+            raise DataError(f"{path}: missing header lines") from None
+        if len(names) != len(roles):
+            raise DataError(f"{path}: name/role header length mismatch")
+        rows = [row for row in reader if row]
+
+    if not rows:
+        raise DataError(f"{path}: no data rows")
+    if any(len(row) != len(names) for row in rows):
+        raise DataError(f"{path}: ragged rows")
+
+    columns: list[Column] = []
+    target_names: list[str] = []
+    target_cols: list[np.ndarray] = []
+    for j, (col_name, role) in enumerate(zip(names, roles)):
+        raw = [row[j] for row in rows]
+        if role == _ROLE_TARGET:
+            target_names.append(col_name)
+            target_cols.append(np.array([float(v) for v in raw]))
+            continue
+        try:
+            kind = AttributeKind(role)
+        except ValueError:
+            raise DataError(f"{path}: unknown column role {role!r}") from None
+        if kind is AttributeKind.CATEGORICAL:
+            values: np.ndarray = np.array(raw, dtype=object)
+        else:
+            values = np.array([float(v) for v in raw])
+        columns.append(Column(col_name, kind, values))
+
+    if not target_names:
+        raise DataError(f"{path}: no target columns")
+    targets = np.stack(target_cols, axis=1)
+    return Dataset(name or path.stem, columns, targets, target_names)

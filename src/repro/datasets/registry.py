@@ -1,0 +1,45 @@
+"""Name-based access to the paper's datasets.
+
+``load_dataset("socio", seed=7)`` is what the CLI, the experiments and the
+benchmarks use, so that every entry point names datasets the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.datasets.schema import Dataset
+from repro.datasets.crime import make_crime
+from repro.datasets.mammals import make_mammals
+from repro.datasets.socio import make_socio
+from repro.datasets.synthetic import make_synthetic
+from repro.datasets.water import make_water
+from repro.errors import DataError
+
+_REGISTRY: dict[str, Callable[..., Dataset]] = {
+    "synthetic": make_synthetic,
+    "crime": make_crime,
+    "mammals": make_mammals,
+    "socio": make_socio,
+    "water": make_water,
+}
+
+
+def available_datasets() -> list[str]:
+    """Names accepted by :func:`load_dataset`, sorted."""
+    return sorted(_REGISTRY)
+
+
+def load_dataset(name: str, seed: int = 0, **kwargs) -> Dataset:
+    """Generate the named dataset with the given seed.
+
+    Extra keyword arguments are forwarded to the generator (e.g.
+    ``flip_probability`` for ``synthetic``).
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise DataError(
+            f"unknown dataset {name!r}; available: {', '.join(available_datasets())}"
+        ) from None
+    return factory(seed, **kwargs)

@@ -1,0 +1,290 @@
+"""Tabular data model: typed description attributes + real-valued targets.
+
+This mirrors the paper's setup (§II, Notation): each data point is a pair
+``(x_i, y_i)`` where ``x_i`` is a tuple of arbitrarily-typed *description*
+attributes and ``y_i`` is a vector of ``d_y`` real-valued *target*
+attributes. Subgroups are defined by conditions on the description
+attributes; interestingness is evaluated on the targets.
+
+Attribute kinds and the conditions the language allows on them:
+
+- ``NUMERIC``  — real-valued; inequality conditions (``<=`` / ``>=``).
+- ``ORDINAL``  — ordered discrete levels stored as floats (e.g. the water
+  dataset's taxon densities 0/1/3/5); inequality conditions.
+- ``CATEGORICAL`` — unordered labels; equality conditions.
+- ``BINARY``   — two-valued categorical stored as 0/1; equality conditions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import DataError
+
+
+class AttributeKind(enum.Enum):
+    """How a description attribute may be conditioned on."""
+
+    NUMERIC = "numeric"
+    ORDINAL = "ordinal"
+    CATEGORICAL = "categorical"
+    BINARY = "binary"
+
+    @property
+    def is_orderable(self) -> bool:
+        """Whether inequality conditions make sense for this kind."""
+        return self in (AttributeKind.NUMERIC, AttributeKind.ORDINAL)
+
+
+@dataclass(frozen=True)
+class Column:
+    """One description attribute: a name, a kind, and its values.
+
+    ``values`` is a 1-D numpy array: ``float64`` for numeric/ordinal/binary
+    kinds, and an object/str array for categorical. Binary columns must
+    contain only 0 and 1.
+    """
+
+    name: str
+    kind: AttributeKind
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DataError("Column name must be non-empty")
+        values = np.asarray(self.values)
+        if values.ndim != 1:
+            raise DataError(
+                f"Column {self.name!r}: values must be 1-D, got shape {values.shape}"
+            )
+        if self.kind is AttributeKind.CATEGORICAL:
+            values = values.astype(str)
+        else:
+            try:
+                values = values.astype(float)
+            except (TypeError, ValueError) as exc:
+                raise DataError(
+                    f"Column {self.name!r} ({self.kind.value}) has non-numeric values"
+                ) from exc
+            if not np.all(np.isfinite(values)):
+                raise DataError(f"Column {self.name!r} contains NaN/inf")
+            if self.kind is AttributeKind.BINARY and not np.isin(values, (0.0, 1.0)).all():
+                raise DataError(f"Column {self.name!r} is binary but has values outside {{0, 1}}")
+        object.__setattr__(self, "values", values)
+
+    def __len__(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def n_rows(self) -> int:
+        return len(self)
+
+    def domain(self) -> np.ndarray:
+        """Sorted distinct values (levels for ordinal, labels for categorical)."""
+        return np.unique(self.values)
+
+    def is_constant(self) -> bool:
+        """True when every row holds the same value (no useful conditions)."""
+        return self.domain().shape[0] <= 1
+
+
+class Dataset:
+    """A named dataset: description columns + a real-valued target matrix.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports and the registry.
+    columns:
+        Description attributes, in presentation order.
+    targets:
+        ``(n, d_y)`` float matrix of target values.
+    target_names:
+        One name per target column.
+    metadata:
+        Optional side information not visible to the search (e.g. latitude/
+        longitude for map rendering, planted ground-truth labels for tests).
+        Values must be 1-D arrays of length ``n`` or arbitrary scalars.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        targets: np.ndarray,
+        target_names: Sequence[str],
+        metadata: Mapping[str, object] | None = None,
+    ) -> None:
+        if not name:
+            raise DataError("Dataset name must be non-empty")
+        targets = np.asarray(targets, dtype=float)
+        if targets.ndim == 1:
+            targets = targets[:, None]
+        if targets.ndim != 2:
+            raise DataError(f"targets must be 2-D, got shape {targets.shape}")
+        if not np.all(np.isfinite(targets)):
+            raise DataError("targets contain NaN/inf")
+        n = targets.shape[0]
+        target_names = [str(t) for t in target_names]
+        if len(target_names) != targets.shape[1]:
+            raise DataError(
+                f"{len(target_names)} target names for {targets.shape[1]} target columns"
+            )
+        if len(set(target_names)) != len(target_names):
+            raise DataError("duplicate target names")
+
+        columns = list(columns)
+        seen: set[str] = set()
+        for col in columns:
+            if not isinstance(col, Column):
+                raise DataError(f"expected Column, got {type(col).__name__}")
+            if col.n_rows != n:
+                raise DataError(
+                    f"Column {col.name!r} has {col.n_rows} rows, targets have {n}"
+                )
+            if col.name in seen:
+                raise DataError(f"duplicate column name {col.name!r}")
+            seen.add(col.name)
+        overlap = seen.intersection(target_names)
+        if overlap:
+            raise DataError(f"names used both as description and target: {sorted(overlap)}")
+
+        self.name = name
+        self._columns: dict[str, Column] = {col.name: col for col in columns}
+        self._order: list[str] = [col.name for col in columns]
+        self.targets = targets
+        self.target_names = list(target_names)
+        self.metadata: dict[str, object] = dict(metadata or {})
+
+    # ------------------------------------------------------------------ #
+    # Shape accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def n_rows(self) -> int:
+        return int(self.targets.shape[0])
+
+    @property
+    def n_targets(self) -> int:
+        return int(self.targets.shape[1])
+
+    @property
+    def n_descriptions(self) -> int:
+        return len(self._order)
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Dataset({self.name!r}, n={self.n_rows}, "
+            f"d_x={self.n_descriptions}, d_y={self.n_targets})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Column access
+    # ------------------------------------------------------------------ #
+    @property
+    def description_names(self) -> list[str]:
+        return list(self._order)
+
+    def column(self, name: str) -> Column:
+        """Look up one description attribute by name."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise DataError(f"unknown description attribute {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def columns(self) -> Iterable[Column]:
+        """Iterate the description attributes in presentation order."""
+        for name in self._order:
+            yield self._columns[name]
+
+    def target_index(self, name: str) -> int:
+        """Column index of a target attribute by name."""
+        try:
+            return self.target_names.index(name)
+        except ValueError:
+            raise DataError(f"unknown target attribute {name!r}") from None
+
+    def target(self, name: str) -> np.ndarray:
+        """One target column as a 1-D array."""
+        return self.targets[:, self.target_index(name)]
+
+    # ------------------------------------------------------------------ #
+    # Derived datasets
+    # ------------------------------------------------------------------ #
+    def with_targets(self, names: Sequence[str]) -> "Dataset":
+        """A view-like copy restricted to the given target columns."""
+        idx = [self.target_index(n) for n in names]
+        return Dataset(
+            self.name,
+            [self._columns[c] for c in self._order],
+            self.targets[:, idx],
+            [self.target_names[i] for i in idx],
+            metadata=self.metadata,
+        )
+
+    def subset(self, rows: np.ndarray, *, name: str | None = None) -> "Dataset":
+        """Row-subset copy (``rows`` is a boolean mask or index array)."""
+        rows = np.asarray(rows)
+        if rows.dtype == bool:
+            if rows.shape[0] != self.n_rows:
+                raise DataError("boolean row mask has wrong length")
+            index = np.flatnonzero(rows)
+        else:
+            index = rows.astype(int)
+        columns = [
+            Column(col.name, col.kind, col.values[index]) for col in self.columns()
+        ]
+        metadata = {
+            key: (value[index] if isinstance(value, np.ndarray) and value.ndim >= 1
+                  and value.shape[0] == self.n_rows else value)
+            for key, value in self.metadata.items()
+        }
+        return Dataset(
+            name or f"{self.name}[subset]",
+            columns,
+            self.targets[index],
+            self.target_names,
+            metadata=metadata,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Summaries
+    # ------------------------------------------------------------------ #
+    def empirical_mean(self) -> np.ndarray:
+        """Mean of the targets over the full data (default model prior)."""
+        return self.targets.mean(axis=0)
+
+    def empirical_cov(self) -> np.ndarray:
+        """Covariance of the targets over the full data (default prior).
+
+        Uses the maximum-likelihood (1/n) normalization: the prior encodes
+        a belief about the data-generating spread, matching the MaxEnt
+        derivation in the paper rather than an unbiased sample estimate.
+        """
+        centered = self.targets - self.empirical_mean()
+        return (centered.T @ centered) / self.n_rows
+
+    def summary(self) -> str:
+        """Human-readable one-per-line column summary."""
+        lines = [
+            f"Dataset {self.name!r}: {self.n_rows} rows, "
+            f"{self.n_descriptions} description attributes, {self.n_targets} targets"
+        ]
+        for col in self.columns():
+            dom = col.domain()
+            if col.kind.is_orderable or col.kind is AttributeKind.BINARY:
+                desc = f"range [{dom[0]:.4g}, {dom[-1]:.4g}], {dom.shape[0]} distinct"
+            else:
+                desc = f"{dom.shape[0]} categories"
+            lines.append(f"  [{col.kind.value:11s}] {col.name}: {desc}")
+        lines.append("  targets: " + ", ".join(self.target_names))
+        return "\n".join(lines)

@@ -1,0 +1,218 @@
+"""Synthetic stand-in for the German socio-economics dataset.
+
+The paper's case study (§III-C, Figs. 7-8) uses socio-economic records of
+412 German administrative districts: 13 description attributes (age and
+workforce distributions) and 5 targets (2009 federal-election vote shares
+of CDU/CSU, SPD, FDP, Greens, Left). The original KDD-IDEA data is not
+available offline; this generator reproduces its shape and plants the
+three structures the experiments measure:
+
+- An *East* block (~21% of districts) with a low share of children and a
+  strongly elevated Left vote at the expense of all other parties
+  (pattern 1: "children_pop <= ~14"). Three student-city districts
+  (Heidelberg/Passau/Wuerzburg analogs) also have few children, matching
+  the paper's observation that they join the subgroup.
+- A *big-city* block with a high middle-aged share and elevated Green
+  vote at the expense of the Left (pattern 2: "middleaged_pop >= ~27").
+- Inside the East block, CDU and SPD vote shares co-vary along the
+  direction ~(0.57, 0.82) with far *less* variance than the background
+  expects (the parties "battle for the same voters") — the Fig. 8 spread
+  pattern with weight vector (0.5704, 0.8214).
+
+Vote shares are percentages; the five parties sum to roughly 90 with the
+remainder representing minor parties.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.schema import AttributeKind, Column, Dataset
+from repro.utils.rng import as_rng
+
+PARTIES = ("cdu_2009", "spd_2009", "fdp_2009", "green_2009", "left_2009")
+
+AGE_ATTRIBUTES = (
+    "children_pop",    # share < 18
+    "young_pop",       # 18-29
+    "middleaged_pop",  # 30-49
+    "old_pop",         # 50-64
+    "elderly_pop",     # 65+
+)
+
+WORKFORCE_ATTRIBUTES = (
+    "agriculture_wf",
+    "production_wf",
+    "construction_wf",
+    "trade_wf",
+    "transport_wf",
+    "finance_wf",
+    "service_wf",
+    "public_wf",
+)
+
+#: Real-sounding district names for map-flavoured examples; the remainder
+#: of the 412 districts get procedural names.
+EAST_NAMED = (
+    "Leipzig", "Dresden", "Chemnitz", "Erfurt", "Suhl", "Schwerin",
+    "Neubrandenburg", "Nordvorpommern", "Wittenberg", "Wismar",
+)
+CITY_NAMED = (
+    "Berlin", "Munich", "Hamburg", "Cologne", "Frankfurt am Main", "Bremen",
+    "Mannheim", "Erlangen", "Osnabrueck", "Paderborn", "Giessen", "Dortmund",
+    "Aachen", "Konstanz", "Darmstadt",
+)
+STUDENT_CITY_NAMED = ("Heidelberg", "Passau", "Wuerzburg")
+
+#: The planted low-variance direction of the Fig. 8 spread pattern, on the
+#: (CDU, SPD) target pair.
+SPREAD_DIRECTION = np.array([0.5704, 0.8214])
+
+
+def _vote_profile(region: str) -> np.ndarray:
+    """Mean vote shares (CDU, SPD, FDP, Green, Left) by district type."""
+    profiles = {
+        # Roughly the real 2009 patterns: Left strong in the East, Greens
+        # strong in large cities, FDP strongest in the West.
+        "east": np.array([29.0, 17.5, 9.5, 6.0, 27.0]),
+        "city": np.array([27.5, 23.0, 12.0, 18.0, 8.0]),
+        "student_city": np.array([28.0, 20.0, 13.0, 17.0, 9.0]),
+        "west": np.array([35.5, 24.5, 15.0, 10.0, 5.0]),
+    }
+    return profiles[region]
+
+
+def _age_profile(region: str, rng: np.random.Generator, size: int) -> np.ndarray:
+    """(size, 5) age-share matrix for one region type (percentages)."""
+    if region == "east":
+        means = np.array([12.8, 12.0, 26.0, 22.0, 27.2])
+        spread = np.array([0.9, 1.0, 1.0, 1.0, 1.2])
+    elif region == "city":
+        means = np.array([15.0, 15.5, 28.6, 20.0, 20.9])
+        spread = np.array([1.0, 1.2, 1.1, 0.9, 1.1])
+    elif region == "student_city":
+        means = np.array([13.2, 19.5, 27.4, 18.5, 21.4])
+        spread = np.array([0.7, 1.3, 1.0, 0.9, 1.0])
+    else:  # west
+        means = np.array([17.3, 12.5, 25.2, 21.5, 23.5])
+        spread = np.array([1.1, 1.0, 1.0, 0.9, 1.2])
+    ages = means + spread * rng.standard_normal((size, means.shape[0]))
+    return np.clip(ages, 4.0, None)
+
+
+def _workforce_profile(region: str, rng: np.random.Generator, size: int) -> np.ndarray:
+    """(size, 8) workforce-share matrix for one region type (percentages).
+
+    Regional differences are kept mild relative to the noise so that the
+    *age* attributes carry the separable signal, as in the paper, where
+    all three top intentions condition on age shares.
+    """
+    if region == "east":
+        means = np.array([3.0, 21.5, 6.8, 13.5, 5.8, 7.5, 26.5, 15.3])
+    elif region in ("city", "student_city"):
+        means = np.array([0.8, 18.5, 5.0, 14.8, 6.3, 12.0, 29.5, 13.1])
+    else:  # west
+        means = np.array([2.6, 22.5, 6.4, 14.2, 5.6, 9.5, 26.5, 12.7])
+    wf = means + rng.standard_normal((size, means.shape[0])) * 2.0
+    return np.clip(wf, 0.2, None)
+
+
+def make_socio(
+    seed: int | np.random.Generator = 0,
+    *,
+    n_rows: int = 412,
+    n_east: int = 87,
+    n_city: int = 45,
+) -> Dataset:
+    """Generate the German socio-economics stand-in.
+
+    Returns a dataset with 13 numeric description attributes (5 age + 8
+    workforce shares) and 5 vote-share targets. Metadata: ``region`` label
+    per district (``east``/``city``/``student_city``/``west``), district
+    names, and approximate lat/lon for map rendering.
+    """
+    n_student = len(STUDENT_CITY_NAMED)
+    n_west = n_rows - n_east - n_city - n_student
+    if n_west <= 0:
+        raise ValueError("n_rows too small for the requested east/city blocks")
+    rng = as_rng(seed)
+
+    regions = (
+        ["east"] * n_east + ["city"] * n_city
+        + ["student_city"] * n_student + ["west"] * n_west
+    )
+
+    ages_parts, wf_parts, votes_parts = [], [], []
+    for region, size in (
+        ("east", n_east), ("city", n_city),
+        ("student_city", n_student), ("west", n_west),
+    ):
+        ages_parts.append(_age_profile(region, rng, size))
+        wf_parts.append(_workforce_profile(region, rng, size))
+        base = _vote_profile(region)
+        if region == "east":
+            # Planted spread structure: CDU/SPD battle for the same voters.
+            # Their noise is injected along d = (-0.8214, 0.5704) — the
+            # direction orthogonal to SPREAD_DIRECTION — plus only a tiny
+            # isotropic component, so the variance *along*
+            # SPREAD_DIRECTION is far smaller than the background model
+            # (fitted on the whole data) expects. The other parties keep
+            # ordinary within-block variability so no other pair offers a
+            # comparably surprising low-variance direction.
+            votes = base + rng.standard_normal((size, 5)) * np.array(
+                [0.35, 0.35, 1.4, 1.8, 2.2]
+            )
+            swing = rng.standard_normal(size) * 3.0
+            votes[:, 0] += -SPREAD_DIRECTION[1] * swing   # CDU
+            votes[:, 1] += SPREAD_DIRECTION[0] * swing    # SPD
+        else:
+            votes = base + rng.standard_normal((size, 5)) * np.array(
+                [2.2, 2.0, 1.4, 1.3, 1.0]
+            )
+        votes_parts.append(votes)
+
+    ages = np.concatenate(ages_parts)
+    workforce = np.concatenate(wf_parts)
+    votes = np.clip(np.concatenate(votes_parts), 0.5, None)
+
+    # District names: a few real anchors per region plus procedural fill.
+    names: list[str] = []
+    east_fill = iter(range(10_000))
+    for idx, region in enumerate(regions):
+        if region == "east" and idx < len(EAST_NAMED):
+            names.append(EAST_NAMED[idx])
+        elif region == "city" and idx - n_east < len(CITY_NAMED):
+            names.append(CITY_NAMED[idx - n_east])
+        elif region == "student_city":
+            names.append(STUDENT_CITY_NAMED[idx - n_east - n_city])
+        else:
+            names.append(f"district_{next(east_fill):03d}")
+
+    # Approximate geography: East districts sit in the north-east box.
+    lat = np.where(
+        np.array(regions) == "east",
+        rng.uniform(50.2, 54.4, n_rows),
+        rng.uniform(47.4, 54.6, n_rows),
+    )
+    lon = np.where(
+        np.array(regions) == "east",
+        rng.uniform(11.8, 14.9, n_rows),
+        rng.uniform(6.0, 11.6, n_rows),
+    )
+
+    columns = [
+        Column(name, AttributeKind.NUMERIC, ages[:, j])
+        for j, name in enumerate(AGE_ATTRIBUTES)
+    ]
+    columns.extend(
+        Column(name, AttributeKind.NUMERIC, workforce[:, j])
+        for j, name in enumerate(WORKFORCE_ATTRIBUTES)
+    )
+    metadata = {
+        "region": np.array(regions, dtype=object),
+        "district": np.array(names, dtype=object),
+        "lat": lat,
+        "lon": lon,
+        "spread_direction": SPREAD_DIRECTION.copy(),
+    }
+    return Dataset("socio", columns, votes, list(PARTIES), metadata)

@@ -1,0 +1,131 @@
+"""The paper's synthetic dataset (§III-A), reproduced exactly as specified.
+
+620 data points with two real-valued targets and five binary description
+attributes. 500 background points are drawn from a 2-D standard normal;
+three subgroups of 40 points each are embedded at distance 2 from the
+origin, each with a strongly anisotropic covariance (large variance along
+its major axis, small across it). Description attributes 3-5 carry the
+true subgroup labels; attributes 6-7 are Bernoulli(0.5) noise.
+
+The paper's Fig. 2 shows the three clusters at roughly the upper-left,
+right and lower-left of the data cloud with distinct major-axis angles;
+we fix centers at angles 130deg, 10deg, 250deg and major axes tangential
+to the circle of radius 2, which visually matches the figure and - more
+importantly - preserves what the experiments test: three equal-size
+subgroups displaced from the mean with one dominant variance direction
+each.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.schema import AttributeKind, Column, Dataset
+from repro.utils.rng import as_rng
+
+#: Angles (radians) of the three planted cluster centers on the radius-2 circle.
+CLUSTER_ANGLES = (np.deg2rad(130.0), np.deg2rad(10.0), np.deg2rad(250.0))
+
+#: Standard deviations along the major/minor axis of each planted cluster.
+CLUSTER_MAJOR_STD = 0.75
+CLUSTER_MINOR_STD = 0.12
+
+
+def cluster_center(k: int, distance: float = 2.0) -> np.ndarray:
+    """Center of planted cluster ``k`` (0-based) at the given distance."""
+    angle = CLUSTER_ANGLES[k]
+    return distance * np.array([np.cos(angle), np.sin(angle)])
+
+
+def cluster_covariance(k: int) -> np.ndarray:
+    """Covariance of planted cluster ``k``: elongated tangentially.
+
+    The major axis is perpendicular to the center direction (tangential to
+    the circle the centers lie on), matching the elongated "arcs" in the
+    paper's Fig. 2a.
+    """
+    angle = CLUSTER_ANGLES[k] + np.pi / 2.0
+    major = np.array([np.cos(angle), np.sin(angle)])
+    minor = np.array([-np.sin(angle), np.cos(angle)])
+    return (
+        CLUSTER_MAJOR_STD**2 * np.outer(major, major)
+        + CLUSTER_MINOR_STD**2 * np.outer(minor, minor)
+    )
+
+
+def make_synthetic(
+    seed: int | np.random.Generator = 0,
+    *,
+    n_background: int = 500,
+    cluster_size: int = 40,
+    distance: float = 2.0,
+    flip_probability: float = 0.0,
+) -> Dataset:
+    """Generate the synthetic dataset of §III-A.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed; the default reproduces the dataset used across the test
+        suite and benchmarks.
+    n_background, cluster_size, distance:
+        Shape knobs; paper values are 500, 40 and 2.
+    flip_probability:
+        Probability of flipping each binary description value, used by the
+        Fig. 3 noise-robustness experiment ("corrupted the descriptive
+        attributes by randomly flipping every 0 and 1 with a certain
+        probability"). 0 gives the clean data.
+
+    Returns
+    -------
+    Dataset
+        Targets ``attr1``/``attr2``; binary descriptions ``attr3``-``attr7``
+        where ``attr3``-``attr5`` are the true labels of planted subgroups
+        p1-p3 and ``attr6``/``attr7`` are Bernoulli(0.5) noise. Metadata
+        carries the planted assignment (``cluster``: 0 background, 1-3
+        planted) plus centers/covariances for ground-truth checks.
+    """
+    if not 0.0 <= flip_probability <= 1.0:
+        raise ValueError(f"flip_probability must be in [0, 1], got {flip_probability}")
+    rng = as_rng(seed)
+    n_clusters = 3
+    n = n_background + n_clusters * cluster_size
+
+    targets = np.empty((n, 2))
+    cluster_label = np.zeros(n, dtype=int)
+    targets[:n_background] = rng.standard_normal((n_background, 2))
+    row = n_background
+    for k in range(n_clusters):
+        block = rng.multivariate_normal(
+            cluster_center(k, distance), cluster_covariance(k), size=cluster_size
+        )
+        targets[row:row + cluster_size] = block
+        cluster_label[row:row + cluster_size] = k + 1
+        row += cluster_size
+
+    # Shuffle rows so nothing downstream can rely on block ordering.
+    order = rng.permutation(n)
+    targets = targets[order]
+    cluster_label = cluster_label[order]
+
+    labels = np.stack(
+        [(cluster_label == k + 1).astype(float) for k in range(n_clusters)], axis=1
+    )
+    noise = rng.integers(0, 2, size=(n, 2)).astype(float)
+    descriptions = np.concatenate([labels, noise], axis=1)
+
+    if flip_probability > 0.0:
+        flips = rng.random(descriptions.shape) < flip_probability
+        descriptions = np.where(flips, 1.0 - descriptions, descriptions)
+
+    columns = [
+        Column(f"attr{j + 3}", AttributeKind.BINARY, descriptions[:, j])
+        for j in range(descriptions.shape[1])
+    ]
+    metadata = {
+        "cluster": cluster_label,
+        "cluster_centers": np.stack([cluster_center(k, distance) for k in range(3)]),
+        "cluster_covariances": np.stack([cluster_covariance(k) for k in range(3)]),
+        "flip_probability": flip_probability,
+    }
+    return Dataset("synthetic", columns, targets, ["attr1", "attr2"], metadata)

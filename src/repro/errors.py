@@ -1,0 +1,64 @@
+"""Exception hierarchy for the SISD library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class DataError(ReproError):
+    """Raised when a dataset is malformed or inconsistent.
+
+    Examples: mismatched row counts between description and target blocks,
+    a column whose declared kind does not match its values, or an unknown
+    attribute name in a condition.
+    """
+
+
+class LanguageError(ReproError):
+    """Raised for invalid descriptions or conditions.
+
+    Examples: a numeric condition on a categorical attribute, an empty
+    value set for a categorical inclusion condition, or a malformed
+    serialized description string.
+    """
+
+
+class ModelError(ReproError):
+    """Raised when the background model is used or updated incorrectly.
+
+    Examples: updating with an empty extension, a non-positive-definite
+    prior covariance, or querying statistics before the model is fitted.
+    """
+
+
+class NotFittedError(ModelError):
+    """Raised when a model/miner method requires :meth:`fit` first."""
+
+
+class SearchError(ReproError):
+    """Raised when pattern search cannot proceed.
+
+    Examples: a beam search with zero admissible refinements at depth one,
+    or a spread search on a subgroup with fewer than two rows.
+    """
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative solver fails to converge.
+
+    Carries enough context (``iterations``, ``residual``) for callers to
+    decide whether to retry with looser tolerances.
+    """
+
+    def __init__(self, message: str, *, iterations: int | None = None,
+                 residual: float | None = None) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual

@@ -1,0 +1,56 @@
+"""Reproductions of every table and figure of the paper's evaluation.
+
+One module per experiment family; each exposes ``run_*`` functions that
+return plain-dataclass results and ``format_*`` helpers that render the
+same rows the paper reports. The benchmarks under ``benchmarks/`` and
+the CLI both call into this package, so the numbers in test logs, bench
+logs and terminal output always agree.
+"""
+
+from repro.experiments.crime_example import Fig1Result, run_fig1
+from repro.experiments.synthetic_exp import (
+    Fig2Result,
+    Fig3Result,
+    Table1Result,
+    run_fig2,
+    run_fig3,
+    run_table1,
+)
+from repro.experiments.mammals_exp import (
+    Fig4Result,
+    Fig5Result,
+    Fig6Result,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+)
+from repro.experiments.socio_exp import Fig7Result, Fig8Result, run_fig7, run_fig8
+from repro.experiments.water_exp import Fig9Result, Fig10Result, run_fig9, run_fig10
+from repro.experiments.runtime_exp import Table2Result, run_table2
+
+__all__ = [
+    "run_fig1",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_table1",
+    "run_table2",
+    "Fig1Result",
+    "Fig2Result",
+    "Fig3Result",
+    "Fig4Result",
+    "Fig5Result",
+    "Fig6Result",
+    "Fig7Result",
+    "Fig8Result",
+    "Fig9Result",
+    "Fig10Result",
+    "Table1Result",
+    "Table2Result",
+]

@@ -1,0 +1,45 @@
+"""Shared helpers for the experiment modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.schema import Dataset
+from repro.interest.dl import DLParams
+from repro.search.config import SearchConfig
+from repro.search.miner import SubgroupDiscovery
+
+#: The paper's search settings (§III): beam 40, depth 4, log 150, four
+#: percentile split points.
+PAPER_CONFIG = SearchConfig()
+
+#: The paper's DL weights (Remark 1): gamma = 0.1, eta = 1.
+PAPER_DL = DLParams()
+
+
+def make_miner(
+    dataset: Dataset,
+    *,
+    config: SearchConfig = PAPER_CONFIG,
+    dl_params: DLParams = PAPER_DL,
+    seed: int = 0,
+) -> SubgroupDiscovery:
+    """A miner configured exactly like the paper's experiments."""
+    return SubgroupDiscovery(dataset, config=config, dl_params=dl_params, seed=seed)
+
+
+def jaccard(a: np.ndarray, b: np.ndarray) -> float:
+    """Jaccard similarity of two boolean masks (planted-vs-found checks)."""
+    a = np.asarray(a, dtype=bool)
+    b = np.asarray(b, dtype=bool)
+    union = float(np.logical_or(a, b).sum())
+    if union == 0.0:
+        return 1.0
+    return float(np.logical_and(a, b).sum()) / union
+
+
+def mask_from_indices(indices: np.ndarray, n_rows: int) -> np.ndarray:
+    """Boolean mask from a sorted index array."""
+    mask = np.zeros(n_rows, dtype=bool)
+    mask[np.asarray(indices, dtype=int)] = True
+    return mask

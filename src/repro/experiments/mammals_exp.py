@@ -1,0 +1,235 @@
+"""§III-B mammal-data experiments: Figs. 4, 5 and 6.
+
+Binary presence targets make spread patterns uninformative (a Bernoulli
+variance is a function of its mean — the paper's observation), so this
+case study mines *location patterns only*:
+
+- Fig. 6: the top three location patterns across iterations; the paper
+  finds (a) cold-March northern Europe + Alps, (b) dry-August south,
+  (c) dry-October + warm-wettest-quarter east.
+- Fig. 5: for pattern 1, the five species most surprising by SI, with
+  the model's mean and 95% CI before and after assimilation.
+- Fig. 4: presence maps (here: presence statistics + text maps) of the
+  top three species of Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.mammals import make_mammals
+from repro.datasets.schema import Dataset
+from repro.experiments.common import jaccard, make_miner, mask_from_indices
+from repro.interest.attribution import AttributeSurprisal, attribute_surprisals
+from repro.report.ascii import text_map
+from repro.report.tables import format_table
+from repro.search.miner import SubgroupDiscovery
+from repro.search.results import LocationPatternResult
+
+#: Planted regions the paper's three patterns should align with.
+def planted_regions(dataset: Dataset) -> dict[str, np.ndarray]:
+    """Ground-truth masks for the three climate regimes (§III-B)."""
+    tmp_mar = dataset.column("tmp_mar").values
+    rain_aug = dataset.column("rain_aug").values
+    rain_oct = dataset.column("rain_oct").values
+    warm_wet = dataset.column("mean_temp_wettest_quarter").values
+    return {
+        "cold_march": tmp_mar <= -1.68,
+        "dry_august": rain_aug <= 47.62,
+        "dry_october_warm": (rain_oct <= 45.25) & (warm_wet >= 16.32),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Fig. 6: the three location patterns
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Fig6Pattern:
+    index: int
+    intention: str
+    size: int
+    coverage: float
+    si: float
+    best_region: str
+    jaccard_with_region: float
+    map_text: str
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    patterns: tuple[Fig6Pattern, ...]
+
+    def format(self, *, with_maps: bool = False) -> str:
+        """Render the reproduced rows as a fixed-width text table."""
+        rows = [
+            (p.index, p.intention, p.size, p.coverage, p.si,
+             p.best_region, p.jaccard_with_region)
+            for p in self.patterns
+        ]
+        out = format_table(
+            ["iter", "intention", "n", "coverage", "SI", "region", "jaccard"],
+            rows,
+            floatfmt=".3f",
+            title="Fig. 6: top location patterns on the mammal data",
+        )
+        if with_maps:
+            maps = "\n\n".join(
+                f"pattern {p.index}: {p.intention}\n{p.map_text}"
+                for p in self.patterns
+            )
+            out = f"{out}\n\n{maps}"
+        return out
+
+
+def _mine_mammal_patterns(
+    seed: int, n_iterations: int
+) -> tuple[Dataset, SubgroupDiscovery, list[LocationPatternResult]]:
+    dataset = make_mammals(seed)
+    miner = make_miner(dataset)
+    patterns = [it.location for it in miner.run(n_iterations, kind="location")]
+    return dataset, miner, patterns
+
+
+def run_fig6(seed: int = 0, n_iterations: int = 3) -> Fig6Result:
+    """Three iterations of location mining; match each against regions."""
+    dataset, _miner, patterns = _mine_mammal_patterns(seed, n_iterations)
+    regions = planted_regions(dataset)
+    lat = np.asarray(dataset.metadata["lat"])
+    lon = np.asarray(dataset.metadata["lon"])
+
+    results = []
+    for k, pattern in enumerate(patterns, start=1):
+        mask = mask_from_indices(pattern.indices, dataset.n_rows)
+        similarity = {name: jaccard(mask, region) for name, region in regions.items()}
+        best_region = max(similarity, key=similarity.get)
+        results.append(
+            Fig6Pattern(
+                index=k,
+                intention=str(pattern.description),
+                size=pattern.size,
+                coverage=pattern.coverage,
+                si=pattern.si,
+                best_region=best_region,
+                jaccard_with_region=similarity[best_region],
+                map_text=text_map(lat, lon, mask, width=60, height=18),
+            )
+        )
+    return Fig6Result(tuple(results))
+
+
+# --------------------------------------------------------------------- #
+# Fig. 5: most surprising species of pattern 1
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Fig5Result:
+    intention: str
+    top_species: tuple[AttributeSurprisal, ...]   # before assimilation
+    after_update: tuple[AttributeSurprisal, ...]  # same species, after
+    si: float
+
+    def format(self) -> str:
+        """Render the reproduced rows as a fixed-width text table."""
+        rows = []
+        for before, after in zip(self.top_species, self.after_update):
+            lo, hi = before.ci95
+            rows.append(
+                (
+                    before.name,
+                    before.observed,
+                    before.expected,
+                    f"[{lo:.3f}, {hi:.3f}]",
+                    after.expected,
+                )
+            )
+        return format_table(
+            ["species", "observed", "model mean", "model 95% CI", "updated mean"],
+            rows,
+            floatfmt=".3f",
+            title=f"Fig. 5: most surprising species for pattern '{self.intention}'",
+        )
+
+
+def run_fig5(seed: int = 0, *, n_top: int = 5) -> Fig5Result:
+    """Species ranking for the first mammal pattern, before/after update."""
+    dataset = make_mammals(seed)
+    miner = make_miner(dataset)
+    pattern = miner.find_location()
+    before = attribute_surprisals(
+        miner.model, pattern.indices, pattern.mean, names=dataset.target_names
+    )[:n_top]
+    miner.assimilate(pattern)
+    after_all = {
+        record.name: record
+        for record in attribute_surprisals(
+            miner.model, pattern.indices, pattern.mean, names=dataset.target_names
+        )
+    }
+    after = tuple(after_all[record.name] for record in before)
+    return Fig5Result(
+        intention=str(pattern.description),
+        top_species=tuple(before),
+        after_update=after,
+        si=pattern.si,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Fig. 4: presence maps of the top species
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Fig4Species:
+    name: str
+    prevalence: float            # overall presence rate
+    prevalence_inside: float     # within the pattern's extension
+    prevalence_outside: float
+    map_text: str
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    intention: str
+    species: tuple[Fig4Species, ...]
+
+    def format(self, *, with_maps: bool = False) -> str:
+        """Render the reproduced rows as a fixed-width text table."""
+        rows = [
+            (s.name, s.prevalence, s.prevalence_inside, s.prevalence_outside)
+            for s in self.species
+        ]
+        out = format_table(
+            ["species", "overall", "inside pattern", "outside"],
+            rows,
+            floatfmt=".3f",
+            title=f"Fig. 4: presence of the top species ('{self.intention}')",
+        )
+        if with_maps:
+            maps = "\n\n".join(f"{s.name}\n{s.map_text}" for s in self.species)
+            out = f"{out}\n\n{maps}"
+        return out
+
+
+def run_fig4(seed: int = 0, *, n_species: int = 3) -> Fig4Result:
+    """Presence statistics and text maps for Fig. 5's top species."""
+    fig5 = run_fig5(seed, n_top=n_species)
+    dataset = make_mammals(seed)
+    miner = make_miner(dataset)
+    pattern = miner.find_location()
+    mask = mask_from_indices(pattern.indices, dataset.n_rows)
+    lat = np.asarray(dataset.metadata["lat"])
+    lon = np.asarray(dataset.metadata["lon"])
+
+    species = []
+    for record in fig5.top_species:
+        presence = dataset.targets[:, record.index] > 0.5
+        species.append(
+            Fig4Species(
+                name=record.name,
+                prevalence=float(presence.mean()),
+                prevalence_inside=float(presence[mask].mean()),
+                prevalence_outside=float(presence[~mask].mean()),
+                map_text=text_map(lat, lon, presence, width=60, height=18),
+            )
+        )
+    return Fig4Result(intention=fig5.intention, species=tuple(species))

@@ -1,0 +1,18 @@
+"""Subjective interestingness: IC, DL, and their ratio SI (§II-C)."""
+
+from repro.interest.dl import DLParams, description_length
+from repro.interest.ic import location_ic, spread_ic
+from repro.interest.si import PatternScore, score_location, score_spread
+from repro.interest.attribution import AttributeSurprisal, attribute_surprisals
+
+__all__ = [
+    "DLParams",
+    "description_length",
+    "location_ic",
+    "spread_ic",
+    "PatternScore",
+    "score_location",
+    "score_spread",
+    "AttributeSurprisal",
+    "attribute_surprisals",
+]

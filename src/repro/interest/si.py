@@ -1,0 +1,58 @@
+"""Subjective Interestingness: SI = IC / DL (Eqs. 14 and 20)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.interest.dl import LOCATION, SPREAD, DLParams, description_length
+from repro.interest.ic import location_ic, spread_ic
+from repro.model.background import BackgroundModel
+
+
+@dataclass(frozen=True)
+class PatternScore:
+    """A scored pattern: information content, description length, ratio.
+
+    SI may be negative: the IC is a negative log *density*, which is
+    negative wherever the density exceeds 1 (the paper notes this after
+    Table I). Only the ranking of SI values carries meaning.
+    """
+
+    ic: float
+    dl: float
+
+    @property
+    def si(self) -> float:
+        return self.ic / self.dl
+
+
+def score_location(
+    model: BackgroundModel,
+    indices,
+    observed_mean: np.ndarray,
+    n_conditions: int,
+    *,
+    params: DLParams = DLParams(),
+) -> PatternScore:
+    """Eq. 14: SI of a location pattern."""
+    ic = location_ic(model, indices, observed_mean)
+    dl = description_length(n_conditions, kind=LOCATION, params=params)
+    return PatternScore(ic=ic, dl=dl)
+
+
+def score_spread(
+    model: BackgroundModel,
+    indices,
+    direction: np.ndarray,
+    observed_variance: float,
+    center: np.ndarray,
+    n_conditions: int,
+    *,
+    params: DLParams = DLParams(),
+) -> PatternScore:
+    """Eq. 20: SI of a spread pattern (DL has the extra ``+1`` term)."""
+    ic = spread_ic(model, indices, direction, observed_variance, center)
+    dl = description_length(n_conditions, kind=SPREAD, params=params)
+    return PatternScore(ic=ic, dl=dl)

@@ -1,0 +1,23 @@
+"""The subgroup description language.
+
+Subgroup *intentions* are conjunctions of conditions on description
+attributes (§II-A): inequality conditions on numeric/ordinal attributes,
+equality conditions on categorical/binary ones. This package provides the
+condition types, the conjunction (:class:`Description`) with a canonical
+form, percentile-based discretization of numeric attributes, and the
+refinement operator that beam search expands with.
+"""
+
+from repro.lang.conditions import Condition, EqualsCondition, NumericCondition
+from repro.lang.description import Description
+from repro.lang.discretize import split_points
+from repro.lang.refinement import RefinementOperator
+
+__all__ = [
+    "Condition",
+    "EqualsCondition",
+    "NumericCondition",
+    "Description",
+    "split_points",
+    "RefinementOperator",
+]

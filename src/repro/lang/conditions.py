@@ -1,0 +1,120 @@
+"""Atomic conditions on description attributes.
+
+Two condition families, matching §II-A of the paper and the Cortana
+search settings of §III ("descriptions on numerical metadata are based on
+>= and <= relations"):
+
+- :class:`NumericCondition` — ``attribute <= t`` or ``attribute >= t``
+  for numeric and ordinal attributes;
+- :class:`EqualsCondition` — ``attribute == v`` for categorical and
+  binary attributes.
+
+Conditions are immutable and hashable so they can be deduplicated, used
+as cache keys for their row masks, and stored in canonical descriptions.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.schema import AttributeKind, Dataset
+from repro.errors import LanguageError
+
+#: Operators allowed in numeric conditions.
+LE = "<="
+GE = ">="
+
+
+class Condition(abc.ABC):
+    """A single test on one description attribute."""
+
+    attribute: str
+
+    @abc.abstractmethod
+    def mask(self, dataset: Dataset) -> np.ndarray:
+        """Boolean row mask of the data points satisfying the condition."""
+
+    @abc.abstractmethod
+    def sort_key(self) -> tuple:
+        """Total order used by canonicalization (attribute-major)."""
+
+    def __str__(self) -> str:  # pragma: no cover - delegated to subclasses
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class NumericCondition(Condition):
+    """``attribute <= threshold`` or ``attribute >= threshold``."""
+
+    attribute: str
+    op: str
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if self.op not in (LE, GE):
+            raise LanguageError(f"numeric op must be '<=' or '>=', got {self.op!r}")
+        threshold = float(self.threshold)
+        if not np.isfinite(threshold):
+            raise LanguageError(f"threshold must be finite, got {threshold}")
+        object.__setattr__(self, "threshold", threshold)
+
+    def mask(self, dataset: Dataset) -> np.ndarray:
+        column = dataset.column(self.attribute)
+        if not column.kind.is_orderable:
+            raise LanguageError(
+                f"numeric condition on {column.kind.value} attribute {self.attribute!r}"
+            )
+        if self.op == LE:
+            return column.values <= self.threshold
+        return column.values >= self.threshold
+
+    def sort_key(self) -> tuple:
+        return (self.attribute, 0, self.op, self.threshold)
+
+    def __str__(self) -> str:
+        return f"{self.attribute} {self.op} {self.threshold:.6g}"
+
+
+@dataclass(frozen=True)
+class EqualsCondition(Condition):
+    """``attribute == value`` for categorical/binary attributes.
+
+    For binary attributes the value is stored as a float (0.0/1.0) and
+    rendered in the paper's quoted style, e.g. ``attr3 = '1'``.
+    """
+
+    attribute: str
+    value: object
+
+    def __post_init__(self) -> None:
+        value = self.value
+        if isinstance(value, (int, float, np.integer, np.floating)):
+            value = float(value)
+            if not np.isfinite(value):
+                raise LanguageError(f"value must be finite, got {value}")
+        else:
+            value = str(value)
+        object.__setattr__(self, "value", value)
+
+    def mask(self, dataset: Dataset) -> np.ndarray:
+        column = dataset.column(self.attribute)
+        if column.kind is AttributeKind.BINARY:
+            return column.values == float(self.value)
+        if column.kind is AttributeKind.CATEGORICAL:
+            return column.values == str(self.value)
+        raise LanguageError(
+            f"equality condition on {column.kind.value} attribute {self.attribute!r}"
+        )
+
+    def sort_key(self) -> tuple:
+        return (self.attribute, 1, "==", str(self.value))
+
+    def __str__(self) -> str:
+        if isinstance(self.value, float):
+            rendered = f"{self.value:g}"
+        else:
+            rendered = str(self.value)
+        return f"{self.attribute} = '{rendered}'"

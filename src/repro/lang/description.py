@@ -1,0 +1,148 @@
+"""Conjunctive subgroup descriptions (intentions) with a canonical form.
+
+A :class:`Description` is an immutable conjunction of conditions. Its
+*canonical form* merges redundant bounds (keep the tightest ``<=`` and
+``>=`` per attribute), deduplicates conditions, and sorts them, so that
+syntactically different but logically identical intentions compare equal.
+Beam search relies on this to avoid re-scoring the same subgroup under
+many spellings, and the description length (DL) of the SI measure counts
+canonical conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.datasets.schema import Dataset
+from repro.errors import LanguageError
+from repro.lang.conditions import GE, LE, Condition, EqualsCondition, NumericCondition
+
+
+@dataclass(frozen=True)
+class Description:
+    """An immutable conjunction of :class:`Condition` objects.
+
+    The empty description is the always-true intention covering the full
+    data; it renders as ``<all>``.
+    """
+
+    conditions: tuple[Condition, ...] = ()
+
+    def __post_init__(self) -> None:
+        conditions = tuple(self.conditions)
+        for condition in conditions:
+            if not isinstance(condition, Condition):
+                raise LanguageError(
+                    f"expected Condition, got {type(condition).__name__}"
+                )
+        object.__setattr__(self, "conditions", conditions)
+
+    # ------------------------------------------------------------------ #
+    # Basic container behaviour
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.conditions)
+
+    def __iter__(self) -> Iterator[Condition]:
+        return iter(self.conditions)
+
+    def __str__(self) -> str:
+        if not self.conditions:
+            return "<all>"
+        return " AND ".join(str(c) for c in self.conditions)
+
+    @property
+    def attributes(self) -> set[str]:
+        """Names of all attributes the description conditions on."""
+        return {c.attribute for c in self.conditions}
+
+    def with_condition(self, condition: Condition) -> "Description":
+        """A new description with one more conjunct (not canonicalized)."""
+        return Description(self.conditions + (condition,))
+
+    # ------------------------------------------------------------------ #
+    # Canonical form
+    # ------------------------------------------------------------------ #
+    def canonical(self) -> "Description":
+        """Sorted, deduplicated, bound-merged equivalent description.
+
+        - several ``attr <= t`` conjuncts collapse to the smallest ``t``;
+        - several ``attr >= t`` conjuncts collapse to the largest ``t``;
+        - duplicate equality conditions collapse to one.
+
+        Contradictions (empty numeric interval, two different equality
+        values on one attribute) are *kept* — the description simply has
+        an empty extension; :meth:`is_contradictory` detects them.
+        """
+        upper: dict[str, NumericCondition] = {}
+        lower: dict[str, NumericCondition] = {}
+        equals: dict[tuple[str, str], EqualsCondition] = {}
+        for condition in self.conditions:
+            if isinstance(condition, NumericCondition):
+                book = upper if condition.op == LE else lower
+                best = book.get(condition.attribute)
+                if best is None:
+                    book[condition.attribute] = condition
+                elif condition.op == LE and condition.threshold < best.threshold:
+                    book[condition.attribute] = condition
+                elif condition.op == GE and condition.threshold > best.threshold:
+                    book[condition.attribute] = condition
+            elif isinstance(condition, EqualsCondition):
+                equals.setdefault((condition.attribute, str(condition.value)), condition)
+            else:  # pragma: no cover - future condition types
+                raise LanguageError(
+                    f"cannot canonicalize condition type {type(condition).__name__}"
+                )
+        merged: list[Condition] = list(upper.values()) + list(lower.values())
+        merged.extend(equals.values())
+        merged.sort(key=lambda c: c.sort_key())
+        return Description(tuple(merged))
+
+    def is_contradictory(self) -> bool:
+        """True if the canonical form provably has an empty extension."""
+        canon = self.canonical()
+        lower: dict[str, float] = {}
+        upper: dict[str, float] = {}
+        seen_equals: dict[str, str] = {}
+        for condition in canon.conditions:
+            if isinstance(condition, NumericCondition):
+                if condition.op == LE:
+                    upper[condition.attribute] = condition.threshold
+                else:
+                    lower[condition.attribute] = condition.threshold
+            elif isinstance(condition, EqualsCondition):
+                value = str(condition.value)
+                if seen_equals.setdefault(condition.attribute, value) != value:
+                    return True
+        return any(
+            attribute in upper and lower[attribute] > upper[attribute]
+            for attribute in lower
+        )
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def matches(self, dataset: Dataset) -> np.ndarray:
+        """Boolean extension mask over the dataset's rows."""
+        mask = np.ones(dataset.n_rows, dtype=bool)
+        for condition in self.conditions:
+            mask &= condition.mask(dataset)
+            if not mask.any():
+                break
+        return mask
+
+    def extension(self, dataset: Dataset) -> np.ndarray:
+        """Sorted row indices of the subgroup extension."""
+        return np.flatnonzero(self.matches(dataset))
+
+    def coverage(self, dataset: Dataset) -> float:
+        """Fraction of rows the description covers."""
+        return float(self.matches(dataset).mean())
+
+
+def conjunction(conditions: Iterable[Condition]) -> Description:
+    """Convenience constructor: canonical description from any iterable."""
+    return Description(tuple(conditions)).canonical()

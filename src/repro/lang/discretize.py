@@ -1,0 +1,78 @@
+"""Split-point computation for numeric and ordinal attributes.
+
+The paper's search settings (§III): "descriptions on numerical metadata
+are based on >= and <= relations with four split points (1/5-4/5
+percentiles)". :func:`split_points` implements that default and two
+alternatives (equal-width bins, all distinct ordinal levels) used by the
+beam-parameter ablation bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.schema import AttributeKind, Column
+from repro.errors import LanguageError
+
+
+def split_points(
+    column: Column,
+    *,
+    n_split_points: int = 4,
+    strategy: str = "percentile",
+) -> np.ndarray:
+    """Candidate thresholds for inequality conditions on ``column``.
+
+    Parameters
+    ----------
+    column:
+        A numeric or ordinal column.
+    n_split_points:
+        Number of thresholds for the ``percentile``/``width`` strategies
+        (the paper uses 4 -> 20/40/60/80th percentiles). Ignored for
+        ``levels``.
+    strategy:
+        - ``percentile``: evenly spaced interior percentiles (default);
+        - ``width``: evenly spaced values between min and max;
+        - ``levels``: every distinct value (natural for ordinal data).
+
+    Returns
+    -------
+    numpy.ndarray
+        Sorted unique thresholds, each strictly inside the column's value
+        range (thresholds at the extremes would yield conditions that are
+        trivially true in one direction).
+
+    Notes
+    -----
+    Ordinal columns always use their distinct levels regardless of
+    ``strategy``: percentiles of a column holding the levels 0/1/3/5
+    would fabricate thresholds like 2.6 that no expert coded.
+    """
+    if not column.kind.is_orderable:
+        raise LanguageError(
+            f"split points undefined for {column.kind.value} attribute {column.name!r}"
+        )
+    if n_split_points < 1:
+        raise LanguageError(f"n_split_points must be >= 1, got {n_split_points}")
+
+    values = column.values
+    lo, hi = float(values.min()), float(values.max())
+    if lo == hi:
+        return np.empty(0)
+
+    if column.kind is AttributeKind.ORDINAL or strategy == "levels":
+        candidates = np.unique(values)
+    elif strategy == "percentile":
+        qs = 100.0 * np.arange(1, n_split_points + 1) / (n_split_points + 1)
+        candidates = np.percentile(values, qs)
+    elif strategy == "width":
+        candidates = np.linspace(lo, hi, n_split_points + 2)[1:-1]
+    else:
+        raise LanguageError(f"unknown split strategy {strategy!r}")
+
+    unique = np.unique(candidates)
+    # Keep thresholds that split the data: strictly above the minimum for
+    # "<=" usefulness is not required (x <= lo selects the minimum rows),
+    # but thresholds outside (lo, hi] on both sides are useless.
+    return unique[(unique >= lo) & (unique <= hi)]

@@ -1,0 +1,138 @@
+"""Refinement operator: the candidate-generation step of beam search.
+
+Builds the pool of atomic conditions for a dataset (inequalities at the
+discretized split points for numeric/ordinal attributes, equalities for
+categorical/binary ones) and expands a description by one condition at a
+time. Condition row-masks are memoized here, so the beam search can
+evaluate a refinement as ``parent_mask & mask_of(condition)`` — one
+vectorized AND per candidate instead of re-testing every conjunct.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.datasets.schema import AttributeKind, Dataset
+from repro.errors import LanguageError
+from repro.lang.conditions import GE, LE, Condition, EqualsCondition, NumericCondition
+from repro.lang.description import Description
+from repro.lang.discretize import split_points
+
+
+class RefinementOperator:
+    """Generates one-condition refinements of descriptions over a dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The data whose description attributes define the language.
+    n_split_points:
+        Number of thresholds per numeric attribute (paper default: 4).
+    strategy:
+        Split-point strategy, see :func:`repro.lang.discretize.split_points`.
+    attributes:
+        Optional subset of description attributes to condition on.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        *,
+        n_split_points: int = 4,
+        strategy: str = "percentile",
+        attributes: Sequence[str] | None = None,
+    ) -> None:
+        self.dataset = dataset
+        names = list(attributes) if attributes is not None else dataset.description_names
+        for name in names:
+            dataset.column(name)  # raises DataError on unknown names
+        self._pool: list[Condition] = self._build_pool(names, n_split_points, strategy)
+        self._mask_cache: dict[Condition, np.ndarray] = {}
+
+    def _build_pool(
+        self, names: Sequence[str], n_split_points: int, strategy: str
+    ) -> list[Condition]:
+        pool: list[Condition] = []
+        for name in names:
+            column = self.dataset.column(name)
+            if column.is_constant():
+                continue  # no condition on a constant column can split the data
+            if column.kind.is_orderable:
+                thresholds = split_points(
+                    column, n_split_points=n_split_points, strategy=strategy
+                )
+                lo, hi = float(column.values.min()), float(column.values.max())
+                for t in thresholds:
+                    # "x <= max" and "x >= min" are trivially true; skip them.
+                    if t < hi:
+                        pool.append(NumericCondition(name, LE, float(t)))
+                    if t > lo:
+                        pool.append(NumericCondition(name, GE, float(t)))
+            elif column.kind in (AttributeKind.CATEGORICAL, AttributeKind.BINARY):
+                for value in column.domain():
+                    pool.append(EqualsCondition(name, value))
+            else:  # pragma: no cover - enum is exhaustive
+                raise LanguageError(f"unsupported attribute kind {column.kind}")
+        return pool
+
+    # ------------------------------------------------------------------ #
+    # Pool access
+    # ------------------------------------------------------------------ #
+    @property
+    def conditions(self) -> list[Condition]:
+        """The full candidate-condition pool (copy)."""
+        return list(self._pool)
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+    def mask_of(self, condition: Condition) -> np.ndarray:
+        """Memoized boolean row mask of one condition."""
+        cached = self._mask_cache.get(condition)
+        if cached is None:
+            cached = condition.mask(self.dataset)
+            cached.setflags(write=False)
+            self._mask_cache[condition] = cached
+        return cached
+
+    def extension_mask(self, description: Description) -> np.ndarray:
+        """Extension mask of a description using the memoized conditions."""
+        mask = np.ones(self.dataset.n_rows, dtype=bool)
+        for condition in description.conditions:
+            mask = mask & self.mask_of(condition)
+            if not mask.any():
+                break
+        return mask
+
+    # ------------------------------------------------------------------ #
+    # Refinement
+    # ------------------------------------------------------------------ #
+    def refinements(
+        self, description: Description
+    ) -> Iterator[tuple[Description, Condition]]:
+        """Yield ``(refined_description, added_condition)`` pairs.
+
+        Refinements that do not change the canonical form (e.g. adding a
+        looser bound on an already-bounded attribute) and refinements
+        that are syntactically contradictory are skipped. Extensions are
+        *not* computed here; the caller combines its cached parent mask
+        with ``mask_of(added_condition)``.
+        """
+        parent = description.canonical()
+        equality_bound = {
+            c.attribute for c in parent.conditions if isinstance(c, EqualsCondition)
+        }
+        for condition in self._pool:
+            if isinstance(condition, EqualsCondition):
+                if condition.attribute in equality_bound:
+                    # A conjunction with two equalities on one attribute is
+                    # either redundant or empty; never useful.
+                    continue
+            refined = parent.with_condition(condition).canonical()
+            if refined == parent:
+                continue
+            if refined.is_contradictory():
+                continue
+            yield refined, condition

@@ -1,0 +1,31 @@
+"""The FORSIED background model over real-valued targets.
+
+The user's belief state is a product of per-point multivariate normal
+distributions (Eq. 4 of the paper). Assimilating a pattern updates the
+parameters of the points in the pattern's extension by the KL-minimal
+(minimum discrimination information) amount:
+
+- location patterns: Theorem 1 — means shift so the expected subgroup
+  mean equals the observed one;
+- spread patterns: Theorem 2 — a rank-one Sherman-Morrison correction
+  along the pattern's direction, with the multiplier solved from Eq. 12.
+
+Points that have undergone the same sequence of updates share parameters
+(the paper's footnote 2); :class:`BlockPartition` tracks the coarsest
+such partition so all computation is per-block.
+"""
+
+from repro.model.background import BackgroundModel
+from repro.model.blocks import BlockPartition
+from repro.model.patterns import LocationConstraint, PatternConstraint, SpreadConstraint
+from repro.model.priors import Prior, empirical_prior
+
+__all__ = [
+    "BackgroundModel",
+    "BlockPartition",
+    "LocationConstraint",
+    "PatternConstraint",
+    "SpreadConstraint",
+    "Prior",
+    "empirical_prior",
+]

@@ -1,0 +1,228 @@
+"""MaxEnt background model for *binary* targets (the paper's §V future work).
+
+The paper treats binary presence/absence targets (the mammal data) with
+the Gaussian model and notes both that spread patterns degenerate there
+(a Bernoulli's variance is a function of its mean) and that "the
+attributes are binary is another form of background knowledge that could
+in principle be incorporated into the method, but it would lead to
+different derivations". These are those derivations.
+
+Model. The MaxEnt distribution over {0,1}^(n x d) subject to expected
+column means is a product of independent Bernoullis, one probability per
+(point, attribute); like the Gaussian case, points sharing an update
+history share parameters (a block partition).
+
+Location update. Assimilating a subgroup-mean constraint
+``E[f_I(Y)_j] = phat_j`` by minimum-KL tilts each attribute's log-odds by
+a common amount inside the extension:
+
+    p'_(ij) = sigmoid( logit(p_(ij)) + lam_j ),   i in I,
+
+with ``lam_j`` the unique root of the monotone equation
+``mean_(i in I) p'_(ij) = phat_j`` (solved by Brent). This is the exact
+Bernoulli analogue of Theorem 1.
+
+Information content. Under the model the subgroup mean per attribute is
+a (scaled) Poisson-binomial; matching its first two moments with a
+normal — exact mean ``mean(p_ij)``, exact variance
+``sum p_ij (1 - p_ij) / |I|^2`` — gives the IC used here, the direct
+analogue of Eq. 13 restricted to the (independent) binary setting.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import optimize
+
+from repro.errors import ModelError
+from repro.model.blocks import BlockPartition
+from repro.model.patterns import LocationConstraint
+
+#: Probabilities are clamped inside (EPS, 1-EPS): a subgroup whose
+#: observed mean is exactly 0 or 1 would need an infinite tilt.
+_EPS = 1e-9
+_LOG_2PI = math.log(2.0 * math.pi)
+
+
+def _logit(p: np.ndarray) -> np.ndarray:
+    return np.log(p) - np.log1p(-p)
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -700.0, 700.0)))
+
+
+class BernoulliBackgroundModel:
+    """Belief state over an ``(n, d)`` binary target matrix.
+
+    Parameters
+    ----------
+    n_rows:
+        Number of data points.
+    prior_means:
+        Expected value of each target attribute (the user's prior,
+        typically the empirical column means) — clamped into
+        ``(1e-9, 1 - 1e-9)``.
+    """
+
+    def __init__(self, n_rows: int, prior_means: np.ndarray) -> None:
+        if n_rows <= 0:
+            raise ModelError(f"n_rows must be positive, got {n_rows}")
+        prior = np.asarray(prior_means, dtype=float)
+        if prior.ndim != 1 or prior.size == 0:
+            raise ModelError("prior_means must be a non-empty 1-D array")
+        if np.any(prior < 0.0) or np.any(prior > 1.0):
+            raise ModelError("prior means must lie in [0, 1]")
+        self.prior = np.clip(prior, _EPS, 1.0 - _EPS)
+        self._n_rows = n_rows
+        self._partition = BlockPartition(n_rows)
+        self._probs: list[np.ndarray] = [self.prior.copy()]
+        self._constraints: list[LocationConstraint] = []
+
+    # ------------------------------------------------------------------ #
+    # Constructors / introspection
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_targets(cls, targets: np.ndarray) -> "BernoulliBackgroundModel":
+        """Model with the empirical column means as the prior."""
+        targets = np.asarray(targets, dtype=float)
+        if targets.ndim == 1:
+            targets = targets[:, None]
+        if not np.isin(targets, (0.0, 1.0)).all():
+            raise ModelError("targets must be binary (0/1)")
+        return cls(targets.shape[0], targets.mean(axis=0))
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def dim(self) -> int:
+        return int(self.prior.shape[0])
+
+    @property
+    def n_blocks(self) -> int:
+        return self._partition.n_blocks
+
+    @property
+    def constraints(self) -> tuple[LocationConstraint, ...]:
+        return tuple(self._constraints)
+
+    def block_probs(self, block: int) -> np.ndarray:
+        """Per-attribute success probabilities of one block (copy)."""
+        return self._probs[block].copy()
+
+    def point_probs(self) -> np.ndarray:
+        """``(n, d)`` matrix of per-point success probabilities."""
+        return np.stack(self._probs)[self._partition.labels]
+
+    # ------------------------------------------------------------------ #
+    # Subgroup expectations
+    # ------------------------------------------------------------------ #
+    def _as_mask(self, indices) -> np.ndarray:
+        arr = np.asarray(indices)
+        if arr.dtype == bool:
+            if arr.shape != (self._n_rows,):
+                raise ModelError(f"mask must have shape ({self._n_rows},)")
+            mask = arr
+        else:
+            mask = np.zeros(self._n_rows, dtype=bool)
+            mask[arr.astype(np.int64)] = True
+        if not mask.any():
+            raise ModelError("subgroup extension is empty")
+        return mask
+
+    def subgroup_mean_moments(self, indices) -> tuple[np.ndarray, np.ndarray]:
+        """Mean and variance of ``f_I(Y)`` per attribute (Poisson-binomial)."""
+        mask = self._as_mask(indices)
+        counts = self._partition.counts_in(mask).astype(float)
+        size = counts.sum()
+        probs = np.stack(self._probs)          # (B, d)
+        mean = counts @ probs / size
+        variance = counts @ (probs * (1.0 - probs)) / size**2
+        return mean, variance
+
+    def expected_subgroup_mean(self, indices) -> np.ndarray:
+        """``E[f_I(Y)]`` per attribute under the current model."""
+        return self.subgroup_mean_moments(indices)[0]
+
+    # ------------------------------------------------------------------ #
+    # Location update (Bernoulli analogue of Theorem 1)
+    # ------------------------------------------------------------------ #
+    def assimilate(self, constraint: LocationConstraint) -> "BernoulliBackgroundModel":
+        """KL-minimal update enforcing the subgroup's observed mean."""
+        if constraint.mean.shape[0] != self.dim:
+            raise ModelError(
+                f"constraint dimension {constraint.mean.shape[0]} != {self.dim}"
+            )
+        if np.any(constraint.mean < 0.0) or np.any(constraint.mean > 1.0):
+            raise ModelError("binary location constraint mean must be in [0, 1]")
+        mask = constraint.mask(self._n_rows)
+        created = self._partition.split(mask)
+        for old_label in sorted(created, key=created.get):
+            if created[old_label] != len(self._probs):
+                raise ModelError("partition and parameter store out of sync")
+            self._probs.append(self._probs[old_label].copy())
+
+        counts = self._partition.counts_in(mask).astype(float)
+        inside = np.flatnonzero(counts)
+        size = counts.sum()
+        target = np.clip(constraint.mean, _EPS, 1.0 - _EPS)
+        logits = np.stack([_logit(self._probs[b]) for b in inside])  # (B_in, d)
+        weights = counts[inside][:, None]
+
+        for j in range(self.dim):
+            col_logits = logits[:, j]
+
+            def gap(lam: float) -> float:
+                return float(
+                    (weights[:, 0] * _sigmoid(col_logits + lam)).sum() / size
+                    - target[j]
+                )
+
+            # gap is strictly increasing in lam, from -target to 1-target.
+            lo, hi = -1.0, 1.0
+            while gap(lo) > 0.0 and lo > -750.0:
+                lo *= 2.0
+            while gap(hi) < 0.0 and hi < 750.0:
+                hi *= 2.0
+            lam = float(optimize.brentq(gap, lo, hi, xtol=1e-13))
+            for row, b in enumerate(inside):
+                self._probs[b][j] = float(_sigmoid(logits[row, j] + lam))
+
+        self._constraints.append(constraint)
+        return self
+
+    def constraint_residual(self, constraint: LocationConstraint) -> float:
+        """Max absolute gap between expected and specified subgroup mean."""
+        expected = self.expected_subgroup_mean(constraint.indices)
+        return float(np.abs(expected - np.clip(constraint.mean, _EPS, 1 - _EPS)).max())
+
+    # ------------------------------------------------------------------ #
+    # Information content (Eq. 13 analogue)
+    # ------------------------------------------------------------------ #
+    def location_ic(self, indices, observed_mean: np.ndarray) -> float:
+        """IC of a location pattern under the Bernoulli model.
+
+        Normal approximation of the (independent) Poisson-binomial
+        subgroup means, matching exact first and second moments.
+        """
+        observed = np.asarray(observed_mean, dtype=float)
+        if observed.shape != (self.dim,):
+            raise ModelError(f"observed_mean must have shape ({self.dim},)")
+        mean, variance = self.subgroup_mean_moments(indices)
+        variance = np.maximum(variance, 1e-300)
+        z2 = (observed - mean) ** 2 / variance
+        return float(0.5 * np.sum(_LOG_2PI + np.log(variance) + z2))
+
+    def copy(self) -> "BernoulliBackgroundModel":
+        """Deep copy (independent partition and probability store)."""
+        clone = BernoulliBackgroundModel(self._n_rows, self.prior)
+        clone._partition = BlockPartition(self._n_rows)
+        clone._partition._labels[:] = self._partition.labels
+        clone._partition._n_blocks = self._partition.n_blocks
+        clone._probs = [p.copy() for p in self._probs]
+        clone._constraints = list(self._constraints)
+        return clone

@@ -1,0 +1,123 @@
+"""Pattern constraints: what assimilating a pattern tells the model.
+
+These records carry exactly the information the background model needs
+to perform its KL-minimal update — the extension and the communicated
+statistics — independent of how the pattern was found or described.
+The search layer wraps them together with intentions and SI scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.utils.validation import check_unit_vector, check_vector
+
+
+def _normalize_indices(indices, n_rows: int | None = None) -> np.ndarray:
+    """Accept a boolean mask or an index array; return sorted unique indices."""
+    arr = np.asarray(indices)
+    if arr.dtype == bool:
+        arr = np.flatnonzero(arr)
+    else:
+        arr = np.unique(arr.astype(np.int64))
+    if arr.size == 0:
+        raise ModelError("pattern extension must be non-empty")
+    if arr.min() < 0:
+        raise ModelError("pattern extension contains negative indices")
+    if n_rows is not None and arr.max() >= n_rows:
+        raise ModelError(
+            f"pattern extension index {arr.max()} out of range for {n_rows} rows"
+        )
+    arr.setflags(write=False)
+    return arr
+
+
+@dataclass(frozen=True)
+class LocationConstraint:
+    """A location pattern (§II-A): subgroup extension + its mean vector."""
+
+    indices: np.ndarray
+    mean: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "indices", _normalize_indices(self.indices))
+        mean = check_vector(self.mean, "mean")
+        mean.setflags(write=False)
+        object.__setattr__(self, "mean", mean)
+
+    @property
+    def size(self) -> int:
+        return int(self.indices.shape[0])
+
+    @classmethod
+    def from_data(cls, targets: np.ndarray, indices) -> "LocationConstraint":
+        """Build the constraint carrying the *empirical* subgroup mean."""
+        targets = np.asarray(targets, dtype=float)
+        idx = _normalize_indices(indices, targets.shape[0])
+        return cls(idx, targets[idx].mean(axis=0))
+
+    def mask(self, n_rows: int) -> np.ndarray:
+        """Boolean extension mask over ``n_rows`` rows."""
+        out = np.zeros(n_rows, dtype=bool)
+        out[self.indices] = True
+        return out
+
+
+@dataclass(frozen=True)
+class SpreadConstraint:
+    """A spread pattern: extension, unit direction, variance, and center.
+
+    ``center`` is the empirical subgroup mean the statistic ``g_I^w`` is
+    computed around (Eq. 2). The paper only ever presents spread patterns
+    after the corresponding location pattern, so at update time the model
+    means inside the extension usually equal ``center``; the constraint
+    still records it explicitly so the update is well-defined on its own.
+    """
+
+    indices: np.ndarray
+    direction: np.ndarray
+    variance: float
+    center: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "indices", _normalize_indices(self.indices))
+        direction = check_unit_vector(self.direction, "direction")
+        direction.setflags(write=False)
+        object.__setattr__(self, "direction", direction)
+        center = check_vector(self.center, "center", size=direction.shape[0])
+        center.setflags(write=False)
+        object.__setattr__(self, "center", center)
+        variance = float(self.variance)
+        if not variance > 0.0:
+            raise ModelError(
+                f"spread variance must be strictly positive, got {variance}"
+            )
+        object.__setattr__(self, "variance", variance)
+
+    @property
+    def size(self) -> int:
+        return int(self.indices.shape[0])
+
+    @classmethod
+    def from_data(cls, targets: np.ndarray, indices, direction) -> "SpreadConstraint":
+        """Build the constraint carrying the empirical variance along ``direction``."""
+        targets = np.asarray(targets, dtype=float)
+        idx = _normalize_indices(indices, targets.shape[0])
+        direction = check_unit_vector(direction, "direction")
+        center = targets[idx].mean(axis=0)
+        projections = (targets[idx] - center) @ direction
+        variance = float(np.mean(projections**2))
+        return cls(idx, direction, variance, center)
+
+    def mask(self, n_rows: int) -> np.ndarray:
+        """Boolean extension mask over ``n_rows`` rows."""
+        out = np.zeros(n_rows, dtype=bool)
+        out[self.indices] = True
+        return out
+
+
+#: Union type accepted by BackgroundModel.assimilate / refit.
+PatternConstraint = LocationConstraint | SpreadConstraint

@@ -1,0 +1,273 @@
+"""JSON persistence for descriptions, constraints, models and results.
+
+Iterative mining is a dialogue: the belief state accumulates everything
+the user has been shown. This module serializes that state — so a
+session can be saved, resumed, or shipped next to a paper — as plain
+JSON (numpy arrays become lists; no pickle, no code execution on load).
+
+Round-trips covered: conditions/descriptions, pattern constraints, the
+Gaussian background model (prior + blocks + constraints), and the result
+records of the searches.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.interest.si import PatternScore
+from repro.lang.conditions import Condition, EqualsCondition, NumericCondition
+from repro.lang.description import Description
+from repro.model.background import BackgroundModel
+from repro.model.blocks import BlockPartition
+from repro.model.patterns import (
+    LocationConstraint,
+    PatternConstraint,
+    SpreadConstraint,
+)
+from repro.model.priors import Prior
+from repro.search.results import (
+    LocationPatternResult,
+    ScoredSubgroup,
+    SpreadPatternResult,
+)
+
+#: Schema version embedded in every document; bump on breaking changes.
+SCHEMA_VERSION = 1
+
+
+# --------------------------------------------------------------------- #
+# Conditions and descriptions
+# --------------------------------------------------------------------- #
+def condition_to_dict(condition: Condition) -> dict:
+    """Serialize one condition to a JSON-safe dict."""
+    if isinstance(condition, NumericCondition):
+        return {
+            "type": "numeric",
+            "attribute": condition.attribute,
+            "op": condition.op,
+            "threshold": condition.threshold,
+        }
+    if isinstance(condition, EqualsCondition):
+        value = condition.value
+        return {
+            "type": "equals",
+            "attribute": condition.attribute,
+            "value": value,
+            "value_kind": "number" if isinstance(value, float) else "string",
+        }
+    raise ReproError(f"cannot serialize condition type {type(condition).__name__}")
+
+
+def condition_from_dict(data: dict) -> Condition:
+    """Rebuild a condition from its serialized form."""
+    kind = data.get("type")
+    if kind == "numeric":
+        return NumericCondition(data["attribute"], data["op"], data["threshold"])
+    if kind == "equals":
+        value = data["value"]
+        if data.get("value_kind") == "number":
+            value = float(value)
+        return EqualsCondition(data["attribute"], value)
+    raise ReproError(f"unknown condition type {kind!r}")
+
+
+def description_to_dict(description: Description) -> dict:
+    """Serialize a conjunctive description."""
+    return {"conditions": [condition_to_dict(c) for c in description.conditions]}
+
+
+def description_from_dict(data: dict) -> Description:
+    """Rebuild a description from its serialized form."""
+    return Description(
+        tuple(condition_from_dict(c) for c in data["conditions"])
+    )
+
+
+# --------------------------------------------------------------------- #
+# Pattern constraints
+# --------------------------------------------------------------------- #
+def constraint_to_dict(constraint: PatternConstraint) -> dict:
+    """Serialize a location/spread pattern constraint."""
+    if isinstance(constraint, LocationConstraint):
+        return {
+            "type": "location",
+            "indices": constraint.indices.tolist(),
+            "mean": constraint.mean.tolist(),
+        }
+    if isinstance(constraint, SpreadConstraint):
+        return {
+            "type": "spread",
+            "indices": constraint.indices.tolist(),
+            "direction": constraint.direction.tolist(),
+            "variance": constraint.variance,
+            "center": constraint.center.tolist(),
+        }
+    raise ReproError(f"cannot serialize constraint type {type(constraint).__name__}")
+
+
+def constraint_from_dict(data: dict) -> PatternConstraint:
+    """Rebuild a pattern constraint from its serialized form."""
+    kind = data.get("type")
+    if kind == "location":
+        return LocationConstraint(
+            np.asarray(data["indices"], dtype=np.int64),
+            np.asarray(data["mean"], dtype=float),
+        )
+    if kind == "spread":
+        return SpreadConstraint(
+            np.asarray(data["indices"], dtype=np.int64),
+            np.asarray(data["direction"], dtype=float),
+            float(data["variance"]),
+            np.asarray(data["center"], dtype=float),
+        )
+    raise ReproError(f"unknown constraint type {kind!r}")
+
+
+# --------------------------------------------------------------------- #
+# Background model
+# --------------------------------------------------------------------- #
+def model_to_dict(model: BackgroundModel) -> dict:
+    """Serialize a background model (prior, blocks, constraints)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "n_rows": model.n_rows,
+        "prior": {
+            "mean": model.prior.mean.tolist(),
+            "cov": model.prior.cov.tolist(),
+        },
+        "labels": np.asarray(model.labels).tolist(),
+        "blocks": [
+            {
+                "mean": model.block_mean(b).tolist(),
+                "cov": model.block_cov(b).tolist(),
+            }
+            for b in range(model.n_blocks)
+        ],
+        "constraints": [constraint_to_dict(c) for c in model.constraints],
+    }
+
+
+def model_from_dict(data: dict) -> BackgroundModel:
+    """Rebuild a background model; validates schema and block labels."""
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ReproError(
+            f"unsupported model schema {data.get('schema')!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    prior = Prior(
+        np.asarray(data["prior"]["mean"], dtype=float),
+        np.asarray(data["prior"]["cov"], dtype=float),
+    )
+    model = BackgroundModel(int(data["n_rows"]), prior)
+    labels = np.asarray(data["labels"], dtype=np.int64)
+    if labels.shape != (model.n_rows,):
+        raise ReproError("labels shape does not match n_rows")
+    blocks = data["blocks"]
+    if labels.max(initial=0) >= len(blocks):
+        raise ReproError("labels reference a missing block")
+    partition = BlockPartition(model.n_rows)
+    partition._labels[:] = labels
+    partition._n_blocks = len(blocks)
+    model._partition = partition
+    model._means = [np.asarray(b["mean"], dtype=float) for b in blocks]
+    model._covs = [np.asarray(b["cov"], dtype=float) for b in blocks]
+    model._constraints = [constraint_from_dict(c) for c in data["constraints"]]
+    return model
+
+
+# --------------------------------------------------------------------- #
+# Result records
+# --------------------------------------------------------------------- #
+def result_to_dict(result) -> dict:
+    """Serialize a search/mining result record."""
+    if isinstance(result, ScoredSubgroup):
+        return {
+            "type": "scored_subgroup",
+            "description": description_to_dict(result.description),
+            "indices": result.indices.tolist(),
+            "observed_mean": result.observed_mean.tolist(),
+            "ic": result.score.ic,
+            "dl": result.score.dl,
+        }
+    if isinstance(result, LocationPatternResult):
+        return {
+            "type": "location_pattern",
+            "description": description_to_dict(result.description),
+            "indices": result.indices.tolist(),
+            "mean": result.mean.tolist(),
+            "ic": result.score.ic,
+            "dl": result.score.dl,
+            "coverage": result.coverage,
+        }
+    if isinstance(result, SpreadPatternResult):
+        return {
+            "type": "spread_pattern",
+            "description": description_to_dict(result.description),
+            "indices": result.indices.tolist(),
+            "direction": result.direction.tolist(),
+            "variance": result.variance,
+            "center": result.center.tolist(),
+            "ic": result.score.ic,
+            "dl": result.score.dl,
+        }
+    raise ReproError(f"cannot serialize result type {type(result).__name__}")
+
+
+def result_from_dict(data: dict):
+    """Rebuild a search/mining result record from its serialized form."""
+    kind = data.get("type")
+    score = PatternScore(ic=float(data["ic"]), dl=float(data["dl"]))
+    if kind == "scored_subgroup":
+        return ScoredSubgroup(
+            description=description_from_dict(data["description"]),
+            indices=np.asarray(data["indices"], dtype=np.int64),
+            observed_mean=np.asarray(data["observed_mean"], dtype=float),
+            score=score,
+        )
+    if kind == "location_pattern":
+        return LocationPatternResult(
+            description=description_from_dict(data["description"]),
+            indices=np.asarray(data["indices"], dtype=np.int64),
+            mean=np.asarray(data["mean"], dtype=float),
+            score=score,
+            coverage=float(data["coverage"]),
+        )
+    if kind == "spread_pattern":
+        return SpreadPatternResult(
+            description=description_from_dict(data["description"]),
+            indices=np.asarray(data["indices"], dtype=np.int64),
+            direction=np.asarray(data["direction"], dtype=float),
+            variance=float(data["variance"]),
+            center=np.asarray(data["center"], dtype=float),
+            score=score,
+        )
+    raise ReproError(f"unknown result type {kind!r}")
+
+
+# --------------------------------------------------------------------- #
+# File helpers
+# --------------------------------------------------------------------- #
+def save_json(document: dict, path: str | Path) -> Path:
+    """Write a serialized document to disk (pretty-printed)."""
+    path = Path(path)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_json(path: str | Path) -> dict:
+    """Read a serialized document from disk."""
+    return json.loads(Path(path).read_text())
+
+
+def save_model(model: BackgroundModel, path: str | Path) -> Path:
+    """One-call model save."""
+    return save_json(model_to_dict(model), path)
+
+
+def load_model(path: str | Path) -> BackgroundModel:
+    """One-call model load."""
+    return model_from_dict(load_json(path))

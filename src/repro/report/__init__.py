@@ -1,0 +1,27 @@
+"""Plot-free reporting: figure data series, tables, ASCII charts, text maps.
+
+The paper's figures are reproduced as the *data series* behind each plot
+(this environment has no plotting stack); this package computes those
+series and renders terminal-friendly views for the examples and the CLI.
+"""
+
+from repro.report.series import (
+    cdf_series,
+    histogram_series,
+    kde_series,
+    normal_cdf_series,
+)
+from repro.report.tables import format_table
+from repro.report.ascii import bar_chart, render_series, sparkline, text_map
+
+__all__ = [
+    "kde_series",
+    "cdf_series",
+    "normal_cdf_series",
+    "histogram_series",
+    "format_table",
+    "bar_chart",
+    "sparkline",
+    "render_series",
+    "text_map",
+]

@@ -1,0 +1,126 @@
+"""Terminal-friendly chart rendering (no plotting stack available).
+
+Used by the examples and the CLI to give the paper's figures a visual
+form: horizontal bar charts for per-attribute surprisals (Figs. 5/8a/10),
+sparklines and line plots for densities/CDFs (Figs. 1/8c/9b), and
+lat/lon text maps for the geographic extensions (Figs. 6/7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def bar_chart(
+    labels, values, *, width: int = 40, reference: float | None = None
+) -> str:
+    """Horizontal bar chart; bars are scaled to the max |value|.
+
+    ``reference`` draws a second tick on each bar (e.g. the model's
+    expected value next to the observed one is better served by two
+    charts, but a single common reference like 0 renders inline).
+    """
+    labels = [str(l) for l in labels]
+    values = np.asarray(values, dtype=float)
+    if len(labels) != values.shape[0]:
+        raise ReproError(f"{len(labels)} labels for {values.shape[0]} values")
+    if values.size == 0:
+        return "(empty chart)"
+    scale = float(np.abs(values).max())
+    if scale == 0.0:
+        scale = 1.0
+    label_width = max(len(l) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        n = int(round(abs(value) / scale * width))
+        bar = ("#" if value >= 0 else "-") * n
+        lines.append(f"{label.rjust(label_width)} | {bar} {value:.3g}")
+    if reference is not None:
+        lines.append(f"{'(ref)'.rjust(label_width)} | {reference:.3g}")
+    return "\n".join(lines)
+
+
+def sparkline(values) -> str:
+    """One-line density sketch with block characters."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return ""
+    lo, hi = float(values.min()), float(values.max())
+    span = hi - lo
+    if span == 0.0:
+        return _BLOCKS[0] * values.size
+    levels = ((values - lo) / span * (len(_BLOCKS) - 1)).astype(int)
+    return "".join(_BLOCKS[level] for level in levels)
+
+
+def render_series(
+    grid, series: dict[str, np.ndarray], *, width: int = 64, height: int = 12
+) -> str:
+    """Render one or more (grid, values) series as an ASCII line plot.
+
+    Each series gets a distinct mark, assigned in insertion order from
+    ``*+o@x``. All series share the y-scale.
+    """
+    grid = np.asarray(grid, dtype=float)
+    marks = "*+o@x"
+    if len(series) > len(marks):
+        raise ReproError(f"at most {len(marks)} series supported")
+    all_values = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    lo, hi = float(all_values.min()), float(all_values.max())
+    span = max(hi - lo, 1e-12)
+
+    canvas = [[" "] * width for _ in range(height)]
+    xs = np.linspace(grid.min(), grid.max(), width)
+    for mark, (_name, values) in zip(marks, series.items()):
+        values = np.asarray(values, dtype=float)
+        resampled = np.interp(xs, grid, values)
+        rows = ((resampled - lo) / span * (height - 1)).astype(int)
+        for col, row in enumerate(rows):
+            canvas[height - 1 - row][col] = mark
+    lines = ["".join(row) for row in canvas]
+    legend = "   ".join(
+        f"{mark}={name}" for mark, name in zip(marks, series.keys())
+    )
+    footer = f"x: [{grid.min():.3g}, {grid.max():.3g}]  y: [{lo:.3g}, {hi:.3g}]"
+    return "\n".join(lines + [legend, footer])
+
+
+def text_map(
+    lat,
+    lon,
+    mask,
+    *,
+    width: int = 64,
+    height: int = 24,
+    inside: str = "#",
+    outside: str = ".",
+) -> str:
+    """Geographic extension map: mark cells/points inside a subgroup.
+
+    Bins points into a ``height x width`` character grid (north up); a
+    cell shows ``inside`` if any covered point falls in it, ``outside``
+    if only uncovered points do, and blank if no data lands there.
+    """
+    lat = np.asarray(lat, dtype=float)
+    lon = np.asarray(lon, dtype=float)
+    mask = np.asarray(mask)
+    if mask.dtype != bool or lat.shape != lon.shape or lat.shape != mask.shape:
+        raise ReproError("lat, lon and boolean mask must have identical shapes")
+    lat_lo, lat_hi = float(lat.min()), float(lat.max())
+    lon_lo, lon_hi = float(lon.min()), float(lon.max())
+    lat_span = max(lat_hi - lat_lo, 1e-12)
+    lon_span = max(lon_hi - lon_lo, 1e-12)
+
+    grid = [[" "] * width for _ in range(height)]
+    cols = np.minimum(((lon - lon_lo) / lon_span * width).astype(int), width - 1)
+    rows = np.minimum(((lat_hi - lat) / lat_span * height).astype(int), height - 1)
+    # Draw uncovered points first so covered ones overwrite them.
+    for r, c in zip(rows[~mask], cols[~mask]):
+        grid[r][c] = outside
+    for r, c in zip(rows[mask], cols[mask]):
+        grid[r][c] = inside
+    return "\n".join("".join(row) for row in grid)

@@ -1,0 +1,55 @@
+"""Fixed-width table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ReproError
+
+
+def _render_cell(value, floatfmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    floatfmt: str = ".2f",
+    title: str | None = None,
+) -> str:
+    """Render an aligned, pipe-separated text table.
+
+    Numbers are right-aligned, text left-aligned; floats use
+    ``floatfmt``. The output is stable (no terminal-width dependence) so
+    benchmark logs diff cleanly across runs.
+    """
+    headers = [str(h) for h in headers]
+    rendered: list[list[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row has {len(row)} cells for {len(headers)} headers: {row!r}"
+            )
+        rendered.append([_render_cell(cell, floatfmt) for cell in row])
+
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def align(cell: str, j: int, original) -> str:
+        if isinstance(original, (int, float)):
+            return cell.rjust(widths[j])
+        return cell.ljust(widths[j])
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(widths[j]) for j, h in enumerate(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for raw, row in zip(rows, rendered):
+        lines.append(" | ".join(align(cell, j, raw[j]) for j, cell in enumerate(row)))
+    return "\n".join(lines)

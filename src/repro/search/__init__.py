@@ -1,0 +1,34 @@
+"""Pattern search: beam search for locations, sphere ascent for spreads.
+
+The paper (§II-D) mines location patterns with Cortana-style beam search
+over the description language and spread directions with gradient-based
+optimization on the unit sphere (Manopt in the original; our own
+Riemannian ascent here). :class:`SubgroupDiscovery` ties both to the
+evolving background model for iterative mining.
+"""
+
+from repro.search.config import SearchConfig
+from repro.search.results import (
+    LocationPatternResult,
+    MiningIteration,
+    ScoredSubgroup,
+    SearchResult,
+    SpreadPatternResult,
+)
+from repro.search.beam import LocationBeamSearch, LocationICScorer
+from repro.search.spread import SpreadObjective, find_spread_direction
+from repro.search.miner import SubgroupDiscovery
+
+__all__ = [
+    "SearchConfig",
+    "LocationPatternResult",
+    "SpreadPatternResult",
+    "MiningIteration",
+    "ScoredSubgroup",
+    "SearchResult",
+    "LocationBeamSearch",
+    "LocationICScorer",
+    "SpreadObjective",
+    "find_spread_direction",
+    "SubgroupDiscovery",
+]

@@ -1,0 +1,234 @@
+"""Beam search for location patterns (§II-D).
+
+Level-wise exploration of conjunctions: keep the ``beam_width`` highest-
+SI descriptions of each arity, expand each by every admissible condition,
+and log the overall ``top_k``. Candidate extensions are computed
+incrementally (parent mask AND the memoized condition mask) and scored in
+batch: subgroup means for all of a level's candidates come from one
+matrix product, and the information content uses a fast path when every
+model block shares one covariance (always true before any spread pattern
+has been assimilated, since location updates leave covariances alone).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import SearchError
+from repro.interest.dl import LOCATION, DLParams, description_length
+from repro.interest.si import PatternScore
+from repro.lang.description import Description
+from repro.lang.refinement import RefinementOperator
+from repro.model.background import BackgroundModel
+from repro.model.gaussian import LOG_2PI
+from repro.search.config import SearchConfig
+from repro.search.results import ScoredSubgroup, SearchResult
+from repro.utils.linalg import log_det_psd, solve_psd
+from repro.utils.timer import TimeBudget
+
+
+class LocationICScorer:
+    """Batched Eq. 13 evaluation against a frozen background model.
+
+    The scorer snapshots the model's block structure once; it must be
+    rebuilt after the model assimilates a pattern (the miner does this).
+    """
+
+    def __init__(self, model: BackgroundModel, targets: np.ndarray) -> None:
+        targets = np.asarray(targets, dtype=float)
+        if targets.ndim == 1:
+            targets = targets[:, None]
+        if targets.shape != (model.n_rows, model.dim):
+            raise SearchError(
+                f"targets shape {targets.shape} does not match model "
+                f"({model.n_rows}, {model.dim})"
+            )
+        self.model = model
+        self.targets = targets
+        self._labels = np.asarray(model.labels)
+        self._n_blocks = model.n_blocks
+        self._block_means = np.stack(
+            [model.block_mean(b) for b in range(model.n_blocks)]
+        )
+        self._block_covs = np.stack(
+            [model.block_cov(b) for b in range(model.n_blocks)]
+        )
+        # One-hot block membership for batched per-block counts.
+        self._onehot = np.zeros((model.n_rows, model.n_blocks))
+        self._onehot[np.arange(model.n_rows), self._labels] = 1.0
+
+        first = self._block_covs[0]
+        self._uniform_cov = all(
+            np.array_equal(first, self._block_covs[b]) for b in range(self._n_blocks)
+        )
+        if self._uniform_cov:
+            d = model.dim
+            self._precision = solve_psd(first, np.eye(d))
+            self._logdet = log_det_psd(first)
+
+    def score_masks(self, masks: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """ICs and observed means for a ``(k, n)`` boolean mask stack."""
+        masks = np.asarray(masks)
+        if masks.ndim != 2 or masks.shape[1] != self.model.n_rows:
+            raise SearchError(f"masks must be (k, {self.model.n_rows}), got {masks.shape}")
+        fmasks = masks.astype(float)
+        sizes = fmasks.sum(axis=1)
+        if np.any(sizes == 0):
+            raise SearchError("cannot score an empty subgroup")
+        observed = (fmasks @ self.targets) / sizes[:, None]
+        block_counts = fmasks @ self._onehot  # (k, B)
+        model_means = (block_counts @ self._block_means) / sizes[:, None]
+        diffs = observed - model_means
+        d = self.model.dim
+
+        if self._uniform_cov:
+            # Sigma_I = Sigma / |I|: Mahalanobis scales by |I|, logdet by
+            # -d log |I|. One matmul scores every candidate.
+            maha = np.einsum("kd,de,ke->k", diffs, self._precision, diffs) * sizes
+            logdet = self._logdet - d * np.log(sizes)
+            ics = 0.5 * (d * LOG_2PI + logdet + maha)
+            return ics, observed
+
+        ics = np.empty(masks.shape[0])
+        for k in range(masks.shape[0]):
+            cov = np.einsum(
+                "b,bde->de", block_counts[k], self._block_covs
+            ) / sizes[k] ** 2
+            maha = float(diffs[k] @ solve_psd(cov, diffs[k]))
+            ics[k] = 0.5 * (d * LOG_2PI + log_det_psd(cov) + maha)
+        return ics, observed
+
+    def score_mask(self, mask: np.ndarray) -> tuple[float, np.ndarray]:
+        """IC and observed mean of a single subgroup mask."""
+        ics, observed = self.score_masks(np.asarray(mask)[None, :])
+        return float(ics[0]), observed[0]
+
+
+class _ResultLog:
+    """Keeps the ``top_k`` scored subgroups, stable under ties."""
+
+    def __init__(self, top_k: int) -> None:
+        self.top_k = top_k
+        self._entries: list[tuple[float, int, ScoredSubgroup]] = []
+        self._counter = 0
+
+    def add(self, entry: ScoredSubgroup) -> None:
+        self._entries.append((entry.si, self._counter, entry))
+        self._counter += 1
+        if len(self._entries) > 4 * self.top_k:
+            self._shrink()
+
+    def _shrink(self) -> None:
+        self._entries.sort(key=lambda t: (-t[0], t[1]))
+        del self._entries[self.top_k:]
+
+    def ranked(self) -> list[ScoredSubgroup]:
+        self._shrink()
+        return [entry for _, _, entry in self._entries]
+
+
+class LocationBeamSearch:
+    """Beam search maximizing the SI of location patterns.
+
+    Parameters
+    ----------
+    operator:
+        Refinement operator over the dataset's description attributes.
+    scorer:
+        Batched IC scorer bound to the current background model.
+    config:
+        Beam width, depth, coverage limits, time budget.
+    dl_params:
+        DL weights; SI of a candidate with ``c`` conditions is
+        ``IC / (gamma c + eta)``.
+    """
+
+    def __init__(
+        self,
+        operator: RefinementOperator,
+        scorer: LocationICScorer,
+        *,
+        config: SearchConfig = SearchConfig(),
+        dl_params: DLParams = DLParams(),
+    ) -> None:
+        self.operator = operator
+        self.scorer = scorer
+        self.config = config
+        self.dl_params = dl_params
+
+    def run(self) -> SearchResult:
+        """Execute the level-wise search; returns the winner and the log."""
+        config = self.config
+        n_rows = self.scorer.model.n_rows
+        budget = TimeBudget(config.time_budget_seconds)
+        max_size = int(math.floor(config.max_coverage_fraction * n_rows))
+        # The full data is never an interesting subgroup of itself.
+        max_size = min(max_size, n_rows - 1)
+
+        log = _ResultLog(config.top_k)
+        root_mask = np.ones(n_rows, dtype=bool)
+        beam: list[tuple[Description, np.ndarray]] = [(Description(), root_mask)]
+        seen: set[Description] = set()
+        n_evaluated = 0
+        depth_reached = 0
+        expired = False
+
+        for depth in range(1, config.max_depth + 1):
+            candidates: list[tuple[Description, np.ndarray]] = []
+            for parent_description, parent_mask in beam:
+                if budget.expired:
+                    expired = True
+                    break
+                for refined, condition in self.operator.refinements(parent_description):
+                    if refined in seen:
+                        continue
+                    seen.add(refined)
+                    mask = parent_mask & self.operator.mask_of(condition)
+                    size = int(mask.sum())
+                    if size < config.min_coverage or size > max_size:
+                        continue
+                    candidates.append((refined, mask))
+            if expired or not candidates:
+                break
+
+            depth_reached = depth
+            masks = np.stack([mask for _, mask in candidates])
+            ics, observed = self.scorer.score_masks(masks)
+            n_evaluated += len(candidates)
+
+            scored: list[ScoredSubgroup] = []
+            for (description, mask), ic, mean in zip(candidates, ics, observed):
+                dl = description_length(
+                    len(description), kind=LOCATION, params=self.dl_params
+                )
+                entry = ScoredSubgroup(
+                    description=description,
+                    indices=np.flatnonzero(mask),
+                    observed_mean=mean,
+                    score=PatternScore(ic=float(ic), dl=dl),
+                )
+                scored.append(entry)
+                log.add(entry)
+
+            scored.sort(key=lambda e: -e.si)
+            beam = [
+                (entry.description, self._mask_of_entry(entry, n_rows))
+                for entry in scored[: config.beam_width]
+            ]
+
+        ranked = log.ranked()
+        return SearchResult(
+            best=ranked[0] if ranked else None,
+            log=tuple(ranked),
+            n_evaluated=n_evaluated,
+            depth_reached=depth_reached,
+            expired=expired,
+        )
+
+    @staticmethod
+    def _mask_of_entry(entry: ScoredSubgroup, n_rows: int) -> np.ndarray:
+        mask = np.zeros(n_rows, dtype=bool)
+        mask[entry.indices] = True
+        return mask

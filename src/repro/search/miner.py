@@ -1,0 +1,227 @@
+"""Iterative subjectively-interesting subgroup discovery (the facade).
+
+:class:`SubgroupDiscovery` wires the pieces together the way the paper's
+experiments use them: fit the background model from a prior (empirical
+by default), beam-search the most subjectively interesting location
+pattern, optionally find its spread direction, assimilate what was shown
+to the user, repeat. Each call to :meth:`step` is one iteration of the
+paper's mining loop.
+
+>>> from repro.datasets import make_synthetic
+>>> miner = SubgroupDiscovery(make_synthetic(0))
+>>> iteration = miner.step(kind="spread")      # doctest: +SKIP
+>>> print(iteration.location.description)      # doctest: +SKIP
+attr3 = '1'
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.schema import Dataset
+from repro.errors import SearchError
+from repro.interest.dl import DLParams
+from repro.interest.si import score_location, score_spread
+from repro.lang.description import Description
+from repro.lang.refinement import RefinementOperator
+from repro.model.background import BackgroundModel
+from repro.model.priors import Prior
+from repro.search.beam import LocationBeamSearch, LocationICScorer
+from repro.search.config import SearchConfig
+from repro.search.results import (
+    LocationPatternResult,
+    MiningIteration,
+    ScoredSubgroup,
+    SearchResult,
+    SpreadPatternResult,
+)
+from repro.search.spread import find_spread_direction
+from repro.utils.rng import as_rng
+
+
+class SubgroupDiscovery:
+    """Iterative miner over one dataset.
+
+    Parameters
+    ----------
+    dataset:
+        Data with description attributes and real-valued targets.
+    targets:
+        Optional subset of target attributes to model (names).
+    prior:
+        Background prior; defaults to the empirical mean/covariance of
+        the (selected) targets, the setup of all the paper's experiments.
+    config:
+        Beam-search settings (paper defaults).
+    dl_params:
+        Description-length weights (gamma=0.1, eta=1).
+    seed:
+        Seed for the spread search's random restarts.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        *,
+        targets: list[str] | None = None,
+        prior: Prior | None = None,
+        config: SearchConfig = SearchConfig(),
+        dl_params: DLParams = DLParams(),
+        seed=0,
+    ) -> None:
+        if targets is not None:
+            dataset = dataset.with_targets(targets)
+        self.dataset = dataset
+        self.targets = dataset.targets
+        self.config = config
+        self.dl_params = dl_params
+        self.model = (
+            BackgroundModel(dataset.n_rows, prior)
+            if prior is not None
+            else BackgroundModel.from_targets(self.targets)
+        )
+        self.operator = RefinementOperator(
+            dataset,
+            n_split_points=config.n_split_points,
+            strategy=config.split_strategy,
+            attributes=config.attributes,
+        )
+        self.history: list[MiningIteration] = []
+        self._rng = as_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    # Single-shot searches
+    # ------------------------------------------------------------------ #
+    def search_locations(self) -> SearchResult:
+        """Run the beam search against the *current* belief state."""
+        scorer = LocationICScorer(self.model, self.targets)
+        search = LocationBeamSearch(
+            self.operator, scorer, config=self.config, dl_params=self.dl_params
+        )
+        return search.run()
+
+    def find_location(self) -> LocationPatternResult:
+        """The single most subjectively interesting location pattern."""
+        result = self.search_locations()
+        if result.best is None:
+            raise SearchError(
+                "beam search found no admissible subgroup; relax min_coverage "
+                "or max_coverage_fraction"
+            )
+        return self.as_location_result(result.best)
+
+    def as_location_result(self, entry: ScoredSubgroup) -> LocationPatternResult:
+        """Promote a beam-search log entry to an assimilable result."""
+        return LocationPatternResult(
+            description=entry.description,
+            indices=entry.indices,
+            mean=entry.observed_mean,
+            score=entry.score,
+            coverage=entry.size / self.dataset.n_rows,
+        )
+
+    def find_spread_for(
+        self,
+        location: LocationPatternResult,
+        *,
+        sparsity: int | None = None,
+    ) -> SpreadPatternResult:
+        """Most interesting spread direction for an assimilated location.
+
+        Per §II-D the spread step runs *after* the location pattern has
+        been assimilated ("we only ever provide the user with spread
+        patterns for subgroups for which the location pattern has been
+        provided first"); call :meth:`assimilate` with the location
+        result before this, or use :meth:`step` which does both.
+        """
+        outcome = find_spread_direction(
+            self.model,
+            location.indices,
+            self.targets,
+            sparsity=sparsity,
+            seed=self._rng,
+        )
+        score = score_spread(
+            self.model,
+            location.indices,
+            outcome.direction,
+            outcome.variance,
+            location.mean,
+            len(location.description),
+            params=self.dl_params,
+        )
+        return SpreadPatternResult(
+            description=location.description,
+            indices=location.indices,
+            direction=outcome.direction,
+            variance=outcome.variance,
+            center=location.mean,
+            score=score,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Assimilation and iteration
+    # ------------------------------------------------------------------ #
+    def assimilate(
+        self, pattern: LocationPatternResult | SpreadPatternResult
+    ) -> "SubgroupDiscovery":
+        """Update the belief state with a pattern shown to the user."""
+        self.model.assimilate(pattern.constraint())
+        return self
+
+    def step(
+        self, *, kind: str = "location", sparsity: int | None = None
+    ) -> MiningIteration:
+        """One mining iteration: find, show, assimilate.
+
+        ``kind="location"`` mines and assimilates a location pattern;
+        ``kind="spread"`` runs the paper's two-step process — location
+        first, then the spread direction of the same subgroup — and
+        assimilates both.
+        """
+        if kind not in ("location", "spread"):
+            raise SearchError(f"kind must be 'location' or 'spread', got {kind!r}")
+        location = self.find_location()
+        self.assimilate(location)
+        spread = None
+        if kind == "spread":
+            spread = self.find_spread_for(location, sparsity=sparsity)
+            self.assimilate(spread)
+        iteration = MiningIteration(
+            index=len(self.history) + 1, location=location, spread=spread
+        )
+        self.history.append(iteration)
+        return iteration
+
+    def run(
+        self, n_iterations: int, *, kind: str = "location", sparsity: int | None = None
+    ) -> list[MiningIteration]:
+        """Run ``n_iterations`` mining steps; returns the new iterations."""
+        if n_iterations < 1:
+            raise SearchError(f"n_iterations must be >= 1, got {n_iterations}")
+        return [self.step(kind=kind, sparsity=sparsity) for _ in range(n_iterations)]
+
+    # ------------------------------------------------------------------ #
+    # Utilities
+    # ------------------------------------------------------------------ #
+    def score_description(self, description: Description) -> ScoredSubgroup:
+        """SI of a given intention under the *current* belief state.
+
+        Used to track how the SI of known patterns changes as others are
+        assimilated (the paper's Table I).
+        """
+        mask = self.operator.extension_mask(description.canonical())
+        size = int(mask.sum())
+        if size == 0:
+            raise SearchError(f"description {description} has an empty extension")
+        observed = self.targets[mask].mean(axis=0)
+        score = score_location(
+            self.model, mask, observed, len(description.canonical()),
+            params=self.dl_params,
+        )
+        return ScoredSubgroup(
+            description=description.canonical(),
+            indices=np.flatnonzero(mask),
+            observed_mean=observed,
+            score=score,
+        )

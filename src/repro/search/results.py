@@ -1,0 +1,118 @@
+"""Result records produced by the searches and the iterative miner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.interest.si import PatternScore
+from repro.lang.description import Description
+from repro.model.patterns import LocationConstraint, SpreadConstraint
+
+
+@dataclass(frozen=True)
+class ScoredSubgroup:
+    """One beam-search log entry: an intention, its extension, its score."""
+
+    description: Description
+    indices: np.ndarray
+    observed_mean: np.ndarray
+    score: PatternScore
+
+    @property
+    def size(self) -> int:
+        return int(self.indices.shape[0])
+
+    @property
+    def si(self) -> float:
+        return self.score.si
+
+    def __str__(self) -> str:
+        return f"{self.description}  (n={self.size}, SI={self.si:.2f})"
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one beam search: the winner plus the top-k log."""
+
+    best: ScoredSubgroup | None
+    log: tuple[ScoredSubgroup, ...]
+    n_evaluated: int
+    depth_reached: int
+    expired: bool  # True if the time budget cut the search short
+
+    def __iter__(self):
+        return iter(self.log)
+
+    def __len__(self) -> int:
+        return len(self.log)
+
+
+@dataclass(frozen=True)
+class LocationPatternResult:
+    """A mined location pattern, ready to present and assimilate."""
+
+    description: Description
+    indices: np.ndarray
+    mean: np.ndarray
+    score: PatternScore
+    coverage: float
+
+    @property
+    def size(self) -> int:
+        return int(self.indices.shape[0])
+
+    @property
+    def si(self) -> float:
+        return self.score.si
+
+    def constraint(self) -> LocationConstraint:
+        """The model-update record for this pattern."""
+        return LocationConstraint(self.indices, self.mean)
+
+    def __str__(self) -> str:
+        return (
+            f"location: {self.description}  "
+            f"(n={self.size}, coverage={self.coverage:.1%}, SI={self.si:.2f})"
+        )
+
+
+@dataclass(frozen=True)
+class SpreadPatternResult:
+    """A mined spread pattern: adds the direction and its variance."""
+
+    description: Description
+    indices: np.ndarray
+    direction: np.ndarray
+    variance: float
+    center: np.ndarray
+    score: PatternScore
+
+    @property
+    def size(self) -> int:
+        return int(self.indices.shape[0])
+
+    @property
+    def si(self) -> float:
+        return self.score.si
+
+    def constraint(self) -> SpreadConstraint:
+        """The model-update record for this pattern."""
+        return SpreadConstraint(self.indices, self.direction, self.variance, self.center)
+
+    def __str__(self) -> str:
+        w = ", ".join(f"{x:+.3f}" for x in self.direction)
+        return (
+            f"spread: {self.description} along [{w}]  "
+            f"(var={self.variance:.4g}, SI={self.si:.2f})"
+        )
+
+
+@dataclass(frozen=True)
+class MiningIteration:
+    """One round of the paper's two-step iterative mining."""
+
+    index: int
+    location: LocationPatternResult
+    spread: SpreadPatternResult | None = None

@@ -1,0 +1,147 @@
+"""Interactive mining sessions: history, undo, and text reports.
+
+The paper frames mining as a dialogue whose state is the background
+distribution; :class:`MiningSession` makes that dialogue a first-class
+object. It wraps :class:`~repro.search.miner.SubgroupDiscovery` with
+
+- a full history of shown patterns,
+- snapshot/undo (step back without refitting from scratch),
+- a formatted session report, and
+- JSON save/resume of the belief state (via :mod:`repro.persist`).
+
+This is the library-level groundwork for the SIDE-style interactive
+exploration the paper's §V plans to integrate with.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.datasets.schema import Dataset
+from repro.errors import SearchError
+from repro.interest.dl import DLParams
+from repro.persist import (
+    constraint_to_dict,
+    load_json,
+    model_from_dict,
+    model_to_dict,
+    save_json,
+)
+from repro.search.config import SearchConfig
+from repro.search.miner import SubgroupDiscovery
+from repro.search.results import MiningIteration
+
+
+class MiningSession:
+    """A resumable, undoable iterative-mining dialogue over one dataset."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        *,
+        config: SearchConfig = SearchConfig(),
+        dl_params: DLParams = DLParams(),
+        seed=0,
+    ) -> None:
+        self.dataset = dataset
+        self.miner = SubgroupDiscovery(
+            dataset, config=config, dl_params=dl_params, seed=seed
+        )
+        self._snapshots = [self.miner.model.copy()]
+
+    # ------------------------------------------------------------------ #
+    # Dialogue
+    # ------------------------------------------------------------------ #
+    @property
+    def history(self) -> list[MiningIteration]:
+        return list(self.miner.history)
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.miner.history)
+
+    def step(self, *, kind: str = "location", sparsity: int | None = None) -> MiningIteration:
+        """One mining iteration; the pre-step model is snapshotted."""
+        snapshot = self.miner.model.copy()
+        iteration = self.miner.step(kind=kind, sparsity=sparsity)
+        self._snapshots.append(snapshot)
+        return iteration
+
+    def undo(self) -> MiningIteration:
+        """Forget the last shown pattern(s); returns the undone iteration.
+
+        Restores the exact pre-step belief state from the snapshot, so
+        undo is O(model size), not a refit.
+        """
+        if not self.miner.history:
+            raise SearchError("nothing to undo")
+        undone = self.miner.history.pop()
+        self.miner.model = self._snapshots.pop()
+        return undone
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def report(self) -> str:
+        """Human-readable transcript of the session so far."""
+        lines = [
+            f"Mining session on {self.dataset.name!r} "
+            f"({self.dataset.n_rows} rows, {self.dataset.n_targets} targets)",
+            f"iterations: {self.n_iterations}, "
+            f"model blocks: {self.miner.model.n_blocks}, "
+            f"constraints: {len(self.miner.model.constraints)}",
+        ]
+        for iteration in self.miner.history:
+            lines.append(f"[{iteration.index}] {iteration.location}")
+            if iteration.spread is not None:
+                lines.append(f"    {iteration.spread}")
+        if self.miner.model.constraints:
+            lines.append(
+                f"max constraint residual: {self.miner.model.max_residual():.2e}"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: str | Path) -> Path:
+        """Persist the belief state (not the dataset) to JSON."""
+        document = {
+            "dataset_name": self.dataset.name,
+            "n_iterations": self.n_iterations,
+            "model": model_to_dict(self.miner.model),
+            "shown": [
+                constraint_to_dict(c) for c in self.miner.model.constraints
+            ],
+        }
+        return save_json(document, path)
+
+    @classmethod
+    def resume(
+        cls,
+        dataset: Dataset,
+        path: str | Path,
+        *,
+        config: SearchConfig = SearchConfig(),
+        dl_params: DLParams = DLParams(),
+        seed=0,
+    ) -> "MiningSession":
+        """Rebuild a session's belief state from a saved document.
+
+        The iteration history (descriptions, scores) is not persisted —
+        only the belief state matters for what gets mined next — so the
+        resumed session starts with an empty history but the saved model.
+        """
+        document = load_json(path)
+        if document.get("dataset_name") != dataset.name:
+            raise SearchError(
+                f"saved session is for dataset {document.get('dataset_name')!r}, "
+                f"got {dataset.name!r}"
+            )
+        session = cls(dataset, config=config, dl_params=dl_params, seed=seed)
+        model = model_from_dict(document["model"])
+        if model.n_rows != dataset.n_rows:
+            raise SearchError("saved model row count does not match dataset")
+        session.miner.model = model
+        session._snapshots = [model.copy()]
+        return session

@@ -1,0 +1,15 @@
+"""Subgroup statistics and the chi-squared mixture approximation."""
+
+from repro.stats.statistics import (
+    subgroup_cov,
+    subgroup_mean,
+    subgroup_spread,
+)
+from repro.stats.chi2mix import Chi2Mixture
+
+__all__ = [
+    "subgroup_mean",
+    "subgroup_cov",
+    "subgroup_spread",
+    "Chi2Mixture",
+]

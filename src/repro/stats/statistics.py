@@ -1,0 +1,73 @@
+"""The pattern statistics of §II-A: subgroup location and spread.
+
+Eq. 1: ``f_I(Y) = sum_{i in I} y_i / |I|`` — the subgroup mean vector.
+Eq. 2: ``g_I^w(Y) = sum_{i in I} ((y_i - yhat_I)' w)^2 / |I|`` — the
+spread around the *empirical* subgroup mean along a unit direction
+``w``. Note the normalization by ``|I|`` (not ``|I| - 1``): the paper's
+statistic is the mean squared projection, and the model updates and the
+chi-squared machinery all assume exactly that normalization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.utils.validation import check_unit_vector
+
+
+def _subgroup(targets: np.ndarray, indices) -> np.ndarray:
+    targets = np.asarray(targets, dtype=float)
+    if targets.ndim == 1:
+        targets = targets[:, None]
+    arr = np.asarray(indices)
+    if arr.dtype == bool:
+        if arr.shape[0] != targets.shape[0]:
+            raise ModelError("boolean mask length does not match targets")
+        sub = targets[arr]
+    else:
+        sub = targets[arr.astype(np.int64)]
+    if sub.shape[0] == 0:
+        raise ModelError("subgroup is empty")
+    return sub
+
+
+def subgroup_mean(targets: np.ndarray, indices) -> np.ndarray:
+    """Eq. 1: the location statistic ``f_I`` evaluated on the data."""
+    return _subgroup(targets, indices).mean(axis=0)
+
+
+def subgroup_cov(targets: np.ndarray, indices) -> np.ndarray:
+    """Empirical covariance of the subgroup (1/|I| normalization).
+
+    This is the matrix ``S`` with ``g_I^w = w' S w``; the spread search
+    optimizes ``w`` against it.
+    """
+    sub = _subgroup(targets, indices)
+    centered = sub - sub.mean(axis=0)
+    return (centered.T @ centered) / sub.shape[0]
+
+
+def subgroup_spread(
+    targets: np.ndarray,
+    indices,
+    direction: np.ndarray,
+    *,
+    center: np.ndarray | None = None,
+) -> float:
+    """Eq. 2: the spread statistic ``g_I^w`` evaluated on the data.
+
+    ``center`` defaults to the empirical subgroup mean (the paper's
+    definition); passing it explicitly supports evaluating the statistic
+    a pattern was originally communicated with.
+    """
+    sub = _subgroup(targets, indices)
+    direction = check_unit_vector(direction, "direction")
+    if direction.shape[0] != sub.shape[1]:
+        raise ModelError(
+            f"direction has dim {direction.shape[0]}, targets have {sub.shape[1]}"
+        )
+    if center is None:
+        center = sub.mean(axis=0)
+    projections = (sub - np.asarray(center, dtype=float)) @ direction
+    return float(np.mean(projections**2))

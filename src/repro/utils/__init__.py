@@ -1,0 +1,35 @@
+"""Small shared utilities: RNG handling, validation, timing, linear algebra."""
+
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.timer import Stopwatch, TimeBudget
+from repro.utils.validation import (
+    check_finite,
+    check_matrix,
+    check_square,
+    check_symmetric,
+    check_unit_vector,
+    check_vector,
+)
+from repro.utils.linalg import (
+    is_positive_definite,
+    nearest_positive_definite,
+    solve_psd,
+    symmetrize,
+)
+
+__all__ = [
+    "as_rng",
+    "spawn_rngs",
+    "Stopwatch",
+    "TimeBudget",
+    "check_finite",
+    "check_matrix",
+    "check_square",
+    "check_symmetric",
+    "check_unit_vector",
+    "check_vector",
+    "is_positive_definite",
+    "nearest_positive_definite",
+    "solve_psd",
+    "symmetrize",
+]

@@ -1,0 +1,68 @@
+"""Argument validators shared across the library.
+
+Validators convert inputs to float arrays, check shape/finiteness, and raise
+``ValueError`` with the *argument name* in the message so errors surfacing
+from deep inside the model point back at the caller's mistake.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_vector(x, name: str = "x", *, size: int | None = None) -> np.ndarray:
+    """Validate a finite 1-D float vector; return it as ``float64``."""
+    arr = np.asarray(x, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    if size is not None and arr.shape[0] != size:
+        raise ValueError(f"{name} must have length {size}, got {arr.shape[0]}")
+    check_finite(arr, name)
+    return arr
+
+
+def check_matrix(x, name: str = "x", *, shape: tuple[int, int] | None = None) -> np.ndarray:
+    """Validate a finite 2-D float matrix; return it as ``float64``."""
+    arr = np.asarray(x, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {arr.shape}")
+    if shape is not None and arr.shape != shape:
+        raise ValueError(f"{name} must have shape {shape}, got {arr.shape}")
+    check_finite(arr, name)
+    return arr
+
+
+def check_square(x, name: str = "x", *, size: int | None = None) -> np.ndarray:
+    """Validate a square matrix, optionally of a given size."""
+    arr = check_matrix(x, name)
+    if arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"{name} must be square, got shape {arr.shape}")
+    if size is not None and arr.shape[0] != size:
+        raise ValueError(f"{name} must be {size}x{size}, got {arr.shape}")
+    return arr
+
+
+def check_symmetric(x, name: str = "x", *, tol: float = 1e-8) -> np.ndarray:
+    """Validate symmetry up to ``tol`` (absolute, relative to scale)."""
+    arr = check_square(x, name)
+    scale = max(1.0, float(np.abs(arr).max()))
+    if not np.allclose(arr, arr.T, atol=tol * scale):
+        raise ValueError(f"{name} must be symmetric within tolerance {tol}")
+    return arr
+
+
+def check_unit_vector(x, name: str = "w", *, tol: float = 1e-6) -> np.ndarray:
+    """Validate that ``x`` is 1-D with Euclidean norm 1 up to ``tol``."""
+    arr = check_vector(x, name)
+    norm = float(np.linalg.norm(arr))
+    if abs(norm - 1.0) > tol:
+        raise ValueError(f"{name} must be a unit vector, got norm {norm:.6g}")
+    return arr
+
+
+def check_finite(x, name: str = "x") -> np.ndarray:
+    """Raise if any entry is NaN or infinite."""
+    arr = np.asarray(x)
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains NaN or infinite entries")
+    return arr

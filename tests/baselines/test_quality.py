@@ -1,0 +1,104 @@
+"""Tests for the classical quality measures."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.quality import (
+    DispersionCorrectedQuality,
+    MeanShiftQuality,
+    WRAccQuality,
+)
+from repro.errors import ModelError
+
+
+@pytest.fixture()
+def planted(rng):
+    targets = rng.standard_normal(100)
+    targets[:20] += 3.0
+    return targets
+
+
+class TestMeanShift:
+    def test_planted_beats_random(self, planted):
+        quality = MeanShiftQuality(planted)
+        mask = np.zeros(100, dtype=bool)
+        mask[:20] = True
+        random_mask = np.zeros(100, dtype=bool)
+        random_mask[40:60] = True
+        assert quality(mask) > quality(random_mask) + 2.0
+
+    def test_univariate_formula(self, rng):
+        targets = rng.standard_normal(50)
+        quality = MeanShiftQuality(targets)
+        mask = np.zeros(50, dtype=bool)
+        mask[:10] = True
+        shift = targets[:10].mean() - targets.mean()
+        sigma = targets.std()
+        expected = np.sqrt(10) * abs(shift) / sigma
+        assert quality(mask) == pytest.approx(expected, rel=1e-6)
+
+    def test_multivariate_supported(self, rng):
+        targets = rng.standard_normal((50, 3))
+        quality = MeanShiftQuality(targets)
+        mask = np.zeros(50, dtype=bool)
+        mask[:10] = True
+        assert quality(mask) >= 0.0
+
+    def test_empty_mask_rejected(self, planted):
+        with pytest.raises(ModelError, match="empty"):
+            MeanShiftQuality(planted)(np.zeros(100, dtype=bool))
+
+    def test_wrong_mask_shape(self, planted):
+        with pytest.raises(ModelError, match="mask"):
+            MeanShiftQuality(planted)(np.ones(10, dtype=bool))
+
+
+class TestWRAcc:
+    def test_formula(self, planted):
+        quality = WRAccQuality(planted)
+        mask = np.zeros(100, dtype=bool)
+        mask[:20] = True
+        positive = planted > planted.mean()
+        expected = 0.2 * (positive[mask].mean() - positive.mean())
+        assert quality(mask) == pytest.approx(expected)
+
+    def test_multitarget_rejected(self, rng):
+        with pytest.raises(ModelError, match="single target"):
+            WRAccQuality(rng.standard_normal((10, 2)))
+
+    def test_custom_threshold(self, planted):
+        quality = WRAccQuality(planted, threshold=2.0)
+        assert quality.threshold == 2.0
+
+    def test_bounded_by_quarter(self, planted, rng):
+        quality = WRAccQuality(planted)
+        for _ in range(20):
+            mask = rng.random(100) < rng.random()
+            if mask.any():
+                assert abs(quality(mask)) <= 0.25 + 1e-9
+
+
+class TestDispersionCorrected:
+    def test_tight_subgroup_beats_loose(self, rng):
+        targets = rng.standard_normal(100) * 0.1
+        targets[:20] += 2.0                      # tight displaced subgroup
+        targets[20:40] += 2.0 + rng.standard_normal(20) * 3.0  # noisy one
+        quality = DispersionCorrectedQuality(targets)
+        tight = np.zeros(100, dtype=bool)
+        tight[:20] = True
+        loose = np.zeros(100, dtype=bool)
+        loose[20:40] = True
+        assert quality(tight) > quality(loose)
+
+    def test_negative_shift_scores_zero(self, planted):
+        quality = DispersionCorrectedQuality(planted)
+        mask = planted < planted.mean() - 1.0
+        assert quality(mask) == 0.0
+
+    def test_multitarget_rejected(self, rng):
+        with pytest.raises(ModelError, match="single target"):
+            DispersionCorrectedQuality(rng.standard_normal((10, 2)))
+
+    def test_invalid_params(self, planted):
+        with pytest.raises(ModelError):
+            DispersionCorrectedQuality(planted, coverage_power=-1.0)

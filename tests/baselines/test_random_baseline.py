@@ -1,0 +1,59 @@
+"""Tests for the random-subgroup SI baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.random_baseline import random_subgroup_si
+from repro.errors import SearchError
+from repro.model.background import BackgroundModel
+
+
+@pytest.fixture()
+def setup(rng):
+    targets = rng.standard_normal((200, 2))
+    return targets, BackgroundModel.from_targets(targets)
+
+
+class TestRandomSubgroupSI:
+    def test_returns_mean_and_draws(self, setup):
+        targets, model = setup
+        mean, draws = random_subgroup_si(model, targets, 40, n_draws=25, seed=0)
+        assert draws.shape == (25,)
+        assert mean == pytest.approx(draws.mean())
+
+    def test_baseline_is_low(self, setup):
+        """Random subgroups carry almost no information."""
+        targets, model = setup
+        mean, _ = random_subgroup_si(model, targets, 40, n_draws=50, seed=0)
+        assert mean < 3.0
+
+    def test_reproducible(self, setup):
+        targets, model = setup
+        a, _ = random_subgroup_si(model, targets, 30, n_draws=10, seed=3)
+        b, _ = random_subgroup_si(model, targets, 30, n_draws=10, seed=3)
+        assert a == b
+
+    def test_size_validation(self, setup):
+        targets, model = setup
+        with pytest.raises(SearchError):
+            random_subgroup_si(model, targets, 1)
+        with pytest.raises(SearchError):
+            random_subgroup_si(model, targets, 1000)
+
+    def test_draw_validation(self, setup):
+        targets, model = setup
+        with pytest.raises(SearchError):
+            random_subgroup_si(model, targets, 40, n_draws=0)
+
+    def test_planted_pattern_beats_baseline(self, rng):
+        targets = rng.standard_normal((200, 2))
+        targets[:40] += 2.0
+        model = BackgroundModel.from_targets(targets)
+        baseline, _ = random_subgroup_si(model, targets, 40, n_draws=30, seed=0)
+        from repro.interest.si import score_location
+        from repro.stats.statistics import subgroup_mean
+
+        planted = score_location(
+            model, np.arange(40), subgroup_mean(targets, np.arange(40)), 1
+        )
+        assert planted.si > baseline + 10.0

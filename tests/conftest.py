@@ -1,0 +1,51 @@
+"""Shared fixtures: datasets and models are expensive, so session-scope them."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    make_crime,
+    make_mammals,
+    make_socio,
+    make_synthetic,
+    make_water,
+)
+from repro.model import BackgroundModel
+
+
+@pytest.fixture(scope="session")
+def synthetic_dataset():
+    return make_synthetic(0)
+
+
+@pytest.fixture(scope="session")
+def crime_dataset():
+    return make_crime(0)
+
+
+@pytest.fixture(scope="session")
+def mammals_dataset():
+    return make_mammals(0)
+
+
+@pytest.fixture(scope="session")
+def socio_dataset():
+    return make_socio(0)
+
+
+@pytest.fixture(scope="session")
+def water_dataset():
+    return make_water(0)
+
+
+@pytest.fixture()
+def synthetic_model(synthetic_dataset):
+    """A fresh empirical-prior model per test (models are mutable)."""
+    return BackgroundModel.from_targets(synthetic_dataset.targets)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,56 @@
+"""Tests for the Communities-and-Crime stand-in (§I / Fig. 1 calibration)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.crime import PCT_ILLEG_THRESHOLD, make_crime
+from repro.errors import DataError
+
+
+class TestShape:
+    def test_paper_dimensions(self, crime_dataset):
+        assert crime_dataset.n_rows == 1994
+        assert crime_dataset.n_descriptions == 122
+        assert crime_dataset.n_targets == 1
+        assert crime_dataset.target_names == ["violent_crimes_per_pop"]
+
+    def test_all_values_in_unit_interval(self, crime_dataset):
+        assert crime_dataset.targets.min() >= 0.0
+        assert crime_dataset.targets.max() <= 1.0
+        for col in crime_dataset.columns():
+            assert col.values.min() >= 0.0
+            assert col.values.max() <= 1.0
+
+    def test_too_few_descriptions_rejected(self):
+        with pytest.raises(ValueError):
+            make_crime(0, n_descriptions=5)
+
+
+class TestPlantedCalibration:
+    """The paper's numbers: coverage ~20.5%, means 0.53 vs 0.24."""
+
+    def test_threshold_coverage(self, crime_dataset):
+        pct = crime_dataset.column("pct_illeg").values
+        coverage = (pct >= PCT_ILLEG_THRESHOLD).mean()
+        assert 0.15 <= coverage <= 0.26
+
+    def test_subgroup_mean_doubles(self, crime_dataset):
+        pct = crime_dataset.column("pct_illeg").values
+        crime = crime_dataset.targets[:, 0]
+        subgroup = crime[pct >= PCT_ILLEG_THRESHOLD]
+        assert 0.20 <= crime.mean() <= 0.30
+        assert 0.45 <= subgroup.mean() <= 0.60
+        assert subgroup.mean() > 1.7 * crime.mean()
+
+    def test_pct_illeg_is_the_strongest_single_correlate(self, crime_dataset):
+        crime = crime_dataset.targets[:, 0]
+        correlations = {
+            name: abs(np.corrcoef(crime_dataset.column(name).values, crime)[0, 1])
+            for name in crime_dataset.description_names
+        }
+        assert max(correlations, key=correlations.get) == "pct_illeg"
+
+    def test_income_negatively_correlated(self, crime_dataset):
+        crime = crime_dataset.targets[:, 0]
+        rho = np.corrcoef(crime_dataset.column("med_income").values, crime)[0, 1]
+        assert rho < -0.1

@@ -1,0 +1,91 @@
+"""CSV round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import read_csv, write_csv
+from repro.datasets.schema import AttributeKind, Column, Dataset
+from repro.datasets.synthetic import make_synthetic
+from repro.errors import DataError
+
+
+def mixed_dataset():
+    columns = [
+        Column("num", AttributeKind.NUMERIC, np.array([0.5, -1.25, 3.0])),
+        Column("cat", AttributeKind.CATEGORICAL, np.array(["x", "y y", "z,w"])),
+        Column("bin", AttributeKind.BINARY, np.array([1.0, 0.0, 1.0])),
+        Column("ord", AttributeKind.ORDINAL, np.array([0.0, 3.0, 5.0])),
+    ]
+    return Dataset("mixed", columns, np.array([[1.5], [2.5], [-3.5]]), ["y"])
+
+
+class TestRoundTrip:
+    def test_mixed_kinds(self, tmp_path):
+        original = mixed_dataset()
+        path = write_csv(original, tmp_path / "mixed.csv")
+        loaded = read_csv(path)
+        assert loaded.description_names == original.description_names
+        assert loaded.target_names == original.target_names
+        np.testing.assert_allclose(loaded.targets, original.targets)
+        for name in original.description_names:
+            a, b = original.column(name), loaded.column(name)
+            assert a.kind == b.kind
+            if a.kind is AttributeKind.CATEGORICAL:
+                np.testing.assert_array_equal(a.values, b.values)
+            else:
+                np.testing.assert_allclose(
+                    a.values.astype(float), b.values.astype(float)
+                )
+
+    def test_float_values_exact(self, tmp_path):
+        """repr() serialization must round-trip floats bit-exactly."""
+        original = make_synthetic(0)
+        path = write_csv(original, tmp_path / "syn.csv")
+        loaded = read_csv(path)
+        np.testing.assert_array_equal(loaded.targets, original.targets)
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = write_csv(mixed_dataset(), tmp_path / "somefile.csv")
+        assert read_csv(path).name == "somefile"
+
+    def test_name_override(self, tmp_path):
+        path = write_csv(mixed_dataset(), tmp_path / "f.csv")
+        assert read_csv(path, name="custom").name == "custom"
+
+
+class TestReadErrors:
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataError, match="header"):
+            read_csv(path)
+
+    def test_no_data_rows(self, tmp_path):
+        path = tmp_path / "hdr.csv"
+        path.write_text("a,b\nnumeric,target\n")
+        with pytest.raises(DataError, match="no data"):
+            read_csv(path)
+
+    def test_unknown_role(self, tmp_path):
+        path = tmp_path / "role.csv"
+        path.write_text("a,b\nwhatever,target\n1,2\n")
+        with pytest.raises(DataError, match="unknown column role"):
+            read_csv(path)
+
+    def test_no_targets(self, tmp_path):
+        path = tmp_path / "nt.csv"
+        path.write_text("a\nnumeric\n1\n")
+        with pytest.raises(DataError, match="no target"):
+            read_csv(path)
+
+    def test_ragged_rows(self, tmp_path):
+        path = tmp_path / "rag.csv"
+        path.write_text("a,b\nnumeric,target\n1,2\n3\n")
+        with pytest.raises(DataError, match="ragged"):
+            read_csv(path)
+
+    def test_header_length_mismatch(self, tmp_path):
+        path = tmp_path / "mm.csv"
+        path.write_text("a,b\nnumeric\n1,2\n")
+        with pytest.raises(DataError, match="mismatch"):
+            read_csv(path)

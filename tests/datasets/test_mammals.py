@@ -1,0 +1,96 @@
+"""Tests for the European-mammals stand-in (§III-B calibration)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.mammals import FOCAL_SPECIES, make_mammals
+
+
+class TestShape:
+    def test_paper_dimensions(self, mammals_dataset):
+        assert mammals_dataset.n_rows == 2220
+        assert mammals_dataset.n_descriptions == 67
+        assert mammals_dataset.n_targets == 124
+
+    def test_targets_binary(self, mammals_dataset):
+        assert set(np.unique(mammals_dataset.targets)) <= {0.0, 1.0}
+
+    def test_focal_species_present(self, mammals_dataset):
+        for name, _ in FOCAL_SPECIES:
+            assert name in mammals_dataset.target_names
+
+    def test_metadata_grid(self, mammals_dataset):
+        lat = mammals_dataset.metadata["lat"]
+        lon = mammals_dataset.metadata["lon"]
+        assert lat.shape == (2220,)
+        assert lon.shape == (2220,)
+        assert lat.min() >= 35.0 and lat.max() <= 72.0
+
+    def test_too_few_species_rejected(self):
+        with pytest.raises(ValueError):
+            make_mammals(0, n_species=3)
+
+
+class TestClimate:
+    def test_temperature_decreases_with_latitude(self, mammals_dataset):
+        lat = mammals_dataset.metadata["lat"]
+        temp = mammals_dataset.column("annual_mean_temp").values
+        rho = np.corrcoef(lat, temp)[0, 1]
+        assert rho < -0.8
+
+    def test_cold_march_region_fraction(self, mammals_dataset):
+        cold = mammals_dataset.column("tmp_mar").values <= -1.68
+        assert 0.15 <= cold.mean() <= 0.28
+
+    def test_alps_are_cold(self, mammals_dataset):
+        lat = mammals_dataset.metadata["lat"]
+        lon = mammals_dataset.metadata["lon"]
+        tmp = mammals_dataset.column("tmp_mar").values
+        alps = (np.abs(lat - 46.5) < 1.0) & (np.abs(lon - 10.0) < 3.0)
+        south_lowland = (lat < 42.0) & (lon > -5.0) & (lon < 5.0)
+        assert tmp[alps].mean() < tmp[south_lowland].mean() - 5.0
+
+    def test_mediterranean_dry_august(self, mammals_dataset):
+        lat = mammals_dataset.metadata["lat"]
+        rain = mammals_dataset.column("rain_aug").values
+        assert rain[lat < 42.0].mean() < rain[lat > 50.0].mean() - 20.0
+
+    def test_east_dry_october_warm_summerwet(self, mammals_dataset):
+        lon = mammals_dataset.metadata["lon"]
+        lat = mammals_dataset.metadata["lat"]
+        east = (lon > 20.0) & (lat > 44.0) & (lat < 55.0)
+        west = (lon < 0.0) & (lat > 44.0) & (lat < 55.0)
+        rain_oct = mammals_dataset.column("rain_oct").values
+        warm_wet = mammals_dataset.column("mean_temp_wettest_quarter").values
+        assert rain_oct[east].mean() < rain_oct[west].mean() - 15.0
+        assert warm_wet[east].mean() > warm_wet[west].mean() + 5.0
+
+
+class TestSpecies:
+    def presence(self, ds, name):
+        return ds.targets[:, ds.target_index(name)] > 0.5
+
+    def test_mountain_hare_boreal(self, mammals_dataset):
+        cold = mammals_dataset.column("tmp_mar").values <= -1.68
+        hare = self.presence(mammals_dataset, "lepus_timidus")
+        assert hare[cold].mean() > 0.75
+        assert hare[~cold].mean() < 0.35
+
+    def test_wood_mouse_temperate(self, mammals_dataset):
+        cold = mammals_dataset.column("tmp_mar").values <= -1.68
+        mouse = self.presence(mammals_dataset, "apodemus_sylvaticus")
+        assert mouse[~cold].mean() > 0.6
+        assert mouse[cold].mean() < mouse[~cold].mean() - 0.3
+
+    def test_iberian_hare_only_in_dry_south(self, mammals_dataset):
+        hare = self.presence(mammals_dataset, "lepus_granatensis")
+        dry = mammals_dataset.column("rain_aug").values <= 47.62
+        # Nearly all occurrences lie inside the dry-summer region.
+        assert hare[~dry].mean() < 0.25
+        assert hare[dry].mean() > hare[~dry].mean() + 0.2
+
+    def test_moist_species_avoid_dry_summer(self, mammals_dataset):
+        stoat = self.presence(mammals_dataset, "mustela_erminea")
+        dry = mammals_dataset.column("rain_aug").values <= 30.0
+        wet = mammals_dataset.column("rain_aug").values >= 70.0
+        assert stoat[wet].mean() > stoat[dry].mean() + 0.3

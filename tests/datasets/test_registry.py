@@ -1,0 +1,28 @@
+"""Registry tests."""
+
+import pytest
+
+from repro.datasets.registry import available_datasets, load_dataset
+from repro.errors import DataError
+
+
+class TestRegistry:
+    def test_lists_all_five(self):
+        assert available_datasets() == [
+            "crime", "mammals", "socio", "synthetic", "water",
+        ]
+
+    def test_unknown_name(self):
+        with pytest.raises(DataError, match="unknown dataset"):
+            load_dataset("nope")
+
+    def test_kwargs_forwarded(self):
+        ds = load_dataset("synthetic", seed=1, flip_probability=0.5)
+        assert ds.metadata["flip_probability"] == 0.5
+
+    def test_seed_determinism(self):
+        import numpy as np
+
+        a = load_dataset("water", seed=3)
+        b = load_dataset("water", seed=3)
+        np.testing.assert_array_equal(a.targets, b.targets)

@@ -1,0 +1,145 @@
+"""Tests for the Dataset/Column schema."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.schema import AttributeKind, Column, Dataset
+from repro.errors import DataError
+
+
+def small_dataset():
+    columns = [
+        Column("num", AttributeKind.NUMERIC, np.array([1.0, 2.0, 3.0, 4.0])),
+        Column("cat", AttributeKind.CATEGORICAL, np.array(["a", "b", "a", "c"])),
+        Column("bin", AttributeKind.BINARY, np.array([0.0, 1.0, 1.0, 0.0])),
+        Column("ord", AttributeKind.ORDINAL, np.array([0.0, 1.0, 3.0, 5.0])),
+    ]
+    targets = np.arange(8.0).reshape(4, 2)
+    return Dataset("toy", columns, targets, ["t1", "t2"], {"truth": np.arange(4)})
+
+
+class TestColumn:
+    def test_binary_validation(self):
+        with pytest.raises(DataError, match="binary"):
+            Column("b", AttributeKind.BINARY, np.array([0.0, 2.0]))
+
+    def test_numeric_rejects_nan(self):
+        with pytest.raises(DataError, match="NaN"):
+            Column("x", AttributeKind.NUMERIC, np.array([1.0, np.nan]))
+
+    def test_numeric_rejects_strings(self):
+        with pytest.raises(DataError, match="non-numeric"):
+            Column("x", AttributeKind.NUMERIC, np.array(["a", "b"]))
+
+    def test_categorical_coerces_to_str(self):
+        col = Column("c", AttributeKind.CATEGORICAL, np.array([1, 2, 1]))
+        assert col.values.dtype.kind in ("U", "S", "O")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(DataError, match="non-empty"):
+            Column("", AttributeKind.NUMERIC, np.array([1.0]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(DataError, match="1-D"):
+            Column("x", AttributeKind.NUMERIC, np.zeros((2, 2)))
+
+    def test_domain_sorted_unique(self):
+        col = Column("x", AttributeKind.NUMERIC, np.array([3.0, 1.0, 3.0]))
+        np.testing.assert_array_equal(col.domain(), [1.0, 3.0])
+
+    def test_is_constant(self):
+        assert Column("x", AttributeKind.NUMERIC, np.array([2.0, 2.0])).is_constant()
+        assert not Column("x", AttributeKind.NUMERIC, np.array([1.0, 2.0])).is_constant()
+
+    def test_orderable_kinds(self):
+        assert AttributeKind.NUMERIC.is_orderable
+        assert AttributeKind.ORDINAL.is_orderable
+        assert not AttributeKind.CATEGORICAL.is_orderable
+        assert not AttributeKind.BINARY.is_orderable
+
+
+class TestDataset:
+    def test_shapes(self):
+        ds = small_dataset()
+        assert ds.n_rows == 4
+        assert ds.n_targets == 2
+        assert ds.n_descriptions == 4
+        assert len(ds) == 4
+
+    def test_1d_targets_promoted(self):
+        ds = Dataset("t", [], np.array([1.0, 2.0]), ["y"])
+        assert ds.targets.shape == (2, 1)
+
+    def test_row_count_mismatch(self):
+        with pytest.raises(DataError, match="rows"):
+            Dataset(
+                "t",
+                [Column("x", AttributeKind.NUMERIC, np.array([1.0]))],
+                np.zeros((2, 1)),
+                ["y"],
+            )
+
+    def test_duplicate_column_names(self):
+        cols = [
+            Column("x", AttributeKind.NUMERIC, np.array([1.0])),
+            Column("x", AttributeKind.NUMERIC, np.array([2.0])),
+        ]
+        with pytest.raises(DataError, match="duplicate"):
+            Dataset("t", cols, np.zeros((1, 1)), ["y"])
+
+    def test_duplicate_target_names(self):
+        with pytest.raises(DataError, match="duplicate"):
+            Dataset("t", [], np.zeros((1, 2)), ["y", "y"])
+
+    def test_name_collision_between_roles(self):
+        cols = [Column("y", AttributeKind.NUMERIC, np.array([1.0]))]
+        with pytest.raises(DataError, match="both"):
+            Dataset("t", cols, np.zeros((1, 1)), ["y"])
+
+    def test_nan_targets_rejected(self):
+        with pytest.raises(DataError, match="NaN"):
+            Dataset("t", [], np.array([[np.nan]]), ["y"])
+
+    def test_column_lookup(self):
+        ds = small_dataset()
+        assert ds.column("num").name == "num"
+        assert "num" in ds
+        assert "nope" not in ds
+        with pytest.raises(DataError, match="unknown"):
+            ds.column("nope")
+
+    def test_target_lookup(self):
+        ds = small_dataset()
+        assert ds.target_index("t2") == 1
+        np.testing.assert_array_equal(ds.target("t1"), [0.0, 2.0, 4.0, 6.0])
+        with pytest.raises(DataError, match="unknown"):
+            ds.target("nope")
+
+    def test_with_targets(self):
+        ds = small_dataset().with_targets(["t2"])
+        assert ds.target_names == ["t2"]
+        assert ds.targets.shape == (4, 1)
+        np.testing.assert_array_equal(ds.targets[:, 0], [1.0, 3.0, 5.0, 7.0])
+
+    def test_subset_bool_mask(self):
+        ds = small_dataset()
+        sub = ds.subset(np.array([True, False, True, False]))
+        assert sub.n_rows == 2
+        np.testing.assert_array_equal(sub.column("num").values, [1.0, 3.0])
+        np.testing.assert_array_equal(sub.metadata["truth"], [0, 2])
+
+    def test_subset_indices(self):
+        sub = small_dataset().subset(np.array([3, 1]))
+        np.testing.assert_array_equal(sub.column("num").values, [4.0, 2.0])
+
+    def test_empirical_moments(self):
+        ds = small_dataset()
+        np.testing.assert_allclose(ds.empirical_mean(), ds.targets.mean(axis=0))
+        cov = ds.empirical_cov()
+        centered = ds.targets - ds.targets.mean(axis=0)
+        np.testing.assert_allclose(cov, centered.T @ centered / 4)
+
+    def test_summary_mentions_columns(self):
+        text = small_dataset().summary()
+        for name in ("num", "cat", "bin", "ord", "t1"):
+            assert name in text

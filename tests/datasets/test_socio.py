@@ -1,0 +1,74 @@
+"""Tests for the German socio-economics stand-in (§III-C calibration)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.socio import PARTIES, SPREAD_DIRECTION, make_socio
+
+
+class TestShape:
+    def test_paper_dimensions(self, socio_dataset):
+        assert socio_dataset.n_rows == 412
+        assert socio_dataset.n_descriptions == 13
+        assert socio_dataset.n_targets == 5
+        assert socio_dataset.target_names == list(PARTIES)
+
+    def test_vote_shares_plausible(self, socio_dataset):
+        totals = socio_dataset.targets.sum(axis=1)
+        assert totals.min() > 60.0
+        assert totals.max() < 110.0
+
+    def test_region_metadata(self, socio_dataset):
+        region = socio_dataset.metadata["region"]
+        counts = {kind: (region == kind).sum() for kind in np.unique(region)}
+        assert counts["east"] == 87
+        assert counts["student_city"] == 3
+
+    def test_named_districts(self, socio_dataset):
+        names = set(socio_dataset.metadata["district"])
+        for must in ("Leipzig", "Munich", "Heidelberg"):
+            assert must in names
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            make_socio(0, n_rows=50, n_east=40, n_city=20)
+
+
+class TestPlantedStructure:
+    def test_east_has_few_children_and_strong_left(self, socio_dataset):
+        region = socio_dataset.metadata["region"]
+        east = region == "east"
+        children = socio_dataset.column("children_pop").values
+        left = socio_dataset.target("left_2009")
+        assert children[east].mean() < children[~east].mean() - 2.0
+        assert left[east].mean() > left[~east].mean() + 10.0
+
+    def test_student_cities_have_few_children(self, socio_dataset):
+        region = socio_dataset.metadata["region"]
+        children = socio_dataset.column("children_pop").values
+        students = region == "student_city"
+        west = region == "west"
+        assert children[students].mean() < children[west].mean() - 2.0
+
+    def test_cities_middleaged_and_green(self, socio_dataset):
+        region = socio_dataset.metadata["region"]
+        city = region == "city"
+        middleaged = socio_dataset.column("middleaged_pop").values
+        green = socio_dataset.target("green_2009")
+        assert middleaged[city].mean() > middleaged[~city].mean() + 2.0
+        assert green[city].mean() > green[~city].mean() + 5.0
+
+    def test_planted_low_variance_direction(self, socio_dataset):
+        """Variance along (0.5704, 0.8214) on (CDU, SPD) is tiny in the East."""
+        region = socio_dataset.metadata["region"]
+        east = region == "east"
+        pair = socio_dataset.targets[:, :2]
+        projections = pair @ SPREAD_DIRECTION
+        assert projections[east].var() < 0.05 * projections.var()
+
+    def test_cdu_spd_anticorrelated_in_east(self, socio_dataset):
+        region = socio_dataset.metadata["region"]
+        east = region == "east"
+        cdu = socio_dataset.target("cdu_2009")[east]
+        spd = socio_dataset.target("spd_2009")[east]
+        assert np.corrcoef(cdu, spd)[0, 1] < -0.9

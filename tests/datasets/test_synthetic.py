@@ -1,0 +1,98 @@
+"""Tests for the paper's synthetic data generator (§III-A)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import cluster_center, cluster_covariance, make_synthetic
+
+
+class TestShape:
+    def test_paper_dimensions(self, synthetic_dataset):
+        ds = synthetic_dataset
+        assert ds.n_rows == 620
+        assert ds.n_targets == 2
+        assert ds.n_descriptions == 5
+        assert ds.description_names == [f"attr{j}" for j in range(3, 8)]
+        assert ds.target_names == ["attr1", "attr2"]
+
+    def test_all_descriptions_binary(self, synthetic_dataset):
+        for col in synthetic_dataset.columns():
+            assert set(np.unique(col.values)) <= {0.0, 1.0}
+
+    def test_custom_sizes(self):
+        ds = make_synthetic(0, n_background=100, cluster_size=10)
+        assert ds.n_rows == 130
+
+
+class TestPlantedStructure:
+    def test_labels_match_clusters(self, synthetic_dataset):
+        cluster = synthetic_dataset.metadata["cluster"]
+        for k, attr in enumerate(("attr3", "attr4", "attr5"), start=1):
+            np.testing.assert_array_equal(
+                synthetic_dataset.column(attr).values == 1.0, cluster == k
+            )
+
+    def test_cluster_sizes(self, synthetic_dataset):
+        cluster = synthetic_dataset.metadata["cluster"]
+        for k in (1, 2, 3):
+            assert (cluster == k).sum() == 40
+
+    def test_cluster_centers_at_distance_two(self):
+        for k in range(3):
+            assert np.linalg.norm(cluster_center(k)) == pytest.approx(2.0)
+
+    def test_cluster_covariance_anisotropic(self):
+        for k in range(3):
+            eigvals = np.linalg.eigvalsh(cluster_covariance(k))
+            assert eigvals[-1] / eigvals[0] > 10.0
+
+    def test_cluster_means_near_centers(self, synthetic_dataset):
+        cluster = synthetic_dataset.metadata["cluster"]
+        for k in (1, 2, 3):
+            mean = synthetic_dataset.targets[cluster == k].mean(axis=0)
+            assert np.linalg.norm(mean - cluster_center(k - 1)) < 0.5
+
+    def test_noise_attributes_uninformative(self, synthetic_dataset):
+        cluster = synthetic_dataset.metadata["cluster"]
+        for attr in ("attr6", "attr7"):
+            values = synthetic_dataset.column(attr).values
+            # Roughly half ones, and no alignment with any planted cluster.
+            assert 0.4 < values.mean() < 0.6
+            for k in (1, 2, 3):
+                overlap = values[cluster == k].mean()
+                assert 0.25 < overlap < 0.75
+
+    def test_background_points_standard_normal(self, synthetic_dataset):
+        cluster = synthetic_dataset.metadata["cluster"]
+        background = synthetic_dataset.targets[cluster == 0]
+        assert np.abs(background.mean(axis=0)).max() < 0.15
+        assert np.abs(background.std(axis=0) - 1.0).max() < 0.15
+
+
+class TestFlipNoise:
+    def test_zero_flip_is_clean(self):
+        a = make_synthetic(5, flip_probability=0.0)
+        b = make_synthetic(5)
+        np.testing.assert_array_equal(
+            a.column("attr3").values, b.column("attr3").values
+        )
+
+    def test_flip_rate_close_to_p(self):
+        clean = make_synthetic(7)
+        noisy = make_synthetic(7, flip_probability=0.2)
+        flips = np.mean(
+            [
+                (clean.column(a).values != noisy.column(a).values).mean()
+                for a in clean.description_names
+            ]
+        )
+        assert 0.15 < flips < 0.25
+
+    def test_targets_unaffected_by_flip(self):
+        clean = make_synthetic(7)
+        noisy = make_synthetic(7, flip_probability=0.3)
+        np.testing.assert_array_equal(clean.targets, noisy.targets)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            make_synthetic(0, flip_probability=1.5)

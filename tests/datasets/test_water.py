@@ -1,0 +1,70 @@
+"""Tests for the river water-quality stand-in (§III-D calibration)."""
+
+import numpy as np
+
+from repro.datasets.water import DENSITY_LEVELS, TARGETS, TAXA, make_water
+
+
+class TestShape:
+    def test_paper_dimensions(self, water_dataset):
+        assert water_dataset.n_rows == 1060
+        assert water_dataset.n_descriptions == 14
+        assert water_dataset.n_targets == 16
+        assert water_dataset.target_names == list(TARGETS)
+
+    def test_taxa_split(self):
+        assert len(TAXA) == 14
+
+    def test_ordinal_levels(self, water_dataset):
+        for col in water_dataset.columns():
+            assert set(np.unique(col.values)) <= set(DENSITY_LEVELS)
+
+
+class TestPlantedStructure:
+    def planted_mask(self, ds):
+        g = ds.column("amphipoda_gammarus_fossarum").values
+        t = ds.column("oligochaeta_tubifex").values
+        return (g <= 0) & (t >= 3)
+
+    def test_planted_subgroup_size(self, water_dataset):
+        size = self.planted_mask(water_dataset).sum()
+        assert 70 <= size <= 130  # paper: 91 records
+
+    def test_oxygen_demand_elevated(self, water_dataset):
+        mask = self.planted_mask(water_dataset)
+        for name in ("bod", "kmno4", "k2cr2o7", "cl", "conduct"):
+            j = water_dataset.target_index(name)
+            inside = water_dataset.targets[mask, j].mean()
+            outside = water_dataset.targets[~mask, j].mean()
+            assert inside > outside, name
+
+    def test_oxygen_depleted(self, water_dataset):
+        mask = self.planted_mask(water_dataset)
+        j = water_dataset.target_index("o2")
+        assert water_dataset.targets[mask, j].mean() < water_dataset.targets[~mask, j].mean()
+
+    def test_variance_inflation_along_bod_kmno4(self, water_dataset):
+        """The planted spread direction has MORE variance inside the subgroup."""
+        mask = self.planted_mask(water_dataset)
+        j_bod = water_dataset.target_index("bod")
+        j_k = water_dataset.target_index("kmno4")
+        w = np.array([1.1, 1.9])
+        w = w / np.linalg.norm(w)
+        pair = water_dataset.targets[:, [j_bod, j_k]]
+        centered_in = pair[mask] - pair[mask].mean(axis=0)
+        inside_var = float(np.mean((centered_in @ w) ** 2))
+        centered_all = pair - pair.mean(axis=0)
+        overall_var = float(np.mean((centered_all @ w) ** 2))
+        # Inside variance along w exceeds what the overall residual (after
+        # subtracting the mean shift) would suggest for a random subset.
+        assert inside_var > 0.5 * overall_var
+
+    def test_gammarus_clean_indicator(self, water_dataset):
+        pollution = water_dataset.metadata["pollution"]
+        g = water_dataset.column("amphipoda_gammarus_fossarum").values
+        assert pollution[g == 0].mean() > pollution[g >= 3].mean()
+
+    def test_tubifex_tolerant_indicator(self, water_dataset):
+        pollution = water_dataset.metadata["pollution"]
+        t = water_dataset.column("oligochaeta_tubifex").values
+        assert pollution[t >= 3].mean() > pollution[t == 0].mean()

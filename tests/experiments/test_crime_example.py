@@ -1,0 +1,49 @@
+"""Integration test: the Fig. 1 running example."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.crime_example import run_fig1
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return run_fig1(seed=0)
+
+
+class TestFig1:
+    def test_pattern_is_pct_illeg_upper_tail(self, fig1):
+        """The paper's top pattern: PctIlleg >= 0.39."""
+        assert "pct_illeg >=" in fig1.intention
+
+    def test_coverage_close_to_paper(self, fig1):
+        assert 0.12 <= fig1.coverage <= 0.30  # paper: 20.5%
+
+    def test_means_close_to_paper(self, fig1):
+        assert 0.20 <= fig1.overall_mean <= 0.30   # paper: 0.24
+        assert 0.42 <= fig1.subgroup_mean <= 0.62  # paper: 0.53
+        assert fig1.subgroup_mean > 1.7 * fig1.overall_mean
+
+    def test_si_strongly_positive(self, fig1):
+        assert fig1.si > 50.0
+
+    def test_density_series_shapes(self, fig1):
+        assert fig1.grid.shape == fig1.density_full.shape
+        assert fig1.grid.shape == fig1.density_within_subgroup.shape
+
+    def test_share_is_coverage_scaled(self, fig1):
+        np.testing.assert_allclose(
+            fig1.density_subgroup_share,
+            fig1.coverage * fig1.density_within_subgroup,
+            rtol=1e-9,
+        )
+
+    def test_subgroup_density_shifted_right(self, fig1):
+        mode_full = fig1.grid[np.argmax(fig1.density_full)]
+        mode_subgroup = fig1.grid[np.argmax(fig1.density_within_subgroup)]
+        assert mode_subgroup > mode_full
+
+    def test_format_renders(self, fig1):
+        text = fig1.format()
+        assert "coverage" in text
+        assert "paper" in text

@@ -1,0 +1,90 @@
+"""Integration tests: the §III-B mammal experiments (Figs. 4-6)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.mammals_exp import run_fig4, run_fig5, run_fig6
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return run_fig6(seed=0)
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return run_fig5(seed=0)
+
+
+class TestFig6:
+    def test_three_patterns(self, fig6):
+        assert len(fig6.patterns) == 3
+
+    def test_first_pattern_is_cold_march(self, fig6):
+        """Paper Fig. 6a: 'mean temperature in March <= -1.68'."""
+        first = fig6.patterns[0]
+        assert first.best_region == "cold_march"
+        assert first.jaccard_with_region > 0.7
+        assert "tmp_mar <=" in first.intention
+
+    def test_all_three_planted_regions_found(self, fig6):
+        regions = {p.best_region for p in fig6.patterns}
+        assert regions == {"cold_march", "dry_august", "dry_october_warm"}
+
+    def test_region_alignment_strong(self, fig6):
+        for pattern in fig6.patterns:
+            assert pattern.jaccard_with_region > 0.5
+
+    def test_si_decreasing_over_iterations(self, fig6):
+        sis = [p.si for p in fig6.patterns]
+        assert sis == sorted(sis, reverse=True)
+        assert sis[-1] > 50.0
+
+    def test_maps_render(self, fig6):
+        for pattern in fig6.patterns:
+            assert "#" in pattern.map_text
+        assert "Fig. 6" in fig6.format(with_maps=True)
+
+
+class TestFig5:
+    def test_five_species(self, fig5):
+        assert len(fig5.top_species) == 5
+
+    def test_observed_outside_model_ci(self, fig5):
+        """Top-ranked species must be dramatically surprising."""
+        for record in fig5.top_species:
+            lo, hi = record.ci95
+            assert record.observed < lo or record.observed > hi
+
+    def test_update_pins_means(self, fig5):
+        for before, after in zip(fig5.top_species, fig5.after_update):
+            assert after.expected == pytest.approx(before.observed, abs=1e-6)
+
+    def test_mix_of_present_and_absent_surprises(self, fig5):
+        """The paper's list mixes boreal (present) and temperate (absent)."""
+        signs = {np.sign(r.z) for r in fig5.top_species}
+        assert signs == {1.0, -1.0}
+
+    def test_format_renders(self, fig5):
+        assert "model 95% CI" in fig5.format()
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def fig4(self):
+        return run_fig4(seed=0, n_species=3)
+
+    def test_three_species(self, fig4):
+        assert len(fig4.species) == 3
+
+    def test_presence_contrast(self, fig4):
+        """Inside/outside prevalence must differ strongly for top species."""
+        for species in fig4.species:
+            assert abs(species.prevalence_inside - species.prevalence_outside) > 0.4
+
+    def test_maps_have_both_markers(self, fig4):
+        for species in fig4.species:
+            assert "#" in species.map_text or "." in species.map_text
+
+    def test_format_renders(self, fig4):
+        assert "Fig. 4" in fig4.format(with_maps=True)

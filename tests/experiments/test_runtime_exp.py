@@ -1,0 +1,46 @@
+"""Integration tests: the Table II runtime harness (reduced sizes)."""
+
+import pytest
+
+from repro.experiments.runtime_exp import run_table2
+
+
+@pytest.fixture(scope="module")
+def table2():
+    # Reduced iteration count keeps the suite fast; the shape claims below
+    # are already visible at this scale.
+    return run_table2(seed=0, n_iterations=6, mammals_max_iter=4)
+
+
+class TestTable2:
+    def test_all_columns_present(self, table2):
+        assert set(table2.location_seconds) == {"GSE", "WQ", "Cr", "Ma"}
+        assert set(table2.spread_seconds) == {"GSE", "WQ", "Cr"}  # no Ma column
+
+    def test_mammals_truncated(self, table2):
+        assert len(table2.location_seconds["Ma"]) == 4
+        assert len(table2.location_seconds["GSE"]) == 6
+
+    def test_refit_time_grows_with_patterns(self, table2):
+        """More assimilated patterns -> slower refit (the paper's trend)."""
+        for label, series in table2.location_seconds.items():
+            assert series[-1] > series[0], label
+
+    def test_mammals_location_slowest(self, table2):
+        """d_y = 124 dominates the location refit cost."""
+        k = 3  # compare at iteration 4 (index 3), available for all
+        ma = table2.location_seconds["Ma"][k]
+        others = [
+            table2.location_seconds[label][k] for label in ("GSE", "WQ", "Cr")
+        ]
+        assert ma > max(others)
+
+    def test_init_time_recorded(self, table2):
+        assert set(table2.init_seconds) == {"GSE", "WQ", "Cr", "Ma"}
+        assert all(v >= 0.0 for v in table2.init_seconds.values())
+
+    def test_format_renders(self, table2):
+        text = table2.format()
+        assert "Table II" in text
+        assert "init" in text
+        assert "-" in text  # the truncated Mammals cells

@@ -1,0 +1,95 @@
+"""Integration tests: the §III-C socio-economics experiments (Figs. 7-8)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.socio_exp import run_fig7, run_fig8
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return run_fig7(seed=0)
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return run_fig8(seed=0)
+
+
+class TestFig7:
+    def test_three_patterns(self, fig7):
+        assert len(fig7.patterns) == 3
+
+    def test_first_pattern_is_east(self, fig7):
+        """Paper: 'Children Pop. <= 14.1' covering East Germany."""
+        first = fig7.patterns[0]
+        assert first.region_shares["east"] > 0.9
+        assert "children_pop <=" in first.intention
+
+    def test_first_pattern_left_elevated(self, fig7):
+        first = fig7.patterns[0]
+        assert first.vote_means["left_2009"] > first.overall_vote_means["left_2009"] + 10
+        for party in ("cdu_2009", "spd_2009", "fdp_2009", "green_2009"):
+            assert first.vote_means[party] < first.overall_vote_means[party]
+
+    def test_second_pattern_is_cities_with_green(self, fig7):
+        second = fig7.patterns[1]
+        city_share = second.region_shares["city"] + second.region_shares["student_city"]
+        assert city_share > 0.8
+        assert second.vote_means["green_2009"] > second.overall_vote_means["green_2009"] + 4
+
+    def test_third_pattern_complement_left_unpopular(self, fig7):
+        third = fig7.patterns[2]
+        assert third.region_shares["east"] < 0.1
+        assert third.vote_means["left_2009"] < third.overall_vote_means["left_2009"] - 3
+
+    def test_format_renders(self, fig7):
+        assert "Fig. 7" in fig7.format()
+
+
+class TestFig8:
+    def test_left_most_surprising_party(self, fig8):
+        """Fig. 8a is ranked by SI; the Left tops it."""
+        assert fig8.surprisals_before[0].name == "left_2009"
+
+    def test_all_parties_outside_ci(self, fig8):
+        for record in fig8.surprisals_before:
+            lo, hi = record.ci95
+            assert record.observed < lo or record.observed > hi
+
+    def test_update_pins_means(self, fig8):
+        for before, after in zip(fig8.surprisals_before, fig8.surprisals_after):
+            assert after.expected == pytest.approx(before.observed, abs=1e-6)
+
+    def test_direction_on_cdu_spd_pair(self, fig8):
+        """Paper: weight vector (0.5704, 0.8214) on (CDU, SPD)."""
+        assert set(fig8.direction_attributes) == {"cdu_2009", "spd_2009"}
+
+    def test_direction_close_to_paper_vector(self, fig8):
+        nonzero = fig8.direction[np.abs(fig8.direction) > 1e-12]
+        paper = np.array([0.5704, 0.8214])
+        cosine = abs(float(nonzero @ paper))
+        assert cosine > 0.99
+
+    def test_variance_much_smaller_than_expected(self, fig8):
+        """Fig. 8c: the subgroup is far tighter along w than expected."""
+        assert fig8.observed_variance < 0.2 * fig8.expected_variance
+        assert fig8.spread_si > 10.0
+
+    def test_cdf_series_consistent(self, fig8):
+        assert fig8.cdf_grid.shape == fig8.cdf_model.shape == fig8.cdf_data.shape
+        assert np.all(np.diff(fig8.cdf_model) >= -1e-12)
+        # The data CDF is much steeper: it rises from 0.1 to 0.9 over a
+        # shorter span than the model's.
+        def span(cdf, grid):
+            lo = grid[np.searchsorted(cdf, 0.1)]
+            hi = grid[np.searchsorted(cdf, 0.9)]
+            return hi - lo
+        assert span(fig8.cdf_data, fig8.cdf_grid) < 0.7 * span(
+            fig8.cdf_model, fig8.cdf_grid
+        )
+
+    def test_format_renders(self, fig8):
+        text = fig8.format()
+        assert "Fig. 8b" in text
+        assert "0.5704" in text  # mentions the paper's reference vector

@@ -1,0 +1,127 @@
+"""Integration tests: the §III-A experiments reproduce the paper's shape."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.synthetic_exp import run_fig2, run_fig3, run_table1
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return run_fig2(seed=0)
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return run_table1(seed=0)
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return run_fig3(seed=0, n_baseline_draws=30)
+
+
+class TestFig2:
+    def test_three_iterations(self, fig2):
+        assert len(fig2.iterations) == 3
+
+    def test_recovers_all_planted_clusters_exactly(self, fig2):
+        clusters = {it.matched_cluster for it in fig2.iterations}
+        assert clusters == {1, 2, 3}
+        for it in fig2.iterations:
+            assert it.jaccard_with_match > 0.9
+
+    def test_subgroup_means_near_distance_two(self, fig2):
+        for it in fig2.iterations:
+            assert 1.5 < np.linalg.norm(it.subgroup_mean) < 2.5
+
+    def test_si_positive_and_decreasing(self, fig2):
+        sis = [it.location_si for it in fig2.iterations]
+        assert all(si > 20 for si in sis)
+        assert sis == sorted(sis, reverse=True)
+
+    def test_directions_unit_norm(self, fig2):
+        for it in fig2.iterations:
+            assert np.linalg.norm(it.direction) == pytest.approx(1.0)
+
+    def test_spread_variance_far_below_background(self, fig2):
+        # The planted clusters have tiny variance along their minor axis
+        # compared with the background unit variance.
+        for it in fig2.iterations:
+            assert it.variance < 0.2
+
+    def test_format_renders(self, fig2):
+        text = fig2.format()
+        assert "Fig. 2" in text
+        assert "attr" in text
+
+
+class TestTable1:
+    def test_tracks_ten_patterns_over_four_iterations(self, table1):
+        assert len(table1.rows) == 10
+        assert all(len(row.si_per_iteration) == 4 for row in table1.rows)
+
+    def test_all_tracked_patterns_have_40_rows(self, table1):
+        """The paper's caption: 'all patterns have size 40'."""
+        assert all(row.size == 40 for row in table1.rows)
+
+    def test_top_three_are_planted_singletons(self, table1):
+        singles = [r.intention for r in table1.rows if " AND " not in r.intention]
+        assert len(singles) >= 3
+        for intention in singles[:3]:
+            assert intention in ("attr3 = '1'", "attr4 = '1'", "attr5 = '1'")
+
+    def test_si_collapses_after_assimilation(self, table1):
+        """Once a pattern is assimilated its SI goes negative and stays."""
+        for row in table1.rows:
+            series = row.si_per_iteration
+            assert series[0] > 20.0
+            assert series[3] < 1.0  # by iteration 4 everything is known
+
+    def test_collapse_is_monotone_once_triggered(self, table1):
+        for row in table1.rows:
+            series = row.si_per_iteration
+            dropped = False
+            for a, b in zip(series, series[1:]):
+                if b < 1.0:
+                    dropped = True
+                if dropped:
+                    assert b < 1.0
+
+    def test_untouched_patterns_keep_si(self, table1):
+        """Patterns of later clusters keep their exact SI until assimilated."""
+        for row in table1.rows:
+            series = row.si_per_iteration
+            for a, b in zip(series, series[1:]):
+                if b > 1.0:  # not yet assimilated
+                    assert b == pytest.approx(a, rel=1e-9)
+
+    def test_three_distinct_patterns_assimilated(self, table1):
+        assert len(set(table1.assimilated)) == 3
+
+    def test_format_renders(self, table1):
+        text = table1.format()
+        assert "iter1" in text and "iter4" in text
+
+
+class TestFig3:
+    def test_curves_cover_all_true_descriptions(self, fig3):
+        assert len(fig3.si_curves) == 3
+
+    def test_si_decreases_with_noise(self, fig3):
+        for curve in fig3.si_curves.values():
+            assert curve[0] > 30.0
+            # Compare the clean end with the noisy end (monotone in trend,
+            # not pointwise, because each level redraws the flips).
+            assert curve[-1] < curve[0] / 4.0
+
+    def test_baseline_flat_and_low(self, fig3):
+        assert np.all(fig3.baseline < 3.0)
+
+    def test_recovery_threshold_close_to_paper(self, fig3):
+        """Paper: recoverable up to ~0.22, partially to 0.25."""
+        threshold = fig3.recovery_threshold()
+        assert 0.10 <= threshold <= 0.33
+
+    def test_format_renders(self, fig3):
+        assert "distortion" in fig3.format()

@@ -1,0 +1,78 @@
+"""Integration tests: the §III-D water-quality experiments (Figs. 9-10)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.water_exp import FIG10_PARAMETERS, run_fig9, run_fig10
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    return run_fig10(seed=0)
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return run_fig9(seed=0)
+
+
+class TestFig10:
+    def test_paper_intention_recovered(self, fig10):
+        """Paper: 'gammarus fossarum <= 0 AND tubifex >= 3'."""
+        assert "amphipoda_gammarus_fossarum <= 0" in fig10.intention
+        assert "oligochaeta_tubifex >= 3" in fig10.intention
+
+    def test_size_close_to_paper(self, fig10):
+        assert 70 <= fig10.size <= 140  # paper: 91 records
+
+    def test_oxygen_demand_parameters_elevated(self, fig10):
+        by_name = {r.name: r for r in fig10.surprisals_before}
+        for name in FIG10_PARAMETERS:
+            record = by_name[name]
+            assert record.observed > record.expected, name
+
+    def test_highlighted_params_among_most_surprising(self, fig10):
+        top8 = {r.name for r in fig10.surprisals_before[:8]}
+        overlap = top8.intersection(FIG10_PARAMETERS)
+        assert len(overlap) >= 4
+
+    def test_update_pins_means(self, fig10):
+        after = {r.name: r for r in fig10.surprisals_after}
+        for before in fig10.surprisals_before:
+            assert after[before.name].expected == pytest.approx(
+                before.observed, abs=1e-6
+            )
+
+    def test_format_renders(self, fig10):
+        assert "Fig. 10" in fig10.format()
+
+
+class TestFig9:
+    def test_top_weights_on_bod_and_kmno4(self, fig9):
+        """Paper: 'a sparse weight vector placing high weights on BOD and KMnO4'."""
+        assert set(fig9.top_weight_names) == {"bod", "kmno4"}
+
+    def test_variance_larger_than_expected(self, fig9):
+        """The paper's headline: a surprising HIGH-variance direction."""
+        assert fig9.observed_variance > 2.0 * fig9.expected_variance
+
+    def test_direction_unit_norm(self, fig9):
+        assert np.linalg.norm(fig9.direction) == pytest.approx(1.0)
+
+    def test_cdf_data_wider_than_model(self, fig9):
+        """Fig. 9b: the subgroup's projections spread wider than the model."""
+        def span(cdf, grid):
+            lo = grid[np.searchsorted(cdf, 0.1)]
+            hi = grid[np.searchsorted(cdf, 0.9)]
+            return hi - lo
+        assert span(fig9.cdf_data, fig9.cdf_grid) > 1.2 * span(
+            fig9.cdf_model, fig9.cdf_grid
+        )
+
+    def test_spread_si_positive(self, fig9):
+        assert fig9.spread_si > 5.0
+
+    def test_format_renders(self, fig9):
+        text = fig9.format()
+        assert "Fig. 9" in text
+        assert "bod" in text

@@ -1,0 +1,155 @@
+"""Robustness and failure-injection tests for the full pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.schema import AttributeKind, Column, Dataset
+from repro.errors import ModelError
+from repro.model.background import BackgroundModel
+from repro.model.patterns import LocationConstraint, SpreadConstraint
+from repro.search.config import SearchConfig
+from repro.search.miner import SubgroupDiscovery
+
+
+class TestCategoricalEndToEnd:
+    """The paper's language includes categorical equality conditions."""
+
+    @pytest.fixture()
+    def categorical_dataset(self, rng):
+        n = 240
+        region = rng.choice(["north", "south", "east", "west"], n)
+        soil = rng.choice(["clay", "sand", "loam"], n)
+        targets = rng.standard_normal((n, 2))
+        targets[region == "east"] += 2.0
+        columns = [
+            Column("region", AttributeKind.CATEGORICAL, region),
+            Column("soil", AttributeKind.CATEGORICAL, soil),
+            Column("noise", AttributeKind.NUMERIC, rng.standard_normal(n)),
+        ]
+        return Dataset("cat", columns, targets, ["y1", "y2"])
+
+    def test_finds_categorical_pattern(self, categorical_dataset):
+        miner = SubgroupDiscovery(categorical_dataset, seed=0)
+        pattern = miner.find_location()
+        assert str(pattern.description) == "region = 'east'"
+
+    def test_iterates_after_assimilation(self, categorical_dataset):
+        miner = SubgroupDiscovery(categorical_dataset, seed=0)
+        first = miner.step()
+        second = miner.step()
+        assert second.location.si < first.location.si
+
+
+class TestDegenerateData:
+    def test_near_constant_target_column(self, rng):
+        """A target with tiny variance must not break the prior/search."""
+        n = 100
+        targets = np.column_stack(
+            [rng.standard_normal(n), np.full(n, 3.0) + 1e-12 * rng.standard_normal(n)]
+        )
+        flag = rng.integers(0, 2, n).astype(float)
+        targets[flag == 1.0, 0] += 2.0
+        dataset = Dataset(
+            "deg", [Column("flag", AttributeKind.BINARY, flag)], targets, ["a", "b"]
+        )
+        miner = SubgroupDiscovery(dataset, seed=0)
+        pattern = miner.find_location()
+        assert pattern.si > 0
+
+    def test_duplicated_target_columns(self, rng):
+        """Perfectly correlated targets: jittered prior stays usable."""
+        n = 80
+        base = rng.standard_normal(n)
+        targets = np.column_stack([base, base])
+        flag = (base > 1.0).astype(float)
+        dataset = Dataset(
+            "dup", [Column("flag", AttributeKind.BINARY, flag)], targets, ["a", "b"]
+        )
+        miner = SubgroupDiscovery(dataset, seed=0)
+        pattern = miner.find_location()
+        assert np.isfinite(pattern.si)
+
+    def test_extreme_target_scale(self, rng):
+        """Means in the 1e9 range: everything stays finite."""
+        n = 120
+        targets = 1e9 + 1e7 * rng.standard_normal(n)
+        flag = np.zeros(n)
+        flag[:30] = 1.0
+        targets[:30] += 5e7
+        dataset = Dataset(
+            "big", [Column("flag", AttributeKind.BINARY, flag)], targets, ["y"]
+        )
+        miner = SubgroupDiscovery(dataset, seed=0)
+        iteration = miner.step(kind="spread")
+        assert np.isfinite(iteration.location.si)
+        assert np.isfinite(iteration.spread.si)
+        assert miner.model.max_residual() < 1e-6
+
+    def test_tiny_subgroups_admissible(self, rng):
+        """min_coverage=2 pairs must score without blowing up."""
+        n = 30
+        targets = rng.standard_normal(n)
+        num = np.arange(n, dtype=float)
+        dataset = Dataset(
+            "tiny", [Column("num", AttributeKind.NUMERIC, num)], targets, ["y"]
+        )
+        config = SearchConfig(min_coverage=2, max_depth=2)
+        miner = SubgroupDiscovery(dataset, config=config, seed=0)
+        result = miner.search_locations()
+        assert all(np.isfinite(entry.si) for entry in result.log)
+
+
+class TestModelStressSequences:
+    def test_many_spread_updates_same_direction(self, rng):
+        """Repeated tilts along one axis keep the covariance PD.
+
+        Extensions are disjoint so every constraint stays exactly
+        enforced (overlapping ones drift by design; see the refit test).
+        """
+        targets = rng.standard_normal((60, 2))
+        model = BackgroundModel.from_targets(targets)
+        w = np.array([1.0, 0.0])
+        for k in range(8):
+            idx = np.arange(7 * k, 7 * k + 7)
+            model.assimilate(SpreadConstraint.from_data(targets, idx, w))
+        for b in range(model.n_blocks):
+            np.linalg.cholesky(model.block_cov(b))
+        assert model.max_residual() < 1e-6
+
+    def test_long_chain_of_location_updates(self, rng):
+        targets = rng.standard_normal((100, 3))
+        model = BackgroundModel.from_targets(targets)
+        for k in range(15):
+            idx = rng.choice(100, size=12, replace=False)
+            model.assimilate(LocationConstraint.from_data(targets, idx))
+        # Every residual can be re-tightened by a refit.
+        model.refit(tol=1e-8, max_rounds=300)
+        assert model.max_residual() < 1e-8
+
+    def test_overlapping_location_and_spread_refit(self, rng):
+        """The paper's footnote-3 regime: overlapping extensions."""
+        targets = rng.standard_normal((80, 2))
+        model = BackgroundModel.from_targets(targets)
+        w = np.array([0.6, 0.8])
+        constraints = [
+            LocationConstraint.from_data(targets, np.arange(0, 30)),
+            SpreadConstraint.from_data(targets, np.arange(15, 45), w),
+            LocationConstraint.from_data(targets, np.arange(25, 55)),
+        ]
+        model.refit(constraints, tol=1e-7, max_rounds=500)
+        assert model.max_residual() < 1e-7
+
+    def test_full_data_extension(self, rng):
+        """A pattern covering every row is a legal (if odd) update."""
+        targets = rng.standard_normal((40, 2))
+        model = BackgroundModel.from_targets(targets)
+        constraint = LocationConstraint.from_data(targets, np.arange(40))
+        model.assimilate(constraint)
+        assert model.n_blocks == 1  # no split needed
+        assert model.constraint_residual(constraint) < 1e-10
+
+    def test_singleton_spread_rejected(self, rng):
+        targets = rng.standard_normal((20, 2))
+        with pytest.raises(ModelError):
+            # Variance of a single point around its own mean is zero.
+            SpreadConstraint.from_data(targets, np.array([3]), np.array([1.0, 0.0]))

@@ -1,0 +1,89 @@
+"""Tests for per-attribute surprisal (Figs. 5/8a/10 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.interest.attribution import attribute_surprisals
+from repro.model.background import BackgroundModel
+from repro.model.patterns import LocationConstraint
+from repro.stats.statistics import subgroup_mean
+
+
+@pytest.fixture()
+def setup(rng):
+    targets = rng.standard_normal((60, 3))
+    targets[:15, 0] += 4.0   # attribute 0 strongly displaced
+    targets[:15, 1] += 1.0   # attribute 1 mildly displaced
+    model = BackgroundModel.from_targets(targets)
+    return targets, model
+
+
+class TestAttributeSurprisals:
+    def test_ranked_by_ic(self, setup):
+        targets, model = setup
+        idx = np.arange(15)
+        records = attribute_surprisals(model, idx, subgroup_mean(targets, idx))
+        ics = [r.ic for r in records]
+        assert ics == sorted(ics, reverse=True)
+
+    def test_strongest_attribute_first(self, setup):
+        targets, model = setup
+        idx = np.arange(15)
+        records = attribute_surprisals(
+            model, idx, subgroup_mean(targets, idx), names=["a", "b", "c"]
+        )
+        assert records[0].name == "a"
+
+    def test_ci_contains_expected(self, setup):
+        targets, model = setup
+        idx = np.arange(15)
+        for record in attribute_surprisals(model, idx, subgroup_mean(targets, idx)):
+            lo, hi = record.ci95
+            assert lo < record.expected < hi
+
+    def test_z_sign_matches_direction(self, setup):
+        targets, model = setup
+        idx = np.arange(15)
+        records = {
+            r.index: r
+            for r in attribute_surprisals(model, idx, subgroup_mean(targets, idx))
+        }
+        assert records[0].z > 0  # planted positive shift
+
+    def test_after_assimilation_expected_equals_observed(self, setup):
+        targets, model = setup
+        idx = np.arange(15)
+        observed = subgroup_mean(targets, idx)
+        model.assimilate(LocationConstraint.from_data(targets, idx))
+        for record in attribute_surprisals(model, idx, observed):
+            assert record.expected == pytest.approx(record.observed, abs=1e-9)
+            assert abs(record.z) < 1e-6
+
+    def test_default_names(self, setup):
+        targets, model = setup
+        records = attribute_surprisals(
+            model, np.arange(15), subgroup_mean(targets, np.arange(15))
+        )
+        assert {r.name for r in records} == {"target_0", "target_1", "target_2"}
+
+    def test_name_count_checked(self, setup):
+        targets, model = setup
+        with pytest.raises(ModelError, match="names"):
+            attribute_surprisals(
+                model, np.arange(15), subgroup_mean(targets, np.arange(15)),
+                names=["only_one"],
+            )
+
+    def test_univariate_ic_formula(self, setup):
+        """IC_j = -log N(obs_j; mu_j, sd_j^2)."""
+        from scipy import stats as sps
+
+        targets, model = setup
+        idx = np.arange(15)
+        observed = subgroup_mean(targets, idx)
+        mu, cov = model.subgroup_mean_distribution(idx)
+        records = {r.index: r for r in attribute_surprisals(model, idx, observed)}
+        for j in range(3):
+            expected = -sps.norm(mu[j], np.sqrt(cov[j, j])).logpdf(observed[j])
+            assert records[j].ic == pytest.approx(expected, rel=1e-9)

@@ -1,0 +1,49 @@
+"""Tests for description length."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.interest.dl import DLParams, description_length
+
+
+class TestDLParams:
+    def test_paper_defaults(self):
+        params = DLParams()
+        assert params.gamma == 0.1
+        assert params.eta == 1.0
+
+    def test_negative_gamma_rejected(self):
+        with pytest.raises(ModelError):
+            DLParams(gamma=-0.1)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ModelError):
+            DLParams(gamma=0.0, eta=0.0)
+
+
+class TestDescriptionLength:
+    def test_location_formula(self):
+        # gamma |C| + eta.
+        assert description_length(3) == pytest.approx(1.3)
+
+    def test_spread_adds_one(self):
+        assert description_length(3, kind="spread") == pytest.approx(2.3)
+
+    def test_zero_conditions(self):
+        assert description_length(0) == pytest.approx(1.0)
+
+    def test_custom_params(self):
+        params = DLParams(gamma=0.5, eta=2.0)
+        assert description_length(2, params=params) == pytest.approx(3.0)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ModelError):
+            description_length(-1)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ModelError, match="kind"):
+            description_length(1, kind="magic")
+
+    def test_monotone_in_conditions(self):
+        values = [description_length(c) for c in range(5)]
+        assert values == sorted(values)

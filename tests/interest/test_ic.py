@@ -1,0 +1,115 @@
+"""Tests for information content (Eqs. 13 and 19)."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.errors import ModelError
+from repro.interest.ic import location_ic, spread_ic
+from repro.model.background import BackgroundModel
+from repro.model.patterns import LocationConstraint
+from repro.model.priors import Prior
+from repro.stats.statistics import subgroup_mean
+
+
+@pytest.fixture()
+def targets(rng):
+    return rng.standard_normal((50, 2))
+
+
+@pytest.fixture()
+def model(targets):
+    return BackgroundModel.from_targets(targets)
+
+
+class TestLocationIC:
+    def test_closed_form_single_block(self, targets, model):
+        """IC = -log N(obs; mu, Sigma/|I|) for the fresh model."""
+        idx = np.arange(10)
+        observed = subgroup_mean(targets, idx)
+        expected = -sps.multivariate_normal(
+            mean=model.prior.mean, cov=model.prior.cov / 10
+        ).logpdf(observed)
+        assert location_ic(model, idx, observed) == pytest.approx(expected, rel=1e-9)
+
+    def test_grows_with_displacement(self, model):
+        idx = np.arange(10)
+        base = model.prior.mean
+        ics = [
+            location_ic(model, idx, base + shift)
+            for shift in (0.0, 0.5, 1.0, 2.0)
+        ]
+        assert ics == sorted(ics)
+
+    def test_grows_with_coverage_at_fixed_displacement(self, model):
+        """Larger subgroups pin the statistic harder -> more information."""
+        displaced = model.prior.mean + 1.0
+        small = location_ic(model, np.arange(5), displaced)
+        large = location_ic(model, np.arange(40), displaced)
+        assert large > small
+
+    def test_ic_at_expectation_is_negative_log_peak(self, model):
+        """At zero displacement the IC equals the log-volume term only."""
+        idx = np.arange(20)
+        mu, cov = model.subgroup_mean_distribution(idx)
+        expected = 0.5 * (2 * np.log(2 * np.pi) + np.linalg.slogdet(cov)[1])
+        assert location_ic(model, idx, mu) == pytest.approx(expected, rel=1e-9)
+
+    def test_assimilation_kills_ic(self, targets, model):
+        idx = np.arange(10)
+        observed = subgroup_mean(targets, idx)
+        before = location_ic(model, idx, observed)
+        model.assimilate(LocationConstraint.from_data(targets, idx))
+        after = location_ic(model, idx, observed)
+        assert after < before
+        assert after < 0.5  # only the log-volume term remains
+
+    def test_dimension_check(self, model):
+        with pytest.raises(ValueError, match="length"):
+            location_ic(model, np.arange(5), np.zeros(3))
+
+
+class TestSpreadIC:
+    def test_matches_mixture_logpdf(self, targets, model):
+        from repro.stats.chi2mix import Chi2Mixture
+
+        idx = np.arange(12)
+        w = np.array([1.0, 0.0])
+        variance = 0.7
+        counts, _, covs = model.spread_blocks(idx)
+        a = np.array([w @ c @ w for c in covs]) / 12.0
+        expected = -Chi2Mixture(a, weights=counts).logpdf(variance)
+        center = subgroup_mean(targets, idx)
+        assert spread_ic(model, idx, w, variance, center) == pytest.approx(
+            expected, rel=1e-10
+        )
+
+    def test_surprising_small_variance_high_ic(self, targets, model):
+        idx = np.arange(12)
+        w = np.array([1.0, 0.0])
+        center = subgroup_mean(targets, idx)
+        expected_var = float(model.prior.cov[0, 0])
+        ic_tiny = spread_ic(model, idx, w, 1e-4 * expected_var, center)
+        ic_typical = spread_ic(model, idx, w, expected_var, center)
+        assert ic_tiny > ic_typical + 10.0
+
+    def test_surprising_large_variance_high_ic(self, targets, model):
+        idx = np.arange(12)
+        w = np.array([0.0, 1.0])
+        center = subgroup_mean(targets, idx)
+        expected_var = float(model.prior.cov[1, 1])
+        ic_huge = spread_ic(model, idx, w, 20.0 * expected_var, center)
+        ic_typical = spread_ic(model, idx, w, expected_var, center)
+        assert ic_huge > ic_typical
+
+    def test_requires_unit_direction(self, targets, model):
+        with pytest.raises(ValueError, match="unit"):
+            spread_ic(model, np.arange(5), np.array([2.0, 0.0]), 1.0, np.zeros(2))
+
+    def test_requires_positive_variance(self, targets, model):
+        with pytest.raises(ModelError, match="positive"):
+            spread_ic(model, np.arange(5), np.array([1.0, 0.0]), 0.0, np.zeros(2))
+
+    def test_dimension_check(self, model):
+        with pytest.raises(ModelError, match="dim"):
+            spread_ic(model, np.arange(5), np.array([1.0, 0.0, 0.0]) / 1.0, 1.0, np.zeros(3))

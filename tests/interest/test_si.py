@@ -1,0 +1,71 @@
+"""Tests for the SI ratio and pattern scores."""
+
+import numpy as np
+import pytest
+
+from repro.interest.dl import DLParams
+from repro.interest.si import PatternScore, score_location, score_spread
+from repro.model.background import BackgroundModel
+from repro.stats.statistics import subgroup_mean, subgroup_spread
+
+
+class TestPatternScore:
+    def test_si_is_ratio(self):
+        assert PatternScore(ic=10.0, dl=2.0).si == pytest.approx(5.0)
+
+    def test_negative_ic_allowed(self):
+        assert PatternScore(ic=-1.0, dl=1.1).si < 0
+
+
+class TestScoring:
+    @pytest.fixture()
+    def setup(self, rng):
+        targets = rng.standard_normal((40, 2))
+        targets[:10] += 3.0
+        model = BackgroundModel.from_targets(targets)
+        return targets, model
+
+    def test_location_uses_location_dl(self, setup):
+        targets, model = setup
+        idx = np.arange(10)
+        score = score_location(model, idx, subgroup_mean(targets, idx), 2)
+        assert score.dl == pytest.approx(1.2)
+
+    def test_spread_dl_has_extra_term(self, setup):
+        targets, model = setup
+        idx = np.arange(10)
+        w = np.array([1.0, 0.0])
+        variance = subgroup_spread(targets, idx, w)
+        center = subgroup_mean(targets, idx)
+        score = score_spread(model, idx, w, variance, center, 2)
+        assert score.dl == pytest.approx(2.2)
+
+    def test_more_conditions_lower_si_same_extension(self, setup):
+        """The paper's Table I observation: redundant conditions cost SI."""
+        targets, model = setup
+        idx = np.arange(10)
+        observed = subgroup_mean(targets, idx)
+        one = score_location(model, idx, observed, 1)
+        two = score_location(model, idx, observed, 2)
+        assert one.ic == pytest.approx(two.ic)
+        assert one.si > two.si
+
+    def test_custom_dl_params(self, setup):
+        targets, model = setup
+        idx = np.arange(10)
+        observed = subgroup_mean(targets, idx)
+        score = score_location(
+            model, idx, observed, 1, params=DLParams(gamma=1.0, eta=0.5)
+        )
+        assert score.dl == pytest.approx(1.5)
+
+    def test_planted_shift_scores_higher_than_random(self, setup):
+        targets, model = setup
+        planted = score_location(
+            model, np.arange(10), subgroup_mean(targets, np.arange(10)), 1
+        )
+        random_idx = np.arange(15, 25)
+        random = score_location(
+            model, random_idx, subgroup_mean(targets, random_idx), 1
+        )
+        assert planted.si > random.si + 5.0

@@ -1,0 +1,88 @@
+"""Tests for atomic conditions."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.schema import AttributeKind, Column, Dataset
+from repro.errors import LanguageError
+from repro.lang.conditions import EqualsCondition, NumericCondition
+
+
+@pytest.fixture()
+def dataset():
+    columns = [
+        Column("x", AttributeKind.NUMERIC, np.array([1.0, 2.0, 3.0, 4.0])),
+        Column("lvl", AttributeKind.ORDINAL, np.array([0.0, 1.0, 3.0, 5.0])),
+        Column("c", AttributeKind.CATEGORICAL, np.array(["a", "b", "a", "c"])),
+        Column("b", AttributeKind.BINARY, np.array([0.0, 1.0, 1.0, 0.0])),
+    ]
+    return Dataset("toy", columns, np.zeros((4, 1)), ["y"])
+
+
+class TestNumericCondition:
+    def test_le_mask(self, dataset):
+        mask = NumericCondition("x", "<=", 2.5).mask(dataset)
+        np.testing.assert_array_equal(mask, [True, True, False, False])
+
+    def test_ge_mask(self, dataset):
+        mask = NumericCondition("x", ">=", 3.0).mask(dataset)
+        np.testing.assert_array_equal(mask, [False, False, True, True])
+
+    def test_boundary_inclusive(self, dataset):
+        assert NumericCondition("x", "<=", 1.0).mask(dataset)[0]
+        assert NumericCondition("x", ">=", 4.0).mask(dataset)[3]
+
+    def test_ordinal_allowed(self, dataset):
+        mask = NumericCondition("lvl", ">=", 3.0).mask(dataset)
+        np.testing.assert_array_equal(mask, [False, False, True, True])
+
+    def test_categorical_rejected(self, dataset):
+        with pytest.raises(LanguageError, match="categorical"):
+            NumericCondition("c", "<=", 1.0).mask(dataset)
+
+    def test_invalid_op(self):
+        with pytest.raises(LanguageError, match="op"):
+            NumericCondition("x", "<", 1.0)
+
+    def test_nonfinite_threshold(self):
+        with pytest.raises(LanguageError, match="finite"):
+            NumericCondition("x", "<=", float("inf"))
+
+    def test_str(self):
+        assert str(NumericCondition("x", "<=", 2.5)) == "x <= 2.5"
+
+    def test_hashable_and_equal(self):
+        a = NumericCondition("x", "<=", 2.5)
+        b = NumericCondition("x", "<=", 2.5)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != NumericCondition("x", ">=", 2.5)
+
+
+class TestEqualsCondition:
+    def test_categorical_mask(self, dataset):
+        mask = EqualsCondition("c", "a").mask(dataset)
+        np.testing.assert_array_equal(mask, [True, False, True, False])
+
+    def test_binary_mask(self, dataset):
+        mask = EqualsCondition("b", 1.0).mask(dataset)
+        np.testing.assert_array_equal(mask, [False, True, True, False])
+
+    def test_binary_int_value(self, dataset):
+        mask = EqualsCondition("b", 1).mask(dataset)
+        assert mask.sum() == 2
+
+    def test_numeric_rejected(self, dataset):
+        with pytest.raises(LanguageError, match="numeric"):
+            EqualsCondition("x", 1.0).mask(dataset)
+
+    def test_str_binary_renders_like_paper(self):
+        assert str(EqualsCondition("attr3", 1.0)) == "attr3 = '1'"
+
+    def test_str_categorical(self):
+        assert str(EqualsCondition("region", "east")) == "region = 'east'"
+
+    def test_sort_key_orders_by_attribute(self):
+        a = EqualsCondition("a", "x")
+        b = NumericCondition("b", "<=", 1.0)
+        assert a.sort_key() < b.sort_key()

@@ -1,0 +1,157 @@
+"""Tests for conjunctive descriptions and canonicalization."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.schema import AttributeKind, Column, Dataset
+from repro.errors import LanguageError
+from repro.lang.conditions import EqualsCondition, NumericCondition
+from repro.lang.description import Description, conjunction
+
+
+@pytest.fixture()
+def dataset():
+    columns = [
+        Column("x", AttributeKind.NUMERIC, np.arange(10.0)),
+        Column("b", AttributeKind.BINARY, np.array([0.0, 1.0] * 5)),
+    ]
+    return Dataset("toy", columns, np.zeros((10, 1)), ["y"])
+
+
+class TestBasics:
+    def test_empty_is_all(self, dataset):
+        description = Description()
+        assert str(description) == "<all>"
+        assert description.matches(dataset).all()
+        assert description.coverage(dataset) == 1.0
+
+    def test_str_joins_with_and(self):
+        d = Description(
+            (NumericCondition("x", "<=", 5.0), EqualsCondition("b", 1.0))
+        )
+        assert str(d) == "x <= 5 AND b = '1'"
+
+    def test_len_and_iter(self):
+        conds = (NumericCondition("x", "<=", 5.0), EqualsCondition("b", 1.0))
+        d = Description(conds)
+        assert len(d) == 2
+        assert tuple(d) == conds
+
+    def test_attributes(self):
+        d = Description((NumericCondition("x", "<=", 5.0), EqualsCondition("b", 0.0)))
+        assert d.attributes == {"x", "b"}
+
+    def test_rejects_non_conditions(self):
+        with pytest.raises(LanguageError):
+            Description(("not a condition",))
+
+    def test_with_condition_immutable(self):
+        d = Description()
+        d2 = d.with_condition(NumericCondition("x", ">=", 1.0))
+        assert len(d) == 0
+        assert len(d2) == 1
+
+
+class TestExtension:
+    def test_conjunction_intersects(self, dataset):
+        d = Description(
+            (NumericCondition("x", "<=", 6.0), EqualsCondition("b", 1.0))
+        )
+        np.testing.assert_array_equal(d.extension(dataset), [1, 3, 5])
+
+    def test_empty_extension(self, dataset):
+        d = Description(
+            (NumericCondition("x", "<=", 2.0), NumericCondition("x", ">=", 5.0))
+        )
+        assert d.extension(dataset).size == 0
+
+
+class TestCanonical:
+    def test_merges_upper_bounds(self):
+        d = Description(
+            (NumericCondition("x", "<=", 5.0), NumericCondition("x", "<=", 3.0))
+        )
+        canon = d.canonical()
+        assert len(canon) == 1
+        assert canon.conditions[0].threshold == 3.0
+
+    def test_merges_lower_bounds(self):
+        d = Description(
+            (NumericCondition("x", ">=", 1.0), NumericCondition("x", ">=", 4.0))
+        )
+        canon = d.canonical()
+        assert len(canon) == 1
+        assert canon.conditions[0].threshold == 4.0
+
+    def test_keeps_interval(self):
+        d = Description(
+            (NumericCondition("x", ">=", 1.0), NumericCondition("x", "<=", 4.0))
+        )
+        assert len(d.canonical()) == 2
+
+    def test_dedupes_equalities(self):
+        d = Description((EqualsCondition("b", 1.0), EqualsCondition("b", 1.0)))
+        assert len(d.canonical()) == 1
+
+    def test_sorted_stable(self):
+        a = Description(
+            (EqualsCondition("b", 1.0), NumericCondition("a", "<=", 2.0))
+        ).canonical()
+        b = Description(
+            (NumericCondition("a", "<=", 2.0), EqualsCondition("b", 1.0))
+        ).canonical()
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_idempotent(self):
+        d = Description(
+            (
+                NumericCondition("x", "<=", 5.0),
+                NumericCondition("x", "<=", 3.0),
+                EqualsCondition("b", 0.0),
+            )
+        )
+        once = d.canonical()
+        assert once.canonical() == once
+
+    def test_extension_preserved(self, dataset):
+        d = Description(
+            (
+                NumericCondition("x", "<=", 7.0),
+                NumericCondition("x", "<=", 5.0),
+                NumericCondition("x", ">=", 2.0),
+            )
+        )
+        np.testing.assert_array_equal(
+            d.matches(dataset), d.canonical().matches(dataset)
+        )
+
+
+class TestContradiction:
+    def test_empty_interval(self):
+        d = Description(
+            (NumericCondition("x", "<=", 1.0), NumericCondition("x", ">=", 2.0))
+        )
+        assert d.is_contradictory()
+
+    def test_touching_interval_ok(self):
+        d = Description(
+            (NumericCondition("x", "<=", 2.0), NumericCondition("x", ">=", 2.0))
+        )
+        assert not d.is_contradictory()
+
+    def test_conflicting_equalities(self):
+        d = Description((EqualsCondition("b", 0.0), EqualsCondition("b", 1.0)))
+        assert d.is_contradictory()
+
+    def test_consistent(self):
+        d = Description((EqualsCondition("b", 1.0), NumericCondition("x", "<=", 3.0)))
+        assert not d.is_contradictory()
+
+
+class TestConjunctionHelper:
+    def test_builds_canonical(self):
+        d = conjunction(
+            [NumericCondition("x", "<=", 5.0), NumericCondition("x", "<=", 3.0)]
+        )
+        assert len(d) == 1

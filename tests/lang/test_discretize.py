@@ -1,0 +1,70 @@
+"""Tests for split-point computation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.schema import AttributeKind, Column
+from repro.errors import LanguageError
+from repro.lang.discretize import split_points
+
+
+class TestPercentile:
+    def test_paper_default_four_points(self):
+        col = Column("x", AttributeKind.NUMERIC, np.arange(100.0))
+        points = split_points(col)
+        np.testing.assert_allclose(points, np.percentile(np.arange(100.0), [20, 40, 60, 80]))
+
+    def test_strictly_inside_range(self, rng):
+        col = Column("x", AttributeKind.NUMERIC, rng.standard_normal(500))
+        points = split_points(col, n_split_points=7)
+        assert points.min() >= col.values.min()
+        assert points.max() <= col.values.max()
+
+    def test_sorted_unique(self, rng):
+        col = Column("x", AttributeKind.NUMERIC, rng.integers(0, 3, 100).astype(float))
+        points = split_points(col, n_split_points=9)
+        assert np.all(np.diff(points) > 0)
+
+
+class TestStrategies:
+    def test_width(self):
+        col = Column("x", AttributeKind.NUMERIC, np.array([0.0, 10.0]))
+        np.testing.assert_allclose(split_points(col, n_split_points=4, strategy="width"),
+                                   [2.0, 4.0, 6.0, 8.0])
+
+    def test_levels(self):
+        col = Column("x", AttributeKind.NUMERIC, np.array([1.0, 2.0, 2.0, 5.0]))
+        np.testing.assert_allclose(
+            split_points(col, strategy="levels"), [1.0, 2.0, 5.0]
+        )
+
+    def test_unknown_strategy(self):
+        col = Column("x", AttributeKind.NUMERIC, np.arange(5.0))
+        with pytest.raises(LanguageError, match="strategy"):
+            split_points(col, strategy="magic")
+
+
+class TestOrdinal:
+    def test_always_uses_levels(self):
+        col = Column("lvl", AttributeKind.ORDINAL, np.array([0.0, 1.0, 3.0, 5.0] * 10))
+        np.testing.assert_allclose(split_points(col), [0.0, 1.0, 3.0, 5.0])
+
+    def test_percentile_request_ignored_for_ordinal(self):
+        col = Column("lvl", AttributeKind.ORDINAL, np.array([0.0] * 90 + [5.0] * 10))
+        np.testing.assert_allclose(split_points(col, n_split_points=4), [0.0, 5.0])
+
+
+class TestEdgeCases:
+    def test_constant_column(self):
+        col = Column("x", AttributeKind.NUMERIC, np.full(10, 3.0))
+        assert split_points(col).size == 0
+
+    def test_categorical_rejected(self):
+        col = Column("c", AttributeKind.CATEGORICAL, np.array(["a", "b"]))
+        with pytest.raises(LanguageError, match="undefined"):
+            split_points(col)
+
+    def test_invalid_count(self):
+        col = Column("x", AttributeKind.NUMERIC, np.arange(5.0))
+        with pytest.raises(LanguageError, match="n_split_points"):
+            split_points(col, n_split_points=0)

@@ -1,0 +1,208 @@
+"""Tests for the stateful background model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model.background import BackgroundModel
+from repro.model.patterns import LocationConstraint, SpreadConstraint
+from repro.model.priors import Prior, empirical_prior
+
+
+@pytest.fixture()
+def targets(rng):
+    return rng.standard_normal((60, 3)) + np.array([1.0, -2.0, 0.5])
+
+
+@pytest.fixture()
+def model(targets):
+    return BackgroundModel.from_targets(targets)
+
+
+class TestConstruction:
+    def test_from_targets_uses_empirical_prior(self, targets, model):
+        np.testing.assert_allclose(model.prior.mean, targets.mean(axis=0))
+        assert model.n_rows == 60
+        assert model.dim == 3
+        assert model.n_blocks == 1
+
+    def test_initial_params_shared(self, model):
+        np.testing.assert_allclose(model.mean_of(0), model.mean_of(59))
+        np.testing.assert_allclose(model.cov_of(3), model.cov_of(17))
+
+    def test_point_means_shape(self, model):
+        assert model.point_means().shape == (60, 3)
+
+    def test_invalid_rows(self):
+        with pytest.raises(ModelError):
+            BackgroundModel(0, Prior(np.zeros(2), np.eye(2)))
+
+    def test_1d_targets(self, rng):
+        model = BackgroundModel.from_targets(rng.standard_normal(30))
+        assert model.dim == 1
+
+
+class TestLocationAssimilation:
+    def test_constraint_enforced_exactly(self, targets, model):
+        constraint = LocationConstraint.from_data(targets, np.arange(10))
+        model.assimilate(constraint)
+        np.testing.assert_allclose(
+            model.expected_subgroup_mean(np.arange(10)), constraint.mean, atol=1e-10
+        )
+        assert model.constraint_residual(constraint) < 1e-10
+
+    def test_blocks_split(self, targets, model):
+        model.assimilate(LocationConstraint.from_data(targets, np.arange(10)))
+        assert model.n_blocks == 2
+
+    def test_outside_points_untouched(self, targets, model):
+        before = model.mean_of(50)
+        model.assimilate(LocationConstraint.from_data(targets, np.arange(10)))
+        np.testing.assert_array_equal(model.mean_of(50), before)
+
+    def test_covariances_unchanged_by_location(self, targets, model):
+        before = model.cov_of(0)
+        model.assimilate(LocationConstraint.from_data(targets, np.arange(10)))
+        np.testing.assert_array_equal(model.cov_of(0), before)
+
+    def test_dimension_mismatch(self, model):
+        with pytest.raises(ModelError, match="dimension"):
+            model.assimilate(LocationConstraint(np.arange(3), np.zeros(2)))
+
+    def test_disjoint_constraints_both_hold(self, targets, model):
+        c1 = LocationConstraint.from_data(targets, np.arange(10))
+        c2 = LocationConstraint.from_data(targets, np.arange(20, 35))
+        model.assimilate(c1).assimilate(c2)
+        assert model.constraint_residual(c1) < 1e-10
+        assert model.constraint_residual(c2) < 1e-10
+        assert model.max_residual() < 1e-10
+
+
+class TestSpreadAssimilation:
+    def test_constraint_enforced_exactly(self, targets, model):
+        w = np.array([1.0, 0.0, 0.0])
+        constraint = SpreadConstraint.from_data(targets, np.arange(15), w)
+        model.assimilate(constraint)
+        achieved = model.expected_spread(np.arange(15), w, constraint.center)
+        assert achieved == pytest.approx(constraint.variance, rel=1e-8)
+
+    def test_covariance_stays_pd(self, targets, model):
+        w = np.array([0.0, 1.0, 0.0])
+        model.assimilate(SpreadConstraint.from_data(targets, np.arange(15), w))
+        for b in range(model.n_blocks):
+            np.linalg.cholesky(model.block_cov(b))  # raises if not PD
+
+    def test_after_location_means_at_center(self, targets, model):
+        """The paper's two-step: location first, then spread."""
+        idx = np.arange(12)
+        location = LocationConstraint.from_data(targets, idx)
+        model.assimilate(location)
+        w = np.array([0.0, 0.0, 1.0])
+        spread = SpreadConstraint.from_data(targets, idx, w)
+        model.assimilate(spread)
+        # Means inside stay at the observed mean: the spread tilt is
+        # centred there, so it does not move them.
+        np.testing.assert_allclose(
+            model.expected_subgroup_mean(idx), location.mean, atol=1e-8
+        )
+
+
+class TestAccessors:
+    def test_as_mask_from_indices(self, model):
+        mu, cov = model.subgroup_mean_distribution(np.array([1, 5, 7]))
+        assert mu.shape == (3,)
+        assert cov.shape == (3, 3)
+
+    def test_empty_subgroup_rejected(self, model):
+        with pytest.raises(ModelError, match="empty"):
+            model.expected_subgroup_mean(np.zeros(60, dtype=bool))
+
+    def test_mask_wrong_shape(self, model):
+        with pytest.raises(ModelError, match="shape"):
+            model.expected_subgroup_mean(np.zeros(10, dtype=bool))
+
+    def test_subgroup_cov_scales_inversely_with_size(self, model):
+        _, cov_small = model.subgroup_mean_distribution(np.arange(5))
+        _, cov_large = model.subgroup_mean_distribution(np.arange(50))
+        assert np.trace(cov_large) < np.trace(cov_small)
+
+    def test_pooled_cov_initial(self, model):
+        np.testing.assert_allclose(model.pooled_cov(np.arange(10)), model.prior.cov)
+
+    def test_logpdf_matches_sum(self, targets, model):
+        from repro.model.gaussian import mvn_logpdf
+
+        expected = sum(
+            mvn_logpdf(targets[i], model.prior.mean, model.prior.cov)
+            for i in range(10)
+        )
+        partial = BackgroundModel(10, model.prior)
+        assert partial.logpdf(targets[:10]) == pytest.approx(expected, rel=1e-10)
+
+    def test_logpdf_shape_check(self, model, rng):
+        with pytest.raises(ModelError, match="shape"):
+            model.logpdf(rng.standard_normal((10, 3)))
+
+
+class TestCopy:
+    def test_copy_is_independent(self, targets, model):
+        clone = model.copy()
+        model.assimilate(LocationConstraint.from_data(targets, np.arange(10)))
+        assert clone.n_blocks == 1
+        assert model.n_blocks == 2
+        assert len(clone.constraints) == 0
+
+    def test_copy_preserves_state(self, targets, model):
+        model.assimilate(LocationConstraint.from_data(targets, np.arange(10)))
+        clone = model.copy()
+        np.testing.assert_array_equal(clone.labels, model.labels)
+        np.testing.assert_allclose(clone.mean_of(0), model.mean_of(0))
+        assert len(clone.constraints) == 1
+
+
+class TestRefit:
+    def test_refit_empty_resets(self, targets, model):
+        model.assimilate(LocationConstraint.from_data(targets, np.arange(10)))
+        sweeps = model.refit([])
+        assert sweeps == 0
+        assert model.n_blocks == 1
+        np.testing.assert_allclose(model.mean_of(0), model.prior.mean)
+
+    def test_refit_disjoint_one_sweep(self, targets, model):
+        constraints = [
+            LocationConstraint.from_data(targets, np.arange(10)),
+            LocationConstraint.from_data(targets, np.arange(20, 30)),
+        ]
+        assert model.refit(constraints) == 1
+        assert model.max_residual() < 1e-9
+
+    def test_refit_overlapping_converges(self, targets, model):
+        constraints = [
+            LocationConstraint.from_data(targets, np.arange(0, 20)),
+            LocationConstraint.from_data(targets, np.arange(10, 30)),
+            LocationConstraint.from_data(targets, np.arange(5, 25)),
+        ]
+        model.refit(constraints)
+        assert model.max_residual() < 1e-9
+
+    def test_refit_mixed_kinds(self, targets, model):
+        w = np.array([1.0, 0.0, 0.0])
+        constraints = [
+            LocationConstraint.from_data(targets, np.arange(0, 20)),
+            SpreadConstraint.from_data(targets, np.arange(0, 20), w),
+            LocationConstraint.from_data(targets, np.arange(15, 40)),
+        ]
+        model.refit(constraints)
+        assert model.max_residual() < 1e-8
+
+    def test_refit_matches_incremental_for_disjoint(self, targets):
+        """For non-overlapping patterns, refit == incremental assimilation."""
+        c1 = LocationConstraint.from_data(targets, np.arange(10))
+        c2 = LocationConstraint.from_data(targets, np.arange(30, 45))
+        incremental = BackgroundModel.from_targets(targets)
+        incremental.assimilate(c1).assimilate(c2)
+        refitted = BackgroundModel.from_targets(targets)
+        refitted.refit([c1, c2])
+        np.testing.assert_allclose(
+            incremental.point_means(), refitted.point_means(), atol=1e-9
+        )

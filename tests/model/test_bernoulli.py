@@ -1,0 +1,136 @@
+"""Tests for the Bernoulli background model (binary-target extension)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model.bernoulli import BernoulliBackgroundModel
+from repro.model.patterns import LocationConstraint
+
+
+@pytest.fixture()
+def binary_targets(rng):
+    probs = rng.uniform(0.1, 0.9, size=6)
+    targets = (rng.random((80, 6)) < probs).astype(float)
+    # Plant a subgroup where attributes 0/1 flip towards presence/absence.
+    targets[:20, 0] = (rng.random(20) < 0.95).astype(float)
+    targets[:20, 1] = (rng.random(20) < 0.05).astype(float)
+    return targets
+
+
+@pytest.fixture()
+def model(binary_targets):
+    return BernoulliBackgroundModel.from_targets(binary_targets)
+
+
+class TestConstruction:
+    def test_prior_is_empirical(self, binary_targets, model):
+        np.testing.assert_allclose(
+            model.prior, binary_targets.mean(axis=0), atol=1e-8
+        )
+        assert model.dim == 6
+        assert model.n_blocks == 1
+
+    def test_rejects_non_binary(self, rng):
+        with pytest.raises(ModelError, match="binary"):
+            BernoulliBackgroundModel.from_targets(rng.standard_normal((10, 2)))
+
+    def test_rejects_bad_prior(self):
+        with pytest.raises(ModelError, match="\\[0, 1\\]"):
+            BernoulliBackgroundModel(5, np.array([0.5, 1.5]))
+
+    def test_extreme_prior_clamped(self):
+        model = BernoulliBackgroundModel(5, np.array([0.0, 1.0]))
+        assert 0.0 < model.prior[0] < model.prior[1] < 1.0
+
+    def test_point_probs_shape(self, model):
+        assert model.point_probs().shape == (80, 6)
+
+
+class TestLocationUpdate:
+    def test_constraint_enforced_exactly(self, binary_targets, model):
+        constraint = LocationConstraint.from_data(binary_targets, np.arange(20))
+        model.assimilate(constraint)
+        assert model.constraint_residual(constraint) < 1e-9
+
+    def test_probabilities_stay_in_unit_interval(self, binary_targets, model):
+        model.assimilate(LocationConstraint.from_data(binary_targets, np.arange(20)))
+        probs = model.point_probs()
+        assert probs.min() > 0.0
+        assert probs.max() < 1.0
+
+    def test_outside_points_untouched(self, binary_targets, model):
+        before = model.point_probs()[50].copy()
+        model.assimilate(LocationConstraint.from_data(binary_targets, np.arange(20)))
+        np.testing.assert_array_equal(model.point_probs()[50], before)
+
+    def test_blocks_split(self, binary_targets, model):
+        model.assimilate(LocationConstraint.from_data(binary_targets, np.arange(20)))
+        assert model.n_blocks == 2
+
+    def test_extreme_observed_mean_handled(self, binary_targets, model):
+        """A subgroup with all-ones in one attribute must not blow up."""
+        targets = binary_targets.copy()
+        targets[:10, 2] = 1.0
+        constraint = LocationConstraint.from_data(targets, np.arange(10))
+        model.assimilate(constraint)
+        assert model.constraint_residual(constraint) < 1e-6
+
+    def test_two_disjoint_constraints_hold(self, binary_targets, model):
+        c1 = LocationConstraint.from_data(binary_targets, np.arange(20))
+        c2 = LocationConstraint.from_data(binary_targets, np.arange(40, 60))
+        model.assimilate(c1).assimilate(c2)
+        assert model.constraint_residual(c1) < 1e-9
+        assert model.constraint_residual(c2) < 1e-9
+
+    def test_dimension_check(self, model):
+        with pytest.raises(ModelError, match="dimension"):
+            model.assimilate(LocationConstraint(np.arange(3), np.array([0.5])))
+
+
+class TestInformationContent:
+    def test_planted_subgroup_informative(self, binary_targets, model):
+        idx = np.arange(20)
+        observed = binary_targets[idx].mean(axis=0)
+        random_idx = np.arange(40, 60)
+        random_observed = binary_targets[random_idx].mean(axis=0)
+        assert model.location_ic(idx, observed) > model.location_ic(
+            random_idx, random_observed
+        ) + 5.0
+
+    def test_assimilation_kills_ic(self, binary_targets, model):
+        idx = np.arange(20)
+        observed = binary_targets[idx].mean(axis=0)
+        before = model.location_ic(idx, observed)
+        model.assimilate(LocationConstraint.from_data(binary_targets, idx))
+        after = model.location_ic(idx, observed)
+        assert after < before - 5.0
+
+    def test_moments_match_poisson_binomial(self, binary_targets, model):
+        idx = np.arange(30)
+        mean, variance = model.subgroup_mean_moments(idx)
+        probs = model.point_probs()[idx]
+        np.testing.assert_allclose(mean, probs.mean(axis=0), atol=1e-12)
+        np.testing.assert_allclose(
+            variance, (probs * (1 - probs)).sum(axis=0) / 30**2, atol=1e-12
+        )
+
+    def test_ic_shape_check(self, model):
+        with pytest.raises(ModelError, match="shape"):
+            model.location_ic(np.arange(5), np.zeros(3))
+
+
+class TestCopy:
+    def test_copy_independent(self, binary_targets, model):
+        clone = model.copy()
+        model.assimilate(LocationConstraint.from_data(binary_targets, np.arange(20)))
+        assert clone.n_blocks == 1
+        assert model.n_blocks == 2
+
+    def test_monte_carlo_agreement(self, rng):
+        """The model's subgroup-mean moments match simulation."""
+        model = BernoulliBackgroundModel(40, np.full(3, 0.3))
+        mean, variance = model.subgroup_mean_moments(np.arange(40))
+        draws = (rng.random((20000, 40, 3)) < 0.3).astype(float).mean(axis=1)
+        np.testing.assert_allclose(draws.mean(axis=0), mean, atol=5e-3)
+        np.testing.assert_allclose(draws.var(axis=0), variance, rtol=0.1)

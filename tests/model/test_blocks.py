@@ -1,0 +1,117 @@
+"""Tests for the block partition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model.blocks import BlockPartition
+
+
+class TestConstruction:
+    def test_starts_single_block(self):
+        p = BlockPartition(10)
+        assert p.n_blocks == 1
+        assert p.n_rows == 10
+        np.testing.assert_array_equal(p.labels, np.zeros(10, dtype=int))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            BlockPartition(0)
+
+    def test_labels_readonly(self):
+        p = BlockPartition(5)
+        with pytest.raises(ValueError):
+            p.labels[0] = 3
+
+
+class TestSplit:
+    def test_split_creates_two_blocks(self):
+        p = BlockPartition(6)
+        mask = np.array([True, True, False, False, True, False])
+        created = p.split(mask)
+        assert p.n_blocks == 2
+        assert created == {0: 1}
+        # Inside keeps label 0, outside gets 1.
+        np.testing.assert_array_equal(p.labels, [0, 0, 1, 1, 0, 1])
+
+    def test_aligned_split_is_noop(self):
+        p = BlockPartition(4)
+        mask = np.array([True, True, False, False])
+        p.split(mask)
+        created = p.split(mask)
+        assert created == {}
+        assert p.n_blocks == 2
+
+    def test_full_mask_noop(self):
+        p = BlockPartition(4)
+        assert p.split(np.ones(4, dtype=bool)) == {}
+        assert p.n_blocks == 1
+
+    def test_nested_splits(self):
+        p = BlockPartition(8)
+        p.split(np.array([True] * 4 + [False] * 4))
+        created = p.split(np.array([True, True, False, False, True, True, False, False]))
+        assert p.n_blocks == 4
+        # Every (old mask, new mask) cell is now its own block.
+        labels = np.asarray(p.labels)
+        cells = {}
+        for i, (a, b) in enumerate(
+            zip([1, 1, 1, 1, 0, 0, 0, 0], [1, 1, 0, 0, 1, 1, 0, 0])
+        ):
+            cells.setdefault((a, b), set()).add(labels[i])
+        assert all(len(v) == 1 for v in cells.values())
+        assert len({next(iter(v)) for v in cells.values()}) == 4
+
+    def test_partition_invariant(self, rng):
+        """Labels always form a partition: every row has exactly one label."""
+        p = BlockPartition(30)
+        for _ in range(5):
+            p.split(rng.random(30) < 0.5)
+        labels = np.asarray(p.labels)
+        assert labels.min() >= 0
+        assert labels.max() < p.n_blocks
+        assert p.sizes().sum() == 30
+
+    def test_split_respects_previous_blocks(self, rng):
+        """After splitting on mask, every block is aligned with that mask."""
+        p = BlockPartition(50)
+        masks = [rng.random(50) < 0.4 for _ in range(4)]
+        for mask in masks:
+            p.split(mask)
+        for mask in masks:
+            assert p.is_aligned(mask)
+
+
+class TestQueries:
+    def test_members(self):
+        p = BlockPartition(5)
+        p.split(np.array([True, False, True, False, True]))
+        np.testing.assert_array_equal(p.members(0), [0, 2, 4])
+        np.testing.assert_array_equal(p.members(1), [1, 3])
+
+    def test_members_out_of_range(self):
+        with pytest.raises(ModelError):
+            BlockPartition(3).members(1)
+
+    def test_counts_in(self):
+        p = BlockPartition(6)
+        p.split(np.array([True] * 3 + [False] * 3))
+        counts = p.counts_in(np.array([True, False, False, True, True, False]))
+        np.testing.assert_array_equal(counts, [1, 2])
+
+    def test_blocks_in(self):
+        p = BlockPartition(6)
+        p.split(np.array([True] * 3 + [False] * 3))
+        np.testing.assert_array_equal(
+            p.blocks_in(np.array([True, False, False, False, False, False])), [0]
+        )
+
+    def test_bad_mask_shape(self):
+        p = BlockPartition(4)
+        with pytest.raises(ModelError, match="mask"):
+            p.counts_in(np.ones(3, dtype=bool))
+
+    def test_bad_mask_dtype(self):
+        p = BlockPartition(4)
+        with pytest.raises(ModelError, match="mask"):
+            p.counts_in(np.ones(4))

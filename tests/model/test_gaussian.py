@@ -1,0 +1,94 @@
+"""Tests for multivariate-normal utilities."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.errors import ModelError
+from repro.model.gaussian import (
+    kl_divergence,
+    moment_from_natural,
+    mvn_logpdf,
+    natural_from_moment,
+    validate_covariance,
+)
+
+
+def random_spd(rng, d):
+    a = rng.standard_normal((d, d))
+    return a @ a.T + d * np.eye(d)
+
+
+class TestValidateCovariance:
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ModelError, match="symmetric"):
+            validate_covariance(np.array([[1.0, 0.5], [0.0, 1.0]]))
+
+    def test_rejects_indefinite(self):
+        with pytest.raises(ModelError, match="positive definite"):
+            validate_covariance(np.diag([1.0, -1.0]))
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ModelError, match="square"):
+            validate_covariance(np.zeros((2, 3)))
+
+    def test_accepts_spd(self, rng):
+        cov = random_spd(rng, 4)
+        np.testing.assert_allclose(validate_covariance(cov), cov)
+
+
+class TestMvnLogpdf:
+    @pytest.mark.parametrize("d", [1, 2, 5])
+    def test_matches_scipy(self, rng, d):
+        mean = rng.standard_normal(d)
+        cov = random_spd(rng, d)
+        x = rng.standard_normal(d)
+        expected = sps.multivariate_normal(mean=mean, cov=cov).logpdf(x)
+        assert mvn_logpdf(x, mean, cov) == pytest.approx(expected, rel=1e-10)
+
+    def test_semidefinite_fallback_is_finite(self):
+        cov = np.diag([1.0, 0.0])
+        value = mvn_logpdf(np.zeros(2), np.zeros(2), cov)
+        assert np.isfinite(value)
+
+
+class TestNaturalConversions:
+    def test_roundtrip(self, rng):
+        mean = rng.standard_normal(4)
+        cov = random_spd(rng, 4)
+        h, precision = natural_from_moment(mean, cov)
+        mean2, cov2 = moment_from_natural(h, precision)
+        np.testing.assert_allclose(mean2, mean, rtol=1e-9)
+        np.testing.assert_allclose(cov2, cov, rtol=1e-9)
+
+    def test_precision_is_inverse(self, rng):
+        cov = random_spd(rng, 3)
+        _, precision = natural_from_moment(np.zeros(3), cov)
+        np.testing.assert_allclose(precision @ cov, np.eye(3), atol=1e-9)
+
+
+class TestKLDivergence:
+    def test_zero_for_identical(self, rng):
+        mean = rng.standard_normal(3)
+        cov = random_spd(rng, 3)
+        assert kl_divergence(mean, cov, mean, cov) == pytest.approx(0.0, abs=1e-10)
+
+    def test_positive(self, rng):
+        cov = random_spd(rng, 3)
+        a = rng.standard_normal(3)
+        b = a + 1.0
+        assert kl_divergence(a, cov, b, cov) > 0.0
+
+    def test_known_univariate_value(self):
+        # KL(N(0,1) || N(1,1)) = 1/2.
+        value = kl_divergence(
+            np.zeros(1), np.eye(1), np.ones(1), np.eye(1)
+        )
+        assert value == pytest.approx(0.5, rel=1e-10)
+
+    def test_asymmetry(self, rng):
+        cov_q = np.eye(2)
+        cov_p = 2.0 * np.eye(2)
+        a = kl_divergence(np.zeros(2), cov_q, np.zeros(2), cov_p)
+        b = kl_divergence(np.zeros(2), cov_p, np.zeros(2), cov_q)
+        assert a != pytest.approx(b)

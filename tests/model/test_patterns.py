@@ -1,0 +1,80 @@
+"""Tests for pattern-constraint records."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model.patterns import LocationConstraint, SpreadConstraint
+
+
+class TestLocationConstraint:
+    def test_from_data_computes_mean(self, rng):
+        targets = rng.standard_normal((20, 3))
+        constraint = LocationConstraint.from_data(targets, np.arange(5))
+        np.testing.assert_allclose(constraint.mean, targets[:5].mean(axis=0))
+        assert constraint.size == 5
+
+    def test_accepts_boolean_mask(self, rng):
+        targets = rng.standard_normal((10, 2))
+        mask = np.zeros(10, dtype=bool)
+        mask[[2, 7]] = True
+        constraint = LocationConstraint.from_data(targets, mask)
+        np.testing.assert_array_equal(constraint.indices, [2, 7])
+
+    def test_indices_sorted_unique(self):
+        constraint = LocationConstraint(np.array([5, 1, 5, 3]), np.zeros(2))
+        np.testing.assert_array_equal(constraint.indices, [1, 3, 5])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError, match="non-empty"):
+            LocationConstraint(np.array([], dtype=int), np.zeros(2))
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ModelError, match="negative"):
+            LocationConstraint(np.array([-1, 2]), np.zeros(2))
+
+    def test_out_of_range_in_from_data(self, rng):
+        targets = rng.standard_normal((5, 2))
+        with pytest.raises(ModelError, match="out of range"):
+            LocationConstraint.from_data(targets, np.array([7]))
+
+    def test_mask_roundtrip(self):
+        constraint = LocationConstraint(np.array([0, 3]), np.zeros(1))
+        mask = constraint.mask(5)
+        np.testing.assert_array_equal(mask, [True, False, False, True, False])
+
+    def test_immutable(self):
+        constraint = LocationConstraint(np.array([0, 1]), np.zeros(2))
+        with pytest.raises(ValueError):
+            constraint.indices[0] = 9
+        with pytest.raises(ValueError):
+            constraint.mean[0] = 9.0
+
+
+class TestSpreadConstraint:
+    def test_from_data_variance(self, rng):
+        targets = rng.standard_normal((30, 2))
+        w = np.array([1.0, 0.0])
+        constraint = SpreadConstraint.from_data(targets, np.arange(10), w)
+        sub = targets[:10, 0]
+        np.testing.assert_allclose(
+            constraint.variance, np.mean((sub - sub.mean()) ** 2)
+        )
+        np.testing.assert_allclose(constraint.center, targets[:10].mean(axis=0))
+
+    def test_direction_must_be_unit(self):
+        with pytest.raises(ValueError, match="unit"):
+            SpreadConstraint(np.array([0, 1]), np.array([1.0, 1.0]), 1.0, np.zeros(2))
+
+    def test_variance_must_be_positive(self):
+        with pytest.raises(ModelError, match="positive"):
+            SpreadConstraint(np.array([0, 1]), np.array([1.0, 0.0]), 0.0, np.zeros(2))
+
+    def test_center_dimension_checked(self):
+        with pytest.raises(ValueError, match="length"):
+            SpreadConstraint(np.array([0, 1]), np.array([1.0, 0.0]), 1.0, np.zeros(3))
+
+    def test_size(self, rng):
+        targets = rng.standard_normal((10, 2))
+        c = SpreadConstraint.from_data(targets, np.arange(4), np.array([0.0, 1.0]))
+        assert c.size == 4

@@ -1,0 +1,63 @@
+"""Tests for prior construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model.priors import Prior, empirical_prior
+
+
+class TestPrior:
+    def test_dimension_mismatch(self):
+        with pytest.raises(ModelError, match="dim"):
+            Prior(np.zeros(2), np.eye(3))
+
+    def test_rejects_indefinite_cov(self):
+        with pytest.raises(ModelError, match="positive definite"):
+            Prior(np.zeros(2), np.diag([1.0, -1.0]))
+
+    def test_immutable(self):
+        prior = Prior(np.zeros(2), np.eye(2))
+        with pytest.raises(ValueError):
+            prior.mean[0] = 1.0
+
+    def test_dim(self):
+        assert Prior(np.zeros(4), np.eye(4)).dim == 4
+
+
+class TestEmpiricalPrior:
+    def test_matches_ml_estimates(self, rng):
+        targets = rng.standard_normal((100, 3))
+        prior = empirical_prior(targets, jitter=0.0)
+        np.testing.assert_allclose(prior.mean, targets.mean(axis=0))
+        centered = targets - targets.mean(axis=0)
+        np.testing.assert_allclose(prior.cov, centered.T @ centered / 100)
+
+    def test_1d_promoted(self, rng):
+        prior = empirical_prior(rng.standard_normal(50))
+        assert prior.dim == 1
+
+    def test_jitter_rescues_rank_deficiency(self, rng):
+        base = rng.standard_normal((50, 1))
+        targets = np.hstack([base, base])  # perfectly correlated columns
+        prior = empirical_prior(targets, jitter=1e-6)
+        np.linalg.cholesky(prior.cov)  # PD despite rank deficiency
+
+    def test_shrinkage_moves_toward_diagonal(self, rng):
+        targets = rng.standard_normal((200, 2))
+        targets[:, 1] += targets[:, 0]
+        full = empirical_prior(targets, shrinkage=0.0)
+        shrunk = empirical_prior(targets, shrinkage=0.9)
+        assert abs(shrunk.cov[0, 1]) < abs(full.cov[0, 1])
+
+    def test_invalid_shrinkage(self, rng):
+        with pytest.raises(ModelError, match="shrinkage"):
+            empirical_prior(rng.standard_normal((10, 2)), shrinkage=2.0)
+
+    def test_constant_targets_rejected(self):
+        with pytest.raises(ModelError, match="zero variance"):
+            empirical_prior(np.ones((10, 2)))
+
+    def test_too_few_rows(self):
+        with pytest.raises(ModelError, match="n>=2"):
+            empirical_prior(np.ones((1, 2)))

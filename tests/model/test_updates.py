@@ -1,0 +1,201 @@
+"""Tests for the Theorem 1/2 update math, including KL optimality."""
+
+import numpy as np
+import pytest
+from scipy import optimize
+
+from repro.errors import ModelError
+from repro.model.gaussian import kl_divergence
+from repro.model.updates import (
+    location_multiplier,
+    solve_spread_multiplier,
+    spread_block_update,
+    spread_constraint_gap,
+)
+
+
+def random_spd(rng, d):
+    a = rng.standard_normal((d, d))
+    return a @ a.T + d * np.eye(d)
+
+
+class TestLocationMultiplier:
+    def test_uniform_cov_reduces_to_paper_formula(self, rng):
+        """With equal covariances, mu + Sigma*lam == mu + (target - mean_mu)."""
+        d = 3
+        cov = random_spd(rng, d)
+        means = [rng.standard_normal(d) for _ in range(4)]
+        counts = np.array([3.0, 1.0, 2.0, 5.0])
+        target = rng.standard_normal(d)
+        lam = location_multiplier([cov] * 4, counts, means, target)
+        weighted_mean = sum(c * m for c, m in zip(counts, means)) / counts.sum()
+        np.testing.assert_allclose(cov @ lam, target - weighted_mean, rtol=1e-8)
+
+    def test_constraint_satisfied_with_mixed_covs(self, rng):
+        d = 2
+        covs = [random_spd(rng, d) for _ in range(3)]
+        means = [rng.standard_normal(d) for _ in range(3)]
+        counts = np.array([2.0, 4.0, 1.0])
+        target = rng.standard_normal(d)
+        lam = location_multiplier(covs, counts, means, target)
+        new_means = [m + c @ lam for m, c in zip(means, covs)]
+        achieved = sum(
+            cnt * nm for cnt, nm in zip(counts, new_means)
+        ) / counts.sum()
+        np.testing.assert_allclose(achieved, target, rtol=1e-8)
+
+    def test_empty_extension_rejected(self, rng):
+        with pytest.raises(ModelError, match="non-empty"):
+            location_multiplier([np.eye(2)], np.array([0.0]), [np.zeros(2)], np.zeros(2))
+
+
+class TestSpreadGap:
+    def test_monotone_decreasing(self, rng):
+        s = np.abs(rng.standard_normal(4)) + 0.1
+        e = rng.standard_normal(4)
+        counts = np.abs(rng.standard_normal(4)) + 1.0
+        lams = np.linspace(-0.5 / s.max(), 5.0, 50)
+        values = [spread_constraint_gap(l, s, e, counts, 10.0, 1.0) for l in lams]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_out_of_domain_rejected(self):
+        s = np.array([2.0])
+        with pytest.raises(ModelError, match="domain"):
+            spread_constraint_gap(-1.0, s, np.zeros(1), np.ones(1), 1.0, 1.0)
+
+
+class TestSolveSpreadMultiplier:
+    def test_analytic_case(self):
+        """All means centred, uniform s: lam = 1/v - 1/s."""
+        s = np.array([2.0])
+        e = np.array([0.0])
+        counts = np.array([10.0])
+        variance = 0.5
+        lam = solve_spread_multiplier(s, e, counts, 10.0, variance)
+        assert lam == pytest.approx(1.0 / variance - 1.0 / 2.0, rel=1e-8)
+
+    def test_inflating_variance_gives_negative_lambda(self):
+        s = np.array([1.0])
+        lam = solve_spread_multiplier(s, np.zeros(1), np.array([5.0]), 5.0, 3.0)
+        assert lam < 0.0
+        assert lam > -1.0  # stays in the feasible domain
+
+    def test_constraint_satisfied_random(self, rng):
+        for _ in range(10):
+            k = rng.integers(1, 5)
+            s = np.abs(rng.standard_normal(k)) + 0.2
+            e = rng.standard_normal(k)
+            counts = rng.integers(1, 20, size=k).astype(float)
+            size = counts.sum()
+            variance = float(np.abs(rng.standard_normal()) + 0.1)
+            lam = solve_spread_multiplier(s, e, counts, size, variance)
+            gap = spread_constraint_gap(lam, s, e, counts, size, variance)
+            assert gap == pytest.approx(0.0, abs=1e-7 * size * variance)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ModelError, match="matching"):
+            solve_spread_multiplier(np.ones(2), np.ones(3), np.ones(2), 2.0, 1.0)
+
+    def test_nonpositive_variance(self):
+        with pytest.raises(ModelError, match="positive"):
+            solve_spread_multiplier(np.ones(1), np.zeros(1), np.ones(1), 1.0, 0.0)
+
+
+class TestSpreadBlockUpdate:
+    def test_variance_along_w_shrinks_for_positive_lambda(self, rng):
+        cov = random_spd(rng, 3)
+        w = np.array([1.0, 0.0, 0.0])
+        _, new_cov = spread_block_update(np.zeros(3), cov, w, np.zeros(3), 2.0)
+        assert w @ new_cov @ w < w @ cov @ w
+
+    def test_sherman_morrison_identity(self, rng):
+        """new_cov must equal inv(inv(cov) + lam * w w')."""
+        cov = random_spd(rng, 3)
+        w = rng.standard_normal(3)
+        w /= np.linalg.norm(w)
+        lam = 0.7
+        _, new_cov = spread_block_update(np.zeros(3), cov, w, np.zeros(3), lam)
+        expected = np.linalg.inv(np.linalg.inv(cov) + lam * np.outer(w, w))
+        np.testing.assert_allclose(new_cov, expected, rtol=1e-8)
+
+    def test_mean_moves_toward_center(self, rng):
+        cov = np.eye(2)
+        mean = np.array([2.0, 0.0])
+        center = np.zeros(2)
+        w = np.array([1.0, 0.0])
+        new_mean, _ = spread_block_update(mean, cov, w, center, 1.0)
+        assert abs(new_mean[0]) < abs(mean[0])
+
+    def test_pd_destruction_rejected(self):
+        cov = np.eye(2)
+        w = np.array([1.0, 0.0])
+        with pytest.raises(ModelError, match="positive-definiteness"):
+            spread_block_update(np.zeros(2), cov, w, np.zeros(2), -1.5)
+
+    def test_orthogonal_directions_untouched(self, rng):
+        cov = np.diag([2.0, 3.0])
+        w = np.array([1.0, 0.0])
+        _, new_cov = spread_block_update(np.zeros(2), cov, w, np.zeros(2), 1.0)
+        # Variance along e2 is unchanged; covariance stays diagonal.
+        assert new_cov[1, 1] == pytest.approx(3.0)
+        assert new_cov[0, 1] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestKLOptimality:
+    """The closed-form updates must be the KL-minimal feasible solutions."""
+
+    def test_location_update_beats_perturbations(self, rng):
+        """Any other mean assignment satisfying the constraint has higher KL.
+
+        Two points, 1-D, shared prior N(0, 1): the constraint is
+        (mu1 + mu2)/2 = t. Parameterize feasible solutions by delta:
+        (t + delta, t - delta); the update must pick the KL-minimum.
+        """
+        t = 1.3
+
+        def total_kl(delta):
+            kl1 = kl_divergence(
+                np.array([t + delta]), np.eye(1), np.zeros(1), np.eye(1)
+            )
+            kl2 = kl_divergence(
+                np.array([t - delta]), np.eye(1), np.zeros(1), np.eye(1)
+            )
+            return kl1 + kl2
+
+        best = optimize.minimize_scalar(total_kl, bounds=(-3, 3), method="bounded")
+        # Theorem 1 with equal covariances moves both means to t (delta=0).
+        assert best.x == pytest.approx(0.0, abs=1e-6)
+        lam = location_multiplier(
+            [np.eye(1), np.eye(1)], np.array([1.0, 1.0]),
+            [np.zeros(1), np.zeros(1)], np.array([t]),
+        )
+        np.testing.assert_allclose(np.eye(1) @ lam, [t], rtol=1e-9)
+
+    def test_spread_update_matches_numeric_kl_minimum(self):
+        """1-D, one point, prior N(0,1), constraint E[(y-0)^2] = v.
+
+        Feasible Gaussians N(m, s2) satisfy m^2 + s2 = v; minimize KL to
+        N(0,1) numerically over m and compare with the closed form.
+        """
+        v = 0.3
+
+        def kl_of_m(m):
+            s2 = v - m * m
+            if s2 <= 0:
+                return np.inf
+            return kl_divergence(
+                np.array([m]), np.array([[s2]]), np.zeros(1), np.eye(1)
+            )
+
+        best = optimize.minimize_scalar(
+            kl_of_m, bounds=(-np.sqrt(v) + 1e-9, np.sqrt(v) - 1e-9),
+            method="bounded",
+        )
+        lam = solve_spread_multiplier(
+            np.array([1.0]), np.array([0.0]), np.array([1.0]), 1.0, v
+        )
+        new_mean, new_cov = spread_block_update(
+            np.zeros(1), np.eye(1), np.array([1.0]), np.zeros(1), lam
+        )
+        assert new_mean[0] == pytest.approx(best.x, abs=1e-5)
+        assert new_cov[0, 0] == pytest.approx(v - best.x**2, rel=1e-5)

@@ -1,0 +1,92 @@
+"""Property-based tests for the chi-squared mixture approximation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.chi2mix import Chi2Mixture
+
+coefficients = st.lists(
+    st.floats(min_value=1e-3, max_value=1e3, allow_nan=False),
+    min_size=1,
+    max_size=12,
+).map(np.asarray)
+
+weights_for = st.lists(
+    st.integers(min_value=1, max_value=50), min_size=1, max_size=12
+)
+
+
+class TestCumulantMatching:
+    @given(a=coefficients)
+    @settings(max_examples=100, deadline=None)
+    def test_first_three_cumulants(self, a):
+        mixture = Chi2Mixture(a)
+        a1, a2, a3 = a.sum(), (a**2).sum(), (a**3).sum()
+        assert mixture.alpha * mixture.dof + mixture.beta == pytest.approx(
+            a1, rel=1e-9
+        )
+        assert 2 * mixture.alpha**2 * mixture.dof == pytest.approx(2 * a2, rel=1e-9)
+        assert 8 * mixture.alpha**3 * mixture.dof == pytest.approx(8 * a3, rel=1e-9)
+
+    @given(a=coefficients)
+    @settings(max_examples=100, deadline=None)
+    def test_alpha_and_dof_positive(self, a):
+        mixture = Chi2Mixture(a)
+        assert mixture.alpha > 0
+        assert mixture.dof > 0
+
+    @given(a=coefficients)
+    @settings(max_examples=100, deadline=None)
+    def test_beta_below_mean(self, a):
+        """The support start must lie below the mean."""
+        mixture = Chi2Mixture(a)
+        assert mixture.beta < mixture.mean
+
+    @given(a=st.floats(min_value=1e-3, max_value=1e3), n=st.integers(1, 40))
+    @settings(max_examples=50, deadline=None)
+    def test_uniform_coefficients_dof_equals_count(self, a, n):
+        mixture = Chi2Mixture(np.full(n, a))
+        assert mixture.dof == pytest.approx(n, rel=1e-9)
+        assert mixture.beta == pytest.approx(0.0, abs=1e-6 * a * n)
+
+
+class TestDistributionProperties:
+    @given(a=coefficients, q=st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=60, deadline=None)
+    def test_ppf_cdf_inverse(self, a, q):
+        mixture = Chi2Mixture(a)
+        assert mixture.cdf(mixture.ppf(q)) == pytest.approx(q, abs=1e-8)
+
+    @given(a=coefficients)
+    @settings(max_examples=60, deadline=None)
+    def test_cdf_monotone(self, a):
+        mixture = Chi2Mixture(a)
+        grid = np.linspace(mixture.beta, mixture.mean + 5 * np.sqrt(mixture.variance), 64)
+        cdf = mixture.cdf(grid)
+        assert np.all(np.diff(cdf) >= -1e-12)
+
+    @given(a=coefficients)
+    @settings(max_examples=60, deadline=None)
+    def test_logpdf_finite_everywhere(self, a):
+        mixture = Chi2Mixture(a)
+        grid = np.linspace(
+            mixture.beta - 1.0, mixture.mean + 10 * np.sqrt(mixture.variance), 32
+        )
+        assert np.all(np.isfinite(mixture.logpdf(grid)))
+
+    @given(a=coefficients, data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_weights_equivalent_to_repetition(self, a, data):
+        reps = data.draw(
+            st.lists(
+                st.integers(min_value=1, max_value=5),
+                min_size=len(a), max_size=len(a),
+            )
+        )
+        weighted = Chi2Mixture(a, weights=np.asarray(reps, dtype=float))
+        expanded = Chi2Mixture(np.repeat(a, reps))
+        assert weighted.alpha == pytest.approx(expanded.alpha, rel=1e-9)
+        assert weighted.beta == pytest.approx(expanded.beta, rel=1e-7, abs=1e-9)
+        assert weighted.dof == pytest.approx(expanded.dof, rel=1e-9)

@@ -1,0 +1,77 @@
+"""Property-based tests of the description language."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.schema import AttributeKind, Column, Dataset
+from repro.lang.conditions import EqualsCondition, NumericCondition
+from repro.lang.description import Description
+
+attributes = st.sampled_from(["x", "y", "z"])
+ops = st.sampled_from(["<=", ">="])
+thresholds = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False)
+
+numeric_conditions = st.builds(NumericCondition, attributes, ops, thresholds)
+binary_conditions = st.builds(
+    EqualsCondition, st.sampled_from(["b1", "b2"]), st.sampled_from([0.0, 1.0])
+)
+conditions = st.one_of(numeric_conditions, binary_conditions)
+descriptions = st.lists(conditions, max_size=6).map(tuple).map(Description)
+
+
+def make_dataset(seed=0):
+    rng = np.random.default_rng(seed)
+    n = 64
+    columns = [
+        Column("x", AttributeKind.NUMERIC, rng.uniform(-5, 5, n)),
+        Column("y", AttributeKind.NUMERIC, rng.uniform(-5, 5, n)),
+        Column("z", AttributeKind.NUMERIC, rng.uniform(-5, 5, n)),
+        Column("b1", AttributeKind.BINARY, rng.integers(0, 2, n).astype(float)),
+        Column("b2", AttributeKind.BINARY, rng.integers(0, 2, n).astype(float)),
+    ]
+    return Dataset("prop", columns, rng.standard_normal((n, 1)), ["t"])
+
+
+DATASET = make_dataset()
+
+
+class TestCanonicalizationProperties:
+    @given(description=descriptions)
+    @settings(max_examples=200, deadline=None)
+    def test_idempotent(self, description):
+        once = description.canonical()
+        assert once.canonical() == once
+
+    @given(description=descriptions)
+    @settings(max_examples=200, deadline=None)
+    def test_extension_preserved(self, description):
+        np.testing.assert_array_equal(
+            description.matches(DATASET), description.canonical().matches(DATASET)
+        )
+
+    @given(description=descriptions)
+    @settings(max_examples=200, deadline=None)
+    def test_never_longer(self, description):
+        assert len(description.canonical()) <= len(description)
+
+    @given(description=descriptions)
+    @settings(max_examples=200, deadline=None)
+    def test_order_insensitive(self, description):
+        reversed_description = Description(tuple(reversed(description.conditions)))
+        assert description.canonical() == reversed_description.canonical()
+
+    @given(description=descriptions, extra=conditions)
+    @settings(max_examples=200, deadline=None)
+    def test_conjunction_monotone(self, description, extra):
+        """Adding a condition never grows the extension."""
+        bigger = description.with_condition(extra)
+        base = description.matches(DATASET)
+        refined = bigger.matches(DATASET)
+        assert not np.any(refined & ~base)
+
+    @given(description=descriptions)
+    @settings(max_examples=200, deadline=None)
+    def test_contradictory_implies_empty(self, description):
+        if description.is_contradictory():
+            assert not description.matches(DATASET).any()

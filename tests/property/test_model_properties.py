@@ -1,0 +1,110 @@
+"""Property-based tests of the background-model invariants.
+
+Hypothesis generates random priors, subgroups and statistics; the model
+must satisfy its constraints exactly and keep its covariances positive
+definite regardless.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.model.background import BackgroundModel
+from repro.model.patterns import LocationConstraint, SpreadConstraint
+from repro.model.priors import Prior
+
+DIM = st.integers(min_value=1, max_value=4)
+
+
+@st.composite
+def model_and_targets(draw):
+    """A random prior-based model plus consistent target data."""
+    d = draw(DIM)
+    n = draw(st.integers(min_value=6, max_value=40))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    mean = rng.uniform(-3.0, 3.0, d)
+    a = rng.standard_normal((d, d))
+    cov = a @ a.T + (0.5 + rng.random()) * np.eye(d)
+    targets = rng.multivariate_normal(mean, cov, size=n)
+    model = BackgroundModel(n, Prior(mean, cov))
+    return model, targets, rng
+
+
+@st.composite
+def subgroup_indices(draw, n):
+    size = draw(st.integers(min_value=2, max_value=max(2, n // 2)))
+    start = draw(st.integers(min_value=0, max_value=n - size))
+    return np.arange(start, start + size)
+
+
+class TestLocationUpdateProperties:
+    @given(data=model_and_targets(), payload=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_constraint_exact_and_pd(self, data, payload):
+        model, targets, _ = data
+        idx = payload.draw(subgroup_indices(model.n_rows))
+        constraint = LocationConstraint.from_data(targets, idx)
+        model.assimilate(constraint)
+        np.testing.assert_allclose(
+            model.expected_subgroup_mean(idx), constraint.mean, atol=1e-8
+        )
+        for b in range(model.n_blocks):
+            np.linalg.cholesky(model.block_cov(b))
+
+    @given(data=model_and_targets(), payload=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_sequential_disjoint_constraints_all_hold(self, data, payload):
+        model, targets, _ = data
+        n = model.n_rows
+        half = n // 2
+        idx1 = np.arange(0, max(2, half // 2))
+        idx2 = np.arange(half, half + max(2, (n - half) // 2))
+        c1 = LocationConstraint.from_data(targets, idx1)
+        c2 = LocationConstraint.from_data(targets, idx2)
+        model.assimilate(c1).assimilate(c2)
+        assert model.max_residual() < 1e-8
+
+    @given(data=model_and_targets(), payload=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_refit_converges_with_overlap(self, data, payload):
+        model, targets, _ = data
+        n = model.n_rows
+        a = payload.draw(subgroup_indices(n))
+        b = payload.draw(subgroup_indices(n))
+        constraints = [
+            LocationConstraint.from_data(targets, a),
+            LocationConstraint.from_data(targets, b),
+        ]
+        model.refit(constraints, tol=1e-8, max_rounds=500)
+        assert model.max_residual() < 1e-8
+
+
+class TestSpreadUpdateProperties:
+    @given(data=model_and_targets(), payload=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_constraint_exact_and_pd(self, data, payload):
+        model, targets, rng = data
+        idx = payload.draw(subgroup_indices(model.n_rows))
+        w = rng.standard_normal(model.dim)
+        w /= np.linalg.norm(w)
+        constraint = SpreadConstraint.from_data(targets, idx, w)
+        model.assimilate(constraint)
+        achieved = model.expected_spread(idx, w, constraint.center)
+        assert achieved == pytest.approx(constraint.variance, rel=1e-6)
+        for b in range(model.n_blocks):
+            np.linalg.cholesky(model.block_cov(b))
+
+    @given(data=model_and_targets(), payload=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_block_count_bounded(self, data, payload):
+        """After t patterns there are at most t+1 blocks (nested splits)."""
+        model, targets, rng = data
+        n_patterns = 3
+        for _ in range(n_patterns):
+            idx = payload.draw(subgroup_indices(model.n_rows))
+            model.assimilate(LocationConstraint.from_data(targets, idx))
+        assert model.n_blocks <= 2**n_patterns
+        assert model.block_sizes().sum() == model.n_rows

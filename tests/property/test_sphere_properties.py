@@ -1,0 +1,85 @@
+"""Property-based tests of the sphere manifold and the spread gradient."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.background import BackgroundModel
+from repro.model.patterns import SpreadConstraint
+from repro.search.sphere import canonical_sign, project_tangent, random_unit, retract
+from repro.search.spread import SpreadObjective
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+dims = st.integers(min_value=1, max_value=6)
+
+
+class TestSphereProperties:
+    @given(seed=seeds, dim=dims)
+    @settings(max_examples=100, deadline=None)
+    def test_random_unit_norm(self, seed, dim):
+        w = random_unit(np.random.default_rng(seed), dim)
+        assert np.linalg.norm(w) == pytest.approx(1.0, abs=1e-12)
+
+    @given(seed=seeds, dim=dims)
+    @settings(max_examples=100, deadline=None)
+    def test_tangent_orthogonality(self, seed, dim):
+        rng = np.random.default_rng(seed)
+        w = random_unit(rng, dim)
+        v = rng.standard_normal(dim)
+        assert float(w @ project_tangent(w, v)) == pytest.approx(0.0, abs=1e-10)
+
+    @given(seed=seeds, dim=dims, scale=st.floats(0.0, 10.0))
+    @settings(max_examples=100, deadline=None)
+    def test_retraction_stays_on_sphere(self, seed, dim, scale):
+        rng = np.random.default_rng(seed)
+        w = random_unit(rng, dim)
+        step = scale * project_tangent(w, rng.standard_normal(dim))
+        assert np.linalg.norm(retract(w, step)) == pytest.approx(1.0, abs=1e-12)
+
+    @given(seed=seeds, dim=dims)
+    @settings(max_examples=100, deadline=None)
+    def test_canonical_sign_preserves_axis(self, seed, dim):
+        w = random_unit(np.random.default_rng(seed), dim)
+        flipped = canonical_sign(w)
+        np.testing.assert_allclose(np.abs(flipped), np.abs(w))
+        assert flipped[np.argmax(np.abs(flipped))] > 0
+
+
+class TestSpreadGradientProperties:
+    @given(seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_gradient_matches_finite_differences(self, seed):
+        """Holds for fresh and block-split models alike."""
+        rng = np.random.default_rng(seed)
+        d = int(rng.integers(2, 4))
+        n = 50
+        targets = rng.standard_normal((n, d))
+        model = BackgroundModel.from_targets(targets)
+        # Randomly split the model so multiple blocks intersect the group.
+        w0 = random_unit(rng, d)
+        model.assimilate(
+            SpreadConstraint.from_data(targets, np.arange(10, 30), w0)
+        )
+        objective = SpreadObjective(model, np.arange(0, 25), targets)
+        w = random_unit(rng, d)
+        value, grad = objective.value_and_grad(w)
+        assert np.isfinite(value)
+        eps = 1e-6
+        for j in range(d):
+            delta = np.zeros(d)
+            delta[j] = eps
+            numeric = (objective.value(w + delta) - objective.value(w - delta)) / (
+                2 * eps
+            )
+            assert grad[j] == pytest.approx(numeric, rel=5e-4, abs=1e-5)
+
+    @given(seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_objective_even_in_w(self, seed):
+        rng = np.random.default_rng(seed)
+        targets = rng.standard_normal((40, 3))
+        model = BackgroundModel.from_targets(targets)
+        objective = SpreadObjective(model, np.arange(15), targets)
+        w = random_unit(rng, 3)
+        assert objective.value(w) == pytest.approx(objective.value(-w), rel=1e-12)

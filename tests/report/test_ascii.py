@@ -1,0 +1,98 @@
+"""Tests for ASCII chart rendering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.report.ascii import bar_chart, render_series, sparkline, text_map
+
+
+class TestBarChart:
+    def test_renders_all_labels(self):
+        text = bar_chart(["alpha", "beta"], [1.0, -2.0])
+        assert "alpha" in text
+        assert "beta" in text
+
+    def test_negative_bars_use_dashes(self):
+        text = bar_chart(["neg"], [-1.0])
+        assert "-" in text.split("|")[1]
+
+    def test_longest_bar_for_largest_value(self):
+        text = bar_chart(["small", "large"], [1.0, 10.0], width=20)
+        lines = text.splitlines()
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(ReproError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_all_zero_safe(self):
+        text = bar_chart(["z"], [0.0])
+        assert "z" in text
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        assert len(sparkline(np.arange(10.0))) == 10
+
+    def test_constant_series(self):
+        line = sparkline(np.ones(5))
+        assert len(set(line)) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_levels(self):
+        line = sparkline(np.linspace(0, 1, 10))
+        # First char is the lowest block, last the highest.
+        assert line[0] == " "
+        assert line[-1] == "@"
+
+
+class TestRenderSeries:
+    def test_contains_marks_and_legend(self, rng):
+        grid = np.linspace(0, 1, 50)
+        text = render_series(grid, {"data": np.sin(grid * 6), "model": grid})
+        assert "*=data" in text
+        assert "+=model" in text
+
+    def test_too_many_series(self):
+        grid = np.linspace(0, 1, 5)
+        series = {f"s{i}": grid for i in range(6)}
+        with pytest.raises(ReproError):
+            render_series(grid, series)
+
+    def test_canvas_dimensions(self):
+        grid = np.linspace(0, 1, 30)
+        text = render_series(grid, {"a": grid}, width=40, height=8)
+        lines = text.splitlines()
+        assert len(lines) == 10  # 8 canvas + legend + footer
+        assert all(len(line) == 40 for line in lines[:8])
+
+
+class TestTextMap:
+    def test_marks_inside_and_outside(self):
+        lat = np.array([50.0, 50.0, 60.0, 60.0])
+        lon = np.array([0.0, 10.0, 0.0, 10.0])
+        mask = np.array([True, False, False, True])
+        text = text_map(lat, lon, mask, width=8, height=4)
+        assert "#" in text
+        assert "." in text
+
+    def test_north_up(self):
+        lat = np.array([40.0, 70.0])
+        lon = np.array([5.0, 5.0])
+        mask = np.array([False, True])
+        text = text_map(lat, lon, mask, width=5, height=5)
+        lines = text.splitlines()
+        first_hash = next(i for i, line in enumerate(lines) if "#" in line)
+        first_dot = next(i for i, line in enumerate(lines) if "." in line)
+        assert first_hash < first_dot  # the northern point renders higher
+
+    def test_shape_validation(self):
+        with pytest.raises(ReproError):
+            text_map(np.zeros(3), np.zeros(3), np.zeros(2, dtype=bool))
+
+    def test_mask_dtype_validation(self):
+        with pytest.raises(ReproError):
+            text_map(np.zeros(3), np.zeros(3), np.zeros(3))

@@ -1,0 +1,43 @@
+"""Tests for the table formatter."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.report.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["name", "value"], [("a", 1.5), ("bb", 20.25)])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "name" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+
+    def test_title(self):
+        text = format_table(["x"], [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [(1.23456,)], floatfmt=".3f")
+        assert "1.235" in text
+
+    def test_ints_not_float_formatted(self):
+        text = format_table(["v"], [(42,)])
+        assert "42" in text
+        assert "42.00" not in text
+
+    def test_numbers_right_aligned(self):
+        text = format_table(["value"], [(1.0,), (100.0,)])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith("  1.00")
+        assert rows[1].endswith("100.00")
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ReproError, match="cells"):
+            format_table(["a", "b"], [(1,)])
+
+    def test_stable_width_across_rows(self):
+        text = format_table(["a", "b"], [("x", 1), ("longer", 2)])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1

@@ -1,0 +1,142 @@
+"""Tests for the location beam search and its batched scorer."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.schema import AttributeKind, Column, Dataset
+from repro.errors import SearchError
+from repro.interest.ic import location_ic
+from repro.lang.refinement import RefinementOperator
+from repro.model.background import BackgroundModel
+from repro.model.patterns import SpreadConstraint
+from repro.search.beam import LocationBeamSearch, LocationICScorer
+from repro.search.config import SearchConfig
+from repro.stats.statistics import subgroup_mean
+
+
+@pytest.fixture()
+def planted(rng):
+    """40 of 200 rows displaced, labelled by a binary flag + noise attrs."""
+    n = 200
+    targets = rng.standard_normal((n, 2))
+    flag = np.zeros(n)
+    flag[:40] = 1.0
+    targets[:40] += 2.5
+    order = rng.permutation(n)
+    targets, flag = targets[order], flag[order]
+    columns = [
+        Column("flag", AttributeKind.BINARY, flag),
+        Column("noise_num", AttributeKind.NUMERIC, rng.standard_normal(n)),
+        Column("noise_bin", AttributeKind.BINARY, rng.integers(0, 2, n).astype(float)),
+    ]
+    dataset = Dataset("planted", columns, targets, ["y1", "y2"])
+    model = BackgroundModel.from_targets(targets)
+    return dataset, model
+
+
+class TestLocationICScorer:
+    def test_matches_reference_ic(self, planted):
+        dataset, model = planted
+        scorer = LocationICScorer(model, dataset.targets)
+        mask = dataset.column("flag").values == 1.0
+        ic, observed = scorer.score_mask(mask)
+        assert ic == pytest.approx(
+            location_ic(model, mask, subgroup_mean(dataset.targets, mask)),
+            rel=1e-9,
+        )
+        np.testing.assert_allclose(observed, subgroup_mean(dataset.targets, mask))
+
+    def test_batch_matches_single(self, planted, rng):
+        dataset, model = planted
+        scorer = LocationICScorer(model, dataset.targets)
+        masks = np.stack([rng.random(200) < 0.3 for _ in range(5)])
+        ics, means = scorer.score_masks(masks)
+        for k in range(5):
+            ic, mean = scorer.score_mask(masks[k])
+            assert ics[k] == pytest.approx(ic, rel=1e-12)
+            np.testing.assert_allclose(means[k], mean)
+
+    def test_multiblock_path_matches_reference(self, planted, rng):
+        """After a spread update the covariances differ per block; the
+        scorer must leave the uniform fast path and still agree with
+        location_ic."""
+        dataset, model = planted
+        mask = dataset.column("flag").values == 1.0
+        w = np.array([1.0, 0.0])
+        model.assimilate(SpreadConstraint.from_data(dataset.targets, mask, w))
+        scorer = LocationICScorer(model, dataset.targets)
+        assert not scorer._uniform_cov
+        probe = rng.random(200) < 0.4
+        ic, _ = scorer.score_mask(probe)
+        assert ic == pytest.approx(
+            location_ic(model, probe, subgroup_mean(dataset.targets, probe)),
+            rel=1e-9,
+        )
+
+    def test_empty_mask_rejected(self, planted):
+        dataset, model = planted
+        scorer = LocationICScorer(model, dataset.targets)
+        with pytest.raises(SearchError, match="empty"):
+            scorer.score_mask(np.zeros(200, dtype=bool))
+
+    def test_shape_mismatch(self, planted, rng):
+        dataset, model = planted
+        with pytest.raises(SearchError, match="shape"):
+            LocationICScorer(model, rng.standard_normal((7, 2)))
+
+
+class TestLocationBeamSearch:
+    def search(self, planted, **config_kwargs):
+        dataset, model = planted
+        operator = RefinementOperator(dataset)
+        scorer = LocationICScorer(model, dataset.targets)
+        config = SearchConfig(**config_kwargs)
+        return LocationBeamSearch(operator, scorer, config=config).run()
+
+    def test_finds_planted_flag(self, planted):
+        result = self.search(planted)
+        assert result.best is not None
+        assert str(result.best.description) == "flag = '1'"
+        assert result.best.size == 40
+
+    def test_log_sorted_by_si(self, planted):
+        result = self.search(planted)
+        sis = [entry.si for entry in result.log]
+        assert sis == sorted(sis, reverse=True)
+
+    def test_log_capped_at_top_k(self, planted):
+        result = self.search(planted, top_k=5)
+        assert len(result.log) == 5
+
+    def test_no_duplicate_descriptions_in_log(self, planted):
+        result = self.search(planted)
+        descriptions = [entry.description for entry in result.log]
+        assert len(descriptions) == len(set(descriptions))
+
+    def test_depth_one_only_single_conditions(self, planted):
+        result = self.search(planted, max_depth=1)
+        assert all(len(entry.description) == 1 for entry in result.log)
+        assert result.depth_reached == 1
+
+    def test_min_coverage_respected(self, planted):
+        result = self.search(planted, min_coverage=50)
+        assert all(entry.size >= 50 for entry in result.log)
+
+    def test_max_coverage_respected(self, planted):
+        result = self.search(planted, max_coverage_fraction=0.3)
+        assert all(entry.size <= 60 for entry in result.log)
+
+    def test_expired_budget_short_circuits(self, planted):
+        result = self.search(planted, time_budget_seconds=0.0)
+        assert result.expired
+        assert result.best is None
+
+    def test_beam_width_one_still_finds_strong_pattern(self, planted):
+        result = self.search(planted, beam_width=1)
+        assert result.best is not None
+        assert str(result.best.description) == "flag = '1'"
+
+    def test_n_evaluated_counts(self, planted):
+        result = self.search(planted, max_depth=1)
+        # flag: 2 conditions, noise_bin: 2, noise_num: 8 -> 12 candidates.
+        assert result.n_evaluated == 12

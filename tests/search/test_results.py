@@ -1,0 +1,83 @@
+"""Tests for search result records."""
+
+import numpy as np
+import pytest
+
+from repro.interest.si import PatternScore
+from repro.lang.conditions import EqualsCondition
+from repro.lang.description import Description
+from repro.model.patterns import LocationConstraint, SpreadConstraint
+from repro.search.results import (
+    LocationPatternResult,
+    ScoredSubgroup,
+    SpreadPatternResult,
+)
+
+
+def description():
+    return Description((EqualsCondition("a", 1.0),))
+
+
+class TestScoredSubgroup:
+    def test_properties(self):
+        entry = ScoredSubgroup(
+            description=description(),
+            indices=np.array([1, 3, 5]),
+            observed_mean=np.array([0.5]),
+            score=PatternScore(ic=11.0, dl=1.1),
+        )
+        assert entry.size == 3
+        assert entry.si == pytest.approx(10.0)
+        assert "SI=10.00" in str(entry)
+
+
+class TestLocationPatternResult:
+    def test_constraint_conversion(self):
+        result = LocationPatternResult(
+            description=description(),
+            indices=np.array([0, 2]),
+            mean=np.array([1.5]),
+            score=PatternScore(ic=5.0, dl=1.1),
+            coverage=0.1,
+        )
+        constraint = result.constraint()
+        assert isinstance(constraint, LocationConstraint)
+        np.testing.assert_array_equal(constraint.indices, [0, 2])
+        np.testing.assert_array_equal(constraint.mean, [1.5])
+
+    def test_str_mentions_coverage(self):
+        result = LocationPatternResult(
+            description=description(),
+            indices=np.arange(5),
+            mean=np.array([0.0]),
+            score=PatternScore(ic=5.0, dl=1.1),
+            coverage=0.25,
+        )
+        assert "25.0%" in str(result)
+
+
+class TestSpreadPatternResult:
+    def test_constraint_conversion(self):
+        result = SpreadPatternResult(
+            description=description(),
+            indices=np.array([0, 1, 2]),
+            direction=np.array([1.0, 0.0]),
+            variance=0.5,
+            center=np.array([0.0, 0.0]),
+            score=PatternScore(ic=3.0, dl=2.1),
+        )
+        constraint = result.constraint()
+        assert isinstance(constraint, SpreadConstraint)
+        assert constraint.variance == 0.5
+
+    def test_str_shows_direction(self):
+        result = SpreadPatternResult(
+            description=description(),
+            indices=np.arange(3),
+            direction=np.array([0.6, -0.8]),
+            variance=0.5,
+            center=np.zeros(2),
+            score=PatternScore(ic=3.0, dl=2.1),
+        )
+        assert "+0.600" in str(result)
+        assert "-0.800" in str(result)

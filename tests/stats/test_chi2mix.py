@@ -1,0 +1,98 @@
+"""Tests for the Zhang (2005) chi-squared mixture approximation."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.errors import ModelError
+from repro.stats.chi2mix import Chi2Mixture
+
+
+class TestCoefficients:
+    def test_uniform_coefficients_exact(self):
+        """All a_i equal: the approximation is EXACT, g = a * chi2(n)."""
+        mixture = Chi2Mixture(np.full(7, 0.5))
+        assert mixture.alpha == pytest.approx(0.5)
+        assert mixture.beta == pytest.approx(0.0, abs=1e-12)
+        assert mixture.dof == pytest.approx(7.0)
+
+    def test_weights_equal_repetition(self):
+        a = np.array([0.2, 0.7])
+        repeated = Chi2Mixture(np.array([0.2, 0.2, 0.2, 0.7]))
+        weighted = Chi2Mixture(a, weights=np.array([3.0, 1.0]))
+        assert weighted.alpha == pytest.approx(repeated.alpha)
+        assert weighted.beta == pytest.approx(repeated.beta)
+        assert weighted.dof == pytest.approx(repeated.dof)
+
+    def test_cumulant_matching(self, rng):
+        """alpha/beta/m match the mixture's first three cumulants."""
+        a = np.abs(rng.standard_normal(6)) + 0.05
+        w = rng.integers(1, 10, 6).astype(float)
+        mixture = Chi2Mixture(a, weights=w)
+        # Approximation side: alpha*chi2(m) + beta.
+        assert mixture.alpha * mixture.dof + mixture.beta == pytest.approx(
+            mixture.mean
+        )
+        assert 2 * mixture.alpha**2 * mixture.dof == pytest.approx(mixture.variance)
+        assert 8 * mixture.alpha**3 * mixture.dof == pytest.approx(
+            mixture.third_cumulant
+        )
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ModelError, match="positive"):
+            Chi2Mixture(np.array([0.5, 0.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError, match="non-empty"):
+            Chi2Mixture(np.array([]))
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ModelError, match="shape"):
+            Chi2Mixture(np.array([1.0]), weights=np.array([1.0, 2.0]))
+
+
+class TestDistribution:
+    def test_uniform_matches_scipy_chi2(self):
+        a = 0.8
+        n = 5
+        mixture = Chi2Mixture(np.full(n, a))
+        xs = np.linspace(0.1, 10.0, 25)
+        expected = sps.chi2.logpdf(xs / a, n) - np.log(a)
+        np.testing.assert_allclose(mixture.logpdf(xs), expected, rtol=1e-9)
+        np.testing.assert_allclose(
+            mixture.cdf(xs), sps.chi2.cdf(xs / a, n), rtol=1e-9
+        )
+
+    def test_pdf_integrates_to_one(self, rng):
+        a = np.abs(rng.standard_normal(4)) + 0.1
+        mixture = Chi2Mixture(a)
+        grid = np.linspace(mixture.beta + 1e-9, mixture.mean + 30 * np.sqrt(mixture.variance), 20001)
+        integral = np.trapezoid(mixture.pdf(grid), grid)
+        assert integral == pytest.approx(1.0, abs=1e-3)
+
+    def test_ppf_inverts_cdf(self, rng):
+        a = np.abs(rng.standard_normal(3)) + 0.2
+        mixture = Chi2Mixture(a)
+        for q in (0.1, 0.5, 0.9):
+            assert mixture.cdf(mixture.ppf(q)) == pytest.approx(q, abs=1e-9)
+
+    def test_below_support_clamped_finite(self):
+        mixture = Chi2Mixture(np.array([0.3, 0.9]))
+        value = mixture.logpdf(mixture.beta - 1.0)
+        assert np.isfinite(value)
+
+    def test_approximation_close_to_monte_carlo(self, rng):
+        """KS distance between approx CDF and exact samples is small."""
+        a = np.array([0.1, 0.5, 1.0, 2.0])
+        w = np.array([5, 10, 3, 2], dtype=float)
+        mixture = Chi2Mixture(a, weights=w)
+        samples = mixture.sample(rng, 4000)
+        grid = np.quantile(samples, np.linspace(0.02, 0.98, 49))
+        empirical = np.searchsorted(np.sort(samples), grid) / samples.size
+        approx = mixture.cdf(grid)
+        assert np.abs(empirical - approx).max() < 0.03
+
+    def test_scalar_in_scalar_out(self):
+        mixture = Chi2Mixture(np.array([1.0, 2.0]))
+        assert isinstance(mixture.logpdf(3.0), float)
+        assert isinstance(mixture.cdf(3.0), float)

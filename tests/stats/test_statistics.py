@@ -1,0 +1,89 @@
+"""Tests for the f_I and g_I^w statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.stats.statistics import subgroup_cov, subgroup_mean, subgroup_spread
+
+
+class TestSubgroupMean:
+    def test_matches_numpy(self, rng):
+        targets = rng.standard_normal((20, 3))
+        np.testing.assert_allclose(
+            subgroup_mean(targets, np.arange(7)), targets[:7].mean(axis=0)
+        )
+
+    def test_boolean_mask(self, rng):
+        targets = rng.standard_normal((10, 2))
+        mask = np.zeros(10, dtype=bool)
+        mask[[1, 4]] = True
+        np.testing.assert_allclose(
+            subgroup_mean(targets, mask), targets[[1, 4]].mean(axis=0)
+        )
+
+    def test_1d_targets(self, rng):
+        targets = rng.standard_normal(15)
+        assert subgroup_mean(targets, np.arange(5)).shape == (1,)
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(ModelError, match="empty"):
+            subgroup_mean(rng.standard_normal((5, 2)), np.array([], dtype=int))
+
+    def test_mask_length_mismatch(self, rng):
+        with pytest.raises(ModelError, match="length"):
+            subgroup_mean(rng.standard_normal((5, 2)), np.ones(3, dtype=bool))
+
+
+class TestSubgroupCov:
+    def test_one_over_n_normalization(self, rng):
+        targets = rng.standard_normal((30, 2))
+        cov = subgroup_cov(targets, np.arange(10))
+        sub = targets[:10]
+        centered = sub - sub.mean(axis=0)
+        np.testing.assert_allclose(cov, centered.T @ centered / 10)
+
+    def test_quadratic_form_equals_spread(self, rng):
+        targets = rng.standard_normal((30, 3))
+        idx = np.arange(12)
+        w = rng.standard_normal(3)
+        w /= np.linalg.norm(w)
+        np.testing.assert_allclose(
+            float(w @ subgroup_cov(targets, idx) @ w),
+            subgroup_spread(targets, idx, w),
+            rtol=1e-10,
+        )
+
+
+class TestSubgroupSpread:
+    def test_known_value(self):
+        targets = np.array([[0.0], [2.0]])
+        # mean = 1; squared deviations = 1, 1; spread = 1.
+        assert subgroup_spread(targets, np.arange(2), np.array([1.0])) == 1.0
+
+    def test_custom_center(self):
+        targets = np.array([[0.0], [2.0]])
+        value = subgroup_spread(
+            targets, np.arange(2), np.array([1.0]), center=np.array([0.0])
+        )
+        assert value == pytest.approx(2.0)  # (0 + 4) / 2
+
+    def test_requires_unit_direction(self, rng):
+        targets = rng.standard_normal((5, 2))
+        with pytest.raises(ValueError, match="unit"):
+            subgroup_spread(targets, np.arange(3), np.array([1.0, 1.0]))
+
+    def test_dimension_mismatch(self, rng):
+        targets = rng.standard_normal((5, 2))
+        with pytest.raises(ModelError, match="dim"):
+            subgroup_spread(targets, np.arange(3), np.array([1.0, 0.0, 0.0]))
+
+    def test_rotation_invariance_of_trace(self, rng):
+        """Sum of spreads over an orthonormal basis equals total variance."""
+        targets = rng.standard_normal((40, 3))
+        idx = np.arange(20)
+        q, _ = np.linalg.qr(rng.standard_normal((3, 3)))
+        total = sum(subgroup_spread(targets, idx, q[:, j]) for j in range(3))
+        assert total == pytest.approx(
+            np.trace(subgroup_cov(targets, idx)), rel=1e-10
+        )

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestDatasets:
+    def test_lists_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("crime", "mammals", "socio", "synthetic", "water"):
+            assert name in out
+
+
+class TestExperimentsListing:
+    def test_lists_experiments(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out
+        assert "table2" in out
+
+    def test_registry_covers_all_paper_artifacts(self):
+        expected = {f"fig{k}" for k in range(1, 11)} | {"table1", "table2"}
+        assert set(EXPERIMENTS) == expected
+
+
+class TestMine:
+    def test_mine_synthetic(self, capsys):
+        code = main(
+            ["mine", "synthetic", "--iterations", "2", "--kind", "spread"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "iteration 1" in out
+        assert "location:" in out
+        assert "spread:" in out
+
+    def test_mine_location_only(self, capsys):
+        assert main(["mine", "synthetic", "--iterations", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "spread:" not in out
+
+    def test_unknown_dataset_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["mine", "nope"])
+
+    def test_custom_gamma(self, capsys):
+        assert main(["mine", "synthetic", "--iterations", "1", "--gamma", "1.0"]) == 0
+
+
+class TestExperimentCommand:
+    def test_run_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_run_fig2(self, capsys):
+        assert main(["experiment", "fig2"]) == 0
+        assert "Fig. 2" in capsys.readouterr().out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "sisd" in capsys.readouterr().out

@@ -1,0 +1,188 @@
+"""Round-trip tests for JSON persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.interest.si import PatternScore
+from repro.lang.conditions import EqualsCondition, NumericCondition
+from repro.lang.description import Description
+from repro.model.background import BackgroundModel
+from repro.model.patterns import LocationConstraint, SpreadConstraint
+from repro.persist import (
+    condition_from_dict,
+    condition_to_dict,
+    constraint_from_dict,
+    constraint_to_dict,
+    description_from_dict,
+    description_to_dict,
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    result_from_dict,
+    result_to_dict,
+    save_model,
+)
+from repro.search.results import LocationPatternResult, ScoredSubgroup, SpreadPatternResult
+
+
+class TestConditionRoundTrip:
+    def test_numeric(self):
+        original = NumericCondition("x", "<=", 2.5)
+        assert condition_from_dict(condition_to_dict(original)) == original
+
+    def test_equals_string(self):
+        original = EqualsCondition("region", "east")
+        restored = condition_from_dict(condition_to_dict(original))
+        assert restored == original
+
+    def test_equals_binary_number(self):
+        original = EqualsCondition("flag", 1.0)
+        restored = condition_from_dict(condition_to_dict(original))
+        assert restored == original
+        assert isinstance(restored.value, float)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ReproError, match="unknown condition"):
+            condition_from_dict({"type": "regex"})
+
+
+class TestDescriptionRoundTrip:
+    def test_mixed_conditions(self):
+        original = Description(
+            (
+                NumericCondition("a", ">=", 1.0),
+                EqualsCondition("b", "yes"),
+                NumericCondition("a", "<=", 5.0),
+            )
+        )
+        restored = description_from_dict(description_to_dict(original))
+        assert restored == original
+
+    def test_empty(self):
+        assert description_from_dict(description_to_dict(Description())) == Description()
+
+
+class TestConstraintRoundTrip:
+    def test_location(self, rng):
+        targets = rng.standard_normal((20, 3))
+        original = LocationConstraint.from_data(targets, np.arange(5))
+        restored = constraint_from_dict(constraint_to_dict(original))
+        np.testing.assert_array_equal(restored.indices, original.indices)
+        np.testing.assert_allclose(restored.mean, original.mean)
+
+    def test_spread(self, rng):
+        targets = rng.standard_normal((20, 2))
+        original = SpreadConstraint.from_data(
+            targets, np.arange(8), np.array([1.0, 0.0])
+        )
+        restored = constraint_from_dict(constraint_to_dict(original))
+        assert restored.variance == pytest.approx(original.variance)
+        np.testing.assert_allclose(restored.center, original.center)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ReproError, match="unknown constraint"):
+            constraint_from_dict({"type": "magic"})
+
+
+class TestModelRoundTrip:
+    def test_fresh_model(self, rng):
+        targets = rng.standard_normal((30, 2))
+        original = BackgroundModel.from_targets(targets)
+        restored = model_from_dict(model_to_dict(original))
+        np.testing.assert_allclose(restored.point_means(), original.point_means())
+        np.testing.assert_allclose(restored.prior.cov, original.prior.cov)
+
+    def test_evolved_model(self, rng):
+        targets = rng.standard_normal((40, 2))
+        original = BackgroundModel.from_targets(targets)
+        original.assimilate(LocationConstraint.from_data(targets, np.arange(10)))
+        original.assimilate(
+            SpreadConstraint.from_data(targets, np.arange(10), np.array([0.0, 1.0]))
+        )
+        restored = model_from_dict(model_to_dict(original))
+        assert restored.n_blocks == original.n_blocks
+        np.testing.assert_array_equal(restored.labels, original.labels)
+        np.testing.assert_allclose(restored.point_means(), original.point_means())
+        for b in range(original.n_blocks):
+            np.testing.assert_allclose(restored.block_cov(b), original.block_cov(b))
+        assert len(restored.constraints) == 2
+        assert restored.max_residual() < 1e-8
+
+    def test_restored_model_continues_mining(self, rng):
+        """A restored model produces identical ICs to the original."""
+        from repro.interest.ic import location_ic
+
+        targets = rng.standard_normal((40, 2))
+        original = BackgroundModel.from_targets(targets)
+        original.assimilate(LocationConstraint.from_data(targets, np.arange(10)))
+        restored = model_from_dict(model_to_dict(original))
+        probe = np.arange(20, 30)
+        observed = targets[probe].mean(axis=0)
+        assert location_ic(restored, probe, observed) == pytest.approx(
+            location_ic(original, probe, observed), rel=1e-12
+        )
+
+    def test_file_roundtrip(self, rng, tmp_path):
+        targets = rng.standard_normal((20, 2))
+        original = BackgroundModel.from_targets(targets)
+        path = save_model(original, tmp_path / "model.json")
+        restored = load_model(path)
+        np.testing.assert_allclose(restored.prior.mean, original.prior.mean)
+
+    def test_schema_version_checked(self, rng):
+        targets = rng.standard_normal((10, 1))
+        document = model_to_dict(BackgroundModel.from_targets(targets))
+        document["schema"] = 999
+        with pytest.raises(ReproError, match="schema"):
+            model_from_dict(document)
+
+    def test_corrupt_labels_rejected(self, rng):
+        targets = rng.standard_normal((10, 1))
+        document = model_to_dict(BackgroundModel.from_targets(targets))
+        document["labels"] = [5] * 10  # references a missing block
+        with pytest.raises(ReproError, match="missing block"):
+            model_from_dict(document)
+
+
+class TestResultRoundTrip:
+    def _description(self):
+        return Description((EqualsCondition("a", 1.0),))
+
+    def test_scored_subgroup(self):
+        original = ScoredSubgroup(
+            description=self._description(),
+            indices=np.array([1, 2]),
+            observed_mean=np.array([0.5]),
+            score=PatternScore(ic=3.0, dl=1.1),
+        )
+        restored = result_from_dict(result_to_dict(original))
+        assert restored.description == original.description
+        assert restored.si == pytest.approx(original.si)
+
+    def test_location_pattern(self):
+        original = LocationPatternResult(
+            description=self._description(),
+            indices=np.array([0, 4]),
+            mean=np.array([1.0]),
+            score=PatternScore(ic=2.0, dl=1.1),
+            coverage=0.2,
+        )
+        restored = result_from_dict(result_to_dict(original))
+        assert restored.coverage == original.coverage
+
+    def test_spread_pattern(self):
+        original = SpreadPatternResult(
+            description=self._description(),
+            indices=np.array([0, 1]),
+            direction=np.array([0.6, 0.8]),
+            variance=0.4,
+            center=np.array([0.0, 0.0]),
+            score=PatternScore(ic=2.0, dl=2.1),
+        )
+        restored = result_from_dict(result_to_dict(original))
+        np.testing.assert_allclose(restored.direction, original.direction)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ReproError, match="unknown result"):
+            result_from_dict({"type": "nope", "ic": 1.0, "dl": 1.0})

@@ -1,0 +1,95 @@
+"""Tests for the interactive mining session."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SearchError
+from repro.session import MiningSession
+
+
+class TestStepAndHistory:
+    def test_steps_accumulate(self, synthetic_dataset):
+        session = MiningSession(synthetic_dataset, seed=0)
+        first = session.step()
+        second = session.step()
+        assert session.n_iterations == 2
+        assert session.history[0] is first
+        assert first.location.description != second.location.description
+
+    def test_report_lists_patterns(self, synthetic_dataset):
+        session = MiningSession(synthetic_dataset, seed=0)
+        session.step(kind="spread")
+        text = session.report()
+        assert "iterations: 1" in text
+        assert "location:" in text
+        assert "spread:" in text
+
+
+class TestUndo:
+    def test_undo_restores_belief_state(self, synthetic_dataset):
+        session = MiningSession(synthetic_dataset, seed=0)
+        first = session.step()
+        means_after_first = session.miner.model.point_means().copy()
+        session.step()
+        undone = session.undo()
+        assert undone.index == 2
+        np.testing.assert_allclose(
+            session.miner.model.point_means(), means_after_first
+        )
+        assert session.n_iterations == 1
+
+    def test_undo_to_initial_state(self, synthetic_dataset):
+        session = MiningSession(synthetic_dataset, seed=0)
+        session.step()
+        session.undo()
+        assert session.n_iterations == 0
+        assert session.miner.model.n_blocks == 1
+
+    def test_undo_then_remine_finds_same_pattern(self, synthetic_dataset):
+        session = MiningSession(synthetic_dataset, seed=0)
+        first = session.step()
+        session.undo()
+        again = session.step()
+        assert str(again.location.description) == str(first.location.description)
+
+    def test_undo_empty_raises(self, synthetic_dataset):
+        session = MiningSession(synthetic_dataset, seed=0)
+        with pytest.raises(SearchError, match="undo"):
+            session.undo()
+
+
+class TestPersistence:
+    def test_save_and_resume_belief_state(self, synthetic_dataset, tmp_path):
+        session = MiningSession(synthetic_dataset, seed=0)
+        session.step()
+        session.step()
+        path = session.save(tmp_path / "session.json")
+
+        resumed = MiningSession.resume(synthetic_dataset, path, seed=0)
+        np.testing.assert_allclose(
+            resumed.miner.model.point_means(), session.miner.model.point_means()
+        )
+        assert len(resumed.miner.model.constraints) == 2
+
+    def test_resumed_session_mines_the_next_pattern(
+        self, synthetic_dataset, tmp_path
+    ):
+        """Resume must continue where the saved session left off."""
+        session = MiningSession(synthetic_dataset, seed=0)
+        session.step()
+        path = session.save(tmp_path / "session.json")
+        expected_next = session.step()
+
+        resumed = MiningSession.resume(synthetic_dataset, path, seed=0)
+        actual_next = resumed.step()
+        assert str(actual_next.location.description) == str(
+            expected_next.location.description
+        )
+
+    def test_resume_wrong_dataset_rejected(
+        self, synthetic_dataset, water_dataset, tmp_path
+    ):
+        session = MiningSession(synthetic_dataset, seed=0)
+        path = session.save(tmp_path / "session.json")
+        with pytest.raises(SearchError, match="dataset"):
+            MiningSession.resume(water_dataset, path)

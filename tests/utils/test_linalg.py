@@ -1,0 +1,83 @@
+"""Tests for repro.utils.linalg."""
+
+import numpy as np
+import pytest
+
+from repro.utils.linalg import (
+    is_positive_definite,
+    log_det_psd,
+    nearest_positive_definite,
+    solve_psd,
+    symmetrize,
+)
+
+
+def random_spd(rng, d):
+    a = rng.standard_normal((d, d))
+    return a @ a.T + d * np.eye(d)
+
+
+class TestSymmetrize:
+    def test_result_is_symmetric(self, rng):
+        a = rng.standard_normal((4, 4))
+        s = symmetrize(a)
+        np.testing.assert_allclose(s, s.T)
+
+    def test_symmetric_unchanged(self, rng):
+        a = random_spd(rng, 3)
+        np.testing.assert_allclose(symmetrize(a), a)
+
+
+class TestIsPositiveDefinite:
+    def test_spd(self, rng):
+        assert is_positive_definite(random_spd(rng, 5))
+
+    def test_indefinite(self):
+        assert not is_positive_definite(np.diag([1.0, -1.0]))
+
+    def test_tol_rescues_semidefinite(self):
+        assert is_positive_definite(np.diag([1.0, 0.0]), tol=1e-9)
+
+
+class TestNearestPositiveDefinite:
+    def test_pd_passthrough(self, rng):
+        a = random_spd(rng, 4)
+        np.testing.assert_allclose(nearest_positive_definite(a), a)
+
+    def test_repairs_negative_eigenvalue(self):
+        a = np.diag([1.0, -0.5])
+        repaired = nearest_positive_definite(a)
+        assert is_positive_definite(repaired)
+
+    def test_result_symmetric(self, rng):
+        a = rng.standard_normal((5, 5))
+        repaired = nearest_positive_definite(a)
+        np.testing.assert_allclose(repaired, repaired.T)
+
+
+class TestSolvePsd:
+    def test_matches_direct_solve(self, rng):
+        a = random_spd(rng, 6)
+        b = rng.standard_normal(6)
+        np.testing.assert_allclose(solve_psd(a, b), np.linalg.solve(a, b), rtol=1e-8)
+
+    def test_matrix_rhs(self, rng):
+        a = random_spd(rng, 4)
+        b = rng.standard_normal((4, 2))
+        np.testing.assert_allclose(solve_psd(a, b), np.linalg.solve(a, b), rtol=1e-8)
+
+    def test_singular_falls_back_to_lstsq(self):
+        a = np.diag([1.0, 0.0])
+        b = np.array([2.0, 0.0])
+        out = solve_psd(a, b)
+        np.testing.assert_allclose(a @ out, b, atol=1e-10)
+
+
+class TestLogDetPsd:
+    def test_matches_slogdet(self, rng):
+        a = random_spd(rng, 5)
+        _, expected = np.linalg.slogdet(a)
+        assert log_det_psd(a) == pytest.approx(expected, rel=1e-10)
+
+    def test_identity_is_zero(self):
+        assert log_det_psd(np.eye(7)) == pytest.approx(0.0, abs=1e-12)

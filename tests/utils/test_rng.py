@@ -1,0 +1,49 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, spawn_rngs
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = as_rng(7).standard_normal(5)
+        b = as_rng(7).standard_normal(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_rng(1).standard_normal(5)
+        b = as_rng(2).standard_normal(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(3)
+        assert as_rng(gen) is gen
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_independent_and_reproducible(self):
+        first = [g.standard_normal(3) for g in spawn_rngs(42, 3)]
+        second = [g.standard_normal(3) for g in spawn_rngs(42, 3)]
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(first[0], first[1])
+
+    def test_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(0), 2)
+        assert len(children) == 2
+        assert all(isinstance(c, np.random.Generator) for c in children)

@@ -1,0 +1,91 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_finite,
+    check_matrix,
+    check_square,
+    check_symmetric,
+    check_unit_vector,
+    check_vector,
+)
+
+
+class TestCheckVector:
+    def test_accepts_list(self):
+        out = check_vector([1, 2, 3])
+        assert out.dtype == float
+        np.testing.assert_array_equal(out, [1.0, 2.0, 3.0])
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_vector(np.eye(2))
+
+    def test_size_check(self):
+        with pytest.raises(ValueError, match="length 4"):
+            check_vector([1.0, 2.0], size=4)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_vector([1.0, float("nan")])
+
+    def test_name_in_message(self):
+        with pytest.raises(ValueError, match="weights"):
+            check_vector(np.eye(2), "weights")
+
+
+class TestCheckMatrix:
+    def test_shape_check(self):
+        with pytest.raises(ValueError, match="shape"):
+            check_matrix(np.zeros((2, 3)), shape=(3, 2))
+
+    def test_rejects_vector(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_matrix([1.0, 2.0])
+
+
+class TestCheckSquare:
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError, match="square"):
+            check_square(np.zeros((2, 3)))
+
+    def test_size(self):
+        with pytest.raises(ValueError, match="3x3"):
+            check_square(np.eye(2), size=3)
+
+    def test_accepts(self):
+        np.testing.assert_array_equal(check_square(np.eye(3)), np.eye(3))
+
+
+class TestCheckSymmetric:
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValueError, match="symmetric"):
+            check_symmetric([[0.0, 1.0], [0.0, 0.0]])
+
+    def test_tolerates_tiny_asymmetry(self):
+        m = np.eye(2)
+        m[0, 1] = 1e-12
+        check_symmetric(m)  # should not raise
+
+
+class TestCheckUnitVector:
+    def test_accepts_unit(self):
+        check_unit_vector([1.0, 0.0])
+
+    def test_rejects_non_unit(self):
+        with pytest.raises(ValueError, match="unit"):
+            check_unit_vector([1.0, 1.0])
+
+    def test_tolerance(self):
+        check_unit_vector([1.0 + 1e-8, 0.0])
+
+
+class TestCheckFinite:
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_finite([np.inf])
+
+    def test_accepts_finite(self):
+        check_finite([[1.0, 2.0]])
