@@ -1,0 +1,62 @@
+"""Engine: beam-search wall-clock vs worker count.
+
+Runs the same location beam search on scalability-sized synthetic data
+(the §III-E generator scaled 16x) with the serial backend and with
+process pools of 2 and 4 workers, reporting the speedup over serial.
+Speedup > 1 needs real cores: on a single-core machine the table simply
+quantifies the process-pool overhead. The engine's determinism contract
+is asserted along the way — every worker count must return the exact
+same top subgroup with the exact same scores.
+"""
+
+import os
+
+from repro.datasets.synthetic import make_synthetic
+from repro.engine.executor import resolve_executor
+from repro.report.tables import format_table
+from repro.search.config import SearchConfig
+from repro.search.miner import SubgroupDiscovery
+from repro.utils.timer import Stopwatch
+
+WORKERS = (1, 2, 4)
+
+
+def measure(seed: int = 0):
+    dataset = make_synthetic(seed, n_background=8000, cluster_size=640)
+    config = SearchConfig()  # paper defaults: beam 40, depth 4
+
+    rows = []
+    reference = None
+    serial_elapsed = None
+    for workers in WORKERS:
+        miner = SubgroupDiscovery(
+            dataset, config=config, seed=seed, executor=resolve_executor(workers)
+        )
+        watch = Stopwatch()
+        with watch:
+            result = miner.search_locations()
+        if reference is None:
+            reference = result
+            serial_elapsed = watch.elapsed
+        else:
+            # Parallelism must not change what gets mined — bit for bit.
+            assert len(result.log) == len(reference.log)
+            assert result.best.description == reference.best.description
+            assert result.best.score.ic == reference.best.score.ic
+        rows.append((workers, watch.elapsed, serial_elapsed / watch.elapsed))
+    return rows
+
+
+def bench_engine_parallel(benchmark, save_result):
+    rows = benchmark.pedantic(measure, args=(0,), rounds=1, iterations=1)
+    table = format_table(
+        ["workers", "beam search (s)", "speedup vs serial"],
+        rows,
+        floatfmt=".4f",
+        title=(
+            "Engine: parallel beam search on synthetic x16 "
+            f"({os.cpu_count()} core(s) available)"
+        ),
+    )
+    save_result("engine_parallel", table)
+    assert len(rows) == len(WORKERS)

@@ -21,6 +21,7 @@ from repro.version import __version__
 from repro.errors import (
     ConvergenceError,
     DataError,
+    EngineError,
     LanguageError,
     ModelError,
     NotFittedError,
@@ -86,6 +87,20 @@ from repro.search.branch_bound import (
 )
 from repro.model.bernoulli import BernoulliBackgroundModel
 from repro.session import MiningSession
+from repro.engine import (
+    JobFailure,
+    JobResult,
+    JobStatus,
+    LRUCache,
+    MiningJob,
+    MiningService,
+    ProcessExecutor,
+    SerialExecutor,
+    load_dataset_cached,
+    resolve_executor,
+    run_job,
+    run_jobs,
+)
 
 __all__ = [
     "__version__",
@@ -97,6 +112,7 @@ __all__ = [
     "NotFittedError",
     "SearchError",
     "ConvergenceError",
+    "EngineError",
     # datasets
     "AttributeKind",
     "Column",
@@ -154,4 +170,17 @@ __all__ = [
     "find_optimal_location",
     "BernoulliBackgroundModel",
     "MiningSession",
+    # engine (parallel mining + job service)
+    "SerialExecutor",
+    "ProcessExecutor",
+    "resolve_executor",
+    "LRUCache",
+    "load_dataset_cached",
+    "MiningJob",
+    "JobResult",
+    "JobFailure",
+    "run_job",
+    "run_jobs",
+    "JobStatus",
+    "MiningService",
 ]

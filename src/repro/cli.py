@@ -3,7 +3,10 @@
 Subcommands:
 
 - ``sisd datasets`` — list the available datasets with their shapes.
-- ``sisd mine DATASET`` — run iterative mining and print each pattern.
+- ``sisd mine DATASET`` — run iterative mining and print each pattern
+  (``--workers N`` parallelizes the search itself).
+- ``sisd batch JOBS.json`` — run a batch of declarative mining jobs
+  concurrently over a worker pool.
 - ``sisd experiment NAME`` — reproduce one of the paper's tables/figures.
 - ``sisd experiments`` — list the reproducible experiments.
 """
@@ -16,8 +19,11 @@ from typing import Callable
 
 from repro import experiments
 from repro.datasets import available_datasets, load_dataset
+from repro.engine.executor import resolve_executor
+from repro.engine.jobs import JobResult, run_jobs
 from repro.errors import ReproError
 from repro.interest.dl import DLParams
+from repro.persist import job_result_to_dict, job_to_dict, load_jobs, save_json
 from repro.search.config import SearchConfig
 from repro.search.miner import SubgroupDiscovery
 from repro.version import __version__
@@ -71,6 +77,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--sparsity", type=int, default=None,
         help="restrict spread directions to this many coordinates (2 only)",
     )
+    mine.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the search itself (1 = serial)",
+    )
+
+    batch = sub.add_parser("batch", help="run a batch of mining jobs from JSON")
+    batch.add_argument("jobs_file", help="JSON file with a 'jobs' list of specs")
+    batch.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes running jobs concurrently (1 = serial)",
+    )
+    batch.add_argument(
+        "--output", default=None,
+        help="also write the results as JSON to this path",
+    )
 
     sub.add_parser("experiments", help="list reproducible tables/figures")
 
@@ -103,6 +124,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         config=config,
         dl_params=DLParams(gamma=args.gamma),
         seed=args.seed,
+        executor=resolve_executor(args.workers),
     )
     for iteration in miner.run(args.iterations, kind=args.kind, sparsity=args.sparsity):
         print(f"--- iteration {iteration.index} ---")
@@ -110,6 +132,36 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         if iteration.spread is not None:
             print(iteration.spread)
     return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    try:
+        jobs = load_jobs(args.jobs_file)
+    except (OSError, ValueError) as exc:  # ValueError covers JSONDecodeError
+        raise ReproError(f"cannot read {args.jobs_file}: {exc}") from exc
+    outcomes = run_jobs(jobs, workers=args.workers, return_failures=True)
+    done = [o for o in outcomes if isinstance(o, JobResult)]
+    failed = [o for o in outcomes if not isinstance(o, JobResult)]
+    for outcome in outcomes:
+        print(outcome.format())
+    total = sum(result.elapsed_seconds for result in done)
+    print(
+        f"{len(done)} job(s) done, {len(failed)} failed, "
+        f"{total:.2f}s of mining time"
+    )
+    if args.output is not None:
+        document = {
+            "results": [job_result_to_dict(r) for r in done],
+            "failures": [
+                {"job": job_to_dict(f.job), "error": f.error} for f in failed
+            ],
+        }
+        try:
+            save_json(document, args.output)
+        except OSError as exc:
+            raise ReproError(f"cannot write {args.output}: {exc}") from exc
+        print(f"results written to {args.output}")
+    return 1 if failed else 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -130,6 +182,8 @@ def main(argv: list[str] | None = None) -> int:
             return 0
         if args.command == "mine":
             return _cmd_mine(args)
+        if args.command == "batch":
+            return _cmd_batch(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
     except ReproError as exc:

@@ -1,0 +1,84 @@
+"""Engine-level caching: stable fingerprints and the dataset cache.
+
+A parameter sweep mines one dataset under many configs, and the service
+deduplicates repeated job submissions; both reuse points key their
+:class:`~repro.utils.cache.LRUCache` (re-exported here) by
+:func:`fingerprint` digests of the JSON-canonical spec, so equal specs
+hit regardless of dict ordering or tuple-vs-list spelling.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.errors import EngineError
+from repro.utils.cache import CacheStats, LRUCache
+
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "fingerprint",
+    "dataset_fingerprint",
+    "DATASET_CACHE",
+    "load_dataset_cached",
+]
+
+
+# --------------------------------------------------------------------- #
+# Fingerprints
+# --------------------------------------------------------------------- #
+def _canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-stable structure (sorted, list-normal)."""
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return _canonical(obj.tolist())
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise EngineError(f"cannot fingerprint value of type {type(obj).__name__}")
+
+
+def fingerprint(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``obj``.
+
+    Equal specs fingerprint equally no matter how they were spelled:
+    dict key order is irrelevant, and tuples equal their list twins.
+    """
+    payload = json.dumps(_canonical(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def dataset_fingerprint(name: str, seed: int = 0, kwargs: dict | None = None) -> str:
+    """Cache key of one generated dataset."""
+    return fingerprint({"dataset": name, "seed": seed, "kwargs": kwargs or {}})
+
+
+#: Process-wide dataset cache used by the job runner by default.
+DATASET_CACHE = LRUCache(maxsize=16)
+
+
+def load_dataset_cached(
+    name: str, seed: int = 0, *, cache: LRUCache | None = None, **kwargs
+):
+    """:func:`repro.datasets.load_dataset` behind an LRU cache.
+
+    Datasets are immutable, so sharing one instance across jobs (and
+    across service worker threads) is safe.
+    """
+    from repro.datasets.registry import load_dataset
+
+    cache = DATASET_CACHE if cache is None else cache
+    key = dataset_fingerprint(name, seed, kwargs)
+    dataset = cache.get(key)
+    if dataset is None:
+        dataset = load_dataset(name, seed=seed, **kwargs)
+        cache.put(key, dataset)
+    return dataset

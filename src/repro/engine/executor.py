@@ -1,0 +1,179 @@
+"""Executor backends: the *how* of parallel mining (engine layer).
+
+The search algorithms never talk to ``concurrent.futures`` directly;
+they describe their fan-out as ``executor.session(context)`` followed by
+``session.map(fn, items)`` and merge the ordered results themselves.
+Two backends implement that contract:
+
+- :class:`SerialExecutor` runs everything inline, in order — the
+  reference semantics every other backend must reproduce bit-for-bit.
+- :class:`ProcessExecutor` runs a ``concurrent.futures`` process pool.
+  The (typically large) context — an IC scorer, a spread objective — is
+  shipped to each worker exactly once per session via the pool
+  initializer, so per-item payloads stay small.
+
+Determinism contract: ``session.map`` preserves item order, items are
+sharded by the *caller* independently of the worker count, and ``fn``
+must be a pure function of ``(context, item)``. Under those rules a
+parallel run returns exactly the serial result regardless of scheduling.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+from typing import Any, Callable, Iterable, Protocol, runtime_checkable
+
+from repro.errors import EngineError
+
+#: Context installed in each pool worker by :func:`_init_worker`.
+_WORKER_CONTEXT: Any = None
+
+
+def _init_worker(payload: bytes) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = pickle.loads(payload)
+
+
+def _call_in_context(fn: Callable[[Any, Any], Any], item: Any) -> Any:
+    return fn(_WORKER_CONTEXT, item)
+
+
+@runtime_checkable
+class ExecutorSession(Protocol):
+    """One fan-out scope sharing a single context (e.g. one beam run)."""
+
+    def map(self, fn: Callable[[Any, Any], Any], items: Iterable[Any]) -> list:
+        """``[fn(context, item) for item in items]``, order-preserving."""
+        ...
+
+    def __enter__(self) -> "ExecutorSession": ...
+
+    def __exit__(self, *exc_info) -> None: ...
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """The injection point the search algorithms and job runner share."""
+
+    parallelism: int
+
+    def session(self, context: Any = None) -> ExecutorSession:
+        """Open a fan-out scope whose tasks all see ``context``."""
+        ...
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list:
+        """Context-free ordered map, for independent coarse tasks (jobs)."""
+        ...
+
+
+class _SerialSession:
+    def __init__(self, context: Any) -> None:
+        self._context = context
+
+    def map(self, fn, items) -> list:
+        return [fn(self._context, item) for item in items]
+
+    def __enter__(self) -> "_SerialSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+class SerialExecutor:
+    """In-process, in-order execution: the reference backend."""
+
+    parallelism = 1
+
+    def session(self, context: Any = None) -> _SerialSession:
+        """Open an inline session; ``map`` calls ``fn(context, item)``."""
+        return _SerialSession(context)
+
+    def map(self, fn, items) -> list:
+        """``[fn(item) for item in items]``."""
+        return [fn(item) for item in items]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "SerialExecutor()"
+
+
+class _ProcessSession:
+    def __init__(self, pool: ProcessPoolExecutor) -> None:
+        self._pool = pool
+
+    def map(self, fn, items) -> list:
+        return list(self._pool.map(partial(_call_in_context, fn), list(items)))
+
+    def __enter__(self) -> "_ProcessSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._pool.shutdown(wait=True)
+
+
+class ProcessExecutor:
+    """Fan-out over a ``concurrent.futures`` process pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; defaults to the machine's CPU count.
+    start_method:
+        ``multiprocessing`` start method (``fork``/``spawn``/
+        ``forkserver``); ``None`` uses the platform default.
+
+    Functions passed to :meth:`map`/``session().map`` must be importable
+    module-level callables and all payloads must pickle — the standard
+    ``concurrent.futures`` rules.
+    """
+
+    def __init__(
+        self, max_workers: int | None = None, *, start_method: str | None = None
+    ) -> None:
+        if max_workers is None:
+            max_workers = os.cpu_count() or 1
+        if max_workers < 1:
+            raise EngineError(f"max_workers must be >= 1, got {max_workers}")
+        self.parallelism = max_workers
+        self._mp_context = (
+            multiprocessing.get_context(start_method) if start_method else None
+        )
+
+    def _pool(self, context: Any) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.parallelism,
+            mp_context=self._mp_context,
+            initializer=_init_worker,
+            initargs=(pickle.dumps(context),),
+        )
+
+    def session(self, context: Any = None) -> _ProcessSession:
+        """Open a pool whose workers all hold ``context``; close via with."""
+        return _ProcessSession(self._pool(context))
+
+    def map(self, fn, items) -> list:
+        """Ordered context-free map over a fresh pool."""
+        with ProcessPoolExecutor(
+            max_workers=self.parallelism, mp_context=self._mp_context
+        ) as pool:
+            return list(pool.map(fn, list(items)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessExecutor(max_workers={self.parallelism})"
+
+
+def resolve_executor(
+    workers: int | None, *, start_method: str | None = None
+) -> Executor:
+    """Map a ``--workers`` count to a backend.
+
+    ``None``, ``0`` and ``1`` mean serial; anything larger gets a process
+    pool of that size.
+    """
+    if workers is None or workers <= 1:
+        return SerialExecutor()
+    return ProcessExecutor(workers, start_method=start_method)

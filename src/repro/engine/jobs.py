@@ -1,0 +1,257 @@
+"""Declarative mining jobs and the deterministic multi-job runner.
+
+A :class:`MiningJob` is the *what* of a mining run — dataset reference,
+target selection, prior, search configuration, iteration count — with no
+execution state, so it round-trips through JSON (``repro.persist``) and
+fingerprints stably for caching. :func:`run_jobs` is the *how*: it fans
+a batch of jobs out over an :class:`~repro.engine.executor.Executor` and
+returns results in submission order, which makes parameter sweeps and
+per-target fan-outs (many datasets × many configs) one call.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.engine.cache import LRUCache, fingerprint, load_dataset_cached
+from repro.engine.executor import Executor, SerialExecutor, resolve_executor
+from repro.errors import EngineError
+from repro.interest.dl import DLParams
+from repro.model.priors import Prior
+from repro.search.config import SearchConfig
+from repro.search.miner import SubgroupDiscovery
+from repro.search.results import MiningIteration
+
+#: Pattern kinds a job may request, mirroring ``SubgroupDiscovery.step``.
+JOB_KINDS = ("location", "spread")
+
+
+@dataclass(frozen=True, eq=True)
+class MiningJob:
+    """One self-contained mining run, specified declaratively.
+
+    Attributes
+    ----------
+    dataset:
+        Registry name understood by :func:`repro.datasets.load_dataset`.
+    name:
+        Human label for reports; defaults to ``dataset/kind`` plus a
+        fingerprint prefix. Two jobs differing only in ``name`` are the
+        same work (same :meth:`fingerprint`).
+    dataset_seed / dataset_kwargs:
+        Forwarded to the dataset generator.
+    targets:
+        Optional subset of target attributes to model.
+    prior:
+        Optional explicit background prior as ``{"mean": [...],
+        "cov": [[...]]}``; ``None`` uses the empirical prior.
+    kind / sparsity / n_iterations / seed:
+        Mining-loop parameters, as in :class:`SubgroupDiscovery`.
+    config:
+        Beam-search settings.
+    gamma / eta:
+        Description-length weights.
+    """
+
+    dataset: str
+    name: str = ""
+    dataset_seed: int = 0
+    dataset_kwargs: dict = field(default_factory=dict)
+    targets: tuple[str, ...] | None = None
+    prior: dict | None = None
+    kind: str = "location"
+    sparsity: int | None = None
+    n_iterations: int = 1
+    seed: int = 0
+    config: SearchConfig = SearchConfig()
+    gamma: float = 0.1
+    eta: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.dataset:
+            raise EngineError("job needs a dataset name")
+        if self.kind not in JOB_KINDS:
+            raise EngineError(
+                f"kind must be one of {JOB_KINDS}, got {self.kind!r}"
+            )
+        if self.n_iterations < 1:
+            raise EngineError(
+                f"n_iterations must be >= 1, got {self.n_iterations}"
+            )
+        if self.targets is not None:
+            object.__setattr__(self, "targets", tuple(self.targets))
+        if self.prior is not None and not (
+            isinstance(self.prior, dict) and {"mean", "cov"} <= set(self.prior)
+        ):
+            raise EngineError("prior must be a dict with 'mean' and 'cov'")
+        if not self.name:
+            object.__setattr__(
+                self,
+                "name",
+                f"{self.dataset}/{self.kind}#{self.fingerprint()[:8]}",
+            )
+
+    # ------------------------------------------------------------------ #
+    # Identity
+    # ------------------------------------------------------------------ #
+    def __hash__(self) -> int:
+        # The generated dataclass hash would choke on the dict fields;
+        # hashing the spec digest keeps frozen jobs usable in sets and
+        # stays consistent with __eq__ (equal jobs share a fingerprint).
+        return hash(self.fingerprint())
+
+    def spec(self) -> dict:
+        """The name-free canonical spec (what the job computes)."""
+        return {
+            "dataset": self.dataset,
+            "dataset_seed": self.dataset_seed,
+            "dataset_kwargs": self.dataset_kwargs,
+            "targets": list(self.targets) if self.targets is not None else None,
+            "prior": self.prior,
+            "kind": self.kind,
+            "sparsity": self.sparsity,
+            "n_iterations": self.n_iterations,
+            "seed": self.seed,
+            "config": self.config.to_dict(),
+            "gamma": self.gamma,
+            "eta": self.eta,
+        }
+
+    def fingerprint(self) -> str:
+        """Stable digest of the spec; equal work ⇒ equal fingerprint."""
+        return fingerprint(self.spec())
+
+    def with_name(self, name: str) -> "MiningJob":
+        """The same work under a different label."""
+        return replace(self, name=name)
+
+    def dl_params(self) -> DLParams:
+        """The job's description-length weights as a DLParams."""
+        return DLParams(gamma=self.gamma, eta=self.eta)
+
+    def build_prior(self) -> Prior | None:
+        """Materialize the explicit prior, or None for empirical."""
+        if self.prior is None:
+            return None
+        return Prior(
+            np.asarray(self.prior["mean"], dtype=float),
+            np.asarray(self.prior["cov"], dtype=float),
+        )
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """What one job mined, plus how long it took."""
+
+    job: MiningJob
+    iterations: tuple[MiningIteration, ...]
+    elapsed_seconds: float
+
+    def format(self) -> str:
+        """Human-readable per-job report, one pattern per line."""
+        lines = [
+            f"[{self.job.name}] {self.job.dataset} ×{self.job.n_iterations} "
+            f"({self.elapsed_seconds:.2f}s)"
+        ]
+        for iteration in self.iterations:
+            lines.append(f"  {iteration.index}. {iteration.location}")
+            if iteration.spread is not None:
+                lines.append(f"     {iteration.spread}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """A job that raised instead of mining (``run_jobs`` isolation)."""
+
+    job: MiningJob
+    error: str
+
+    def format(self) -> str:
+        """Human-readable one-line failure report."""
+        return f"[{self.job.name}] FAILED: {self.error}"
+
+
+def run_job(
+    job: MiningJob,
+    *,
+    executor: Executor | None = None,
+    dataset_cache: LRUCache | None = None,
+) -> JobResult:
+    """Execute one job start-to-finish and return its result.
+
+    ``executor`` parallelizes *inside* the job (beam levels, spread
+    restarts); leave it serial when the jobs themselves are fanned out.
+    """
+    dataset = load_dataset_cached(
+        job.dataset,
+        seed=job.dataset_seed,
+        cache=dataset_cache,
+        **job.dataset_kwargs,
+    )
+    miner = SubgroupDiscovery(
+        dataset,
+        targets=list(job.targets) if job.targets is not None else None,
+        prior=job.build_prior(),
+        config=job.config,
+        dl_params=job.dl_params(),
+        seed=job.seed,
+        executor=executor or SerialExecutor(),
+    )
+    started = time.perf_counter()
+    iterations = miner.run(job.n_iterations, kind=job.kind, sparsity=job.sparsity)
+    return JobResult(
+        job=job,
+        iterations=tuple(iterations),
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+def _run_job_task(job: MiningJob) -> JobResult:
+    """Module-level job entry point so process pools can import it."""
+    return run_job(job)
+
+
+def _run_job_isolated(job: MiningJob) -> JobResult | JobFailure:
+    """Like :func:`_run_job_task`, but a raising job becomes a record."""
+    try:
+        return run_job(job)
+    except Exception as exc:
+        return JobFailure(job=job, error=f"{type(exc).__name__}: {exc}")
+
+
+def run_jobs(
+    jobs: Iterable[MiningJob],
+    *,
+    workers: int | None = None,
+    executor: Executor | None = None,
+    return_failures: bool = False,
+) -> list:
+    """Run a batch of jobs, returning results in submission order.
+
+    Jobs are independent, so execution order is irrelevant to the output:
+    the same batch produces the same patterns at any worker count. Pass
+    either a ``workers`` count or an explicit ``executor``.
+
+    By default the first failing job raises and the batch's other
+    results are lost; with ``return_failures=True`` each failing job
+    yields a :class:`JobFailure` in its slot instead, so one bad spec
+    cannot discard forty good results.
+    """
+    batch: Sequence[MiningJob] = list(jobs)
+    for job in batch:
+        if not isinstance(job, MiningJob):
+            raise EngineError(f"expected MiningJob, got {type(job).__name__}")
+    if not batch:
+        return []
+    task = _run_job_isolated if return_failures else _run_job_task
+    if executor is None:
+        executor = resolve_executor(workers)
+    if executor.parallelism <= 1:
+        # Serial path shares one dataset cache across the whole batch.
+        return [task(job) for job in batch]
+    return executor.map(task, batch)

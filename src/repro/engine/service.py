@@ -1,0 +1,214 @@
+"""Mining-as-a-service: submit/status/result/cancel over a worker pool.
+
+:class:`MiningService` turns the batch runner into a long-lived server
+object: clients submit :class:`~repro.engine.jobs.MiningJob` specs and
+poll (or block on) results while a bounded pool of workers drains the
+queue. Identical specs are deduplicated through an LRU result cache
+keyed by the job fingerprint, so a dashboard re-requesting the same
+mining run costs nothing the second time.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import (
+    CancelledError,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from enum import Enum
+
+from repro.engine.cache import LRUCache
+from repro.engine.jobs import JobResult, MiningJob, run_job
+from repro.errors import EngineError
+
+#: Pool implementations selectable via ``MiningService(backend=...)``.
+BACKENDS = ("process", "thread", "serial")
+
+
+class JobStatus(str, Enum):
+    """Lifecycle of a submitted job."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+class MiningService:
+    """Bounded concurrent execution of mining jobs with result caching.
+
+    Parameters
+    ----------
+    max_workers:
+        Upper bound on concurrently running jobs (default 2).
+    backend:
+        ``"process"`` (default) isolates each job in a worker process —
+        right for CPU-bound mining; ``"thread"`` keeps everything
+        in-process (fast startup, handy for tests and small jobs);
+        ``"serial"`` executes synchronously at submit time.
+    cache_size:
+        Capacity of the fingerprint-keyed result cache.
+
+    The service is a context manager; leaving the block shuts the pool
+    down and waits for running jobs.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_workers: int = 2,
+        backend: str = "process",
+        cache_size: int = 64,
+    ) -> None:
+        if max_workers < 1:
+            raise EngineError(f"max_workers must be >= 1, got {max_workers}")
+        if backend not in BACKENDS:
+            raise EngineError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        self.backend = backend
+        self.max_workers = max_workers
+        if backend == "process":
+            self._pool = ProcessPoolExecutor(max_workers=max_workers)
+        elif backend == "thread":
+            self._pool = ThreadPoolExecutor(max_workers=max_workers)
+        else:
+            self._pool = None
+        self._cache = LRUCache(cache_size)
+        self._lock = threading.Lock()
+        self._futures: dict[str, Future] = {}
+        self._jobs: dict[str, MiningJob] = {}
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    # Client API
+    # ------------------------------------------------------------------ #
+    def submit(self, job: MiningJob) -> str:
+        """Queue a job; returns its id. Cached specs resolve instantly."""
+        if not isinstance(job, MiningJob):
+            raise EngineError(f"expected MiningJob, got {type(job).__name__}")
+        job_id = f"job-{next(self._ids):04d}"
+        fp = job.fingerprint()
+        cached = self._cache.get(fp)
+        if cached is not None:
+            future: Future = Future()
+            future.set_result(cached)
+        elif self._pool is None:
+            future = Future()
+            try:
+                future.set_result(self._finish(fp, run_job(job)))
+            except Exception as exc:  # surface via result(), like a pool would
+                future.set_exception(exc)
+        else:
+            future = self._pool.submit(run_job, job)
+            future.add_done_callback(self._make_cache_callback(fp))
+        with self._lock:
+            self._futures[job_id] = future
+            self._jobs[job_id] = job
+        return job_id
+
+    def status(self, job_id: str) -> JobStatus:
+        """Current lifecycle state of one job."""
+        future = self._future_of(job_id)
+        if future.cancelled():
+            return JobStatus.CANCELLED
+        if future.running():
+            return JobStatus.RUNNING
+        if future.done():
+            return JobStatus.FAILED if future.exception() else JobStatus.DONE
+        return JobStatus.PENDING
+
+    def result(self, job_id: str, timeout: float | None = None) -> JobResult:
+        """Block until the job finishes and return its result.
+
+        Re-raises the job's exception on failure and
+        :class:`concurrent.futures.CancelledError` after a cancel.
+        """
+        return self._future_of(job_id).result(timeout=timeout)
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job that has not started yet; True on success."""
+        return self._future_of(job_id).cancel()
+
+    def job(self, job_id: str) -> MiningJob:
+        """The spec submitted under ``job_id``."""
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise EngineError(f"unknown job id {job_id!r}") from None
+
+    def jobs(self) -> dict[str, JobStatus]:
+        """Snapshot of every submitted job's status, by id."""
+        with self._lock:
+            ids = list(self._futures)
+        return {job_id: self.status(job_id) for job_id in ids}
+
+    def wait_all(self, timeout: float | None = None) -> dict[str, JobStatus]:
+        """Wait for all non-cancelled jobs, then return their statuses.
+
+        ``timeout`` bounds the *total* wait; if it expires while jobs
+        are still running, :class:`TimeoutError` is raised. Job failures
+        and cancellations do not raise here — the returned statuses tell
+        that story.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            futures = list(self._futures.values())
+        for future in futures:
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            try:
+                future.result(timeout=remaining)
+            except CancelledError:
+                pass
+            except FuturesTimeoutError:  # pre-3.11 this is not TimeoutError
+                raise
+            except Exception:
+                pass
+        return self.jobs()
+
+    @property
+    def cache_stats(self):
+        """Hit/miss counters of the result cache."""
+        return self._cache.stats
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) wait for running jobs."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "MiningService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _future_of(self, job_id: str) -> Future:
+        with self._lock:
+            try:
+                return self._futures[job_id]
+            except KeyError:
+                raise EngineError(f"unknown job id {job_id!r}") from None
+
+    def _finish(self, fp: str, result: JobResult) -> JobResult:
+        self._cache.put(fp, result)
+        return result
+
+    def _make_cache_callback(self, fp: str):
+        def _store(future: Future) -> None:
+            if not future.cancelled() and future.exception() is None:
+                self._cache.put(fp, future.result())
+
+        return _store

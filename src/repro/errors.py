@@ -50,6 +50,14 @@ class SearchError(ReproError):
     """
 
 
+class EngineError(ReproError):
+    """Raised by the parallel mining engine (executors, jobs, service).
+
+    Examples: an invalid worker count, a malformed job spec, or querying
+    the mining service for an unknown job id.
+    """
+
+
 class ConvergenceError(ReproError):
     """Raised when an iterative solver fails to converge.
 

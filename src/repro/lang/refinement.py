@@ -3,9 +3,11 @@
 Builds the pool of atomic conditions for a dataset (inequalities at the
 discretized split points for numeric/ordinal attributes, equalities for
 categorical/binary ones) and expands a description by one condition at a
-time. Condition row-masks are memoized here, so the beam search can
-evaluate a refinement as ``parent_mask & mask_of(condition)`` — one
-vectorized AND per candidate instead of re-testing every conjunct.
+time. Condition row-masks are memoized here in a bounded LRU cache, so
+the beam search can evaluate a refinement as ``parent_mask &
+mask_of(condition)`` — one vectorized AND per candidate instead of
+re-testing every conjunct — without unbounded growth when one operator
+serves many mining iterations.
 """
 
 from __future__ import annotations
@@ -15,6 +17,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from repro.datasets.schema import AttributeKind, Dataset
+from repro.utils.cache import LRUCache
 from repro.errors import LanguageError
 from repro.lang.conditions import GE, LE, Condition, EqualsCondition, NumericCondition
 from repro.lang.description import Description
@@ -34,6 +37,11 @@ class RefinementOperator:
         Split-point strategy, see :func:`repro.lang.discretize.split_points`.
     attributes:
         Optional subset of description attributes to condition on.
+    mask_cache_size:
+        Capacity of the memoized condition-mask LRU. The default
+        (``None``) sizes it to the condition pool so every mask stays
+        memoized — a smaller bound on a pool scanned sequentially every
+        level would evict each entry right before its reuse.
     """
 
     def __init__(
@@ -43,13 +51,16 @@ class RefinementOperator:
         n_split_points: int = 4,
         strategy: str = "percentile",
         attributes: Sequence[str] | None = None,
+        mask_cache_size: int | None = None,
     ) -> None:
         self.dataset = dataset
         names = list(attributes) if attributes is not None else dataset.description_names
         for name in names:
             dataset.column(name)  # raises DataError on unknown names
         self._pool: list[Condition] = self._build_pool(names, n_split_points, strategy)
-        self._mask_cache: dict[Condition, np.ndarray] = {}
+        if mask_cache_size is None:
+            mask_cache_size = max(len(self._pool), 1)
+        self._mask_cache: LRUCache = LRUCache(mask_cache_size)
 
     def _build_pool(
         self, names: Sequence[str], n_split_points: int, strategy: str
@@ -94,7 +105,7 @@ class RefinementOperator:
         if cached is None:
             cached = condition.mask(self.dataset)
             cached.setflags(write=False)
-            self._mask_cache[condition] = cached
+            self._mask_cache.put(condition, cached)
         return cached
 
     def extension_mask(self, description: Description) -> np.ndarray:

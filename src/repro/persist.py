@@ -6,8 +6,9 @@ session can be saved, resumed, or shipped next to a paper — as plain
 JSON (numpy arrays become lists; no pickle, no code execution on load).
 
 Round-trips covered: conditions/descriptions, pattern constraints, the
-Gaussian background model (prior + blocks + constraints), and the result
-records of the searches.
+Gaussian background model (prior + blocks + constraints), the result
+records of the searches, and the engine's declarative mining jobs
+(search configs, job specs, batch files, job results).
 """
 
 from __future__ import annotations
@@ -17,7 +18,9 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.engine.jobs import JobResult, MiningJob
 from repro.errors import ReproError
+from repro.search.config import SearchConfig
 from repro.interest.si import PatternScore
 from repro.lang.conditions import Condition, EqualsCondition, NumericCondition
 from repro.lang.description import Description
@@ -31,6 +34,7 @@ from repro.model.patterns import (
 from repro.model.priors import Prior
 from repro.search.results import (
     LocationPatternResult,
+    MiningIteration,
     ScoredSubgroup,
     SpreadPatternResult,
 )
@@ -246,6 +250,135 @@ def result_from_dict(data: dict):
             score=score,
         )
     raise ReproError(f"unknown result type {kind!r}")
+
+
+# --------------------------------------------------------------------- #
+# Mining jobs (engine layer)
+# --------------------------------------------------------------------- #
+def search_config_to_dict(config: SearchConfig) -> dict:
+    """Serialize beam-search settings."""
+    return config.to_dict()
+
+
+def search_config_from_dict(data: dict) -> SearchConfig:
+    """Rebuild beam-search settings; absent keys keep paper defaults."""
+    return SearchConfig.from_dict(data)
+
+
+def job_to_dict(job: MiningJob) -> dict:
+    """Serialize a declarative mining job (the spec plus its name)."""
+    return {"schema": SCHEMA_VERSION, "name": job.name, **job.spec()}
+
+
+#: Keys accepted in a serialized job spec (fields plus envelope).
+_JOB_KEYS = frozenset(
+    {
+        "schema", "name", "dataset", "dataset_seed", "dataset_kwargs",
+        "targets", "prior", "kind", "sparsity", "n_iterations", "seed",
+        "config", "gamma", "eta",
+    }
+)
+
+
+def job_from_dict(data: dict) -> MiningJob:
+    """Rebuild a mining job; only ``dataset`` is mandatory.
+
+    Unknown keys and type-invalid values are :class:`ReproError`s — a
+    typo'd spec must fail loudly, not silently run a default job.
+    """
+    if "dataset" not in data:
+        raise ReproError("job spec needs a 'dataset' key")
+    schema = data.get("schema", SCHEMA_VERSION)
+    if schema != SCHEMA_VERSION:
+        raise ReproError(
+            f"unsupported job schema {schema!r} (expected {SCHEMA_VERSION})"
+        )
+    unknown = set(data) - _JOB_KEYS
+    if unknown:
+        raise ReproError(f"unknown job spec keys: {sorted(unknown)}")
+    targets = data.get("targets")
+    sparsity = data.get("sparsity")
+    try:
+        return MiningJob(
+            dataset=data["dataset"],
+            name=data.get("name", ""),
+            dataset_seed=int(data.get("dataset_seed", 0)),
+            dataset_kwargs=dict(data.get("dataset_kwargs") or {}),
+            targets=tuple(targets) if targets is not None else None,
+            prior=data.get("prior"),
+            kind=data.get("kind", "location"),
+            sparsity=int(sparsity) if sparsity is not None else None,
+            n_iterations=int(data.get("n_iterations", 1)),
+            seed=int(data.get("seed", 0)),
+            config=search_config_from_dict(data.get("config") or {}),
+            gamma=float(data.get("gamma", 0.1)),
+            eta=float(data.get("eta", 1.0)),
+        )
+    except (TypeError, ValueError) as exc:
+        raise ReproError(f"invalid job spec: {exc}") from exc
+
+
+def save_jobs(jobs, path: str | Path) -> Path:
+    """Write a batch file (the input of ``sisd batch``)."""
+    document = {
+        "schema": SCHEMA_VERSION,
+        "jobs": [job_to_dict(job) for job in jobs],
+    }
+    return save_json(document, path)
+
+
+def load_jobs(path: str | Path) -> list[MiningJob]:
+    """Read a batch file; accepts a document or a bare list of specs."""
+    document = load_json(path)
+    if isinstance(document, list):
+        specs = document
+    elif isinstance(document, dict) and isinstance(document.get("jobs"), list):
+        specs = document["jobs"]
+    else:
+        raise ReproError(
+            f"{path}: expected a list of job specs or a document with a 'jobs' list"
+        )
+    if not specs:
+        raise ReproError(f"{path}: batch file contains no jobs")
+    return [job_from_dict(spec) for spec in specs]
+
+
+def job_result_to_dict(result: JobResult) -> dict:
+    """Serialize one job's outcome (spec + mined patterns + timing)."""
+    iterations = []
+    for iteration in result.iterations:
+        entry = {
+            "index": iteration.index,
+            "location": result_to_dict(iteration.location),
+        }
+        if iteration.spread is not None:
+            entry["spread"] = result_to_dict(iteration.spread)
+        iterations.append(entry)
+    return {
+        "schema": SCHEMA_VERSION,
+        "job": job_to_dict(result.job),
+        "elapsed_seconds": result.elapsed_seconds,
+        "iterations": iterations,
+    }
+
+
+def job_result_from_dict(data: dict) -> JobResult:
+    """Rebuild a job result (e.g. from a ``sisd batch --output`` file)."""
+    iterations = []
+    for entry in data["iterations"]:
+        spread = entry.get("spread")
+        iterations.append(
+            MiningIteration(
+                index=int(entry["index"]),
+                location=result_from_dict(entry["location"]),
+                spread=result_from_dict(spread) if spread is not None else None,
+            )
+        )
+    return JobResult(
+        job=job_from_dict(data["job"]),
+        iterations=tuple(iterations),
+        elapsed_seconds=float(data["elapsed_seconds"]),
+    )
 
 
 # --------------------------------------------------------------------- #

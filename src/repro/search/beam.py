@@ -4,10 +4,16 @@ Level-wise exploration of conjunctions: keep the ``beam_width`` highest-
 SI descriptions of each arity, expand each by every admissible condition,
 and log the overall ``top_k``. Candidate extensions are computed
 incrementally (parent mask AND the memoized condition mask) and scored in
-batch: subgroup means for all of a level's candidates come from one
-matrix product, and the information content uses a fast path when every
-model block shares one covariance (always true before any spread pattern
-has been assimilated, since location updates leave covariances alone).
+batch: subgroup means for a batch of candidates come from one matrix
+product, and the information content uses a fast path when every model
+block shares one covariance (always true before any spread pattern has
+been assimilated, since location updates leave covariances alone).
+
+Each level's scoring is sharded by the attribute of the added condition
+and dispatched through an :class:`~repro.engine.executor.Executor`. The
+shard boundaries depend only on the candidate set — never on the worker
+count — and shard results are scattered back into generation order, so a
+``ProcessExecutor`` run returns bit-identical results to a serial one.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ import math
 
 import numpy as np
 
+from repro.engine.executor import Executor, SerialExecutor
 from repro.errors import SearchError
 from repro.interest.dl import LOCATION, DLParams, description_length
 from repro.interest.si import PatternScore
@@ -129,6 +136,13 @@ class _ResultLog:
         return [entry for _, _, entry in self._entries]
 
 
+def _score_shard(
+    scorer: LocationICScorer, masks: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Worker entry point: score one attribute shard's mask stack."""
+    return scorer.score_masks(masks)
+
+
 class LocationBeamSearch:
     """Beam search maximizing the SI of location patterns.
 
@@ -143,6 +157,10 @@ class LocationBeamSearch:
     dl_params:
         DL weights; SI of a candidate with ``c`` conditions is
         ``IC / (gamma c + eta)``.
+    executor:
+        Backend evaluating the per-attribute scoring shards; serial by
+        default, and guaranteed to return the serial result at any
+        parallelism (see module docstring).
     """
 
     def __init__(
@@ -152,11 +170,13 @@ class LocationBeamSearch:
         *,
         config: SearchConfig = SearchConfig(),
         dl_params: DLParams = DLParams(),
+        executor: Executor | None = None,
     ) -> None:
         self.operator = operator
         self.scorer = scorer
         self.config = config
         self.dl_params = dl_params
+        self.executor = executor if executor is not None else SerialExecutor()
 
     def run(self) -> SearchResult:
         """Execute the level-wise search; returns the winner and the log."""
@@ -175,48 +195,55 @@ class LocationBeamSearch:
         depth_reached = 0
         expired = False
 
-        for depth in range(1, config.max_depth + 1):
-            candidates: list[tuple[Description, np.ndarray]] = []
-            for parent_description, parent_mask in beam:
-                if budget.expired:
-                    expired = True
+        # The scorer is shipped to the workers once per run, not per level.
+        with self.executor.session(self.scorer) as session:
+            for depth in range(1, config.max_depth + 1):
+                candidates: list[tuple[Description, np.ndarray]] = []
+                shards: dict[str, list[int]] = {}
+                for parent_description, parent_mask in beam:
+                    if budget.expired:
+                        expired = True
+                        break
+                    for refined, condition in self.operator.refinements(
+                        parent_description
+                    ):
+                        if refined in seen:
+                            continue
+                        seen.add(refined)
+                        mask = parent_mask & self.operator.mask_of(condition)
+                        size = int(mask.sum())
+                        if size < config.min_coverage or size > max_size:
+                            continue
+                        shards.setdefault(condition.attribute, []).append(
+                            len(candidates)
+                        )
+                        candidates.append((refined, mask))
+                if expired or not candidates:
                     break
-                for refined, condition in self.operator.refinements(parent_description):
-                    if refined in seen:
-                        continue
-                    seen.add(refined)
-                    mask = parent_mask & self.operator.mask_of(condition)
-                    size = int(mask.sum())
-                    if size < config.min_coverage or size > max_size:
-                        continue
-                    candidates.append((refined, mask))
-            if expired or not candidates:
-                break
 
-            depth_reached = depth
-            masks = np.stack([mask for _, mask in candidates])
-            ics, observed = self.scorer.score_masks(masks)
-            n_evaluated += len(candidates)
+                depth_reached = depth
+                ics, observed = self._score_sharded(session, candidates, shards)
+                n_evaluated += len(candidates)
 
-            scored: list[ScoredSubgroup] = []
-            for (description, mask), ic, mean in zip(candidates, ics, observed):
-                dl = description_length(
-                    len(description), kind=LOCATION, params=self.dl_params
-                )
-                entry = ScoredSubgroup(
-                    description=description,
-                    indices=np.flatnonzero(mask),
-                    observed_mean=mean,
-                    score=PatternScore(ic=float(ic), dl=dl),
-                )
-                scored.append(entry)
-                log.add(entry)
+                scored: list[ScoredSubgroup] = []
+                for (description, mask), ic, mean in zip(candidates, ics, observed):
+                    dl = description_length(
+                        len(description), kind=LOCATION, params=self.dl_params
+                    )
+                    entry = ScoredSubgroup(
+                        description=description,
+                        indices=np.flatnonzero(mask),
+                        observed_mean=mean,
+                        score=PatternScore(ic=float(ic), dl=dl),
+                    )
+                    scored.append(entry)
+                    log.add(entry)
 
-            scored.sort(key=lambda e: -e.si)
-            beam = [
-                (entry.description, self._mask_of_entry(entry, n_rows))
-                for entry in scored[: config.beam_width]
-            ]
+                scored.sort(key=lambda e: -e.si)
+                beam = [
+                    (entry.description, self._mask_of_entry(entry, n_rows))
+                    for entry in scored[: config.beam_width]
+                ]
 
         ranked = log.ranked()
         return SearchResult(
@@ -226,6 +253,32 @@ class LocationBeamSearch:
             depth_reached=depth_reached,
             expired=expired,
         )
+
+    def _score_sharded(
+        self,
+        session,
+        candidates: list[tuple[Description, np.ndarray]],
+        shards: dict[str, list[int]],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Score one level's candidates shard-by-attribute, in order.
+
+        Shard composition is a pure function of the candidate set, and
+        results are scattered back into generation order — both
+        independent of the executor, which is what makes serial and
+        parallel runs identical.
+        """
+        shard_indices = list(shards.values())
+        payloads = [
+            np.stack([candidates[i][1] for i in indices])
+            for indices in shard_indices
+        ]
+        results = session.map(_score_shard, payloads)
+        ics = np.empty(len(candidates))
+        observed = np.empty((len(candidates), self.scorer.model.dim))
+        for indices, (shard_ics, shard_observed) in zip(shard_indices, results):
+            ics[indices] = shard_ics
+            observed[indices] = shard_observed
+        return ics, observed
 
     @staticmethod
     def _mask_of_entry(entry: ScoredSubgroup, n_rows: int) -> np.ndarray:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, fields
 from typing import Sequence
 
 from repro.errors import SearchError
@@ -49,6 +49,29 @@ class SearchConfig:
     max_coverage_fraction: float = 1.0
     time_budget_seconds: float | None = None
     attributes: Sequence[str] | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-safe form; the single source of the field mapping.
+
+        Job fingerprints and ``persist`` both go through here, so a new
+        field is automatically part of both once added to the dataclass.
+        """
+        data = asdict(self)
+        if self.attributes is not None:
+            data["attributes"] = list(self.attributes)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SearchConfig":
+        """Rebuild settings; absent keys keep the paper defaults."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise SearchError(f"unknown SearchConfig keys: {sorted(unknown)}")
+        kwargs = dict(data)
+        if kwargs.get("attributes") is not None:
+            kwargs["attributes"] = tuple(kwargs["attributes"])
+        return cls(**kwargs)
 
     def __post_init__(self) -> None:
         if self.beam_width < 1:

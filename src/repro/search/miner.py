@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.datasets.schema import Dataset
+from repro.engine.executor import Executor, SerialExecutor
 from repro.errors import SearchError
 from repro.interest.dl import DLParams
 from repro.interest.si import score_location, score_spread
@@ -57,6 +58,11 @@ class SubgroupDiscovery:
         Description-length weights (gamma=0.1, eta=1).
     seed:
         Seed for the spread search's random restarts.
+    executor:
+        Backend for the beam search's scoring shards and the spread
+        search's restart fan-out (serial by default; a
+        :class:`~repro.engine.executor.ProcessExecutor` returns
+        identical results, in parallel).
     """
 
     def __init__(
@@ -68,6 +74,7 @@ class SubgroupDiscovery:
         config: SearchConfig = SearchConfig(),
         dl_params: DLParams = DLParams(),
         seed=0,
+        executor: Executor | None = None,
     ) -> None:
         if targets is not None:
             dataset = dataset.with_targets(targets)
@@ -88,6 +95,7 @@ class SubgroupDiscovery:
         )
         self.history: list[MiningIteration] = []
         self._rng = as_rng(seed)
+        self.executor = executor if executor is not None else SerialExecutor()
 
     # ------------------------------------------------------------------ #
     # Single-shot searches
@@ -96,7 +104,11 @@ class SubgroupDiscovery:
         """Run the beam search against the *current* belief state."""
         scorer = LocationICScorer(self.model, self.targets)
         search = LocationBeamSearch(
-            self.operator, scorer, config=self.config, dl_params=self.dl_params
+            self.operator,
+            scorer,
+            config=self.config,
+            dl_params=self.dl_params,
+            executor=self.executor,
         )
         return search.run()
 
@@ -140,6 +152,7 @@ class SubgroupDiscovery:
             self.targets,
             sparsity=sparsity,
             seed=self._rng,
+            executor=self.executor,
         )
         score = score_spread(
             self.model,

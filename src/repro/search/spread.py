@@ -20,6 +20,7 @@ import numpy as np
 from scipy import optimize
 from scipy.special import digamma, gammaln
 
+from repro.engine.executor import Executor, SerialExecutor
 from repro.errors import SearchError
 from repro.model.background import BackgroundModel
 from repro.search.sphere import canonical_sign, project_tangent, random_unit, retract
@@ -208,6 +209,14 @@ def _ascend(
     return w, value, iterations
 
 
+def _ascend_task(
+    context: tuple[SpreadObjective, int, float], start: np.ndarray
+) -> tuple[np.ndarray, float, int]:
+    """Worker entry point: one gradient ascent from one starting point."""
+    objective, max_iterations, tol = context
+    return _ascend(objective, start, max_iterations=max_iterations, tol=tol)
+
+
 def find_spread_direction(
     model: BackgroundModel,
     indices,
@@ -218,6 +227,7 @@ def find_spread_direction(
     max_iterations: int = 300,
     tol: float = 1e-9,
     seed=0,
+    executor: Executor | None = None,
 ) -> SpreadSearchOutcome:
     """Maximize the spread IC over unit directions (problem 21).
 
@@ -229,6 +239,11 @@ def find_spread_direction(
         keeping the best (the paper's §III-C interpretability device).
     n_random_starts:
         Random restarts added to the eigenvector starts.
+    executor:
+        Backend running the independent ascents. Starting points are
+        drawn up-front in the caller, and the winner is the first
+        highest-IC start in start order, so any parallelism returns the
+        serial result.
     """
     objective = SpreadObjective(model, indices, targets)
     dim = objective.dim
@@ -246,13 +261,15 @@ def find_spread_direction(
     starts = objective.suggested_starts()
     starts.extend(random_unit(rng, dim) for _ in range(n_random_starts))
 
+    if executor is None:
+        executor = SerialExecutor()
+    with executor.session((objective, max_iterations, tol)) as session:
+        ascents = session.map(_ascend_task, starts)
+
     best_w: np.ndarray | None = None
     best_value = -math.inf
     total_iterations = 0
-    for start in starts:
-        w, value, iterations = _ascend(
-            objective, start, max_iterations=max_iterations, tol=tol
-        )
+    for w, value, iterations in ascents:
         total_iterations += iterations
         if value > best_value:
             best_value = value

@@ -1,5 +1,6 @@
-"""Small shared utilities: RNG handling, validation, timing, linear algebra."""
+"""Small shared utilities: RNG handling, validation, timing, linear algebra, caching."""
 
+from repro.utils.cache import CacheStats, LRUCache
 from repro.utils.rng import as_rng, spawn_rngs
 from repro.utils.timer import Stopwatch, TimeBudget
 from repro.utils.validation import (
@@ -18,6 +19,8 @@ from repro.utils.linalg import (
 )
 
 __all__ = [
+    "CacheStats",
+    "LRUCache",
     "as_rng",
     "spawn_rngs",
     "Stopwatch",

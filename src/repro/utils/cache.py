@@ -1,0 +1,87 @@
+"""Bounded, thread-safe LRU cache.
+
+Dependency-neutral so both the language layer (condition-mask
+memoization in :class:`~repro.lang.refinement.RefinementOperator`) and
+the engine layer (dataset and job-result caches) can use it without the
+language layer depending on the engine.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss/eviction counters of one :class:`LRUCache`."""
+
+    hits: int
+    misses: int
+    evictions: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUCache:
+    """Thread-safe least-recently-used mapping with a hard size bound."""
+
+    def __init__(self, maxsize: int = 128) -> None:
+        if maxsize < 1:
+            # A bad bound is a programming error, not a mining failure, so
+            # it stays outside the ReproError taxonomy (see repro.errors).
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key``, refreshing its recency on a hit."""
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self._misses += 1
+                return default
+            self._data.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/overwrite ``key``, evicting the LRU entry if full."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self._evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._data.clear()
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(self._hits, self._misses, self._evictions)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LRUCache(len={len(self)}, maxsize={self.maxsize})"

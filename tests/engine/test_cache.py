@@ -1,0 +1,94 @@
+"""Tests for the LRU cache and spec fingerprints."""
+
+import numpy as np
+import pytest
+
+from repro.engine.cache import (
+    LRUCache,
+    dataset_fingerprint,
+    fingerprint,
+    load_dataset_cached,
+)
+from repro.errors import EngineError
+
+
+class TestLRUCache:
+    def test_get_put_roundtrip(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", 7) == 7
+
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a" so "b" is now the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+
+    def test_overwrite_does_not_grow(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert len(cache) == 1
+        assert cache.get("a") == 2
+
+    def test_stats_count_hits_misses_evictions(self):
+        cache = LRUCache(1)
+        cache.get("a")
+        cache.put("a", 1)
+        cache.get("a")
+        cache.put("b", 2)  # evicts "a"
+        stats = cache.stats
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.evictions == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+
+class TestFingerprint:
+    def test_dict_order_irrelevant(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_tuple_equals_list(self):
+        assert fingerprint((1, 2, 3)) == fingerprint([1, 2, 3])
+
+    def test_numpy_scalars_and_arrays_normalize(self):
+        assert fingerprint(np.int64(3)) == fingerprint(3)
+        assert fingerprint(np.array([1.0, 2.0])) == fingerprint([1.0, 2.0])
+
+    def test_distinguishes_values(self):
+        assert fingerprint({"seed": 0}) != fingerprint({"seed": 1})
+
+    def test_rejects_unserializable(self):
+        with pytest.raises(EngineError):
+            fingerprint(object())
+
+    def test_dataset_fingerprint_includes_kwargs(self):
+        assert dataset_fingerprint("synthetic", 0) != dataset_fingerprint(
+            "synthetic", 0, {"flip_probability": 0.1}
+        )
+
+
+class TestLoadDatasetCached:
+    def test_second_load_is_a_hit(self):
+        cache = LRUCache(4)
+        first = load_dataset_cached("synthetic", seed=0, cache=cache)
+        second = load_dataset_cached("synthetic", seed=0, cache=cache)
+        assert first is second
+        assert cache.stats.hits == 1
+
+    def test_different_seed_is_a_miss(self):
+        cache = LRUCache(4)
+        first = load_dataset_cached("synthetic", seed=0, cache=cache)
+        other = load_dataset_cached("synthetic", seed=1, cache=cache)
+        assert first is not other
+        assert len(cache) == 2

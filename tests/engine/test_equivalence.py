@@ -1,0 +1,105 @@
+"""Serial-vs-parallel equivalence: the engine's determinism contract.
+
+Property: for any dataset seed, a ``ProcessExecutor`` run returns
+*bit-identical* results to a ``SerialExecutor`` run — same subgroups in
+the same order with byte-equal scores. Sharding is by attribute (never
+by worker count) and merges are stable, so this holds at any
+parallelism.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_synthetic
+from repro.engine.executor import ProcessExecutor, SerialExecutor
+from repro.search.config import SearchConfig
+from repro.search.miner import SubgroupDiscovery
+from repro.search.spread import find_spread_direction
+
+#: Small but non-trivial search: multiple levels, dozens of candidates.
+CONFIG = SearchConfig(beam_width=8, max_depth=2, top_k=25)
+
+
+def assert_search_results_identical(serial, parallel):
+    """Byte-level equality of two SearchResults."""
+    assert serial.n_evaluated == parallel.n_evaluated
+    assert serial.depth_reached == parallel.depth_reached
+    assert serial.expired == parallel.expired
+    assert len(serial.log) == len(parallel.log)
+    for a, b in zip(serial.log, parallel.log):
+        assert a.description == b.description
+        assert np.array_equal(a.indices, b.indices)
+        assert a.score.ic == b.score.ic  # exact float equality, not approx
+        assert a.score.dl == b.score.dl
+        assert np.array_equal(a.observed_mean, b.observed_mean)
+    assert (serial.best is None) == (parallel.best is None)
+    if serial.best is not None:
+        assert serial.best.description == parallel.best.description
+
+
+class TestBeamSearchEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_top_k_bit_identical_across_seeds(self, seed):
+        """Acceptance: ProcessExecutor top-k == SerialExecutor top-k."""
+        dataset = make_synthetic(seed)
+        serial = SubgroupDiscovery(
+            dataset, config=CONFIG, seed=seed, executor=SerialExecutor()
+        ).search_locations()
+        parallel = SubgroupDiscovery(
+            dataset, config=CONFIG, seed=seed, executor=ProcessExecutor(2)
+        ).search_locations()
+        assert_search_results_identical(serial, parallel)
+
+    def test_worker_count_does_not_matter(self):
+        dataset = make_synthetic(0)
+        results = [
+            SubgroupDiscovery(
+                dataset, config=CONFIG, seed=0, executor=executor
+            ).search_locations()
+            for executor in (SerialExecutor(), ProcessExecutor(2), ProcessExecutor(4))
+        ]
+        assert_search_results_identical(results[0], results[1])
+        assert_search_results_identical(results[0], results[2])
+
+
+class TestSpreadSearchEquivalence:
+    def test_restart_fanout_bit_identical(self, synthetic_model, synthetic_dataset):
+        indices = np.arange(40)
+        serial = find_spread_direction(
+            synthetic_model,
+            indices,
+            synthetic_dataset.targets,
+            seed=7,
+            executor=SerialExecutor(),
+        )
+        parallel = find_spread_direction(
+            synthetic_model,
+            indices,
+            synthetic_dataset.targets,
+            seed=7,
+            executor=ProcessExecutor(2),
+        )
+        assert np.array_equal(serial.direction, parallel.direction)
+        assert serial.ic == parallel.ic
+        assert serial.variance == parallel.variance
+        assert serial.n_starts == parallel.n_starts
+        assert serial.n_iterations == parallel.n_iterations
+
+
+class TestFullLoopEquivalence:
+    def test_iterative_mining_identical(self):
+        """Two full location+spread iterations, serial vs process pool."""
+        dataset = make_synthetic(0)
+        serial = SubgroupDiscovery(
+            dataset, config=CONFIG, seed=0, executor=SerialExecutor()
+        )
+        parallel = SubgroupDiscovery(
+            dataset, config=CONFIG, seed=0, executor=ProcessExecutor(2)
+        )
+        for _ in range(2):
+            a = serial.step(kind="spread")
+            b = parallel.step(kind="spread")
+            assert a.location.description == b.location.description
+            assert a.location.score.ic == b.location.score.ic
+            assert np.array_equal(a.spread.direction, b.spread.direction)
+            assert a.spread.score.ic == b.spread.score.ic

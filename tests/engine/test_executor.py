@@ -1,0 +1,74 @@
+"""Tests for the executor backends."""
+
+import pytest
+
+from repro.engine.executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    resolve_executor,
+)
+from repro.errors import EngineError
+
+
+def _double(item):
+    return item * 2
+
+
+def _add_context(context, item):
+    return context + item
+
+
+class TestSerialExecutor:
+    def test_map_preserves_order(self):
+        assert SerialExecutor().map(_double, [3, 1, 2]) == [6, 2, 4]
+
+    def test_session_passes_context(self):
+        with SerialExecutor().session(10) as session:
+            assert session.map(_add_context, [1, 2, 3]) == [11, 12, 13]
+
+    def test_parallelism_is_one(self):
+        assert SerialExecutor().parallelism == 1
+
+
+class TestProcessExecutor:
+    def test_map_preserves_order(self):
+        assert ProcessExecutor(2).map(_double, [3, 1, 2]) == [6, 2, 4]
+
+    def test_session_ships_context_to_workers(self):
+        with ProcessExecutor(2).session(100) as session:
+            assert session.map(_add_context, [1, 2, 3]) == [101, 102, 103]
+
+    def test_session_reusable_for_multiple_maps(self):
+        with ProcessExecutor(2).session(1) as session:
+            first = session.map(_add_context, [1, 2])
+            second = session.map(_add_context, [3, 4])
+        assert first == [2, 3]
+        assert second == [4, 5]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ZeroDivisionError):
+            ProcessExecutor(2).map(_reciprocal, [1, 0])
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(EngineError):
+            ProcessExecutor(0)
+
+
+def _reciprocal(item):
+    return 1 / item
+
+
+class TestResolveExecutor:
+    @pytest.mark.parametrize("workers", [None, 0, 1])
+    def test_serial_for_one_or_fewer(self, workers):
+        assert isinstance(resolve_executor(workers), SerialExecutor)
+
+    def test_process_pool_above_one(self):
+        executor = resolve_executor(3)
+        assert isinstance(executor, ProcessExecutor)
+        assert executor.parallelism == 3
+
+    def test_backends_satisfy_protocol(self):
+        assert isinstance(SerialExecutor(), Executor)
+        assert isinstance(ProcessExecutor(2), Executor)

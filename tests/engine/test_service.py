@@ -1,0 +1,108 @@
+"""Tests for the mining service (submit/status/result/cancel)."""
+
+import concurrent.futures
+
+import pytest
+
+from repro.engine.jobs import MiningJob
+from repro.engine.service import JobStatus, MiningService
+from repro.errors import EngineError
+from repro.search.config import SearchConfig
+
+FAST = SearchConfig(beam_width=6, max_depth=2, top_k=10)
+#: A noticeably slower job, used to keep a one-worker pool busy.
+SLOW = SearchConfig(beam_width=40, max_depth=4, top_k=150)
+
+
+def _job(seed=0, config=FAST, **kwargs):
+    return MiningJob(dataset="synthetic", seed=seed, config=config, **kwargs)
+
+
+class TestSerialBackend:
+    def test_submit_resolves_immediately(self):
+        with MiningService(backend="serial") as service:
+            job_id = service.submit(_job())
+            assert service.status(job_id) == JobStatus.DONE
+            result = service.result(job_id)
+            assert result.iterations[0].location.si > 0
+
+    def test_failure_is_reported(self):
+        with MiningService(backend="serial") as service:
+            job_id = service.submit(_job(targets=("not-a-target",)))
+            assert service.status(job_id) == JobStatus.FAILED
+            with pytest.raises(Exception):
+                service.result(job_id)
+
+
+class TestThreadBackend:
+    def test_many_jobs_complete(self):
+        jobs = [_job(seed=s) for s in range(4)]
+        with MiningService(max_workers=2, backend="thread") as service:
+            ids = [service.submit(job) for job in jobs]
+            statuses = service.wait_all()
+            assert [statuses[i] for i in ids] == [JobStatus.DONE] * 4
+            seen = {service.job(i).seed for i in ids}
+            assert seen == {0, 1, 2, 3}
+
+    def test_identical_spec_hits_the_cache(self):
+        with MiningService(max_workers=1, backend="thread") as service:
+            first = service.submit(_job(name="original"))
+            service.result(first)
+            second = service.submit(_job(name="duplicate"))
+            # Cached submissions resolve without touching the pool.
+            assert service.status(second) == JobStatus.DONE
+            assert service.cache_stats.hits == 1
+            assert service.result(second).job.name == "original"
+
+    def test_cancel_pending_job(self):
+        with MiningService(max_workers=1, backend="thread") as service:
+            blocker = service.submit(_job(config=SLOW, n_iterations=2))
+            victim = service.submit(_job(seed=99))
+            cancelled = service.cancel(victim)
+            if cancelled:  # the pool was still busy with the blocker
+                assert service.status(victim) == JobStatus.CANCELLED
+                with pytest.raises(concurrent.futures.CancelledError):
+                    service.result(victim)
+            service.result(blocker)
+
+    def test_wait_all_timeout_is_total_and_raises(self):
+        with MiningService(max_workers=1, backend="thread") as service:
+            for seed in range(2):
+                service.submit(_job(seed=seed, config=SLOW, n_iterations=2))
+            with pytest.raises(concurrent.futures.TimeoutError):
+                service.wait_all(timeout=0.001)
+            service.wait_all()  # then drain for a clean shutdown
+
+    def test_unknown_id_raises(self):
+        with MiningService(backend="thread") as service:
+            with pytest.raises(EngineError):
+                service.status("job-9999")
+            with pytest.raises(EngineError):
+                service.result("job-9999")
+            with pytest.raises(EngineError):
+                service.job("job-9999")
+
+
+class TestProcessBackend:
+    def test_jobs_complete_in_worker_processes(self):
+        jobs = [_job(seed=s) for s in range(2)]
+        with MiningService(max_workers=2, backend="process") as service:
+            ids = [service.submit(job) for job in jobs]
+            results = [service.result(i, timeout=120) for i in ids]
+        assert [r.job.seed for r in results] == [0, 1]
+        assert all(r.iterations[0].location.si > 0 for r in results)
+
+
+class TestValidation:
+    def test_rejects_bad_backend(self):
+        with pytest.raises(EngineError):
+            MiningService(backend="quantum")
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(EngineError):
+            MiningService(max_workers=0)
+
+    def test_rejects_non_job(self):
+        with MiningService(backend="serial") as service:
+            with pytest.raises(EngineError):
+                service.submit("not a job")

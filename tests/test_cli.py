@@ -1,8 +1,13 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENTS, main
+from repro.engine.jobs import MiningJob
+from repro.persist import save_jobs
+from repro.search.config import SearchConfig
 
 
 class TestDatasets:
@@ -47,6 +52,85 @@ class TestMine:
 
     def test_custom_gamma(self, capsys):
         assert main(["mine", "synthetic", "--iterations", "1", "--gamma", "1.0"]) == 0
+
+    def test_mine_with_workers(self, capsys):
+        code = main(
+            ["mine", "synthetic", "--iterations", "1", "--workers", "2",
+             "--beam-width", "8", "--depth", "2"]
+        )
+        assert code == 0
+        assert "location:" in capsys.readouterr().out
+
+
+class TestBatch:
+    @pytest.fixture()
+    def jobs_file(self, tmp_path):
+        config = SearchConfig(beam_width=6, max_depth=2, top_k=10)
+        jobs = [
+            MiningJob(dataset="synthetic", seed=s, config=config, name=f"job{s}")
+            for s in range(4)
+        ]
+        return str(save_jobs(jobs, tmp_path / "jobs.json"))
+
+    def test_batch_runs_jobs_concurrently(self, jobs_file, capsys):
+        assert main(["batch", jobs_file, "--workers", "4"]) == 0
+        out = capsys.readouterr().out
+        for s in range(4):
+            assert f"[job{s}]" in out
+        assert "4 job(s) done" in out
+
+    def test_batch_writes_output_document(self, jobs_file, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        code = main(["batch", jobs_file, "--workers", "2", "--output", str(out_path)])
+        assert code == 0
+        document = json.loads(out_path.read_text())
+        assert len(document["results"]) == 4
+        first = document["results"][0]
+        assert first["job"]["dataset"] == "synthetic"
+        assert first["iterations"][0]["location"]["type"] == "location_pattern"
+
+    def test_batch_empty_file_fails_cleanly(self, tmp_path, capsys):
+        # A malformed batch file is a ReproError, not a traceback.
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"jobs": []}')
+        assert main(["batch", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_batch_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["batch", str(tmp_path / "nope.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_batch_isolates_failing_jobs(self, tmp_path, capsys):
+        import json as json_module
+
+        config = SearchConfig(beam_width=6, max_depth=2, top_k=10)
+        jobs = [
+            MiningJob(dataset="synthetic", config=config, name="good"),
+            MiningJob(dataset="doesnotexist", config=config, name="bad"),
+        ]
+        jobs_file = str(save_jobs(jobs, tmp_path / "mixed.json"))
+        out_path = tmp_path / "results.json"
+        code = main(["batch", jobs_file, "--output", str(out_path)])
+        assert code == 1  # a failure is reported in the exit code...
+        out = capsys.readouterr().out
+        assert "[good]" in out
+        assert "[bad] FAILED:" in out
+        document = json_module.loads(out_path.read_text())
+        assert len(document["results"]) == 1  # ...but good work is kept
+        assert len(document["failures"]) == 1
+
+    def test_batch_unwritable_output_fails_cleanly(self, jobs_file, tmp_path, capsys):
+        code = main(
+            ["batch", jobs_file, "--output", str(tmp_path / "no-dir" / "out.json")]
+        )
+        assert code == 1
+        assert "error: cannot write" in capsys.readouterr().err
+
+    def test_batch_invalid_json_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "garbage.json"
+        bad.write_text("{not json")
+        assert main(["batch", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
 
 
 class TestExperimentCommand:
