@@ -12,14 +12,14 @@ Run with::
 
 import numpy as np
 
-from repro import SubgroupDiscovery, load_dataset
+from repro import MiningSpec, build_miner, load_dataset
 from repro.report.ascii import render_series
 from repro.report.series import kde_series
 
 
 def main() -> None:
     dataset = load_dataset("crime", seed=0)
-    miner = SubgroupDiscovery(dataset, seed=0)
+    miner = build_miner(MiningSpec.build("crime"))
 
     print("Mining the most subjectively interesting pattern "
           f"({dataset.n_descriptions} attributes, {dataset.n_rows} districts)...")

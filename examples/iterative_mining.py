@@ -6,6 +6,11 @@ structure of the background model, and a demonstration that refitting
 from scratch reproduces the incrementally updated model (the Table II
 computation).
 
+This example deliberately drives the :class:`repro.SubgroupDiscovery`
+substrate directly — it inspects the miner's model internals between
+steps. Everyday mining goes through the front door instead; see
+``quickstart.py`` (:class:`repro.Workspace` + :class:`repro.MiningSpec`).
+
 Run with::
 
     python examples/iterative_mining.py

@@ -12,7 +12,7 @@ Run with::
 
 import numpy as np
 
-from repro import SubgroupDiscovery, attribute_surprisals, load_dataset
+from repro import MiningSpec, attribute_surprisals, build_miner, load_dataset
 from repro.report.ascii import text_map
 
 
@@ -20,7 +20,7 @@ def main() -> None:
     dataset = load_dataset("mammals", seed=0)
     lat = np.asarray(dataset.metadata["lat"])
     lon = np.asarray(dataset.metadata["lon"])
-    miner = SubgroupDiscovery(dataset, seed=0)
+    miner = build_miner(MiningSpec.build("mammals"))
 
     print(f"{dataset.n_rows} grid cells, {dataset.n_targets} species, "
           f"{dataset.n_descriptions} climate attributes")

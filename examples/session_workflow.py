@@ -1,11 +1,13 @@
-"""Sessions: undo, resume, and provably-optimal search (extensions).
+"""Sessions from specs: undo, bit-identical resume, and optimal search.
 
-Demonstrates the library's additions beyond the paper's evaluation:
+Demonstrates the front-door workflow beyond one-shot mining:
 
-1. :class:`repro.MiningSession` — an undoable, saveable mining dialogue;
-2. resuming a saved belief state and continuing exactly where it left off;
-3. :func:`repro.find_optimal_location` — the paper's §V branch-and-bound
-   plan, returning the provably optimal location pattern of the language.
+1. :meth:`repro.Workspace.session` — an undoable, saveable mining
+   dialogue built from the same declarative spec as every other mode;
+2. resuming a saved belief state (including the search RNG, so the
+   continuation is bit-identical to never having stopped);
+3. a ``strategy="branch_bound"`` spec — the paper's §V plan — returning
+   the provably optimal location pattern of the language.
 
 Run with::
 
@@ -15,41 +17,46 @@ Run with::
 import tempfile
 from pathlib import Path
 
-from repro import MiningSession, SearchConfig, find_optimal_location, load_dataset
+from repro import MiningSession, MiningSpec, Workspace, load_dataset
 
 
 def main() -> None:
-    dataset = load_dataset("synthetic", seed=0)
+    spec = MiningSpec.build("synthetic", kind="spread")
+    with Workspace() as workspace:
+        # 1. An undoable dialogue, built from the spec.
+        session = workspace.session(spec)
+        session.step(kind="spread")
+        session.step(kind="spread")
+        print(session.report())
 
-    # 1. An undoable dialogue.
-    session = MiningSession(dataset, seed=0)
-    session.step(kind="spread")
-    session.step(kind="spread")
-    print(session.report())
+        undone = session.undo()
+        print(f"\nundo -> forgot {undone.location.description}; "
+              f"{session.n_iterations} iteration(s) remain")
 
-    undone = session.undo()
-    print(f"\nundo -> forgot {undone.location.description}; "
-          f"{session.n_iterations} iteration(s) remain")
+        # 2. Save the belief state (and the RNG), resume it elsewhere,
+        #    continue mining exactly where it left off.
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "session.json"
+            session.save(path)
+            resumed = MiningSession.resume(
+                load_dataset("synthetic", seed=0), path, seed=0
+            )
+            next_iteration = resumed.step()
+            print(f"resumed session mines next: {next_iteration.location.description}")
 
-    # 2. Save the belief state, resume it elsewhere, continue mining.
-    with tempfile.TemporaryDirectory() as tmp:
-        path = Path(tmp) / "session.json"
-        session.save(path)
-        resumed = MiningSession.resume(dataset, path, seed=0)
-        next_iteration = resumed.step()
-        print(f"resumed session mines next: {next_iteration.location.description}")
-
-    # 3. Provably optimal location patterns (single target, fresh model).
-    crime = load_dataset("crime", seed=0)
-    config = SearchConfig(
-        max_depth=2,
-        attributes=["pct_illeg", "pct_poverty", "med_income", "pct_unemployed"],
-    )
-    optimum = find_optimal_location(crime, config=config)
-    print(f"\nbranch-and-bound optimum on crime (depth 2): "
-          f"{optimum.best.description}  SI={optimum.best.si:.1f}")
-    print("  (guaranteed optimal within the description language - "
-          "the paper's §V future work)")
+        # 3. Provably optimal location patterns through the same front
+        #    door: just name a different search strategy in the spec.
+        optimum_spec = MiningSpec.build(
+            "crime",
+            strategy="branch_bound",
+            max_depth=2,
+            attributes=["pct_illeg", "pct_poverty", "med_income", "pct_unemployed"],
+        )
+        optimum = workspace.mine(optimum_spec).iterations[0].location
+        print(f"\nbranch-and-bound optimum on crime (depth 2): "
+              f"{optimum.description}  SI={optimum.si:.1f}")
+        print("  (guaranteed optimal within the description language - "
+              "the paper's §V future work)")
 
 
 if __name__ == "__main__":

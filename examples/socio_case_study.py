@@ -13,14 +13,14 @@ Run with::
 
 import numpy as np
 
-from repro import SubgroupDiscovery, attribute_surprisals, load_dataset
+from repro import MiningSpec, attribute_surprisals, build_miner, load_dataset
 from repro.report.ascii import bar_chart, render_series
 from repro.report.series import cdf_series, normal_cdf_series
 
 
 def main() -> None:
     dataset = load_dataset("socio", seed=0)
-    miner = SubgroupDiscovery(dataset, seed=0)
+    miner = build_miner(MiningSpec.build("socio"))
 
     location = miner.find_location()
     print(f"pattern   : {location.description}")

@@ -13,13 +13,13 @@ Run with::
 
 import numpy as np
 
-from repro import SubgroupDiscovery, attribute_surprisals, load_dataset
+from repro import MiningSpec, attribute_surprisals, build_miner, load_dataset
 from repro.report.ascii import bar_chart
 
 
 def main() -> None:
     dataset = load_dataset("water", seed=0)
-    miner = SubgroupDiscovery(dataset, seed=0)
+    miner = build_miner(MiningSpec.build("water"))
 
     location = miner.find_location()
     print(f"pattern : {location.description}")

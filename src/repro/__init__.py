@@ -7,14 +7,21 @@ pattern syntaxes, the SI = IC/DL interestingness measure, beam search
 over Cortana-style descriptions, and spread-direction optimization on
 the unit sphere.
 
-Quickstart::
+Quickstart — one declarative spec, one front door::
 
-    from repro import SubgroupDiscovery, load_dataset
+    from repro import MiningSpec, Workspace
 
-    miner = SubgroupDiscovery(load_dataset("synthetic", seed=0))
-    iteration = miner.step(kind="spread")
-    print(iteration.location)
-    print(iteration.spread)
+    spec = MiningSpec.build("synthetic", kind="spread", n_iterations=3)
+    with Workspace() as ws:
+        for iteration in ws.stream(spec):   # yields patterns as mined
+            print(iteration.location)
+            print(iteration.spread)
+
+The same spec (or its JSON file) drives inline runs (``ws.mine``),
+interactive sessions (``ws.session``), and the submit/poll service
+(``ws.submit``) with byte-identical results. The pre-spec entry points
+(``SubgroupDiscovery``, ``MiningSession``, ``MiningJob`` + ``run_job``)
+remain available as the execution substrate underneath.
 """
 
 from repro.version import __version__
@@ -101,6 +108,18 @@ from repro.engine import (
     run_job,
     run_jobs,
 )
+from repro.registry import DATASETS, MEASURES, MODELS, SEARCHES, Registry
+from repro.spec import (
+    DatasetSpec,
+    ExecutorSpec,
+    InterestSpec,
+    LanguageSpec,
+    MiningSpec,
+    ModelSpec,
+    SearchSpec,
+)
+from repro.events import CallbackObserver, EventLog, MiningObserver, broadcast
+from repro.api import Workspace, build_miner
 
 __all__ = [
     "__version__",
@@ -183,4 +202,26 @@ __all__ = [
     "run_jobs",
     "JobStatus",
     "MiningService",
+    # registries (the declarative vocabulary)
+    "Registry",
+    "DATASETS",
+    "SEARCHES",
+    "MODELS",
+    "MEASURES",
+    # unified spec (the one config object)
+    "MiningSpec",
+    "DatasetSpec",
+    "LanguageSpec",
+    "ModelSpec",
+    "InterestSpec",
+    "SearchSpec",
+    "ExecutorSpec",
+    # events (streaming substrate)
+    "MiningObserver",
+    "CallbackObserver",
+    "EventLog",
+    "broadcast",
+    # the front door
+    "Workspace",
+    "build_miner",
 ]

@@ -1,0 +1,308 @@
+"""The front door: one :class:`Workspace`, three execution modes.
+
+A :class:`~repro.spec.MiningSpec` says *what* to mine; the Workspace
+decides *where it runs*:
+
+- :meth:`Workspace.mine` — inline, blocking, returns the whole
+  :class:`~repro.engine.jobs.JobResult`;
+- :meth:`Workspace.stream` — inline, but yields each
+  :class:`~repro.search.results.MiningIteration` the moment it is
+  mined (the synchronous substrate for a live UI);
+- :meth:`Workspace.session` — interactive: a
+  :class:`~repro.session.MiningSession` with undo/save/resume;
+- :meth:`Workspace.submit` / :meth:`Workspace.result` — asynchronous,
+  through a lazily created :class:`~repro.engine.service.MiningService`.
+
+All modes route the same spec through the same substrate
+(:class:`~repro.search.miner.SubgroupDiscovery` via the job runner), so
+they return byte-identical patterns — the equivalence the test suite
+enforces. Specs may be passed as :class:`~repro.spec.MiningSpec`
+instances or as plain dicts (the JSON form), so a saved spec file drives
+everything::
+
+    from repro import Workspace, MiningSpec
+
+    spec = MiningSpec.build("synthetic", kind="spread", n_iterations=3)
+    with Workspace() as ws:
+        for iteration in ws.stream(spec):      # live
+            print(iteration.location)
+        job_id = ws.submit(spec)               # queued (cache hit: free)
+        result = ws.result(job_id)
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.engine.executor import resolve_executor
+from repro.engine.jobs import JobResult, run_job
+from repro.engine.service import JobStatus, MiningService
+from repro.errors import EngineError, SearchError
+from repro.events import MiningObserver, broadcast
+from repro.search.miner import SubgroupDiscovery
+from repro.search.results import MiningIteration
+from repro.session import MiningSession
+from repro.spec import MiningSpec
+
+
+def _as_spec(spec: MiningSpec | dict) -> MiningSpec:
+    """Accept a MiningSpec or its JSON-dict form."""
+    if isinstance(spec, MiningSpec):
+        return spec
+    return MiningSpec.from_dict(spec)
+
+
+def _spec_executor(spec: MiningSpec):
+    """The executor the spec's executor section describes."""
+    return resolve_executor(
+        spec.executor.workers, start_method=spec.executor.start_method
+    )
+
+
+def _load_job_dataset(job):
+    """The (cached) dataset a job references."""
+    from repro.engine.cache import load_dataset_cached
+
+    return load_dataset_cached(job.dataset, seed=job.dataset_seed, **job.dataset_kwargs)
+
+
+def _require_beam(job) -> None:
+    """Iterative entry points only make sense for the beam strategy."""
+    if job.strategy != "beam":
+        raise SearchError(
+            f"only the 'beam' strategy mines iteratively; "
+            f"{job.strategy!r} runs via Workspace.mine/submit"
+        )
+
+
+def _substrate_kwargs(spec: MiningSpec, job, observer) -> dict:
+    """The spec-derived kwargs shared by the miner and session substrates.
+
+    One wiring path for :func:`build_miner` and
+    :meth:`Workspace.session`, so a new job field cannot reach one and
+    silently miss the other (which would break the byte-identical
+    session-equals-mine contract).
+    """
+    return {
+        "config": job.config,
+        "dl_params": job.dl_params(),
+        "seed": job.seed,
+        "prior": job.build_prior(),
+        "executor": _spec_executor(spec),
+        "observer": observer,
+    }
+
+
+def build_miner(
+    spec: MiningSpec | dict, *, observer: MiningObserver | None = None
+) -> SubgroupDiscovery:
+    """Construct the iterative miner a beam-strategy spec describes.
+
+    Exposed for callers that want to drive the substrate directly (the
+    Workspace uses it for :meth:`Workspace.stream`); requires
+    ``search.strategy == "beam"``.
+    """
+    spec = _as_spec(spec)
+    job = spec.to_job()
+    _require_beam(job)
+    return SubgroupDiscovery(
+        _load_job_dataset(job),
+        targets=list(job.targets) if job.targets is not None else None,
+        **_substrate_kwargs(spec, job, observer),
+    )
+
+
+class Workspace:
+    """One front door over inline, interactive, and service execution.
+
+    Parameters
+    ----------
+    observer:
+        Default :class:`~repro.events.MiningObserver` attached to every
+        run started through this workspace; per-call observers compose
+        with it. Note that a *shared* service has one event stream: an
+        observer attached via ``service=`` hears every job on that
+        service while attached (detached again on :meth:`close`), not
+        only this workspace's submissions.
+    service:
+        An existing :class:`~repro.engine.service.MiningService` to
+        submit through. When omitted, one is created lazily on the
+        first :meth:`submit` with ``service_backend``/``service_workers``
+        and shut down by :meth:`close` (or the context manager).
+    service_backend / service_workers:
+        Configuration of the lazily created service. ``service_backend``
+        defaults to ``None``, meaning: honor the first submitted spec's
+        ``executor.backend`` (falling back to ``"process"`` when the
+        service is created without a spec in hand).
+    """
+
+    def __init__(
+        self,
+        *,
+        observer: MiningObserver | None = None,
+        service: MiningService | None = None,
+        service_backend: str | None = None,
+        service_workers: int = 2,
+    ) -> None:
+        self.observer = observer
+        self._service = service
+        self._owns_service = False
+        self._service_backend = service_backend
+        self._service_workers = service_workers
+        if service is not None:
+            # A shared service has one event stream, so this observer
+            # hears every job on it while attached (see class docstring);
+            # close() detaches it again.
+            service.add_observer(observer)
+
+    # ------------------------------------------------------------------ #
+    # Inline execution
+    # ------------------------------------------------------------------ #
+    def mine(
+        self, spec: MiningSpec | dict, *, observer: MiningObserver | None = None
+    ) -> JobResult:
+        """Run one spec to completion, inline, and return its result.
+
+        Candidate and iteration events fire live on the composed
+        observers; ``on_job`` fires once at the end.
+        """
+        spec = _as_spec(spec)
+        composed = broadcast(self.observer, observer)
+        result = run_job(
+            spec.to_job(), executor=_spec_executor(spec), observer=composed
+        )
+        if composed is not None:
+            composed.on_job(result)
+        return result
+
+    def stream(
+        self, spec: MiningSpec | dict, *, observer: MiningObserver | None = None
+    ) -> Iterator[MiningIteration]:
+        """Yield each mining iteration as it is mined.
+
+        For the iterative beam strategy this is true streaming — the
+        pattern is in your hands while the next search is still to run;
+        the single-shot strategies yield their one iteration. Observers
+        see ``on_candidate``/``on_iteration`` events only (``on_job`` is
+        :meth:`mine`'s whole-result event, identical for every
+        strategy). This generator is the synchronous substrate of the
+        ROADMAP's async/streaming front-end. The spec is validated
+        eagerly, at this call — only the mining itself is lazy.
+        """
+        spec = _as_spec(spec)
+        composed = broadcast(self.observer, observer)
+        return self._stream(spec, composed)
+
+    def _stream(self, spec: MiningSpec, composed) -> Iterator[MiningIteration]:
+        if spec.search.strategy != "beam":
+            result = run_job(
+                spec.to_job(), executor=_spec_executor(spec), observer=composed
+            )
+            yield from result.iterations
+            return
+        miner = build_miner(spec, observer=composed)
+        for _ in range(spec.search.n_iterations):
+            yield miner.step(kind=spec.search.kind, sparsity=spec.search.sparsity)
+
+    # ------------------------------------------------------------------ #
+    # Interactive execution
+    # ------------------------------------------------------------------ #
+    def session(
+        self, spec: MiningSpec | dict, *, observer: MiningObserver | None = None
+    ) -> MiningSession:
+        """An interactive (undo/save/resume) session for a beam spec.
+
+        The session ignores ``search.n_iterations`` — stepping is the
+        caller's dialogue — but honors every other section (including
+        ``search.kind``/``sparsity`` as the default for a bare
+        ``step()``), and its steps are byte-identical to :meth:`mine`'s
+        iterations.
+        """
+        spec = _as_spec(spec)
+        job = spec.to_job()
+        _require_beam(job)
+        dataset = _load_job_dataset(job)
+        if job.targets is not None:
+            dataset = dataset.with_targets(list(job.targets))
+        return MiningSession(
+            dataset,
+            kind=spec.search.kind,
+            sparsity=spec.search.sparsity,
+            **_substrate_kwargs(spec, job, broadcast(self.observer, observer)),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Service execution
+    # ------------------------------------------------------------------ #
+    @property
+    def service(self) -> MiningService:
+        """The backing service, created on first use."""
+        return self._ensure_service(None)
+
+    def _ensure_service(self, backend_hint: str | None) -> MiningService:
+        if self._service is None:
+            backend = self._service_backend or backend_hint or "process"
+            self._service = MiningService(
+                max_workers=self._service_workers,
+                backend=backend,
+                observer=self.observer,
+            )
+            self._owns_service = True
+        return self._service
+
+    def submit(self, spec: MiningSpec | dict) -> str:
+        """Queue a spec on the service; returns the job id.
+
+        If this submit has to create the lazy service, the spec's
+        ``executor.backend`` picks its pool (unless the Workspace was
+        constructed with an explicit ``service_backend``), and the
+        spec's ``executor.workers`` parallelizes the search inside the
+        job.
+        """
+        spec = _as_spec(spec)
+        return self._ensure_service(spec.executor.backend).submit(
+            spec.to_job(),
+            workers=spec.executor.workers,
+            start_method=spec.executor.start_method,
+        )
+
+    def _running_service(self) -> MiningService:
+        """The service, required to already exist (read-only queries)."""
+        if self._service is None:
+            raise EngineError(
+                "no service is running in this workspace — submit a spec first"
+            )
+        return self._service
+
+    def status(self, job_id: str) -> JobStatus:
+        """Lifecycle state of a submitted spec (requires a prior submit)."""
+        return self._running_service().status(job_id)
+
+    def result(self, job_id: str, timeout: float | None = None) -> JobResult:
+        """Block until a submitted spec finishes; returns its result."""
+        return self._running_service().result(job_id, timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut down the lazily created service, if any.
+
+        An externally provided service is left running, but this
+        workspace's observer is detached from it so later workspaces
+        sharing the service do not inherit it.
+        """
+        if self._service is None:
+            return
+        if self._owns_service:
+            self._service.shutdown(wait=True)
+            self._service = None
+            self._owns_service = False
+        else:
+            self._service.remove_observer(self.observer)
+
+    def __enter__(self) -> "Workspace":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -3,12 +3,18 @@
 Subcommands:
 
 - ``sisd datasets`` — list the available datasets with their shapes.
-- ``sisd mine DATASET`` — run iterative mining and print each pattern
-  (``--workers N`` parallelizes the search itself).
+- ``sisd mine DATASET`` — run mining and print each pattern as it is
+  mined. The flags are a thin builder for a declarative
+  :class:`~repro.spec.MiningSpec`; ``--spec FILE`` runs a saved spec
+  instead, and ``--save-spec FILE`` writes the built spec without
+  mining (so any flag combination can become a reusable file).
 - ``sisd batch JOBS.json`` — run a batch of declarative mining jobs
   concurrently over a worker pool.
 - ``sisd experiment NAME`` — reproduce one of the paper's tables/figures.
 - ``sisd experiments`` — list the reproducible experiments.
+
+Every mining path routes through :class:`repro.api.Workspace`, so the
+CLI, the library, and the service execute one spec identically.
 """
 
 from __future__ import annotations
@@ -18,14 +24,20 @@ import sys
 from typing import Callable
 
 from repro import experiments
+from repro.api import Workspace
 from repro.datasets import available_datasets, load_dataset
-from repro.engine.executor import resolve_executor
 from repro.engine.jobs import JobResult, run_jobs
 from repro.errors import ReproError
-from repro.interest.dl import DLParams
-from repro.persist import job_result_to_dict, job_to_dict, load_jobs, save_json
-from repro.search.config import SearchConfig
-from repro.search.miner import SubgroupDiscovery
+from repro.persist import (
+    job_result_to_dict,
+    job_to_dict,
+    load_jobs,
+    load_spec,
+    save_json,
+    save_spec,
+)
+from repro.report.live import LiveReporter
+from repro.spec import MiningSpec
 from repro.version import __version__
 
 #: Experiment name -> zero-config runner returning an object with .format().
@@ -58,17 +70,49 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("datasets", help="list available datasets")
 
+    # Every mining flag defaults to None ("not passed") so that flags
+    # layered over --spec are distinguishable from parser defaults; the
+    # real defaults live in MiningSpec's sections.
     mine = sub.add_parser("mine", help="run iterative subgroup discovery")
-    mine.add_argument("dataset", choices=available_datasets())
-    mine.add_argument("--seed", type=int, default=0, help="dataset/search seed")
-    mine.add_argument("--iterations", type=int, default=3, help="mining iterations")
+    mine.add_argument("dataset", nargs="?", choices=available_datasets())
     mine.add_argument(
-        "--kind", choices=("location", "spread"), default="location",
-        help="pattern type per iteration (spread = the two-step process)",
+        "--seed", type=int, default=None, help="dataset/search seed (default 0)"
     )
-    mine.add_argument("--beam-width", type=int, default=40)
-    mine.add_argument("--depth", type=int, default=4)
-    mine.add_argument("--gamma", type=float, default=0.1, help="DL weight per condition")
+    mine.add_argument(
+        "--iterations", type=int, default=None,
+        help="mining iterations (default: 3 for beam, 1 for single-shot "
+        "strategies)",
+    )
+    mine.add_argument(
+        "--kind", choices=("location", "spread"), default=None,
+        help="pattern type per iteration (spread = the two-step process; "
+        "default location)",
+    )
+    mine.add_argument(
+        "--targets", nargs="+", default=None, metavar="NAME",
+        help="restrict the modeled target attributes (branch_bound needs "
+        "exactly one on multi-target datasets)",
+    )
+    mine.add_argument(
+        "--strategy", choices=("beam", "branch_bound", "quality_beam"),
+        default=None, help="search strategy (default beam; see "
+        "repro.registry.SEARCHES)",
+    )
+    mine.add_argument(
+        "--measure", default=None,
+        help="interestingness measure (default 'si'; a classical measure "
+        "for --strategy quality_beam)",
+    )
+    mine.add_argument(
+        "--beam-width", type=int, default=None, help="beam width (default 40)"
+    )
+    mine.add_argument(
+        "--depth", type=int, default=None, help="max conditions (default 4)"
+    )
+    mine.add_argument(
+        "--gamma", type=float, default=None,
+        help="DL weight per condition (default 0.1)",
+    )
     mine.add_argument(
         "--time-budget", type=float, default=None,
         help="wall-clock budget per beam search, in seconds",
@@ -78,8 +122,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="restrict spread directions to this many coordinates (2 only)",
     )
     mine.add_argument(
-        "--workers", type=int, default=1,
-        help="worker processes for the search itself (1 = serial)",
+        "--workers", type=int, default=None,
+        help="worker processes for the search itself (default 1 = serial)",
+    )
+    mine.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="run a saved MiningSpec JSON instead of building one from flags "
+        "(other mine flags override the loaded spec's fields)",
+    )
+    mine.add_argument(
+        "--save-spec", default=None, metavar="FILE",
+        help="write the spec these flags describe and exit without mining",
     )
 
     batch = sub.add_parser("batch", help="run a batch of mining jobs from JSON")
@@ -112,32 +165,87 @@ def _cmd_datasets() -> int:
     return 0
 
 
+def _flat_spec_kwargs(args: argparse.Namespace) -> dict:
+    """The mine flags that were actually passed, as spec keywords.
+
+    ``--seed`` seeds both the dataset generator and the search.
+    """
+    flat = {
+        "dataset_seed": args.seed,
+        "seed": args.seed,
+        "strategy": args.strategy,
+        "measure": args.measure,
+        "kind": args.kind,
+        "n_iterations": args.iterations,
+        "sparsity": args.sparsity,
+        "targets": args.targets,
+        "beam_width": args.beam_width,
+        "max_depth": args.depth,
+        "gamma": args.gamma,
+        "time_budget_seconds": args.time_budget,
+        "workers": args.workers,
+    }
+    return {key: value for key, value in flat.items() if value is not None}
+
+
+def _spec_from_args(args: argparse.Namespace) -> MiningSpec:
+    """The thin spec builder behind ``sisd mine``'s flags.
+
+    Only *unset* flags get defaults (``MiningSpec``'s section defaults,
+    plus 3 iterations for beam / 1 for the single-shot strategies);
+    explicitly contradictory combinations (``--strategy branch_bound
+    --iterations 5``) flow into the spec and are rejected by its
+    validation, never silently ignored.
+    """
+    kwargs = _flat_spec_kwargs(args)
+    if "n_iterations" not in kwargs:
+        strategy = kwargs.get("strategy", "beam")
+        kwargs["n_iterations"] = 3 if strategy == "beam" else 1
+    return MiningSpec.build(args.dataset, **kwargs)
+
+
+def _apply_flag_overrides(spec: MiningSpec, args: argparse.Namespace) -> MiningSpec:
+    """Layer explicitly passed mine flags over a loaded spec file.
+
+    Every mining flag defaults to ``None`` in the parser, so any flag
+    the user actually typed — including one spelling out a library
+    default, like ``--strategy beam`` over a quality_beam spec — wins
+    over the file.
+    """
+    overrides = _flat_spec_kwargs(args)
+    return spec.with_changes(**overrides) if overrides else spec
+
+
 def _cmd_mine(args: argparse.Namespace) -> int:
-    dataset = load_dataset(args.dataset, seed=args.seed)
-    config = SearchConfig(
-        beam_width=args.beam_width,
-        max_depth=args.depth,
-        time_budget_seconds=args.time_budget,
-    )
-    miner = SubgroupDiscovery(
-        dataset,
-        config=config,
-        dl_params=DLParams(gamma=args.gamma),
-        seed=args.seed,
-        executor=resolve_executor(args.workers),
-    )
-    for iteration in miner.run(args.iterations, kind=args.kind, sparsity=args.sparsity):
-        print(f"--- iteration {iteration.index} ---")
-        print(iteration.location)
-        if iteration.spread is not None:
-            print(iteration.spread)
+    if args.spec is not None and args.dataset is not None:
+        raise ReproError("pass either a dataset or --spec, not both")
+    if args.spec is not None:
+        try:
+            spec = load_spec(args.spec)
+        except (OSError, ValueError, ReproError) as exc:
+            raise ReproError(f"cannot read {args.spec}: {exc}") from exc
+        spec = _apply_flag_overrides(spec, args)
+    elif args.dataset is not None:
+        spec = _spec_from_args(args)
+    else:
+        raise ReproError("pass a dataset name or --spec FILE")
+    if args.save_spec is not None:
+        try:
+            save_spec(spec, args.save_spec)
+        except OSError as exc:
+            raise ReproError(f"cannot write {args.save_spec}: {exc}") from exc
+        print(f"spec written to {args.save_spec}")
+        return 0
+    reporter = LiveReporter()
+    for _ in Workspace().stream(spec, observer=reporter):
+        pass
     return 0
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
     try:
         jobs = load_jobs(args.jobs_file)
-    except (OSError, ValueError) as exc:  # ValueError covers JSONDecodeError
+    except (OSError, ValueError, ReproError) as exc:  # ValueError: JSONDecodeError
         raise ReproError(f"cannot read {args.jobs_file}: {exc}") from exc
     outcomes = run_jobs(jobs, workers=args.workers, return_failures=True)
     done = [o for o in outcomes if isinstance(o, JobResult)]

@@ -2,44 +2,27 @@
 
 ``load_dataset("socio", seed=7)`` is what the CLI, the experiments and the
 benchmarks use, so that every entry point names datasets the same way.
+The names resolve against :data:`repro.registry.DATASETS` — the same
+registry a :class:`~repro.spec.MiningSpec` uses — so registering a new
+dataset factory there makes it available everywhere at once.
 """
 
 from __future__ import annotations
 
-from typing import Callable
-
 from repro.datasets.schema import Dataset
-from repro.datasets.crime import make_crime
-from repro.datasets.mammals import make_mammals
-from repro.datasets.socio import make_socio
-from repro.datasets.synthetic import make_synthetic
-from repro.datasets.water import make_water
-from repro.errors import DataError
-
-_REGISTRY: dict[str, Callable[..., Dataset]] = {
-    "synthetic": make_synthetic,
-    "crime": make_crime,
-    "mammals": make_mammals,
-    "socio": make_socio,
-    "water": make_water,
-}
+from repro.registry import DATASETS
 
 
 def available_datasets() -> list[str]:
     """Names accepted by :func:`load_dataset`, sorted."""
-    return sorted(_REGISTRY)
+    return DATASETS.keys()
 
 
 def load_dataset(name: str, seed: int = 0, **kwargs) -> Dataset:
     """Generate the named dataset with the given seed.
 
     Extra keyword arguments are forwarded to the generator (e.g.
-    ``flip_probability`` for ``synthetic``).
+    ``flip_probability`` for ``synthetic``). Unknown names raise a
+    :class:`~repro.errors.DataError` listing the registered datasets.
     """
-    try:
-        factory = _REGISTRY[name]
-    except KeyError:
-        raise DataError(
-            f"unknown dataset {name!r}; available: {', '.join(available_datasets())}"
-        ) from None
-    return factory(seed, **kwargs)
+    return DATASETS.get(name)(seed, **kwargs)

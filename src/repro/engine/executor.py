@@ -23,11 +23,15 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from functools import partial
 from typing import Any, Callable, Iterable, Protocol, runtime_checkable
 
 from repro.errors import EngineError
+
+#: Pool implementations selectable via :func:`resolve_pool` (and hence
+#: ``MiningService(backend=...)``).
+BACKENDS = ("process", "thread", "serial")
 
 #: Context installed in each pool worker by :func:`_init_worker`.
 _WORKER_CONTEXT: Any = None
@@ -166,14 +170,51 @@ class ProcessExecutor:
         return f"ProcessExecutor(max_workers={self.parallelism})"
 
 
+def normalize_workers(workers: int | None) -> int:
+    """Validate a worker count; ``None`` and ``0`` normalize to 1 (serial).
+
+    The single code path every entry point (CLI ``--workers``, the job
+    runner, the service pool) funnels worker counts through, so the edge
+    cases behave identically everywhere: ``None``/``0``/``1`` mean
+    serial and a negative count is an explicit :class:`EngineError`
+    rather than silently serial.
+    """
+    if workers is None:
+        return 1
+    count = int(workers)
+    if count < 0:
+        raise EngineError(f"worker count must be >= 0, got {count}")
+    return count or 1
+
+
 def resolve_executor(
     workers: int | None, *, start_method: str | None = None
 ) -> Executor:
     """Map a ``--workers`` count to a backend.
 
     ``None``, ``0`` and ``1`` mean serial; anything larger gets a process
-    pool of that size.
+    pool of that size; negative counts raise.
     """
-    if workers is None or workers <= 1:
+    count = normalize_workers(workers)
+    if count <= 1:
         return SerialExecutor()
-    return ProcessExecutor(workers, start_method=start_method)
+    return ProcessExecutor(count, start_method=start_method)
+
+
+def resolve_pool(backend: str, max_workers: int | None):
+    """Map a service backend name + worker count to a futures pool.
+
+    Returns a ``concurrent.futures`` pool for ``"process"``/``"thread"``
+    and ``None`` for ``"serial"`` (execute inline at submit time).
+    Shares :func:`normalize_workers`'s edge-case handling with
+    :func:`resolve_executor`, so the CLI and the service resolve worker
+    counts through one code path.
+    """
+    if backend not in BACKENDS:
+        raise EngineError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    count = normalize_workers(max_workers)
+    if backend == "process":
+        return ProcessPoolExecutor(max_workers=count)
+    if backend == "thread":
+        return ThreadPoolExecutor(max_workers=count)
+    return None

@@ -20,19 +20,33 @@ import numpy as np
 from repro.engine.cache import LRUCache, fingerprint, load_dataset_cached
 from repro.engine.executor import Executor, SerialExecutor, resolve_executor
 from repro.errors import EngineError
+from repro.events import MiningObserver
 from repro.interest.dl import DLParams
 from repro.model.priors import Prior
 from repro.search.config import SearchConfig
 from repro.search.miner import SubgroupDiscovery
-from repro.search.results import MiningIteration
+from repro.search.results import LocationPatternResult, MiningIteration
 
 #: Pattern kinds a job may request, mirroring ``SubgroupDiscovery.step``.
 JOB_KINDS = ("location", "spread")
+
+#: Search strategies the job runner can execute. ``"beam"`` is the
+#: paper's iterative subjective mining loop; ``"branch_bound"`` and
+#: ``"quality_beam"`` are single-shot searches (one location pattern,
+#: no belief-state iteration).
+JOB_STRATEGIES = ("beam", "branch_bound", "quality_beam")
 
 
 @dataclass(frozen=True, eq=True)
 class MiningJob:
     """One self-contained mining run, specified declaratively.
+
+    .. note::
+        As a *public entry point* prefer :class:`repro.spec.MiningSpec`
+        with :class:`repro.api.Workspace` — a spec converts losslessly
+        to a job (:meth:`repro.spec.MiningSpec.to_job`) and back
+        (:meth:`repro.spec.MiningSpec.from_job`). ``MiningJob`` remains
+        the engine's execution unit.
 
     Attributes
     ----------
@@ -55,6 +69,16 @@ class MiningJob:
         Beam-search settings.
     gamma / eta:
         Description-length weights.
+    strategy:
+        ``"beam"`` (default, the paper's iterative loop),
+        ``"branch_bound"`` (provably optimal single location pattern of
+        one target, empirical prior), or ``"quality_beam"`` (classical
+        objective measure driving the same beam). The single-shot
+        strategies require ``kind="location"`` and ``n_iterations=1``.
+    measure:
+        Interestingness measure; ``"si"`` for the subjective strategies,
+        a :data:`repro.registry.MEASURES` key (e.g. ``"mean_shift"``)
+        for ``"quality_beam"``.
     """
 
     dataset: str
@@ -70,6 +94,8 @@ class MiningJob:
     config: SearchConfig = SearchConfig()
     gamma: float = 0.1
     eta: float = 1.0
+    strategy: str = "beam"
+    measure: str = "si"
 
     def __post_init__(self) -> None:
         if not self.dataset:
@@ -88,11 +114,53 @@ class MiningJob:
             isinstance(self.prior, dict) and {"mean", "cov"} <= set(self.prior)
         ):
             raise EngineError("prior must be a dict with 'mean' and 'cov'")
+        self._validate_strategy()
         if not self.name:
             object.__setattr__(
                 self,
                 "name",
                 f"{self.dataset}/{self.kind}#{self.fingerprint()[:8]}",
+            )
+
+    def _validate_strategy(self) -> None:
+        """Cross-field rules tying strategy, measure, and loop shape."""
+        if self.strategy not in JOB_STRATEGIES:
+            raise EngineError(
+                f"strategy must be one of {JOB_STRATEGIES}, got {self.strategy!r}"
+            )
+        if self.strategy in ("beam", "branch_bound") and self.measure != "si":
+            raise EngineError(
+                f"strategy {self.strategy!r} scores with the subjective 'si' "
+                f"measure; use strategy='quality_beam' for {self.measure!r}"
+            )
+        if self.strategy == "beam":
+            return
+        if self.strategy == "quality_beam":
+            if self.measure == "si":
+                raise EngineError(
+                    "quality_beam needs a classical measure (e.g. 'mean_shift'); "
+                    "use strategy='beam' for 'si'"
+                )
+            # Validate the measure eagerly (matching the spec layer) so a
+            # typo'd batch entry fails at load time, not mid-fan-out.
+            from repro.registry import MEASURES
+
+            MEASURES.get(self.measure)
+        if self.kind != "location":
+            raise EngineError(
+                f"strategy {self.strategy!r} mines location patterns only"
+            )
+        if self.n_iterations != 1:
+            raise EngineError(
+                f"strategy {self.strategy!r} is single-shot (no belief-state "
+                f"iteration); n_iterations must be 1, got {self.n_iterations}"
+            )
+        if self.prior is not None:
+            # branch_bound builds its own fresh model and quality_beam
+            # scores its result SI against the empirical model — neither
+            # can honor a stated prior, so reject instead of ignoring it.
+            raise EngineError(
+                f"strategy {self.strategy!r} always uses the empirical prior"
             )
 
     # ------------------------------------------------------------------ #
@@ -119,6 +187,8 @@ class MiningJob:
             "config": self.config.to_dict(),
             "gamma": self.gamma,
             "eta": self.eta,
+            "strategy": self.strategy,
+            "measure": self.measure,
         }
 
     def fingerprint(self) -> str:
@@ -176,16 +246,97 @@ class JobFailure:
         return f"[{self.job.name}] FAILED: {self.error}"
 
 
+def _single_shot_iteration(job: MiningJob, dataset) -> MiningIteration:
+    """Run a non-iterative strategy; one location pattern, index 1.
+
+    ``branch_bound`` returns the provably optimal location pattern of a
+    single target (already SI-scored); ``quality_beam`` mines with a
+    classical :data:`repro.registry.MEASURES` measure, then scores the
+    winner's SI under a fresh empirical model so its result record is
+    comparable with the subjective strategies (the setup of the paper's
+    §IV comparison).
+    """
+    from repro.registry import MEASURES
+
+    narrowed = (
+        dataset.with_targets(list(job.targets)) if job.targets is not None else dataset
+    )
+    if job.strategy == "branch_bound":
+        from repro.search.branch_bound import find_optimal_location
+
+        if narrowed.n_targets != 1:
+            raise EngineError(
+                f"branch_bound needs exactly one target attribute; "
+                f"{job.dataset!r} has {narrowed.n_targets} "
+                f"({', '.join(narrowed.target_names)}) — select one via "
+                f"targets=('name',) (the spec's dataset section, or "
+                f"--targets on the CLI)"
+            )
+        result = find_optimal_location(
+            narrowed, config=job.config, dl_params=job.dl_params()
+        )
+        best = result.best
+        if best is None:
+            raise EngineError(
+                "branch-and-bound found no admissible subgroup; relax "
+                "min_coverage or max_coverage_fraction"
+            )
+        observed = best.observed_mean
+        score = best.score
+    else:  # quality_beam
+        from repro.baselines.beam import QualityBeamSearch
+        from repro.interest.si import score_location
+        from repro.lang.refinement import RefinementOperator
+        from repro.model.background import BackgroundModel
+
+        operator = RefinementOperator(
+            narrowed,
+            n_split_points=job.config.n_split_points,
+            strategy=job.config.split_strategy,
+            attributes=job.config.attributes,
+        )
+        quality = MEASURES.get(job.measure)(narrowed.targets)
+        search = QualityBeamSearch(operator, quality, config=job.config)
+        outcome = search.run()
+        best = outcome.best
+        if best is None:
+            raise EngineError(
+                f"quality beam ({job.measure}) found no admissible subgroup"
+            )
+        mask = np.zeros(narrowed.n_rows, dtype=bool)
+        mask[best.indices] = True
+        observed = narrowed.targets[mask].mean(axis=0)
+        score = score_location(
+            BackgroundModel.from_targets(narrowed.targets),
+            mask,
+            observed,
+            len(best.description),
+            params=job.dl_params(),
+        )
+    location = LocationPatternResult(
+        description=best.description,
+        indices=best.indices,
+        mean=observed,
+        score=score,
+        coverage=best.indices.shape[0] / narrowed.n_rows,
+    )
+    return MiningIteration(index=1, location=location)
+
+
 def run_job(
     job: MiningJob,
     *,
     executor: Executor | None = None,
     dataset_cache: LRUCache | None = None,
+    observer: MiningObserver | None = None,
 ) -> JobResult:
     """Execute one job start-to-finish and return its result.
 
     ``executor`` parallelizes *inside* the job (beam levels, spread
     restarts); leave it serial when the jobs themselves are fanned out.
+    The single-shot strategies are sequential algorithms and ignore it.
+    ``observer`` receives candidate/iteration events live (beam
+    strategy) or the single iteration of a single-shot strategy.
     """
     dataset = load_dataset_cached(
         job.dataset,
@@ -193,17 +344,23 @@ def run_job(
         cache=dataset_cache,
         **job.dataset_kwargs,
     )
-    miner = SubgroupDiscovery(
-        dataset,
-        targets=list(job.targets) if job.targets is not None else None,
-        prior=job.build_prior(),
-        config=job.config,
-        dl_params=job.dl_params(),
-        seed=job.seed,
-        executor=executor or SerialExecutor(),
-    )
     started = time.perf_counter()
-    iterations = miner.run(job.n_iterations, kind=job.kind, sparsity=job.sparsity)
+    if job.strategy == "beam":
+        miner = SubgroupDiscovery(
+            dataset,
+            targets=list(job.targets) if job.targets is not None else None,
+            prior=job.build_prior(),
+            config=job.config,
+            dl_params=job.dl_params(),
+            seed=job.seed,
+            executor=executor or SerialExecutor(),
+            observer=observer,
+        )
+        iterations = miner.run(job.n_iterations, kind=job.kind, sparsity=job.sparsity)
+    else:
+        iterations = [_single_shot_iteration(job, dataset)]
+        if observer is not None:
+            observer.on_iteration(iterations[0])
     return JobResult(
         job=job,
         iterations=tuple(iterations),
@@ -214,6 +371,21 @@ def run_job(
 def _run_job_task(job: MiningJob) -> JobResult:
     """Module-level job entry point so process pools can import it."""
     return run_job(job)
+
+
+def run_job_with_workers(
+    job: MiningJob, workers: int | None, start_method: str | None = None
+) -> JobResult:
+    """:func:`run_job` with the executor resolved from a worker count.
+
+    Module-level and picklable, so a service pool can honor a spec's
+    ``executor.workers`` (and ``start_method``) inside its worker
+    processes (nested pools are legal; the determinism contract keeps
+    the results identical at any count).
+    """
+    return run_job(
+        job, executor=resolve_executor(workers, start_method=start_method)
+    )
 
 
 def _run_job_isolated(job: MiningJob) -> JobResult | JobFailure:

@@ -13,21 +13,59 @@ from __future__ import annotations
 import itertools
 import threading
 import time
-from concurrent.futures import (
-    CancelledError,
-    Future,
-    ProcessPoolExecutor,
-    ThreadPoolExecutor,
-)
+from concurrent.futures import CancelledError, Future
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from enum import Enum
 
 from repro.engine.cache import LRUCache
-from repro.engine.jobs import JobResult, MiningJob, run_job
-from repro.errors import EngineError
 
-#: Pool implementations selectable via ``MiningService(backend=...)``.
-BACKENDS = ("process", "thread", "serial")
+# BACKENDS moved to the executor module with the pool-resolution dedup;
+# re-imported here so `from repro.engine.service import BACKENDS` (its
+# pre-move home) keeps working.
+from repro.engine.executor import BACKENDS, resolve_executor, resolve_pool
+
+__all__ = ["BACKENDS", "JobStatus", "MiningService"]
+from repro.engine.jobs import JobResult, MiningJob, run_job, run_job_with_workers
+from repro.errors import EngineError
+from repro.events import MiningObserver, broadcast
+
+
+class _SwallowingObserver(MiningObserver):
+    """Delivers events to an inner observer, discarding its exceptions.
+
+    The serial backend fires events live inside ``run_job``; without
+    this wrapper a raising observer would abort (and fail) a mining run
+    that actually succeeded, while the pooled backends — whose replayed
+    events are guarded in ``_announce`` — would report the same job
+    DONE. One swallow policy, every backend.
+    """
+
+    def __init__(self, inner: MiningObserver) -> None:
+        self._inner = inner
+
+    def on_candidate(self, candidate) -> None:
+        try:
+            self._inner.on_candidate(candidate)
+        except Exception:
+            pass
+
+    def on_iteration(self, iteration) -> None:
+        try:
+            self._inner.on_iteration(iteration)
+        except Exception:
+            pass
+
+    def on_job(self, result) -> None:
+        try:
+            self._inner.on_job(result)
+        except Exception:
+            pass
+
+    def on_job_failed(self, job, error) -> None:
+        try:
+            self._inner.on_job_failed(job, error)
+        except Exception:
+            pass
 
 
 class JobStatus(str, Enum):
@@ -43,6 +81,12 @@ class JobStatus(str, Enum):
 class MiningService:
     """Bounded concurrent execution of mining jobs with result caching.
 
+    .. note::
+        As a *public entry point* prefer
+        :meth:`repro.api.Workspace.submit`, which feeds declarative
+        :class:`repro.spec.MiningSpec` documents through this service.
+        ``MiningService`` remains the service substrate.
+
     Parameters
     ----------
     max_workers:
@@ -54,6 +98,15 @@ class MiningService:
         ``"serial"`` executes synchronously at submit time.
     cache_size:
         Capacity of the fingerprint-keyed result cache.
+    observer:
+        Optional :class:`~repro.events.MiningObserver`. With the
+        ``"serial"`` backend events fire live during mining; the
+        process/thread pools cannot ship callbacks across workers, so
+        for those backends (and for cache hits) the service *replays*
+        ``on_iteration`` for each mined iteration when a job's result
+        arrives, then fires ``on_job``. A job that raises fires
+        ``on_job_failed`` instead, so every non-cancelled submission
+        ends in exactly one terminal event.
 
     The service is a context manager; leaving the block shuts the pool
     down and waits for running jobs.
@@ -65,19 +118,17 @@ class MiningService:
         max_workers: int = 2,
         backend: str = "process",
         cache_size: int = 64,
+        observer: MiningObserver | None = None,
     ) -> None:
         if max_workers < 1:
             raise EngineError(f"max_workers must be >= 1, got {max_workers}")
-        if backend not in BACKENDS:
-            raise EngineError(f"backend must be one of {BACKENDS}, got {backend!r}")
         self.backend = backend
         self.max_workers = max_workers
-        if backend == "process":
-            self._pool = ProcessPoolExecutor(max_workers=max_workers)
-        elif backend == "thread":
-            self._pool = ThreadPoolExecutor(max_workers=max_workers)
-        else:
-            self._pool = None
+        self._pool = resolve_pool(backend, max_workers)
+        self._observers: list[MiningObserver] = (
+            [observer] if observer is not None else []
+        )
+        self._recompose_observers()
         self._cache = LRUCache(cache_size)
         self._lock = threading.Lock()
         self._futures: dict[str, Future] = {}
@@ -87,28 +138,67 @@ class MiningService:
     # ------------------------------------------------------------------ #
     # Client API
     # ------------------------------------------------------------------ #
-    def submit(self, job: MiningJob) -> str:
-        """Queue a job; returns its id. Cached specs resolve instantly."""
+    def submit(
+        self,
+        job: MiningJob,
+        *,
+        workers: int | None = None,
+        start_method: str | None = None,
+    ) -> str:
+        """Queue a job; returns its id. Cached specs resolve instantly.
+
+        ``workers``/``start_method`` parallelize the search *inside* the
+        job (the spec's executor section); the determinism contract
+        makes them — and hence these parameters — irrelevant to the
+        result, so the cache stays keyed by the job fingerprint alone.
+        """
         if not isinstance(job, MiningJob):
             raise EngineError(f"expected MiningJob, got {type(job).__name__}")
         job_id = f"job-{next(self._ids):04d}"
         fp = job.fingerprint()
         cached = self._cache.get(fp)
+        # Announcements are deferred until the job is registered, so an
+        # observer reacting to on_job can already see it in jobs().
+        announce: tuple[JobResult, bool] | None = None
+        failure: Exception | None = None
         if cached is not None:
             future: Future = Future()
             future.set_result(cached)
+            announce = (cached, True)
         elif self._pool is None:
             future = Future()
             try:
-                future.set_result(self._finish(fp, run_job(job)))
+                # Serial backend: candidate/iteration events fire live
+                # (swallowed on failure — see _SwallowingObserver).
+                result = self._finish(
+                    fp,
+                    run_job(
+                        job,
+                        executor=resolve_executor(
+                            workers, start_method=start_method
+                        ),
+                        observer=self._live_observer,
+                    ),
+                )
             except Exception as exc:  # surface via result(), like a pool would
                 future.set_exception(exc)
+                failure = exc
+            else:
+                future.set_result(result)
+                announce = (result, False)
         else:
-            future = self._pool.submit(run_job, job)
-            future.add_done_callback(self._make_cache_callback(fp))
+            future = self._pool.submit(
+                run_job_with_workers, job, workers, start_method
+            )
         with self._lock:
             self._futures[job_id] = future
             self._jobs[job_id] = job
+        if announce is not None:
+            self._announce(announce[0], replay_iterations=announce[1])
+        elif failure is not None and self._live_observer is not None:
+            self._live_observer.on_job_failed(job, failure)
+        elif self._pool is not None:
+            future.add_done_callback(self._make_cache_callback(job, fp))
         return job_id
 
     def status(self, job_id: str) -> JobStatus:
@@ -173,6 +263,39 @@ class MiningService:
                 pass
         return self.jobs()
 
+    def _recompose_observers(self) -> None:
+        composed = broadcast(*self._observers)
+        self._observer = composed
+        self._live_observer = (
+            _SwallowingObserver(composed) if composed is not None else None
+        )
+
+    def add_observer(self, observer: MiningObserver | None) -> None:
+        """Compose another observer onto the service's event stream.
+
+        Delivery reads the observer set at event time, so the new
+        observer also hears pooled jobs already in flight when their
+        results arrive; ``None`` is a no-op. Lets a
+        :class:`repro.api.Workspace` attach its observer to an
+        externally constructed service; detach with
+        :meth:`remove_observer`.
+        """
+        if observer is None:
+            return
+        self._observers.append(observer)
+        self._recompose_observers()
+
+    def remove_observer(self, observer: MiningObserver | None) -> None:
+        """Detach a previously attached observer (unknown ones: no-op).
+
+        A :class:`repro.api.Workspace` sharing this service calls this
+        on close, so successive workspaces do not accumulate each
+        other's observers.
+        """
+        if observer in self._observers:
+            self._observers.remove(observer)
+            self._recompose_observers()
+
     @property
     def cache_stats(self):
         """Hit/miss counters of the result cache."""
@@ -206,9 +329,38 @@ class MiningService:
         self._cache.put(fp, result)
         return result
 
-    def _make_cache_callback(self, fp: str):
+    def _announce(self, result: JobResult, *, replay_iterations: bool) -> None:
+        """Deliver a finished job to the observer (replaying if asked).
+
+        Pool workers cannot call back into this process mid-job, so the
+        pooled backends (and cache hits) replay ``on_iteration`` events
+        here, post hoc; the serial backend already fired them live and
+        only needs ``on_job``. A raising observer must not corrupt job
+        bookkeeping — the result is already stored and the future
+        resolved — so delivery failures are swallowed here, uniformly
+        across backends (the same contract ``concurrent.futures`` gives
+        done-callbacks).
+        """
+        if self._live_observer is None:
+            return
+        # Route through the swallowing wrapper so one raising event does
+        # not starve the later ones — the same per-event policy the
+        # serial backend's live delivery gets.
+        if replay_iterations:
+            for iteration in result.iterations:
+                self._live_observer.on_iteration(iteration)
+        self._live_observer.on_job(result)
+
+    def _make_cache_callback(self, job: MiningJob, fp: str):
         def _store(future: Future) -> None:
-            if not future.cancelled() and future.exception() is None:
-                self._cache.put(fp, future.result())
+            if future.cancelled():
+                return
+            exc = future.exception()
+            if exc is None:
+                result = future.result()
+                self._cache.put(fp, result)
+                self._announce(result, replay_iterations=True)
+            elif self._live_observer is not None:
+                self._live_observer.on_job_failed(job, exc)
 
         return _store

@@ -1,0 +1,165 @@
+"""Streaming events: watch the mining loop while it runs.
+
+The paper frames mining as a dialogue; this module is the wire the
+dialogue travels over. A :class:`MiningObserver` receives
+
+- ``on_candidate`` — every admissible subgroup the beam search scores,
+  in generation order (fired by
+  :class:`~repro.search.beam.LocationBeamSearch`);
+- ``on_iteration`` — each completed mining iteration, the moment it is
+  assimilated (fired by :class:`~repro.search.miner.SubgroupDiscovery`
+  and by the job runner's single-shot strategies);
+- ``on_job`` — a whole job's result (fired by
+  :class:`~repro.api.Workspace` and :class:`~repro.engine.service.MiningService`).
+
+Observers are the *synchronous substrate* for the ROADMAP's async/
+streaming front-end: an asyncio layer only needs to bridge these
+callbacks onto a queue. Inline and session execution fire events live;
+the service's process/thread pools cannot ship callbacks across workers,
+so they *replay* ``on_iteration`` events when a job's result arrives
+(documented on :class:`~repro.engine.service.MiningService`).
+
+Observers must not mutate what they are handed — results are shared with
+the mining loop — and should be cheap: ``on_candidate`` fires for every
+scored subgroup (hundreds per beam level).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import-cycle-free type hints only
+    from repro.engine.jobs import JobResult
+    from repro.search.results import MiningIteration, ScoredSubgroup
+
+
+class MiningObserver:
+    """Base observer: every hook is a no-op; override what you need."""
+
+    def on_candidate(self, candidate: "ScoredSubgroup") -> None:
+        """One scored beam candidate (fires for *every* admissible one)."""
+
+    def on_iteration(self, iteration: "MiningIteration") -> None:
+        """One completed (and assimilated) mining iteration."""
+
+    def on_job(self, result: "JobResult") -> None:
+        """One whole job finished."""
+
+    def on_job_failed(self, job, error: BaseException) -> None:
+        """One job raised instead of mining (fired by the service).
+
+        Every submitted job ends in exactly one of ``on_job`` or
+        ``on_job_failed`` (cancellation excepted), so an event-driven
+        consumer never waits forever on a failed run.
+        """
+
+
+class CallbackObserver(MiningObserver):
+    """Adapter from plain callables to the observer protocol.
+
+    >>> obs = CallbackObserver(on_iteration=lambda it: print(it.location))
+    """
+
+    def __init__(
+        self,
+        *,
+        on_candidate: Callable | None = None,
+        on_iteration: Callable | None = None,
+        on_job: Callable | None = None,
+        on_job_failed: Callable | None = None,
+    ) -> None:
+        self._on_candidate = on_candidate
+        self._on_iteration = on_iteration
+        self._on_job = on_job
+        self._on_job_failed = on_job_failed
+
+    def on_candidate(self, candidate: "ScoredSubgroup") -> None:
+        """Forward to the ``on_candidate`` callable, if given."""
+        if self._on_candidate is not None:
+            self._on_candidate(candidate)
+
+    def on_iteration(self, iteration: "MiningIteration") -> None:
+        """Forward to the ``on_iteration`` callable, if given."""
+        if self._on_iteration is not None:
+            self._on_iteration(iteration)
+
+    def on_job(self, result: "JobResult") -> None:
+        """Forward to the ``on_job`` callable, if given."""
+        if self._on_job is not None:
+            self._on_job(result)
+
+    def on_job_failed(self, job, error: BaseException) -> None:
+        """Forward to the ``on_job_failed`` callable, if given."""
+        if self._on_job_failed is not None:
+            self._on_job_failed(job, error)
+
+
+class EventLog(MiningObserver):
+    """An observer that records everything it sees (handy in tests)."""
+
+    def __init__(self) -> None:
+        self.candidates: list = []
+        self.iterations: list = []
+        self.jobs: list = []
+        self.failures: list = []
+
+    def on_candidate(self, candidate: "ScoredSubgroup") -> None:
+        """Append the candidate to :attr:`candidates`."""
+        self.candidates.append(candidate)
+
+    def on_iteration(self, iteration: "MiningIteration") -> None:
+        """Append the iteration to :attr:`iterations`."""
+        self.iterations.append(iteration)
+
+    def on_job(self, result: "JobResult") -> None:
+        """Append the result to :attr:`jobs`."""
+        self.jobs.append(result)
+
+    def on_job_failed(self, job, error: BaseException) -> None:
+        """Append ``(job, error)`` to :attr:`failures`."""
+        self.failures.append((job, error))
+
+    def clear(self) -> None:
+        """Forget all recorded events."""
+        self.candidates.clear()
+        self.iterations.clear()
+        self.jobs.clear()
+        self.failures.clear()
+
+
+class _Broadcast(MiningObserver):
+    """Fan one event stream out to several observers, in order."""
+
+    def __init__(self, observers: tuple[MiningObserver, ...]) -> None:
+        self._observers = observers
+
+    def on_candidate(self, candidate: "ScoredSubgroup") -> None:
+        for observer in self._observers:
+            observer.on_candidate(candidate)
+
+    def on_iteration(self, iteration: "MiningIteration") -> None:
+        for observer in self._observers:
+            observer.on_iteration(iteration)
+
+    def on_job(self, result: "JobResult") -> None:
+        for observer in self._observers:
+            observer.on_job(result)
+
+    def on_job_failed(self, job, error: BaseException) -> None:
+        for observer in self._observers:
+            observer.on_job_failed(job, error)
+
+
+def broadcast(*observers: MiningObserver | None) -> MiningObserver | None:
+    """Compose observers; ``None`` entries are dropped.
+
+    Returns ``None`` when nothing remains (so callers can keep their
+    fast ``observer is None`` paths), the sole observer when exactly one
+    remains, and a broadcasting wrapper otherwise.
+    """
+    remaining = tuple(obs for obs in observers if obs is not None)
+    if not remaining:
+        return None
+    if len(remaining) == 1:
+        return remaining[0]
+    return _Broadcast(remaining)

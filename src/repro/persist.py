@@ -7,8 +7,9 @@ JSON (numpy arrays become lists; no pickle, no code execution on load).
 
 Round-trips covered: conditions/descriptions, pattern constraints, the
 Gaussian background model (prior + blocks + constraints), the result
-records of the searches, and the engine's declarative mining jobs
-(search configs, job specs, batch files, job results).
+records of the searches, the engine's declarative mining jobs
+(search configs, job specs, batch files, job results), and the unified
+:class:`~repro.spec.MiningSpec` documents the Workspace front door runs.
 """
 
 from __future__ import annotations
@@ -21,6 +22,7 @@ import numpy as np
 from repro.engine.jobs import JobResult, MiningJob
 from repro.errors import ReproError
 from repro.search.config import SearchConfig
+from repro.spec import MiningSpec
 from repro.interest.si import PatternScore
 from repro.lang.conditions import Condition, EqualsCondition, NumericCondition
 from repro.lang.description import Description
@@ -275,7 +277,7 @@ _JOB_KEYS = frozenset(
     {
         "schema", "name", "dataset", "dataset_seed", "dataset_kwargs",
         "targets", "prior", "kind", "sparsity", "n_iterations", "seed",
-        "config", "gamma", "eta",
+        "config", "gamma", "eta", "strategy", "measure",
     }
 )
 
@@ -313,6 +315,8 @@ def job_from_dict(data: dict) -> MiningJob:
             config=search_config_from_dict(data.get("config") or {}),
             gamma=float(data.get("gamma", 0.1)),
             eta=float(data.get("eta", 1.0)),
+            strategy=data.get("strategy", "beam"),
+            measure=data.get("measure", "si"),
         )
     except (TypeError, ValueError) as exc:
         raise ReproError(f"invalid job spec: {exc}") from exc
@@ -379,6 +383,29 @@ def job_result_from_dict(data: dict) -> JobResult:
         iterations=tuple(iterations),
         elapsed_seconds=float(data["elapsed_seconds"]),
     )
+
+
+# --------------------------------------------------------------------- #
+# Mining specs (the unified front-door configuration)
+# --------------------------------------------------------------------- #
+def spec_to_dict(spec: MiningSpec) -> dict:
+    """Serialize a unified mining spec (sectioned, JSON-safe)."""
+    return spec.to_dict()
+
+
+def spec_from_dict(data: dict) -> MiningSpec:
+    """Rebuild a mining spec; unknown sections/keys are ReproErrors."""
+    return MiningSpec.from_dict(data)
+
+
+def save_spec(spec: MiningSpec, path: str | Path) -> Path:
+    """Write one spec to disk (the input of ``sisd mine --spec``)."""
+    return save_json(spec.to_dict(), path)
+
+
+def load_spec(path: str | Path) -> MiningSpec:
+    """Read a spec file back into a validated :class:`MiningSpec`."""
+    return MiningSpec.from_dict(load_json(path))
 
 
 # --------------------------------------------------------------------- #

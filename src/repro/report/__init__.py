@@ -13,6 +13,7 @@ from repro.report.series import (
 )
 from repro.report.tables import format_table
 from repro.report.ascii import bar_chart, render_series, sparkline, text_map
+from repro.report.live import LiveReporter
 
 __all__ = [
     "kde_series",
@@ -24,4 +25,5 @@ __all__ = [
     "sparkline",
     "render_series",
     "text_map",
+    "LiveReporter",
 ]

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.engine.executor import Executor, SerialExecutor
 from repro.errors import SearchError
+from repro.events import MiningObserver
 from repro.interest.dl import LOCATION, DLParams, description_length
 from repro.interest.si import PatternScore
 from repro.lang.description import Description
@@ -161,6 +162,11 @@ class LocationBeamSearch:
         Backend evaluating the per-attribute scoring shards; serial by
         default, and guaranteed to return the serial result at any
         parallelism (see module docstring).
+    observer:
+        Optional :class:`~repro.events.MiningObserver`; its
+        ``on_candidate`` hook fires for every admissible candidate the
+        search scores, in generation order, in the coordinating process
+        (shard scoring may be parallel, event delivery never is).
     """
 
     def __init__(
@@ -171,12 +177,14 @@ class LocationBeamSearch:
         config: SearchConfig = SearchConfig(),
         dl_params: DLParams = DLParams(),
         executor: Executor | None = None,
+        observer: MiningObserver | None = None,
     ) -> None:
         self.operator = operator
         self.scorer = scorer
         self.config = config
         self.dl_params = dl_params
         self.executor = executor if executor is not None else SerialExecutor()
+        self.observer = observer
 
     def run(self) -> SearchResult:
         """Execute the level-wise search; returns the winner and the log."""
@@ -238,6 +246,8 @@ class LocationBeamSearch:
                     )
                     scored.append(entry)
                     log.add(entry)
+                    if self.observer is not None:
+                        self.observer.on_candidate(entry)
 
                 scored.sort(key=lambda e: -e.si)
                 beam = [

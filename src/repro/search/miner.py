@@ -21,6 +21,7 @@ import numpy as np
 from repro.datasets.schema import Dataset
 from repro.engine.executor import Executor, SerialExecutor
 from repro.errors import SearchError
+from repro.events import MiningObserver
 from repro.interest.dl import DLParams
 from repro.interest.si import score_location, score_spread
 from repro.lang.description import Description
@@ -43,6 +44,14 @@ from repro.utils.rng import as_rng
 class SubgroupDiscovery:
     """Iterative miner over one dataset.
 
+    .. note::
+        As a *public entry point* this class is superseded by
+        :class:`repro.api.Workspace` driven by a declarative
+        :class:`repro.spec.MiningSpec` — the Workspace routes one spec
+        to inline, interactive, or service execution and produces
+        byte-identical results. ``SubgroupDiscovery`` remains the
+        execution substrate underneath and keeps working.
+
     Parameters
     ----------
     dataset:
@@ -63,6 +72,10 @@ class SubgroupDiscovery:
         search's restart fan-out (serial by default; a
         :class:`~repro.engine.executor.ProcessExecutor` returns
         identical results, in parallel).
+    observer:
+        Optional :class:`~repro.events.MiningObserver` receiving
+        ``on_candidate`` for every beam candidate scored and
+        ``on_iteration`` for every completed :meth:`step`.
     """
 
     def __init__(
@@ -75,6 +88,7 @@ class SubgroupDiscovery:
         dl_params: DLParams = DLParams(),
         seed=0,
         executor: Executor | None = None,
+        observer: MiningObserver | None = None,
     ) -> None:
         if targets is not None:
             dataset = dataset.with_targets(targets)
@@ -96,6 +110,7 @@ class SubgroupDiscovery:
         self.history: list[MiningIteration] = []
         self._rng = as_rng(seed)
         self.executor = executor if executor is not None else SerialExecutor()
+        self.observer = observer
 
     # ------------------------------------------------------------------ #
     # Single-shot searches
@@ -109,6 +124,7 @@ class SubgroupDiscovery:
             config=self.config,
             dl_params=self.dl_params,
             executor=self.executor,
+            observer=self.observer,
         )
         return search.run()
 
@@ -204,6 +220,8 @@ class SubgroupDiscovery:
             index=len(self.history) + 1, location=location, spread=spread
         )
         self.history.append(iteration)
+        if self.observer is not None:
+            self.observer.on_iteration(iteration)
         return iteration
 
     def run(

@@ -7,19 +7,32 @@ object. It wraps :class:`~repro.search.miner.SubgroupDiscovery` with
 - a full history of shown patterns,
 - snapshot/undo (step back without refitting from scratch),
 - a formatted session report, and
-- JSON save/resume of the belief state (via :mod:`repro.persist`).
+- JSON save/resume of the belief state (via :mod:`repro.persist`),
+  including the search RNG state so a resumed session continues
+  bit-identically to an uninterrupted one.
 
 This is the library-level groundwork for the SIDE-style interactive
 exploration the paper's §V plans to integrate with.
+
+.. note::
+    As a *public entry point* this class is superseded by
+    :meth:`repro.api.Workspace.session`, which builds a session from a
+    declarative :class:`repro.spec.MiningSpec`. ``MiningSession``
+    remains the interactive substrate underneath and keeps working.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
 
+import numpy as np
+
 from repro.datasets.schema import Dataset
+from repro.engine.executor import Executor
 from repro.errors import SearchError
+from repro.events import MiningObserver
 from repro.interest.dl import DLParams
+from repro.model.priors import Prior
 from repro.persist import (
     constraint_to_dict,
     load_json,
@@ -32,8 +45,39 @@ from repro.search.miner import SubgroupDiscovery
 from repro.search.results import MiningIteration
 
 
+def _json_safe(obj):
+    """Recursively reduce a bit-generator state dict to JSON-safe types.
+
+    PCG64 (the default) states are plain ints, but ``seed`` accepts any
+    ``numpy.random.Generator`` and e.g. MT19937 keeps its key as an
+    ndarray; numpy's state setters accept the list form back.
+    """
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, dict):
+        return {key: _json_safe(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_json_safe(value) for value in obj]
+    return obj
+
+
+#: Sentinel distinguishing "argument not passed" from an explicit None.
+_UNSET = object()
+
+
 class MiningSession:
-    """A resumable, undoable iterative-mining dialogue over one dataset."""
+    """A resumable, undoable iterative-mining dialogue over one dataset.
+
+    Beyond the dataset, every parameter mirrors
+    :class:`~repro.search.miner.SubgroupDiscovery` (which does the
+    mining): ``prior`` pins an explicit background prior, ``executor``
+    parallelizes the searches, ``observer`` streams candidate and
+    iteration events as they happen. ``kind`` and ``sparsity`` set the
+    defaults a bare :meth:`step` uses (a spec-built session steps the
+    way its spec says without re-passing them every call).
+    """
 
     def __init__(
         self,
@@ -42,10 +86,23 @@ class MiningSession:
         config: SearchConfig = SearchConfig(),
         dl_params: DLParams = DLParams(),
         seed=0,
+        prior: Prior | None = None,
+        executor: Executor | None = None,
+        observer: MiningObserver | None = None,
+        kind: str = "location",
+        sparsity: int | None = None,
     ) -> None:
         self.dataset = dataset
+        self.default_kind = kind
+        self.default_sparsity = sparsity
         self.miner = SubgroupDiscovery(
-            dataset, config=config, dl_params=dl_params, seed=seed
+            dataset,
+            config=config,
+            dl_params=dl_params,
+            seed=seed,
+            prior=prior,
+            executor=executor,
+            observer=observer,
         )
         self._snapshots = [self.miner.model.copy()]
 
@@ -60,10 +117,17 @@ class MiningSession:
     def n_iterations(self) -> int:
         return len(self.miner.history)
 
-    def step(self, *, kind: str = "location", sparsity: int | None = None) -> MiningIteration:
-        """One mining iteration; the pre-step model is snapshotted."""
+    def step(self, *, kind: str | None = None, sparsity=_UNSET) -> MiningIteration:
+        """One mining iteration; the pre-step model is snapshotted.
+
+        ``kind``/``sparsity`` default to the session's construction-time
+        settings, so a spec-built session steps the way its spec says.
+        """
         snapshot = self.miner.model.copy()
-        iteration = self.miner.step(kind=kind, sparsity=sparsity)
+        iteration = self.miner.step(
+            kind=kind if kind is not None else self.default_kind,
+            sparsity=self.default_sparsity if sparsity is _UNSET else sparsity,
+        )
         self._snapshots.append(snapshot)
         return iteration
 
@@ -105,7 +169,13 @@ class MiningSession:
     # Persistence
     # ------------------------------------------------------------------ #
     def save(self, path: str | Path) -> Path:
-        """Persist the belief state (not the dataset) to JSON."""
+        """Persist the belief state (not the dataset) to JSON.
+
+        The document also carries the search RNG state, so
+        :meth:`resume` continues the spread search's random-restart
+        stream exactly where it stopped — ``save -> resume -> step``
+        equals an uninterrupted run, bit for bit.
+        """
         document = {
             "dataset_name": self.dataset.name,
             "n_iterations": self.n_iterations,
@@ -113,6 +183,11 @@ class MiningSession:
             "shown": [
                 constraint_to_dict(c) for c in self.miner.model.constraints
             ],
+            "rng_state": _json_safe(self.miner._rng.bit_generator.state),
+            "step_defaults": {
+                "kind": self.default_kind,
+                "sparsity": self.default_sparsity,
+            },
         }
         return save_json(document, path)
 
@@ -125,12 +200,27 @@ class MiningSession:
         config: SearchConfig = SearchConfig(),
         dl_params: DLParams = DLParams(),
         seed=0,
+        executor: Executor | None = None,
+        observer: MiningObserver | None = None,
+        kind: str | None = None,
+        sparsity=_UNSET,
     ) -> "MiningSession":
         """Rebuild a session's belief state from a saved document.
 
+        There is deliberately no ``prior`` parameter: the saved model
+        *is* the belief state (prior plus everything assimilated), so a
+        prior passed here could only be silently discarded.
+
         The iteration history (descriptions, scores) is not persisted —
         only the belief state matters for what gets mined next — so the
-        resumed session starts with an empty history but the saved model.
+        resumed session starts with an empty history but the saved
+        model, the saved RNG state, and the saved ``step()`` defaults
+        (``kind``/``sparsity``), making the continuation bit-identical
+        to never having stopped; explicit ``kind``/``sparsity``
+        arguments here override the saved defaults. Documents from older
+        versions without ``rng_state``/``step_defaults`` still load;
+        they fall back to the fresh ``seed`` stream and the library
+        defaults.
         """
         document = load_json(path)
         if document.get("dataset_name") != dataset.name:
@@ -138,10 +228,48 @@ class MiningSession:
                 f"saved session is for dataset {document.get('dataset_name')!r}, "
                 f"got {dataset.name!r}"
             )
-        session = cls(dataset, config=config, dl_params=dl_params, seed=seed)
+        saved_defaults = document.get("step_defaults") or {}
+        session = cls(
+            dataset,
+            config=config,
+            dl_params=dl_params,
+            seed=seed,
+            executor=executor,
+            observer=observer,
+            kind=kind if kind is not None else saved_defaults.get("kind", "location"),
+            sparsity=(
+                saved_defaults.get("sparsity") if sparsity is _UNSET else sparsity
+            ),
+        )
         model = model_from_dict(document["model"])
         if model.n_rows != dataset.n_rows:
             raise SearchError("saved model row count does not match dataset")
         session.miner.model = model
         session._snapshots = [model.copy()]
+        rng_state = document.get("rng_state")
+        if rng_state is not None:
+            session.miner._rng = _generator_from_state(rng_state)
         return session
+
+
+def _generator_from_state(rng_state: dict) -> np.random.Generator:
+    """Rebuild the exact generator a saved state dict describes.
+
+    The saved state names its bit generator (``PCG64`` by default,
+    whatever the caller seeded with otherwise), so resume restores the
+    right type no matter what ``seed`` the resuming caller passed — the
+    saved stream always wins.
+    """
+    name = rng_state.get("bit_generator") if isinstance(rng_state, dict) else None
+    bit_generator_cls = getattr(np.random, name, None) if name else None
+    if not (
+        isinstance(bit_generator_cls, type)
+        and issubclass(bit_generator_cls, np.random.BitGenerator)
+    ):
+        raise SearchError(f"saved rng_state names unknown bit generator {name!r}")
+    try:
+        bit_generator = bit_generator_cls()
+        bit_generator.state = rng_state
+    except (TypeError, ValueError) as exc:
+        raise SearchError(f"saved rng_state is corrupt: {exc}") from exc
+    return np.random.Generator(bit_generator)

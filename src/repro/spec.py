@@ -1,0 +1,494 @@
+"""The unified mining configuration: one frozen, validated ``MiningSpec``.
+
+Before this module the library had three competing config surfaces —
+:class:`~repro.search.config.SearchConfig` knobs,
+:class:`~repro.interest.dl.DLParams` weights, and
+:class:`~repro.engine.jobs.MiningJob` kwargs. A :class:`MiningSpec`
+subsumes them all behind six declarative sections:
+
+- :class:`DatasetSpec` — *what data*: a :data:`repro.registry.DATASETS`
+  name, its seed/kwargs, an optional target selection.
+- :class:`LanguageSpec` — *which descriptions*: discretization and the
+  attribute subset the refinement operator searches over.
+- :class:`ModelSpec` — *whose beliefs*: a :data:`repro.registry.MODELS`
+  kind and an optional explicit prior.
+- :class:`InterestSpec` — *what is interesting*: a
+  :data:`repro.registry.MEASURES` name plus the DL weights.
+- :class:`SearchSpec` — *how to look*: a :data:`repro.registry.SEARCHES`
+  strategy and the loop/beam parameters.
+- :class:`ExecutorSpec` — *on what hardware*: worker count and service
+  backend. Excluded from :meth:`MiningSpec.fingerprint`, because the
+  engine's determinism contract makes results executor-independent.
+
+Everything is strings and numbers, so a spec round-trips through JSON
+(:func:`repro.persist.save_spec` / :func:`~repro.persist.load_spec`) and
+one saved file drives all three execution modes of
+:class:`repro.api.Workspace` — inline ``mine``, interactive ``session``,
+service ``submit`` — with byte-identical results.
+
+>>> spec = MiningSpec.build("synthetic", kind="spread", n_iterations=3)
+>>> spec.fingerprint() == MiningSpec.from_dict(spec.to_dict()).fingerprint()
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+
+from repro.engine.cache import fingerprint as _fingerprint
+from repro.engine.jobs import MiningJob
+from repro.errors import ReproError
+from repro.registry import DATASETS, MEASURES, MODELS, SEARCHES
+from repro.search.config import SearchConfig
+
+#: Schema version embedded in serialized specs; bump on breaking changes.
+SPEC_SCHEMA = 1
+
+
+def _section_from_dict(cls, data: dict | None, section: str):
+    """Build one section dataclass from its dict, rejecting unknown keys."""
+    if data is None:
+        data = {}
+    if not isinstance(data, dict):
+        raise ReproError(f"spec section {section!r} must be an object, got {data!r}")
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ReproError(
+            f"unknown keys in spec section {section!r}: {sorted(unknown)}"
+        )
+    try:
+        return cls(**data)
+    except TypeError as exc:
+        raise ReproError(f"invalid spec section {section!r}: {exc}") from exc
+
+
+def _name_tuple(value, field_name: str) -> tuple[str, ...] | None:
+    """Coerce a list of names to a tuple; reject bare strings.
+
+    ``targets="ab"`` would silently become ``('a', 'b')`` under a plain
+    ``tuple()`` — a single name must be spelled as a one-element list.
+    """
+    if value is None:
+        return None
+    if isinstance(value, str):
+        raise ReproError(
+            f"{field_name} must be a list of names, not a bare string; "
+            f"use [{value!r}]"
+        )
+    return tuple(value)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """What data to mine: a registered dataset name plus its parameters."""
+
+    name: str
+    seed: int = 0
+    kwargs: dict = field(default_factory=dict)
+    targets: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ReproError("dataset section needs a non-empty name")
+        if self.kwargs is None:
+            object.__setattr__(self, "kwargs", {})
+        elif not isinstance(self.kwargs, dict):
+            raise ReproError(
+                f"dataset kwargs must be an object, got {self.kwargs!r}"
+            )
+        else:
+            # Defensive copy: mutating the caller's dict afterwards must
+            # not reach inside a validated frozen spec.
+            object.__setattr__(self, "kwargs", dict(self.kwargs))
+        object.__setattr__(self, "targets", _name_tuple(self.targets, "targets"))
+
+
+@dataclass(frozen=True)
+class LanguageSpec:
+    """Which description language: discretization and attribute subset."""
+
+    n_split_points: int = 4
+    split_strategy: str = "percentile"
+    attributes: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "attributes", _name_tuple(self.attributes, "attributes")
+        )
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Whose beliefs: the background-model kind and an optional prior."""
+
+    kind: str = "gaussian"
+    prior: dict | None = None
+
+    def __post_init__(self) -> None:
+        if self.prior is not None:
+            if not (
+                isinstance(self.prior, dict) and {"mean", "cov"} <= set(self.prior)
+            ):
+                raise ReproError("model prior must be a dict with 'mean' and 'cov'")
+            object.__setattr__(self, "prior", dict(self.prior))
+
+
+@dataclass(frozen=True)
+class InterestSpec:
+    """What counts as interesting: the measure and the DL weights."""
+
+    measure: str = "si"
+    gamma: float = 0.1
+    eta: float = 1.0
+
+
+@dataclass(frozen=True)
+class SearchSpec:
+    """How to look: the strategy plus loop and beam parameters."""
+
+    strategy: str = "beam"
+    kind: str = "location"
+    n_iterations: int = 1
+    sparsity: int | None = None
+    seed: int = 0
+    beam_width: int = 40
+    max_depth: int = 4
+    top_k: int = 150
+    min_coverage: int = 2
+    max_coverage_fraction: float = 1.0
+    time_budget_seconds: float | None = None
+
+
+@dataclass(frozen=True)
+class ExecutorSpec:
+    """On what hardware: in-search workers and the service backend.
+
+    ``workers`` parallelizes the ``"beam"`` strategy's search (its
+    scoring shards and spread restarts; 0/1 = serial) — the single-shot
+    strategies (``branch_bound``, ``quality_beam``) are sequential
+    algorithms and always run serial regardless of this setting.
+    ``backend`` is the service pool a :class:`repro.api.Workspace`
+    creates when this spec's :meth:`~repro.api.Workspace.submit` has to
+    build one (an explicit ``Workspace(service_backend=...)`` wins).
+    Never part of the fingerprint — the determinism contract guarantees
+    the same patterns at any worker count.
+    """
+
+    workers: int = 1
+    backend: str = "process"
+    start_method: str | None = None
+
+    def __post_init__(self) -> None:
+        from repro.engine.executor import BACKENDS, normalize_workers
+
+        normalize_workers(self.workers)  # rejects negative counts eagerly
+        if self.backend not in BACKENDS:
+            raise ReproError(
+                f"executor backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        # Validated against the universal name set, not this platform's
+        # multiprocessing.get_all_start_methods(): a spec file written on
+        # Linux must still *load* on spawn-only platforms (whether the
+        # method runs there is an execution-time concern).
+        if self.start_method is not None and self.start_method not in (
+            "fork", "spawn", "forkserver",
+        ):
+            raise ReproError(
+                f"executor start_method must be one of "
+                f"('fork', 'spawn', 'forkserver'), got {self.start_method!r}"
+            )
+
+
+#: Flat keyword -> (section, field) routing used by :meth:`MiningSpec.build`.
+_FLAT_FIELDS: dict[str, tuple[str, str]] = {
+    "dataset_seed": ("dataset", "seed"),
+    "dataset_kwargs": ("dataset", "kwargs"),
+    "targets": ("dataset", "targets"),
+    "n_split_points": ("language", "n_split_points"),
+    "split_strategy": ("language", "split_strategy"),
+    "attributes": ("language", "attributes"),
+    "model": ("model", "kind"),
+    "prior": ("model", "prior"),
+    "measure": ("interest", "measure"),
+    "gamma": ("interest", "gamma"),
+    "eta": ("interest", "eta"),
+    "strategy": ("search", "strategy"),
+    "kind": ("search", "kind"),
+    "n_iterations": ("search", "n_iterations"),
+    "sparsity": ("search", "sparsity"),
+    "seed": ("search", "seed"),
+    "beam_width": ("search", "beam_width"),
+    "max_depth": ("search", "max_depth"),
+    "top_k": ("search", "top_k"),
+    "min_coverage": ("search", "min_coverage"),
+    "max_coverage_fraction": ("search", "max_coverage_fraction"),
+    "time_budget_seconds": ("search", "time_budget_seconds"),
+    "workers": ("executor", "workers"),
+    "backend": ("executor", "backend"),
+    "start_method": ("executor", "start_method"),
+}
+
+_SECTIONS = ("dataset", "language", "model", "interest", "search", "executor")
+_SECTION_CLASSES = {
+    "dataset": DatasetSpec,
+    "language": LanguageSpec,
+    "model": ModelSpec,
+    "interest": InterestSpec,
+    "search": SearchSpec,
+    "executor": ExecutorSpec,
+}
+
+
+@dataclass(frozen=True)
+class MiningSpec:
+    """One frozen, validated, JSON-round-trippable mining configuration.
+
+    Construction validates everything eagerly: registry keys resolve
+    (with errors listing what *is* registered), the search numbers
+    satisfy :class:`~repro.search.config.SearchConfig`'s invariants, and
+    the strategy/measure/loop cross-rules of
+    :class:`~repro.engine.jobs.MiningJob` hold — so a spec that exists
+    is a spec that runs.
+
+    ``dataset`` may be given as a bare name string; it is promoted to a
+    :class:`DatasetSpec`.
+    """
+
+    dataset: DatasetSpec
+    language: LanguageSpec = LanguageSpec()
+    model: ModelSpec = ModelSpec()
+    interest: InterestSpec = InterestSpec()
+    search: SearchSpec = SearchSpec()
+    executor: ExecutorSpec = ExecutorSpec()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if isinstance(self.dataset, str):
+            object.__setattr__(self, "dataset", DatasetSpec(self.dataset))
+        DATASETS.get(self.dataset.name)
+        SEARCHES.get(self.search.strategy)
+        MODELS.get(self.model.kind)
+        MEASURES.get(self.interest.measure)
+        if self.model.kind != "gaussian":
+            raise ReproError(
+                f"the mining loop currently executes the 'gaussian' background "
+                f"model only; {self.model.kind!r} is registered but not yet "
+                f"drivable from a spec"
+            )
+        # Building the equivalent job validates both the numeric search
+        # invariants (via SearchConfig) and the strategy/measure/loop
+        # cross-rules, so an invalid spec cannot be constructed.
+        self.to_job()
+
+    def __hash__(self) -> int:
+        # The generated frozen-dataclass hash would choke on the dict
+        # fields (dataset kwargs, model prior); hashing the work digest
+        # keeps specs usable in sets and consistent with __eq__ on
+        # everything but the excluded name/executor labels.
+        return hash(self.fingerprint())
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _route_flat(kwargs: dict) -> dict[str, dict]:
+        """Route flat keywords to ``{section: {field: value}}`` dicts."""
+        sections: dict[str, dict] = {}
+        for key, value in kwargs.items():
+            try:
+                section, field_name = _FLAT_FIELDS[key]
+            except KeyError:
+                raise ReproError(
+                    f"unknown spec keyword {key!r}; accepted: "
+                    f"{', '.join(sorted(_FLAT_FIELDS))}"
+                ) from None
+            sections.setdefault(section, {})[field_name] = value
+        return sections
+
+    @classmethod
+    def build(cls, dataset: str, *, name: str = "", **kwargs) -> "MiningSpec":
+        """Flat-keyword constructor: route each kwarg to its section.
+
+        ``MiningSpec.build("water", kind="spread", workers=4)`` spares
+        callers (the CLI, quick scripts) the nested section spelling.
+        ``seed`` is the mining seed; ``dataset_seed`` seeds the dataset
+        generator. Unknown keywords raise, listing what is accepted.
+        """
+        routed = cls._route_flat(kwargs)
+        routed.setdefault("dataset", {})["name"] = dataset
+        return cls(
+            name=name,
+            **{
+                section: _SECTION_CLASSES[section](**routed.get(section, {}))
+                for section in _SECTIONS
+            },
+        )
+
+    def with_changes(self, **kwargs) -> "MiningSpec":
+        """A copy with flat keywords applied (see :meth:`build`)."""
+        name = kwargs.pop("name", self.name)
+        updated = {
+            section: replace(getattr(self, section), **values)
+            for section, values in self._route_flat(kwargs).items()
+        }
+        return replace(self, name=name, **updated)
+
+    # ------------------------------------------------------------------ #
+    # Derived configuration
+    # ------------------------------------------------------------------ #
+    def search_config(self) -> SearchConfig:
+        """The language + search sections merged into a SearchConfig."""
+        return SearchConfig(
+            beam_width=self.search.beam_width,
+            max_depth=self.search.max_depth,
+            top_k=self.search.top_k,
+            n_split_points=self.language.n_split_points,
+            split_strategy=self.language.split_strategy,
+            min_coverage=self.search.min_coverage,
+            max_coverage_fraction=self.search.max_coverage_fraction,
+            time_budget_seconds=self.search.time_budget_seconds,
+            attributes=self.language.attributes,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Job interop
+    # ------------------------------------------------------------------ #
+    def to_job(self) -> MiningJob:
+        """The equivalent declarative job (the engine's execution unit)."""
+        return MiningJob(
+            dataset=self.dataset.name,
+            name=self.name,
+            dataset_seed=self.dataset.seed,
+            dataset_kwargs=dict(self.dataset.kwargs),
+            targets=self.dataset.targets,
+            prior=self.model.prior,
+            kind=self.search.kind,
+            sparsity=self.search.sparsity,
+            n_iterations=self.search.n_iterations,
+            seed=self.search.seed,
+            config=self.search_config(),
+            gamma=self.interest.gamma,
+            eta=self.interest.eta,
+            strategy=self.search.strategy,
+            measure=self.interest.measure,
+        )
+
+    @classmethod
+    def from_job(cls, job: MiningJob) -> "MiningSpec":
+        """Lift a legacy job into the sectioned spec form."""
+        config = job.config
+        return cls(
+            dataset=DatasetSpec(
+                name=job.dataset,
+                seed=job.dataset_seed,
+                kwargs=dict(job.dataset_kwargs),
+                targets=job.targets,
+            ),
+            language=LanguageSpec(
+                n_split_points=config.n_split_points,
+                split_strategy=config.split_strategy,
+                attributes=config.attributes,
+            ),
+            model=ModelSpec(prior=job.prior),
+            interest=InterestSpec(
+                measure=job.measure, gamma=job.gamma, eta=job.eta
+            ),
+            search=SearchSpec(
+                strategy=job.strategy,
+                kind=job.kind,
+                n_iterations=job.n_iterations,
+                sparsity=job.sparsity,
+                seed=job.seed,
+                beam_width=config.beam_width,
+                max_depth=config.max_depth,
+                top_k=config.top_k,
+                min_coverage=config.min_coverage,
+                max_coverage_fraction=config.max_coverage_fraction,
+                time_budget_seconds=config.time_budget_seconds,
+            ),
+            name=job.name,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serialization and identity
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """JSON-safe sectioned form (tuples become lists)."""
+        document: dict = {"schema": SPEC_SCHEMA}
+        if self.name:
+            document["name"] = self.name
+        document["dataset"] = {
+            "name": self.dataset.name,
+            "seed": self.dataset.seed,
+            "kwargs": dict(self.dataset.kwargs),
+            "targets": list(self.dataset.targets)
+            if self.dataset.targets is not None
+            else None,
+        }
+        document["language"] = {
+            "n_split_points": self.language.n_split_points,
+            "split_strategy": self.language.split_strategy,
+            "attributes": list(self.language.attributes)
+            if self.language.attributes is not None
+            else None,
+        }
+        document["model"] = {"kind": self.model.kind, "prior": self.model.prior}
+        document["interest"] = {
+            "measure": self.interest.measure,
+            "gamma": self.interest.gamma,
+            "eta": self.interest.eta,
+        }
+        document["search"] = {
+            f.name: getattr(self.search, f.name) for f in fields(SearchSpec)
+        }
+        document["executor"] = {
+            f.name: getattr(self.executor, f.name) for f in fields(ExecutorSpec)
+        }
+        return document
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MiningSpec":
+        """Rebuild a spec; unknown sections or keys fail loudly.
+
+        Absent sections keep their defaults; ``"dataset"`` may be a bare
+        name string.
+        """
+        if not isinstance(data, dict):
+            raise ReproError(f"spec document must be an object, got {type(data).__name__}")
+        if "dataset" not in data:
+            raise ReproError("spec document needs a 'dataset' section")
+        schema = data.get("schema", SPEC_SCHEMA)
+        if schema != SPEC_SCHEMA:
+            raise ReproError(
+                f"unsupported spec schema {schema!r} (expected {SPEC_SCHEMA})"
+            )
+        unknown = set(data) - set(_SECTIONS) - {"schema", "name"}
+        if unknown:
+            raise ReproError(f"unknown spec sections: {sorted(unknown)}")
+        dataset = data["dataset"]
+        if isinstance(dataset, str):
+            dataset = {"name": dataset}
+        return cls(
+            dataset=_section_from_dict(DatasetSpec, dataset, "dataset"),
+            language=_section_from_dict(LanguageSpec, data.get("language"), "language"),
+            model=_section_from_dict(ModelSpec, data.get("model"), "model"),
+            interest=_section_from_dict(InterestSpec, data.get("interest"), "interest"),
+            search=_section_from_dict(SearchSpec, data.get("search"), "search"),
+            executor=_section_from_dict(ExecutorSpec, data.get("executor"), "executor"),
+            name=data.get("name", ""),
+        )
+
+    def fingerprint(self) -> str:
+        """Stable digest of *what* is mined (name and executor excluded).
+
+        Equal work fingerprints equally regardless of its label or how
+        many workers run it — the executor cannot change the patterns
+        (the engine's determinism contract).
+        """
+        payload = {
+            key: value
+            for key, value in self.to_dict().items()
+            if key not in ("schema", "name", "executor")
+        }
+        return _fingerprint(payload)

@@ -2,11 +2,16 @@
 
 import pytest
 
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
 from repro.engine.executor import (
+    BACKENDS,
     Executor,
     ProcessExecutor,
     SerialExecutor,
+    normalize_workers,
     resolve_executor,
+    resolve_pool,
 )
 from repro.errors import EngineError
 
@@ -69,6 +74,51 @@ class TestResolveExecutor:
         assert isinstance(executor, ProcessExecutor)
         assert executor.parallelism == 3
 
+    @pytest.mark.parametrize("workers", [-1, -10])
+    def test_negative_is_an_explicit_error(self, workers):
+        with pytest.raises(EngineError, match=">= 0"):
+            resolve_executor(workers)
+
     def test_backends_satisfy_protocol(self):
         assert isinstance(SerialExecutor(), Executor)
         assert isinstance(ProcessExecutor(2), Executor)
+
+
+class TestNormalizeWorkers:
+    """The single worker-count code path every entry point shares."""
+
+    @pytest.mark.parametrize("workers,expected", [(None, 1), (0, 1), (1, 1), (7, 7)])
+    def test_edge_cases(self, workers, expected):
+        assert normalize_workers(workers) == expected
+
+    def test_negative_raises(self):
+        with pytest.raises(EngineError, match="worker count"):
+            normalize_workers(-2)
+
+
+class TestResolvePool:
+    """The service's pool selection rides the same code path."""
+
+    def test_serial_backend_is_none(self):
+        assert resolve_pool("serial", 4) is None
+
+    def test_thread_backend(self):
+        pool = resolve_pool("thread", 2)
+        assert isinstance(pool, ThreadPoolExecutor)
+        pool.shutdown()
+
+    def test_process_backend(self):
+        pool = resolve_pool("process", 2)
+        assert isinstance(pool, ProcessPoolExecutor)
+        pool.shutdown()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(EngineError, match="backend"):
+            resolve_pool("quantum", 2)
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(EngineError, match="worker count"):
+            resolve_pool("thread", -1)
+
+    def test_backends_tuple_exported(self):
+        assert BACKENDS == ("process", "thread", "serial")

@@ -61,6 +61,110 @@ class TestMine:
         assert code == 0
         assert "location:" in capsys.readouterr().out
 
+    def test_mine_without_dataset_or_spec_fails_cleanly(self, capsys):
+        assert main(["mine"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestMineSpec:
+    """``mine`` is a thin spec builder; ``--spec`` runs a saved file."""
+
+    def test_save_spec_then_run_spec(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        code = main(
+            ["mine", "synthetic", "--iterations", "1", "--beam-width", "8",
+             "--depth", "2", "--save-spec", str(spec_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "spec written" in out
+        assert "iteration" not in out  # builder mode does not mine
+
+        document = json.loads(spec_path.read_text())
+        assert document["dataset"]["name"] == "synthetic"
+        assert document["search"]["beam_width"] == 8
+
+        assert main(["mine", "--spec", str(spec_path)]) == 0
+        out = capsys.readouterr().out
+        assert "iteration 1" in out
+        assert "location:" in out
+
+    def test_spec_flag_and_dataset_are_mutually_exclusive(self, tmp_path, capsys):
+        assert main(["mine", "synthetic", "--spec", "whatever.json"]) == 1
+        assert "not both" in capsys.readouterr().err
+
+    def test_missing_spec_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["mine", "--spec", str(tmp_path / "nope.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_invalid_spec_file_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"dataset": "synthetic", "sarch": {}}))
+        assert main(["mine", "--spec", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert str(bad) in err  # the failing file is named
+
+    def test_branch_bound_strategy_from_flags(self, capsys):
+        code = main(
+            ["mine", "crime", "--strategy", "branch_bound", "--depth", "1"]
+        )
+        assert code == 0
+        assert "location:" in capsys.readouterr().out
+
+    def test_contradictory_flags_rejected_not_ignored(self, capsys):
+        # Explicit --iterations on a single-shot strategy must error,
+        # not silently mine something else.
+        code = main(
+            ["mine", "crime", "--strategy", "branch_bound", "--depth", "1",
+             "--iterations", "5"]
+        )
+        assert code == 1
+        assert "single-shot" in capsys.readouterr().err
+
+    def test_flags_override_loaded_spec(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        assert main(
+            ["mine", "synthetic", "--iterations", "2", "--beam-width", "8",
+             "--depth", "2", "--save-spec", str(spec_path)]
+        ) == 0
+        capsys.readouterr()
+        # --iterations 1 must override the file's 2, not be ignored.
+        assert main(["mine", "--spec", str(spec_path), "--iterations", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "iteration 1" in out
+        assert "iteration 2" not in out
+
+    def test_default_valued_flags_still_override_spec(self, tmp_path, capsys):
+        # --strategy beam / --measure si spell out library defaults, but
+        # typed explicitly they must still beat the loaded spec.
+        spec_path = tmp_path / "qb.json"
+        assert main(
+            ["mine", "crime", "--strategy", "quality_beam", "--measure",
+             "mean_shift", "--depth", "1", "--beam-width", "6",
+             "--save-spec", str(spec_path)]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["mine", "--spec", str(spec_path), "--strategy", "beam",
+             "--measure", "si", "--iterations", "2"]
+        )
+        assert code == 0
+        # quality_beam rejects n_iterations=2, so reaching iteration 2
+        # proves the strategy override took effect.
+        assert "iteration 2" in capsys.readouterr().out
+
+    def test_targets_flag_selects_branch_bound_target(self, capsys):
+        from repro.datasets import load_dataset
+
+        target = load_dataset("synthetic", seed=0).target_names[0]
+        code = main(
+            ["mine", "synthetic", "--strategy", "branch_bound", "--depth", "1",
+             "--targets", target]
+        )
+        assert code == 0
+        assert "location:" in capsys.readouterr().out
+
 
 class TestBatch:
     @pytest.fixture()

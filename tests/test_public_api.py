@@ -8,10 +8,16 @@ and the headline entry points must be reachable from the top level.
 import importlib
 import inspect
 import pkgutil
+from pathlib import Path
 
 import pytest
 
 import repro
+
+#: The checked-in snapshot of the public surface. Intentional API
+#: changes must update this file (one name per line, sorted), which
+#: makes every addition or removal an explicit, reviewable diff.
+MANIFEST = Path(__file__).parent / "public_api_manifest.txt"
 
 
 class TestExports:
@@ -22,9 +28,19 @@ class TestExports:
     def test_no_duplicate_exports(self):
         assert len(repro.__all__) == len(set(repro.__all__))
 
+    def test_all_matches_checked_in_manifest(self):
+        manifest = MANIFEST.read_text().split()
+        assert manifest == sorted(manifest), "manifest must be sorted"
+        assert sorted(repro.__all__) == manifest, (
+            "repro.__all__ drifted from tests/public_api_manifest.txt; "
+            "if the change is intentional, update the manifest"
+        )
+
     def test_headline_entry_points(self):
         # The objects a user needs for the quickstart, reachable top-level.
         for name in (
+            "Workspace",
+            "MiningSpec",
             "SubgroupDiscovery",
             "load_dataset",
             "BackgroundModel",
@@ -33,6 +49,12 @@ class TestExports:
             "find_optimal_location",
         ):
             assert callable(getattr(repro, name))
+
+    def test_registries_reachable_top_level(self):
+        from repro.registry import Registry
+
+        for name in ("DATASETS", "SEARCHES", "MODELS", "MEASURES"):
+            assert isinstance(getattr(repro, name), Registry)
 
     def test_version_is_semver_like(self):
         parts = repro.__version__.split(".")

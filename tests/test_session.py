@@ -93,3 +93,114 @@ class TestPersistence:
         path = session.save(tmp_path / "session.json")
         with pytest.raises(SearchError, match="dataset"):
             MiningSession.resume(water_dataset, path)
+
+    def test_save_resume_step_equals_uninterrupted_run(
+        self, synthetic_dataset, tmp_path
+    ):
+        """The RNG round-trip: continuation is bit-identical.
+
+        Spread steps consume the random-restart stream, so without the
+        persisted RNG state a resumed session would draw different
+        starting points than the uninterrupted run.
+        """
+        session = MiningSession(synthetic_dataset, seed=0)
+        session.step(kind="spread")
+        path = session.save(tmp_path / "session.json")
+        expected = session.step(kind="spread")
+
+        resumed = MiningSession.resume(synthetic_dataset, path, seed=0)
+        actual = resumed.step(kind="spread")
+        assert str(actual.location.description) == str(expected.location.description)
+        np.testing.assert_array_equal(
+            actual.spread.direction, expected.spread.direction
+        )
+        assert actual.spread.score.ic == expected.spread.score.ic
+        # ...and the RNG streams stay aligned on the step after that.
+        np.testing.assert_array_equal(
+            resumed.step(kind="spread").spread.direction,
+            session.step(kind="spread").spread.direction,
+        )
+
+    def test_rng_state_round_trips_through_json(
+        self, synthetic_dataset, tmp_path
+    ):
+        session = MiningSession(synthetic_dataset, seed=42)
+        session.step(kind="spread")
+        path = session.save(tmp_path / "session.json")
+        resumed = MiningSession.resume(synthetic_dataset, path, seed=42)
+        assert (
+            resumed.miner._rng.bit_generator.state
+            == session.miner._rng.bit_generator.state
+        )
+
+    def test_save_resume_with_non_default_bit_generator(
+        self, synthetic_dataset, tmp_path
+    ):
+        """MT19937 keeps its key as an ndarray; save must still be JSON."""
+        session = MiningSession(
+            synthetic_dataset, seed=np.random.Generator(np.random.MT19937(0))
+        )
+        session.step(kind="spread")
+        path = session.save(tmp_path / "session.json")
+        # The saved state names its bit generator, so resume restores it
+        # even with the default (PCG64) seed argument.
+        resumed = MiningSession.resume(synthetic_dataset, path, seed=0)
+        assert type(resumed.miner._rng.bit_generator).__name__ == "MT19937"
+        expected = session.step(kind="spread")
+        actual = resumed.step(kind="spread")
+        np.testing.assert_array_equal(
+            actual.spread.direction, expected.spread.direction
+        )
+
+    def test_resume_rejects_corrupt_rng_state(self, synthetic_dataset, tmp_path):
+        import json
+
+        session = MiningSession(synthetic_dataset, seed=0)
+        path = session.save(tmp_path / "session.json")
+        document = json.loads(path.read_text())
+        document["rng_state"] = {"bit_generator": "NotAGenerator"}
+        path.write_text(json.dumps(document))
+        with pytest.raises(SearchError, match="bit generator"):
+            MiningSession.resume(synthetic_dataset, path)
+        # A name that exists in np.random but is not a BitGenerator (and
+        # would have nasty side effects if called) is rejected the same way.
+        document["rng_state"] = {"bit_generator": "seed"}
+        path.write_text(json.dumps(document))
+        with pytest.raises(SearchError, match="bit generator"):
+            MiningSession.resume(synthetic_dataset, path)
+
+    def test_resume_restores_step_defaults(self, synthetic_dataset, tmp_path):
+        """A spec-built spread session keeps mining spread after resume."""
+        session = MiningSession(synthetic_dataset, seed=0, kind="spread")
+        session.step()
+        path = session.save(tmp_path / "session.json")
+        expected = session.step()
+
+        resumed = MiningSession.resume(synthetic_dataset, path, seed=0)
+        assert resumed.default_kind == "spread"
+        actual = resumed.step()  # bare step must continue as spread
+        assert actual.spread is not None
+        np.testing.assert_array_equal(
+            actual.spread.direction, expected.spread.direction
+        )
+        # An explicit argument overrides the saved default.
+        override = MiningSession.resume(
+            synthetic_dataset, path, seed=0, kind="location"
+        )
+        assert override.default_kind == "location"
+
+    def test_resume_tolerates_documents_without_rng_state(
+        self, synthetic_dataset, tmp_path
+    ):
+        """Old save files (pre RNG persistence) still load."""
+        import json
+
+        session = MiningSession(synthetic_dataset, seed=0)
+        session.step()
+        path = session.save(tmp_path / "session.json")
+        document = json.loads(path.read_text())
+        del document["rng_state"]
+        path.write_text(json.dumps(document))
+        resumed = MiningSession.resume(synthetic_dataset, path, seed=0)
+        assert resumed.n_iterations == 0
+        resumed.step()  # still mines

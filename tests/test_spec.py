@@ -1,0 +1,275 @@
+"""Tests for the unified, frozen, JSON-round-trippable MiningSpec."""
+
+import json
+
+import pytest
+
+from repro.engine.jobs import MiningJob
+from repro.errors import DataError, EngineError, ReproError, SearchError
+from repro.persist import load_spec, save_spec
+from repro.search.config import SearchConfig
+from repro.spec import (
+    DatasetSpec,
+    ExecutorSpec,
+    InterestSpec,
+    LanguageSpec,
+    MiningSpec,
+    ModelSpec,
+    SearchSpec,
+)
+
+
+class TestConstruction:
+    def test_dataset_string_promoted(self):
+        spec = MiningSpec(dataset="synthetic")
+        assert spec.dataset == DatasetSpec(name="synthetic")
+
+    def test_build_routes_flat_keywords(self):
+        spec = MiningSpec.build(
+            "water",
+            dataset_seed=3,
+            seed=7,
+            kind="spread",
+            n_iterations=2,
+            beam_width=10,
+            gamma=0.5,
+            n_split_points=3,
+            workers=4,
+        )
+        assert spec.dataset.seed == 3
+        assert spec.search.seed == 7
+        assert spec.search.kind == "spread"
+        assert spec.search.beam_width == 10
+        assert spec.interest.gamma == 0.5
+        assert spec.language.n_split_points == 3
+        assert spec.executor.workers == 4
+
+    def test_build_rejects_unknown_keyword(self):
+        with pytest.raises(ReproError, match="unknown spec keyword 'depth'"):
+            MiningSpec.build("synthetic", depth=2)
+
+    def test_with_changes(self):
+        spec = MiningSpec.build("synthetic")
+        changed = spec.with_changes(beam_width=5, gamma=0.9)
+        assert changed.search.beam_width == 5
+        assert changed.interest.gamma == 0.9
+        assert spec.search.beam_width == 40  # original untouched
+
+    def test_unknown_dataset_lists_available(self):
+        with pytest.raises(DataError, match="unknown dataset 'nope'"):
+            MiningSpec.build("nope")
+
+    def test_unknown_strategy_lists_available(self):
+        with pytest.raises(SearchError, match="unknown search strategy"):
+            MiningSpec.build("synthetic", strategy="dfs")
+
+    def test_unknown_measure_rejected(self):
+        with pytest.raises(ReproError, match="interestingness measure"):
+            MiningSpec.build("synthetic", measure="magic")
+
+    def test_non_gaussian_model_rejected_for_now(self):
+        with pytest.raises(ReproError, match="gaussian"):
+            MiningSpec.build("mammals", model="bernoulli")
+
+    def test_search_invariants_enforced(self):
+        with pytest.raises(SearchError, match="beam_width"):
+            MiningSpec.build("synthetic", beam_width=0)
+
+    def test_strategy_cross_rules_enforced(self):
+        with pytest.raises(EngineError, match="single-shot"):
+            MiningSpec.build("crime", strategy="branch_bound", n_iterations=2)
+        with pytest.raises(EngineError, match="quality_beam"):
+            MiningSpec.build("synthetic", strategy="beam", measure="wracc")
+        with pytest.raises(EngineError, match="classical measure"):
+            MiningSpec.build("synthetic", strategy="quality_beam")
+
+    def test_quality_beam_measure_validated_eagerly(self):
+        # A typo'd measure fails at construction, not mid-batch.
+        with pytest.raises(ReproError, match="unknown interestingness measure"):
+            MiningSpec.build("crime", strategy="quality_beam", measure="mean_shfit")
+        with pytest.raises(ReproError, match="unknown interestingness measure"):
+            MiningJob(dataset="crime", strategy="quality_beam", measure="mean_shfit")
+
+
+class TestSerialization:
+    def test_json_round_trip_is_identity(self):
+        spec = MiningSpec.build(
+            "synthetic",
+            kind="spread",
+            n_iterations=2,
+            beam_width=8,
+            sparsity=2,
+            workers=3,
+            name="roundtrip",
+        )
+        rebuilt = MiningSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+
+    def test_save_and_load_spec(self, tmp_path):
+        spec = MiningSpec.build("water", kind="spread", beam_width=6)
+        path = save_spec(spec, tmp_path / "spec.json")
+        assert load_spec(path) == spec
+
+    def test_from_dict_rejects_unknown_sections(self):
+        with pytest.raises(ReproError, match="unknown spec sections"):
+            MiningSpec.from_dict({"dataset": "synthetic", "sarch": {}})
+
+    def test_from_dict_rejects_unknown_section_keys(self):
+        with pytest.raises(ReproError, match="unknown keys in spec section 'search'"):
+            MiningSpec.from_dict(
+                {"dataset": "synthetic", "search": {"beam_widht": 4}}
+            )
+
+    @pytest.mark.parametrize("bad", [[], 0, False, "", "x", 7])
+    def test_from_dict_rejects_non_object_sections(self, bad):
+        with pytest.raises(ReproError, match="must be an object"):
+            MiningSpec.from_dict({"dataset": "synthetic", "search": bad})
+
+    def test_from_dict_dataset_shorthand(self):
+        spec = MiningSpec.from_dict({"dataset": "synthetic"})
+        assert spec.dataset.name == "synthetic"
+
+    def test_from_dict_needs_dataset(self):
+        with pytest.raises(ReproError, match="'dataset' section"):
+            MiningSpec.from_dict({"search": {}})
+
+    def test_bad_schema_rejected(self):
+        with pytest.raises(ReproError, match="unsupported spec schema"):
+            MiningSpec.from_dict({"schema": 99, "dataset": "synthetic"})
+
+
+class TestFingerprint:
+    def test_ignores_name_and_executor(self):
+        a = MiningSpec.build("synthetic", name="a", workers=1)
+        b = MiningSpec.build("synthetic", name="b", workers=8, backend="thread")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_tracks_work_changes(self):
+        a = MiningSpec.build("synthetic", beam_width=8)
+        b = MiningSpec.build("synthetic", beam_width=9)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_specs_are_hashable(self):
+        a = MiningSpec.build("synthetic", dataset_kwargs={"flip_probability": 0.1})
+        b = MiningSpec.build("synthetic", dataset_kwargs={"flip_probability": 0.1})
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_caller_dict_mutation_does_not_reach_the_spec(self):
+        kwargs = {"flip_probability": 0.1}
+        spec = MiningSpec.build("synthetic", dataset_kwargs=kwargs)
+        before = spec.fingerprint()
+        kwargs["flip_probability"] = 0.9
+        assert spec.dataset.kwargs == {"flip_probability": 0.1}
+        assert spec.fingerprint() == before
+
+
+class TestJobInterop:
+    def test_to_job_carries_every_section(self):
+        spec = MiningSpec.build(
+            "water",
+            dataset_seed=2,
+            seed=5,
+            kind="spread",
+            n_iterations=3,
+            beam_width=12,
+            max_depth=3,
+            gamma=0.2,
+            n_split_points=5,
+            name="interop",
+        )
+        job = spec.to_job()
+        assert job.dataset == "water"
+        assert job.dataset_seed == 2
+        assert job.seed == 5
+        assert job.kind == "spread"
+        assert job.n_iterations == 3
+        assert job.config == SearchConfig(
+            beam_width=12, max_depth=3, n_split_points=5
+        )
+        assert job.gamma == 0.2
+        assert job.name == "interop"
+        assert job.strategy == "beam"
+        assert job.measure == "si"
+
+    def test_from_job_round_trip(self):
+        job = MiningJob(
+            dataset="synthetic",
+            dataset_seed=1,
+            kind="spread",
+            n_iterations=2,
+            seed=3,
+            config=SearchConfig(beam_width=6, max_depth=2),
+            gamma=0.3,
+            name="rt",
+        )
+        assert MiningSpec.from_job(job).to_job() == job
+
+    def test_section_defaults_match_job_defaults(self):
+        # A default spec and a default job must describe the same work.
+        spec = MiningSpec.build("synthetic")
+        job = MiningJob(dataset="synthetic")
+        assert spec.to_job().fingerprint() == job.fingerprint()
+
+
+class TestSectionTypes:
+    def test_sections_are_frozen(self):
+        spec = MiningSpec.build("synthetic")
+        with pytest.raises(AttributeError):
+            spec.search.beam_width = 1
+        with pytest.raises(AttributeError):
+            spec.name = "x"
+
+    def test_targets_and_attributes_coerced_to_tuples(self):
+        spec = MiningSpec(
+            dataset=DatasetSpec("synthetic", targets=["attr_a"]),
+            language=LanguageSpec(attributes=["x"]),
+        )
+        assert spec.dataset.targets == ("attr_a",)
+        assert spec.language.attributes == ("x",)
+
+    def test_bare_string_targets_rejected_not_split(self):
+        with pytest.raises(ReproError, match="list of names"):
+            DatasetSpec("synthetic", targets="ab")
+        with pytest.raises(ReproError, match="list of names"):
+            LanguageSpec(attributes="xy")
+
+    def test_null_section_values_handled(self):
+        # to_dict writes nulls, so from_dict must accept them back —
+        # kwargs: null normalizes, a null non-nullable field errors typed.
+        spec = MiningSpec.from_dict(
+            {"dataset": {"name": "synthetic", "kwargs": None, "targets": None}}
+        )
+        assert spec.dataset.kwargs == {}
+        with pytest.raises(ReproError, match="kwargs"):
+            DatasetSpec("synthetic", kwargs=[1, 2])
+
+    def test_model_prior_shape_validated(self):
+        with pytest.raises(ReproError, match="mean"):
+            ModelSpec(prior={"cov": [[1.0]]})
+
+    def test_executor_section_validated_eagerly(self):
+        with pytest.raises(ReproError, match="worker count"):
+            ExecutorSpec(workers=-2)
+        with pytest.raises(ReproError, match="backend"):
+            ExecutorSpec(backend="quantum")
+        with pytest.raises(ReproError, match="start_method"):
+            ExecutorSpec(start_method="bogus")
+
+    def test_single_shot_strategies_reject_explicit_prior(self):
+        prior = {"mean": [0.0], "cov": [[1.0]]}
+        with pytest.raises(EngineError, match="empirical prior"):
+            MiningSpec.build("crime", strategy="branch_bound", prior=prior)
+        with pytest.raises(EngineError, match="empirical prior"):
+            MiningSpec.build(
+                "crime", strategy="quality_beam", measure="mean_shift",
+                prior=prior,
+            )
+
+    def test_all_sections_have_defaults(self):
+        spec = MiningSpec(dataset=DatasetSpec("synthetic"))
+        assert spec.language == LanguageSpec()
+        assert spec.model == ModelSpec()
+        assert spec.interest == InterestSpec()
+        assert spec.search == SearchSpec()
+        assert spec.executor == ExecutorSpec()
