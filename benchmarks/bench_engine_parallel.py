@@ -1,49 +1,122 @@
-"""Engine: beam-search wall-clock vs worker count.
+"""Engine: parallel beam search — wall clock and context-shipping cost.
 
 Runs the same location beam search on scalability-sized synthetic data
-(the §III-E generator scaled 16x) with the serial backend and with
-process pools of 2 and 4 workers, reporting the speedup over serial.
-Speedup > 1 needs real cores: on a single-core machine the table simply
-quantifies the process-pool overhead. The engine's determinism contract
-is asserted along the way — every worker count must return the exact
-same top subgroup with the exact same scores.
+(the §III-E generator scaled 16x) with the serial backend, with copying
+process pools of 2 and 4 workers, and with the zero-copy shared-memory
+transport (``shared_memory=True``: persistent warm pool + arrays in
+``multiprocessing.shared_memory``). Speedup > 1 needs real cores: on a
+single-core machine the table simply quantifies the pool overhead — and
+the point of the shared-memory column is precisely that this overhead
+collapses. The engine's determinism contract is asserted along the way:
+every backend must return the exact same top subgroup with the exact
+same scores.
+
+Besides the human-readable table, the bench measures the per-session
+context payload (what ``session()`` pickles to ship the scorer) for the
+copying vs shared-memory transports and writes the whole result as
+``BENCH_engine_parallel.json`` at the repo root, so the perf trajectory
+is tracked commit over commit. Target: the shared payload is >= 5x
+smaller. Runs standalone too::
+
+    PYTHONPATH=src python benchmarks/bench_engine_parallel.py
 """
 
+import json
 import os
+import pickle
+from pathlib import Path
 
 from repro.datasets.synthetic import make_synthetic
 from repro.engine.executor import resolve_executor
+from repro.engine.shm import ArrayStore, publish
+from repro.model.background import BackgroundModel
 from repro.report.tables import format_table
+from repro.search.beam import LocationICScorer
 from repro.search.config import SearchConfig
 from repro.search.miner import SubgroupDiscovery
 from repro.utils.timer import Stopwatch
 
-WORKERS = (1, 2, 4)
+#: (workers, shared_memory) runs; workers=1 is the serial reference.
+RUNS = ((1, False), (2, False), (4, False), (2, True), (4, True))
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine_parallel.json"
+
+
+def _payload_sizes(dataset) -> dict:
+    """Pickled context bytes per session: copying vs shared transport."""
+    model = BackgroundModel.from_targets(dataset.targets)
+    scorer = LocationICScorer(model, dataset.targets)
+    copied = len(pickle.dumps(scorer, protocol=pickle.HIGHEST_PROTOCOL))
+    with ArrayStore() as store:
+        shared = len(
+            pickle.dumps(publish(scorer, store), protocol=pickle.HIGHEST_PROTOCOL)
+        )
+    return {
+        "copied_bytes": copied,
+        "shared_bytes": shared,
+        "reduction_factor": round(copied / shared, 2),
+    }
 
 
 def measure(seed: int = 0):
     dataset = make_synthetic(seed, n_background=8000, cluster_size=640)
     config = SearchConfig()  # paper defaults: beam 40, depth 4
 
+    payload = _payload_sizes(dataset)
+    assert payload["shared_bytes"] * 5 <= payload["copied_bytes"], (
+        "shared-memory transport must shrink the per-session context "
+        f"payload at least 5x, got {payload}"
+    )
+
     rows = []
+    runs_document = []
     reference = None
     serial_elapsed = None
-    for workers in WORKERS:
-        miner = SubgroupDiscovery(
-            dataset, config=config, seed=seed, executor=resolve_executor(workers)
-        )
+    for workers, shared_memory in RUNS:
+        executor = resolve_executor(workers, shared_memory=shared_memory)
+        miner = SubgroupDiscovery(dataset, config=config, seed=seed, executor=executor)
         watch = Stopwatch()
         with watch:
             result = miner.search_locations()
+        executor.close()
         if reference is None:
             reference = result
             serial_elapsed = watch.elapsed
         else:
-            # Parallelism must not change what gets mined — bit for bit.
+            # Parallelism must not change what gets mined — bit for bit,
+            # regardless of worker count or transport.
             assert len(result.log) == len(reference.log)
             assert result.best.description == reference.best.description
             assert result.best.score.ic == reference.best.score.ic
-        rows.append((workers, watch.elapsed, serial_elapsed / watch.elapsed))
+        label = f"{workers}{' +shm' if shared_memory else ''}"
+        rows.append((label, watch.elapsed, serial_elapsed / watch.elapsed))
+        runs_document.append(
+            {
+                "workers": workers,
+                "shared_memory": shared_memory,
+                "seconds": round(watch.elapsed, 4),
+                "speedup_vs_serial": round(serial_elapsed / watch.elapsed, 4),
+            }
+        )
+
+    JSON_PATH.write_text(
+        json.dumps(
+            {
+                "benchmark": "engine_parallel",
+                "dataset": {
+                    "name": "synthetic-x16",
+                    "seed": seed,
+                    "n_rows": dataset.n_rows,
+                    "n_targets": dataset.n_targets,
+                },
+                "cpu_count": os.cpu_count(),
+                "context_payload": payload,
+                "runs": runs_document,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
     return rows
 
 
@@ -59,4 +132,11 @@ def bench_engine_parallel(benchmark, save_result):
         ),
     )
     save_result("engine_parallel", table)
-    assert len(rows) == len(WORKERS)
+    assert len(rows) == len(RUNS)
+    assert JSON_PATH.exists()
+
+
+if __name__ == "__main__":  # pragma: no cover - manual/CI entry point
+    for row in measure(0):
+        print(row)
+    print(f"wrote {JSON_PATH}")

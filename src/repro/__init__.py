@@ -95,6 +95,7 @@ from repro.search.branch_bound import (
 from repro.model.bernoulli import BernoulliBackgroundModel
 from repro.session import MiningSession
 from repro.engine import (
+    ArrayStore,
     JobFailure,
     JobResult,
     JobStatus,
@@ -193,6 +194,7 @@ __all__ = [
     "SerialExecutor",
     "ProcessExecutor",
     "resolve_executor",
+    "ArrayStore",
     "LRUCache",
     "load_dataset_cached",
     "MiningJob",

@@ -55,7 +55,9 @@ def _as_spec(spec: MiningSpec | dict) -> MiningSpec:
 def _spec_executor(spec: MiningSpec):
     """The executor the spec's executor section describes."""
     return resolve_executor(
-        spec.executor.workers, start_method=spec.executor.start_method
+        spec.executor.workers,
+        start_method=spec.executor.start_method,
+        shared_memory=spec.executor.shared_memory,
     )
 
 
@@ -168,9 +170,13 @@ class Workspace:
         """
         spec = _as_spec(spec)
         composed = broadcast(self.observer, observer)
-        result = run_job(
-            spec.to_job(), executor=_spec_executor(spec), observer=composed
-        )
+        executor = _spec_executor(spec)
+        try:
+            result = run_job(spec.to_job(), executor=executor, observer=composed)
+        finally:
+            # A shared-memory executor holds a persistent worker pool;
+            # release it deterministically, not at garbage collection.
+            executor.close()
         if composed is not None:
             composed.on_job(result)
         return result
@@ -195,14 +201,26 @@ class Workspace:
 
     def _stream(self, spec: MiningSpec, composed) -> Iterator[MiningIteration]:
         if spec.search.strategy != "beam":
-            result = run_job(
-                spec.to_job(), executor=_spec_executor(spec), observer=composed
-            )
+            executor = _spec_executor(spec)
+            try:
+                result = run_job(
+                    spec.to_job(), executor=executor, observer=composed
+                )
+            finally:
+                executor.close()
             yield from result.iterations
             return
         miner = build_miner(spec, observer=composed)
-        for _ in range(spec.search.n_iterations):
-            yield miner.step(kind=spec.search.kind, sparsity=spec.search.sparsity)
+        try:
+            for _ in range(spec.search.n_iterations):
+                yield miner.step(
+                    kind=spec.search.kind, sparsity=spec.search.sparsity
+                )
+        finally:
+            # Runs when the loop ends *and* when the caller abandons the
+            # generator mid-iteration — either way the miner's executor
+            # (possibly a persistent warm pool) is released now.
+            miner.executor.close()
 
     # ------------------------------------------------------------------ #
     # Interactive execution
@@ -216,7 +234,8 @@ class Workspace:
         caller's dialogue — but honors every other section (including
         ``search.kind``/``sparsity`` as the default for a bare
         ``step()``), and its steps are byte-identical to :meth:`mine`'s
-        iterations.
+        iterations. Close the session (it is a context manager) when
+        done: a parallel spec gives it a worker pool to release.
         """
         spec = _as_spec(spec)
         job = spec.to_job()
@@ -264,6 +283,7 @@ class Workspace:
             spec.to_job(),
             workers=spec.executor.workers,
             start_method=spec.executor.start_method,
+            shared_memory=spec.executor.shared_memory,
         )
 
     def _running_service(self) -> MiningService:

@@ -6,6 +6,8 @@ backends), and layers a submit/status/result/cancel service on top:
 
 - :mod:`repro.engine.executor` — ``SerialExecutor`` / ``ProcessExecutor``
   backends injected into the beam and spread searches.
+- :mod:`repro.engine.shm` — zero-copy shared-memory transport for the
+  large arrays those backends ship (``ArrayStore`` + ``publish``).
 - :mod:`repro.engine.cache` — bounded LRU caches and spec fingerprints.
 - :mod:`repro.engine.jobs` — declarative job specs + the deterministic
   multi-job runner.
@@ -28,6 +30,8 @@ _EXPORTS = {
     "SerialExecutor": "repro.engine.executor",
     "ProcessExecutor": "repro.engine.executor",
     "resolve_executor": "repro.engine.executor",
+    "ArrayStore": "repro.engine.shm",
+    "SharedArrayRef": "repro.engine.shm",
     "CacheStats": "repro.engine.cache",
     "LRUCache": "repro.engine.cache",
     "fingerprint": "repro.engine.cache",

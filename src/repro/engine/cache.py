@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
+import threading
 from typing import Any
 
 import numpy as np
@@ -40,7 +42,16 @@ def _canonical(obj: Any) -> Any:
     if isinstance(obj, np.ndarray):
         return _canonical(obj.tolist())
     if isinstance(obj, np.generic):
-        return obj.item()
+        return _canonical(obj.item())
+    if isinstance(obj, float) and not math.isfinite(obj):
+        # json.dumps would happily emit the non-JSON tokens NaN/Infinity
+        # (allow_nan defaults to True), silently breaking the canonical
+        # contract — and NaN != NaN makes such specs compare (and hence
+        # collide) unpredictably. Reject loudly instead.
+        raise EngineError(
+            f"cannot fingerprint non-finite float {obj!r}: fingerprints "
+            f"are JSON-canonical and JSON has no NaN/Infinity"
+        )
     if obj is None or isinstance(obj, (bool, int, float, str)):
         return obj
     raise EngineError(f"cannot fingerprint value of type {type(obj).__name__}")
@@ -51,8 +62,13 @@ def fingerprint(obj: Any) -> str:
 
     Equal specs fingerprint equally no matter how they were spelled:
     dict key order is irrelevant, and tuples equal their list twins.
+    Non-finite floats are rejected with :class:`EngineError` — JSON has
+    no NaN/Infinity, so they cannot be canonicalized (``allow_nan=False``
+    backstops the same contract at the serializer).
     """
-    payload = json.dumps(_canonical(obj), sort_keys=True, separators=(",", ":"))
+    payload = json.dumps(
+        _canonical(obj), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
@@ -64,6 +80,24 @@ def dataset_fingerprint(name: str, seed: int = 0, kwargs: dict | None = None) ->
 #: Process-wide dataset cache used by the job runner by default.
 DATASET_CACHE = LRUCache(maxsize=16)
 
+#: Cache-miss sentinel: ``None`` must stay a cacheable value.
+_MISS = object()
+
+#: Per-key load locks so concurrent service threads asking for the same
+#: dataset generate it once instead of stampeding; keys are dataset
+#: fingerprints, of which a process sees a handful, so the table is not
+#: pruned.
+_LOAD_LOCKS: dict[str, threading.Lock] = {}
+_LOAD_LOCKS_GUARD = threading.Lock()
+
+
+def _load_lock(key: str) -> threading.Lock:
+    with _LOAD_LOCKS_GUARD:
+        lock = _LOAD_LOCKS.get(key)
+        if lock is None:
+            lock = _LOAD_LOCKS[key] = threading.Lock()
+        return lock
+
 
 def load_dataset_cached(
     name: str, seed: int = 0, *, cache: LRUCache | None = None, **kwargs
@@ -71,14 +105,22 @@ def load_dataset_cached(
     """:func:`repro.datasets.load_dataset` behind an LRU cache.
 
     Datasets are immutable, so sharing one instance across jobs (and
-    across service worker threads) is safe.
+    across service worker threads) is safe. A distinct miss sentinel —
+    not ``None`` — marks absence, and a per-key lock serializes the
+    first load so a burst of service threads requesting the same
+    dataset generates it exactly once (stampede protection); distinct
+    datasets still load concurrently.
     """
     from repro.datasets.registry import load_dataset
 
     cache = DATASET_CACHE if cache is None else cache
     key = dataset_fingerprint(name, seed, kwargs)
-    dataset = cache.get(key)
-    if dataset is None:
-        dataset = load_dataset(name, seed=seed, **kwargs)
-        cache.put(key, dataset)
+    dataset = cache.get(key, _MISS)
+    if dataset is not _MISS:
+        return dataset
+    with _load_lock(key):
+        dataset = cache.get(key, _MISS)
+        if dataset is _MISS:
+            dataset = load_dataset(name, seed=seed, **kwargs)
+            cache.put(key, dataset)
     return dataset

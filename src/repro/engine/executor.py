@@ -8,14 +8,20 @@ Two backends implement that contract:
 - :class:`SerialExecutor` runs everything inline, in order — the
   reference semantics every other backend must reproduce bit-for-bit.
 - :class:`ProcessExecutor` runs a ``concurrent.futures`` process pool.
-  The (typically large) context — an IC scorer, a spread objective — is
-  shipped to each worker exactly once per session via the pool
-  initializer, so per-item payloads stay small.
+  In the default (copying) transport the context — an IC scorer, a
+  spread objective — is shipped to each worker once per session via the
+  pool initializer. With ``shared_memory=True`` the executor keeps one
+  *persistent* warm pool across sessions and ships contexts through
+  :mod:`repro.engine.shm`: large arrays live in
+  ``multiprocessing.shared_memory`` and workers reattach them zero-copy,
+  so a repeated ``session()`` (one per beam level / mining iteration)
+  costs a handle, not a re-pickle and a pool respawn.
 
 Determinism contract: ``session.map`` preserves item order, items are
 sharded by the *caller* independently of the worker count, and ``fn``
 must be a pure function of ``(context, item)``. Under those rules a
-parallel run returns exactly the serial result regardless of scheduling.
+parallel run returns exactly the serial result regardless of scheduling
+or transport.
 """
 
 from __future__ import annotations
@@ -23,18 +29,35 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import uuid
+import weakref
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from functools import partial
 from typing import Any, Callable, Iterable, Protocol, runtime_checkable
 
+from repro.engine import shm
 from repro.errors import EngineError
 
 #: Pool implementations selectable via :func:`resolve_pool` (and hence
 #: ``MiningService(backend=...)``).
 BACKENDS = ("process", "thread", "serial")
 
-#: Context installed in each pool worker by :func:`_init_worker`.
+#: Context installed in each pool worker by :func:`_init_worker`
+#: (copying transport only).
 _WORKER_CONTEXT: Any = None
+
+#: Per-worker cache of shared-memory session contexts, keyed by session
+#: id. A worker outliving many sessions (the whole point of the
+#: persistent pool) keeps only the sessions it is actively serving:
+#: stale entries are dropped the moment a new session's first task
+#: arrives, so dead sessions' zero-copy views never pin their (already
+#: unlinked) segments in memory.
+_SESSION_CONTEXTS: "OrderedDict[str, Any]" = OrderedDict()
+
+#: Cache-miss sentinel (``None`` is a legitimate context).
+_MISS = object()
 
 
 def _init_worker(payload: bytes) -> None:
@@ -44,6 +67,35 @@ def _init_worker(payload: bytes) -> None:
 
 def _call_in_context(fn: Callable[[Any, Any], Any], item: Any) -> Any:
     return fn(_WORKER_CONTEXT, item)
+
+
+def _shared_call(payload: tuple) -> Any:
+    """Worker entry point of the shared-memory transport.
+
+    The per-task payload is tiny: a session id, a
+    :class:`~repro.engine.shm.SharedBytesRef` to the pickled (stripped)
+    context, the function, and the item. A warm worker that already
+    holds the session's context skips the read entirely; a cold one
+    reads the pickle out of shared memory once — its arrays reattach as
+    zero-copy views while unpickling.
+    """
+    session_id, context_ref, fn, item = payload
+    context = _SESSION_CONTEXTS.get(session_id, _MISS)
+    if context is _MISS:
+        # A new session supersedes the old ones: drop their contexts
+        # (freeing the array views) and close the now-view-less segment
+        # mappings so a warm worker's resident memory tracks the active
+        # session, not its whole history.
+        _SESSION_CONTEXTS.clear()
+        shm.prune_attachments()
+        context = pickle.loads(context_ref.load())
+        _SESSION_CONTEXTS[session_id] = context
+    return fn(context, item)
+
+
+def _shutdown_pool(pool) -> None:
+    """Finalizer target: stop a pool without waiting on pending work."""
+    pool.shutdown(wait=False, cancel_futures=True)
 
 
 @runtime_checkable
@@ -73,13 +125,24 @@ class Executor(Protocol):
         """Context-free ordered map, for independent coarse tasks (jobs)."""
         ...
 
+    def close(self) -> None:
+        """Release held resources (idempotent; no-op for serial)."""
+        ...
+
 
 class _SerialSession:
+    #: Callers may batch payloads differently when arrays are shared;
+    #: the serial session always takes the copying (reference) path.
+    uses_shared_arrays = False
+
     def __init__(self, context: Any) -> None:
         self._context = context
 
     def map(self, fn, items) -> list:
         return [fn(self._context, item) for item in items]
+
+    def close(self) -> None:
+        """Nothing to release; present for session-interface symmetry."""
 
     def __enter__(self) -> "_SerialSession":
         return self
@@ -101,22 +164,128 @@ class SerialExecutor:
         """``[fn(item) for item in items]``."""
         return [fn(item) for item in items]
 
+    def close(self) -> None:
+        """Nothing to release; present for executor-interface symmetry."""
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "SerialExecutor()"
 
 
 class _ProcessSession:
+    """Copying-transport session: owns a fresh pool initialized with the
+    pickled context, and shuts it down deterministically.
+
+    The pool is released on ``__exit__``, on an explicit :meth:`close`,
+    when any ``map`` raises (a failed fan-out must not leave worker
+    processes running), and — as a last resort — by a GC finalizer, so a
+    session that was never used as a context manager cannot leak its
+    pool.
+    """
+
+    uses_shared_arrays = False
+
     def __init__(self, pool: ProcessPoolExecutor) -> None:
         self._pool = pool
+        self._finalizer = weakref.finalize(self, _shutdown_pool, pool)
 
     def map(self, fn, items) -> list:
-        return list(self._pool.map(partial(_call_in_context, fn), list(items)))
+        if not self._finalizer.alive:
+            raise EngineError("executor session is closed")
+        try:
+            return list(self._pool.map(partial(_call_in_context, fn), list(items)))
+        except BaseException:
+            # A raising worker must not leave the pool running behind a
+            # caller that (reasonably) stops using the session.
+            self.close()
+            raise
+
+    def close(self) -> None:
+        """Shut the session's pool down; idempotent."""
+        if self._finalizer.detach() is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
 
     def __enter__(self) -> "_ProcessSession":
         return self
 
     def __exit__(self, *exc_info) -> None:
-        self._pool.shutdown(wait=True)
+        self.close()
+
+
+class _SharedMemorySession:
+    """Shared-memory-transport session over a persistent warm pool.
+
+    The context is published once into shared memory
+    (:func:`repro.engine.shm.publish`): its large arrays become segments
+    workers map zero-copy, and the remaining skeleton is pickled into a
+    segment of its own. Each task then carries only ``(session id,
+    context handle, fn, item)``; warm workers that already cached this
+    session's context pay nothing at all.
+
+    Closing the session unlinks every segment it created (including the
+    ones callers registered through :meth:`share`) but leaves the pool
+    running for the executor's next session — that reuse is the point.
+    A GC finalizer guarantees the segments are unlinked even when the
+    session is abandoned mid-failure.
+    """
+
+    uses_shared_arrays = True
+
+    def __init__(self, owner: "ProcessExecutor", context: Any) -> None:
+        self._owner = owner
+        self._pool = owner._ensure_pool()
+        self._store = shm.ArrayStore()
+        self._finalizer = weakref.finalize(self, shm.ArrayStore.close, self._store)
+        self._session_id = uuid.uuid4().hex
+        stripped = shm.publish(context, self._store)
+        payload = pickle.dumps(stripped, protocol=pickle.HIGHEST_PROTOCOL)
+        #: Bytes actually pickled per session after array extraction —
+        #: the number the shared-memory transport exists to shrink.
+        self.context_payload_bytes = len(payload)
+        self._context_ref = self._store.share_bytes(payload)
+
+    def map(self, fn, items) -> list:
+        if not self._finalizer.alive:
+            raise EngineError("executor session is closed")
+        payloads = [
+            (self._session_id, self._context_ref, fn, item) for item in items
+        ]
+        try:
+            return list(self._pool.map(_shared_call, payloads))
+        except BrokenProcessPool:
+            # A dead worker poisons the whole pool; drop it so the next
+            # session gets a fresh one, and release our segments now.
+            self._owner._discard_pool(self._pool)
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------ #
+    # Caller-side array sharing (per-level payloads)
+    # ------------------------------------------------------------------ #
+    def share(self, array) -> shm.SharedArrayRef:
+        """Put one array (e.g. a level's mask stack) in shared memory.
+
+        The ref pickles into a read-only zero-copy view inside workers;
+        it is unlinked at session close, or earlier via :meth:`release`.
+        """
+        return self._store.share_array(array)
+
+    def release(self, ref: shm.SharedArrayRef) -> None:
+        """Unlink one shared array before the session ends."""
+        self._store.release(ref)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Unlink this session's segments (the pool stays warm)."""
+        if self._finalizer.detach() is not None:
+            self._store.close()
+
+    def __enter__(self) -> "_SharedMemorySession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class ProcessExecutor:
@@ -129,25 +298,45 @@ class ProcessExecutor:
     start_method:
         ``multiprocessing`` start method (``fork``/``spawn``/
         ``forkserver``); ``None`` uses the platform default.
+    shared_memory:
+        ``True`` switches the context transport to
+        :mod:`repro.engine.shm` and keeps one persistent warm pool
+        across sessions: repeated ``session()`` calls reuse the same
+        worker processes and ship only lightweight handles, instead of
+        respawning a pool and re-pickling the whole context each time.
+        Results are bit-identical either way (the determinism contract);
+        the toggle only changes how fast the bytes move.
 
     Functions passed to :meth:`map`/``session().map`` must be importable
     module-level callables and all payloads must pickle — the standard
-    ``concurrent.futures`` rules.
+    ``concurrent.futures`` rules. The executor itself is a context
+    manager; :meth:`close` (or GC) releases the persistent pool.
     """
 
     def __init__(
-        self, max_workers: int | None = None, *, start_method: str | None = None
+        self,
+        max_workers: int | None = None,
+        *,
+        start_method: str | None = None,
+        shared_memory: bool = False,
     ) -> None:
         if max_workers is None:
             max_workers = os.cpu_count() or 1
         if max_workers < 1:
             raise EngineError(f"max_workers must be >= 1, got {max_workers}")
         self.parallelism = max_workers
+        self.shared_memory = bool(shared_memory)
         self._mp_context = (
             multiprocessing.get_context(start_method) if start_method else None
         )
+        self._persistent: ProcessPoolExecutor | None = None
+        self._pool_finalizer: weakref.finalize | None = None
 
-    def _pool(self, context: Any) -> ProcessPoolExecutor:
+    # ------------------------------------------------------------------ #
+    # Pool plumbing
+    # ------------------------------------------------------------------ #
+    def _fresh_pool(self, context: Any) -> ProcessPoolExecutor:
+        """A per-session pool with the context shipped via initializer."""
         return ProcessPoolExecutor(
             max_workers=self.parallelism,
             mp_context=self._mp_context,
@@ -155,19 +344,77 @@ class ProcessExecutor:
             initargs=(pickle.dumps(context),),
         )
 
-    def session(self, context: Any = None) -> _ProcessSession:
-        """Open a pool whose workers all hold ``context``; close via with."""
-        return _ProcessSession(self._pool(context))
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The persistent pool, (re)created on first use or after a break."""
+        if self._persistent is None:
+            pool = ProcessPoolExecutor(
+                max_workers=self.parallelism, mp_context=self._mp_context
+            )
+            self._persistent = pool
+            self._pool_finalizer = weakref.finalize(self, _shutdown_pool, pool)
+        return self._persistent
+
+    def _discard_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Drop a broken persistent pool so the next session respawns."""
+        if self._persistent is pool:
+            self._persistent = None
+            if self._pool_finalizer is not None:
+                self._pool_finalizer.detach()
+                self._pool_finalizer = None
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------ #
+    # Executor interface
+    # ------------------------------------------------------------------ #
+    def session(self, context: Any = None):
+        """Open a fan-out scope whose workers all hold ``context``.
+
+        Copying transport: a fresh pool per session, closed with the
+        session. Shared-memory transport: the persistent warm pool, with
+        the context published through :mod:`repro.engine.shm`; closing
+        the session unlinks its segments and keeps the pool.
+        """
+        if self.shared_memory:
+            return _SharedMemorySession(self, context)
+        return _ProcessSession(self._fresh_pool(context))
 
     def map(self, fn, items) -> list:
-        """Ordered context-free map over a fresh pool."""
+        """Ordered context-free map (reuses the warm pool when shared)."""
+        if self.shared_memory:
+            pool = self._ensure_pool()
+            try:
+                return list(pool.map(fn, list(items)))
+            except BrokenProcessPool:
+                self._discard_pool(pool)
+                raise
         with ProcessPoolExecutor(
             max_workers=self.parallelism, mp_context=self._mp_context
         ) as pool:
             return list(pool.map(fn, list(items)))
 
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut down the persistent pool (no-op without one); idempotent."""
+        pool, self._persistent = self._persistent, None
+        if self._pool_finalizer is not None:
+            self._pool_finalizer.detach()
+            self._pool_finalizer = None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "ProcessExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"ProcessExecutor(max_workers={self.parallelism})"
+        return (
+            f"ProcessExecutor(max_workers={self.parallelism}, "
+            f"shared_memory={self.shared_memory})"
+        )
 
 
 def normalize_workers(workers: int | None) -> int:
@@ -188,33 +435,50 @@ def normalize_workers(workers: int | None) -> int:
 
 
 def resolve_executor(
-    workers: int | None, *, start_method: str | None = None
+    workers: int | None,
+    *,
+    start_method: str | None = None,
+    shared_memory: bool = False,
 ) -> Executor:
     """Map a ``--workers`` count to a backend.
 
-    ``None``, ``0`` and ``1`` mean serial; anything larger gets a process
-    pool of that size; negative counts raise.
+    ``None``, ``0`` and ``1`` mean serial; anything larger gets a
+    process pool of that size (with the shared-memory transport when
+    asked); negative counts raise. ``shared_memory`` is meaningless for
+    serial execution and is silently ignored there — there is no second
+    process to share with.
     """
     count = normalize_workers(workers)
     if count <= 1:
         return SerialExecutor()
-    return ProcessExecutor(count, start_method=start_method)
+    return ProcessExecutor(
+        count, start_method=start_method, shared_memory=shared_memory
+    )
 
 
-def resolve_pool(backend: str, max_workers: int | None):
+def resolve_pool(
+    backend: str, max_workers: int | None, *, start_method: str | None = None
+):
     """Map a service backend name + worker count to a futures pool.
 
     Returns a ``concurrent.futures`` pool for ``"process"``/``"thread"``
     and ``None`` for ``"serial"`` (execute inline at submit time).
-    Shares :func:`normalize_workers`'s edge-case handling with
-    :func:`resolve_executor`, so the CLI and the service resolve worker
-    counts through one code path.
+    ``start_method`` selects the ``multiprocessing`` context of the
+    process backend (``None``: platform default; ignored by the others —
+    threads have no start method). Shares :func:`normalize_workers`'s
+    edge-case handling with :func:`resolve_executor`, so the CLI and the
+    service resolve worker counts through one code path.
     """
     if backend not in BACKENDS:
         raise EngineError(f"backend must be one of {BACKENDS}, got {backend!r}")
     count = normalize_workers(max_workers)
     if backend == "process":
-        return ProcessPoolExecutor(max_workers=count)
+        return ProcessPoolExecutor(
+            max_workers=count,
+            mp_context=(
+                multiprocessing.get_context(start_method) if start_method else None
+            ),
+        )
     if backend == "thread":
         return ThreadPoolExecutor(max_workers=count)
     return None

@@ -374,18 +374,27 @@ def _run_job_task(job: MiningJob) -> JobResult:
 
 
 def run_job_with_workers(
-    job: MiningJob, workers: int | None, start_method: str | None = None
+    job: MiningJob,
+    workers: int | None,
+    start_method: str | None = None,
+    shared_memory: bool = False,
 ) -> JobResult:
     """:func:`run_job` with the executor resolved from a worker count.
 
     Module-level and picklable, so a service pool can honor a spec's
-    ``executor.workers`` (and ``start_method``) inside its worker
-    processes (nested pools are legal; the determinism contract keeps
-    the results identical at any count).
+    ``executor.workers`` (plus ``start_method`` and ``shared_memory``)
+    inside its worker processes (nested pools are legal; the determinism
+    contract keeps the results identical at any count over any
+    transport). The executor is closed afterwards so a shared-memory
+    run's persistent pool never outlives its job.
     """
-    return run_job(
-        job, executor=resolve_executor(workers, start_method=start_method)
+    executor = resolve_executor(
+        workers, start_method=start_method, shared_memory=shared_memory
     )
+    try:
+        return run_job(job, executor=executor)
+    finally:
+        executor.close()
 
 
 def _run_job_isolated(job: MiningJob) -> JobResult | JobFailure:

@@ -98,6 +98,13 @@ class MiningService:
         ``"serial"`` executes synchronously at submit time.
     cache_size:
         Capacity of the fingerprint-keyed result cache.
+    start_method:
+        ``multiprocessing`` start method of the ``"process"`` pool's
+        workers (``fork``/``spawn``/``forkserver``; ``None`` = platform
+        default). Ignored by the thread and serial backends. This
+        configures the *service's own* job pool; the ``start_method``
+        argument of :meth:`submit` independently configures the pools a
+        job spawns internally.
     observer:
         Optional :class:`~repro.events.MiningObserver`. With the
         ``"serial"`` backend events fire live during mining; the
@@ -119,12 +126,14 @@ class MiningService:
         backend: str = "process",
         cache_size: int = 64,
         observer: MiningObserver | None = None,
+        start_method: str | None = None,
     ) -> None:
         if max_workers < 1:
             raise EngineError(f"max_workers must be >= 1, got {max_workers}")
         self.backend = backend
         self.max_workers = max_workers
-        self._pool = resolve_pool(backend, max_workers)
+        self.start_method = start_method
+        self._pool = resolve_pool(backend, max_workers, start_method=start_method)
         self._observers: list[MiningObserver] = (
             [observer] if observer is not None else []
         )
@@ -144,13 +153,15 @@ class MiningService:
         *,
         workers: int | None = None,
         start_method: str | None = None,
+        shared_memory: bool = False,
     ) -> str:
         """Queue a job; returns its id. Cached specs resolve instantly.
 
-        ``workers``/``start_method`` parallelize the search *inside* the
-        job (the spec's executor section); the determinism contract
-        makes them — and hence these parameters — irrelevant to the
-        result, so the cache stays keyed by the job fingerprint alone.
+        ``workers``/``start_method``/``shared_memory`` parallelize the
+        search *inside* the job (the spec's executor section); the
+        determinism contract makes them — and hence these parameters —
+        irrelevant to the result, so the cache stays keyed by the job
+        fingerprint alone.
         """
         if not isinstance(job, MiningJob):
             raise EngineError(f"expected MiningJob, got {type(job).__name__}")
@@ -167,18 +178,15 @@ class MiningService:
             announce = (cached, True)
         elif self._pool is None:
             future = Future()
+            executor = resolve_executor(
+                workers, start_method=start_method, shared_memory=shared_memory
+            )
             try:
                 # Serial backend: candidate/iteration events fire live
                 # (swallowed on failure — see _SwallowingObserver).
                 result = self._finish(
                     fp,
-                    run_job(
-                        job,
-                        executor=resolve_executor(
-                            workers, start_method=start_method
-                        ),
-                        observer=self._live_observer,
-                    ),
+                    run_job(job, executor=executor, observer=self._live_observer),
                 )
             except Exception as exc:  # surface via result(), like a pool would
                 future.set_exception(exc)
@@ -186,9 +194,13 @@ class MiningService:
             else:
                 future.set_result(result)
                 announce = (result, False)
+            finally:
+                # A shared-memory executor holds a persistent pool; do
+                # not leave it to garbage collection.
+                executor.close()
         else:
             future = self._pool.submit(
-                run_job_with_workers, job, workers, start_method
+                run_job_with_workers, job, workers, start_method, shared_memory
             )
         with self._lock:
             self._futures[job_id] = future

@@ -42,6 +42,12 @@ class BackgroundModel:
         mean and covariance).
     """
 
+    #: What the engine's shared-memory transport may extract when a
+    #: frozen model ships to pool workers (:func:`repro.engine.shm.publish`):
+    #: the row partition (scales with the data) and the per-block
+    #: parameter lists; the nested prior declares its own arrays.
+    __shm_arrays__ = ("_partition", "_means", "_covs", "prior")
+
     def __init__(self, n_rows: int, prior: Prior) -> None:
         if n_rows <= 0:
             raise ModelError(f"n_rows must be positive, got {n_rows}")

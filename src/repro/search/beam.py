@@ -44,6 +44,18 @@ class LocationICScorer:
     rebuilt after the model assimilates a pattern (the miner does this).
     """
 
+    #: Arrays the shared-memory transport may move out of the pickled
+    #: payload (:func:`repro.engine.shm.publish`): everything that scales
+    #: with the dataset, plus the nested model (which declares its own).
+    __shm_arrays__ = (
+        "model",
+        "targets",
+        "_labels",
+        "_onehot",
+        "_block_means",
+        "_block_covs",
+    )
+
     def __init__(self, model: BackgroundModel, targets: np.ndarray) -> None:
         targets = np.asarray(targets, dtype=float)
         if targets.ndim == 1:
@@ -142,6 +154,21 @@ def _score_shard(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Worker entry point: score one attribute shard's mask stack."""
     return scorer.score_masks(masks)
+
+
+def _score_shard_rows(
+    scorer: LocationICScorer, payload: tuple
+) -> tuple[np.ndarray, np.ndarray]:
+    """Worker entry point, shared-memory transport: slice then score.
+
+    ``payload`` is ``(stack, rows)`` where ``stack`` is the level's full
+    candidate mask stack — a zero-copy view over shared memory by the
+    time it arrives here — and ``rows`` the shard's candidate indices.
+    ``stack[rows]`` materializes exactly the rows ``_score_shard`` would
+    have received as a copied stack, so the scores are bit-identical.
+    """
+    stack, rows = payload
+    return scorer.score_masks(stack[rows])
 
 
 class LocationBeamSearch:
@@ -276,13 +303,33 @@ class LocationBeamSearch:
         results are scattered back into generation order — both
         independent of the executor, which is what makes serial and
         parallel runs identical.
+
+        Transport: a copying session receives one mask stack per shard
+        (pickled per item); a shared-memory session receives the whole
+        level's stack once — published into shared memory and unlinked
+        as soon as the level is scored — and per-item payloads shrink to
+        the shard's row indices.
         """
         shard_indices = list(shards.values())
-        payloads = [
-            np.stack([candidates[i][1] for i in indices])
-            for indices in shard_indices
-        ]
-        results = session.map(_score_shard, payloads)
+        if getattr(session, "uses_shared_arrays", False):
+            stack = np.stack([mask for _, mask in candidates])
+            ref = session.share(stack)
+            try:
+                results = session.map(
+                    _score_shard_rows,
+                    [
+                        (ref, np.asarray(indices, dtype=np.intp))
+                        for indices in shard_indices
+                    ],
+                )
+            finally:
+                session.release(ref)
+        else:
+            payloads = [
+                np.stack([candidates[i][1] for i in indices])
+                for indices in shard_indices
+            ]
+            results = session.map(_score_shard, payloads)
         ics = np.empty(len(candidates))
         observed = np.empty((len(candidates), self.scorer.model.dim))
         for indices, (shard_ics, shard_observed) in zip(shard_indices, results):

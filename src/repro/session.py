@@ -107,6 +107,26 @@ class MiningSession:
         self._snapshots = [self.miner.model.copy()]
 
     # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the session's executor (its worker pool, if any).
+
+        A session built over a ``ProcessExecutor`` — in particular a
+        shared-memory one, whose warm pool persists across steps — holds
+        worker processes; close the session (or use it as a context
+        manager) to release them deterministically instead of at
+        garbage collection. The session's history remains readable.
+        """
+        self.miner.executor.close()
+
+    def __enter__(self) -> "MiningSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
     # Dialogue
     # ------------------------------------------------------------------ #
     @property

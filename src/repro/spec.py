@@ -168,16 +168,22 @@ class ExecutorSpec:
     scoring shards and spread restarts; 0/1 = serial) — the single-shot
     strategies (``branch_bound``, ``quality_beam``) are sequential
     algorithms and always run serial regardless of this setting.
-    ``backend`` is the service pool a :class:`repro.api.Workspace`
-    creates when this spec's :meth:`~repro.api.Workspace.submit` has to
-    build one (an explicit ``Workspace(service_backend=...)`` wins).
-    Never part of the fingerprint — the determinism contract guarantees
-    the same patterns at any worker count.
+    ``shared_memory`` switches the parallel context transport to
+    ``multiprocessing.shared_memory`` with a persistent warm worker pool
+    (see :mod:`repro.engine.shm`) — worth it on large datasets, where
+    re-pickling the scorer per session dominates; ignored when the
+    search runs serial. ``backend`` is the service pool a
+    :class:`repro.api.Workspace` creates when this spec's
+    :meth:`~repro.api.Workspace.submit` has to build one (an explicit
+    ``Workspace(service_backend=...)`` wins). Never part of the
+    fingerprint — the determinism contract guarantees the same patterns
+    at any worker count over any transport.
     """
 
     workers: int = 1
     backend: str = "process"
     start_method: str | None = None
+    shared_memory: bool = False
 
     def __post_init__(self) -> None:
         from repro.engine.executor import BACKENDS, normalize_workers
@@ -186,6 +192,11 @@ class ExecutorSpec:
         if self.backend not in BACKENDS:
             raise ReproError(
                 f"executor backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if not isinstance(self.shared_memory, bool):
+            raise ReproError(
+                f"executor shared_memory must be a boolean, "
+                f"got {self.shared_memory!r}"
             )
         # Validated against the universal name set, not this platform's
         # multiprocessing.get_all_start_methods(): a spec file written on
@@ -227,6 +238,7 @@ _FLAT_FIELDS: dict[str, tuple[str, str]] = {
     "workers": ("executor", "workers"),
     "backend": ("executor", "backend"),
     "start_method": ("executor", "start_method"),
+    "shared_memory": ("executor", "shared_memory"),
 }
 
 _SECTIONS = ("dataset", "language", "model", "interest", "search", "executor")

@@ -1,0 +1,38 @@
+"""Engine-test fixtures: shared-memory leak detection.
+
+Every engine test runs under a teardown check that no shared-memory
+segment created by this process survived the test — the acceptance
+criterion of the zero-copy transport is that a run (including a failing
+one) leaves ``/dev/shm`` exactly as it found it.
+"""
+
+import os
+
+import pytest
+
+from repro.engine import shm
+
+
+def _dev_shm_segments() -> set[str]:
+    """Library-created segment files visible in /dev/shm (Linux only)."""
+    try:
+        return {
+            name
+            for name in os.listdir("/dev/shm")
+            if name.startswith(shm.segment_prefix())
+        }
+    except OSError:  # pragma: no cover - non-Linux fallback
+        return set()
+
+
+@pytest.fixture(autouse=True)
+def no_shared_memory_leaks():
+    """Fail any engine test that leaks a shared-memory segment."""
+    before = _dev_shm_segments()
+    yield
+    assert shm.live_segments() == frozenset(), (
+        "test leaked shared-memory segments (ArrayStore not closed): "
+        f"{sorted(shm.live_segments())}"
+    )
+    leaked = _dev_shm_segments() - before
+    assert not leaked, f"test leaked /dev/shm segments: {sorted(leaked)}"

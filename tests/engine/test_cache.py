@@ -92,3 +92,108 @@ class TestLoadDatasetCached:
         other = load_dataset_cached("synthetic", seed=1, cache=cache)
         assert first is not other
         assert len(cache) == 2
+
+
+class TestFingerprintNonFinite:
+    """Regression: NaN/Inf are not JSON; they must fail loudly, not
+    serialize as the non-canonical NaN/Infinity tokens."""
+
+    @pytest.mark.parametrize(
+        "value", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_bare_non_finite_float_rejected(self, value):
+        with pytest.raises(EngineError, match="non-finite"):
+            fingerprint(value)
+
+    def test_nested_non_finite_rejected(self):
+        with pytest.raises(EngineError, match="non-finite"):
+            fingerprint({"config": {"gamma": float("nan")}})
+        with pytest.raises(EngineError, match="non-finite"):
+            fingerprint([1.0, (2.0, float("inf"))])
+
+    def test_numpy_non_finite_rejected(self):
+        with pytest.raises(EngineError, match="non-finite"):
+            fingerprint(np.float64("nan"))
+        with pytest.raises(EngineError, match="non-finite"):
+            fingerprint(np.array([1.0, np.inf]))
+
+    def test_finite_floats_still_fingerprint(self):
+        assert fingerprint(1.5) == fingerprint(1.5)
+        assert fingerprint(np.float64(2.5)) == fingerprint(2.5)
+
+
+class TestLoadDatasetCachedConcurrency:
+    """Regression: concurrent misses must load a dataset exactly once."""
+
+    def test_thread_hammer_loads_once(self, monkeypatch):
+        import threading
+        import time
+
+        import repro.datasets.registry as registry
+
+        calls = []
+        real_load = registry.load_dataset
+
+        def slow_load(name, seed=0, **kwargs):
+            calls.append(threading.get_ident())
+            time.sleep(0.05)  # widen the stampede window
+            return real_load(name, seed=seed, **kwargs)
+
+        monkeypatch.setattr(registry, "load_dataset", slow_load)
+        cache = LRUCache(4)
+        n_threads = 12
+        barrier = threading.Barrier(n_threads)
+        results = [None] * n_threads
+        errors = []
+
+        def hammer(slot):
+            try:
+                barrier.wait()
+                results[slot] = load_dataset_cached(
+                    "synthetic", seed=123, cache=cache
+                )
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(slot,))
+            for slot in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(calls) == 1, f"stampede: dataset loaded {len(calls)} times"
+        assert all(result is results[0] for result in results)
+
+    def test_distinct_keys_do_not_serialize_on_one_lock(self, monkeypatch):
+        import repro.datasets.registry as registry
+
+        calls = []
+        real_load = registry.load_dataset
+
+        def counting_load(name, seed=0, **kwargs):
+            calls.append(seed)
+            return real_load(name, seed=seed, **kwargs)
+
+        monkeypatch.setattr(registry, "load_dataset", counting_load)
+        cache = LRUCache(4)
+        load_dataset_cached("synthetic", seed=7, cache=cache)
+        load_dataset_cached("synthetic", seed=8, cache=cache)
+        assert sorted(calls) == [7, 8]
+
+    def test_none_is_a_cacheable_value(self, monkeypatch):
+        """The miss sentinel is distinct from None (the old sentinel)."""
+        import repro.datasets.registry as registry
+
+        from repro.engine.cache import dataset_fingerprint
+
+        cache = LRUCache(4)
+        cache.put(dataset_fingerprint("synthetic", 99, {}), None)
+
+        def exploding_load(name, seed=0, **kwargs):  # pragma: no cover
+            raise AssertionError("cached None must not trigger a reload")
+
+        monkeypatch.setattr(registry, "load_dataset", exploding_load)
+        assert load_dataset_cached("synthetic", seed=99, cache=cache) is None

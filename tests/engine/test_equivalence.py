@@ -103,3 +103,145 @@ class TestFullLoopEquivalence:
             assert a.location.score.ic == b.location.score.ic
             assert np.array_equal(a.spread.direction, b.spread.direction)
             assert a.spread.score.ic == b.spread.score.ic
+
+
+class TestSharedMemoryEquivalence:
+    """The zero-copy transport must also be invisible in the results."""
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_beam_bit_identical(self, seed):
+        dataset = make_synthetic(seed)
+        serial = SubgroupDiscovery(
+            dataset, config=CONFIG, seed=seed, executor=SerialExecutor()
+        ).search_locations()
+        with ProcessExecutor(2, shared_memory=True) as executor:
+            shared = SubgroupDiscovery(
+                dataset, config=CONFIG, seed=seed, executor=executor
+            ).search_locations()
+        assert_search_results_identical(serial, shared)
+
+    def test_spread_bit_identical(self, synthetic_model, synthetic_dataset):
+        indices = np.arange(40)
+        serial = find_spread_direction(
+            synthetic_model,
+            indices,
+            synthetic_dataset.targets,
+            seed=7,
+            executor=SerialExecutor(),
+        )
+        with ProcessExecutor(2, shared_memory=True) as executor:
+            shared = find_spread_direction(
+                synthetic_model,
+                indices,
+                synthetic_dataset.targets,
+                seed=7,
+                executor=executor,
+            )
+        assert np.array_equal(serial.direction, shared.direction)
+        assert serial.ic == shared.ic
+        assert serial.variance == shared.variance
+        assert serial.n_iterations == shared.n_iterations
+
+    def test_full_loop_reuses_warm_pool_bit_identically(self):
+        """Two location+spread iterations over one persistent pool."""
+        dataset = make_synthetic(0)
+        serial = SubgroupDiscovery(
+            dataset, config=CONFIG, seed=0, executor=SerialExecutor()
+        )
+        with ProcessExecutor(2, shared_memory=True) as executor:
+            shared = SubgroupDiscovery(
+                dataset, config=CONFIG, seed=0, executor=executor
+            )
+            for _ in range(2):
+                a = serial.step(kind="spread")
+                b = shared.step(kind="spread")
+                assert a.location.description == b.location.description
+                assert a.location.score.ic == b.location.score.ic
+                assert np.array_equal(a.spread.direction, b.spread.direction)
+                assert a.spread.score.ic == b.spread.score.ic
+
+
+#: Every parallel transport/start-method combination the engine offers.
+PARALLEL_BACKENDS = {
+    "fork": dict(start_method="fork", shared_memory=False),
+    "spawn": dict(start_method="spawn", shared_memory=False),
+    "shm-fork": dict(start_method="fork", shared_memory=True),
+    "shm-spawn": dict(start_method="spawn", shared_memory=True),
+}
+
+#: Small-but-real searches on both acceptance datasets.
+_DATASET_CONFIGS = {
+    "synthetic": SearchConfig(beam_width=6, max_depth=2, top_k=15),
+    "mammals": SearchConfig(beam_width=4, max_depth=1, top_k=10),
+}
+
+
+def _load_equivalence_dataset(name):
+    if name == "synthetic":
+        return make_synthetic(0)
+    from repro.datasets import load_dataset
+
+    return load_dataset("mammals", seed=0)
+
+
+_SERIAL_REFERENCES: dict = {}
+
+
+def _serial_reference(name):
+    """Serial beam + spread results, mined once per dataset."""
+    if name not in _SERIAL_REFERENCES:
+        dataset = _load_equivalence_dataset(name)
+        beam = SubgroupDiscovery(
+            dataset,
+            config=_DATASET_CONFIGS[name],
+            seed=0,
+            executor=SerialExecutor(),
+        ).search_locations()
+        from repro.model.background import BackgroundModel
+
+        model = BackgroundModel.from_targets(dataset.targets)
+        spread = find_spread_direction(
+            model,
+            np.arange(60),
+            dataset.targets,
+            seed=3,
+            n_random_starts=2,
+            max_iterations=40,
+            executor=SerialExecutor(),
+        )
+        _SERIAL_REFERENCES[name] = (dataset, model, beam, spread)
+    return _SERIAL_REFERENCES[name]
+
+
+class TestCrossStartMethodDeterminism:
+    """Satellite acceptance: serial / fork / spawn / shared-memory all
+    mine bit-identical beam and spread results on the synthetic and
+    mammals datasets."""
+
+    @pytest.mark.parametrize("dataset_name", sorted(_DATASET_CONFIGS))
+    @pytest.mark.parametrize("backend", sorted(PARALLEL_BACKENDS))
+    def test_beam_and_spread_bit_identical(self, dataset_name, backend):
+        dataset, model, reference_beam, reference_spread = _serial_reference(
+            dataset_name
+        )
+        with ProcessExecutor(2, **PARALLEL_BACKENDS[backend]) as executor:
+            beam = SubgroupDiscovery(
+                dataset,
+                config=_DATASET_CONFIGS[dataset_name],
+                seed=0,
+                executor=executor,
+            ).search_locations()
+            spread = find_spread_direction(
+                model,
+                np.arange(60),
+                dataset.targets,
+                seed=3,
+                n_random_starts=2,
+                max_iterations=40,
+                executor=executor,
+            )
+        assert_search_results_identical(reference_beam, beam)
+        assert np.array_equal(reference_spread.direction, spread.direction)
+        assert reference_spread.ic == spread.ic
+        assert reference_spread.variance == spread.variance
+        assert reference_spread.n_iterations == spread.n_iterations

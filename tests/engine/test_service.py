@@ -106,3 +106,52 @@ class TestValidation:
         with MiningService(backend="serial") as service:
             with pytest.raises(EngineError):
                 service.submit("not a job")
+
+
+class TestServiceStartMethod:
+    """Regression: MiningService must thread start_method into its pool."""
+
+    @pytest.mark.parametrize("method", ["fork", "spawn"])
+    def test_pool_uses_requested_start_method(self, method):
+        with MiningService(
+            max_workers=1, backend="process", start_method=method
+        ) as service:
+            assert service._pool._mp_context.get_start_method() == method
+            assert service.start_method == method
+
+    def test_fork_spawn_parity(self):
+        """The same job mines identical patterns under either method."""
+        results = {}
+        for method in ("fork", "spawn"):
+            with MiningService(
+                max_workers=1, backend="process", start_method=method
+            ) as service:
+                job_id = service.submit(_job(seed=2))
+                results[method] = service.result(job_id, timeout=120)
+        fork, spawn = results["fork"], results["spawn"]
+        assert len(fork.iterations) == len(spawn.iterations)
+        for a, b in zip(fork.iterations, spawn.iterations):
+            assert a.location.description == b.location.description
+            assert a.location.score.ic == b.location.score.ic
+
+    def test_non_process_backends_ignore_start_method(self):
+        with MiningService(backend="thread", start_method="spawn") as service:
+            job_id = service.submit(_job())
+            assert service.result(job_id, timeout=60) is not None
+
+
+class TestServiceSharedMemory:
+    def test_serial_backend_threads_shared_memory_through(self):
+        """submit(shared_memory=True) must mine the same patterns."""
+        with MiningService(backend="serial") as service:
+            baseline = service.result(service.submit(_job(seed=5)))
+        with MiningService(backend="serial") as service:
+            job_id = service.submit(
+                _job(seed=5), workers=2, shared_memory=True
+            )
+            shared = service.result(job_id)
+        assert len(baseline.iterations) == len(shared.iterations)
+        a = baseline.iterations[0].location
+        b = shared.iterations[0].location
+        assert a.description == b.description
+        assert a.score.ic == b.score.ic

@@ -257,3 +257,32 @@ class TestVersion:
             main(["--version"])
         assert excinfo.value.code == 0
         assert "sisd" in capsys.readouterr().out
+
+
+class TestMineSharedMemory:
+    def test_mine_with_shared_memory(self, capsys):
+        code = main(
+            ["mine", "synthetic", "--iterations", "1", "--workers", "2",
+             "--shared-memory", "--beam-width", "8", "--depth", "2"]
+        )
+        assert code == 0
+        assert "location:" in capsys.readouterr().out
+
+    def test_shared_memory_and_start_method_saved_to_spec(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        code = main(
+            ["mine", "synthetic", "--workers", "2", "--shared-memory",
+             "--start-method", "spawn", "--save-spec", str(spec_path)]
+        )
+        assert code == 0
+        document = json.loads(spec_path.read_text())
+        assert document["executor"]["shared_memory"] is True
+        assert document["executor"]["start_method"] == "spawn"
+        assert document["executor"]["workers"] == 2
+
+    def test_flags_default_to_off(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        assert main(["mine", "synthetic", "--save-spec", str(spec_path)]) == 0
+        document = json.loads(spec_path.read_text())
+        assert document["executor"]["shared_memory"] is False
+        assert document["executor"]["start_method"] is None

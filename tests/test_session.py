@@ -204,3 +204,27 @@ class TestPersistence:
         resumed = MiningSession.resume(synthetic_dataset, path, seed=0)
         assert resumed.n_iterations == 0
         resumed.step()  # still mines
+
+
+class TestSessionClose:
+    def test_close_releases_a_parallel_executor(self, synthetic_dataset):
+        from repro.engine.executor import ProcessExecutor
+        from repro.search.config import SearchConfig
+
+        config = SearchConfig(beam_width=4, max_depth=1, top_k=5)
+        executor = ProcessExecutor(2, shared_memory=True)
+        with MiningSession(
+            synthetic_dataset, config=config, executor=executor
+        ) as session:
+            session.step()
+            assert executor._persistent is not None
+            history = session.history
+        assert executor._persistent is None  # close() shut the warm pool
+        assert len(history) == 1
+        assert session.history  # history stays readable after close
+
+    def test_close_is_a_no_op_for_serial_sessions(self, synthetic_dataset):
+        session = MiningSession(synthetic_dataset, seed=0)
+        session.step()
+        session.close()
+        session.close()

@@ -273,3 +273,38 @@ class TestSectionTypes:
         assert spec.interest == InterestSpec()
         assert spec.search == SearchSpec()
         assert spec.executor == ExecutorSpec()
+
+
+class TestExecutorSharedMemory:
+    """The shared-memory transport toggle rides the executor section."""
+
+    def test_defaults_off(self):
+        assert ExecutorSpec().shared_memory is False
+
+    def test_flat_keyword_routes(self):
+        spec = MiningSpec.build("synthetic", shared_memory=True, workers=2)
+        assert spec.executor.shared_memory is True
+        assert spec.executor.workers == 2
+
+    def test_round_trips_through_json(self):
+        spec = MiningSpec.build("synthetic", shared_memory=True)
+        document = spec.to_dict()
+        assert document["executor"]["shared_memory"] is True
+        assert MiningSpec.from_dict(document).executor.shared_memory is True
+
+    def test_non_bool_rejected(self):
+        with pytest.raises(ReproError, match="shared_memory"):
+            ExecutorSpec(shared_memory="yes")
+
+    def test_fingerprint_excludes_the_toggle(self):
+        # The determinism contract makes the transport irrelevant to the
+        # mined patterns, so it must not split the result cache.
+        plain = MiningSpec.build("synthetic")
+        shared = MiningSpec.build("synthetic", shared_memory=True, workers=4)
+        assert plain.fingerprint() == shared.fingerprint()
+
+    def test_with_changes_toggles(self):
+        spec = MiningSpec.build("synthetic")
+        toggled = spec.with_changes(shared_memory=True)
+        assert toggled.executor.shared_memory is True
+        assert spec.executor.shared_memory is False
