@@ -96,6 +96,7 @@ from repro.model.bernoulli import BernoulliBackgroundModel
 from repro.session import MiningSession
 from repro.engine import (
     ArrayStore,
+    BeliefCache,
     JobFailure,
     JobResult,
     JobStatus,
@@ -119,7 +120,14 @@ from repro.spec import (
     ModelSpec,
     SearchSpec,
 )
-from repro.events import CallbackObserver, EventLog, MiningObserver, broadcast
+from repro.errors import DeadlineExpired
+from repro.events import (
+    CallbackObserver,
+    EventLog,
+    MiningObserver,
+    SchedulerEvent,
+    broadcast,
+)
 from repro.api import Workspace, build_miner
 
 __all__ = [
@@ -133,6 +141,7 @@ __all__ = [
     "SearchError",
     "ConvergenceError",
     "EngineError",
+    "DeadlineExpired",
     # datasets
     "AttributeKind",
     "Column",
@@ -196,6 +205,7 @@ __all__ = [
     "resolve_executor",
     "ArrayStore",
     "LRUCache",
+    "BeliefCache",
     "load_dataset_cached",
     "MiningJob",
     "JobResult",
@@ -222,6 +232,7 @@ __all__ = [
     "MiningObserver",
     "CallbackObserver",
     "EventLog",
+    "SchedulerEvent",
     "broadcast",
     # the front door
     "Workspace",

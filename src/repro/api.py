@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro.engine.cache import BeliefCache, resolve_belief_cache
 from repro.engine.executor import resolve_executor
 from repro.engine.jobs import JobResult, run_job
 from repro.engine.service import JobStatus, MiningService
@@ -77,7 +78,7 @@ def _require_beam(job) -> None:
         )
 
 
-def _substrate_kwargs(spec: MiningSpec, job, observer) -> dict:
+def _substrate_kwargs(spec: MiningSpec, job, observer, belief_cache) -> dict:
     """The spec-derived kwargs shared by the miner and session substrates.
 
     One wiring path for :func:`build_miner` and
@@ -92,17 +93,24 @@ def _substrate_kwargs(spec: MiningSpec, job, observer) -> dict:
         "prior": job.build_prior(),
         "executor": _spec_executor(spec),
         "observer": observer,
+        "belief_cache": belief_cache,
     }
 
 
 def build_miner(
-    spec: MiningSpec | dict, *, observer: MiningObserver | None = None
+    spec: MiningSpec | dict,
+    *,
+    observer: MiningObserver | None = None,
+    belief_cache: BeliefCache | bool | None = None,
 ) -> SubgroupDiscovery:
     """Construct the iterative miner a beam-strategy spec describes.
 
     Exposed for callers that want to drive the substrate directly (the
     Workspace uses it for :meth:`Workspace.stream`); requires
-    ``search.strategy == "beam"``.
+    ``search.strategy == "beam"``. ``belief_cache`` opts the miner into
+    belief-state prefix reuse (see
+    :class:`~repro.engine.cache.BeliefCache`; ``True`` = the
+    process-wide cache).
     """
     spec = _as_spec(spec)
     job = spec.to_job()
@@ -110,7 +118,7 @@ def build_miner(
     return SubgroupDiscovery(
         _load_job_dataset(job),
         targets=list(job.targets) if job.targets is not None else None,
-        **_substrate_kwargs(spec, job, observer),
+        **_substrate_kwargs(spec, job, observer, resolve_belief_cache(belief_cache)),
     )
 
 
@@ -136,6 +144,16 @@ class Workspace:
         defaults to ``None``, meaning: honor the first submitted spec's
         ``executor.backend`` (falling back to ``"process"`` when the
         service is created without a spec in hand).
+    belief_cache:
+        Belief-state prefix cache for this workspace's *inline* modes
+        (``mine``/``stream``/``session``): ``True`` shares the
+        process-wide :data:`~repro.engine.cache.BELIEF_CACHE`, an
+        instance scopes reuse to its holders, and the default ``None``
+        leaves inline execution cache-free. Sessions and runs sharing a
+        cache and a prefix of assimilated patterns replay the prefix
+        bit-identically instead of re-mining it. Independently, a
+        lazily created service keeps its own default (the shared cache)
+        unless this is set, in which case it is passed through.
     """
 
     def __init__(
@@ -145,8 +163,11 @@ class Workspace:
         service: MiningService | None = None,
         service_backend: str | None = None,
         service_workers: int = 2,
+        belief_cache: BeliefCache | bool | None = None,
     ) -> None:
         self.observer = observer
+        self._belief_cache_arg = belief_cache
+        self.belief_cache = resolve_belief_cache(belief_cache)
         self._service = service
         self._owns_service = False
         self._service_backend = service_backend
@@ -172,7 +193,12 @@ class Workspace:
         composed = broadcast(self.observer, observer)
         executor = _spec_executor(spec)
         try:
-            result = run_job(spec.to_job(), executor=executor, observer=composed)
+            result = run_job(
+                spec.to_job(),
+                executor=executor,
+                observer=composed,
+                belief_cache=self.belief_cache,
+            )
         finally:
             # A shared-memory executor holds a persistent worker pool;
             # release it deterministically, not at garbage collection.
@@ -210,7 +236,7 @@ class Workspace:
                 executor.close()
             yield from result.iterations
             return
-        miner = build_miner(spec, observer=composed)
+        miner = build_miner(spec, observer=composed, belief_cache=self.belief_cache)
         try:
             for _ in range(spec.search.n_iterations):
                 yield miner.step(
@@ -247,7 +273,9 @@ class Workspace:
             dataset,
             kind=spec.search.kind,
             sparsity=spec.search.sparsity,
-            **_substrate_kwargs(spec, job, broadcast(self.observer, observer)),
+            **_substrate_kwargs(
+                spec, job, broadcast(self.observer, observer), self.belief_cache
+            ),
         )
 
     # ------------------------------------------------------------------ #
@@ -265,6 +293,13 @@ class Workspace:
                 max_workers=self._service_workers,
                 backend=backend,
                 observer=self.observer,
+                # None = keep the service's own default (the shared
+                # process-wide cache); an explicit setting wins.
+                belief_cache=(
+                    True
+                    if self._belief_cache_arg is None
+                    else self._belief_cache_arg
+                ),
             )
             self._owns_service = True
         return self._service

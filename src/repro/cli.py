@@ -140,6 +140,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: platform default)",
     )
     mine.add_argument(
+        "--priority", type=int, default=None,
+        help="service scheduling priority of the spec (higher dispatches "
+        "first; only observed when the spec is submitted to a service — "
+        "inline mining runs immediately)",
+    )
+    mine.add_argument(
+        "--deadline", type=float, default=None,
+        help="queue-time budget in seconds: a spec submitted to a service "
+        "expires instead of starting once this elapses (inline mining "
+        "runs immediately and never expires)",
+    )
+    mine.add_argument(
         "--spec", default=None, metavar="FILE",
         help="run a saved MiningSpec JSON instead of building one from flags "
         "(other mine flags override the loaded spec's fields)",
@@ -200,6 +212,8 @@ def _flat_spec_kwargs(args: argparse.Namespace) -> dict:
         "workers": args.workers,
         "shared_memory": args.shared_memory,
         "start_method": args.start_method,
+        "priority": args.priority,
+        "deadline": args.deadline,
     }
     return {key: value for key, value in flat.items() if value is not None}
 

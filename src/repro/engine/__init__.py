@@ -36,8 +36,12 @@ _EXPORTS = {
     "LRUCache": "repro.engine.cache",
     "fingerprint": "repro.engine.cache",
     "dataset_fingerprint": "repro.engine.cache",
+    "dataset_content_fingerprint": "repro.engine.cache",
     "load_dataset_cached": "repro.engine.cache",
     "DATASET_CACHE": "repro.engine.cache",
+    "BeliefCache": "repro.engine.cache",
+    "CachedStep": "repro.engine.cache",
+    "BELIEF_CACHE": "repro.engine.cache",
     "MiningJob": "repro.engine.jobs",
     "JobResult": "repro.engine.jobs",
     "JobFailure": "repro.engine.jobs",

@@ -1,10 +1,19 @@
-"""Engine-level caching: stable fingerprints and the dataset cache.
+"""Engine-level caching: stable fingerprints, dataset and belief caches.
 
 A parameter sweep mines one dataset under many configs, and the service
 deduplicates repeated job submissions; both reuse points key their
 :class:`~repro.utils.cache.LRUCache` (re-exported here) by
 :func:`fingerprint` digests of the JSON-canonical spec, so equal specs
 hit regardless of dict ordering or tuple-vs-list spelling.
+
+The paper's mining loop is *iterative* — each shown pattern is
+assimilated into the background model, so consecutive sessions over the
+same data share a prefix of belief state. :class:`BeliefCache` exploits
+that: it fingerprints every mining iteration as a chain hash of
+(dataset content, search configuration, assimilated-constraint
+sequence, RNG state) and stores the iteration's outcome, so a warm
+session replays the shared prefix from the cache — bit-identically —
+and only pays for the first genuinely new iteration onward.
 """
 
 from __future__ import annotations
@@ -13,6 +22,7 @@ import hashlib
 import json
 import math
 import threading
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
@@ -25,8 +35,13 @@ __all__ = [
     "LRUCache",
     "fingerprint",
     "dataset_fingerprint",
+    "dataset_content_fingerprint",
     "DATASET_CACHE",
     "load_dataset_cached",
+    "BeliefCache",
+    "CachedStep",
+    "BELIEF_CACHE",
+    "resolve_belief_cache",
 ]
 
 
@@ -77,6 +92,47 @@ def dataset_fingerprint(name: str, seed: int = 0, kwargs: dict | None = None) ->
     return fingerprint({"dataset": name, "seed": seed, "kwargs": kwargs or {}})
 
 
+def dataset_content_fingerprint(dataset) -> str:
+    """SHA-256 digest of a dataset's *contents*, not its recipe.
+
+    Hashes everything the mining loop can see — target matrix, target
+    names, and each description column's name, kind, and values
+    (metadata is invisible to the search and excluded) — so two
+    :class:`~repro.datasets.schema.Dataset` objects with equal content
+    fingerprint equally no matter how they were constructed. Datasets
+    are immutable, so the digest is memoized on the instance.
+    """
+    cached = getattr(dataset, "_content_fingerprint", None)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+
+    def _feed(label: str, payload: bytes) -> None:
+        # Length-prefix every field so concatenations cannot collide.
+        digest.update(label.encode("utf-8"))
+        digest.update(len(payload).to_bytes(8, "little"))
+        digest.update(payload)
+
+    _feed("name", dataset.name.encode("utf-8"))
+    _feed("targets", np.ascontiguousarray(dataset.targets, dtype=float).tobytes())
+    _feed("target_names", "\x00".join(dataset.target_names).encode("utf-8"))
+    for name in dataset.description_names:
+        column = dataset.column(name)
+        _feed("column", name.encode("utf-8"))
+        _feed("kind", column.kind.value.encode("utf-8"))
+        values = column.values
+        if values.dtype.kind in ("U", "O"):
+            _feed("values", "\x00".join(str(v) for v in values).encode("utf-8"))
+        else:
+            _feed("values", np.ascontiguousarray(values).tobytes())
+    result = digest.hexdigest()
+    try:
+        dataset._content_fingerprint = result
+    except AttributeError:  # pragma: no cover - read-only dataset subclass
+        pass
+    return result
+
+
 #: Process-wide dataset cache used by the job runner by default.
 DATASET_CACHE = LRUCache(maxsize=16)
 
@@ -124,3 +180,129 @@ def load_dataset_cached(
             dataset = load_dataset(name, seed=seed, **kwargs)
             cache.put(key, dataset)
     return dataset
+
+
+# --------------------------------------------------------------------- #
+# Belief-state prefix cache
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CachedStep:
+    """What one cached mining iteration needs to be replayed exactly.
+
+    ``iteration`` is the step's result record, ``constraints`` the
+    pattern constraints the step assimilated (one for a location step,
+    two for the paper's two-step location+spread process), and
+    ``rng_state`` the search RNG state *after* the step — restoring it
+    makes the continuation bit-identical to never having replayed.
+    """
+
+    iteration: Any
+    constraints: tuple
+    rng_state: dict
+
+
+class BeliefCache:
+    """Fingerprint-keyed store of mining iterations for prefix reuse.
+
+    Keys are chain hashes: :meth:`base_fingerprint` digests what a miner
+    was built from (dataset content, search config, DL weights, prior),
+    :meth:`extend` folds one assimilated constraint into the chain, and
+    :meth:`step_key` combines the chain with the step parameters and the
+    RNG state. Two sessions that share a base and a prefix of
+    assimilated patterns therefore compute identical keys for the shared
+    prefix — and the later one replays it from the cache instead of
+    re-mining (see :meth:`repro.search.miner.SubgroupDiscovery.step`).
+
+    Correctness relies on the engine's determinism contract: given equal
+    belief state and RNG state, mining is a pure function of the key, so
+    a hit is bit-identical to a cold run. Including the RNG state keeps
+    sessions whose streams diverged (e.g. after an undo, which does not
+    rewind the RNG) from ever sharing entries they should not.
+
+    Instances are thread-safe (the underlying LRU locks); one process-
+    wide default is exported as :data:`BELIEF_CACHE`.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        self._entries = LRUCache(maxsize)
+
+    # -------------------------- fingerprints -------------------------- #
+    @staticmethod
+    def base_fingerprint(dataset, config, dl_params, prior) -> str:
+        """Digest of everything a miner's first iteration depends on."""
+        return fingerprint(
+            {
+                "belief_cache": 1,  # schema version of the chain layout
+                "dataset": dataset_content_fingerprint(dataset),
+                "config": config.to_dict(),
+                "dl": {"gamma": dl_params.gamma, "eta": dl_params.eta},
+                "prior": {"mean": prior.mean, "cov": prior.cov},
+            }
+        )
+
+    @staticmethod
+    def extend(belief_fp: str, constraint) -> str:
+        """Fold one assimilated constraint into the belief chain hash."""
+        from repro.persist import constraint_to_dict  # circular at import time
+
+        return fingerprint({"prev": belief_fp, "constraint": constraint_to_dict(constraint)})
+
+    @staticmethod
+    def step_key(belief_fp: str, kind: str, sparsity, rng_state) -> str:
+        """Cache key of one mining step from a given belief state."""
+        return fingerprint(
+            {
+                "belief": belief_fp,
+                "kind": kind,
+                "sparsity": sparsity,
+                "rng": rng_state,
+            }
+        )
+
+    # ----------------------------- storage ---------------------------- #
+    def get(self, key: str) -> CachedStep | None:
+        """The cached step under ``key``, or ``None``."""
+        return self._entries.get(key)
+
+    def put(self, key: str, entry: CachedStep) -> None:
+        """Store one mined step under its chain key."""
+        if not isinstance(entry, CachedStep):
+            raise EngineError(
+                f"belief cache stores CachedStep entries, got {type(entry).__name__}"
+            )
+        self._entries.put(key, entry)
+
+    def clear(self) -> None:
+        """Drop every cached step (hit/miss counters are kept)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Hit/miss/eviction counters of the underlying LRU."""
+        return self._entries.stats
+
+
+#: Process-wide belief cache shared by opted-in miners and services.
+BELIEF_CACHE = BeliefCache(maxsize=256)
+
+
+def resolve_belief_cache(value: "BeliefCache | bool | None") -> BeliefCache | None:
+    """Normalize a ``belief_cache`` argument spelling.
+
+    One resolution path for :class:`repro.api.Workspace` and
+    :class:`repro.engine.service.MiningService`: ``True`` selects the
+    process-wide :data:`BELIEF_CACHE`, ``False``/``None`` disables
+    prefix caching, and an instance is used as-is.
+    """
+    if value is True:
+        return BELIEF_CACHE
+    if value is False or value is None:
+        return None
+    if isinstance(value, BeliefCache):
+        return value
+    raise EngineError(
+        f"belief_cache must be a BeliefCache, True, False or None, got {value!r}"
+    )

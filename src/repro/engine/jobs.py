@@ -17,7 +17,12 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.engine.cache import LRUCache, fingerprint, load_dataset_cached
+from repro.engine.cache import (
+    BeliefCache,
+    LRUCache,
+    fingerprint,
+    load_dataset_cached,
+)
 from repro.engine.executor import Executor, SerialExecutor, resolve_executor
 from repro.errors import EngineError
 from repro.events import MiningObserver
@@ -35,6 +40,9 @@ JOB_KINDS = ("location", "spread")
 #: ``"quality_beam"`` are single-shot searches (one location pattern,
 #: no belief-state iteration).
 JOB_STRATEGIES = ("beam", "branch_bound", "quality_beam")
+
+#: Sentinel distinguishing "deadline not passed" from an explicit None.
+_UNSET_DEADLINE = object()
 
 
 @dataclass(frozen=True, eq=True)
@@ -79,6 +87,19 @@ class MiningJob:
         Interestingness measure; ``"si"`` for the subjective strategies,
         a :data:`repro.registry.MEASURES` key (e.g. ``"mean_shift"``)
         for ``"quality_beam"``.
+    priority:
+        Scheduling weight on a :class:`~repro.engine.service.MiningService`
+        queue — higher runs first (default 0; ties broken by earliest
+        deadline, then arrival order). Like ``name``, priority changes
+        *when* the work runs, never *what* it computes, so it is
+        excluded from :meth:`spec` and :meth:`fingerprint`.
+    deadline:
+        Optional queue-time budget in seconds. A job that has not been
+        dispatched within ``deadline`` seconds of submission expires
+        (terminal ``EXPIRED`` state; ``result()`` raises
+        :class:`~repro.errors.DeadlineExpired`) instead of running work
+        whose answer can no longer be useful. ``None`` (default) never
+        expires. Excluded from the fingerprint, like ``priority``.
     """
 
     dataset: str
@@ -96,10 +117,27 @@ class MiningJob:
     eta: float = 1.0
     strategy: str = "beam"
     measure: str = "si"
+    priority: int = 0
+    deadline: float | None = None
 
     def __post_init__(self) -> None:
         if not self.dataset:
             raise EngineError("job needs a dataset name")
+        if not isinstance(self.priority, int) or isinstance(self.priority, bool):
+            raise EngineError(f"priority must be an int, got {self.priority!r}")
+        if self.deadline is not None:
+            try:
+                deadline = float(self.deadline)
+            except (TypeError, ValueError):
+                raise EngineError(
+                    f"deadline must be a number of seconds or None, "
+                    f"got {self.deadline!r}"
+                ) from None
+            if not (deadline >= 0):  # also rejects NaN
+                raise EngineError(
+                    f"deadline must be >= 0 seconds or None, got {self.deadline!r}"
+                )
+            object.__setattr__(self, "deadline", deadline)
         if self.kind not in JOB_KINDS:
             raise EngineError(
                 f"kind must be one of {JOB_KINDS}, got {self.kind!r}"
@@ -198,6 +236,21 @@ class MiningJob:
     def with_name(self, name: str) -> "MiningJob":
         """The same work under a different label."""
         return replace(self, name=name)
+
+    def with_schedule(
+        self, *, priority: int | None = None, deadline: float | None = _UNSET_DEADLINE
+    ) -> "MiningJob":
+        """The same work under different scheduling terms.
+
+        Omitted arguments keep the current values; pass ``deadline=None``
+        explicitly to remove an existing deadline.
+        """
+        changes: dict = {}
+        if priority is not None:
+            changes["priority"] = priority
+        if deadline is not _UNSET_DEADLINE:
+            changes["deadline"] = deadline
+        return replace(self, **changes) if changes else self
 
     def dl_params(self) -> DLParams:
         """The job's description-length weights as a DLParams."""
@@ -329,6 +382,7 @@ def run_job(
     executor: Executor | None = None,
     dataset_cache: LRUCache | None = None,
     observer: MiningObserver | None = None,
+    belief_cache: BeliefCache | None = None,
 ) -> JobResult:
     """Execute one job start-to-finish and return its result.
 
@@ -337,6 +391,10 @@ def run_job(
     The single-shot strategies are sequential algorithms and ignore it.
     ``observer`` receives candidate/iteration events live (beam
     strategy) or the single iteration of a single-shot strategy.
+    ``belief_cache`` lets the beam strategy's iterative loop replay
+    belief-state prefixes it shares with earlier runs (see
+    :class:`~repro.engine.cache.BeliefCache`); the single-shot
+    strategies have no belief state and ignore it.
     """
     dataset = load_dataset_cached(
         job.dataset,
@@ -355,6 +413,7 @@ def run_job(
             seed=job.seed,
             executor=executor or SerialExecutor(),
             observer=observer,
+            belief_cache=belief_cache,
         )
         iterations = miner.run(job.n_iterations, kind=job.kind, sparsity=job.sparsity)
     else:
@@ -378,6 +437,7 @@ def run_job_with_workers(
     workers: int | None,
     start_method: str | None = None,
     shared_memory: bool = False,
+    belief_cache: BeliefCache | None = None,
 ) -> JobResult:
     """:func:`run_job` with the executor resolved from a worker count.
 
@@ -386,13 +446,16 @@ def run_job_with_workers(
     inside its worker processes (nested pools are legal; the determinism
     contract keeps the results identical at any count over any
     transport). The executor is closed afterwards so a shared-memory
-    run's persistent pool never outlives its job.
+    run's persistent pool never outlives its job. ``belief_cache`` is
+    in-process state: the service's thread/serial backends thread theirs
+    through here, while its process backend leaves it ``None`` (a cache
+    cannot ship to a worker process).
     """
     executor = resolve_executor(
         workers, start_method=start_method, shared_memory=shared_memory
     )
     try:
-        return run_job(job, executor=executor)
+        return run_job(job, executor=executor, belief_cache=belief_cache)
     finally:
         executor.close()
 

@@ -1,15 +1,33 @@
-"""Mining-as-a-service: submit/status/result/cancel over a worker pool.
+"""Mining-as-a-service: a scheduled worker pool with result caching.
 
 :class:`MiningService` turns the batch runner into a long-lived server
 object: clients submit :class:`~repro.engine.jobs.MiningJob` specs and
 poll (or block on) results while a bounded pool of workers drains the
-queue. Identical specs are deduplicated through an LRU result cache
-keyed by the job fingerprint, so a dashboard re-requesting the same
-mining run costs nothing the second time.
+queue. Unlike a plain ``concurrent.futures`` pool, the service owns its
+queue and schedules it deterministically:
+
+- **Priority, deadline, arrival.** Queued jobs dispatch by descending
+  :attr:`~repro.engine.jobs.MiningJob.priority`, then earliest
+  deadline, then submission order — never by pool-internal FIFO luck.
+- **Deadlines are terminal.** A job whose
+  :attr:`~repro.engine.jobs.MiningJob.deadline` elapses before a worker
+  picks it up moves to the ``EXPIRED`` state and its ``result()``
+  raises :class:`~repro.errors.DeadlineExpired` — the service never
+  starts work whose answer can no longer be useful.
+- **Cancel-while-queued is deterministic.** :meth:`MiningService.cancel`
+  of a job that has not been dispatched always succeeds.
+- **Identical work runs once.** Completed specs are deduplicated
+  through an LRU result cache keyed by the job fingerprint, and a
+  submission whose fingerprint is already queued or running *coalesces*
+  onto the in-flight job instead of mining twice.
+- **Decisions are observable.** Every scheduling decision is emitted as
+  a :class:`~repro.events.SchedulerEvent` through the service's
+  observers (``on_schedule``).
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import threading
 import time
@@ -17,7 +35,7 @@ from concurrent.futures import CancelledError, Future
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from enum import Enum
 
-from repro.engine.cache import LRUCache
+from repro.engine.cache import BeliefCache, LRUCache, resolve_belief_cache
 
 # BACKENDS moved to the executor module with the pool-resolution dedup;
 # re-imported here so `from repro.engine.service import BACKENDS` (its
@@ -26,8 +44,8 @@ from repro.engine.executor import BACKENDS, resolve_executor, resolve_pool
 
 __all__ = ["BACKENDS", "JobStatus", "MiningService"]
 from repro.engine.jobs import JobResult, MiningJob, run_job, run_job_with_workers
-from repro.errors import EngineError
-from repro.events import MiningObserver, broadcast
+from repro.errors import DeadlineExpired, EngineError
+from repro.events import MiningObserver, SchedulerEvent, broadcast
 
 
 class _SwallowingObserver(MiningObserver):
@@ -67,19 +85,103 @@ class _SwallowingObserver(MiningObserver):
         except Exception:
             pass
 
+    def on_schedule(self, event) -> None:
+        try:
+            self._inner.on_schedule(event)
+        except Exception:
+            pass
+
 
 class JobStatus(str, Enum):
-    """Lifecycle of a submitted job."""
+    """Lifecycle of a submitted job.
+
+    ``PENDING`` jobs wait in the scheduler's queue, ``RUNNING`` jobs
+    occupy a worker slot, and the remaining four states are terminal:
+    ``DONE`` (result available), ``FAILED`` (``result()`` re-raises the
+    worker error), ``CANCELLED`` (cancelled before dispatch), and
+    ``EXPIRED`` (the deadline elapsed before a worker was free;
+    ``result()`` raises :class:`~repro.errors.DeadlineExpired`).
+    """
 
     PENDING = "pending"
     RUNNING = "running"
     DONE = "done"
     FAILED = "failed"
     CANCELLED = "cancelled"
+    EXPIRED = "expired"
+
+
+#: Record states that still change (everything else is terminal).
+_LIVE_STATES = ("queued", "running")
+
+_STATE_TO_STATUS = {
+    "queued": JobStatus.PENDING,
+    "running": JobStatus.RUNNING,
+    "done": JobStatus.DONE,
+    "failed": JobStatus.FAILED,
+    "cancelled": JobStatus.CANCELLED,
+    "expired": JobStatus.EXPIRED,
+}
+
+
+class _Record:
+    """Scheduler bookkeeping of one submission.
+
+    ``priority`` starts as the job's own and may be *boosted* when a
+    higher-priority duplicate coalesces onto a still-queued record (the
+    queue serves the most urgent interested client). ``proxy_of`` links
+    a coalesced duplicate to the record doing the actual work;
+    ``proxies`` is the reverse edge. ``heap_key`` detects stale heap
+    entries after a boost (lazy deletion).
+    """
+
+    __slots__ = (
+        "job_id",
+        "job",
+        "fp",
+        "seq",
+        "priority",
+        "deadline_at",
+        "urgency_at",
+        "future",
+        "state",
+        "opts",
+        "proxies",
+        "proxy_of",
+        "heap_key",
+    )
+
+    def __init__(self, job_id: str, job: MiningJob, fp: str, seq: int, opts: tuple):
+        self.job_id = job_id
+        self.job = job
+        self.fp = fp
+        self.seq = seq
+        self.priority = job.priority
+        self.deadline_at = (
+            None if job.deadline is None else time.monotonic() + job.deadline
+        )
+        # Scheduling urgency: the record's own deadline, tightened by the
+        # earliest deadline of any coalesced duplicate. Ordering only —
+        # expiry always uses the record's own deadline_at (a duplicate's
+        # impatience must not expire a primary that promised no deadline).
+        self.urgency_at = self.deadline_at
+        self.future: Future = Future()
+        self.state = "queued"
+        self.opts = opts
+        self.proxies: list["_Record"] = []
+        self.proxy_of: "_Record" | None = None
+        self.heap_key: tuple | None = None
+
+    def sort_key(self) -> tuple:
+        """Deterministic dispatch order: priority ↓, deadline ↑, arrival ↑."""
+        deadline_rank = (
+            (1, 0.0) if self.urgency_at is None else (0, self.urgency_at)
+        )
+        return (-self.priority, deadline_rank, self.seq)
 
 
 class MiningService:
-    """Bounded concurrent execution of mining jobs with result caching.
+    """Scheduled concurrent execution of mining jobs with result caching.
 
     .. note::
         As a *public entry point* prefer
@@ -90,12 +192,17 @@ class MiningService:
     Parameters
     ----------
     max_workers:
-        Upper bound on concurrently running jobs (default 2).
+        Upper bound on concurrently running jobs (default 2). Jobs
+        beyond it queue and dispatch in deterministic scheduling order
+        (priority, then deadline, then arrival — see
+        :class:`~repro.engine.jobs.MiningJob`).
     backend:
         ``"process"`` (default) isolates each job in a worker process —
         right for CPU-bound mining; ``"thread"`` keeps everything
         in-process (fast startup, handy for tests and small jobs);
-        ``"serial"`` executes synchronously at submit time.
+        ``"serial"`` executes synchronously at submit time (each submit
+        completes before the next arrives, so scheduling order is
+        trivially submission order there).
     cache_size:
         Capacity of the fingerprint-keyed result cache.
     start_method:
@@ -107,13 +214,26 @@ class MiningService:
         job spawns internally.
     observer:
         Optional :class:`~repro.events.MiningObserver`. With the
-        ``"serial"`` backend events fire live during mining; the
-        process/thread pools cannot ship callbacks across workers, so
-        for those backends (and for cache hits) the service *replays*
-        ``on_iteration`` for each mined iteration when a job's result
-        arrives, then fires ``on_job``. A job that raises fires
-        ``on_job_failed`` instead, so every non-cancelled submission
-        ends in exactly one terminal event.
+        ``"serial"`` backend candidate/iteration events fire live during
+        mining; the process/thread pools cannot ship callbacks across
+        workers, so for those backends (and for cache hits) the service
+        *replays* ``on_iteration`` for each mined iteration when a job's
+        result arrives, then fires ``on_job``. A job that raises fires
+        ``on_job_failed`` instead, so every submission that runs ends in
+        exactly one terminal event; cancelled and expired jobs surface
+        through ``on_schedule``, which also carries every other
+        scheduling decision (queued/dispatched/cache_hit/coalesced).
+        Scheduling events may fire from worker callback threads.
+    belief_cache:
+        Belief-state prefix cache shared by the jobs this service runs
+        in-process (serial and thread backends; a worker *process*
+        cannot share it). ``True`` (default) uses the process-wide
+        :data:`~repro.engine.cache.BELIEF_CACHE`, so iterative jobs that
+        share a prefix of assimilated patterns — e.g. the same spec at
+        growing ``n_iterations`` — only mine the new iterations;
+        ``None``/``False`` disables; a
+        :class:`~repro.engine.cache.BeliefCache` instance scopes reuse
+        to whoever shares that instance.
 
     The service is a context manager; leaving the block shuts the pool
     down and waits for running jobs.
@@ -127,6 +247,7 @@ class MiningService:
         cache_size: int = 64,
         observer: MiningObserver | None = None,
         start_method: str | None = None,
+        belief_cache: BeliefCache | bool | None = True,
     ) -> None:
         if max_workers < 1:
             raise EngineError(f"max_workers must be >= 1, got {max_workers}")
@@ -139,10 +260,18 @@ class MiningService:
         )
         self._recompose_observers()
         self._cache = LRUCache(cache_size)
-        self._lock = threading.Lock()
-        self._futures: dict[str, Future] = {}
-        self._jobs: dict[str, MiningJob] = {}
+        self._belief_cache = resolve_belief_cache(belief_cache)
+        # Reentrant: a pool future that completes before its done-callback
+        # is attached runs the callback synchronously in the dispatching
+        # thread, which already holds the lock.
+        self._lock = threading.RLock()
+        self._records: dict[str, _Record] = {}
+        self._queue: list[tuple[tuple, _Record]] = []
+        self._inflight: dict[str, _Record] = {}
+        self._running = 0
+        self._n_queued = 0
         self._ids = itertools.count(1)
+        self._seq = itertools.count()
 
     # ------------------------------------------------------------------ #
     # Client API
@@ -161,106 +290,219 @@ class MiningService:
         search *inside* the job (the spec's executor section); the
         determinism contract makes them — and hence these parameters —
         irrelevant to the result, so the cache stays keyed by the job
-        fingerprint alone.
+        fingerprint alone. A submission whose fingerprint is already
+        queued or running coalesces onto that in-flight job (one mining
+        run, every waiter gets the result); scheduling terms come from
+        the job's ``priority``/``deadline`` fields.
         """
         if not isinstance(job, MiningJob):
             raise EngineError(f"expected MiningJob, got {type(job).__name__}")
         job_id = f"job-{next(self._ids):04d}"
         fp = job.fingerprint()
-        cached = self._cache.get(fp)
-        # Announcements are deferred until the job is registered, so an
-        # observer reacting to on_job can already see it in jobs().
-        announce: tuple[JobResult, bool] | None = None
-        failure: Exception | None = None
-        if cached is not None:
-            future: Future = Future()
-            future.set_result(cached)
-            announce = (cached, True)
-        elif self._pool is None:
-            future = Future()
-            executor = resolve_executor(
-                workers, start_method=start_method, shared_memory=shared_memory
-            )
-            try:
-                # Serial backend: candidate/iteration events fire live
-                # (swallowed on failure — see _SwallowingObserver).
-                result = self._finish(
-                    fp,
-                    run_job(job, executor=executor, observer=self._live_observer),
-                )
-            except Exception as exc:  # surface via result(), like a pool would
-                future.set_exception(exc)
-                failure = exc
-            else:
-                future.set_result(result)
-                announce = (result, False)
-            finally:
-                # A shared-memory executor holds a persistent pool; do
-                # not leave it to garbage collection.
-                executor.close()
-        else:
-            future = self._pool.submit(
-                run_job_with_workers, job, workers, start_method, shared_memory
-            )
+        post: list = []
+        serial_record: _Record | None = None
         with self._lock:
-            self._futures[job_id] = future
-            self._jobs[job_id] = job
-        if announce is not None:
-            self._announce(announce[0], replay_iterations=announce[1])
-        elif failure is not None and self._live_observer is not None:
-            self._live_observer.on_job_failed(job, failure)
-        elif self._pool is not None:
-            future.add_done_callback(self._make_cache_callback(job, fp))
+            record = _Record(job_id, job, fp, next(self._seq), (workers, start_method, shared_memory))
+            self._records[job_id] = record
+            self._emit_later(post, "queued", record)
+            cached = self._cache.get(fp)
+            if cached is not None:
+                record.state = "done"
+                record.future.set_result(cached)
+                self._emit_later(post, "cache_hit", record)
+                post.append(
+                    lambda r=cached: self._announce(r, replay_iterations=True)
+                )
+            elif self._pool is None:
+                if (
+                    record.deadline_at is not None
+                    and time.monotonic() >= record.deadline_at
+                ):
+                    self._expire_locked(record, post)
+                else:
+                    record.state = "running"
+                    self._emit_later(post, "dispatched", record)
+                    serial_record = record
+            else:
+                primary = self._inflight.get(fp)
+                if primary is not None and primary.state in _LIVE_STATES:
+                    record.proxy_of = primary
+                    primary.proxies.append(record)
+                    self._emit_later(
+                        post, "coalesced", record, detail=f"onto {primary.job_id}"
+                    )
+                    # Serve the most urgent interested client: a queued
+                    # primary inherits a duplicate's higher priority and
+                    # earlier deadline *for ordering* (re-pushed; lazy
+                    # deletion skips the stale heap entry). Expiry keeps
+                    # using each record's own deadline.
+                    if primary.state == "queued":
+                        boosted = False
+                        if record.priority > primary.priority:
+                            primary.priority = record.priority
+                            boosted = True
+                        if record.deadline_at is not None and (
+                            primary.urgency_at is None
+                            or record.deadline_at < primary.urgency_at
+                        ):
+                            primary.urgency_at = record.deadline_at
+                            boosted = True
+                        if boosted:
+                            self._push_locked(primary)
+                else:
+                    self._inflight[fp] = record
+                    self._push_locked(record)
+                    self._n_queued += 1
+                    self._dispatch_locked(post)
+        self._run_post(post)
+        if serial_record is not None:
+            self._run_serial(serial_record)
         return job_id
 
+    def _run_serial(self, record: _Record) -> None:
+        """Execute one job inline (the ``"serial"`` backend's dispatch)."""
+        workers, start_method, shared_memory = record.opts
+        executor = resolve_executor(
+            workers, start_method=start_method, shared_memory=shared_memory
+        )
+        try:
+            # Serial backend: candidate/iteration events fire live
+            # (swallowed on failure — see _SwallowingObserver).
+            result = run_job(
+                record.job,
+                executor=executor,
+                observer=self._live_observer,
+                belief_cache=self._belief_cache,
+            )
+        except Exception as exc:  # surface via result(), like a pool would
+            with self._lock:
+                record.state = "failed"
+                record.future.set_exception(exc)
+            if self._live_observer is not None:
+                self._live_observer.on_job_failed(record.job, exc)
+        else:
+            with self._lock:
+                record.state = "done"
+                self._cache.put(record.fp, result)
+                record.future.set_result(result)
+            self._announce(result, replay_iterations=False)
+        finally:
+            # A shared-memory executor holds a persistent pool; do
+            # not leave it to garbage collection.
+            executor.close()
+
     def status(self, job_id: str) -> JobStatus:
-        """Current lifecycle state of one job."""
-        future = self._future_of(job_id)
-        if future.cancelled():
-            return JobStatus.CANCELLED
-        if future.running():
-            return JobStatus.RUNNING
-        if future.done():
-            return JobStatus.FAILED if future.exception() else JobStatus.DONE
-        return JobStatus.PENDING
+        """Current lifecycle state of one job.
+
+        Querying a queued job whose deadline has passed moves it to
+        ``EXPIRED`` on the spot (expiry is otherwise observed when a
+        worker slot frees up and the scheduler considers the job).
+        """
+        post: list = []
+        with self._lock:
+            record = self._record_of(job_id)
+            self._expire_if_due_locked(record, post)
+            if record.state == "queued" and record.proxy_of is not None:
+                # A coalesced duplicate is as far along as its primary.
+                status = (
+                    JobStatus.RUNNING
+                    if record.proxy_of.state == "running"
+                    else JobStatus.PENDING
+                )
+            else:
+                status = _STATE_TO_STATUS[record.state]
+        self._run_post(post)
+        return status
 
     def result(self, job_id: str, timeout: float | None = None) -> JobResult:
         """Block until the job finishes and return its result.
 
-        Re-raises the job's exception on failure and
-        :class:`concurrent.futures.CancelledError` after a cancel.
+        Re-raises the job's exception on failure,
+        :class:`concurrent.futures.CancelledError` after a cancel, and
+        :class:`~repro.errors.DeadlineExpired` after a deadline expiry.
+        A waiter blocked on a queued deadlined job wakes at the deadline
+        to raise — it is never held until a worker slot frees just to
+        learn its job expired.
         """
-        return self._future_of(job_id).result(timeout=timeout)
+        give_up_at = None if timeout is None else time.monotonic() + timeout
+        while True:
+            self.status(job_id)  # lazily expires an overdue queued job
+            with self._lock:
+                record = self._record_of(job_id)
+                future = record.future
+                expire_at = None
+                if record.state == "queued":
+                    watched = (
+                        record.proxy_of if record.proxy_of is not None else record
+                    )
+                    if watched.state == "queued":
+                        # Pending expiry of whichever record gates us:
+                        # our own while primary-less, the primary's
+                        # otherwise (a proxy on started work never
+                        # expires; _expire_if_due_locked mirrors this).
+                        expire_at = record.deadline_at
+            now = time.monotonic()
+            waits = []
+            if give_up_at is not None:
+                waits.append(give_up_at - now)
+            if expire_at is not None:
+                waits.append(expire_at - now + 0.001)
+            try:
+                return future.result(timeout=min(waits) if waits else None)
+            except FuturesTimeoutError:
+                if give_up_at is not None and time.monotonic() >= give_up_at:
+                    raise
+                # Deadline wake-up: loop — status() above expires the
+                # record, after which the future resolves immediately.
 
     def cancel(self, job_id: str) -> bool:
-        """Cancel a job that has not started yet; True on success."""
-        return self._future_of(job_id).cancel()
+        """Cancel a job that has not started yet; True on success.
+
+        Deterministic: a queued (or coalesced) job always cancels; a
+        running or terminal job never does. Cancelling a primary with
+        coalesced waiters promotes the oldest waiter into the queue —
+        the other clients' work is not discarded with it.
+        """
+        post: list = []
+        with self._lock:
+            record = self._record_of(job_id)
+            if record.state != "queued":
+                return False
+            record.future.cancel()
+            record.state = "cancelled"
+            if record.proxy_of is not None:
+                if record in record.proxy_of.proxies:
+                    record.proxy_of.proxies.remove(record)
+            else:
+                self._n_queued -= 1
+                self._promote_locked(record, post)
+                self._dispatch_locked(post)
+            self._emit_later(post, "cancelled", record)
+        self._run_post(post)
+        return True
 
     def job(self, job_id: str) -> MiningJob:
         """The spec submitted under ``job_id``."""
         with self._lock:
-            try:
-                return self._jobs[job_id]
-            except KeyError:
-                raise EngineError(f"unknown job id {job_id!r}") from None
+            return self._record_of(job_id).job
 
     def jobs(self) -> dict[str, JobStatus]:
         """Snapshot of every submitted job's status, by id."""
         with self._lock:
-            ids = list(self._futures)
+            ids = list(self._records)
         return {job_id: self.status(job_id) for job_id in ids}
 
     def wait_all(self, timeout: float | None = None) -> dict[str, JobStatus]:
         """Wait for all non-cancelled jobs, then return their statuses.
 
         ``timeout`` bounds the *total* wait; if it expires while jobs
-        are still running, :class:`TimeoutError` is raised. Job failures
-        and cancellations do not raise here — the returned statuses tell
-        that story.
+        are still running, :class:`TimeoutError` is raised. Job
+        failures, cancellations and expiries do not raise here — the
+        returned statuses tell that story.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
-            futures = list(self._futures.values())
+            futures = [record.future for record in self._records.values()]
         for future in futures:
             remaining = (
                 None if deadline is None else max(0.0, deadline - time.monotonic())
@@ -313,13 +555,58 @@ class MiningService:
         """Hit/miss counters of the result cache."""
         return self._cache.stats
 
+    @property
+    def belief_cache(self) -> BeliefCache | None:
+        """The belief-state prefix cache in-process jobs share (or None)."""
+        return self._belief_cache
+
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
     def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting work and (optionally) wait for running jobs."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=wait)
+        """Stop accepting work and wind the scheduler down.
+
+        ``wait=True`` (default) drains gracefully: queued jobs are still
+        dispatched and everything runs to completion before the pool
+        stops — the behaviour of a plain pool shutdown. ``wait=False``
+        cancels everything still queued and stops without waiting for
+        running jobs.
+        """
+        if self._pool is None:
+            return
+        if wait:
+            while True:
+                with self._lock:
+                    live = [
+                        record.future
+                        for record in self._records.values()
+                        if record.state in _LIVE_STATES
+                    ]
+                if not live:
+                    break
+                for future in live:
+                    try:
+                        future.result()
+                    except (CancelledError, Exception):
+                        pass
+        else:
+            post: list = []
+            with self._lock:
+                for record in list(self._records.values()):
+                    if record.state != "queued":
+                        continue
+                    record.future.cancel()
+                    record.state = "cancelled"
+                    if record.proxy_of is None:
+                        self._n_queued -= 1
+                        if self._inflight.get(record.fp) is record:
+                            del self._inflight[record.fp]
+                    self._emit_later(
+                        post, "cancelled", record, detail="service shutdown"
+                    )
+                self._queue.clear()
+            self._run_post(post)
+        self._pool.shutdown(wait=wait)
 
     def __enter__(self) -> "MiningService":
         return self
@@ -328,18 +615,214 @@ class MiningService:
         self.shutdown(wait=True)
 
     # ------------------------------------------------------------------ #
-    # Internals
+    # Scheduler internals (methods suffixed _locked need self._lock held)
     # ------------------------------------------------------------------ #
-    def _future_of(self, job_id: str) -> Future:
+    def _record_of(self, job_id: str) -> _Record:
         with self._lock:
             try:
-                return self._futures[job_id]
+                return self._records[job_id]
             except KeyError:
                 raise EngineError(f"unknown job id {job_id!r}") from None
 
-    def _finish(self, fp: str, result: JobResult) -> JobResult:
-        self._cache.put(fp, result)
-        return result
+    def _push_locked(self, record: _Record) -> None:
+        record.heap_key = record.sort_key()
+        heapq.heappush(self._queue, (record.heap_key, record))
+
+    def _dispatch_locked(self, post: list) -> None:
+        """Fill free worker slots in deterministic scheduling order."""
+        if self._pool is None:
+            return
+        while self._running < self.max_workers and self._queue:
+            key, record = heapq.heappop(self._queue)
+            if record.state != "queued" or record.heap_key != key:
+                continue  # cancelled/boosted: stale heap entry
+            if (
+                record.deadline_at is not None
+                and time.monotonic() >= record.deadline_at
+            ):
+                self._n_queued -= 1
+                self._expire_locked(record, post)
+                continue
+            # The shared run starts *now*: duplicates whose "must start
+            # by" deadline already passed expire instead of riding along
+            # (checked while the primary still counts as queued).
+            for proxy in list(record.proxies):
+                self._expire_if_due_locked(proxy, post)
+            record.state = "running"
+            self._n_queued -= 1
+            self._running += 1
+            workers, start_method, shared_memory = record.opts
+            try:
+                if self.backend == "thread":
+                    # In-process workers share the belief cache; worker
+                    # *processes* cannot (no pickling across the boundary).
+                    pool_future = self._pool.submit(
+                        run_job_with_workers,
+                        record.job,
+                        workers,
+                        start_method,
+                        shared_memory,
+                        self._belief_cache,
+                    )
+                else:
+                    pool_future = self._pool.submit(
+                        run_job_with_workers,
+                        record.job,
+                        workers,
+                        start_method,
+                        shared_memory,
+                    )
+            except Exception as exc:
+                # e.g. submit raced a shutdown: the pool refused the
+                # task. Undo the slot bookkeeping and fail the record
+                # (and its waiters) instead of stranding an unresolvable
+                # future and leaking a worker slot.
+                self._running -= 1
+                if self._inflight.get(record.fp) is record:
+                    del self._inflight[record.fp]
+                waiters = [record] + [
+                    p for p in record.proxies if p.state == "queued"
+                ]
+                record.proxies = []
+                for waiter in waiters:
+                    waiter.state = "failed"
+                    waiter.future.set_exception(exc)
+                    if self._live_observer is not None:
+                        post.append(
+                            lambda w=waiter, e=exc: self._live_observer.on_job_failed(
+                                w.job, e
+                            )
+                        )
+                continue
+            self._emit_later(post, "dispatched", record)
+            pool_future.add_done_callback(
+                lambda future, record=record: self._on_task_done(record, future)
+            )
+
+    def _on_task_done(self, record: _Record, pool_future: Future) -> None:
+        """Completion callback of a dispatched pool task."""
+        post: list = []
+        with self._lock:
+            self._running -= 1
+            if self._inflight.get(record.fp) is record:
+                del self._inflight[record.fp]
+            waiters = [record] + [p for p in record.proxies if p.state == "queued"]
+            record.proxies = []
+            if pool_future.cancelled():  # pragma: no cover - defensive
+                for waiter in waiters:
+                    waiter.state = "cancelled"
+                    waiter.future.cancel()
+            else:
+                exc = pool_future.exception()
+                if exc is None:
+                    result = pool_future.result()
+                    self._cache.put(record.fp, result)
+                    for waiter in waiters:
+                        waiter.state = "done"
+                        waiter.future.set_result(result)
+                    post.extend(
+                        (lambda r=result: self._announce(r, replay_iterations=True),)
+                        * len(waiters)
+                    )
+                else:
+                    for waiter in waiters:
+                        waiter.state = "failed"
+                        waiter.future.set_exception(exc)
+                        if self._live_observer is not None:
+                            post.append(
+                                lambda w=waiter, e=exc: self._live_observer.on_job_failed(
+                                    w.job, e
+                                )
+                            )
+            self._dispatch_locked(post)
+        self._run_post(post)
+
+    def _expire_if_due_locked(self, record: _Record, post: list) -> None:
+        if record.state != "queued":
+            return
+        if record.proxy_of is not None and record.proxy_of.state != "queued":
+            # The shared mining run has started (or finished); the
+            # duplicate's "must start by" budget is satisfied by it.
+            return
+        if record.deadline_at is None or time.monotonic() < record.deadline_at:
+            return
+        if record.proxy_of is None:
+            self._n_queued -= 1
+        self._expire_locked(record, post)
+
+    def _expire_locked(self, record: _Record, post: list) -> None:
+        """Move an overdue queued record to the terminal EXPIRED state.
+
+        Works for primaries (detaching and promoting their waiters) and
+        for coalesced duplicates (detaching from their primary, which
+        keeps running for its other clients).
+        """
+        overdue = time.monotonic() - (record.deadline_at or time.monotonic())
+        record.state = "expired"
+        record.future.set_exception(
+            DeadlineExpired(
+                f"job {record.job_id} ({record.job.name}) missed its "
+                f"{record.job.deadline:g}s deadline by {max(overdue, 0.0):.3f}s "
+                f"before a worker was free"
+            )
+        )
+        if record.proxy_of is not None:
+            if record in record.proxy_of.proxies:
+                record.proxy_of.proxies.remove(record)
+            record.proxy_of = None
+        else:
+            self._promote_locked(record, post)
+        self._emit_later(post, "expired", record, detail=f"{max(overdue, 0.0):.3f}s overdue")
+
+    def _promote_locked(self, record: _Record, post: list) -> None:
+        """Re-queue the oldest live waiter of a dead primary.
+
+        A coalesced duplicate was promised its primary's result; when
+        the primary is cancelled or expires before running, the promise
+        moves to the oldest surviving duplicate (which brings its own
+        priority/deadline terms) instead of dying with it.
+        """
+        if self._inflight.get(record.fp) is record:
+            del self._inflight[record.fp]
+        survivors = [p for p in record.proxies if p.state == "queued"]
+        record.proxies = []
+        if not survivors:
+            return
+        new_primary = survivors[0]
+        new_primary.proxy_of = None
+        new_primary.proxies = survivors[1:]
+        for proxy in new_primary.proxies:
+            proxy.proxy_of = new_primary
+        self._inflight[record.fp] = new_primary
+        self._push_locked(new_primary)
+        self._n_queued += 1
+        self._emit_later(post, "promoted", new_primary, detail=f"after {record.job_id}")
+
+    # ------------------------------------------------------------------ #
+    # Event plumbing
+    # ------------------------------------------------------------------ #
+    def _emit_later(self, post: list, kind: str, record: _Record, detail: str = "") -> None:
+        """Queue one scheduling event for emission after the lock drops.
+
+        ``pending`` is sampled now (while the decision is fresh); the
+        emission itself runs via :meth:`_run_post` so observers never
+        execute under the scheduler lock on the normal path.
+        """
+        if self._live_observer is None:
+            return
+        event = SchedulerEvent(
+            kind=kind,
+            job_id=record.job_id,
+            job=record.job,
+            pending=self._n_queued,
+            detail=detail,
+        )
+        post.append(lambda: self._live_observer.on_schedule(event))
+
+    def _run_post(self, post: list) -> None:
+        for action in post:
+            action()
+        post.clear()
 
     def _announce(self, result: JobResult, *, replay_iterations: bool) -> None:
         """Deliver a finished job to the observer (replaying if asked).
@@ -362,17 +845,3 @@ class MiningService:
             for iteration in result.iterations:
                 self._live_observer.on_iteration(iteration)
         self._live_observer.on_job(result)
-
-    def _make_cache_callback(self, job: MiningJob, fp: str):
-        def _store(future: Future) -> None:
-            if future.cancelled():
-                return
-            exc = future.exception()
-            if exc is None:
-                result = future.result()
-                self._cache.put(fp, result)
-                self._announce(result, replay_iterations=True)
-            elif self._live_observer is not None:
-                self._live_observer.on_job_failed(job, exc)
-
-        return _store

@@ -58,6 +58,17 @@ class EngineError(ReproError):
     """
 
 
+class DeadlineExpired(EngineError):
+    """Raised when a queued job's deadline passed before it could start.
+
+    The scheduler never starts work that can no longer be useful: a
+    :class:`~repro.engine.jobs.MiningJob` submitted with a ``deadline``
+    that elapses while the job is still waiting for a worker slot is
+    moved to the terminal ``EXPIRED`` state, and
+    :meth:`~repro.engine.service.MiningService.result` re-raises this.
+    """
+
+
 class ConvergenceError(ReproError):
     """Raised when an iterative solver fails to converge.
 

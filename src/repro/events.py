@@ -10,7 +10,10 @@ dialogue travels over. A :class:`MiningObserver` receives
   assimilated (fired by :class:`~repro.search.miner.SubgroupDiscovery`
   and by the job runner's single-shot strategies);
 - ``on_job`` — a whole job's result (fired by
-  :class:`~repro.api.Workspace` and :class:`~repro.engine.service.MiningService`).
+  :class:`~repro.api.Workspace` and :class:`~repro.engine.service.MiningService`);
+- ``on_schedule`` — every scheduling decision the service's job queue
+  takes (queued, dispatched, cache hit, coalesced, cancelled, expired),
+  as :class:`SchedulerEvent` records.
 
 Observers are the *synchronous substrate* for the ROADMAP's async/
 streaming front-end: an asyncio layer only needs to bridge these
@@ -26,11 +29,59 @@ scored subgroup (hundreds per beam level).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - import-cycle-free type hints only
-    from repro.engine.jobs import JobResult
+    from repro.engine.jobs import JobResult, MiningJob
     from repro.search.results import MiningIteration, ScoredSubgroup
+
+
+#: Scheduling decisions a :class:`SchedulerEvent` may carry. ``queued``
+#: fires for every accepted submission; exactly one of ``dispatched`` /
+#: ``cache_hit`` / ``coalesced`` / ``cancelled`` / ``expired`` follows
+#: (``promoted`` re-queues a coalesced duplicate whose primary was
+#: cancelled, so it may precede a later ``dispatched``).
+SCHEDULER_EVENT_KINDS = (
+    "queued",
+    "dispatched",
+    "cache_hit",
+    "coalesced",
+    "promoted",
+    "cancelled",
+    "expired",
+)
+
+
+@dataclass(frozen=True)
+class SchedulerEvent:
+    """One scheduling decision of the service's job queue.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`SCHEDULER_EVENT_KINDS`.
+    job_id:
+        The service-assigned id of the affected submission.
+    job:
+        The submitted :class:`~repro.engine.jobs.MiningJob` spec.
+    pending:
+        Queue depth (jobs waiting, dispatched jobs excluded) right
+        after the decision was taken.
+    detail:
+        Free-text context (e.g. which job id a duplicate coalesced
+        onto, or how long past its deadline an expired job was).
+    """
+
+    kind: str
+    job_id: str
+    job: "MiningJob"
+    pending: int = 0
+    detail: str = ""
+
+    def __str__(self) -> str:
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"{self.job_id} {self.kind}{suffix}"
 
 
 class MiningObserver:
@@ -49,8 +100,17 @@ class MiningObserver:
         """One job raised instead of mining (fired by the service).
 
         Every submitted job ends in exactly one of ``on_job`` or
-        ``on_job_failed`` (cancellation excepted), so an event-driven
+        ``on_job_failed`` (cancellation and deadline expiry excepted —
+        those surface as ``on_schedule`` events), so an event-driven
         consumer never waits forever on a failed run.
+        """
+
+    def on_schedule(self, event: SchedulerEvent) -> None:
+        """One scheduling decision of the service's job queue.
+
+        May fire from a service worker thread (a slot freeing up
+        dispatches the next queued job from the completion callback), so
+        implementations must be thread-safe.
         """
 
 
@@ -67,11 +127,13 @@ class CallbackObserver(MiningObserver):
         on_iteration: Callable | None = None,
         on_job: Callable | None = None,
         on_job_failed: Callable | None = None,
+        on_schedule: Callable | None = None,
     ) -> None:
         self._on_candidate = on_candidate
         self._on_iteration = on_iteration
         self._on_job = on_job
         self._on_job_failed = on_job_failed
+        self._on_schedule = on_schedule
 
     def on_candidate(self, candidate: "ScoredSubgroup") -> None:
         """Forward to the ``on_candidate`` callable, if given."""
@@ -93,6 +155,11 @@ class CallbackObserver(MiningObserver):
         if self._on_job_failed is not None:
             self._on_job_failed(job, error)
 
+    def on_schedule(self, event: SchedulerEvent) -> None:
+        """Forward to the ``on_schedule`` callable, if given."""
+        if self._on_schedule is not None:
+            self._on_schedule(event)
+
 
 class EventLog(MiningObserver):
     """An observer that records everything it sees (handy in tests)."""
@@ -102,6 +169,7 @@ class EventLog(MiningObserver):
         self.iterations: list = []
         self.jobs: list = []
         self.failures: list = []
+        self.schedule: list = []
 
     def on_candidate(self, candidate: "ScoredSubgroup") -> None:
         """Append the candidate to :attr:`candidates`."""
@@ -119,12 +187,17 @@ class EventLog(MiningObserver):
         """Append ``(job, error)`` to :attr:`failures`."""
         self.failures.append((job, error))
 
+    def on_schedule(self, event: SchedulerEvent) -> None:
+        """Append the scheduling event to :attr:`schedule`."""
+        self.schedule.append(event)
+
     def clear(self) -> None:
         """Forget all recorded events."""
         self.candidates.clear()
         self.iterations.clear()
         self.jobs.clear()
         self.failures.clear()
+        self.schedule.clear()
 
 
 class _Broadcast(MiningObserver):
@@ -148,6 +221,10 @@ class _Broadcast(MiningObserver):
     def on_job_failed(self, job, error: BaseException) -> None:
         for observer in self._observers:
             observer.on_job_failed(job, error)
+
+    def on_schedule(self, event: SchedulerEvent) -> None:
+        for observer in self._observers:
+            observer.on_schedule(event)
 
 
 def broadcast(*observers: MiningObserver | None) -> MiningObserver | None:

@@ -11,6 +11,8 @@ canonical conditions.
 
 from __future__ import annotations
 
+import math
+import re
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
@@ -19,6 +21,12 @@ import numpy as np
 from repro.datasets.schema import Dataset
 from repro.errors import LanguageError
 from repro.lang.conditions import GE, LE, Condition, EqualsCondition, NumericCondition
+
+#: ``attr <= 1.5`` / ``attr >= -2`` (attribute names may contain spaces
+#: but not the operator tokens themselves).
+_NUMERIC_RE = re.compile(r"^(?P<attr>.+?)\s*(?P<op><=|>=)\s*(?P<value>\S+)$")
+#: ``attr = 'value'`` (the paper's quoted equality rendering).
+_EQUALS_RE = re.compile(r"^(?P<attr>.+?)\s*=\s*'(?P<value>.*)'$")
 
 
 @dataclass(frozen=True)
@@ -53,6 +61,39 @@ class Description:
         if not self.conditions:
             return "<all>"
         return " AND ".join(str(c) for c in self.conditions)
+
+    @classmethod
+    def parse(cls, text: str) -> "Description":
+        """Rebuild a description from its :meth:`__str__` rendering.
+
+        The inverse of ``str(description)``: ``"<all>"`` (or an empty
+        string) is the empty description, and conditions are ``AND``-
+        joined ``attr <= t`` / ``attr >= t`` inequalities or
+        ``attr = 'v'`` equalities (the conjunction splitter is
+        quote-aware, so values may contain ``AND`` or operator tokens).
+        Equality values that read as finite numbers become numbers —
+        the paper renders binary attributes as quoted digits
+        (``attr3 = '1'``), so a categorical attribute whose labels
+        *look* numeric does not survive this round-trip distinctly;
+        label such domains non-numerically. Labels containing a single
+        quote are not round-trippable either (the rendering does not
+        escape quotes).
+
+        Note that ``__str__`` prints thresholds to 6 significant
+        digits, so parsing is exact for thresholds representable at
+        that precision and otherwise returns the printed (rounded)
+        threshold. Malformed text raises
+        :class:`~repro.errors.LanguageError`.
+        """
+        text = text.strip()
+        if not text or text == "<all>":
+            return cls()
+        return cls(
+            tuple(
+                _parse_condition(part.strip())
+                for part in _split_conjunction(text)
+            )
+        )
 
     @property
     def attributes(self) -> set[str]:
@@ -141,6 +182,60 @@ class Description:
     def coverage(self, dataset: Dataset) -> float:
         """Fraction of rows the description covers."""
         return float(self.matches(dataset).mean())
+
+
+def _split_conjunction(text: str) -> list[str]:
+    """Split rendered conjuncts on ``" AND "``, quote-aware.
+
+    A separator inside an equality's quoted value (``country =
+    'Trinidad AND Tobago'``) must not split: only positions where the
+    preceding segment holds a balanced (even) number of single quotes
+    are real conjunction joints.
+    """
+    parts: list[str] = []
+    start = 0
+    pos = text.find(" AND ")
+    while pos != -1:
+        if text.count("'", start, pos) % 2 == 0:
+            parts.append(text[start:pos])
+            start = pos + len(" AND ")
+        pos = text.find(" AND ", pos + len(" AND "))
+    parts.append(text[start:])
+    return parts
+
+
+def _parse_condition(text: str) -> Condition:
+    """One rendered condition back into its object form.
+
+    Equality is matched first: its quoted value may legitimately
+    contain operator tokens (``attr = 'a <= b'``), while a numeric
+    rendering never contains ``= '``.
+    """
+    match = _EQUALS_RE.match(text)
+    if match is not None:
+        raw = match.group("value")
+        try:
+            number = float(raw)
+        except ValueError:
+            value: object = raw
+        else:
+            # Binary attributes render as quoted finite numbers; a
+            # non-finite spelling like 'nan' can only be a label.
+            value = number if math.isfinite(number) else raw
+        return EqualsCondition(match.group("attr"), value)
+    match = _NUMERIC_RE.match(text)
+    if match is not None and match.group("op") in (LE, GE):
+        try:
+            threshold = float(match.group("value"))
+        except ValueError:
+            raise LanguageError(
+                f"cannot parse numeric threshold in condition {text!r}"
+            ) from None
+        return NumericCondition(match.group("attr"), match.group("op"), threshold)
+    raise LanguageError(
+        f"cannot parse condition {text!r}; expected \"attr <= t\", "
+        f"\"attr >= t\" or \"attr = 'v'\""
+    )
 
 
 def conjunction(conditions: Iterable[Condition]) -> Description:

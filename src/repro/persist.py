@@ -268,8 +268,19 @@ def search_config_from_dict(data: dict) -> SearchConfig:
 
 
 def job_to_dict(job: MiningJob) -> dict:
-    """Serialize a declarative mining job (the spec plus its name)."""
-    return {"schema": SCHEMA_VERSION, "name": job.name, **job.spec()}
+    """Serialize a declarative mining job.
+
+    The document carries the canonical work spec plus the run metadata
+    excluded from it (``name`` and the ``priority``/``deadline``
+    scheduling terms), so a batch file round-trips schedules too.
+    """
+    return {
+        "schema": SCHEMA_VERSION,
+        "name": job.name,
+        "priority": job.priority,
+        "deadline": job.deadline,
+        **job.spec(),
+    }
 
 
 #: Keys accepted in a serialized job spec (fields plus envelope).
@@ -277,7 +288,8 @@ _JOB_KEYS = frozenset(
     {
         "schema", "name", "dataset", "dataset_seed", "dataset_kwargs",
         "targets", "prior", "kind", "sparsity", "n_iterations", "seed",
-        "config", "gamma", "eta", "strategy", "measure",
+        "config", "gamma", "eta", "strategy", "measure", "priority",
+        "deadline",
     }
 )
 
@@ -317,6 +329,11 @@ def job_from_dict(data: dict) -> MiningJob:
             eta=float(data.get("eta", 1.0)),
             strategy=data.get("strategy", "beam"),
             measure=data.get("measure", "si"),
+            # Passed through raw: MiningJob's own validation rejects
+            # bools, truncated floats, and non-numeric deadlines loudly
+            # (a silent int()/float() coercion here would bypass it).
+            priority=data.get("priority", 0),
+            deadline=data.get("deadline"),
         )
     except (TypeError, ValueError) as exc:
         raise ReproError(f"invalid job spec: {exc}") from exc

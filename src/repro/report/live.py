@@ -62,3 +62,7 @@ class LiveReporter(MiningObserver):
             f"[{job.name}] FAILED: {type(error).__name__}: {error}",
             file=self._out(),
         )
+
+    def on_schedule(self, event) -> None:
+        """One line per scheduling decision of a service queue."""
+        print(f"~ {event} [{event.pending} pending]", file=self._out())

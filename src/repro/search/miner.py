@@ -16,9 +16,12 @@ attr3 = '1'
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
 from repro.datasets.schema import Dataset
+from repro.engine.cache import BeliefCache, CachedStep
 from repro.engine.executor import Executor, SerialExecutor
 from repro.errors import SearchError
 from repro.events import MiningObserver
@@ -38,7 +41,7 @@ from repro.search.results import (
     SpreadPatternResult,
 )
 from repro.search.spread import find_spread_direction
-from repro.utils.rng import as_rng
+from repro.utils.rng import as_rng, generator_from_state, rng_state
 
 
 class SubgroupDiscovery:
@@ -76,6 +79,17 @@ class SubgroupDiscovery:
         Optional :class:`~repro.events.MiningObserver` receiving
         ``on_candidate`` for every beam candidate scored and
         ``on_iteration`` for every completed :meth:`step`.
+    belief_cache:
+        Optional :class:`~repro.engine.cache.BeliefCache`. When given,
+        every :meth:`step` first looks itself up under the chain hash of
+        (dataset content, config, assimilated-constraint sequence, RNG
+        state): a hit *replays* the cached iteration — assimilating the
+        stored constraints and restoring the post-step RNG state, so the
+        continuation is bit-identical to a cold run — and a miss mines
+        normally and stores the outcome. Sessions sharing a prefix of
+        assimilated patterns through one cache pay for the first new
+        iteration onward only. Replayed steps fire ``on_iteration`` but
+        not ``on_candidate`` (no beam search ran).
     """
 
     def __init__(
@@ -89,6 +103,7 @@ class SubgroupDiscovery:
         seed=0,
         executor: Executor | None = None,
         observer: MiningObserver | None = None,
+        belief_cache: BeliefCache | None = None,
     ) -> None:
         if targets is not None:
             dataset = dataset.with_targets(targets)
@@ -111,6 +126,10 @@ class SubgroupDiscovery:
         self._rng = as_rng(seed)
         self.executor = executor if executor is not None else SerialExecutor()
         self.observer = observer
+        self.belief_cache = belief_cache
+        self._base_fp: str | None = None
+        #: Memoized belief chain: ``(constraint, fp_after_it)`` pairs.
+        self._chain: list[tuple] = []
 
     # ------------------------------------------------------------------ #
     # Single-shot searches
@@ -198,6 +217,50 @@ class SubgroupDiscovery:
         self.model.assimilate(pattern.constraint())
         return self
 
+    def _belief_fingerprint(self) -> str:
+        """Chain hash of the current belief state (see BeliefCache).
+
+        The chain is re-derived from ``model.constraints`` every call —
+        not tracked by interception — so external :meth:`assimilate`
+        calls, undo (a model swap), and resumed sessions all fingerprint
+        correctly; the memo only skips re-hashing an unchanged prefix
+        (matched by constraint identity, safe because the memo holds the
+        references alive).
+        """
+        if self._base_fp is None:
+            self._base_fp = BeliefCache.base_fingerprint(
+                self.dataset, self.config, self.dl_params, self.model.prior
+            )
+        fp = self._base_fp
+        chain: list[tuple] = []
+        for i, constraint in enumerate(self.model.constraints):
+            if i < len(self._chain) and self._chain[i][0] is constraint:
+                fp = self._chain[i][1]
+            else:
+                fp = BeliefCache.extend(fp, constraint)
+            chain.append((constraint, fp))
+        self._chain = chain
+        return fp
+
+    def _replay_step(self, entry: CachedStep) -> MiningIteration:
+        """Re-apply one cached iteration as if it had just been mined."""
+        for constraint in entry.constraints:
+            self.model.assimilate(constraint)
+        try:
+            self._rng = generator_from_state(entry.rng_state)
+        except ValueError as exc:  # pragma: no cover - corrupt cache entry
+            raise SearchError(f"belief cache entry is corrupt: {exc}") from exc
+        iteration = entry.iteration
+        if iteration.index != len(self.history) + 1:
+            # The entry was mined at a different history depth (e.g. the
+            # warm session assimilated patterns manually); the belief
+            # chain proves the *work* is identical, only the label moves.
+            iteration = replace(iteration, index=len(self.history) + 1)
+        self.history.append(iteration)
+        if self.observer is not None:
+            self.observer.on_iteration(iteration)
+        return iteration
+
     def step(
         self, *, kind: str = "location", sparsity: int | None = None
     ) -> MiningIteration:
@@ -206,10 +269,21 @@ class SubgroupDiscovery:
         ``kind="location"`` mines and assimilates a location pattern;
         ``kind="spread"`` runs the paper's two-step process — location
         first, then the spread direction of the same subgroup — and
-        assimilates both.
+        assimilates both. With a :attr:`belief_cache`, a step whose
+        belief state was mined before replays from the cache instead
+        (bit-identical results, no beam search).
         """
         if kind not in ("location", "spread"):
             raise SearchError(f"kind must be 'location' or 'spread', got {kind!r}")
+        key = None
+        if self.belief_cache is not None:
+            key = BeliefCache.step_key(
+                self._belief_fingerprint(), kind, sparsity, rng_state(self._rng)
+            )
+            entry = self.belief_cache.get(key)
+            if entry is not None:
+                return self._replay_step(entry)
+        n_before = len(self.model.constraints)
         location = self.find_location()
         self.assimilate(location)
         spread = None
@@ -220,6 +294,15 @@ class SubgroupDiscovery:
             index=len(self.history) + 1, location=location, spread=spread
         )
         self.history.append(iteration)
+        if key is not None:
+            self.belief_cache.put(
+                key,
+                CachedStep(
+                    iteration=iteration,
+                    constraints=tuple(self.model.constraints[n_before:]),
+                    rng_state=rng_state(self._rng),
+                ),
+            )
         if self.observer is not None:
             self.observer.on_iteration(iteration)
         return iteration

@@ -25,9 +25,8 @@ from __future__ import annotations
 
 from pathlib import Path
 
-import numpy as np
-
 from repro.datasets.schema import Dataset
+from repro.engine.cache import BeliefCache
 from repro.engine.executor import Executor
 from repro.errors import SearchError
 from repro.events import MiningObserver
@@ -43,24 +42,7 @@ from repro.persist import (
 from repro.search.config import SearchConfig
 from repro.search.miner import SubgroupDiscovery
 from repro.search.results import MiningIteration
-
-
-def _json_safe(obj):
-    """Recursively reduce a bit-generator state dict to JSON-safe types.
-
-    PCG64 (the default) states are plain ints, but ``seed`` accepts any
-    ``numpy.random.Generator`` and e.g. MT19937 keeps its key as an
-    ndarray; numpy's state setters accept the list form back.
-    """
-    if isinstance(obj, np.ndarray):
-        return obj.tolist()
-    if isinstance(obj, np.generic):
-        return obj.item()
-    if isinstance(obj, dict):
-        return {key: _json_safe(value) for key, value in obj.items()}
-    if isinstance(obj, (list, tuple)):
-        return [_json_safe(value) for value in obj]
-    return obj
+from repro.utils.rng import generator_from_state, rng_state
 
 
 #: Sentinel distinguishing "argument not passed" from an explicit None.
@@ -74,9 +56,12 @@ class MiningSession:
     :class:`~repro.search.miner.SubgroupDiscovery` (which does the
     mining): ``prior`` pins an explicit background prior, ``executor``
     parallelizes the searches, ``observer`` streams candidate and
-    iteration events as they happen. ``kind`` and ``sparsity`` set the
-    defaults a bare :meth:`step` uses (a spec-built session steps the
-    way its spec says without re-passing them every call).
+    iteration events as they happen, ``belief_cache`` lets sessions
+    sharing a prefix of assimilated patterns replay it instead of
+    re-mining (see :class:`~repro.engine.cache.BeliefCache`). ``kind``
+    and ``sparsity`` set the defaults a bare :meth:`step` uses (a
+    spec-built session steps the way its spec says without re-passing
+    them every call).
     """
 
     def __init__(
@@ -91,6 +76,7 @@ class MiningSession:
         observer: MiningObserver | None = None,
         kind: str = "location",
         sparsity: int | None = None,
+        belief_cache: BeliefCache | None = None,
     ) -> None:
         self.dataset = dataset
         self.default_kind = kind
@@ -103,6 +89,7 @@ class MiningSession:
             prior=prior,
             executor=executor,
             observer=observer,
+            belief_cache=belief_cache,
         )
         self._snapshots = [self.miner.model.copy()]
 
@@ -203,7 +190,7 @@ class MiningSession:
             "shown": [
                 constraint_to_dict(c) for c in self.miner.model.constraints
             ],
-            "rng_state": _json_safe(self.miner._rng.bit_generator.state),
+            "rng_state": rng_state(self.miner._rng),
             "step_defaults": {
                 "kind": self.default_kind,
                 "sparsity": self.default_sparsity,
@@ -224,6 +211,7 @@ class MiningSession:
         observer: MiningObserver | None = None,
         kind: str | None = None,
         sparsity=_UNSET,
+        belief_cache: BeliefCache | None = None,
     ) -> "MiningSession":
         """Rebuild a session's belief state from a saved document.
 
@@ -260,36 +248,20 @@ class MiningSession:
             sparsity=(
                 saved_defaults.get("sparsity") if sparsity is _UNSET else sparsity
             ),
+            belief_cache=belief_cache,
         )
         model = model_from_dict(document["model"])
         if model.n_rows != dataset.n_rows:
             raise SearchError("saved model row count does not match dataset")
         session.miner.model = model
         session._snapshots = [model.copy()]
-        rng_state = document.get("rng_state")
-        if rng_state is not None:
-            session.miner._rng = _generator_from_state(rng_state)
+        saved_state = document.get("rng_state")
+        if saved_state is not None:
+            # The saved stream always wins over the resuming caller's
+            # ``seed`` — that is what makes save -> resume -> step equal
+            # an uninterrupted run, bit for bit.
+            try:
+                session.miner._rng = generator_from_state(saved_state)
+            except ValueError as exc:
+                raise SearchError(f"saved rng_state: {exc}") from exc
         return session
-
-
-def _generator_from_state(rng_state: dict) -> np.random.Generator:
-    """Rebuild the exact generator a saved state dict describes.
-
-    The saved state names its bit generator (``PCG64`` by default,
-    whatever the caller seeded with otherwise), so resume restores the
-    right type no matter what ``seed`` the resuming caller passed — the
-    saved stream always wins.
-    """
-    name = rng_state.get("bit_generator") if isinstance(rng_state, dict) else None
-    bit_generator_cls = getattr(np.random, name, None) if name else None
-    if not (
-        isinstance(bit_generator_cls, type)
-        and issubclass(bit_generator_cls, np.random.BitGenerator)
-    ):
-        raise SearchError(f"saved rng_state names unknown bit generator {name!r}")
-    try:
-        bit_generator = bit_generator_cls()
-        bit_generator.state = rng_state
-    except (TypeError, ValueError) as exc:
-        raise SearchError(f"saved rng_state is corrupt: {exc}") from exc
-    return np.random.Generator(bit_generator)

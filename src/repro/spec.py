@@ -175,15 +175,24 @@ class ExecutorSpec:
     search runs serial. ``backend`` is the service pool a
     :class:`repro.api.Workspace` creates when this spec's
     :meth:`~repro.api.Workspace.submit` has to build one (an explicit
-    ``Workspace(service_backend=...)`` wins). Never part of the
-    fingerprint — the determinism contract guarantees the same patterns
-    at any worker count over any transport.
+    ``Workspace(service_backend=...)`` wins). ``priority`` and
+    ``deadline`` are the scheduling terms a submitted spec carries onto
+    the service queue (higher priority dispatches first; a job still
+    queued ``deadline`` seconds after submission expires instead of
+    running) — inert for the inline ``mine``/``stream``/``session``
+    modes, which execute immediately. Never part of the fingerprint —
+    nothing in this section can change the patterns, only where, when,
+    and whether they are computed (the engine's determinism contract
+    guarantees the same patterns at any worker count over any
+    transport).
     """
 
     workers: int = 1
     backend: str = "process"
     start_method: str | None = None
     shared_memory: bool = False
+    priority: int = 0
+    deadline: float | None = None
 
     def __post_init__(self) -> None:
         from repro.engine.executor import BACKENDS, normalize_workers
@@ -209,6 +218,23 @@ class ExecutorSpec:
                 f"executor start_method must be one of "
                 f"('fork', 'spawn', 'forkserver'), got {self.start_method!r}"
             )
+        if not isinstance(self.priority, int) or isinstance(self.priority, bool):
+            raise ReproError(
+                f"executor priority must be an int, got {self.priority!r}"
+            )
+        if self.deadline is not None:
+            try:
+                deadline = float(self.deadline)
+            except (TypeError, ValueError):
+                raise ReproError(
+                    f"executor deadline must be a number of seconds or null, "
+                    f"got {self.deadline!r}"
+                ) from None
+            if not (deadline >= 0):  # also rejects NaN
+                raise ReproError(
+                    f"executor deadline must be >= 0 seconds, got {self.deadline!r}"
+                )
+            object.__setattr__(self, "deadline", deadline)
 
 
 #: Flat keyword -> (section, field) routing used by :meth:`MiningSpec.build`.
@@ -239,6 +265,8 @@ _FLAT_FIELDS: dict[str, tuple[str, str]] = {
     "backend": ("executor", "backend"),
     "start_method": ("executor", "start_method"),
     "shared_memory": ("executor", "shared_memory"),
+    "priority": ("executor", "priority"),
+    "deadline": ("executor", "deadline"),
 }
 
 _SECTIONS = ("dataset", "language", "model", "interest", "search", "executor")
@@ -384,6 +412,8 @@ class MiningSpec:
             eta=self.interest.eta,
             strategy=self.search.strategy,
             measure=self.interest.measure,
+            priority=self.executor.priority,
+            deadline=self.executor.deadline,
         )
 
     @classmethod
@@ -419,6 +449,7 @@ class MiningSpec:
                 max_coverage_fraction=config.max_coverage_fraction,
                 time_budget_seconds=config.time_budget_seconds,
             ),
+            executor=ExecutorSpec(priority=job.priority, deadline=job.deadline),
             name=job.name,
         )
 

@@ -25,6 +25,53 @@ def as_rng(seed=None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def rng_state(rng: np.random.Generator):
+    """The generator's bit-generator state, reduced to JSON-safe types.
+
+    PCG64 (the default) states are plain ints, but callers may seed with
+    any ``numpy.random.Generator`` and e.g. MT19937 keeps its key as an
+    ndarray; numpy's state setters accept the list form back, so the
+    reduction below round-trips through :func:`generator_from_state`.
+    """
+
+    def _json_safe(obj):
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        if isinstance(obj, np.generic):
+            return obj.item()
+        if isinstance(obj, dict):
+            return {key: _json_safe(value) for key, value in obj.items()}
+        if isinstance(obj, (list, tuple)):
+            return [_json_safe(value) for value in obj]
+        return obj
+
+    return _json_safe(rng.bit_generator.state)
+
+
+def generator_from_state(state: dict) -> np.random.Generator:
+    """Rebuild the exact generator a saved state dict describes.
+
+    The state names its bit generator (``PCG64`` by default, whatever
+    the caller seeded with otherwise), so restoring picks the right type
+    no matter how the consuming generator was originally seeded. Raises
+    ``ValueError`` for unknown bit-generator names or corrupt states —
+    callers wrap it in their domain error.
+    """
+    name = state.get("bit_generator") if isinstance(state, dict) else None
+    bit_generator_cls = getattr(np.random, name, None) if name else None
+    if not (
+        isinstance(bit_generator_cls, type)
+        and issubclass(bit_generator_cls, np.random.BitGenerator)
+    ):
+        raise ValueError(f"rng state names unknown bit generator {name!r}")
+    try:
+        bit_generator = bit_generator_cls()
+        bit_generator.state = state
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"rng state is corrupt: {exc}") from exc
+    return np.random.Generator(bit_generator)
+
+
 def spawn_rngs(seed, count: int) -> list[np.random.Generator]:
     """Split a seed into ``count`` independent generators.
 

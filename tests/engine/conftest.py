@@ -11,6 +11,21 @@ import os
 import pytest
 
 from repro.engine import shm
+from repro.engine.cache import BELIEF_CACHE
+
+
+@pytest.fixture(autouse=True)
+def fresh_belief_cache():
+    """Start every engine test with a cold process-wide belief cache.
+
+    Services default to the shared BELIEF_CACHE, so without this a
+    test's 'slow blocker' job replays instantly once any earlier test
+    mined the same belief chain — timing-based scheduling tests would
+    couple across the file. Results are bit-identical either way; only
+    timing isolation is at stake.
+    """
+    BELIEF_CACHE.clear()
+    yield
 
 
 def _dev_shm_segments() -> set[str]:

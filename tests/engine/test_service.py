@@ -140,6 +140,62 @@ class TestServiceStartMethod:
             assert service.result(job_id, timeout=60) is not None
 
 
+class TestEdgePaths:
+    """The paths a high-traffic service exercises daily: cancels of work
+    that never started, failures crossing worker boundaries, and
+    duplicate submissions racing the first run."""
+
+    def test_cancel_of_never_started_job(self):
+        with MiningService(max_workers=1, backend="thread") as service:
+            blocker = service.submit(_job(config=SLOW, n_iterations=2))
+            victim = service.submit(_job(seed=99))
+            # Deterministic: a job the scheduler has not dispatched
+            # always cancels (no racing the pool for the slot).
+            assert service.cancel(victim) is True
+            assert service.status(victim) == JobStatus.CANCELLED
+            with pytest.raises(concurrent.futures.CancelledError):
+                service.result(victim)
+            # Terminal: a second cancel reports failure, statuses stick.
+            assert service.cancel(victim) is False
+            assert service.status(victim) == JobStatus.CANCELLED
+            assert service.result(blocker).iterations
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_result_on_failed_job_reraises_the_worker_error(self, backend):
+        from repro.errors import DataError
+
+        with MiningService(max_workers=1, backend=backend) as service:
+            job_id = service.submit(_job(targets=("not-a-target",)))
+            with pytest.raises(DataError, match="not-a-target"):
+                service.result(job_id, timeout=120)
+            assert service.status(job_id) == JobStatus.FAILED
+            # Re-asking re-raises; the failure is stable, not consumed.
+            with pytest.raises(DataError):
+                service.result(job_id)
+
+    def test_double_submit_of_identical_fingerprint_hits_the_cache(self):
+        with MiningService(max_workers=1, backend="thread") as service:
+            first = service.submit(_job(seed=5))
+            service.result(first)
+            second = service.submit(_job(seed=5, name="rerun"))
+            assert service.status(second) == JobStatus.DONE
+            assert service.result(second) is service.result(first)
+            assert service.cache_stats.hits == 1
+
+    def test_double_submit_while_first_still_inflight_runs_once(self):
+        # The race the cache alone cannot catch: the duplicate arrives
+        # before the first run finishes. It must coalesce, not re-mine.
+        with MiningService(max_workers=1, backend="thread") as service:
+            blocker = service.submit(_job(config=SLOW, n_iterations=2))
+            first = service.submit(_job(seed=5))
+            duplicate = service.submit(_job(seed=5, name="race"))
+            assert service.result(duplicate, timeout=120) is service.result(first)
+            # While the primary is queued/running the duplicate reports
+            # the primary's progress rather than a stuck PENDING.
+            assert service.status(duplicate) == JobStatus.DONE
+            service.result(blocker)
+
+
 class TestServiceSharedMemory:
     def test_serial_backend_threads_shared_memory_through(self):
         """submit(shared_memory=True) must mine the same patterns."""
