@@ -1,0 +1,147 @@
+"""Server: HTTP/SSE round-trip overhead over the mining engine.
+
+Measures what the network layer adds on top of the engine:
+
+- **submit→result latency** for a batch of small jobs over HTTP,
+  versus running the same jobs through a local ``Workspace`` (the
+  difference is pure wire + scheduling overhead);
+- **cached round-trip**: the same spec re-submitted, so the service
+  answers from its result cache and the timing is almost entirely
+  serialization + HTTP;
+- **SSE delivery**: how many stream events arrive while a job mines,
+  and the latency from submit to the first live event.
+
+Results go to ``BENCH_server.json`` at the repo root (the perf
+trajectory file, like the engine benchmark's). Runs standalone too::
+
+    PYTHONPATH=src python benchmarks/bench_server.py
+"""
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.api import Workspace
+from repro.client import RemoteWorkspace
+from repro.report.tables import format_table
+from repro.server import MiningServer
+from repro.spec import MiningSpec
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_server.json"
+
+#: Small jobs: the benchmark prices the wire, not the mining.
+N_JOBS = 4
+
+
+def _spec(seed: int) -> MiningSpec:
+    return MiningSpec.build(
+        "synthetic", seed=seed, n_iterations=2, beam_width=8, max_depth=2, top_k=12
+    )
+
+
+def measure(seed: int = 0) -> list:
+    specs = [_spec(seed + i) for i in range(N_JOBS)]
+
+    local_started = time.perf_counter()
+    with Workspace() as workspace:
+        local_results = [workspace.mine(spec) for spec in specs]
+    local_seconds = time.perf_counter() - local_started
+
+    server = MiningServer(port=0, backend="thread", max_workers=2)
+    handle = server.run_in_thread()
+    try:
+        remote = RemoteWorkspace(handle.url, timeout=60.0)
+
+        # SSE: time-to-first-event while the first job mines.
+        events_seen = 0
+        first_event_at: list = []
+        stream_done = threading.Event()
+
+        def consume() -> None:
+            nonlocal events_seen
+            for event in remote.events():
+                if not first_event_at:
+                    first_event_at.append(time.perf_counter())
+                events_seen += 1
+                if event.type in ("job", "job_failed"):
+                    stream_done.set()
+                    return
+
+        consumer = threading.Thread(target=consume, daemon=True)
+        consumer.start()
+        time.sleep(0.1)  # subscriber online before the first submit
+
+        remote_started = time.perf_counter()
+        remote_results = [remote.mine(spec) for spec in specs]
+        remote_seconds = time.perf_counter() - remote_started
+        stream_done.wait(30)
+        first_event_ms = (
+            (first_event_at[0] - remote_started) * 1000 if first_event_at else None
+        )
+
+        # Determinism across the wire: same patterns, exact scores.
+        for local_result, remote_result in zip(local_results, remote_results):
+            for a, b in zip(local_result.iterations, remote_result.iterations):
+                assert str(a.location) == str(b.location)
+                assert a.location.score.ic == b.location.score.ic
+
+        cached_started = time.perf_counter()
+        remote.mine(specs[0])  # service result cache: pure wire cost
+        cached_seconds = time.perf_counter() - cached_started
+
+        health = remote.health()
+    finally:
+        handle.stop()
+
+    per_job_overhead = (remote_seconds - local_seconds) / N_JOBS
+    rows = [
+        (f"local Workspace.mine x{N_JOBS}", local_seconds, ""),
+        (f"remote mine x{N_JOBS} (HTTP)", remote_seconds,
+         f"{per_job_overhead * 1000:+.1f} ms/job vs local"),
+        ("remote mine, cached", cached_seconds, "wire + cache hit only"),
+        ("first SSE event", (first_event_ms or 0) / 1000,
+         f"{events_seen} events streamed"),
+    ]
+    JSON_PATH.write_text(
+        json.dumps(
+            {
+                "benchmark": "server",
+                "n_jobs": N_JOBS,
+                "cpu_count": os.cpu_count(),
+                "local_seconds": round(local_seconds, 4),
+                "remote_seconds": round(remote_seconds, 4),
+                "per_job_wire_overhead_seconds": round(per_job_overhead, 4),
+                "cached_roundtrip_seconds": round(cached_seconds, 4),
+                "first_sse_event_ms": (
+                    round(first_event_ms, 2) if first_event_ms is not None else None
+                ),
+                "events_streamed": events_seen,
+                "events_published": health["events"]["published"],
+                "events_dropped": health["events"]["dropped"],
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    return rows
+
+
+def bench_server(benchmark, save_result):
+    rows = benchmark.pedantic(measure, args=(0,), rounds=1, iterations=1)
+    table = format_table(
+        ["path", "seconds", "note"],
+        rows,
+        floatfmt=".4f",
+        title=f"Server: HTTP/SSE overhead ({os.cpu_count()} core(s) available)",
+    )
+    save_result("server", table)
+    assert len(rows) == 4
+    assert JSON_PATH.exists()
+
+
+if __name__ == "__main__":  # pragma: no cover - manual/CI entry point
+    for row in measure(0):
+        print(row)
+    print(f"wrote {JSON_PATH}")

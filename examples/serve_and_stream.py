@@ -1,0 +1,79 @@
+"""Serve the mining engine over HTTP and stream a job's patterns live.
+
+Two modes:
+
+- no arguments: spin up an in-process ``MiningServer`` on a free port
+  (exactly what ``sisd serve`` runs), drive it as a client, shut down;
+- with a URL argument: act as a pure client against a server you
+  started elsewhere, e.g. ``sisd serve --port 8765`` in another
+  terminal, then ``python examples/serve_and_stream.py
+  http://127.0.0.1:8765``.
+
+Either way the client side is identical — that is the point of
+``RemoteWorkspace``: it mirrors the local ``Workspace`` verbs, and the
+canonical wire schemas make the remote patterns bit-identical to a
+local run of the same spec.
+"""
+
+import sys
+
+from repro import MiningSpec, RemoteWorkspace, Workspace
+from repro.events import CallbackObserver
+
+
+def main() -> int:
+    own_server = len(sys.argv) < 2
+    handle = None
+    if own_server:
+        from repro.server import MiningServer
+
+        handle = MiningServer(port=0, backend="thread", max_workers=2).run_in_thread()
+        url = handle.url
+        print(f"started an in-process mining server at {url}")
+    else:
+        url = sys.argv[1]
+
+    spec = MiningSpec.build(
+        "synthetic", kind="spread", n_iterations=3, beam_width=20, top_k=60
+    )
+
+    try:
+        with RemoteWorkspace(url) as remote:
+            print("server health:", remote.health()["status"])
+
+            # Live streaming over SSE: each pattern is yielded the moment
+            # its iteration event arrives; the observer additionally hears
+            # the job's scheduling decisions.
+            watch = CallbackObserver(
+                on_schedule=lambda e: print(f"  ~ scheduler: {e}")
+            )
+            print("\nstreaming patterns as they are mined:")
+            for iteration in remote.stream(spec, observer=watch):
+                print(f"  {iteration.index}. {iteration.location}")
+                if iteration.spread is not None:
+                    print(f"     {iteration.spread}")
+
+            # Submit/poll, Workspace-style.
+            job_id = remote.submit(spec)
+            result = remote.result(job_id)
+            print(f"\nsubmitted again as {job_id}: "
+                  f"{remote.status(job_id).value} "
+                  f"(cache made it instant: {result.elapsed_seconds:.2f}s run)")
+
+            # The acceptance bar of the network layer: remote == local.
+            local = Workspace().mine(spec)
+            identical = all(
+                str(a.location) == str(b.location)
+                and a.location.score.ic == b.location.score.ic
+                for a, b in zip(local.iterations, result.iterations)
+            )
+            print(f"remote result bit-identical to local mining: {identical}")
+    finally:
+        if handle is not None:
+            handle.stop()
+            print("server stopped")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -129,6 +129,8 @@ from repro.events import (
     broadcast,
 )
 from repro.api import Workspace, build_miner
+from repro.server import MiningServer
+from repro.client import RemoteWorkspace
 
 __all__ = [
     "__version__",
@@ -237,4 +239,7 @@ __all__ = [
     # the front door
     "Workspace",
     "build_miner",
+    # network (the served engine and its client twin)
+    "MiningServer",
+    "RemoteWorkspace",
 ]

@@ -304,14 +304,20 @@ class Workspace:
             self._owns_service = True
         return self._service
 
-    def submit(self, spec: MiningSpec | dict) -> str:
+    def submit(
+        self, spec: MiningSpec | dict, *, observer: MiningObserver | None = None
+    ) -> str:
         """Queue a spec on the service; returns the job id.
 
         If this submit has to create the lazy service, the spec's
         ``executor.backend`` picks its pool (unless the Workspace was
         constructed with an explicit ``service_backend``), and the
         spec's ``executor.workers`` parallelizes the search inside the
-        job.
+        job. ``observer`` is a *per-job* observer hearing only this
+        submission's events (see
+        :meth:`~repro.engine.service.MiningService.submit`); it does not
+        compose with the workspace-wide observer, which listens
+        service-wide.
         """
         spec = _as_spec(spec)
         return self._ensure_service(spec.executor.backend).submit(
@@ -319,6 +325,7 @@ class Workspace:
             workers=spec.executor.workers,
             start_method=spec.executor.start_method,
             shared_memory=spec.executor.shared_memory,
+            observer=observer,
         )
 
     def _running_service(self) -> MiningService:

@@ -10,6 +10,10 @@ Subcommands:
   mining (so any flag combination can become a reusable file).
 - ``sisd batch JOBS.json`` — run a batch of declarative mining jobs
   concurrently over a worker pool.
+- ``sisd serve`` — put the mining service on the network: JSON
+  endpoints for submit/status/result/cancel plus a Server-Sent-Events
+  stream (see :mod:`repro.server`); pair with
+  :class:`repro.client.RemoteWorkspace` or plain ``curl``.
 - ``sisd experiment NAME`` — reproduce one of the paper's tables/figures.
 - ``sisd experiments`` — list the reproducible experiments.
 
@@ -172,6 +176,36 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the results as JSON to this path",
     )
 
+    serve = sub.add_parser(
+        "serve", help="serve the mining engine over HTTP (JSON + SSE)"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="bind port (default 8765; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrently running jobs (the service's worker slots)",
+    )
+    serve.add_argument(
+        "--backend", choices=("thread", "process", "serial"), default="thread",
+        help="service pool backend (default thread; thread streams "
+        "candidate/iteration events live, process replays them at "
+        "completion)",
+    )
+    serve.add_argument(
+        "--no-candidates", action="store_true",
+        help="omit per-candidate events from the stream (they are the "
+        "chattiest part: hundreds per beam level)",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true",
+        help="no per-event server log lines on stdout",
+    )
+
     sub.add_parser("experiments", help="list reproducible tables/figures")
 
     exp = sub.add_parser("experiment", help="reproduce a paper table/figure")
@@ -302,6 +336,30 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import MiningServer
+
+    server = MiningServer(
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        max_workers=args.workers,
+        observer=None if args.quiet else LiveReporter(),
+        candidate_events=not args.no_candidates,
+    )
+
+    def announce(bound: MiningServer) -> None:
+        print(
+            f"sisd server listening on {bound.url}  "
+            f"(backend={args.backend}, workers={args.workers}; Ctrl-C stops)",
+            flush=True,
+        )
+
+    server.run(announce=announce)
+    print("sisd server stopped")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     result = EXPERIMENTS[args.name](args.seed)
     print(result.format())
@@ -322,6 +380,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_mine(args)
         if args.command == "batch":
             return _cmd_batch(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
     except ReproError as exc:

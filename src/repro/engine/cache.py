@@ -18,6 +18,7 @@ and only pays for the first genuinely new iteration onward.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import math
@@ -38,9 +39,11 @@ __all__ = [
     "dataset_content_fingerprint",
     "DATASET_CACHE",
     "load_dataset_cached",
+    "estimated_nbytes",
     "BeliefCache",
     "CachedStep",
     "BELIEF_CACHE",
+    "DEFAULT_BELIEF_CACHE_BYTES",
     "resolve_belief_cache",
 ]
 
@@ -185,6 +188,59 @@ def load_dataset_cached(
 # --------------------------------------------------------------------- #
 # Belief-state prefix cache
 # --------------------------------------------------------------------- #
+def estimated_nbytes(value: Any) -> int:
+    """Rough memory price of a cached value, in bytes.
+
+    Walks containers, dataclasses and plain objects, pricing numpy
+    arrays by their true ``nbytes`` (they dominate cached mining steps)
+    and everything else by small flat estimates — a sizing heuristic for
+    cache budgeting, not an allocator audit. Shared objects are priced
+    once (cycle-safe).
+    """
+    total = 0
+    seen: set[int] = set()
+    stack = [value]
+    while stack:
+        obj = stack.pop()
+        if obj is None or isinstance(obj, (bool, int, float, complex)):
+            total += 32
+            continue
+        if id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        if isinstance(obj, np.ndarray):
+            total += int(obj.nbytes) + 128
+        elif isinstance(obj, np.generic):
+            total += int(obj.nbytes) + 32
+        elif isinstance(obj, (str, bytes, bytearray)):
+            total += len(obj) + 64
+        elif isinstance(obj, dict):
+            total += 64
+            stack.extend(obj.keys())
+            stack.extend(obj.values())
+        elif isinstance(obj, (list, tuple, set, frozenset)):
+            total += 64
+            stack.extend(obj)
+        elif dataclasses.is_dataclass(obj):
+            total += 64
+            stack.extend(
+                getattr(obj, field.name) for field in dataclasses.fields(obj)
+            )
+        elif hasattr(obj, "__dict__"):
+            total += 64
+            stack.extend(vars(obj).values())
+        else:
+            total += 64
+    return total
+
+
+#: Default byte budget of a :class:`BeliefCache` (see its docstring).
+DEFAULT_BELIEF_CACHE_BYTES = 256 * 2**20
+
+#: Sentinel distinguishing "use the default budget" from an explicit None.
+_DEFAULT_BYTES: Any = object()
+
+
 @dataclass(frozen=True)
 class CachedStep:
     """What one cached mining iteration needs to be replayed exactly.
@@ -221,10 +277,30 @@ class BeliefCache:
 
     Instances are thread-safe (the underlying LRU locks); one process-
     wide default is exported as :data:`BELIEF_CACHE`.
+
+    Eviction is size-aware: entries hold full iteration arrays (pattern
+    indices, means, directions), so the cache is bounded by the
+    *estimated total bytes* of what it stores (``max_bytes``, default
+    :data:`DEFAULT_BELIEF_CACHE_BYTES`) on top of the entry-count bound
+    — 256 steps over a million-row dataset must not quietly hold
+    gigabytes. ``max_bytes=None`` restores pure count bounding.
     """
 
-    def __init__(self, maxsize: int = 256) -> None:
-        self._entries = LRUCache(maxsize)
+    def __init__(
+        self,
+        maxsize: int = 256,
+        *,
+        max_bytes: "int | None" = _DEFAULT_BYTES,
+    ) -> None:
+        if max_bytes is _DEFAULT_BYTES:
+            max_bytes = DEFAULT_BELIEF_CACHE_BYTES
+        self.max_bytes = max_bytes
+        if max_bytes is None:
+            self._entries = LRUCache(maxsize)
+        else:
+            self._entries = LRUCache(
+                maxsize, max_bytes=max_bytes, sizeof=estimated_nbytes
+            )
 
     # -------------------------- fingerprints -------------------------- #
     @staticmethod
@@ -278,6 +354,11 @@ class BeliefCache:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @property
+    def total_bytes(self) -> int:
+        """Estimated bytes currently held (0 when not byte-bounded)."""
+        return self._entries.total_bytes
 
     @property
     def stats(self) -> CacheStats:

@@ -230,8 +230,17 @@ class MiningJob:
         }
 
     def fingerprint(self) -> str:
-        """Stable digest of the spec; equal work ⇒ equal fingerprint."""
-        return fingerprint(self.spec())
+        """Stable digest of the spec; equal work ⇒ equal fingerprint.
+
+        Memoized on the (frozen) instance: hot paths — service
+        submission, cache keys, the server's job-listing endpoint —
+        call this repeatedly, and the canonical-JSON walk is not free.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            cached = fingerprint(self.spec())
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
     def with_name(self, name: str) -> "MiningJob":
         """The same work under a different label."""
@@ -438,6 +447,7 @@ def run_job_with_workers(
     start_method: str | None = None,
     shared_memory: bool = False,
     belief_cache: BeliefCache | None = None,
+    observer: MiningObserver | None = None,
 ) -> JobResult:
     """:func:`run_job` with the executor resolved from a worker count.
 
@@ -446,16 +456,19 @@ def run_job_with_workers(
     inside its worker processes (nested pools are legal; the determinism
     contract keeps the results identical at any count over any
     transport). The executor is closed afterwards so a shared-memory
-    run's persistent pool never outlives its job. ``belief_cache`` is
-    in-process state: the service's thread/serial backends thread theirs
-    through here, while its process backend leaves it ``None`` (a cache
-    cannot ship to a worker process).
+    run's persistent pool never outlives its job. ``belief_cache`` and
+    ``observer`` are in-process state: the service's thread/serial
+    backends thread theirs through here (observer callbacks then fire
+    from the worker thread), while its process backend leaves them
+    ``None`` (neither can ship to a worker process).
     """
     executor = resolve_executor(
         workers, start_method=start_method, shared_memory=shared_memory
     )
     try:
-        return run_job(job, executor=executor, belief_cache=belief_cache)
+        return run_job(
+            job, executor=executor, belief_cache=belief_cache, observer=observer
+        )
     finally:
         executor.close()
 

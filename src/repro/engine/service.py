@@ -20,9 +20,15 @@ queue and schedules it deterministically:
   through an LRU result cache keyed by the job fingerprint, and a
   submission whose fingerprint is already queued or running *coalesces*
   onto the in-flight job instead of mining twice.
+- **Starvation is bounded.** An aging guard boosts the effective
+  priority of long-queued jobs (one level per ``aging_seconds``
+  waited), so a low-priority job eventually dispatches even under
+  sustained high-priority load; each boost is an ``"aged"`` event.
 - **Decisions are observable.** Every scheduling decision is emitted as
   a :class:`~repro.events.SchedulerEvent` through the service's
-  observers (``on_schedule``).
+  observers (``on_schedule``), and each submission may attach its own
+  per-job observer that hears that job's events only (the substrate of
+  the :mod:`repro.server` streaming endpoints).
 """
 
 from __future__ import annotations
@@ -92,6 +98,14 @@ class _SwallowingObserver(MiningObserver):
             pass
 
 
+def _deliver_result(observer, result, *, replay_iterations: bool) -> None:
+    """One job's terminal delivery to one (already-swallowing) observer."""
+    if replay_iterations:
+        for iteration in result.iterations:
+            observer.on_iteration(iteration)
+    observer.on_job(result)
+
+
 class JobStatus(str, Enum):
     """Lifecycle of a submitted job.
 
@@ -129,10 +143,14 @@ class _Record:
 
     ``priority`` starts as the job's own and may be *boosted* when a
     higher-priority duplicate coalesces onto a still-queued record (the
-    queue serves the most urgent interested client). ``proxy_of`` links
-    a coalesced duplicate to the record doing the actual work;
+    queue serves the most urgent interested client); ``boost`` is the
+    starvation guard's additive aging credit on top of that. ``proxy_of``
+    links a coalesced duplicate to the record doing the actual work;
     ``proxies`` is the reverse edge. ``heap_key`` detects stale heap
-    entries after a boost (lazy deletion).
+    entries after a boost (lazy deletion). ``observer`` is the
+    submission's own (already exception-swallowing) per-job observer, or
+    ``None``; ``live`` records whether that observer was wired into the
+    mining run itself (so completion must not replay iterations to it).
     """
 
     __slots__ = (
@@ -141,6 +159,8 @@ class _Record:
         "fp",
         "seq",
         "priority",
+        "boost",
+        "enqueued_at",
         "deadline_at",
         "urgency_at",
         "future",
@@ -149,14 +169,26 @@ class _Record:
         "proxies",
         "proxy_of",
         "heap_key",
+        "observer",
+        "live",
     )
 
-    def __init__(self, job_id: str, job: MiningJob, fp: str, seq: int, opts: tuple):
+    def __init__(
+        self,
+        job_id: str,
+        job: MiningJob,
+        fp: str,
+        seq: int,
+        opts: tuple,
+        observer: "MiningObserver | None" = None,
+    ):
         self.job_id = job_id
         self.job = job
         self.fp = fp
         self.seq = seq
         self.priority = job.priority
+        self.boost = 0
+        self.enqueued_at = time.monotonic()
         self.deadline_at = (
             None if job.deadline is None else time.monotonic() + job.deadline
         )
@@ -171,13 +203,19 @@ class _Record:
         self.proxies: list["_Record"] = []
         self.proxy_of: "_Record" | None = None
         self.heap_key: tuple | None = None
+        self.observer = observer
+        self.live = False
 
     def sort_key(self) -> tuple:
-        """Deterministic dispatch order: priority ↓, deadline ↑, arrival ↑."""
+        """Deterministic dispatch order: priority ↓, deadline ↑, arrival ↑.
+
+        ``priority`` here is the *effective* priority: the (possibly
+        coalescing-boosted) base plus the aging guard's ``boost``.
+        """
         deadline_rank = (
             (1, 0.0) if self.urgency_at is None else (0, self.urgency_at)
         )
-        return (-self.priority, deadline_rank, self.seq)
+        return (-(self.priority + self.boost), deadline_rank, self.seq)
 
 
 class MiningService:
@@ -234,6 +272,14 @@ class MiningService:
         ``None``/``False`` disables; a
         :class:`~repro.engine.cache.BeliefCache` instance scopes reuse
         to whoever shares that instance.
+    aging_seconds:
+        Starvation guard: a queued primary gains one effective priority
+        level per ``aging_seconds`` spent waiting (emitted as an
+        ``"aged"`` :class:`~repro.events.SchedulerEvent`), so sustained
+        high-priority load cannot park a low-priority job forever.
+        Aging affects dispatch *order* only — never what runs, never
+        deadlines. ``None`` disables the guard; the default is 60
+        seconds.
 
     The service is a context manager; leaving the block shuts the pool
     down and waits for running jobs.
@@ -248,9 +294,15 @@ class MiningService:
         observer: MiningObserver | None = None,
         start_method: str | None = None,
         belief_cache: BeliefCache | bool | None = True,
+        aging_seconds: float | None = 60.0,
     ) -> None:
         if max_workers < 1:
             raise EngineError(f"max_workers must be >= 1, got {max_workers}")
+        if aging_seconds is not None and not (aging_seconds > 0):
+            raise EngineError(
+                f"aging_seconds must be > 0 or None, got {aging_seconds!r}"
+            )
+        self.aging_seconds = aging_seconds
         self.backend = backend
         self.max_workers = max_workers
         self.start_method = start_method
@@ -283,6 +335,7 @@ class MiningService:
         workers: int | None = None,
         start_method: str | None = None,
         shared_memory: bool = False,
+        observer: MiningObserver | None = None,
     ) -> str:
         """Queue a job; returns its id. Cached specs resolve instantly.
 
@@ -294,6 +347,18 @@ class MiningService:
         queued or running coalesces onto that in-flight job (one mining
         run, every waiter gets the result); scheduling terms come from
         the job's ``priority``/``deadline`` fields.
+
+        ``observer`` is a *per-job* observer: unlike the service-wide
+        observers (which hear every job), it receives only this
+        submission's events — its scheduling decisions, its iterations,
+        and exactly one terminal ``on_job``/``on_job_failed``. The
+        serial and thread backends deliver candidate/iteration events
+        live from the mining thread (implementations must be
+        thread-safe); the process backend and cache hits replay
+        ``on_iteration`` at completion, like the service-wide stream.
+        Exceptions it raises are swallowed, never failing the job. This
+        is the per-job substrate the :mod:`repro.server` SSE endpoint
+        tags its streams with.
         """
         if not isinstance(job, MiningJob):
             raise EngineError(f"expected MiningJob, got {type(job).__name__}")
@@ -301,8 +366,16 @@ class MiningService:
         fp = job.fingerprint()
         post: list = []
         serial_record: _Record | None = None
+        wrapped = _SwallowingObserver(observer) if observer is not None else None
         with self._lock:
-            record = _Record(job_id, job, fp, next(self._seq), (workers, start_method, shared_memory))
+            record = _Record(
+                job_id,
+                job,
+                fp,
+                next(self._seq),
+                (workers, start_method, shared_memory),
+                observer=wrapped,
+            )
             self._records[job_id] = record
             self._emit_later(post, "queued", record)
             cached = self._cache.get(fp)
@@ -313,6 +386,12 @@ class MiningService:
                 post.append(
                     lambda r=cached: self._announce(r, replay_iterations=True)
                 )
+                if wrapped is not None:
+                    post.append(
+                        lambda r=cached, o=wrapped: _deliver_result(
+                            o, r, replay_iterations=True
+                        )
+                    )
             elif self._pool is None:
                 if (
                     record.deadline_at is not None
@@ -365,13 +444,15 @@ class MiningService:
         executor = resolve_executor(
             workers, start_method=start_method, shared_memory=shared_memory
         )
+        record.live = record.observer is not None
         try:
-            # Serial backend: candidate/iteration events fire live
+            # Serial backend: candidate/iteration events fire live, on
+            # the service-wide observers and the submission's own
             # (swallowed on failure — see _SwallowingObserver).
             result = run_job(
                 record.job,
                 executor=executor,
-                observer=self._live_observer,
+                observer=broadcast(self._live_observer, record.observer),
                 belief_cache=self._belief_cache,
             )
         except Exception as exc:  # surface via result(), like a pool would
@@ -380,12 +461,16 @@ class MiningService:
                 record.future.set_exception(exc)
             if self._live_observer is not None:
                 self._live_observer.on_job_failed(record.job, exc)
+            if record.observer is not None:
+                record.observer.on_job_failed(record.job, exc)
         else:
             with self._lock:
                 record.state = "done"
                 self._cache.put(record.fp, result)
                 record.future.set_result(result)
             self._announce(result, replay_iterations=False)
+            if record.observer is not None:
+                _deliver_result(record.observer, result, replay_iterations=False)
         finally:
             # A shared-memory executor holds a persistent pool; do
             # not leave it to garbage collection.
@@ -628,10 +713,45 @@ class MiningService:
         record.heap_key = record.sort_key()
         heapq.heappush(self._queue, (record.heap_key, record))
 
+    def _age_queue_locked(self, post: list) -> None:
+        """Starvation guard: boost the priority of long-queued primaries.
+
+        A queued primary earns one effective-priority level per
+        :attr:`aging_seconds` spent waiting (boosted records are
+        re-pushed; lazy deletion skips their stale heap entries), so a
+        steady stream of high-priority arrivals cannot postpone a
+        low-priority job forever. Runs at every dispatch opportunity —
+        each submission and each completed task re-examines the queue.
+        """
+        if self.aging_seconds is None or not self._queue:
+            return
+        now = time.monotonic()
+        # Walk the heap, not self._records: the record table keeps every
+        # submission ever made (it backs status()), while the heap holds
+        # only queued primaries plus a few stale boosted entries — the
+        # scan must stay O(queue), not O(history), on a long-lived server.
+        seen: set[int] = set()
+        for _, record in list(self._queue):
+            if record.state != "queued" or record.proxy_of is not None:
+                continue
+            if id(record) in seen:
+                continue  # stale duplicate entry of an already-aged record
+            seen.add(id(record))
+            waited = now - record.enqueued_at
+            boost = int(waited / self.aging_seconds)
+            if boost > record.boost:
+                record.boost = boost
+                self._push_locked(record)
+                self._emit_later(
+                    post, "aged", record,
+                    detail=f"+{boost} priority after {waited:.3f}s queued",
+                )
+
     def _dispatch_locked(self, post: list) -> None:
         """Fill free worker slots in deterministic scheduling order."""
         if self._pool is None:
             return
+        self._age_queue_locked(post)
         while self._running < self.max_workers and self._queue:
             key, record = heapq.heappop(self._queue)
             if record.state != "queued" or record.heap_key != key:
@@ -652,6 +772,22 @@ class MiningService:
             self._n_queued -= 1
             self._running += 1
             workers, start_method, shared_memory = record.opts
+            live_observer = None
+            if self.backend == "thread":
+                # In-process workers can call back into this process, so
+                # the per-job observers of every waiter known at dispatch
+                # hear candidates/iterations live from the worker thread;
+                # completion then skips their replay (waiter.live).
+                live_waiters = [
+                    waiter
+                    for waiter in [record] + record.proxies
+                    if waiter.state in _LIVE_STATES and waiter.observer is not None
+                ]
+                for waiter in live_waiters:
+                    waiter.live = True
+                live_observer = broadcast(
+                    *(waiter.observer for waiter in live_waiters)
+                )
             try:
                 if self.backend == "thread":
                     # In-process workers share the belief cache; worker
@@ -663,6 +799,7 @@ class MiningService:
                         start_method,
                         shared_memory,
                         self._belief_cache,
+                        live_observer,
                     )
                 else:
                     pool_future = self._pool.submit(
@@ -693,6 +830,12 @@ class MiningService:
                                 w.job, e
                             )
                         )
+                    if waiter.observer is not None:
+                        post.append(
+                            lambda w=waiter, e=exc: w.observer.on_job_failed(
+                                w.job, e
+                            )
+                        )
                 continue
             self._emit_later(post, "dispatched", record)
             pool_future.add_done_callback(
@@ -720,6 +863,15 @@ class MiningService:
                     for waiter in waiters:
                         waiter.state = "done"
                         waiter.future.set_result(result)
+                        if waiter.observer is not None:
+                            # Waiters wired live at dispatch already heard
+                            # their iterations; late coalescers and the
+                            # process backend get the replay.
+                            post.append(
+                                lambda w=waiter, r=result: _deliver_result(
+                                    w.observer, r, replay_iterations=not w.live
+                                )
+                            )
                     post.extend(
                         (lambda r=result: self._announce(r, replay_iterations=True),)
                         * len(waiters)
@@ -731,6 +883,12 @@ class MiningService:
                         if self._live_observer is not None:
                             post.append(
                                 lambda w=waiter, e=exc: self._live_observer.on_job_failed(
+                                    w.job, e
+                                )
+                            )
+                        if waiter.observer is not None:
+                            post.append(
+                                lambda w=waiter, e=exc: w.observer.on_job_failed(
                                     w.job, e
                                 )
                             )
@@ -806,9 +964,11 @@ class MiningService:
 
         ``pending`` is sampled now (while the decision is fresh); the
         emission itself runs via :meth:`_run_post` so observers never
-        execute under the scheduler lock on the normal path.
+        execute under the scheduler lock on the normal path. Delivery
+        reaches the service-wide observers and the affected record's
+        per-job observer, if any.
         """
-        if self._live_observer is None:
+        if self._live_observer is None and record.observer is None:
             return
         event = SchedulerEvent(
             kind=kind,
@@ -817,7 +977,14 @@ class MiningService:
             pending=self._n_queued,
             detail=detail,
         )
-        post.append(lambda: self._live_observer.on_schedule(event))
+
+        def deliver(record_observer=record.observer) -> None:
+            if self._live_observer is not None:
+                self._live_observer.on_schedule(event)
+            if record_observer is not None:
+                record_observer.on_schedule(event)
+
+        post.append(deliver)
 
     def _run_post(self, post: list) -> None:
         for action in post:

@@ -41,13 +41,16 @@ if TYPE_CHECKING:  # pragma: no cover - import-cycle-free type hints only
 #: fires for every accepted submission; exactly one of ``dispatched`` /
 #: ``cache_hit`` / ``coalesced`` / ``cancelled`` / ``expired`` follows
 #: (``promoted`` re-queues a coalesced duplicate whose primary was
-#: cancelled, so it may precede a later ``dispatched``).
+#: cancelled, so it may precede a later ``dispatched``; ``aged`` marks a
+#: starvation-guard priority boost of a long-queued job and may fire any
+#: number of times before its ``dispatched``).
 SCHEDULER_EVENT_KINDS = (
     "queued",
     "dispatched",
     "cache_hit",
     "coalesced",
     "promoted",
+    "aged",
     "cancelled",
     "expired",
 )

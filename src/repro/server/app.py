@@ -1,0 +1,720 @@
+"""``MiningServer``: the mining engine behind an asyncio HTTP front door.
+
+The paper's loop is a dialogue — mine, show, assimilate, repeat — and a
+dialogue needs a wire. This module serves a
+:class:`~repro.engine.service.MiningService` over HTTP (stdlib asyncio
+only):
+
+====================  =================================================
+``POST /jobs``        submit a ``{"spec": ...}`` or ``{"job": ...}``
+                      document (priority/deadline honored)
+``GET /jobs``         list every submission and its status
+``GET /jobs/{id}``    one submission's status snapshot
+``GET /jobs/{id}/result``  the result (``?wait=S`` long-polls)
+``POST /jobs/{id}/cancel`` deterministic cancel-while-queued
+``GET /events``       Server-Sent-Events stream of every mining event
+``GET /health``       liveness + scheduler/cache/stream statistics
+====================  =================================================
+
+Every submission is wired with a per-job
+:class:`~repro.events.MiningObserver` whose callbacks — fired from
+engine worker threads — are bridged onto per-subscriber asyncio queues
+by the :class:`~repro.server.hub.EventHub`, so patterns, SI scores, and
+scheduler decisions stream live with sequence numbers; a dropped client
+resumes via SSE ``Last-Event-ID``. The JSON forms come from
+:mod:`repro.server.wire`, shared with
+:class:`repro.client.RemoteWorkspace` so remote results decode
+bit-identical to local ones.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+
+from repro.engine.service import JobStatus, MiningService
+from repro.errors import EngineError, ReproError
+from repro.events import MiningObserver
+from repro.persist import job_from_dict
+from repro.server import http, wire
+from repro.server.hub import EventHub
+from repro.spec import MiningSpec
+from repro.version import __version__
+
+__all__ = ["MiningServer", "ServerHandle"]
+
+#: Hard ceiling on one ``?wait=`` long-poll (clients loop to wait longer).
+MAX_RESULT_WAIT = 30.0
+
+
+def _error_document(error: BaseException) -> dict:
+    """The one error envelope every non-2xx response carries."""
+    return {"schema": wire.WIRE_SCHEMA, "error": wire.error_to_wire(error)}
+
+
+def _wait_quietly(
+    service: MiningService,
+    job_id: str,
+    timeout: float,
+    stop: threading.Event,
+):
+    """Block until the job settles (or the wait elapses); never raises.
+
+    Runs on an executor thread. Exceptions must be contained *here*: a
+    ``concurrent.futures.CancelledError`` from a job cancelled mid-wait
+    would otherwise be rewrapped by asyncio into a BaseException-derived
+    ``asyncio.CancelledError`` at the ``await``, sail past every
+    ``except Exception`` guard, and kill the HTTP connection with no
+    response. The caller re-reads the job status and renders the
+    terminal state instead.
+
+    The wait is split into short legs so a server shutdown (``stop``)
+    releases parked threads within ~a second even while their job is
+    still running — an uninterruptible 30 s ``service.result`` would
+    otherwise keep the process alive after Ctrl-C until the pool's
+    atexit join drained it.
+    """
+    give_up_at = time.monotonic() + timeout
+    while not stop.is_set():
+        leg = min(1.0, give_up_at - time.monotonic())
+        if leg <= 0:
+            return None
+        try:
+            return service.result(job_id, leg)
+        except FuturesTimeoutError:
+            continue  # leg elapsed; job still pending/running
+        except BaseException:  # noqa: BLE001 - see docstring
+            return None
+    return None
+
+
+def _job_error(service: MiningService, job_id: str) -> BaseException | None:
+    """The stored exception of a failed/expired job (executor thread)."""
+    try:
+        service.result(job_id, 10.0)
+    except BaseException as exc:  # noqa: BLE001 - captured, not raised
+        return exc
+    return None
+
+
+class _JobStreamObserver(MiningObserver):
+    """Per-job observer publishing tagged wire events onto the hub.
+
+    The service assigns the job id *during* submit while events may
+    already be firing from worker threads, so events are buffered until
+    :meth:`bind` supplies the id, then flushed in order. All callbacks
+    are thread-safe and non-blocking (hub publishing never waits on
+    subscribers), as the engine's observer contract requires.
+    """
+
+    def __init__(self, hub: EventHub, *, candidates: bool = True) -> None:
+        self._hub = hub
+        self._candidates = candidates
+        self._lock = threading.Lock()
+        self._pending: list | None = []
+        self._job_id: str | None = None
+
+    def bind(self, job_id: str) -> None:
+        """Set the job id and flush everything buffered before it.
+
+        The flush publishes *under the observer lock*: a worker-thread
+        event arriving concurrently must queue behind it, or it would
+        overtake older buffered events and break this job's sequence
+        order. Publishing is non-blocking (the hub never waits on
+        subscribers), so holding the lock across it is cheap.
+        """
+        with self._lock:
+            pending, self._pending = self._pending, None
+            self._job_id = job_id
+            for build in pending or ():
+                self._hub.publish(build(job_id))
+
+    def _emit(self, build) -> None:
+        with self._lock:
+            if self._pending is not None:
+                self._pending.append(build)
+                return
+            self._hub.publish(build(self._job_id))
+
+    def on_candidate(self, candidate) -> None:
+        if self._candidates:
+            self._emit(lambda job_id: wire.candidate_event(job_id, candidate))
+
+    def on_iteration(self, iteration) -> None:
+        self._emit(lambda job_id: wire.iteration_event(job_id, iteration))
+
+    def on_job(self, result) -> None:
+        self._emit(lambda job_id: wire.job_event(job_id, result))
+
+    def on_job_failed(self, job, error) -> None:
+        self._emit(lambda job_id: wire.job_failed_event(job_id, job, error))
+
+    def on_schedule(self, event) -> None:
+        # Scheduler events are self-tagged with their job id already.
+        self._emit(lambda job_id: wire.schedule_event(event))
+
+
+class ServerHandle:
+    """Control of a server running on a background thread (tests, demos)."""
+
+    def __init__(self, server: "MiningServer") -> None:
+        self._server = server
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self.error: BaseException | None = None
+
+    @property
+    def url(self) -> str:
+        return self._server.url
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Signal the server loop to shut down and join its thread."""
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:  # pragma: no cover - loop already closed
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class MiningServer:
+    """Serve a :class:`~repro.engine.service.MiningService` over HTTP.
+
+    Parameters
+    ----------
+    host / port:
+        Bind address; ``port=0`` picks a free ephemeral port (read the
+        chosen one from :attr:`port` after :meth:`start`).
+    service:
+        An existing service to expose. When omitted one is created from
+        ``backend``/``max_workers`` and shut down with the server. Only
+        jobs submitted *through this server* stream events — a shared
+        service's direct submissions have no per-job observer.
+    backend / max_workers:
+        Configuration of the lazily created service. The default
+        ``"thread"`` backend streams candidate/iteration events live
+        from worker threads; ``"process"`` replays them at completion
+        (the engine cannot ship callbacks across processes).
+    observer:
+        Optional service-wide observer (e.g. a
+        :class:`~repro.report.live.LiveReporter` for server-side logs);
+        attached to the service and detached on :meth:`stop`.
+    candidate_events:
+        Also stream per-candidate events (hundreds per beam level);
+        pattern/scheduler events are unaffected.
+    history / queue_maxsize:
+        Replay-buffer and per-subscriber queue bounds of the
+        :class:`~repro.server.hub.EventHub`.
+    heartbeat_seconds:
+        Idle interval after which SSE connections get a comment frame
+        (keeps proxies from reaping quiet streams).
+    request_timeout:
+        Seconds a connection may sit idle between requests (or mid-
+        request) before the server closes it — the bound that keeps
+        silent or half-open clients from pinning sockets forever. Does
+        not apply to an established SSE stream.
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        service: MiningService | None = None,
+        backend: str = "thread",
+        max_workers: int = 2,
+        observer: MiningObserver | None = None,
+        candidate_events: bool = True,
+        history: int = 4096,
+        queue_maxsize: int = 512,
+        heartbeat_seconds: float = 15.0,
+        request_timeout: float = 120.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._owns_service = service is None
+        if service is None:
+            service = MiningService(
+                max_workers=max_workers, backend=backend, observer=observer
+            )
+            self._observer = None  # owned service: observer lives inside it
+        else:
+            service.add_observer(observer)
+            self._observer = observer
+        self.service = service
+        self.hub = EventHub(history=history, queue_maxsize=queue_maxsize)
+        self.candidate_events = candidate_events
+        self.heartbeat_seconds = heartbeat_seconds
+        self.request_timeout = request_timeout
+        self._server: asyncio.AbstractServer | None = None
+        self._started_at: float | None = None
+        self._submitted = 0
+        # Long-polling ``?wait=`` legs park a thread each for up to 30 s;
+        # give them their own pool so they can never starve the loop's
+        # default executor (which submits and fetches run there too).
+        self._wait_executor = ThreadPoolExecutor(
+            max_workers=64, thread_name_prefix="repro-result-wait"
+        )
+        # Set on shutdown: releases long-poll legs parked in the wait
+        # executor within ~a second (see _wait_quietly).
+        self._stopping = threading.Event()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def url(self) -> str:
+        """Base URL of the bound server."""
+        return f"http://{self.host}:{self.port}"
+
+    async def start(self) -> None:
+        """Bind the listening socket and begin accepting connections."""
+        if self._server is not None:
+            raise EngineError("server is already running")
+        if self._stopping.is_set():
+            # stop() tears down one-shot state (hub, wait executor);
+            # refuse a half-broken relaunch instead of limping.
+            raise EngineError(
+                "this server was stopped; construct a new MiningServer"
+            )
+        self.hub.bind(asyncio.get_running_loop())
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (call :meth:`start` first)."""
+        if self._server is None:
+            raise EngineError("call start() before serve_forever()")
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Close the socket, end SSE streams, and wind the service down."""
+        self._stopping.set()
+        if self._server is None:
+            self.hub.close()
+        else:
+            self._server.close()
+            # Close the hub *before* awaiting wait_closed(): since
+            # Python 3.12.1 wait_closed() also waits for the open
+            # connection handlers, and the SSE handlers only finish once
+            # the hub's shutdown sentinel wakes them.
+            self.hub.close()
+            await self._server.wait_closed()
+            self._server = None
+        loop = asyncio.get_running_loop()
+        if self._owns_service:
+            await loop.run_in_executor(None, self.service.shutdown)
+        else:
+            self.service.remove_observer(self._observer)
+        self._wait_executor.shutdown(wait=False)
+
+    def run(self, *, announce=None) -> None:
+        """Blocking entry point (the CLI's): serve until interrupted."""
+        try:
+            asyncio.run(self._run_forever(announce))
+        except KeyboardInterrupt:
+            pass
+        finally:
+            # The loop is gone (asyncio.run unwound on the interrupt),
+            # so this is synchronous best-effort cleanup: flag the hub
+            # closed, release parked long-poll threads (they re-check
+            # _stopping every wait leg, ~1 s), cancel queued work, and
+            # shut the wait executor — otherwise its non-daemon threads
+            # keep the process alive after "stopped" is printed.
+            self._stopping.set()
+            self.hub.close()
+            if self._owns_service:
+                self.service.shutdown(wait=False)
+            else:
+                self.service.remove_observer(self._observer)
+            self._wait_executor.shutdown(wait=False)
+
+    async def _run_forever(self, announce) -> None:
+        await self.start()
+        if announce is not None:
+            announce(self)
+        await self.serve_forever()
+
+    def run_in_thread(self, *, ready_timeout: float = 30.0) -> ServerHandle:
+        """Start on a daemon thread; returns a :class:`ServerHandle`.
+
+        The convenience behind the test-suite, example, and benchmark
+        servers: bind (resolving ``port=0``), then return once requests
+        can be served.
+        """
+        started = threading.Event()
+        handle = ServerHandle(self)
+
+        def target() -> None:
+            try:
+                asyncio.run(self._serve_until_stopped(started, handle))
+            except BaseException as exc:  # pragma: no cover - surfaced below
+                handle.error = exc
+            finally:
+                started.set()
+
+        thread = threading.Thread(
+            target=target, name="repro-server", daemon=True
+        )
+        handle._thread = thread
+        thread.start()
+        started.wait(ready_timeout)
+        if handle.error is not None:
+            raise EngineError(f"server failed to start: {handle.error}")
+        if self._server is None:
+            raise EngineError("server failed to start within ready_timeout")
+        return handle
+
+    async def _serve_until_stopped(self, started, handle: ServerHandle) -> None:
+        await self.start()
+        handle._loop = asyncio.get_running_loop()
+        handle._stop = asyncio.Event()
+        started.set()
+        await handle._stop.wait()
+        await self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            # Loop shutdown cancels parked connection handlers. Ending
+            # normally instead of re-raising keeps 3.11's streams
+            # callback from logging every open connection as an
+            # unhandled cancelled task (gh-110894); the transport is
+            # already closed by the finally below either way.
+            pass
+
+    async def _serve_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    # Idle bound: a client that connects and sends
+                    # nothing (or half a request, or parks on
+                    # keep-alive) releases its socket and task after
+                    # request_timeout instead of pinning them forever.
+                    request = await asyncio.wait_for(
+                        http.read_request(reader), self.request_timeout
+                    )
+                except asyncio.TimeoutError:
+                    break
+                except http.HttpError as exc:
+                    writer.write(self._error_response(exc.status, str(exc), False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                if request.method == "GET" and request.path == "/events":
+                    await self._handle_events(request, writer)
+                    break  # SSE ends by closing the connection
+                try:
+                    status, document = await self._dispatch(request)
+                except http.HttpError as exc:
+                    status, document = exc.status, _error_document(exc)
+                except ReproError as exc:
+                    status, document = 400, _error_document(exc)
+                except Exception as exc:  # noqa: BLE001 - last-resort guard
+                    status, document = 500, _error_document(exc)
+                keep = request.keep_alive and status < 500
+                if "result" in document or "jobs" in document:
+                    # Result/listing documents can run to megabytes of
+                    # pattern arrays; encode off the loop so one big
+                    # response cannot stall every other connection's
+                    # events and heartbeats.
+                    body = await asyncio.get_running_loop().run_in_executor(
+                        None, http.json_body, document
+                    )
+                else:
+                    body = http.json_body(document)
+                writer.write(
+                    http.render_response(status, body, keep_alive=keep)
+                )
+                await writer.drain()
+                if not keep:
+                    break
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    def _error_response(self, status: int, message: str, keep: bool) -> bytes:
+        document = _error_document(http.HttpError(status, message))
+        return http.render_response(
+            status, http.json_body(document), keep_alive=keep
+        )
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    async def _dispatch(self, request: http.Request) -> tuple[int, dict]:
+        parts = [part for part in request.path.split("/") if part]
+        if parts == ["health"] and request.method == "GET":
+            return 200, self._health()
+        if parts == ["jobs"]:
+            if request.method == "POST":
+                return await self._submit(request)
+            if request.method == "GET":
+                return 200, self._list_jobs()
+            raise http.HttpError(405, f"{request.method} not allowed on /jobs")
+        if len(parts) >= 2 and parts[0] == "jobs":
+            job_id = parts[1]
+            if len(parts) == 2:
+                if request.method == "GET":
+                    return 200, self._job_state(job_id)
+                if request.method == "DELETE":
+                    return self._cancel(job_id)
+                raise http.HttpError(
+                    405, f"{request.method} not allowed on /jobs/{{id}}"
+                )
+            if parts[2] == "result" and len(parts) == 3 and request.method == "GET":
+                return await self._result(job_id, request)
+            if parts[2] == "cancel" and len(parts) == 3 and request.method == "POST":
+                return self._cancel(job_id)
+        raise http.HttpError(
+            404,
+            f"no route for {request.method} {request.path}; the API surface "
+            f"is /health, /jobs, /jobs/{{id}}, /jobs/{{id}}/result, "
+            f"/jobs/{{id}}/cancel, /events",
+        )
+
+    # ------------------------------------------------------------------ #
+    # Handlers
+    # ------------------------------------------------------------------ #
+    def _health(self) -> dict:
+        statuses = self.service.jobs().values()
+        counts: dict[str, int] = {}
+        for status in statuses:
+            counts[status.value] = counts.get(status.value, 0) + 1
+        cache = self.service.cache_stats
+        return {
+            "schema": wire.WIRE_SCHEMA,
+            "status": "ok",
+            "version": __version__,
+            "uptime_seconds": (
+                0.0
+                if self._started_at is None
+                else time.monotonic() - self._started_at
+            ),
+            "service": {
+                "backend": self.service.backend,
+                "max_workers": self.service.max_workers,
+                "aging_seconds": self.service.aging_seconds,
+            },
+            "jobs": {"submitted": self._submitted, "by_status": counts},
+            "result_cache": {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "evictions": cache.evictions,
+            },
+            "events": self.hub.stats(),
+        }
+
+    def _parse_submission(self, data: dict) -> tuple:
+        """A submit body → (job, executor kwargs for the search inside)."""
+        if "spec" in data:
+            spec = MiningSpec.from_dict(data["spec"])
+        elif "job" in data:
+            job = job_from_dict(data["job"])
+            return job, {}
+        elif "dataset" in data:  # a bare spec document is accepted too
+            spec = MiningSpec.from_dict(data)
+        else:
+            raise http.HttpError(
+                400,
+                'submit body must be {"spec": {...}}, {"job": {...}}, or a '
+                "bare MiningSpec document",
+            )
+        return spec.to_job(), {
+            "workers": spec.executor.workers,
+            "start_method": spec.executor.start_method,
+            "shared_memory": spec.executor.shared_memory,
+        }
+
+    async def _submit(self, request: http.Request) -> tuple[int, dict]:
+        job, opts = self._parse_submission(request.json())
+        observer = _JobStreamObserver(self.hub, candidates=self.candidate_events)
+        loop = asyncio.get_running_loop()
+        # Sampled before submission: every event of this job has a
+        # higher sequence number, so a client subscribing with
+        # ``since=<this>`` replays the job's stream from its first
+        # event — no extra round trip to anchor, no missed-event window.
+        since = self.hub.latest_seq
+        # submit() can mine inline (serial backend) — keep it off the loop.
+        job_id = await loop.run_in_executor(
+            None, lambda: self.service.submit(job, observer=observer, **opts)
+        )
+        observer.bind(job_id)
+        self._submitted += 1
+        return 201, {
+            "schema": wire.WIRE_SCHEMA,
+            "job_id": job_id,
+            "status": self.service.status(job_id).value,
+            "name": job.name,
+            "fingerprint": job.fingerprint(),
+            "since": since,
+        }
+
+    def _require_job(self, job_id: str):
+        try:
+            return self.service.job(job_id)
+        except EngineError as exc:
+            raise http.HttpError(404, str(exc)) from exc
+
+    def _job_state(self, job_id: str) -> dict:
+        job = self._require_job(job_id)
+        return wire.job_state_to_wire(job_id, self.service.status(job_id), job)
+
+    def _list_jobs(self) -> dict:
+        entries = [
+            wire.job_state_to_wire(job_id, status, self.service.job(job_id))
+            for job_id, status in sorted(self.service.jobs().items())
+        ]
+        return {"schema": wire.WIRE_SCHEMA, "jobs": entries}
+
+    async def _result(self, job_id: str, request: http.Request) -> tuple[int, dict]:
+        self._require_job(job_id)
+        try:
+            wait = min(float(request.query.get("wait", 0.0)), MAX_RESULT_WAIT)
+        except ValueError:
+            raise http.HttpError(
+                400, f"bad wait value {request.query.get('wait')!r}"
+            ) from None
+        loop = asyncio.get_running_loop()
+        status = self.service.status(job_id)
+        result = None
+        if status in (JobStatus.PENDING, JobStatus.RUNNING) and wait > 0:
+            # Timeout, cancellation, and failure all surface as a fresh
+            # status read below; a success is kept (no second fetch).
+            result = await loop.run_in_executor(
+                self._wait_executor,
+                _wait_quietly,
+                self.service,
+                job_id,
+                wait,
+                self._stopping,
+            )
+            status = self.service.status(job_id)
+        document: dict = {
+            "schema": wire.WIRE_SCHEMA,
+            "job_id": job_id,
+            "status": status.value,
+        }
+        if status in (JobStatus.PENDING, JobStatus.RUNNING):
+            return 202, document
+        if status == JobStatus.DONE:
+            if result is None:
+                result = await loop.run_in_executor(
+                    None, _wait_quietly, self.service, job_id, 10.0, self._stopping
+                )
+            if result is None:  # pragma: no cover - done jobs resolve
+                raise http.HttpError(
+                    500, f"job {job_id} is done but its result was unavailable"
+                )
+            # The numpy→list conversion scales with the mined indices;
+            # keep it off the loop (the body encode is offloaded too).
+            document["result"] = await loop.run_in_executor(
+                None, wire.job_result_to_wire, result
+            )
+            return 200, document
+        if status == JobStatus.CANCELLED:
+            document["error"] = {
+                "type": "CancelledError",
+                "message": f"job {job_id} was cancelled before it ran",
+            }
+            return 200, document
+        # FAILED or EXPIRED: report the stored exception.
+        error = await loop.run_in_executor(None, _job_error, self.service, job_id)
+        if error is not None:
+            document["error"] = wire.error_to_wire(error)
+        return 200, document
+
+    def _cancel(self, job_id: str) -> tuple[int, dict]:
+        self._require_job(job_id)
+        cancelled = self.service.cancel(job_id)
+        return 200, {
+            "schema": wire.WIRE_SCHEMA,
+            "job_id": job_id,
+            "cancelled": cancelled,
+            "status": self.service.status(job_id).value,
+        }
+
+    # ------------------------------------------------------------------ #
+    # SSE
+    # ------------------------------------------------------------------ #
+    async def _handle_events(self, request: http.Request, writer) -> None:
+        since: int | None = None
+        raw = request.headers.get("last-event-id") or request.query.get("since")
+        if raw is not None:
+            try:
+                since = int(raw)
+            except ValueError:
+                writer.write(
+                    self._error_response(400, f"bad Last-Event-ID {raw!r}", False)
+                )
+                await writer.drain()
+                return
+        # Optional server-side filter: ?job_id= streams one job's events
+        # only. The filter lives inside the hub subscription, so foreign
+        # events neither cross the wire nor occupy (or evict from) this
+        # subscriber's bounded queue — and a quiet *filtered* stream
+        # still heartbeats even while the server is busy with other
+        # jobs, which is what keeps the client's dropped-terminal
+        # healing path alive. Filtered-out sequence numbers simply never
+        # appear on this connection.
+        subscription = self.hub.subscribe(
+            since=since, job_id=request.query.get("job_id")
+        )
+        writer.write(http.sse_preamble())
+        get_task: asyncio.Task | None = None
+        try:
+            await writer.drain()
+            while True:
+                if get_task is None:
+                    get_task = asyncio.ensure_future(subscription.get())
+                done, _ = await asyncio.wait(
+                    {get_task}, timeout=self.heartbeat_seconds
+                )
+                if not done:
+                    # Idle: heartbeat, and notice a dead client by the
+                    # write failing. The un-awaited get_task survives the
+                    # wait() timeout, so no event is lost.
+                    writer.write(http.sse_comment())
+                    await writer.drain()
+                    continue
+                entry = get_task.result()
+                get_task = None
+                if entry is None:  # hub closed: server shutting down
+                    writer.write(http.sse_comment("server shutdown"))
+                    await writer.drain()
+                    break
+                seq, event = entry
+                writer.write(
+                    http.sse_event(seq, event.get("type", "message"), event)
+                )
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client disconnected; Last-Event-ID lets it resume
+        finally:
+            if get_task is not None:
+                get_task.cancel()
+            subscription.close()

@@ -1,0 +1,187 @@
+"""Minimal HTTP/1.1 plumbing over asyncio streams (stdlib only).
+
+The server speaks just enough HTTP for its JSON + SSE surface: request
+line, headers, ``Content-Length`` bodies, keep-alive, and chunk-free
+streaming responses that end by closing the connection. No external web
+framework — the ROADMAP's constraint is a stdlib-only network layer —
+and no chunked transfer, multipart, or TLS: put a real proxy in front
+for those.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.errors import ReproError
+
+#: Upper bounds keeping one bad client from ballooning server memory.
+MAX_REQUEST_LINE = 8192
+MAX_HEADER_BYTES = 65536
+MAX_BODY_BYTES = 16 * 2**20
+
+_PHRASES = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+}
+
+
+class HttpError(ReproError):
+    """A request the server rejects with an HTTP status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict = field(default_factory=dict)
+    headers: dict = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> dict:
+        """The body parsed as a JSON object; raises :class:`HttpError`."""
+        if not self.body:
+            raise HttpError(400, "request body must be a JSON object")
+        try:
+            data = json.loads(self.body)
+        except ValueError as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}") from exc
+        if not isinstance(data, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        return data
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+
+async def read_request(reader) -> Request | None:
+    """Parse one request off the stream; ``None`` on a clean EOF."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, OSError):
+        return None
+    except ValueError:
+        # asyncio's own stream limit (64 KiB) tripped before ours: the
+        # line is oversized either way, so answer 400, don't crash the
+        # connection task with an unhandled ValueError.
+        raise HttpError(400, "request line too long") from None
+    if not line:
+        return None
+    if len(line) > MAX_REQUEST_LINE:
+        raise HttpError(400, "request line too long")
+    try:
+        method, target, version = line.decode("latin-1").split()
+    except ValueError:
+        raise HttpError(400, "malformed request line") from None
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol {version!r}")
+    headers: dict = {}
+    total = 0
+    while True:
+        try:
+            line = await reader.readline()
+        except ValueError:
+            raise HttpError(400, "headers too large") from None
+        total += len(line)
+        if total > MAX_HEADER_BYTES:
+            raise HttpError(400, "headers too large")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        try:
+            name, _, value = line.decode("latin-1").partition(":")
+        except UnicodeDecodeError:  # pragma: no cover - latin-1 decodes all
+            raise HttpError(400, "undecodable header") from None
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError:
+            raise HttpError(400, f"bad Content-Length {length!r}") from None
+        if n < 0 or n > MAX_BODY_BYTES:
+            raise HttpError(413, f"body of {n} bytes exceeds {MAX_BODY_BYTES}")
+        body = await reader.readexactly(n) if n else b""
+    elif headers.get("transfer-encoding"):
+        raise HttpError(501, "chunked request bodies are not supported")
+    split = urlsplit(target)
+    return Request(
+        method=method.upper(),
+        path=unquote(split.path) or "/",
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes = b"",
+    *,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: tuple = (),
+) -> bytes:
+    """Serialize one complete (non-streaming) response."""
+    phrase = _PHRASES.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {phrase}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in extra_headers)
+    head = "\r\n".join(lines).encode("latin-1")
+    return head + b"\r\n\r\n" + body
+
+
+def json_body(document: dict) -> bytes:
+    """Encode a JSON response body (exact float round-trips)."""
+    return json.dumps(document, allow_nan=False).encode("utf-8")
+
+
+def sse_preamble(*, retry_ms: int = 2000) -> bytes:
+    """Response head + retry hint opening a Server-Sent-Events stream.
+
+    The stream carries no ``Content-Length`` and ends when the server
+    closes the connection, so the preamble pins ``Connection: close``.
+    """
+    head = (
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: text/event-stream\r\n"
+        "Cache-Control: no-store\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    ).encode("latin-1")
+    return head + f"retry: {retry_ms}\r\n\r\n".encode("latin-1")
+
+
+def sse_event(seq: int, event_type: str, data: dict) -> bytes:
+    """Serialize one SSE frame (``id`` carries the sequence number)."""
+    payload = json.dumps(data, allow_nan=False)
+    return (
+        f"id: {seq}\r\nevent: {event_type}\r\ndata: {payload}\r\n\r\n"
+    ).encode("utf-8")
+
+
+def sse_comment(text: str = "keep-alive") -> bytes:
+    """A comment frame (heartbeat; ignored by SSE parsers)."""
+    return f": {text}\r\n\r\n".encode("utf-8")

@@ -1,0 +1,249 @@
+"""Canonical JSON wire schemas shared by the HTTP server and client.
+
+Everything that crosses the network — streamed events, job states,
+results — is serialized here and only here, so
+:class:`~repro.server.app.MiningServer` and
+:class:`~repro.client.RemoteWorkspace` cannot drift apart. The payload
+encodings reuse :mod:`repro.persist` (numpy arrays become lists, floats
+keep their exact shortest-repr round-trip), which is what makes a
+remote result *bit-identical* to the local one after a JSON hop.
+
+An event document is a flat envelope::
+
+    {"schema": 1, "type": "iteration", "job_id": "job-0001", ...payload}
+
+with ``type`` one of :data:`EVENT_TYPES`. :func:`event_from_wire`
+materializes the payload back into library objects
+(:class:`~repro.search.results.MiningIteration`,
+:class:`~repro.engine.jobs.JobResult`,
+:class:`~repro.events.SchedulerEvent`), so client code handles the same
+types it would see from a local :class:`~repro.api.Workspace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.engine.jobs import JobResult, MiningJob
+from repro.errors import ReproError
+from repro.events import SchedulerEvent
+from repro.persist import (
+    job_from_dict,
+    job_result_from_dict,
+    job_result_to_dict,
+    job_to_dict,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.search.results import MiningIteration, ScoredSubgroup
+
+#: Schema version embedded in every wire document; bump on breaking changes.
+WIRE_SCHEMA = 1
+
+#: Event envelope types a server stream may carry.
+EVENT_TYPES = ("iteration", "candidate", "schedule", "job", "job_failed")
+
+
+def _check_schema(data: dict, what: str) -> None:
+    schema = data.get("schema", WIRE_SCHEMA)
+    if schema != WIRE_SCHEMA:
+        raise ReproError(
+            f"unsupported {what} wire schema {schema!r} (expected {WIRE_SCHEMA})"
+        )
+
+
+# --------------------------------------------------------------------- #
+# Payload encodings
+# --------------------------------------------------------------------- #
+def iteration_to_wire(iteration: MiningIteration) -> dict:
+    """Serialize one mining iteration (location + optional spread)."""
+    entry: dict = {
+        "index": iteration.index,
+        "location": result_to_dict(iteration.location),
+    }
+    entry["spread"] = (
+        result_to_dict(iteration.spread) if iteration.spread is not None else None
+    )
+    return entry
+
+
+def iteration_from_wire(data: dict) -> MiningIteration:
+    """Rebuild one mining iteration from its wire form."""
+    spread = data.get("spread")
+    return MiningIteration(
+        index=int(data["index"]),
+        location=result_from_dict(data["location"]),
+        spread=result_from_dict(spread) if spread is not None else None,
+    )
+
+
+def candidate_to_wire(candidate: ScoredSubgroup) -> dict:
+    """Summarize one scored beam candidate for the stream.
+
+    Candidates fire for *every* admissible subgroup (hundreds per beam
+    level), so the wire form is a render-ready summary — description
+    text and scores, no row indices. Full-fidelity records travel in
+    iteration and result documents only.
+    """
+    return {
+        "description": str(candidate.description),
+        "size": candidate.size,
+        "si": candidate.si,
+        "ic": candidate.score.ic,
+        "dl": candidate.score.dl,
+    }
+
+
+def scheduler_event_to_wire(event: SchedulerEvent) -> dict:
+    """Serialize one scheduling decision, including its job spec."""
+    return {
+        "kind": event.kind,
+        "job_id": event.job_id,
+        "pending": event.pending,
+        "detail": event.detail,
+        "job": job_to_dict(event.job),
+    }
+
+
+def scheduler_event_from_wire(data: dict) -> SchedulerEvent:
+    """Rebuild one scheduling decision from its wire form."""
+    return SchedulerEvent(
+        kind=data["kind"],
+        job_id=data["job_id"],
+        job=job_from_dict(data["job"]),
+        pending=int(data.get("pending", 0)),
+        detail=data.get("detail", ""),
+    )
+
+
+def job_state_to_wire(job_id: str, status, job: MiningJob) -> dict:
+    """One job's lifecycle snapshot (the ``GET /jobs/{id}`` body)."""
+    return {
+        "schema": WIRE_SCHEMA,
+        "job_id": job_id,
+        "status": getattr(status, "value", str(status)),
+        "name": job.name,
+        "fingerprint": job.fingerprint(),
+        "dataset": job.dataset,
+        "strategy": job.strategy,
+        "n_iterations": job.n_iterations,
+        "priority": job.priority,
+        "deadline": job.deadline,
+    }
+
+
+def error_to_wire(error: BaseException) -> dict:
+    """Serialize an exception as ``{"type", "message"}``."""
+    return {"type": type(error).__name__, "message": str(error)}
+
+
+# --------------------------------------------------------------------- #
+# Event envelopes (what SSE ``data:`` lines carry)
+# --------------------------------------------------------------------- #
+def iteration_event(job_id: str, iteration: MiningIteration) -> dict:
+    """Envelope for one mined iteration of one job."""
+    return {
+        "schema": WIRE_SCHEMA,
+        "type": "iteration",
+        "job_id": job_id,
+        "iteration": iteration_to_wire(iteration),
+    }
+
+
+def candidate_event(job_id: str, candidate: ScoredSubgroup) -> dict:
+    """Envelope for one scored beam candidate of one job (summary)."""
+    return {
+        "schema": WIRE_SCHEMA,
+        "type": "candidate",
+        "job_id": job_id,
+        "candidate": candidate_to_wire(candidate),
+    }
+
+
+def schedule_event(event: SchedulerEvent) -> dict:
+    """Envelope for one scheduling decision (self-tagged with its job id)."""
+    return {
+        "schema": WIRE_SCHEMA,
+        "type": "schedule",
+        "job_id": event.job_id,
+        **scheduler_event_to_wire(event),
+    }
+
+
+def job_event(job_id: str, result: JobResult) -> dict:
+    """Envelope for one completed job, carrying its whole result."""
+    return {
+        "schema": WIRE_SCHEMA,
+        "type": "job",
+        "job_id": job_id,
+        "result": job_result_to_dict(result),
+    }
+
+
+def job_failed_event(job_id: str, job: MiningJob, error: BaseException) -> dict:
+    """Envelope for one failed job."""
+    return {
+        "schema": WIRE_SCHEMA,
+        "type": "job_failed",
+        "job_id": job_id,
+        "job": job_to_dict(job),
+        "error": error_to_wire(error),
+    }
+
+
+@dataclass(frozen=True)
+class RemoteEvent:
+    """One decoded stream event: type, owning job, materialized payload.
+
+    ``data`` holds the payload as a library object —
+    :class:`~repro.search.results.MiningIteration` for ``iteration``,
+    :class:`~repro.engine.jobs.JobResult` for ``job``,
+    :class:`~repro.events.SchedulerEvent` for ``schedule``, the summary
+    dict for ``candidate``, and the ``{"job", "error"}`` pair for
+    ``job_failed``. ``seq`` is the server-assigned sequence number (0
+    when decoded outside a stream). ``raw`` keeps the envelope.
+    """
+
+    type: str
+    job_id: str | None
+    data: Any
+    seq: int = 0
+    raw: dict | None = None
+
+
+def event_from_wire(data: dict, seq: int = 0) -> RemoteEvent:
+    """Decode one event envelope, materializing its payload."""
+    if not isinstance(data, dict):
+        raise ReproError(f"event document must be an object, got {type(data).__name__}")
+    _check_schema(data, "event")
+    kind = data.get("type")
+    job_id = data.get("job_id")
+    if kind == "iteration":
+        payload: Any = iteration_from_wire(data["iteration"])
+    elif kind == "candidate":
+        payload = dict(data["candidate"])
+    elif kind == "schedule":
+        payload = scheduler_event_from_wire(data)
+    elif kind == "job":
+        payload = job_result_from_dict(data["result"])
+    elif kind == "job_failed":
+        payload = {
+            "job": job_from_dict(data["job"]),
+            "error": dict(data["error"]),
+        }
+    else:
+        raise ReproError(
+            f"unknown event type {kind!r}; expected one of {EVENT_TYPES}"
+        )
+    return RemoteEvent(type=kind, job_id=job_id, data=payload, seq=seq, raw=data)
+
+
+def job_result_to_wire(result: JobResult) -> dict:
+    """Serialize one whole job result (the ``GET .../result`` payload)."""
+    return job_result_to_dict(result)
+
+
+def job_result_from_wire(data: dict) -> JobResult:
+    """Rebuild one whole job result from its wire form."""
+    return job_result_from_dict(data)

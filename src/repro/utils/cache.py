@@ -29,15 +29,42 @@ class CacheStats:
 
 
 class LRUCache:
-    """Thread-safe least-recently-used mapping with a hard size bound."""
+    """Thread-safe least-recently-used mapping with a hard size bound.
 
-    def __init__(self, maxsize: int = 128) -> None:
+    The bound is an entry *count* (``maxsize``) and, optionally, a total
+    *byte* budget: pass ``max_bytes`` together with a ``sizeof``
+    callable that prices each stored value, and inserts evict
+    least-recently-used entries until the priced total fits again. Byte
+    pricing matters when entries are wildly unequal — the engine's
+    belief cache stores full iteration arrays, where 256 tiny entries
+    and 256 huge ones are very different memory stories.
+
+    A single entry larger than ``max_bytes`` is still admitted (it
+    evicts everything else); refusing it would make the cache silently
+    useless for workloads whose unit of reuse simply is that large.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 128,
+        *,
+        max_bytes: int | None = None,
+        sizeof: Any = None,
+    ) -> None:
         if maxsize < 1:
             # A bad bound is a programming error, not a mining failure, so
             # it stays outside the ReproError taxonomy (see repro.errors).
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        if (max_bytes is None) != (sizeof is None):
+            raise ValueError("max_bytes and sizeof must be given together")
         self.maxsize = maxsize
+        self.max_bytes = max_bytes
+        self._sizeof = sizeof
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._sizes: dict[Hashable, int] = {}
+        self._total_bytes = 0
         self._lock = threading.RLock()
         self._hits = 0
         self._misses = 0
@@ -56,13 +83,22 @@ class LRUCache:
             return value
 
     def put(self, key: Hashable, value: Any) -> None:
-        """Insert/overwrite ``key``, evicting the LRU entry if full."""
+        """Insert/overwrite ``key``, evicting LRU entries while over budget."""
         with self._lock:
             if key in self._data:
                 self._data.move_to_end(key)
             self._data[key] = value
-            while len(self._data) > self.maxsize:
-                self._data.popitem(last=False)
+            if self._sizeof is not None:
+                size = int(self._sizeof(value))
+                self._total_bytes += size - self._sizes.get(key, 0)
+                self._sizes[key] = size
+            while len(self._data) > self.maxsize or (
+                self.max_bytes is not None
+                and self._total_bytes > self.max_bytes
+                and len(self._data) > 1
+            ):
+                evicted, _ = self._data.popitem(last=False)
+                self._total_bytes -= self._sizes.pop(evicted, 0)
                 self._evictions += 1
 
     def __len__(self) -> int:
@@ -77,6 +113,14 @@ class LRUCache:
         """Drop every entry (counters are kept)."""
         with self._lock:
             self._data.clear()
+            self._sizes.clear()
+            self._total_bytes = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Priced bytes currently held (0 unless byte-bounded)."""
+        with self._lock:
+            return self._total_bytes
 
     @property
     def stats(self) -> CacheStats:

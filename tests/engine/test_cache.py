@@ -197,3 +197,124 @@ class TestLoadDatasetCachedConcurrency:
 
         monkeypatch.setattr(registry, "load_dataset", exploding_load)
         assert load_dataset_cached("synthetic", seed=99, cache=cache) is None
+
+
+class TestByteBoundedLRU:
+    def test_byte_budget_evicts_lru_until_fit(self):
+        cache = LRUCache(100, max_bytes=100, sizeof=len)
+        cache.put("a", b"x" * 40)
+        cache.put("b", b"x" * 40)
+        assert cache.total_bytes == 80
+        cache.get("a")  # refresh: "b" is now least recently used
+        cache.put("c", b"x" * 40)  # 120 > 100 -> evict "b"
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.total_bytes == 80
+        assert cache.stats.evictions == 1
+
+    def test_overwrite_reprices_the_entry(self):
+        cache = LRUCache(100, max_bytes=100, sizeof=len)
+        cache.put("a", b"x" * 90)
+        cache.put("a", b"x" * 10)
+        assert cache.total_bytes == 10
+        cache.put("b", b"x" * 80)
+        assert "a" in cache and "b" in cache
+
+    def test_single_oversized_entry_is_admitted(self):
+        cache = LRUCache(100, max_bytes=50, sizeof=len)
+        cache.put("small", b"x" * 10)
+        cache.put("huge", b"x" * 500)
+        assert "huge" in cache
+        assert "small" not in cache  # evicted trying to make room
+        assert len(cache) == 1
+
+    def test_clear_resets_the_byte_ledger(self):
+        cache = LRUCache(8, max_bytes=100, sizeof=len)
+        cache.put("a", b"x" * 60)
+        cache.clear()
+        assert cache.total_bytes == 0
+        cache.put("b", b"x" * 60)
+        assert "b" in cache
+
+    def test_bounds_must_be_coherent(self):
+        with pytest.raises(ValueError):
+            LRUCache(4, max_bytes=10)  # sizeof missing
+        with pytest.raises(ValueError):
+            LRUCache(4, sizeof=len)  # max_bytes missing
+        with pytest.raises(ValueError):
+            LRUCache(4, max_bytes=0, sizeof=len)
+
+
+class TestEstimatedNbytes:
+    def test_arrays_dominate_the_price(self):
+        from repro.engine.cache import estimated_nbytes
+
+        small = estimated_nbytes({"a": 1, "b": "xy"})
+        big = estimated_nbytes(np.zeros(100_000))
+        assert big >= 800_000
+        assert small < 1_000
+
+    def test_shared_arrays_are_priced_once(self):
+        from repro.engine.cache import estimated_nbytes
+
+        arr = np.zeros(10_000)
+        assert estimated_nbytes([arr, arr]) < 2 * estimated_nbytes(arr)
+
+    def test_prices_real_cached_steps(self):
+        from repro.engine.cache import CachedStep, estimated_nbytes
+        from repro.api import Workspace
+        from repro.spec import MiningSpec
+
+        spec = MiningSpec.build(
+            "synthetic", n_iterations=1, beam_width=6, max_depth=2, top_k=10
+        )
+        result = Workspace().mine(spec)
+        step = CachedStep(
+            iteration=result.iterations[0],
+            constraints=(result.iterations[0].location.constraint(),),
+            rng_state={"state": 1},
+        )
+        priced = estimated_nbytes(step)
+        floor = (
+            result.iterations[0].location.indices.nbytes
+            + result.iterations[0].location.mean.nbytes
+        )
+        assert priced >= floor
+
+
+class TestBeliefCacheByteBound:
+    def test_byte_bound_evicts_old_steps(self):
+        from repro.engine.cache import BeliefCache, CachedStep
+
+        def step(n):
+            return CachedStep(
+                iteration=np.zeros(n), constraints=(), rng_state={}
+            )
+
+        cache = BeliefCache(maxsize=100, max_bytes=10_000)
+        for i in range(10):
+            cache.put(f"k{i}", step(512))  # ~4 KB each
+        assert len(cache) < 10
+        assert cache.total_bytes <= 10_000
+        assert cache.stats.evictions > 0
+
+    def test_none_restores_count_bounding(self):
+        from repro.engine.cache import BeliefCache, CachedStep
+
+        cache = BeliefCache(maxsize=3, max_bytes=None)
+        for i in range(5):
+            cache.put(
+                f"k{i}",
+                CachedStep(iteration=np.zeros(100), constraints=(), rng_state={}),
+            )
+        assert len(cache) == 3
+        assert cache.total_bytes == 0
+
+    def test_default_cache_is_byte_bounded(self):
+        from repro.engine.cache import (
+            BELIEF_CACHE,
+            DEFAULT_BELIEF_CACHE_BYTES,
+            BeliefCache,
+        )
+
+        assert BeliefCache().max_bytes == DEFAULT_BELIEF_CACHE_BYTES
+        assert BELIEF_CACHE.max_bytes == DEFAULT_BELIEF_CACHE_BYTES

@@ -357,3 +357,90 @@ class TestShutdownSemantics:
         assert any(e.job_id == queued and "shutdown" in e.detail for e in cancelled)
         # The blocker was already running; let it finish for a clean exit.
         service.result(blocker)
+
+
+class TestAgingStarvationGuard:
+    """Long-queued low-priority jobs must eventually outrank fresh load.
+
+    The blocker is held open deterministically: its per-job observer
+    blocks the worker thread on an Event until the queue is arranged, so
+    these tests do not depend on mining speed.
+    """
+
+    @staticmethod
+    def _gated_blocker(service, gate):
+        from repro.events import CallbackObserver
+
+        return service.submit(
+            _job(seed=777),
+            observer=CallbackObserver(on_iteration=lambda _: gate.wait(10)),
+        )
+
+    def test_aged_job_dispatches_ahead_of_younger_high_priority_work(self):
+        import threading
+        import time
+
+        gate = threading.Event()
+        log = EventLog()
+        with MiningService(
+            max_workers=1, backend="thread", observer=log, aging_seconds=0.01
+        ) as service:
+            blocker = self._gated_blocker(service, gate)
+            starved = service.submit(_job(seed=1, priority=0))
+            # By the time the high-priority burst arrives, the starved
+            # job has earned well over 5 aging levels.
+            time.sleep(0.2)
+            burst = [
+                service.submit(_job(seed=10 + s, priority=5)) for s in range(2)
+            ]
+            gate.set()
+            service.wait_all()
+        order = _dispatch_order(log)
+        assert order[0] == blocker
+        assert order.index(starved) < min(order.index(b) for b in burst)
+        aged = [e for e in log.schedule if e.kind == "aged"]
+        assert any(e.job_id == starved for e in aged)
+        assert all("priority after" in e.detail for e in aged)
+        assert set(service.jobs().values()) == {JobStatus.DONE}
+
+    def test_aging_disabled_preserves_strict_priority_order(self):
+        import threading
+        import time
+
+        gate = threading.Event()
+        log = EventLog()
+        with MiningService(
+            max_workers=1, backend="thread", observer=log, aging_seconds=None
+        ) as service:
+            blocker = self._gated_blocker(service, gate)
+            starved = service.submit(_job(seed=1, priority=0))
+            time.sleep(0.2)
+            high = service.submit(_job(seed=2, priority=5))
+            gate.set()
+            service.wait_all()
+        order = _dispatch_order(log)
+        assert order == [blocker, high, starved]
+        assert not [e for e in log.schedule if e.kind == "aged"]
+
+    def test_invalid_aging_seconds_rejected(self):
+        for bad in (0, -1, float("nan")):
+            with pytest.raises(EngineError):
+                MiningService(backend="thread", aging_seconds=bad)
+
+    def test_aging_leaves_deadline_semantics_alone(self):
+        # Aging boosts ordering only: the aged job still runs, and its
+        # own deadline (generous here) is what governs expiry.
+        import threading
+        import time
+
+        gate = threading.Event()
+        log = EventLog()
+        with MiningService(
+            max_workers=1, backend="thread", observer=log, aging_seconds=0.01
+        ) as service:
+            self._gated_blocker(service, gate)
+            aged = service.submit(_job(seed=1, deadline=600.0))
+            time.sleep(0.05)
+            gate.set()
+            service.wait_all()
+        assert service.status(aged) == JobStatus.DONE

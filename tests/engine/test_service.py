@@ -211,3 +211,102 @@ class TestServiceSharedMemory:
         b = shared.iterations[0].location
         assert a.description == b.description
         assert a.score.ic == b.score.ic
+
+
+class TestPerJobObserver:
+    """submit(observer=...) hears exactly its own submission's events."""
+
+    def _log(self):
+        from repro.events import EventLog
+
+        return EventLog()
+
+    def test_hears_only_its_own_job(self):
+        mine, other = self._log(), self._log()
+        with MiningService(max_workers=2, backend="thread") as service:
+            a = service.submit(_job(seed=0), observer=mine)
+            b = service.submit(_job(seed=1), observer=other)
+            result_a = service.result(a)
+            result_b = service.result(b)
+        # Exactly one terminal on_job carrying this submission's result.
+        assert [r.job.seed for r in mine.jobs] == [0]
+        assert [r.job.seed for r in other.jobs] == [1]
+        # Iterations arrive once (live on the thread backend, no replay).
+        assert len(mine.iterations) == len(result_a.iterations)
+        assert mine.iterations[0] is result_a.iterations[0]
+        assert len(other.iterations) == len(result_b.iterations)
+        # Scheduling decisions are this job's only.
+        assert mine.schedule and all(e.job_id == a for e in mine.schedule)
+        assert all(e.job_id == b for e in other.schedule)
+
+    def test_serial_backend_fires_live(self):
+        log = self._log()
+        with MiningService(backend="serial") as service:
+            job_id = service.submit(_job(n_iterations=2), observer=log)
+            result = service.result(job_id)
+        assert [e.kind for e in log.schedule] == ["queued", "dispatched"]
+        assert len(log.iterations) == 2
+        assert log.candidates  # live beam candidates reached the observer
+        assert log.jobs == [result]
+
+    def test_cache_hit_replays_iterations(self):
+        log = self._log()
+        with MiningService(max_workers=1, backend="thread") as service:
+            first = service.submit(_job(seed=5))
+            original = service.result(first)
+            second = service.submit(_job(seed=5), observer=log)
+            assert service.result(second) is original
+        kinds = [e.kind for e in log.schedule]
+        assert kinds == ["queued", "cache_hit"]
+        assert len(log.iterations) == len(original.iterations)
+        assert log.jobs == [original]
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_failure_reaches_the_per_job_observer(self, backend):
+        log = self._log()
+        kwargs = {} if backend == "serial" else {"max_workers": 1}
+        with MiningService(backend=backend, **kwargs) as service:
+            job_id = service.submit(
+                _job(targets=("not-a-target",)), observer=log
+            )
+            with pytest.raises(Exception):
+                service.result(job_id)
+        assert len(log.failures) == 1
+        assert log.failures[0][0].targets == ("not-a-target",)
+        assert not log.jobs
+
+    def test_process_backend_replays_at_completion(self):
+        log = self._log()
+        with MiningService(max_workers=1, backend="process") as service:
+            job_id = service.submit(_job(seed=7, n_iterations=2), observer=log)
+            result = service.result(job_id)
+        assert len(log.iterations) == 2
+        assert [r.job.seed for r in log.jobs] == [7]
+        # Pool workers cannot call back live: no candidates crossed over.
+        assert not log.candidates
+        assert str(log.iterations[0].location) == str(result.iterations[0].location)
+
+    def test_coalesced_duplicate_gets_its_own_terminal_event(self):
+        primary_log, dup_log = self._log(), self._log()
+        with MiningService(max_workers=1, backend="thread") as service:
+            blocker = service.submit(_job(config=SLOW, n_iterations=2))
+            primary = service.submit(_job(seed=3), observer=primary_log)
+            dup = service.submit(_job(seed=3, name="twin"), observer=dup_log)
+            result = service.result(dup)
+            service.wait_all()
+        assert [e.kind for e in dup_log.schedule][:2] == ["queued", "coalesced"]
+        assert dup_log.jobs and dup_log.jobs[0].iterations == result.iterations
+        assert primary_log.jobs  # the primary's observer also closed out
+        assert len(dup_log.iterations) == len(result.iterations)
+
+    def test_observer_exceptions_never_fail_the_job(self):
+        from repro.events import CallbackObserver
+
+        def boom(_):
+            raise RuntimeError("observer bug")
+
+        angry = CallbackObserver(on_iteration=boom, on_schedule=boom)
+        with MiningService(max_workers=1, backend="thread") as service:
+            job_id = service.submit(_job(seed=11), observer=angry)
+            assert service.result(job_id).iterations
+            assert service.status(job_id) == JobStatus.DONE

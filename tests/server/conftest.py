@@ -1,0 +1,23 @@
+"""Server-test fixtures: one shared HTTP server per module.
+
+The server runs on a background thread with its own asyncio loop (the
+``run_in_thread`` path the examples and benchmarks use), bound to an
+ephemeral port so parallel test runs never collide.
+"""
+
+import pytest
+
+from repro.client import RemoteWorkspace
+from repro.server import MiningServer
+
+
+@pytest.fixture(scope="module")
+def server_handle():
+    handle = MiningServer(port=0, backend="thread", max_workers=2).run_in_thread()
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture(scope="module")
+def remote(server_handle):
+    return RemoteWorkspace(server_handle.url, timeout=30.0)

@@ -1,0 +1,434 @@
+"""End-to-end over HTTP: submit → live SSE events → result → cancel.
+
+Everything here exercises a *real* ``MiningServer`` over real sockets
+against a real ``MiningService`` — no mocks — including the PR's
+acceptance bar: ``RemoteWorkspace.mine()`` bit-identical to the local
+``Workspace.mine()`` for the same spec.
+"""
+
+import threading
+import time
+from concurrent.futures import CancelledError
+
+import numpy as np
+import pytest
+
+from repro.api import Workspace
+from repro.client import RemoteError, RemoteJobFailed, RemoteWorkspace, _SSEStream
+from repro.engine.service import JobStatus
+from repro.events import EventLog
+from repro.server import MiningServer
+from repro.spec import MiningSpec
+
+
+def fast_spec(**overrides):
+    """A quick synthetic spec (sub-second), varied via overrides."""
+    kwargs = dict(n_iterations=2, beam_width=6, max_depth=2, top_k=10)
+    kwargs.update(overrides)
+    return MiningSpec.build("synthetic", **kwargs)
+
+
+@pytest.fixture()
+def spec():
+    return fast_spec()
+
+
+def _assert_results_identical(local, remote):
+    """Bit-identical across the wire: descriptions, rows, scores."""
+    assert len(local.iterations) == len(remote.iterations)
+    for a, b in zip(local.iterations, remote.iterations):
+        assert a.index == b.index
+        assert str(a.location.description) == str(b.location.description)
+        np.testing.assert_array_equal(a.location.indices, b.location.indices)
+        np.testing.assert_array_equal(a.location.mean, b.location.mean)
+        assert a.location.score.ic == b.location.score.ic  # exact floats
+        assert a.location.score.dl == b.location.score.dl
+        assert a.location.coverage == b.location.coverage
+        assert (a.spread is None) == (b.spread is None)
+        if a.spread is not None:
+            np.testing.assert_array_equal(a.spread.indices, b.spread.indices)
+            np.testing.assert_array_equal(a.spread.direction, b.spread.direction)
+            assert a.spread.variance == b.spread.variance
+            assert a.spread.score.ic == b.spread.score.ic
+            assert a.spread.score.dl == b.spread.score.dl
+
+
+class TestHealth:
+    def test_health_document(self, remote):
+        health = remote.health()
+        assert health["status"] == "ok"
+        assert health["service"]["backend"] == "thread"
+        assert health["service"]["max_workers"] == 2
+        assert {"published", "subscribers", "dropped"} <= set(health["events"])
+        assert "hits" in health["result_cache"]
+
+
+class TestSubmitResultLifecycle:
+    def test_remote_mine_is_bit_identical_to_local(self, remote, spec):
+        local = Workspace().mine(spec)
+        _assert_results_identical(local, remote.mine(spec))
+
+    def test_remote_spread_mining_is_bit_identical(self, remote):
+        spec = fast_spec(kind="spread", n_iterations=1)
+        local = Workspace().mine(spec)
+        _assert_results_identical(local, remote.mine(spec))
+
+    def test_submit_status_result(self, remote):
+        spec = fast_spec(seed=21)
+        job_id = remote.submit(spec)
+        assert job_id.startswith("job-")
+        result = remote.result(job_id, timeout=60)
+        assert remote.status(job_id) == JobStatus.DONE
+        assert len(result.iterations) == spec.search.n_iterations
+        assert remote.jobs()[job_id] == JobStatus.DONE
+
+    def test_submit_accepts_job_and_dict_forms(self, remote):
+        spec = fast_spec(seed=22)
+        from_spec = remote.mine(spec)
+        from_dict = remote.mine(spec.to_dict())
+        from_job = remote.mine(spec.to_job())
+        _assert_results_identical(from_spec, from_dict)
+        _assert_results_identical(from_spec, from_job)
+
+    def test_failed_job_raises_remotely(self, remote):
+        spec = fast_spec(seed=23, targets=["no-such-target"])
+        job_id = remote.submit(spec)
+        with pytest.raises(RemoteJobFailed) as excinfo:
+            remote.result(job_id, timeout=60)
+        assert "no-such-target" in str(excinfo.value)
+        assert remote.status(job_id) == JobStatus.FAILED
+
+    def test_result_long_poll_wait(self, remote):
+        spec = fast_spec(seed=24)
+        job_id = remote.submit(spec)
+        status, document = remote._request(
+            "GET", f"/jobs/{job_id}/result?wait=30"
+        )
+        assert status == 200
+        assert document["status"] == "done"
+
+
+class TestErrors:
+    def test_unknown_job_id_is_404(self, remote):
+        with pytest.raises(RemoteError) as excinfo:
+            remote.status("job-9999")
+        assert excinfo.value.status == 404
+
+    def test_invalid_spec_is_400(self, remote):
+        with pytest.raises(RemoteError) as excinfo:
+            remote._request("POST", "/jobs", {"spec": {"dataset": "nope"}})
+        assert excinfo.value.status == 400
+        assert "nope" in str(excinfo.value)
+
+    def test_unknown_route_is_404(self, remote):
+        with pytest.raises(RemoteError) as excinfo:
+            remote._request("GET", "/nope")
+        assert excinfo.value.status == 404
+        assert "/events" in str(excinfo.value)  # the 404 names the surface
+
+    def test_client_validates_before_sending(self, remote):
+        with pytest.raises(Exception):
+            remote.submit({"dataset": "no-such-dataset"})
+
+
+class TestStreaming:
+    def test_stream_yields_every_iteration_in_order(self, remote):
+        spec = fast_spec(seed=31, n_iterations=3)
+        log = EventLog()
+        iterations = list(remote.stream(spec, observer=log))
+        assert [it.index for it in iterations] == [1, 2, 3]
+        local = Workspace().mine(spec)
+        for a, b in zip(local.iterations, iterations):
+            assert str(a.location.description) == str(b.location.description)
+            assert a.location.score.ic == b.location.score.ic
+        # The observer heard this job's scheduling story too.
+        kinds = [e.kind for e in log.schedule]
+        assert "queued" in kinds
+        assert log.jobs  # terminal on_job arrived
+
+    def test_stream_of_cached_spec_still_yields_once_each(self, remote):
+        spec = fast_spec(seed=31, n_iterations=3)  # cached by the test above
+        iterations = list(remote.stream(spec))
+        assert [it.index for it in iterations] == [1, 2, 3]
+
+    def test_events_feed_decodes_live(self, remote):
+        spec = fast_spec(seed=32)
+        seen = []
+        done = threading.Event()
+
+        def consume():
+            for event in remote.events():
+                seen.append(event)
+                if event.type in ("job", "job_failed"):
+                    done.set()
+                    return
+
+        thread = threading.Thread(target=consume, daemon=True)
+        thread.start()
+        time.sleep(0.2)  # subscriber online before the job
+        remote.mine(spec)
+        assert done.wait(60), "no terminal event on the feed"
+        types = {event.type for event in seen}
+        assert "schedule" in types
+        assert "iteration" in types
+        seqs = [event.seq for event in seen]
+        assert seqs == sorted(seqs)
+
+    def test_candidate_events_flow_on_the_thread_backend(self, remote):
+        spec = fast_spec(seed=33)
+        log = EventLog()
+        list(remote.stream(spec, observer=log))
+        assert log.candidates, "live candidate summaries should stream"
+        first = log.candidates[0]
+        assert {"description", "si", "size"} <= set(first)
+
+
+class TestSSEResume:
+    def test_reconnect_with_last_event_id_has_no_gap_or_duplicates(
+        self, remote, server_handle
+    ):
+        # Populate the stream, then consume it across a deliberately
+        # dropped connection.
+        remote.mine(fast_spec(seed=41))
+        published = int(remote.health()["events"]["published"])
+        assert published > 0
+
+        first_leg = []
+        stream = _SSEStream(remote.host, remote.port, since=0, timeout=10.0)
+        for seq, _ in stream.frames():
+            first_leg.append(seq)
+            if len(first_leg) >= 5:
+                break
+        stream.close()  # the "dropped" connection
+
+        second_leg = []
+        stream = _SSEStream(
+            remote.host, remote.port, since=first_leg[-1], timeout=10.0
+        )
+        for seq, _ in stream.frames():
+            second_leg.append(seq)
+            if seq >= published:
+                break
+        stream.close()
+
+        seqs = first_leg + second_leg
+        assert seqs == sorted(set(seqs)), "duplicate delivery after resume"
+        # No gap at the reconnect seam: the sequence is contiguous from
+        # the first event of leg one through the last of leg two.
+        assert seqs == list(range(seqs[0], seqs[-1] + 1))
+
+
+class TestCancel:
+    def test_cancel_while_queued_is_deterministic(self):
+        server = MiningServer(port=0, backend="thread", max_workers=1)
+        with server.run_in_thread() as handle:
+            remote = RemoteWorkspace(handle.url, timeout=30.0)
+            blocker_spec = fast_spec(
+                seed=51, beam_width=40, max_depth=4, top_k=150, n_iterations=6
+            )
+            blocker = remote.submit(blocker_spec)
+            victim = remote.submit(fast_spec(seed=52))
+            assert remote.cancel(victim) is True
+            assert remote.status(victim) == JobStatus.CANCELLED
+            with pytest.raises(CancelledError):
+                remote.result(victim, timeout=10)
+            # Cancelling the terminal blocker later reports False.
+            remote.result(blocker, timeout=120)
+            assert remote.cancel(blocker) is False
+
+    def test_cancelled_job_surfaces_on_the_stream(self):
+        server = MiningServer(port=0, backend="thread", max_workers=1)
+        with server.run_in_thread() as handle:
+            remote = RemoteWorkspace(handle.url, timeout=30.0)
+            blocker_spec = fast_spec(
+                seed=53, beam_width=40, max_depth=4, top_k=150, n_iterations=6
+            )
+            remote.submit(blocker_spec)
+            victim_spec = fast_spec(seed=54)
+
+            caught = {}
+
+            def run_stream():
+                try:
+                    list(remote.stream(victim_spec))
+                except BaseException as exc:  # noqa: BLE001
+                    caught["exc"] = exc
+
+            thread = threading.Thread(target=run_stream, daemon=True)
+            thread.start()
+            # Wait for the victim to appear, then cancel it mid-stream.
+            victim = None
+            deadline = time.monotonic() + 30
+            while victim is None and time.monotonic() < deadline:
+                pending = [
+                    job_id
+                    for job_id, status in remote.jobs().items()
+                    if status == JobStatus.PENDING
+                ]
+                victim = pending[0] if pending else None
+                time.sleep(0.01)
+            assert victim is not None, "victim never queued"
+            assert remote.cancel(victim) is True
+            thread.join(30)
+            assert not thread.is_alive()
+            assert isinstance(caught.get("exc"), CancelledError)
+
+
+class TestServerLifecycle:
+    def test_stop_ends_open_event_streams(self):
+        server = MiningServer(port=0, backend="thread", max_workers=1)
+        handle = server.run_in_thread()
+        remote = RemoteWorkspace(handle.url, timeout=10.0)
+        remote.mine(fast_spec(seed=61))
+        feed = remote.events(since=0, reconnect=False)
+        first = next(feed)  # stream is live (replaying retained history)
+        assert first.seq >= 1
+        handle.stop()
+        # The feed ends (server closed the stream) instead of hanging.
+        remaining = list(feed)
+        assert all(event.seq > first.seq for event in remaining)
+
+    def test_run_in_thread_reports_bind_failures(self):
+        server = MiningServer(port=0, backend="thread", max_workers=1)
+        with server.run_in_thread() as handle:
+            clash = MiningServer(port=server.port, backend="thread")
+            with pytest.raises(Exception):
+                clash.run_in_thread()
+            handle.stop()
+
+
+class TestReviewHardening:
+    def test_events_heartbeats_surface_on_a_quiet_stream(self):
+        server = MiningServer(
+            port=0, backend="thread", max_workers=1, heartbeat_seconds=0.1
+        )
+        with server.run_in_thread() as handle:
+            remote = RemoteWorkspace(handle.url, timeout=10.0)
+            feed = remote.events(heartbeats=True)
+            first = next(feed)  # nothing published: only heartbeats flow
+            assert first.type == "heartbeat"
+            assert first.data is None
+            feed.close()
+
+    def test_events_against_a_dead_server_raises_remote_error(self):
+        import socket as socket_module
+
+        # Reserve a port, then close it so nothing is listening there.
+        probe = socket_module.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        remote = RemoteWorkspace(f"http://127.0.0.1:{port}", timeout=2.0)
+        with pytest.raises(RemoteError):
+            next(remote.events())
+
+    def test_stream_heals_a_lost_terminal_event_via_heartbeat(self):
+        # A tiny subscriber queue plus a flood of candidate events makes
+        # the drop-oldest policy discard this job's terminal event; the
+        # heartbeat fallback must still complete the stream with every
+        # iteration, instead of hanging forever.
+        server = MiningServer(
+            port=0,
+            backend="thread",
+            max_workers=1,
+            queue_maxsize=2,
+            heartbeat_seconds=0.2,
+        )
+        with server.run_in_thread() as handle:
+            remote = RemoteWorkspace(handle.url, timeout=15.0)
+            spec = fast_spec(seed=71, n_iterations=2)
+            iterations = list(remote.stream(spec))
+            assert [it.index for it in iterations] == [1, 2]
+            local = Workspace().mine(spec)
+            for a, b in zip(local.iterations, iterations):
+                assert str(a.location) == str(b.location)
+                assert a.location.score.ic == b.location.score.ic
+
+    def test_oversized_request_line_gets_400_not_a_crashed_task(
+        self, server_handle, remote
+    ):
+        import socket as socket_module
+
+        with socket_module.create_connection(
+            (remote.host, remote.port), timeout=10
+        ) as raw:
+            raw.sendall(b"GET /" + b"a" * 70_000 + b" HTTP/1.1\r\n\r\n")
+            reply = raw.recv(4096)
+        assert reply.startswith(b"HTTP/1.1 400"), reply[:60]
+        # ...and the server is still perfectly healthy afterwards.
+        assert remote.health()["status"] == "ok"
+
+    def test_oversized_header_line_gets_400(self, server_handle, remote):
+        import socket as socket_module
+
+        with socket_module.create_connection(
+            (remote.host, remote.port), timeout=10
+        ) as raw:
+            raw.sendall(
+                b"GET /health HTTP/1.1\r\nx-big: " + b"a" * 70_000 + b"\r\n\r\n"
+            )
+            reply = raw.recv(4096)
+        assert reply.startswith(b"HTTP/1.1 400"), reply[:60]
+        assert remote.health()["status"] == "ok"
+
+    def test_cancel_during_result_long_poll_answers_cleanly(self):
+        # A waiter parked on /result?wait= while its job is cancelled
+        # must receive the cancelled document (-> CancelledError), not a
+        # dead socket from an asyncio.CancelledError escaping the guard.
+        # The worker slot is held deterministically: the server exposes
+        # a shared service whose blocker job parks on an Event via its
+        # per-job observer (fired live on the thread backend).
+        from repro.engine.service import MiningService
+        from repro.events import CallbackObserver
+
+        gate = threading.Event()
+        service = MiningService(max_workers=1, backend="thread")
+        server = MiningServer(port=0, service=service)
+        try:
+            with server.run_in_thread() as handle:
+                remote = RemoteWorkspace(handle.url, timeout=30.0)
+                service.submit(
+                    fast_spec(seed=81).to_job(),
+                    observer=CallbackObserver(on_iteration=lambda _: gate.wait(30)),
+                )
+                victim = remote.submit(fast_spec(seed=82))
+                outcome = {}
+
+                def wait_for_victim():
+                    try:
+                        remote.result(victim, timeout=30)
+                        outcome["value"] = "done"
+                    except BaseException as exc:  # noqa: BLE001
+                        outcome["value"] = exc
+
+                waiter = threading.Thread(target=wait_for_victim, daemon=True)
+                waiter.start()
+                time.sleep(0.3)  # the waiter is parked in its long-poll leg
+                assert remote.cancel(victim) is True
+                waiter.join(30)
+                assert not waiter.is_alive()
+                assert isinstance(outcome["value"], CancelledError), outcome
+                gate.set()
+        finally:
+            gate.set()
+            service.shutdown(wait=True)
+
+    def test_events_job_id_filter_is_applied_server_side(self):
+        server = MiningServer(port=0, backend="thread", max_workers=2)
+        with server.run_in_thread() as handle:
+            remote = RemoteWorkspace(handle.url, timeout=15.0)
+            first = remote.submit(fast_spec(seed=91))
+            second = remote.submit(fast_spec(seed=92))
+            remote.result(first, timeout=60)
+            remote.result(second, timeout=60)
+            only_second = []
+            feed = remote.events(since=0, reconnect=False, job_id=second)
+            for event in feed:  # stop at the terminal: the feed stays live
+                only_second.append(event)
+                if event.type == "job":
+                    break
+            feed.close()
+            # Everything that crossed the wire belongs to the filtered job.
+            assert only_second, "filtered feed delivered nothing"
+            assert {event.job_id for event in only_second} == {second}
+            assert only_second[-1].type == "job"

@@ -286,3 +286,43 @@ class TestMineSharedMemory:
         document = json.loads(spec_path.read_text())
         assert document["executor"]["shared_memory"] is False
         assert document["executor"]["start_method"] is None
+
+
+class TestServe:
+    def test_serve_flags_parse_with_documented_defaults(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args(["serve"])
+        assert (args.host, args.port) == ("127.0.0.1", 8765)
+        assert (args.workers, args.backend) == (2, "thread")
+        assert args.quiet is False and args.no_candidates is False
+        custom = _build_parser().parse_args(
+            ["serve", "--port", "0", "--backend", "process",
+             "--workers", "4", "--quiet", "--no-candidates"]
+        )
+        assert custom.port == 0
+        assert custom.backend == "process"
+
+    def test_serve_end_to_end_against_the_cli_wiring(self):
+        # Drive the same objects _cmd_serve builds (run() would block):
+        # a server with a LiveReporter observer, exercised over HTTP.
+        from repro.client import RemoteWorkspace
+        from repro.report.live import LiveReporter
+        from repro.server import MiningServer
+        from repro.spec import MiningSpec
+        import io
+
+        log = io.StringIO()
+        server = MiningServer(
+            port=0, backend="thread", max_workers=1,
+            observer=LiveReporter(log), candidate_events=False,
+        )
+        with server.run_in_thread() as handle:
+            remote = RemoteWorkspace(handle.url)
+            spec = MiningSpec.build(
+                "synthetic", n_iterations=1, beam_width=6, max_depth=2, top_k=10
+            )
+            result = remote.mine(spec)
+            assert result.iterations
+        printed = log.getvalue()
+        assert "queued" in printed  # the server-side log saw the schedule
