@@ -96,6 +96,10 @@ def measure(seed: int = 0):
                 "shared_memory": shared_memory,
                 "seconds": round(watch.elapsed, 4),
                 "speedup_vs_serial": round(serial_elapsed / watch.elapsed, 4),
+                # Throughput, the scheduler-facing number: how many beam
+                # candidates this backend scored per wall-clock second.
+                "candidates": result.n_evaluated,
+                "candidates_per_sec": round(result.n_evaluated / watch.elapsed, 1),
             }
         )
 

@@ -120,7 +120,7 @@ from repro.spec import (
     ModelSpec,
     SearchSpec,
 )
-from repro.errors import DeadlineExpired
+from repro.errors import DeadlineExpired, JobPreempted
 from repro.events import (
     CallbackObserver,
     EventLog,
@@ -130,7 +130,8 @@ from repro.events import (
 )
 from repro.api import Workspace, build_miner
 from repro.server import MiningServer
-from repro.client import RemoteWorkspace
+from repro.client import RemoteWorkspace, ServerRestarted
+from repro.store import BeliefStore, JobStore, Tenant, TenantRegistry
 
 __all__ = [
     "__version__",
@@ -144,6 +145,7 @@ __all__ = [
     "ConvergenceError",
     "EngineError",
     "DeadlineExpired",
+    "JobPreempted",
     # datasets
     "AttributeKind",
     "Column",
@@ -242,4 +244,10 @@ __all__ = [
     # network (the served engine and its client twin)
     "MiningServer",
     "RemoteWorkspace",
+    "ServerRestarted",
+    # durability + tenancy (the persistent service substrate)
+    "JobStore",
+    "BeliefStore",
+    "Tenant",
+    "TenantRegistry",
 ]

@@ -205,6 +205,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="no per-event server log lines on stdout",
     )
+    serve.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="durable job-store directory: terminal results survive "
+        "restarts bit-identically, queued jobs are re-enqueued in "
+        "order, and warm belief prefixes spill to disk",
+    )
+    serve.add_argument(
+        "--auth", default=None, metavar="FILE",
+        help="tenant token file (JSON; see repro.store.TenantRegistry."
+        "from_file): turns on bearer-token auth, per-tenant rate "
+        "limits, and fair-share scheduling",
+    )
 
     sub.add_parser("experiments", help="list reproducible tables/figures")
 
@@ -346,12 +358,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_workers=args.workers,
         observer=None if args.quiet else LiveReporter(),
         candidate_events=not args.no_candidates,
+        store=args.store,
+        auth=args.auth,
     )
 
     def announce(bound: MiningServer) -> None:
+        extras = ""
+        if args.store:
+            extras += f", store={args.store}"
+        if args.auth:
+            extras += ", auth=on"
         print(
             f"sisd server listening on {bound.url}  "
-            f"(backend={args.backend}, workers={args.workers}; Ctrl-C stops)",
+            f"(backend={args.backend}, workers={args.workers}{extras}; "
+            f"Ctrl-C stops)",
             flush=True,
         )
 

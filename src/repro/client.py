@@ -25,9 +25,11 @@ detectable. Stdlib only (``http.client``), no extra dependencies.
 
 from __future__ import annotations
 
+import gzip
 import json
 import socket
 import time
+from collections import OrderedDict
 from concurrent.futures import CancelledError
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from http.client import HTTPConnection
@@ -51,7 +53,15 @@ from repro.search.results import MiningIteration
 from repro.server import wire
 from repro.spec import MiningSpec
 
-__all__ = ["RemoteWorkspace", "RemoteError", "RemoteJobFailed"]
+__all__ = [
+    "RemoteWorkspace",
+    "RemoteError",
+    "RemoteJobFailed",
+    "ServerRestarted",
+]
+
+#: Per-job ``(etag, document)`` revalidation entries kept client-side.
+_RESULT_CACHE_SIZE = 32
 
 
 class RemoteError(EngineError):
@@ -65,6 +75,30 @@ class RemoteError(EngineError):
 
 class RemoteJobFailed(RemoteError):
     """A remote job raised; carries the server-side exception's name."""
+
+
+class ServerRestarted(RemoteError):
+    """The event stream's generation changed: the server restarted.
+
+    Every SSE frame carries the server's stream generation (a per-boot
+    marker). When it changes mid-feed, the server the client is now
+    talking to has a *fresh* sequence space and replay history, so a
+    ``Last-Event-ID`` resume would silently misalign. :meth:`~
+    RemoteWorkspace.events` raises this instead; :meth:`~
+    RemoteWorkspace.stream` catches it and re-anchors against the new
+    generation (a durable server recovers the job from its store).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        old_generation: str | None = None,
+        new_generation: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.old_generation = old_generation
+        self.new_generation = new_generation
 
 
 #: Remote exception names mapped back onto local types, so error
@@ -110,9 +144,12 @@ class _SSEStream:
         since: int | None,
         timeout: float,
         job_id: str | None = None,
+        token: str | None = None,
     ):
         self._conn = HTTPConnection(host, port, timeout=timeout)
         headers = {"Accept": "text/event-stream"}
+        if token is not None:
+            headers["Authorization"] = f"Bearer {token}"
         if since is not None:
             headers["Last-Event-ID"] = str(since)
         path = "/events" if job_id is None else f"/events?job_id={job_id}"
@@ -177,14 +214,30 @@ class RemoteWorkspace:
         Socket timeout per request, seconds. Long waits (``result`` with
         no deadline, ``stream``) are composed out of bounded legs, so
         they are not limited by it.
+    token:
+        Bearer credential sent as ``Authorization: Bearer <token>`` on
+        every request (including the SSE feed). Required when the
+        server was started with a tenant registry (``auth=``); a
+        missing or unknown token surfaces as a 401 :class:`RemoteError`.
 
     Specs may be :class:`~repro.spec.MiningSpec` instances, their JSON
     dict form, or raw :class:`~repro.engine.jobs.MiningJob` objects —
     the same flexibility :class:`repro.api.Workspace` offers, validated
     locally before anything is sent.
+
+    Responses negotiate the wire: result documents are fetched with
+    ``Accept-Encoding: gzip`` (decompressed transparently) and
+    revalidated with ``If-None-Match``, so re-reading a finished job's
+    megabyte result costs a 304 and zero body bytes.
     """
 
-    def __init__(self, url: str = "http://127.0.0.1:8765", *, timeout: float = 60.0):
+    def __init__(
+        self,
+        url: str = "http://127.0.0.1:8765",
+        *,
+        timeout: float = 60.0,
+        token: str | None = None,
+    ):
         if "//" not in url:
             url = "http://" + url
         split = urlsplit(url)
@@ -195,17 +248,40 @@ class RemoteWorkspace:
         self.host = split.hostname or "127.0.0.1"
         self.port = split.port or 8765
         self.timeout = timeout
+        self.token = token
+        #: job_id -> (etag, result document); bounded LRU.
+        self._result_cache: OrderedDict[str, tuple[str, dict]] = OrderedDict()
+        #: Wire-level savings counters (observable in tests and tooling).
+        self.wire_stats = {"revalidated": 0, "gzip_responses": 0}
 
     # ------------------------------------------------------------------ #
     # HTTP plumbing
     # ------------------------------------------------------------------ #
-    def _request(
-        self, method: str, path: str, body: dict | None = None
-    ) -> tuple[int, dict]:
+    def _exchange(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        *,
+        extra_headers: dict | None = None,
+    ) -> tuple[int, dict, dict]:
+        """One round trip: returns (status, document, response headers).
+
+        Transparently decompresses gzip response bodies. A 304 returns
+        an empty document — only requests that sent ``If-None-Match``
+        (which means the caller holds the cached body) can see one.
+        """
         conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             payload = None
-            headers = {"Accept": "application/json"}
+            headers = {
+                "Accept": "application/json",
+                "Accept-Encoding": "gzip",
+            }
+            if self.token is not None:
+                headers["Authorization"] = f"Bearer {self.token}"
+            if extra_headers:
+                headers.update(extra_headers)
             if body is not None:
                 payload = json.dumps(body, allow_nan=False).encode("utf-8")
                 headers["Content-Type"] = "application/json"
@@ -213,12 +289,24 @@ class RemoteWorkspace:
             response = conn.getresponse()
             raw = response.read()
             status = response.status
+            response_headers = {
+                name.lower(): value for name, value in response.getheaders()
+            }
         except (ConnectionError, socket.timeout, OSError) as exc:
             raise RemoteError(
                 f"cannot reach mining server at {self.host}:{self.port}: {exc}"
             ) from exc
         finally:
             conn.close()
+        if response_headers.get("content-encoding", "").lower() == "gzip":
+            try:
+                raw = gzip.decompress(raw)
+            except OSError as exc:
+                raise RemoteError(
+                    f"bad gzip response body (HTTP {status}): {exc}",
+                    status=status,
+                ) from exc
+            self.wire_stats["gzip_responses"] += 1
         try:
             document = json.loads(raw) if raw else {}
         except ValueError as exc:
@@ -233,6 +321,12 @@ class RemoteWorkspace:
                 status=status,
                 remote_type=str(error.get("type", "")),
             )
+        return status, document, response_headers
+
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, dict]:
+        status, document, _ = self._exchange(method, path, body)
         return status, document
 
     # ------------------------------------------------------------------ #
@@ -293,9 +387,27 @@ class RemoteWorkspace:
             wait = _WAIT_CHUNK
             if give_up_at is not None:
                 wait = min(wait, max(give_up_at - time.monotonic(), 0.0))
-            status, document = self._request(
-                "GET", f"/jobs/{job_id}/result?wait={wait:g}"
+            cached = self._result_cache.get(job_id)
+            status, document, response_headers = self._exchange(
+                "GET",
+                f"/jobs/{job_id}/result?wait={wait:g}",
+                extra_headers=(
+                    {"If-None-Match": cached[0]} if cached is not None else None
+                ),
             )
+            if status == 304 and cached is not None:
+                # Revalidated: the server's result is byte-identical to
+                # the cached document (the ETag is content-hashed, so
+                # this holds across server restarts too).
+                self.wire_stats["revalidated"] += 1
+                document = cached[1]
+            else:
+                etag = response_headers.get("etag")
+                if etag and document.get("status") == "done":
+                    self._result_cache[job_id] = (etag, document)
+                    self._result_cache.move_to_end(job_id)
+                    while len(self._result_cache) > _RESULT_CACHE_SIZE:
+                        self._result_cache.popitem(last=False)
             job_status = document.get("status")
             if job_status == "done":
                 return wire.job_result_from_wire(document["result"])
@@ -327,6 +439,7 @@ class RemoteWorkspace:
         reconnect: bool = True,
         heartbeats: bool = False,
         job_id: str | None = None,
+        generation: str | None = None,
     ) -> Iterator[wire.RemoteEvent]:
         """The server's live event feed as decoded :class:`RemoteEvent`s.
 
@@ -340,6 +453,15 @@ class RemoteWorkspace:
         run periodic liveness checks on a quiet stream. ``job_id``
         filters *server-side*: only that job's events cross the wire
         (sequence numbers then legitimately skip — they are global).
+
+        Every frame carries the server's stream generation. The feed
+        pins itself to the first generation it sees (or to
+        ``generation``, e.g. from a submit response) and raises
+        :class:`ServerRestarted` the moment a frame disagrees —
+        sequence numbers from a restarted server live in a fresh space,
+        so resuming across the boundary would misalign silently. The
+        check runs *before* the already-seen filter: after a restart,
+        even old-looking sequence numbers are new events.
         """
         last_seen = since if since is not None else None
         first_connection = True
@@ -351,6 +473,7 @@ class RemoteWorkspace:
                     since=last_seen,
                     timeout=self.timeout,
                     job_id=job_id,
+                    token=self.token,
                 )
             except (ConnectionError, socket.timeout, OSError) as exc:
                 if first_connection:
@@ -373,6 +496,19 @@ class RemoteWorkspace:
                             )
                         continue
                     seq, document = entry
+                    gen = document.get("gen")
+                    if gen is not None:
+                        if generation is None:
+                            generation = str(gen)
+                        elif str(gen) != generation:
+                            raise ServerRestarted(
+                                f"event stream generation changed from "
+                                f"{generation!r} to {gen!r}: the server "
+                                f"restarted and its sequence numbers "
+                                f"reset; re-anchor the subscription",
+                                old_generation=generation,
+                                new_generation=str(gen),
+                            )
                     if last_seen is not None and seq <= last_seen:
                         continue  # redelivery after resume
                     last_seen = seq
@@ -406,6 +542,13 @@ class RemoteWorkspace:
         sees every iteration exactly once, in order. An optional
         ``observer`` additionally receives every decoded event of this
         job (candidates and scheduling decisions included).
+
+        Survives a server restart mid-stream: when the feed raises
+        :class:`ServerRestarted`, the job's state is re-read from the
+        (restarted, durable) server — a recovered terminal job heals
+        the remaining iterations from its stored result; a re-enqueued
+        job is re-subscribed in the fresh sequence space, with the
+        per-iteration index dedupe skipping what was already yielded.
         """
         body = self._submission_body(spec)
         _, document = self._request("POST", "/jobs", body)
@@ -420,58 +563,84 @@ class RemoteWorkspace:
         since = document.get("since")
         if since is None:
             since = int(self.health()["events"]["published"])
-        feed = self.events(
-            since=int(since), reconnect=True, heartbeats=True, job_id=job_id
-        )
-        try:
-            yielded = 0
-            for event in feed:
-                # The slow-consumer policy may still drop events of
-                # *this* job, and a dropped terminal event would hang
-                # this loop forever — so on idle heartbeats (at most one
-                # heartbeat interval after the drop) ask the server for
-                # the job's state and heal from the result document.
-                if event.type == "heartbeat":
-                    terminal = self._terminal_result(job_id)
-                    if terminal is not None:
-                        for iteration in terminal.iterations[yielded:]:
+        anchor = int(since)
+        generation = document.get("gen")
+        generation = None if generation is None else str(generation)
+        yielded = 0
+        while True:
+            feed = self.events(
+                since=anchor,
+                reconnect=True,
+                heartbeats=True,
+                job_id=job_id,
+                generation=generation,
+            )
+            restarted: ServerRestarted | None = None
+            try:
+                for event in feed:
+                    # The slow-consumer policy may still drop events of
+                    # *this* job, and a dropped terminal event would hang
+                    # this loop forever — so on idle heartbeats (at most one
+                    # heartbeat interval after the drop) ask the server for
+                    # the job's state and heal from the result document.
+                    if event.type == "heartbeat":
+                        terminal = self._terminal_result(job_id)
+                        if terminal is not None:
+                            for iteration in terminal.iterations[yielded:]:
+                                _observe_healed(observer, iteration)
+                                yield iteration
+                            _observe_terminal(observer, terminal)
+                            return
+                        continue
+                    if event.job_id != job_id:
+                        continue  # defensive: an unfiltered/older server
+                    if observer is not None:
+                        _deliver(observer, event)
+                    if event.type == "iteration":
+                        if event.data.index == yielded + 1:
+                            yielded += 1
+                            yield event.data
+                    elif event.type == "job":
+                        # The job event itself already reached the observer
+                        # via _deliver (on_job); healed iterations that never
+                        # arrived as events still get their on_iteration.
+                        for iteration in event.data.iterations[yielded:]:
                             _observe_healed(observer, iteration)
                             yield iteration
-                        _observe_terminal(observer, terminal)
                         return
-                    continue
-                if event.job_id != job_id:
-                    continue  # defensive: an unfiltered/older server
-                if observer is not None:
-                    _deliver(observer, event)
-                if event.type == "iteration":
-                    if event.data.index == yielded + 1:
-                        yielded += 1
-                        yield event.data
-                elif event.type == "job":
-                    # The job event itself already reached the observer
-                    # via _deliver (on_job); healed iterations that never
-                    # arrived as events still get their on_iteration.
-                    for iteration in event.data.iterations[yielded:]:
-                        _observe_healed(observer, iteration)
-                        yield iteration
-                    return
-                elif event.type == "job_failed":
-                    _raise_remote(event.data["error"], job=True)
-                elif event.type == "schedule":
-                    if event.data.kind == "cancelled":
-                        raise CancelledError(
-                            f"job {job_id} was cancelled ({event.data.detail})"
-                        )
-                    if event.data.kind == "expired":
-                        raise DeadlineExpired(
-                            f"job {job_id} expired ({event.data.detail})"
-                        )
-            raise RemoteError(
-                f"event stream ended before job {job_id} finished"
-            )
-        finally:
-            feed.close()
+                    elif event.type == "job_failed":
+                        _raise_remote(event.data["error"], job=True)
+                    elif event.type == "schedule":
+                        if event.data.kind == "cancelled":
+                            raise CancelledError(
+                                f"job {job_id} was cancelled ({event.data.detail})"
+                            )
+                        if event.data.kind == "expired":
+                            raise DeadlineExpired(
+                                f"job {job_id} expired ({event.data.detail})"
+                            )
+                raise RemoteError(
+                    f"event stream ended before job {job_id} finished"
+                )
+            except ServerRestarted as exc:
+                restarted = exc
+            finally:
+                feed.close()
+            # Re-anchor against the restarted server. A durable server
+            # recovered the job from its store: terminal → heal the
+            # tail from the stored result (bit-identical); re-enqueued →
+            # subscribe afresh from the new history's origin (seq 0) and
+            # let the index dedupe skip the iterations already yielded
+            # (the belief cache replays them server-side for free).
+            generation = restarted.new_generation
+            terminal = self._terminal_result(job_id)
+            if terminal is not None:
+                for iteration in terminal.iterations[yielded:]:
+                    _observe_healed(observer, iteration)
+                    yield iteration
+                _observe_terminal(observer, terminal)
+                return
+            anchor = 0
 
     def _terminal_result(self, job_id: str) -> JobResult | None:
         """The job's result if it already ended; ``None`` while it runs.

@@ -284,6 +284,14 @@ class BeliefCache:
     :data:`DEFAULT_BELIEF_CACHE_BYTES`) on top of the entry-count bound
     — 256 steps over a million-row dataset must not quietly hold
     gigabytes. ``max_bytes=None`` restores pure count bounding.
+
+    An optional ``spill`` (duck-typed; in practice
+    :class:`repro.store.BeliefStore`) makes the cache *persistent*:
+    every ``put`` is written through to it, and an in-memory miss falls
+    back to a spill read (promoting the entry back into memory). Because
+    keys are content hashes, the two tiers can never disagree. The spill
+    is duck-typed here precisely so this module never imports
+    ``repro.store`` (which imports this module).
     """
 
     def __init__(
@@ -291,10 +299,12 @@ class BeliefCache:
         maxsize: int = 256,
         *,
         max_bytes: "int | None" = _DEFAULT_BYTES,
+        spill=None,
     ) -> None:
         if max_bytes is _DEFAULT_BYTES:
             max_bytes = DEFAULT_BELIEF_CACHE_BYTES
         self.max_bytes = max_bytes
+        self._spill = spill
         if max_bytes is None:
             self._entries = LRUCache(maxsize)
         else:
@@ -337,16 +347,44 @@ class BeliefCache:
 
     # ----------------------------- storage ---------------------------- #
     def get(self, key: str) -> CachedStep | None:
-        """The cached step under ``key``, or ``None``."""
-        return self._entries.get(key)
+        """The cached step under ``key``, or ``None``.
+
+        With a spill attached, an in-memory miss falls through to disk
+        and a disk hit is promoted back into the in-memory LRU.
+        """
+        entry = self._entries.get(key)
+        if entry is None and self._spill is not None:
+            entry = self._spill.get(key)
+            if entry is not None:
+                self._entries.put(key, entry)
+        return entry
 
     def put(self, key: str, entry: CachedStep) -> None:
-        """Store one mined step under its chain key."""
+        """Store one mined step under its chain key (write-through)."""
         if not isinstance(entry, CachedStep):
             raise EngineError(
                 f"belief cache stores CachedStep entries, got {type(entry).__name__}"
             )
         self._entries.put(key, entry)
+        if self._spill is not None:
+            self._spill.put(key, entry)
+
+    @property
+    def spill(self):
+        """The attached persistent tier, if any."""
+        return self._spill
+
+    def handle(self):
+        """A picklable handle to the persistent tier, or ``None``.
+
+        Process-backend workers cannot share this in-memory cache, but a
+        spill-backed cache can ship its spill directory as a short
+        picklable token (:meth:`repro.store.BeliefStore.handle`) that
+        each worker resolves into its own cache over the same files.
+        """
+        if self._spill is None or not hasattr(self._spill, "handle"):
+            return None
+        return self._spill.handle()
 
     def clear(self) -> None:
         """Drop every cached step (hit/miss counters are kept)."""

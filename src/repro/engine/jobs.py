@@ -24,7 +24,7 @@ from repro.engine.cache import (
     load_dataset_cached,
 )
 from repro.engine.executor import Executor, SerialExecutor, resolve_executor
-from repro.errors import EngineError
+from repro.errors import EngineError, JobPreempted
 from repro.events import MiningObserver
 from repro.interest.dl import DLParams
 from repro.model.priors import Prior
@@ -392,6 +392,7 @@ def run_job(
     dataset_cache: LRUCache | None = None,
     observer: MiningObserver | None = None,
     belief_cache: BeliefCache | None = None,
+    should_yield=None,
 ) -> JobResult:
     """Execute one job start-to-finish and return its result.
 
@@ -404,6 +405,12 @@ def run_job(
     belief-state prefixes it shares with earlier runs (see
     :class:`~repro.engine.cache.BeliefCache`); the single-shot
     strategies have no belief state and ignore it.
+    ``should_yield`` (a zero-argument callable) enables cooperative
+    preemption of the beam strategy: it is polled *between* iterations,
+    and a truthy answer raises :class:`~repro.errors.JobPreempted`.
+    Completed iterations are already in the belief cache at that point,
+    so a re-run replays them for free — preempting a job only ever
+    costs the iteration in flight.
     """
     dataset = load_dataset_cached(
         job.dataset,
@@ -424,7 +431,23 @@ def run_job(
             observer=observer,
             belief_cache=belief_cache,
         )
-        iterations = miner.run(job.n_iterations, kind=job.kind, sparsity=job.sparsity)
+        if should_yield is None:
+            iterations = miner.run(
+                job.n_iterations, kind=job.kind, sparsity=job.sparsity
+            )
+        else:
+            # Drive the loop step-by-step so the scheduler can reclaim
+            # the worker at iteration boundaries. The first iteration
+            # always runs: a job that yields before doing any work could
+            # starve forever under a persistently contended pool.
+            iterations = []
+            for n in range(job.n_iterations):
+                if n > 0 and should_yield():
+                    raise JobPreempted(
+                        f"job {job.name!r} preempted after "
+                        f"{n}/{job.n_iterations} iterations"
+                    )
+                iterations.append(miner.step(kind=job.kind, sparsity=job.sparsity))
     else:
         iterations = [_single_shot_iteration(job, dataset)]
         if observer is not None:
@@ -448,6 +471,8 @@ def run_job_with_workers(
     shared_memory: bool = False,
     belief_cache: BeliefCache | None = None,
     observer: MiningObserver | None = None,
+    yield_event=None,
+    belief_handle=None,
 ) -> JobResult:
     """:func:`run_job` with the executor resolved from a worker count.
 
@@ -460,14 +485,24 @@ def run_job_with_workers(
     ``observer`` are in-process state: the service's thread/serial
     backends thread theirs through here (observer callbacks then fire
     from the worker thread), while its process backend leaves them
-    ``None`` (neither can ship to a worker process).
+    ``None`` — it can instead ship a picklable ``belief_handle``
+    (:meth:`repro.engine.cache.BeliefCache.handle`) that each worker
+    process resolves into its own cache over the shared on-disk spill.
+    ``yield_event`` (a ``threading.Event``) is the thread-backend
+    preemption flag, polled between iterations (see :func:`run_job`).
     """
+    if belief_cache is None and belief_handle is not None:
+        belief_cache = belief_handle.resolve()
     executor = resolve_executor(
         workers, start_method=start_method, shared_memory=shared_memory
     )
     try:
         return run_job(
-            job, executor=executor, belief_cache=belief_cache, observer=observer
+            job,
+            executor=executor,
+            belief_cache=belief_cache,
+            observer=observer,
+            should_yield=yield_event.is_set if yield_event is not None else None,
         )
     finally:
         executor.close()

@@ -50,7 +50,7 @@ from repro.engine.executor import BACKENDS, resolve_executor, resolve_pool
 
 __all__ = ["BACKENDS", "JobStatus", "MiningService"]
 from repro.engine.jobs import JobResult, MiningJob, run_job, run_job_with_workers
-from repro.errors import DeadlineExpired, EngineError
+from repro.errors import DeadlineExpired, EngineError, JobPreempted
 from repro.events import MiningObserver, SchedulerEvent, broadcast
 
 
@@ -171,6 +171,12 @@ class _Record:
         "heap_key",
         "observer",
         "live",
+        "tenant",
+        "tenant_share",
+        "pass_value",
+        "yield_flag",
+        "submitted_wall",
+        "finished_wall",
     )
 
     def __init__(
@@ -181,6 +187,8 @@ class _Record:
         seq: int,
         opts: tuple,
         observer: "MiningObserver | None" = None,
+        tenant: "str | None" = None,
+        tenant_share: float = 1.0,
     ):
         self.job_id = job_id
         self.job = job
@@ -205,17 +213,38 @@ class _Record:
         self.heap_key: tuple | None = None
         self.observer = observer
         self.live = False
+        #: Tenancy: the submitting tenant's name (None for untenanted
+        #: work) and its fair-share weight; pass_value is the stride-
+        #: scheduling pass at enqueue time (0.0 when untenanted, which
+        #: keeps the classic sort order bit-for-bit).
+        self.tenant = tenant
+        self.tenant_share = tenant_share
+        self.pass_value = 0.0
+        #: Cooperative-preemption flag handed to a thread-backend worker.
+        self.yield_flag = None
+        #: Wall-clock stamps for the durable store and terminal TTL.
+        self.submitted_wall = time.time()
+        self.finished_wall: float | None = None
 
     def sort_key(self) -> tuple:
-        """Deterministic dispatch order: priority ↓, deadline ↑, arrival ↑.
+        """Dispatch order: priority ↓, tenant fair share, deadline ↑, arrival ↑.
 
         ``priority`` here is the *effective* priority: the (possibly
         coalescing-boosted) base plus the aging guard's ``boost``.
+        ``pass_value`` is the stride-scheduling dimension — within one
+        priority level, tenants dispatch in proportion to their shares;
+        untenanted records carry 0.0, so a tenant-free queue orders
+        exactly as it did before the tenancy dimension existed.
         """
         deadline_rank = (
             (1, 0.0) if self.urgency_at is None else (0, self.urgency_at)
         )
-        return (-(self.priority + self.boost), deadline_rank, self.seq)
+        return (
+            -(self.priority + self.boost),
+            self.pass_value,
+            deadline_rank,
+            self.seq,
+        )
 
 
 class MiningService:
@@ -280,6 +309,24 @@ class MiningService:
         Aging affects dispatch *order* only — never what runs, never
         deadlines. ``None`` disables the guard; the default is 60
         seconds.
+    store:
+        Optional durable tier: a :class:`repro.store.JobStore` (or a
+        path, opened as one). Every record transition is written
+        through, and a service constructed over a populated store
+        *recovers*: terminal records resolve instantly (done results
+        re-enter the result cache bit-identically — zero recompute),
+        queued/running records re-enqueue in their original submission
+        order. With ``belief_cache=True`` the belief cache additionally
+        spills to ``<store>/beliefs/``, so warm belief prefixes survive
+        restarts and reach process-backend workers via a picklable
+        handle.
+    record_ttl_seconds / max_terminal_records:
+        Terminal-record retention. A terminal record older than the TTL
+        (wall-clock seconds since it finished), or beyond the count cap
+        (oldest-finished evicted first), is dropped from the record
+        table — and from the store — with an ``"evicted"`` scheduler
+        event. ``None`` (default) keeps everything, the pre-store
+        behaviour. Live (queued/running) records are never evicted.
 
     The service is a context manager; leaving the block shuts the pool
     down and waits for running jobs.
@@ -295,6 +342,9 @@ class MiningService:
         start_method: str | None = None,
         belief_cache: BeliefCache | bool | None = True,
         aging_seconds: float | None = 60.0,
+        store=None,
+        record_ttl_seconds: float | None = None,
+        max_terminal_records: int | None = None,
     ) -> None:
         if max_workers < 1:
             raise EngineError(f"max_workers must be >= 1, got {max_workers}")
@@ -302,17 +352,47 @@ class MiningService:
             raise EngineError(
                 f"aging_seconds must be > 0 or None, got {aging_seconds!r}"
             )
+        if record_ttl_seconds is not None and not (record_ttl_seconds > 0):
+            raise EngineError(
+                f"record_ttl_seconds must be > 0 or None, got {record_ttl_seconds!r}"
+            )
+        if max_terminal_records is not None and max_terminal_records < 1:
+            raise EngineError(
+                f"max_terminal_records must be >= 1 or None, "
+                f"got {max_terminal_records!r}"
+            )
         self.aging_seconds = aging_seconds
         self.backend = backend
         self.max_workers = max_workers
         self.start_method = start_method
+        self.record_ttl_seconds = record_ttl_seconds
+        self.max_terminal_records = max_terminal_records
+        self._store = None
+        if store is not None:
+            # Lazy import: repro.store imports repro.persist, which pulls
+            # in repro.engine.jobs — importing it at module top would
+            # cycle through this package's __init__.
+            from repro.store import JobStore
+
+            self._store = store if isinstance(store, JobStore) else JobStore(store)
         self._pool = resolve_pool(backend, max_workers, start_method=start_method)
         self._observers: list[MiningObserver] = (
             [observer] if observer is not None else []
         )
         self._recompose_observers()
         self._cache = LRUCache(cache_size)
-        self._belief_cache = resolve_belief_cache(belief_cache)
+        if self._store is not None and belief_cache is True:
+            # A durable service defaults to a store-scoped belief cache
+            # spilling next to its records (not the process-wide one):
+            # warm prefixes then survive restarts with the rest of the
+            # store, and cross the process-pool boundary as a handle.
+            from repro.store import BeliefStore
+
+            self._belief_cache = BeliefCache(
+                spill=BeliefStore(self._store.belief_dir)
+            )
+        else:
+            self._belief_cache = resolve_belief_cache(belief_cache)
         # Reentrant: a pool future that completes before its done-callback
         # is attached runs the callback synchronously in the dispatching
         # thread, which already holds the lock.
@@ -324,6 +404,14 @@ class MiningService:
         self._n_queued = 0
         self._ids = itertools.count(1)
         self._seq = itertools.count()
+        #: Stride scheduling: per-tenant pass values plus the virtual
+        #: time (pass of the last tenanted dispatch). A newly active
+        #: tenant's pass is floored at the virtual time, so an idle
+        #: tenant cannot bank credit and then monopolize the queue.
+        self._tenant_pass: dict[str, float] = {}
+        self._vtime = 0.0
+        if self._store is not None:
+            self._recover_from_store()
 
     # ------------------------------------------------------------------ #
     # Client API
@@ -336,6 +424,8 @@ class MiningService:
         start_method: str | None = None,
         shared_memory: bool = False,
         observer: MiningObserver | None = None,
+        tenant: str | None = None,
+        tenant_share: float = 1.0,
     ) -> str:
         """Queue a job; returns its id. Cached specs resolve instantly.
 
@@ -359,9 +449,20 @@ class MiningService:
         Exceptions it raises are swallowed, never failing the job. This
         is the per-job substrate the :mod:`repro.server` SSE endpoint
         tags its streams with.
+
+        ``tenant``/``tenant_share`` attribute the submission to a named
+        tenant with a fair-share weight (see
+        :class:`repro.store.TenantRegistry`): within one priority level
+        the scheduler dispatches tenants' queued jobs in proportion to
+        their shares (stride scheduling) instead of strict arrival
+        order. Untenanted submissions are scheduled exactly as before.
         """
         if not isinstance(job, MiningJob):
             raise EngineError(f"expected MiningJob, got {type(job).__name__}")
+        if tenant is not None and not (tenant_share > 0):
+            raise EngineError(
+                f"tenant_share must be > 0, got {tenant_share!r}"
+            )
         job_id = f"job-{next(self._ids):04d}"
         fp = job.fingerprint()
         post: list = []
@@ -375,12 +476,15 @@ class MiningService:
                 next(self._seq),
                 (workers, start_method, shared_memory),
                 observer=wrapped,
+                tenant=tenant,
+                tenant_share=tenant_share,
             )
             self._records[job_id] = record
             self._emit_later(post, "queued", record)
             cached = self._cache.get(fp)
             if cached is not None:
                 record.state = "done"
+                record.finished_wall = time.time()
                 record.future.set_result(cached)
                 self._emit_later(post, "cache_hit", record)
                 post.append(
@@ -430,9 +534,12 @@ class MiningService:
                             self._push_locked(primary)
                 else:
                     self._inflight[fp] = record
+                    self._refresh_pass_locked(record)
                     self._push_locked(record)
                     self._n_queued += 1
                     self._dispatch_locked(post)
+            self._persist_later(post, record)
+            self._prune_terminal_locked(post)
         self._run_post(post)
         if serial_record is not None:
             self._run_serial(serial_record)
@@ -458,7 +565,9 @@ class MiningService:
         except Exception as exc:  # surface via result(), like a pool would
             with self._lock:
                 record.state = "failed"
+                record.finished_wall = time.time()
                 record.future.set_exception(exc)
+            self._persist_now(record)
             if self._live_observer is not None:
                 self._live_observer.on_job_failed(record.job, exc)
             if record.observer is not None:
@@ -466,8 +575,10 @@ class MiningService:
         else:
             with self._lock:
                 record.state = "done"
+                record.finished_wall = time.time()
                 self._cache.put(record.fp, result)
                 record.future.set_result(result)
+            self._persist_now(record)
             self._announce(result, replay_iterations=False)
             if record.observer is not None:
                 _deliver_result(record.observer, result, replay_iterations=False)
@@ -555,6 +666,7 @@ class MiningService:
                 return False
             record.future.cancel()
             record.state = "cancelled"
+            record.finished_wall = time.time()
             if record.proxy_of is not None:
                 if record in record.proxy_of.proxies:
                     record.proxy_of.proxies.remove(record)
@@ -563,8 +675,42 @@ class MiningService:
                 self._promote_locked(record, post)
                 self._dispatch_locked(post)
             self._emit_later(post, "cancelled", record)
+            self._persist_later(post, record)
         self._run_post(post)
         return True
+
+    def preempt(self, job_id: str) -> bool:
+        """Ask a running job to yield its worker slot; True if requested.
+
+        Preemption is *cooperative*: the worker checks a flag between
+        mining iterations (see :func:`repro.engine.jobs.run_job`), so
+        the request lands at the next iteration boundary — completed
+        iterations are already in the belief cache and replay for free
+        when the job is re-dispatched. The preempted job goes back to
+        the queue (``"preempted"`` event) with its future unresolved;
+        waiters simply wait longer. Returns False for jobs that are not
+        running or whose backend cannot preempt (process workers, where
+        the flag cannot cross the boundary).
+        """
+        post: list = []
+        requested = False
+        with self._lock:
+            record = self._record_of(job_id)
+            if record.state == "running" and record.yield_flag is not None:
+                record.yield_flag.set()
+                requested = True
+                self._emit_later(post, "preempt_requested", record)
+        self._run_post(post)
+        return requested
+
+    def tenant_load(self, tenant: str) -> int:
+        """Live (queued or running) submissions currently held by a tenant."""
+        with self._lock:
+            return sum(
+                1
+                for record in self._records.values()
+                if record.tenant == tenant and record.state in _LIVE_STATES
+            )
 
     def job(self, job_id: str) -> MiningJob:
         """The spec submitted under ``job_id``."""
@@ -645,6 +791,11 @@ class MiningService:
         """The belief-state prefix cache in-process jobs share (or None)."""
         return self._belief_cache
 
+    @property
+    def store(self):
+        """The durable :class:`repro.store.JobStore`, or None."""
+        return self._store
+
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
@@ -655,9 +806,12 @@ class MiningService:
         dispatched and everything runs to completion before the pool
         stops — the behaviour of a plain pool shutdown. ``wait=False``
         cancels everything still queued and stops without waiting for
-        running jobs.
+        running jobs. A durable store is compacted and closed either way
+        (a crash that skips this is what the WAL is for).
         """
         if self._pool is None:
+            if self._store is not None:
+                self._store.close()
             return
         if wait:
             while True:
@@ -682,6 +836,7 @@ class MiningService:
                         continue
                     record.future.cancel()
                     record.state = "cancelled"
+                    record.finished_wall = time.time()
                     if record.proxy_of is None:
                         self._n_queued -= 1
                         if self._inflight.get(record.fp) is record:
@@ -689,9 +844,12 @@ class MiningService:
                     self._emit_later(
                         post, "cancelled", record, detail="service shutdown"
                     )
+                    self._persist_later(post, record)
                 self._queue.clear()
             self._run_post(post)
         self._pool.shutdown(wait=wait)
+        if self._store is not None:
+            self._store.close()
 
     def __enter__(self) -> "MiningService":
         return self
@@ -757,6 +915,17 @@ class MiningService:
             if record.state != "queued" or record.heap_key != key:
                 continue  # cancelled/boosted: stale heap entry
             if (
+                record.tenant is not None
+                and record.pass_value
+                != self._tenant_pass.get(record.tenant, record.pass_value)
+            ):
+                # The tenant's pass advanced since this record was pushed
+                # (an earlier job of the same tenant dispatched): re-rank
+                # at the current pass so other tenants get their turn.
+                self._refresh_pass_locked(record)
+                self._push_locked(record)
+                continue
+            if (
                 record.deadline_at is not None
                 and time.monotonic() >= record.deadline_at
             ):
@@ -771,6 +940,15 @@ class MiningService:
             record.state = "running"
             self._n_queued -= 1
             self._running += 1
+            if record.tenant is not None:
+                # Stride accounting: the dispatch advances the tenant's
+                # pass by the inverse of its share (big shares advance
+                # slowly, so they dispatch more often) and drags the
+                # virtual time forward for future arrivals.
+                self._vtime = max(self._vtime, record.pass_value)
+                self._tenant_pass[record.tenant] = (
+                    record.pass_value + 1.0 / record.tenant_share
+                )
             workers, start_method, shared_memory = record.opts
             live_observer = None
             if self.backend == "thread":
@@ -792,6 +970,10 @@ class MiningService:
                 if self.backend == "thread":
                     # In-process workers share the belief cache; worker
                     # *processes* cannot (no pickling across the boundary).
+                    # The yield flag enables cooperative preemption at
+                    # iteration boundaries (thread backend only — an
+                    # Event cannot cross a process boundary).
+                    record.yield_flag = threading.Event()
                     pool_future = self._pool.submit(
                         run_job_with_workers,
                         record.job,
@@ -800,14 +982,25 @@ class MiningService:
                         shared_memory,
                         self._belief_cache,
                         live_observer,
+                        record.yield_flag,
                     )
                 else:
+                    # A spill-backed belief cache *can* reach worker
+                    # processes: ship its picklable handle, which each
+                    # worker resolves into a process-local cache over
+                    # the shared on-disk spill.
+                    handle = (
+                        self._belief_cache.handle()
+                        if self._belief_cache is not None
+                        else None
+                    )
                     pool_future = self._pool.submit(
                         run_job_with_workers,
                         record.job,
                         workers,
                         start_method,
                         shared_memory,
+                        belief_handle=handle,
                     )
             except Exception as exc:
                 # e.g. submit raced a shutdown: the pool refused the
@@ -823,7 +1016,9 @@ class MiningService:
                 record.proxies = []
                 for waiter in waiters:
                     waiter.state = "failed"
+                    waiter.finished_wall = time.time()
                     waiter.future.set_exception(exc)
+                    self._persist_later(post, waiter)
                     if self._live_observer is not None:
                         post.append(
                             lambda w=waiter, e=exc: self._live_observer.on_job_failed(
@@ -838,6 +1033,7 @@ class MiningService:
                         )
                 continue
             self._emit_later(post, "dispatched", record)
+            self._persist_later(post, record)
             pool_future.add_done_callback(
                 lambda future, record=record: self._on_task_done(record, future)
             )
@@ -847,6 +1043,28 @@ class MiningService:
         post: list = []
         with self._lock:
             self._running -= 1
+            if (
+                not pool_future.cancelled()
+                and isinstance(pool_future.exception(), JobPreempted)
+                and record.state == "running"
+            ):
+                # Cooperative preemption: the worker yielded its slot at
+                # an iteration boundary. Not terminal — the record (and
+                # its coalesced waiters, and its unresolved future) goes
+                # back in the queue. Completed iterations are already in
+                # the belief cache, so the re-run replays them for free.
+                record.state = "queued"
+                record.boost = 0
+                record.enqueued_at = time.monotonic()
+                record.yield_flag = None
+                self._refresh_pass_locked(record)
+                self._push_locked(record)
+                self._n_queued += 1
+                self._emit_later(post, "preempted", record)
+                self._persist_later(post, record)
+                self._dispatch_locked(post)
+                self._run_post(post)
+                return
             if self._inflight.get(record.fp) is record:
                 del self._inflight[record.fp]
             waiters = [record] + [p for p in record.proxies if p.state == "queued"]
@@ -854,7 +1072,9 @@ class MiningService:
             if pool_future.cancelled():  # pragma: no cover - defensive
                 for waiter in waiters:
                     waiter.state = "cancelled"
+                    waiter.finished_wall = time.time()
                     waiter.future.cancel()
+                    self._persist_later(post, waiter)
             else:
                 exc = pool_future.exception()
                 if exc is None:
@@ -862,7 +1082,9 @@ class MiningService:
                     self._cache.put(record.fp, result)
                     for waiter in waiters:
                         waiter.state = "done"
+                        waiter.finished_wall = time.time()
                         waiter.future.set_result(result)
+                        self._persist_later(post, waiter)
                         if waiter.observer is not None:
                             # Waiters wired live at dispatch already heard
                             # their iterations; late coalescers and the
@@ -879,7 +1101,9 @@ class MiningService:
                 else:
                     for waiter in waiters:
                         waiter.state = "failed"
+                        waiter.finished_wall = time.time()
                         waiter.future.set_exception(exc)
+                        self._persist_later(post, waiter)
                         if self._live_observer is not None:
                             post.append(
                                 lambda w=waiter, e=exc: self._live_observer.on_job_failed(
@@ -892,6 +1116,7 @@ class MiningService:
                                     w.job, e
                                 )
                             )
+            self._prune_terminal_locked(post)
             self._dispatch_locked(post)
         self._run_post(post)
 
@@ -917,6 +1142,7 @@ class MiningService:
         """
         overdue = time.monotonic() - (record.deadline_at or time.monotonic())
         record.state = "expired"
+        record.finished_wall = time.time()
         record.future.set_exception(
             DeadlineExpired(
                 f"job {record.job_id} ({record.job.name}) missed its "
@@ -931,6 +1157,7 @@ class MiningService:
         else:
             self._promote_locked(record, post)
         self._emit_later(post, "expired", record, detail=f"{max(overdue, 0.0):.3f}s overdue")
+        self._persist_later(post, record)
 
     def _promote_locked(self, record: _Record, post: list) -> None:
         """Re-queue the oldest live waiter of a dead primary.
@@ -952,9 +1179,234 @@ class MiningService:
         for proxy in new_primary.proxies:
             proxy.proxy_of = new_primary
         self._inflight[record.fp] = new_primary
+        self._refresh_pass_locked(new_primary)
         self._push_locked(new_primary)
         self._n_queued += 1
         self._emit_later(post, "promoted", new_primary, detail=f"after {record.job_id}")
+
+    # ------------------------------------------------------------------ #
+    # Tenancy + durable store internals
+    # ------------------------------------------------------------------ #
+    def _refresh_pass_locked(self, record: _Record) -> None:
+        """(Re)stamp a queued record with its tenant's current pass."""
+        if record.tenant is None:
+            record.pass_value = 0.0
+            return
+        record.pass_value = max(
+            self._tenant_pass.get(record.tenant, 0.0), self._vtime
+        )
+
+    def _persist_later(self, post: list, record: _Record) -> None:
+        """Queue a store write for after the lock drops (no-op storeless).
+
+        Runs off-lock because encoding a done record's result document
+        walks every mined pattern — too much work to hold the scheduler
+        for. Writes land in submission order within one transition batch
+        (``post`` preserves append order), and the store upserts, so a
+        racing later transition can only make the doc *fresher*.
+        """
+        if self._store is None:
+            return
+        post.append(lambda: self._persist_now(record))
+
+    def _persist_now(self, record: _Record) -> None:
+        if self._store is None:
+            return
+        try:
+            self._store.put(self._record_doc(record))
+        except Exception:
+            # Persistence must never break scheduling (a concurrent
+            # shutdown may have closed the store; the disk may be full).
+            # The WAL guarantees the *next* open is self-consistent
+            # regardless of where writes stopped.
+            pass
+
+    def _record_doc(self, record: _Record) -> dict:
+        """The record's durable document, in the existing wire vocabulary.
+
+        Jobs serialize via :func:`repro.persist.job_to_dict`, results via
+        :func:`repro.persist.job_result_to_dict` (the exact-round-trip
+        codec the HTTP layer uses — which is what makes a restored
+        result bit-identical to the one computed before the restart),
+        and errors in the ``{"type", "message"}`` shape of
+        :func:`repro.server.wire.error_to_wire`.
+        """
+        from repro import persist  # lazy: persist imports engine.jobs
+
+        state = record.state
+        doc = {
+            "schema": 1,
+            "job_id": record.job_id,
+            "fingerprint": record.fp,
+            "state": state,
+            "seq": record.seq,
+            "tenant": record.tenant,
+            "tenant_share": record.tenant_share,
+            "submitted_at": record.submitted_wall,
+            "updated_at": time.time(),
+            "job": persist.job_to_dict(record.job),
+            "result": None,
+            "error": None,
+        }
+        if state == "done":
+            try:
+                doc["result"] = persist.job_result_to_dict(
+                    record.future.result(timeout=0)
+                )
+            except Exception:  # pragma: no cover - racing transition
+                doc["state"] = "queued"
+        elif state in ("failed", "expired"):
+            try:
+                exc = record.future.exception(timeout=0)
+            except Exception:  # pragma: no cover - racing transition
+                exc = None
+            if exc is not None:
+                doc["error"] = {
+                    "type": type(exc).__name__,
+                    "message": str(exc),
+                }
+        return doc
+
+    def _prune_terminal_locked(self, post: list) -> None:
+        """TTL/LRU retention of terminal records (live ones never evict)."""
+        ttl = self.record_ttl_seconds
+        cap = self.max_terminal_records
+        if ttl is None and cap is None:
+            return
+        now = time.time()
+        terminal = [
+            record
+            for record in self._records.values()
+            if record.state not in _LIVE_STATES
+            and record.finished_wall is not None
+        ]
+        evict_ids: set[str] = set()
+        if ttl is not None:
+            evict_ids.update(
+                record.job_id
+                for record in terminal
+                if now - record.finished_wall >= ttl
+            )
+        if cap is not None:
+            survivors = sorted(
+                (r for r in terminal if r.job_id not in evict_ids),
+                key=lambda r: (r.finished_wall, r.seq),
+            )
+            if len(survivors) > cap:
+                evict_ids.update(
+                    record.job_id for record in survivors[: len(survivors) - cap]
+                )
+        for record in terminal:
+            if record.job_id not in evict_ids:
+                continue
+            self._emit_later(post, "evicted", record)
+            del self._records[record.job_id]
+            if self._store is not None:
+                post.append(
+                    lambda job_id=record.job_id: self._store_delete(job_id)
+                )
+
+    def _store_delete(self, job_id: str) -> None:
+        try:
+            self._store.delete(job_id)
+        except Exception:  # pragma: no cover - store closed mid-evict
+            pass
+
+    def _recover_from_store(self) -> None:
+        """Rebuild the record table from the durable store at startup.
+
+        Terminal records resolve immediately — done results re-enter the
+        result cache exactly as stored (zero recompute; the persist
+        codec round-trips floats bit-for-bit). Queued and running
+        records never finished, so they re-enqueue as queued in their
+        original submission order (the store sorts by stored ``seq``,
+        and fresh seqs are assigned in that order), re-coalescing
+        duplicates along the way; each re-enqueue is a ``"recovered"``
+        scheduler event. Recovered failures re-raise with the stored
+        type name and message (as :class:`DeadlineExpired` when that is
+        what they were, generic :class:`EngineError` otherwise — the
+        original class cannot be reconstructed from a name alone).
+        """
+        from repro import persist  # lazy: persist imports engine.jobs
+
+        docs = self._store.records()
+        if not docs:
+            return
+        post: list = []
+        max_id = 0
+        with self._lock:
+            for doc in docs:
+                try:
+                    job = persist.job_from_dict(doc["job"])
+                except Exception:
+                    continue  # foreign/corrupt record: skip, don't die
+                job_id = str(doc.get("job_id"))
+                try:
+                    max_id = max(max_id, int(job_id.rsplit("-", 1)[-1]))
+                except ValueError:
+                    pass
+                record = _Record(
+                    job_id,
+                    job,
+                    str(doc.get("fingerprint") or job.fingerprint()),
+                    next(self._seq),
+                    (None, None, False),
+                    tenant=doc.get("tenant"),
+                    tenant_share=float(doc.get("tenant_share") or 1.0),
+                )
+                record.submitted_wall = float(
+                    doc.get("submitted_at") or record.submitted_wall
+                )
+                state = doc.get("state")
+                finished = float(doc.get("updated_at") or time.time())
+                if state == "done" and doc.get("result") is not None:
+                    try:
+                        result = persist.job_result_from_dict(doc["result"])
+                    except Exception:
+                        continue  # corrupt result: drop the record
+                    record.state = "done"
+                    record.finished_wall = finished
+                    record.future.set_result(result)
+                    self._cache.put(record.fp, result)
+                elif state in ("failed", "expired"):
+                    error = doc.get("error") or {}
+                    message = error.get(
+                        "message", "job failed before a service restart"
+                    )
+                    if state == "expired" or error.get("type") == "DeadlineExpired":
+                        exc: Exception = DeadlineExpired(message)
+                    else:
+                        exc = EngineError(
+                            f"{error.get('type', 'Error')}: {message}"
+                        )
+                    record.state = state
+                    record.finished_wall = finished
+                    record.future.set_exception(exc)
+                elif state == "cancelled":
+                    record.state = "cancelled"
+                    record.finished_wall = finished
+                    record.future.cancel()
+                else:
+                    # queued or running: the work never finished — it
+                    # re-enters the queue (running jobs restart cheaply:
+                    # their completed iterations replay from the spilled
+                    # belief cache).
+                    record.state = "queued"
+                    primary = self._inflight.get(record.fp)
+                    if primary is not None and primary.state in _LIVE_STATES:
+                        record.proxy_of = primary
+                        primary.proxies.append(record)
+                    else:
+                        self._inflight[record.fp] = record
+                        self._refresh_pass_locked(record)
+                        self._push_locked(record)
+                        self._n_queued += 1
+                    self._emit_later(post, "recovered", record)
+                    self._persist_later(post, record)
+                self._records[job_id] = record
+            self._ids = itertools.count(max_id + 1)
+            self._dispatch_locked(post)
+        self._run_post(post)
 
     # ------------------------------------------------------------------ #
     # Event plumbing

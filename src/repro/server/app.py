@@ -30,6 +30,7 @@ bit-identical to local ones.
 from __future__ import annotations
 
 import asyncio
+import secrets
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -42,6 +43,7 @@ from repro.persist import job_from_dict
 from repro.server import http, wire
 from repro.server.hub import EventHub
 from repro.spec import MiningSpec
+from repro.store.tenancy import Tenant, TenantRegistry
 from repro.version import __version__
 
 __all__ = ["MiningServer", "ServerHandle"]
@@ -224,6 +226,24 @@ class MiningServer:
         request) before the server closes it — the bound that keeps
         silent or half-open clients from pinning sockets forever. Does
         not apply to an established SSE stream.
+    store:
+        Durable job store for the owned service: a directory path or a
+        :class:`repro.store.JobStore`. Terminal jobs survive restarts
+        bit-identically and queued jobs are re-enqueued in order; the
+        server's stream :attr:`generation` is persisted there too, so
+        clients can tell a restart from a reconnect. Incompatible with
+        an external ``service`` (pass the store to that service
+        instead).
+    auth:
+        Bearer-token tenancy: a token-file path (see
+        :meth:`repro.store.TenantRegistry.from_file`) or a
+        :class:`~repro.store.TenantRegistry`. When set, every route but
+        ``GET /health`` requires ``Authorization: Bearer <token>``
+        (else 401); submissions are rate-limited per tenant (429 with
+        ``Retry-After``) and scheduled under the tenant's fair share.
+    record_ttl_seconds / max_terminal_records:
+        Terminal-record expiry of the owned durable service (see
+        :class:`~repro.engine.service.MiningService`).
     """
 
     def __init__(
@@ -240,19 +260,45 @@ class MiningServer:
         queue_maxsize: int = 512,
         heartbeat_seconds: float = 15.0,
         request_timeout: float = 120.0,
+        store=None,
+        auth=None,
+        record_ttl_seconds: float | None = None,
+        max_terminal_records: int | None = None,
     ) -> None:
         self.host = host
         self.port = port
         self._owns_service = service is None
         if service is None:
             service = MiningService(
-                max_workers=max_workers, backend=backend, observer=observer
+                max_workers=max_workers,
+                backend=backend,
+                observer=observer,
+                store=store,
+                record_ttl_seconds=record_ttl_seconds,
+                max_terminal_records=max_terminal_records,
             )
             self._observer = None  # owned service: observer lives inside it
         else:
+            if store is not None:
+                raise EngineError(
+                    "store= requires a server-owned service; construct your "
+                    "MiningService with the store and pass that instead"
+                )
             service.add_observer(observer)
             self._observer = observer
         self.service = service
+        if auth is None or isinstance(auth, TenantRegistry):
+            self.tenants = auth
+        else:
+            self.tenants = TenantRegistry.from_file(auth)
+        # The stream generation: every SSE frame and submit response is
+        # stamped with it, and /health exposes it. A stored server draws
+        # a fresh monotone integer per boot (so clients *know* frame
+        # seqs restarted); a storeless one uses a random nonce.
+        if self.service.store is not None:
+            self.generation = str(self.service.store.next_generation())
+        else:
+            self.generation = secrets.token_hex(8)
         self.hub = EventHub(history=history, queue_maxsize=queue_maxsize)
         self.candidate_events = candidate_events
         self.heartbeat_seconds = heartbeat_seconds
@@ -420,13 +466,28 @@ class MiningServer:
                     break
                 if request is None:
                     break
+                try:
+                    tenant = self._authenticate(request)
+                except http.HttpError as exc:
+                    keep = request.keep_alive
+                    writer.write(
+                        self._error_response(
+                            exc.status, str(exc), keep, headers=exc.headers
+                        )
+                    )
+                    await writer.drain()
+                    if keep:
+                        continue
+                    break
                 if request.method == "GET" and request.path == "/events":
                     await self._handle_events(request, writer)
                     break  # SSE ends by closing the connection
+                extra: tuple = ()
                 try:
-                    status, document = await self._dispatch(request)
+                    status, document = await self._dispatch(request, tenant)
                 except http.HttpError as exc:
                     status, document = exc.status, _error_document(exc)
+                    extra = exc.headers
                 except ReproError as exc:
                     status, document = 400, _error_document(exc)
                 except Exception as exc:  # noqa: BLE001 - last-resort guard
@@ -442,8 +503,34 @@ class MiningServer:
                     )
                 else:
                     body = http.json_body(document)
+                if (
+                    status == 200
+                    and request.method == "GET"
+                    and "result" in document
+                ):
+                    # GET /jobs/{id}/result: the one heavyweight, byte-
+                    # stable response — worth a validator and a wire
+                    # coding. The ETag hashes the *identity* body, so it
+                    # survives restarts and is independent of whether
+                    # this response ends up gzipped.
+                    etag = http.etag_for(body)
+                    extra += (("ETag", etag), ("Vary", "Accept-Encoding"))
+                    if http.etag_matches(
+                        request.headers.get("if-none-match"), etag
+                    ):
+                        status, body = 304, b""
+                    elif (
+                        http.wants_gzip(request.headers)
+                        and len(body) >= http.GZIP_MIN_BYTES
+                    ):
+                        body = await asyncio.get_running_loop().run_in_executor(
+                            None, http.gzip_body, body
+                        )
+                        extra += (("Content-Encoding", "gzip"),)
                 writer.write(
-                    http.render_response(status, body, keep_alive=keep)
+                    http.render_response(
+                        status, body, keep_alive=keep, extra_headers=extra
+                    )
                 )
                 await writer.drain()
                 if not keep:
@@ -457,22 +544,51 @@ class MiningServer:
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
 
-    def _error_response(self, status: int, message: str, keep: bool) -> bytes:
+    def _error_response(
+        self, status: int, message: str, keep: bool, *, headers: tuple = ()
+    ) -> bytes:
         document = _error_document(http.HttpError(status, message))
         return http.render_response(
-            status, http.json_body(document), keep_alive=keep
+            status, http.json_body(document), keep_alive=keep,
+            extra_headers=headers,
         )
+
+    def _authenticate(self, request: http.Request) -> Tenant | None:
+        """Resolve the request's tenant; raises 401 when auth is on.
+
+        ``GET /health`` stays open — liveness probes don't carry
+        credentials — but every job-facing route (and the event stream)
+        requires a registered bearer token once ``auth=`` is set.
+        """
+        if self.tenants is None:
+            return None
+        if request.method == "GET" and request.path == "/health":
+            return None
+        token = http.bearer_token(request.headers)
+        tenant = (
+            None if token is None else self.tenants.authenticate(token)
+        )
+        if tenant is None:
+            raise http.HttpError(
+                401,
+                "this server requires an Authorization: Bearer token "
+                "registered with its tenant registry",
+                headers=(("WWW-Authenticate", 'Bearer realm="sisd"'),),
+            )
+        return tenant
 
     # ------------------------------------------------------------------ #
     # Routing
     # ------------------------------------------------------------------ #
-    async def _dispatch(self, request: http.Request) -> tuple[int, dict]:
+    async def _dispatch(
+        self, request: http.Request, tenant: Tenant | None = None
+    ) -> tuple[int, dict]:
         parts = [part for part in request.path.split("/") if part]
         if parts == ["health"] and request.method == "GET":
             return 200, self._health()
         if parts == ["jobs"]:
             if request.method == "POST":
-                return await self._submit(request)
+                return await self._submit(request, tenant)
             if request.method == "GET":
                 return 200, self._list_jobs()
             raise http.HttpError(405, f"{request.method} not allowed on /jobs")
@@ -510,6 +626,9 @@ class MiningServer:
             "schema": wire.WIRE_SCHEMA,
             "status": "ok",
             "version": __version__,
+            "generation": self.generation,
+            "auth": self.tenants is not None,
+            "durable": self.service.store is not None,
             "uptime_seconds": (
                 0.0
                 if self._started_at is None
@@ -550,8 +669,38 @@ class MiningServer:
             "shared_memory": spec.executor.shared_memory,
         }
 
-    async def _submit(self, request: http.Request) -> tuple[int, dict]:
+    def _admit(self, tenant: Tenant | None) -> dict:
+        """Per-tenant admission: rate limit + pending-quota checks.
+
+        Returns extra ``submit`` kwargs carrying the tenant identity and
+        fair share into the scheduler; raises 429 (with ``Retry-After``)
+        when the tenant's token bucket is dry or its queue is full.
+        """
+        if tenant is None:
+            return {}
+        ok, retry_after = self.tenants.admit(tenant.name)
+        if not ok:
+            raise http.HttpError(
+                429,
+                f"tenant {tenant.name!r} is over its submission rate limit",
+                headers=(("Retry-After", f"{max(retry_after, 0.001):.3f}"),),
+            )
+        if tenant.max_pending is not None:
+            pending = self.service.tenant_load(tenant.name)
+            if pending >= tenant.max_pending:
+                raise http.HttpError(
+                    429,
+                    f"tenant {tenant.name!r} has {pending} jobs pending, "
+                    f"at its max_pending quota of {tenant.max_pending}",
+                    headers=(("Retry-After", "1"),),
+                )
+        return {"tenant": tenant.name, "tenant_share": tenant.share}
+
+    async def _submit(
+        self, request: http.Request, tenant: Tenant | None = None
+    ) -> tuple[int, dict]:
         job, opts = self._parse_submission(request.json())
+        opts.update(self._admit(tenant))
         observer = _JobStreamObserver(self.hub, candidates=self.candidate_events)
         loop = asyncio.get_running_loop()
         # Sampled before submission: every event of this job has a
@@ -572,6 +721,7 @@ class MiningServer:
             "name": job.name,
             "fingerprint": job.fingerprint(),
             "since": since,
+            "gen": self.generation,
         }
 
     def _require_job(self, job_id: str):
@@ -708,8 +858,16 @@ class MiningServer:
                     await writer.drain()
                     break
                 seq, event = entry
+                # Every frame carries the server's stream generation, so
+                # a client resuming with Last-Event-ID against a
+                # *restarted* server (fresh seq space) can detect the
+                # mismatch and re-anchor instead of silently misaligning.
                 writer.write(
-                    http.sse_event(seq, event.get("type", "message"), event)
+                    http.sse_event(
+                        seq,
+                        event.get("type", "message"),
+                        {**event, "gen": self.generation},
+                    )
                 )
                 await writer.drain()
         except (ConnectionError, OSError):

@@ -10,6 +10,8 @@ for those.
 
 from __future__ import annotations
 
+import gzip
+import hashlib
 import json
 from dataclasses import dataclass, field
 from urllib.parse import parse_qsl, unquote, urlsplit
@@ -21,28 +23,42 @@ MAX_REQUEST_LINE = 8192
 MAX_HEADER_BYTES = 65536
 MAX_BODY_BYTES = 16 * 2**20
 
+#: Bodies below this stay identity-encoded: gzip's header plus the CPU
+#: round-trip outweigh any wire saving on tiny JSON documents.
+GZIP_MIN_BYTES = 512
+
 _PHRASES = {
     200: "OK",
     201: "Created",
     202: "Accepted",
     204: "No Content",
+    304: "Not Modified",
     400: "Bad Request",
+    401: "Unauthorized",
     404: "Not Found",
     405: "Method Not Allowed",
     408: "Request Timeout",
     409: "Conflict",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     501: "Not Implemented",
 }
 
 
 class HttpError(ReproError):
-    """A request the server rejects with an HTTP status code."""
+    """A request the server rejects with an HTTP status code.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``headers`` are extra response headers the rejection must carry
+    (``Retry-After`` on a 429, ``WWW-Authenticate`` on a 401).
+    """
+
+    def __init__(
+        self, status: int, message: str, *, headers: tuple = ()
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.headers = tuple(headers)
 
 
 @dataclass
@@ -156,6 +172,73 @@ def render_response(
 def json_body(document: dict) -> bytes:
     """Encode a JSON response body (exact float round-trips)."""
     return json.dumps(document, allow_nan=False).encode("utf-8")
+
+
+# --------------------------------------------------------------------- #
+# Content negotiation: ETag revalidation and gzip coding
+# --------------------------------------------------------------------- #
+def etag_for(body: bytes) -> str:
+    """A strong validator of one exact (identity-encoded) body.
+
+    Content-hashed, so it is stable across server restarts — which is
+    what lets a client revalidate a result document against a *restarted*
+    server and still get its 304.
+    """
+    return '"' + hashlib.sha256(body).hexdigest()[:32] + '"'
+
+
+def etag_matches(header_value: str | None, etag: str) -> bool:
+    """Does an ``If-None-Match`` header match this validator?
+
+    Handles the comma-separated list form, ``W/`` weak prefixes (weak
+    comparison is fine for a GET whose body is byte-stable), and ``*``.
+    """
+    if not header_value:
+        return False
+    for candidate in header_value.split(","):
+        candidate = candidate.strip()
+        if candidate.startswith("W/"):
+            candidate = candidate[2:]
+        if candidate == "*" or candidate == etag:
+            return True
+    return False
+
+
+def wants_gzip(headers: dict) -> bool:
+    """Did the client's ``Accept-Encoding`` offer gzip (q>0)?"""
+    accept = headers.get("accept-encoding", "")
+    for token in accept.split(","):
+        coding, _, params = token.strip().partition(";")
+        if coding.strip().lower() not in ("gzip", "*"):
+            continue
+        params = params.strip()
+        if params.startswith("q="):
+            try:
+                return float(params[2:]) > 0.0
+            except ValueError:
+                return False
+        return True
+    return False
+
+
+def gzip_body(body: bytes) -> bytes:
+    """gzip-code a response body, deterministically (mtime pinned to 0).
+
+    Determinism matters: the same result document must compress to the
+    same bytes on every request and every server generation, or caching
+    layers in front would see spurious changes.
+    """
+    return gzip.compress(body, compresslevel=6, mtime=0)
+
+
+def bearer_token(headers: dict) -> str | None:
+    """The ``Authorization: Bearer`` credential, or None."""
+    value = headers.get("authorization", "")
+    scheme, _, credential = value.partition(" ")
+    if scheme.lower() != "bearer":
+        return None
+    credential = credential.strip()
+    return credential or None
 
 
 def sse_preamble(*, retry_ms: int = 2000) -> bytes:

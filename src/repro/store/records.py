@@ -1,0 +1,168 @@
+"""The durable job store: one directory holding everything a service owns.
+
+Layout of a store root::
+
+    <root>/records.db    sqlite compaction target (full record table)
+    <root>/wal.jsonl     append-only journal of record mutations
+    <root>/meta.json     server metadata (stream-generation counter)
+    <root>/beliefs/      content-addressed belief-prefix spill
+
+Record documents reuse the repo's existing wire vocabulary — jobs via
+:func:`repro.persist.job_to_dict`, results via
+:func:`repro.persist.job_result_to_dict`, errors via the
+``{"type", "message"}`` shape of :func:`repro.server.wire.error_to_wire`
+— so a stored record is exactly what the HTTP layer would have sent,
+and restoring one is bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+
+from repro.errors import EngineError
+from repro.store.wal import DurableLog
+
+__all__ = ["JobStore", "RECORD_SCHEMA"]
+
+#: Version stamp on every stored record document.
+RECORD_SCHEMA = 1
+
+#: Record states the service may persist.
+_STATES = ("queued", "running", "done", "failed", "cancelled", "expired")
+
+
+class JobStore:
+    """Durable table of scheduler records, keyed by job id.
+
+    Thin policy layer over :class:`~repro.store.wal.DurableLog`: it pins
+    the directory layout, validates record documents on the way in, and
+    owns the server's restart *generation* counter (``meta.json``).
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        compact_every: int = 64,
+        fsync: bool = True,
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._log = DurableLog(
+            self.root / "records.db",
+            self.root / "wal.jsonl",
+            compact_every=compact_every,
+            fsync=fsync,
+        )
+        self._meta_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Records
+    # ------------------------------------------------------------------ #
+    def put(self, doc: dict) -> None:
+        """Durably upsert one record document (keyed by its job id)."""
+        if doc.get("schema") != RECORD_SCHEMA:
+            raise EngineError(
+                f"record document must carry schema={RECORD_SCHEMA}, "
+                f"got {doc.get('schema')!r}"
+            )
+        job_id = doc.get("job_id")
+        if not job_id:
+            raise EngineError("record document is missing job_id")
+        if doc.get("state") not in _STATES:
+            raise EngineError(f"record state {doc.get('state')!r} is not storable")
+        self._log.put(str(job_id), doc)
+
+    def get(self, job_id: str) -> dict | None:
+        """The stored record for ``job_id``, or ``None``."""
+        return self._log.get(str(job_id))
+
+    def delete(self, job_id: str) -> None:
+        """Durably forget ``job_id`` (a no-op if absent)."""
+        self._log.delete(str(job_id))
+
+    def records(self) -> list[dict]:
+        """Every stored record, ordered by submission sequence number."""
+        docs = list(self._log.snapshot().values())
+        docs.sort(key=lambda doc: (doc.get("seq", 0), doc.get("job_id", "")))
+        return docs
+
+    def __len__(self) -> int:
+        return len(self._log)
+
+    def __contains__(self, job_id: str) -> bool:
+        return str(job_id) in self._log
+
+    # ------------------------------------------------------------------ #
+    # Server metadata
+    # ------------------------------------------------------------------ #
+    @property
+    def meta_path(self) -> Path:
+        return self.root / "meta.json"
+
+    def next_generation(self) -> int:
+        """Atomically advance and return the stream-generation counter.
+
+        Each server process serving this store gets a distinct,
+        monotonically increasing generation — the marker SSE clients use
+        to tell a restart apart from sequence-number redelivery.
+        """
+        with self._meta_lock:
+            meta = {}
+            try:
+                meta = json.loads(self.meta_path.read_text(encoding="utf-8"))
+            except FileNotFoundError:
+                pass
+            except ValueError:
+                pass  # corrupt meta: restart the counter rather than die
+            if not isinstance(meta, dict):
+                meta = {}
+            generation = int(meta.get("generation", 0)) + 1
+            meta["generation"] = generation
+            fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(meta, fh, separators=(",", ":"))
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, self.meta_path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            return generation
+
+    # ------------------------------------------------------------------ #
+    # Belief spill
+    # ------------------------------------------------------------------ #
+    @property
+    def belief_dir(self) -> Path:
+        """Directory for the content-addressed belief-prefix spill."""
+        return self.root / "beliefs"
+
+    # ------------------------------------------------------------------ #
+    # Maintenance / lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def pending_ops(self) -> int:
+        return self._log.pending_ops
+
+    def compact(self) -> None:
+        """Fold the journal tail into the sqlite snapshot now."""
+        self._log.compact()
+
+    def close(self) -> None:
+        """Compact and release the underlying log (idempotent)."""
+        self._log.close()
+
+    def __enter__(self) -> "JobStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,179 @@
+"""Tenants, bearer tokens, fair shares, and token-bucket rate limits.
+
+The server's scheduler already orders work by priority, deadline, and
+age. Tenancy adds the *who*: each authenticated tenant carries a
+fair-share weight (fed into the scheduler's stride dimension) and an
+optional request rate limit (enforced at the HTTP submit path with 429 +
+``Retry-After``).
+
+The registry is loaded from a JSON token file::
+
+    {
+      "schema": 1,
+      "tenants": [
+        {"name": "alice", "token": "s3cret", "share": 2.0,
+         "rate_per_minute": 30, "burst": 10, "max_pending": 50},
+        {"name": "bob",   "token": "hunter2"}
+      ]
+    }
+
+``share`` defaults to 1.0 (equal weight); ``rate_per_minute`` and
+``max_pending`` default to unlimited. Token buckets use an injectable
+monotonic clock so rate-limit behaviour is exactly testable.
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import EngineError
+
+__all__ = ["Tenant", "TenantRegistry", "TokenBucket"]
+
+_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One authenticated principal and its service entitlements."""
+
+    name: str
+    token: str
+    share: float = 1.0
+    rate_per_minute: float | None = None
+    burst: int = 5
+    max_pending: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise EngineError("tenant name must be non-empty")
+        if not self.token:
+            raise EngineError(f"tenant {self.name!r}: token must be non-empty")
+        if not self.share > 0.0:
+            raise EngineError(
+                f"tenant {self.name!r}: share must be > 0, got {self.share}"
+            )
+        if self.rate_per_minute is not None and not self.rate_per_minute > 0.0:
+            raise EngineError(
+                f"tenant {self.name!r}: rate_per_minute must be > 0, "
+                f"got {self.rate_per_minute}"
+            )
+        if self.burst < 1:
+            raise EngineError(
+                f"tenant {self.name!r}: burst must be >= 1, got {self.burst}"
+            )
+        if self.max_pending is not None and self.max_pending < 1:
+            raise EngineError(
+                f"tenant {self.name!r}: max_pending must be >= 1, "
+                f"got {self.max_pending}"
+            )
+
+
+class TokenBucket:
+    """A standard token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    Not thread-safe by itself — the registry serializes access under the
+    server's single submit path; standalone users should lock around
+    :meth:`admit`.
+    """
+
+    def __init__(self, rate_per_second: float, burst: int, *, clock=time.monotonic):
+        if not rate_per_second > 0.0:
+            raise EngineError(
+                f"rate_per_second must be > 0, got {rate_per_second}"
+            )
+        self.rate = float(rate_per_second)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+
+    def admit(self) -> tuple[bool, float]:
+        """Try to take one token: ``(True, 0.0)`` or ``(False, retry_after)``."""
+        now = self._clock()
+        self._tokens = min(self.burst, self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True, 0.0
+        return False, (1.0 - self._tokens) / self.rate
+
+
+class TenantRegistry:
+    """Token → tenant resolution plus per-tenant admission control."""
+
+    def __init__(self, tenants, *, clock=time.monotonic):
+        tenants = tuple(tenants)
+        if not tenants:
+            raise EngineError("tenant registry needs at least one tenant")
+        names = [t.name for t in tenants]
+        if len(set(names)) != len(names):
+            raise EngineError("tenant names must be unique")
+        tokens = [t.token for t in tenants]
+        if len(set(tokens)) != len(tokens):
+            raise EngineError("tenant tokens must be unique")
+        self.tenants = tenants
+        self._by_name = {t.name: t for t in tenants}
+        self._buckets = {
+            t.name: TokenBucket(t.rate_per_minute / 60.0, t.burst, clock=clock)
+            for t in tenants
+            if t.rate_per_minute is not None
+        }
+
+    @classmethod
+    def from_file(cls, path: str | Path, *, clock=time.monotonic) -> "TenantRegistry":
+        """Load the registry from a JSON token file (format above)."""
+        path = Path(path)
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise EngineError(f"token file not found: {path}") from None
+        except ValueError as exc:
+            raise EngineError(f"token file {path} is not valid JSON: {exc}") from None
+        if not isinstance(document, dict) or document.get("schema") != _SCHEMA:
+            raise EngineError(
+                f"token file {path}: expected {{'schema': {_SCHEMA}, 'tenants': [...]}}"
+            )
+        entries = document.get("tenants")
+        if not isinstance(entries, list):
+            raise EngineError(f"token file {path}: 'tenants' must be a list")
+        allowed = {"name", "token", "share", "rate_per_minute", "burst", "max_pending"}
+        tenants = []
+        for entry in entries:
+            if not isinstance(entry, dict):
+                raise EngineError(f"token file {path}: tenant entries must be objects")
+            unknown = set(entry) - allowed
+            if unknown:
+                raise EngineError(
+                    f"token file {path}: unknown tenant keys {sorted(unknown)}"
+                )
+            tenants.append(Tenant(**entry))
+        return cls(tenants, clock=clock)
+
+    def authenticate(self, token: str | None) -> Tenant | None:
+        """The tenant owning ``token``, or None (constant-time compares)."""
+        if not token:
+            return None
+        for tenant in self.tenants:
+            if hmac.compare_digest(tenant.token, token):
+                return tenant
+        return None
+
+    def get(self, name: str) -> Tenant:
+        """The registered tenant called ``name`` (raises if unknown)."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise EngineError(f"unknown tenant {name!r}") from None
+
+    def admit(self, name: str) -> tuple[bool, float]:
+        """Rate-limit check for one submit: ``(ok, retry_after_seconds)``."""
+        bucket = self._buckets.get(name)
+        if bucket is None:
+            self.get(name)  # raise on unknown names even without a bucket
+            return True, 0.0
+        return bucket.admit()

@@ -1,0 +1,261 @@
+"""Append-only JSONL write-ahead log with periodic sqlite compaction.
+
+:class:`DurableLog` is the storage primitive under the job store: a
+key→document table whose every mutation is first appended (and fsynced)
+to a JSONL journal, then periodically *folded* into a sqlite table in
+one transaction. The write path therefore costs one small sequential
+append per mutation, while the read path on open costs one sqlite scan
+plus a replay of the journal tail — the classic WAL trade.
+
+Crash safety is by construction, not by fsync heroics:
+
+- A mutation is durable once its journal line hits disk; a crash
+  mid-append leaves at most one truncated trailing line, which replay
+  detects and discards (everything before it is intact).
+- Compaction commits the sqlite transaction *before* truncating the
+  journal. A crash between the two replays the journal onto sqlite a
+  second time — every operation is an idempotent upsert/delete, so the
+  double application is harmless.
+
+Documents are plain JSON dicts (no pickle — nothing on disk can execute
+code on load), encoded with ``allow_nan=False`` so the journal stays
+canonical JSON end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+from pathlib import Path
+
+from repro.errors import EngineError
+
+__all__ = ["DurableLog"]
+
+#: Journal operations (anything else in a line is a corrupt record).
+_OPS = ("put", "delete")
+
+
+class DurableLog:
+    """A durable ``key -> JSON document`` table (JSONL WAL + sqlite).
+
+    Parameters
+    ----------
+    db_path / wal_path:
+        Locations of the sqlite table and the JSONL journal. Parent
+        directories are created.
+    compact_every:
+        Journal appends between automatic compactions (the journal also
+        folds on every :meth:`open`, so it never grows unboundedly
+        across restarts).
+    fsync:
+        Force every journal append to disk (default). Turning it off
+        trades crash durability of the last few appends for speed —
+        acceptable in tests, not on a production store.
+
+    Thread-safe: every method takes an internal lock; the sqlite
+    connection is only touched under it.
+    """
+
+    def __init__(
+        self,
+        db_path: str | Path,
+        wal_path: str | Path,
+        *,
+        compact_every: int = 256,
+        fsync: bool = True,
+    ) -> None:
+        if compact_every < 1:
+            raise EngineError(
+                f"compact_every must be >= 1, got {compact_every}"
+            )
+        self.db_path = Path(db_path)
+        self.wal_path = Path(wal_path)
+        self.compact_every = compact_every
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        self._data: dict[str, dict] = {}
+        #: Journal operations not yet folded into sqlite.
+        self._pending: list[dict] = []
+        self._wal_file = None
+        self._conn: sqlite3.Connection | None = None
+        #: Diagnostics of the last open(): how the journal tail looked.
+        self.replayed_ops = 0
+        self.discarded_tail = False
+        self._open()
+
+    # ------------------------------------------------------------------ #
+    # Open / recovery
+    # ------------------------------------------------------------------ #
+    def _open(self) -> None:
+        self.db_path.parent.mkdir(parents=True, exist_ok=True)
+        self.wal_path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(str(self.db_path), check_same_thread=False)
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS records ("
+            "key TEXT PRIMARY KEY, doc TEXT NOT NULL)"
+        )
+        self._conn.commit()
+        for key, doc in self._conn.execute("SELECT key, doc FROM records"):
+            self._data[key] = json.loads(doc)
+        self._replay_journal()
+        # Fold the surviving journal into sqlite right away: recovery
+        # leaves a clean baseline (sqlite = full state, journal = empty),
+        # and a crash loop cannot grow the journal without bound.
+        if self._pending:
+            self._compact_locked()
+        self._wal_file = open(self.wal_path, "a", encoding="utf-8")
+
+    def _replay_journal(self) -> None:
+        """Apply journal lines to the in-memory table, tolerating a torn tail."""
+        if not self.wal_path.exists():
+            return
+        ops: list[dict] = []
+        with open(self.wal_path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                if not line.endswith("\n"):
+                    # A crash mid-append: the final line never finished.
+                    self.discarded_tail = True
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    op = json.loads(line)
+                except ValueError:
+                    # A torn write that still ended in a newline (e.g.
+                    # power loss with page tearing). Nothing after it
+                    # can be trusted to be ordered correctly.
+                    self.discarded_tail = True
+                    break
+                if not (isinstance(op, dict) and op.get("op") in _OPS):
+                    self.discarded_tail = True
+                    break
+                ops.append(op)
+        for op in ops:
+            self._apply(op)
+            self._pending.append(op)
+        self.replayed_ops = len(ops)
+
+    def _apply(self, op: dict) -> None:
+        if op["op"] == "put":
+            self._data[op["key"]] = op["doc"]
+        else:
+            self._data.pop(op["key"], None)
+
+    # ------------------------------------------------------------------ #
+    # Mutations
+    # ------------------------------------------------------------------ #
+    def put(self, key: str, doc: dict) -> None:
+        """Durably upsert one document under ``key``."""
+        if not isinstance(doc, dict):
+            raise EngineError(
+                f"durable log stores JSON documents, got {type(doc).__name__}"
+            )
+        self._mutate({"op": "put", "key": str(key), "doc": doc})
+
+    def delete(self, key: str) -> None:
+        """Durably remove ``key`` (absent keys are a no-op tombstone)."""
+        self._mutate({"op": "delete", "key": str(key)})
+
+    def _mutate(self, op: dict) -> None:
+        line = json.dumps(op, separators=(",", ":"), allow_nan=False)
+        with self._lock:
+            if self._wal_file is None:
+                raise EngineError("durable log is closed")
+            self._wal_file.write(line + "\n")
+            self._wal_file.flush()
+            if self.fsync:
+                os.fsync(self._wal_file.fileno())
+            self._apply(op)
+            self._pending.append(op)
+            if len(self._pending) >= self.compact_every:
+                self._compact_locked()
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> dict | None:
+        """The document under ``key``, or None."""
+        with self._lock:
+            doc = self._data.get(key)
+        return json.loads(json.dumps(doc)) if doc is not None else None
+
+    def snapshot(self) -> dict[str, dict]:
+        """A deep copy of the whole table (callers may mutate freely)."""
+        with self._lock:
+            raw = json.dumps(self._data)
+        return json.loads(raw)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._data
+
+    @property
+    def pending_ops(self) -> int:
+        """Journal operations not yet folded into sqlite."""
+        with self._lock:
+            return len(self._pending)
+
+    # ------------------------------------------------------------------ #
+    # Compaction / lifecycle
+    # ------------------------------------------------------------------ #
+    def compact(self) -> None:
+        """Fold the journal into sqlite and truncate it."""
+        with self._lock:
+            self._compact_locked()
+
+    def _compact_locked(self) -> None:
+        if self._conn is None:
+            raise EngineError("durable log is closed")
+        if not self._pending:
+            return
+        with self._conn:  # one transaction; rolls back on error
+            for op in self._pending:
+                if op["op"] == "put":
+                    self._conn.execute(
+                        "INSERT INTO records (key, doc) VALUES (?, ?) "
+                        "ON CONFLICT(key) DO UPDATE SET doc = excluded.doc",
+                        (
+                            op["key"],
+                            json.dumps(
+                                op["doc"], separators=(",", ":"), allow_nan=False
+                            ),
+                        ),
+                    )
+                else:
+                    self._conn.execute(
+                        "DELETE FROM records WHERE key = ?", (op["key"],)
+                    )
+        self._pending.clear()
+        # The transaction is committed: truncating the journal is safe.
+        # (A crash before this point replays it onto sqlite — idempotent.)
+        if self._wal_file is not None:
+            self._wal_file.truncate(0)
+            self._wal_file.seek(0)
+        else:
+            open(self.wal_path, "w").close()
+
+    def close(self) -> None:
+        """Compact, then release the file handles (idempotent)."""
+        with self._lock:
+            if self._conn is not None and self._pending:
+                self._compact_locked()
+            if self._wal_file is not None:
+                self._wal_file.close()
+                self._wal_file = None
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+
+    def __enter__(self) -> "DurableLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

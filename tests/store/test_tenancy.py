@@ -1,0 +1,149 @@
+"""Tenancy: token auth, deterministic rate limits, token-file parsing."""
+
+import json
+
+import pytest
+
+from repro.errors import EngineError
+from repro.store import Tenant, TenantRegistry, TokenBucket
+
+
+class TestTenant:
+    def test_validation(self):
+        with pytest.raises(EngineError):
+            Tenant(name="", token="t")
+        with pytest.raises(EngineError):
+            Tenant(name="a", token="")
+        with pytest.raises(EngineError):
+            Tenant(name="a", token="t", share=0.0)
+        with pytest.raises(EngineError):
+            Tenant(name="a", token="t", rate_per_minute=-1)
+        with pytest.raises(EngineError):
+            Tenant(name="a", token="t", max_pending=0)
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal_with_retry_after(self):
+        now = [0.0]
+        bucket = TokenBucket(1.0, 2, clock=lambda: now[0])
+        assert bucket.admit() == (True, 0.0)
+        assert bucket.admit() == (True, 0.0)
+        ok, retry_after = bucket.admit()
+        assert not ok
+        assert retry_after == pytest.approx(1.0)
+
+    def test_refills_at_the_configured_rate(self):
+        now = [0.0]
+        bucket = TokenBucket(2.0, 1, clock=lambda: now[0])
+        assert bucket.admit()[0]
+        assert not bucket.admit()[0]
+        now[0] = 0.5  # 2 tokens/s * 0.5 s = exactly one token back
+        assert bucket.admit()[0]
+        assert not bucket.admit()[0]
+
+    def test_burst_is_the_ceiling(self):
+        now = [0.0]
+        bucket = TokenBucket(1.0, 3, clock=lambda: now[0])
+        now[0] = 1000.0  # a long idle period banks at most `burst`
+        grants = sum(bucket.admit()[0] for _ in range(10))
+        assert grants == 3
+
+
+class TestRegistry:
+    def _registry(self, clock=None):
+        tenants = [
+            Tenant(name="alice", token="tok-a", share=2.0, rate_per_minute=60),
+            Tenant(name="bob", token="tok-b"),
+        ]
+        kwargs = {} if clock is None else {"clock": clock}
+        return TenantRegistry(tenants, **kwargs)
+
+    def test_authenticate_maps_token_to_tenant(self):
+        registry = self._registry()
+        assert registry.authenticate("tok-a").name == "alice"
+        assert registry.authenticate("tok-b").name == "bob"
+        assert registry.authenticate("wrong") is None
+        assert registry.authenticate(None) is None
+
+    def test_unique_names_and_tokens_enforced(self):
+        with pytest.raises(EngineError):
+            TenantRegistry(
+                [Tenant(name="a", token="t1"), Tenant(name="a", token="t2")]
+            )
+        with pytest.raises(EngineError):
+            TenantRegistry(
+                [Tenant(name="a", token="t"), Tenant(name="b", token="t")]
+            )
+
+    def test_admit_without_rate_limit_is_unbounded(self):
+        registry = self._registry()
+        for _ in range(100):
+            assert registry.admit("bob") == (True, 0.0)
+
+    def test_admit_unknown_tenant_raises(self):
+        with pytest.raises(EngineError):
+            self._registry().admit("mallory")
+
+    def test_rate_limited_tenant_gets_retry_after(self):
+        now = [0.0]
+        registry = self._registry(clock=lambda: now[0])
+        # alice: 60/min = 1/s, default burst 5.
+        for _ in range(5):
+            assert registry.admit("alice")[0]
+        ok, retry_after = registry.admit("alice")
+        assert not ok and retry_after > 0
+        now[0] += retry_after
+        assert registry.admit("alice")[0]
+
+
+class TestFromFile:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "tokens.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": 1,
+                    "tenants": [
+                        {
+                            "name": "alice",
+                            "token": "tok-a",
+                            "share": 2.0,
+                            "rate_per_minute": 120,
+                            "burst": 10,
+                            "max_pending": 4,
+                        },
+                        {"name": "bob", "token": "tok-b"},
+                    ],
+                }
+            )
+        )
+        registry = TenantRegistry.from_file(path)
+        alice = registry.get("alice")
+        assert alice.share == 2.0
+        assert alice.rate_per_minute == 120
+        assert alice.burst == 10
+        assert alice.max_pending == 4
+        assert registry.get("bob").share == 1.0
+
+    def test_unknown_keys_rejected(self, tmp_path):
+        path = tmp_path / "tokens.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": 1,
+                    "tenants": [
+                        {"name": "a", "token": "t", "privileges": "all"}
+                    ],
+                }
+            )
+        )
+        with pytest.raises(EngineError):
+            TenantRegistry.from_file(path)
+
+    def test_missing_file_and_bad_json_raise(self, tmp_path):
+        with pytest.raises(EngineError):
+            TenantRegistry.from_file(tmp_path / "absent.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(EngineError):
+            TenantRegistry.from_file(bad)
