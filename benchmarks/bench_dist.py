@@ -1,0 +1,143 @@
+"""Distributed executor: shard round-trip cost and fleet scaling.
+
+Prices what ``repro.dist`` adds on top of the serial engine:
+
+- **shard RTT**: one tiny ``session.map`` round trip to a live worker
+  daemon — the floor every remote shard pays (HTTP + pickle both ways);
+- **fleet scaling**: the same beam search run serially, against one
+  worker node, and against two, with candidates/second for each (the
+  determinism contract is asserted on every run: the distributed
+  results must match the serial ones bit-for-bit).
+
+Results go to ``BENCH_dist.json`` at the repo root (the perf
+trajectory file, like the engine and server benchmarks'). Runs
+standalone too::
+
+    PYTHONPATH=src python benchmarks/bench_dist.py
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.datasets import make_synthetic
+from repro.dist.executor import DistExecutor
+from repro.dist.worker import WorkerDaemon
+from repro.engine.executor import SerialExecutor
+from repro.report.tables import format_table
+from repro.search.config import SearchConfig
+from repro.search.miner import SubgroupDiscovery
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_dist.json"
+
+#: Wide beam: enough candidates per level for shards to matter.
+CONFIG = SearchConfig(beam_width=20, max_depth=3, top_k=60)
+
+
+def _ping(context, item):
+    return item
+
+
+def _search(dataset, executor):
+    return SubgroupDiscovery(
+        dataset, config=CONFIG, seed=0, executor=executor
+    ).search_locations()
+
+
+def _assert_identical(serial, distributed):
+    assert serial.n_evaluated == distributed.n_evaluated
+    for a, b in zip(serial.log, distributed.log):
+        assert a.description == b.description
+        assert a.score.ic == b.score.ic
+        assert a.score.dl == b.score.dl
+
+
+def measure(seed: int = 0) -> list:
+    dataset = make_synthetic(seed)
+    workers = [WorkerDaemon(parallelism=2) for _ in range(2)]
+    handles = [worker.run_in_thread() for worker in workers]
+    urls = [worker.url for worker in workers]
+    try:
+        # Shard RTT: a minimal round trip after the context is warm.
+        with DistExecutor(urls[:1], local_fallback=False) as executor:
+            with executor.session("rtt") as session:
+                session.map(_ping, [0])  # ships the context
+                started = time.perf_counter()
+                rounds = 50
+                for _ in range(rounds):
+                    session.map(_ping, [0])
+                rtt_ms = (time.perf_counter() - started) / rounds * 1000
+
+        started = time.perf_counter()
+        serial = _search(dataset, SerialExecutor())
+        serial_seconds = time.perf_counter() - started
+
+        timings = {}
+        for count in (1, 2):
+            with DistExecutor(urls[:count], local_fallback=False) as executor:
+                started = time.perf_counter()
+                distributed = _search(dataset, executor)
+                timings[count] = time.perf_counter() - started
+                assert executor.stats["shards_remote"] > 0
+                assert executor.stats["shards_local"] == 0
+            _assert_identical(serial, distributed)
+    finally:
+        for handle in handles:
+            handle.stop()
+
+    rate = serial.n_evaluated / serial_seconds
+    rows = [("serial", serial_seconds, f"{rate:,.0f} cand/s")]
+    for count, seconds in timings.items():
+        rows.append(
+            (
+                f"{count} worker node(s)",
+                seconds,
+                f"{serial.n_evaluated / seconds:,.0f} cand/s, "
+                f"x{serial_seconds / seconds:.2f} vs serial",
+            )
+        )
+    rows.append(("shard round trip", rtt_ms / 1000, "warm context, 1 item"))
+
+    JSON_PATH.write_text(
+        json.dumps(
+            {
+                "benchmark": "dist",
+                "cpu_count": os.cpu_count(),
+                "n_evaluated": serial.n_evaluated,
+                "shard_rtt_ms": round(rtt_ms, 3),
+                "serial_seconds": round(serial_seconds, 4),
+                "node_seconds": {
+                    str(count): round(seconds, 4)
+                    for count, seconds in timings.items()
+                },
+                "speedup_vs_serial": {
+                    str(count): round(serial_seconds / seconds, 3)
+                    for count, seconds in timings.items()
+                },
+                "bit_identical": True,  # asserted above, every node count
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    return rows
+
+
+def bench_dist(benchmark, save_result):
+    rows = benchmark.pedantic(measure, args=(0,), rounds=1, iterations=1)
+    table = format_table(
+        ["path", "seconds", "note"],
+        rows,
+        floatfmt=".4f",
+        title=f"Distributed executor ({os.cpu_count()} core(s) available)",
+    )
+    save_result("dist", table)
+    assert len(rows) == 4
+    assert JSON_PATH.exists()
+
+
+if __name__ == "__main__":  # pragma: no cover - manual/CI entry point
+    for row in measure(0):
+        print(row)
+    print(f"wrote {JSON_PATH}")

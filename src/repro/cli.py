@@ -14,6 +14,11 @@ Subcommands:
   endpoints for submit/status/result/cancel plus a Server-Sent-Events
   stream (see :mod:`repro.server`); pair with
   :class:`repro.client.RemoteWorkspace` or plain ``curl``.
+- ``sisd worker`` — run one compute node of the distributed tier: a
+  daemon executing search shards shipped by a coordinator's
+  :class:`repro.dist.DistExecutor` (see :mod:`repro.dist`).
+- ``sisd route`` — federate several ``sisd serve`` replicas behind one
+  address, placing jobs by spec fingerprint over consistent hashing.
 - ``sisd experiment NAME`` — reproduce one of the paper's tables/figures.
 - ``sisd experiments`` — list the reproducible experiments.
 
@@ -218,6 +223,46 @@ def _build_parser() -> argparse.ArgumentParser:
         "limits, and fair-share scheduling",
     )
 
+    worker = sub.add_parser(
+        "worker", help="run a distributed-mining worker daemon"
+    )
+    worker.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    worker.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (default 0 = pick a free port and announce it)",
+    )
+    worker.add_argument(
+        "--parallel", type=int, default=2,
+        help="shards executed concurrently on this node (default 2)",
+    )
+    worker.add_argument(
+        "--register", default=None, metavar="URL",
+        help="coordinator/router base URL to announce this worker to "
+        "(POST {URL}/workers/register, retried until it succeeds)",
+    )
+
+    route = sub.add_parser(
+        "route", help="federate sisd serve replicas behind one address"
+    )
+    route.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    route.add_argument(
+        "--port", type=int, default=8766,
+        help="bind port (default 8766; 0 picks a free port)",
+    )
+    route.add_argument(
+        "--replica", action="append", default=None, metavar="URL",
+        required=True, help="a MiningServer base URL (repeat per replica); "
+        "order matters: the i-th URL becomes ring node r{i}",
+    )
+    route.add_argument(
+        "--check-interval", type=float, default=2.0,
+        help="replica health-check cadence in seconds (default 2)",
+    )
+
     sub.add_parser("experiments", help="list reproducible tables/figures")
 
     exp = sub.add_parser("experiment", help="reproduce a paper table/figure")
@@ -380,6 +425,51 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.dist.worker import WorkerDaemon
+
+    daemon = WorkerDaemon(
+        host=args.host,
+        port=args.port,
+        parallelism=args.parallel,
+        register_with=args.register,
+    )
+
+    def announce(bound: WorkerDaemon) -> None:
+        extras = f", registering with {args.register}" if args.register else ""
+        print(
+            f"sisd worker listening on {bound.url}  "
+            f"(parallel={args.parallel}{extras}; Ctrl-C stops)",
+            flush=True,
+        )
+
+    daemon.run(announce=announce)
+    print("sisd worker stopped")
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    from repro.dist.router import MiningRouter
+
+    router = MiningRouter(
+        args.replica,
+        host=args.host,
+        port=args.port,
+        check_interval=args.check_interval,
+    )
+
+    def announce(bound: MiningRouter) -> None:
+        print(
+            f"sisd router listening on {bound.url}  "
+            f"({len(args.replica)} replica(s); Ctrl-C stops)",
+            flush=True,
+        )
+
+    router.run(announce=announce)
+    print("sisd router stopped")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     result = EXPERIMENTS[args.name](args.seed)
     print(result.format())
@@ -402,6 +492,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_batch(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "worker":
+            return _cmd_worker(args)
+        if args.command == "route":
+            return _cmd_route(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
     except ReproError as exc:

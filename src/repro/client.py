@@ -388,13 +388,26 @@ class RemoteWorkspace:
             if give_up_at is not None:
                 wait = min(wait, max(give_up_at - time.monotonic(), 0.0))
             cached = self._result_cache.get(job_id)
-            status, document, response_headers = self._exchange(
-                "GET",
-                f"/jobs/{job_id}/result?wait={wait:g}",
-                extra_headers=(
-                    {"If-None-Match": cached[0]} if cached is not None else None
-                ),
-            )
+            try:
+                status, document, response_headers = self._exchange(
+                    "GET",
+                    f"/jobs/{job_id}/result?wait={wait:g}",
+                    extra_headers=(
+                        {"If-None-Match": cached[0]} if cached is not None else None
+                    ),
+                )
+            except RemoteError as exc:
+                # 503 is a routed deployment saying "the replica holding
+                # this job is down, retry shortly" (the router's
+                # Retry-After). The job itself is durable on the replica,
+                # so within the caller's deadline, waiting it out is the
+                # transparent thing to do.
+                if exc.status != 503:
+                    raise
+                if give_up_at is not None and time.monotonic() >= give_up_at:
+                    raise
+                time.sleep(1.0)
+                continue
             if status == 304 and cached is not None:
                 # Revalidated: the server's result is byte-identical to
                 # the cached document (the ETag is content-hashed, so
@@ -650,7 +663,16 @@ class RemoteWorkspace:
         paths of :meth:`stream` surface the same exceptions as the
         event-driven path.
         """
-        if self.status(job_id) in (JobStatus.PENDING, JobStatus.RUNNING):
+        try:
+            status = self.status(job_id)
+        except RemoteError as exc:
+            if exc.status == 503:
+                # A routed deployment's replica is bouncing; report "still
+                # running" so the stream's healing loop just checks again
+                # on its next heartbeat instead of dying mid-restart.
+                return None
+            raise
+        if status in (JobStatus.PENDING, JobStatus.RUNNING):
             return None
         return self.result(job_id, timeout=30.0)
 

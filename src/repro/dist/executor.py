@@ -1,0 +1,442 @@
+"""``DistExecutor``: the Executor protocol over worker-node daemons.
+
+The engine's determinism contract (items sharded by the caller, ``fn``
+pure in ``(context, item)``, merges in item order) is exactly what makes
+cross-machine execution safe: this executor may send any shard to any
+node, retry it elsewhere after a death, or run it locally — the reply
+is scattered back into its canonical slot either way, so the result is
+bit-identical to :class:`~repro.engine.executor.SerialExecutor` no
+matter which node answered, in which order, or how many died.
+
+Failure policy, in one place:
+
+- transport failures (connection refused/reset, timeouts) sideline the
+  worker with exponential backoff and move the shard to the next live
+  node; when every node is sidelined the shard runs locally (unless
+  ``local_fallback=False``), so *no job ever fails because a node
+  died*;
+- remote **execution** errors — ``fn`` itself raised — re-raise locally
+  unchanged: a deterministic function fails identically everywhere, so
+  failover would just fail N times.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from http.client import HTTPConnection
+from typing import Any, Callable, Iterable
+from urllib.parse import urlsplit
+
+from repro.dist import wire as dwire
+from repro.errors import EngineError
+
+__all__ = ["DistExecutor", "ShardError", "WorkerClient", "WorkerUnavailable"]
+
+
+class WorkerUnavailable(EngineError):
+    """A worker could not be reached (or answered garbage): failover."""
+
+
+class ShardError(EngineError):
+    """A worker answered, but with a malformed or refused shard reply."""
+
+
+class WorkerClient:
+    """Blocking HTTP client for one :class:`~repro.dist.worker.WorkerDaemon`.
+
+    One connection per call (the daemon supports keep-alive, but a fresh
+    connection makes death detection trivial and retries stateless).
+    Every transport-level failure is normalized to
+    :class:`WorkerUnavailable` so the executor has exactly one signal to
+    failover on.
+    """
+
+    def __init__(self, url: str, *, timeout: float = 60.0) -> None:
+        if "//" not in url:
+            url = "http://" + url
+        split = urlsplit(url)
+        if split.scheme not in ("", "http"):
+            raise EngineError(f"worker URLs are plain http, got {split.scheme!r}")
+        self.url = url.rstrip("/")
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 80
+        self.timeout = timeout
+
+    def _exchange(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        *,
+        content_type: str = dwire.PICKLE_CONTENT_TYPE,
+    ) -> tuple[int, bytes]:
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            headers = {"Content-Type": content_type} if body is not None else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            return response.status, response.read()
+        except (ConnectionError, TimeoutError, OSError) as exc:
+            raise WorkerUnavailable(
+                f"worker {self.url} unreachable: {exc}"
+            ) from exc
+        finally:
+            conn.close()
+
+    def health(self) -> dict:
+        """The worker's health document (raises WorkerUnavailable)."""
+        import json
+
+        status, body = self._exchange("GET", "/health")
+        if status != 200:
+            raise WorkerUnavailable(
+                f"worker {self.url} health answered HTTP {status}"
+            )
+        return json.loads(body)
+
+    def put_context(self, digest: str, payload: bytes) -> None:
+        """Ship one pickled context under its content address."""
+        status, body = self._exchange("PUT", f"/contexts/{digest}", payload)
+        if status != 200:
+            raise WorkerUnavailable(
+                f"worker {self.url} refused context {digest[:12]}: "
+                f"HTTP {status} {body[:200]!r}"
+            )
+
+    def run_shard(self, digest: str | None, fn, items: list) -> dict:
+        """Execute one shard remotely; returns the decoded reply envelope."""
+        payload = dwire.dump(dwire.shard_request(digest, fn, items))
+        status, body = self._exchange("POST", "/shards", payload)
+        if status != 200:
+            raise WorkerUnavailable(
+                f"worker {self.url} refused shard: HTTP {status} {body[:200]!r}"
+            )
+        try:
+            reply = dwire.load(body)
+        except EngineError as exc:
+            raise WorkerUnavailable(
+                f"worker {self.url} answered an undecodable shard reply"
+            ) from exc
+        if not isinstance(reply, dict) or reply.get("status") not in (
+            dwire.REPLY_STATUSES
+        ):
+            raise ShardError(f"worker {self.url} shard reply is malformed")
+        return reply
+
+
+class _WorkerState:
+    """Liveness bookkeeping for one worker (exponential backoff)."""
+
+    def __init__(self, client: WorkerClient, backoff: float, max_backoff: float):
+        self.client = client
+        self._backoff = backoff
+        self._max_backoff = max_backoff
+        self.failures = 0
+        self.dead_until = 0.0
+        #: Context digests this worker confirmed holding (cleared on
+        #: failure: a restarted daemon has an empty cache).
+        self.shipped: set[str] = set()
+        #: Serializes context shipment: concurrent shards that all miss
+        #: must not each re-upload the (potentially large) payload.
+        self.ship_lock = threading.Lock()
+
+    @property
+    def url(self) -> str:
+        return self.client.url
+
+    def alive(self, now: float) -> bool:
+        return now >= self.dead_until
+
+    def mark_dead(self, now: float) -> None:
+        self.failures += 1
+        pause = min(
+            self._backoff * (2 ** (self.failures - 1)), self._max_backoff
+        )
+        self.dead_until = now + pause
+        self.shipped.clear()
+
+    def mark_alive(self) -> None:
+        self.failures = 0
+        self.dead_until = 0.0
+
+
+def _call_context_free(context, item):
+    """Adapter for :meth:`DistExecutor.map`: the fn rides as the context."""
+    return context(item)
+
+
+class _DistSession:
+    """One fan-out scope: the context pickled once, shipped by digest."""
+
+    #: Payloads take the copying path in the beam (no shm across machines).
+    uses_shared_arrays = False
+
+    def __init__(self, owner: "DistExecutor", context: Any) -> None:
+        self._owner = owner
+        self._context = context
+        self._payload = dwire.dump(context)
+        self._digest = dwire.digest_of(self._payload)
+        self._closed = False
+
+    def map(self, fn: Callable[[Any, Any], Any], items: Iterable[Any]) -> list:
+        if self._closed:
+            raise EngineError("executor session is closed")
+        return self._owner._map_shards(self, fn, list(items))
+
+    def close(self) -> None:
+        """Nothing remote to release: contexts stay cached by digest."""
+        self._closed = True
+
+    def __enter__(self) -> "_DistSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class DistExecutor:
+    """Fan mining shards out to :class:`~repro.dist.worker.WorkerDaemon` nodes.
+
+    Parameters
+    ----------
+    workers:
+        Worker base URLs (``http://host:port``). May be empty only with
+        ``registry`` set.
+    registry:
+        Optional coordinator/router base URL whose ``GET /workers``
+        listing (see :class:`~repro.dist.router.MiningRouter`) is merged
+        into the static list at construction and whenever every static
+        worker is sidelined.
+    timeout:
+        Socket timeout per shard round trip, seconds.
+    local_fallback:
+        Run a shard in-process when no worker can take it (default).
+        ``False`` raises :class:`WorkerUnavailable` instead — useful in
+        tests that must prove the remote path ran.
+    backoff / max_backoff:
+        Exponential sideline window after a worker failure: the first
+        failure pauses ``backoff`` seconds, doubling up to
+        ``max_backoff``.
+    shards_per_worker:
+        Shard granularity: items are grouped into at most
+        ``workers × shards_per_worker`` contiguous chunks (keyed only by
+        the item count, never by liveness, so the grouping is stable).
+    """
+
+    def __init__(
+        self,
+        workers: Iterable[str] = (),
+        *,
+        registry: str | None = None,
+        timeout: float = 60.0,
+        local_fallback: bool = True,
+        backoff: float = 0.25,
+        max_backoff: float = 30.0,
+        shards_per_worker: int = 4,
+    ) -> None:
+        urls = list(dict.fromkeys(workers))
+        if registry is not None:
+            for url in self._discover(registry, timeout):
+                if url not in urls:
+                    urls.append(url)
+        if not urls:
+            raise EngineError(
+                "DistExecutor needs at least one worker URL (or a registry "
+                "that lists some)"
+            )
+        if shards_per_worker < 1:
+            raise EngineError(
+                f"shards_per_worker must be >= 1, got {shards_per_worker}"
+            )
+        self.timeout = timeout
+        self.local_fallback = local_fallback
+        self.parallelism = len(urls)
+        self._states = [
+            _WorkerState(WorkerClient(url, timeout=timeout), backoff, max_backoff)
+            for url in urls
+        ]
+        self._lock = threading.Lock()
+        self._shards_per_worker = shards_per_worker
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(2, 2 * len(urls)),
+            thread_name_prefix="repro-dist-map",
+        )
+        #: Observability counters (asserted in tests, shown in benches).
+        self.stats = {
+            "shards_remote": 0,
+            "shards_local": 0,
+            "failovers": 0,
+            "contexts_shipped": 0,
+        }
+
+    @staticmethod
+    def _discover(registry: str, timeout: float) -> list[str]:
+        """Worker URLs a router/coordinator currently knows about."""
+        import json
+
+        split = urlsplit(registry if "//" in registry else "http://" + registry)
+        conn = HTTPConnection(
+            split.hostname or "127.0.0.1", split.port or 80, timeout=timeout
+        )
+        try:
+            conn.request("GET", "/workers")
+            response = conn.getresponse()
+            if response.status != 200:
+                return []
+            document = json.loads(response.read())
+            return [str(url) for url in document.get("workers", [])]
+        except (OSError, ValueError):
+            return []
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------ #
+    # Executor protocol
+    # ------------------------------------------------------------------ #
+    def session(self, context: Any = None) -> _DistSession:
+        """Open a fan-out scope; the context ships once per worker."""
+        return _DistSession(self, context)
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list:
+        """Context-free ordered map: the function itself is the context."""
+        with self.session(fn) as session:
+            return session.map(_call_context_free, items)
+
+    def close(self) -> None:
+        """Release the dispatch pool; idempotent."""
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "DistExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DistExecutor({[state.url for state in self._states]!r}, "
+            f"local_fallback={self.local_fallback})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Sharding and dispatch
+    # ------------------------------------------------------------------ #
+    def _chunks(self, n_items: int) -> list[tuple[int, int]]:
+        """Contiguous ``(start, stop)`` shard bounds for ``n_items``.
+
+        Keyed only by the item count and the *configured* node count —
+        never by which nodes are alive — so the shard layout (and hence
+        every payload) is identical run to run. Determinism does not
+        require that (merges are positional), but stable shards make
+        failures reproducible and content-addressing effective.
+        """
+        if n_items == 0:
+            return []
+        n_shards = min(n_items, self.parallelism * self._shards_per_worker)
+        base, extra = divmod(n_items, n_shards)
+        bounds = []
+        start = 0
+        for index in range(n_shards):
+            stop = start + base + (1 if index < extra else 0)
+            bounds.append((start, stop))
+            start = stop
+        return bounds
+
+    def _map_shards(self, session: _DistSession, fn, items: list) -> list:
+        bounds = self._chunks(len(items))
+        if not bounds:
+            return []
+        results: list = [None] * len(items)
+        if len(bounds) == 1:
+            outputs = [self._run_shard(session, 0, fn, items)]
+            spans = [bounds[0]]
+        else:
+            futures = [
+                self._pool.submit(
+                    self._run_shard, session, index, fn, items[start:stop]
+                )
+                for index, (start, stop) in enumerate(bounds)
+            ]
+            # Canonical merge: replies land by *shard index*, so arrival
+            # order (and which node answered) cannot reorder anything.
+            outputs = [future.result() for future in futures]
+            spans = bounds
+        for (start, stop), shard_results in zip(spans, outputs):
+            results[start:stop] = shard_results
+        return results
+
+    def _run_shard(
+        self, session: _DistSession, shard_index: int, fn, items: list
+    ) -> list:
+        """Execute one shard: remote with failover, locally as last resort."""
+        n = len(self._states)
+        last_unavailable: WorkerUnavailable | None = None
+        tried_any = False
+        for offset in range(n):
+            state = self._states[(shard_index + offset) % n]
+            now = time.monotonic()
+            with self._lock:
+                if not state.alive(now):
+                    continue
+            tried_any = True
+            try:
+                shard_results = self._run_on_worker(session, state, fn, items)
+            except WorkerUnavailable as exc:
+                last_unavailable = exc
+                with self._lock:
+                    state.mark_dead(time.monotonic())
+                    self.stats["failovers"] += 1
+                continue
+            with self._lock:
+                state.mark_alive()
+                self.stats["shards_remote"] += 1
+            return shard_results
+        if not self.local_fallback:
+            detail = (
+                f": {last_unavailable}" if last_unavailable is not None
+                else " (all sidelined by backoff)" if not tried_any else ""
+            )
+            raise WorkerUnavailable(
+                f"no live worker could run shard {shard_index}{detail}"
+            )
+        with self._lock:
+            self.stats["shards_local"] += 1
+        return [fn(session._context, item) for item in items]
+
+    def _run_on_worker(
+        self, session: _DistSession, state: _WorkerState, fn, items: list
+    ) -> list:
+        """One remote attempt, shipping the context on a cache miss."""
+        client = state.client
+        reply = client.run_shard(session._digest, fn, items)
+        if reply["status"] == "unknown-context":
+            with state.ship_lock:
+                with self._lock:
+                    need_ship = session._digest not in state.shipped
+                if need_ship:
+                    client.put_context(session._digest, session._payload)
+                    with self._lock:
+                        state.shipped.add(session._digest)
+                        self.stats["contexts_shipped"] += 1
+            reply = client.run_shard(session._digest, fn, items)
+            if reply["status"] == "unknown-context":
+                raise WorkerUnavailable(
+                    f"worker {client.url} still misses context "
+                    f"{session._digest[:12]} after shipping it"
+                )
+        if reply["status"] == "error":
+            # fn itself raised remotely: deterministic, so re-raise as-is
+            # instead of failing over N times.
+            error = reply.get("error")
+            if isinstance(error, BaseException):
+                raise error
+            raise ShardError(f"worker {client.url} reported: {error!r}")
+        results = reply.get("results")
+        if not isinstance(results, list) or len(results) != len(items):
+            raise ShardError(
+                f"worker {client.url} returned {type(results).__name__} "
+                f"for a {len(items)}-item shard"
+            )
+        return results

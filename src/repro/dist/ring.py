@@ -1,0 +1,105 @@
+"""Consistent hashing for fingerprint-keyed job placement.
+
+A :class:`HashRing` maps every key (a job fingerprint) to one node (a
+replica name) such that adding or removing a node only moves the keys
+that must move (~1/N of them), while every other key keeps its replica
+— and with it the replica-local belief and result caches a repeat
+submission wants to hit. Virtual nodes smooth the load split.
+
+Hashing is sha256 of stable strings, so placement is identical across
+processes, machines, and restarts: any router over the same healthy
+membership routes the same spec to the same replica.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Iterator
+
+from repro.errors import EngineError
+
+__all__ = ["HashRing"]
+
+
+def _point(label: str) -> int:
+    """A stable 64-bit position on the ring."""
+    return int.from_bytes(
+        hashlib.sha256(label.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Deterministic consistent-hash ring with virtual nodes."""
+
+    def __init__(self, nodes: Iterable[str] = (), *, vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise EngineError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self._nodes: set[str] = set()
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        for node in nodes:
+            self.add(node)
+
+    # ------------------------------------------------------------------ #
+    # Membership
+    # ------------------------------------------------------------------ #
+    def add(self, node: str) -> None:
+        """Join one node (idempotent)."""
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for replica in range(self.vnodes):
+            point = _point(f"{node}#{replica}")
+            index = bisect.bisect(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, node)
+
+    def remove(self, node: str) -> None:
+        """Leave one node (idempotent); its keys move to their successors."""
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        points, owners = [], []
+        for point, owner in zip(self._points, self._owners):
+            if owner != node:
+                points.append(point)
+                owners.append(owner)
+        self._points, self._owners = points, owners
+
+    @property
+    def nodes(self) -> frozenset[str]:
+        return frozenset(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    # ------------------------------------------------------------------ #
+    # Placement
+    # ------------------------------------------------------------------ #
+    def node_for(self, key: str) -> str:
+        """The node owning ``key`` (first vnode clockwise of its point)."""
+        for node in self.preference(key):
+            return node
+        raise EngineError("hash ring is empty")
+
+    def preference(self, key: str) -> Iterator[str]:
+        """Every node, in failover order for ``key``.
+
+        The first yield is :meth:`node_for`; each later yield is the
+        next *distinct* node clockwise — the deterministic replica a
+        router retries on when the owner is down.
+        """
+        if not self._points:
+            return
+        start = bisect.bisect(self._points, _point(key)) % len(self._points)
+        seen: set[str] = set()
+        for offset in range(len(self._points)):
+            owner = self._owners[(start + offset) % len(self._points)]
+            if owner not in seen:
+                seen.add(owner)
+                yield owner

@@ -1,0 +1,766 @@
+"""``MiningRouter``: fingerprint-routed federation of MiningServer replicas.
+
+The service tier scales out by running several
+:class:`~repro.server.MiningServer` replicas and putting this router in
+front. Placement is *content-based*: the router computes the submitted
+spec's fingerprint (the same digest the engine caches by) and walks a
+:class:`~repro.dist.ring.HashRing` keyed on it, so an identical spec
+always lands on the replica already holding its belief prefixes and
+result cache — federation without giving up the cache hit.
+
+Replica job ids are tagged on the way out (``job-0001`` on replica
+``r1`` becomes ``job-0001@r1``) and untagged on the way back in, which
+makes the router stateless: any follow-up request carries its own
+routing. Replicas are health-checked over ``GET /health``; the PR 6
+boot-generation marker tells a restart (fresh sequence space, recovered
+jobs) from a blip, and membership changes rebalance the ring. The
+router also hosts the worker registry of the compute tier
+(``POST /workers/register`` / ``GET /workers``), so one address
+bootstraps both tiers.
+
+``repro.client.RemoteWorkspace`` speaks to a router unchanged: submit,
+status, result (ETag/gzip relayed verbatim), cancel, and the per-job
+SSE stream all work, with ``data:`` frames rewritten in flight so event
+job ids match the tagged id the client submitted under.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import secrets
+import threading
+import time
+from urllib.parse import urlsplit
+
+from repro.dist import wire as dwire
+from repro.dist.ring import HashRing
+from repro.errors import EngineError, ReproError
+from repro.persist import job_from_dict
+from repro.server import http
+from repro.server.app import ServerHandle
+from repro.server.wire import WIRE_SCHEMA, error_to_wire
+from repro.spec import MiningSpec
+from repro.version import __version__
+
+__all__ = ["MiningRouter"]
+
+#: Stream-reader limit of upstream connections: SSE ``data:`` lines
+#: carry whole result documents, which can run to megabytes.
+_UPSTREAM_LIMIT = 2**26
+
+#: Request headers forwarded to replicas verbatim.
+_FORWARD_REQUEST_HEADERS = (
+    "authorization",
+    "content-type",
+    "accept-encoding",
+    "if-none-match",
+    "last-event-id",
+)
+
+#: Response headers relayed back to the client verbatim.
+_FORWARD_RESPONSE_HEADERS = ("etag", "vary", "content-encoding", "retry-after")
+
+
+class _Replica:
+    """Health state of one MiningServer replica."""
+
+    def __init__(self, name: str, url: str) -> None:
+        if "//" not in url:
+            url = "http://" + url
+        split = urlsplit(url)
+        if split.scheme not in ("", "http"):
+            raise EngineError(f"replica URLs are plain http, got {split.scheme!r}")
+        self.name = name
+        self.url = url.rstrip("/")
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 80
+        self.healthy = False
+        self.generation: str | None = None
+        self.restarts = 0
+        self.last_error: str | None = None
+
+
+class MiningRouter:
+    """Route jobs across MiningServer replicas by spec fingerprint.
+
+    Parameters
+    ----------
+    replicas:
+        Base URLs of the MiningServer replicas, in a stable order: the
+        i-th URL becomes ring node ``r{i}``, and that name — not the
+        URL — is what job ids are tagged with, so a replica can move
+        hosts without invalidating outstanding ids.
+    host / port:
+        Bind address of the router itself (``port=0``: ephemeral).
+    check_interval / probe_timeout:
+        Health-check cadence and per-probe timeout, seconds.
+    vnodes:
+        Virtual nodes per replica on the ring.
+    """
+
+    def __init__(
+        self,
+        replicas,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        check_interval: float = 2.0,
+        probe_timeout: float = 5.0,
+        vnodes: int = 64,
+    ) -> None:
+        urls = list(replicas)
+        if not urls:
+            raise EngineError("MiningRouter needs at least one replica URL")
+        self.host = host
+        self.port = port
+        self.check_interval = check_interval
+        self.probe_timeout = probe_timeout
+        self.generation = secrets.token_hex(8)
+        self._replicas = [
+            _Replica(f"r{index}", url) for index, url in enumerate(urls)
+        ]
+        self._by_name = {replica.name: replica for replica in self._replicas}
+        self._ring = HashRing(vnodes=vnodes)
+        self._workers: list[str] = []
+        self._workers_lock = threading.Lock()
+        self._server: asyncio.AbstractServer | None = None
+        self._checker: asyncio.Task | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._started_at: float | None = None
+        self._stats = {"submitted": 0, "forwarded": 0, "rebalances": 0}
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle (mirrors MiningServer; ServerHandle works unchanged)
+    # ------------------------------------------------------------------ #
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def start(self) -> None:
+        """Probe every replica, then bind and begin accepting traffic."""
+        if self._server is not None:
+            raise EngineError("router is already running")
+        # Probe every replica once *before* accepting traffic, so the
+        # first submission sees the real membership, not an empty ring.
+        await asyncio.gather(
+            *(self._probe(replica) for replica in self._replicas)
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+        self._checker = asyncio.ensure_future(self._check_loop())
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled; requires a prior :meth:`start`."""
+        if self._server is None:
+            raise EngineError("call start() before serve_forever()")
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop health checks, close the listener, drain connections."""
+        if self._checker is not None:
+            self._checker.cancel()
+            try:
+                await self._checker
+            except asyncio.CancelledError:
+                pass
+            self._checker = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Cancel parked keep-alive handlers while the loop is still
+        # live, so their cleanup awaits resolve; left to the loop's
+        # teardown they would be GC-closed mid-await instead.
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+            self._conn_tasks.clear()
+
+    def run(self, *, announce=None) -> None:
+        """Blocking entry point (``sisd route``): serve until Ctrl-C."""
+        try:
+            asyncio.run(self._run_forever(announce))
+        except KeyboardInterrupt:
+            pass
+
+    async def _run_forever(self, announce) -> None:
+        await self.start()
+        if announce is not None:
+            announce(self)
+        await self.serve_forever()
+
+    def run_in_thread(self, *, ready_timeout: float = 30.0) -> ServerHandle:
+        """Start on a daemon thread; returns a :class:`ServerHandle`."""
+        started = threading.Event()
+        handle = ServerHandle(self)
+
+        def target() -> None:
+            try:
+                asyncio.run(self._serve_until_stopped(started, handle))
+            except BaseException as exc:  # pragma: no cover - surfaced below
+                handle.error = exc
+            finally:
+                started.set()
+
+        thread = threading.Thread(
+            target=target, name="repro-dist-router", daemon=True
+        )
+        handle._thread = thread
+        thread.start()
+        started.wait(ready_timeout)
+        if handle.error is not None:
+            raise EngineError(f"router failed to start: {handle.error}")
+        if self._server is None:
+            raise EngineError("router failed to start within ready_timeout")
+        return handle
+
+    async def _serve_until_stopped(self, started, handle: ServerHandle) -> None:
+        await self.start()
+        handle._loop = asyncio.get_running_loop()
+        handle._stop = asyncio.Event()
+        started.set()
+        await handle._stop.wait()
+        await self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Health checking and membership
+    # ------------------------------------------------------------------ #
+    async def _check_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.check_interval)
+            await asyncio.gather(
+                *(self._probe(replica) for replica in self._replicas)
+            )
+
+    async def _probe(self, replica: _Replica) -> None:
+        """One health check; updates the ring on a liveness flip."""
+        try:
+            status, _, body = await asyncio.wait_for(
+                self._exchange(replica, "GET", "/health", {}, b""),
+                self.probe_timeout,
+            )
+            document = json.loads(body)
+            healthy = status == 200 and document.get("status") == "ok"
+            generation = document.get("generation")
+        except (OSError, ValueError, asyncio.TimeoutError) as exc:
+            healthy, generation = False, replica.generation
+            replica.last_error = str(exc)
+        if healthy:
+            replica.last_error = None
+            if (
+                replica.generation is not None
+                and generation is not None
+                and str(generation) != replica.generation
+            ):
+                # PR 6 boot marker moved: same replica, fresh process.
+                # Placement is by name so the ring is unchanged, but
+                # the restart is worth counting — its SSE sequence
+                # space reset and a durable store just recovered jobs.
+                replica.restarts += 1
+            if generation is not None:
+                replica.generation = str(generation)
+        self._set_health(replica, healthy)
+
+    def _set_health(self, replica: _Replica, healthy: bool) -> None:
+        if healthy == replica.healthy:
+            return
+        replica.healthy = healthy
+        if healthy:
+            self._ring.add(replica.name)
+        else:
+            self._ring.remove(replica.name)
+        self._stats["rebalances"] += 1
+
+    # ------------------------------------------------------------------ #
+    # Upstream plumbing
+    # ------------------------------------------------------------------ #
+    async def _exchange(
+        self,
+        replica: _Replica,
+        method: str,
+        path: str,
+        headers: dict,
+        body: bytes,
+    ) -> tuple[int, dict, bytes]:
+        """One proxied round trip to a replica (connection: close)."""
+        reader, writer = await asyncio.open_connection(
+            replica.host, replica.port, limit=_UPSTREAM_LIMIT
+        )
+        try:
+            lines = [
+                f"{method} {path} HTTP/1.1",
+                f"Host: {replica.host}:{replica.port}",
+                f"Content-Length: {len(body)}",
+                "Connection: close",
+            ]
+            lines.extend(
+                f"{name}: {value}"
+                for name, value in headers.items()
+                if name.lower() in _FORWARD_REQUEST_HEADERS
+            )
+            writer.write(
+                "\r\n".join(lines).encode("latin-1") + b"\r\n\r\n" + body
+            )
+            await writer.drain()
+            status, response_headers = await self._read_response_head(reader)
+            length = response_headers.get("content-length")
+            if length is not None:
+                payload = await reader.readexactly(int(length))
+            else:
+                payload = await reader.read()
+            return status, response_headers, payload
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    @staticmethod
+    async def _read_response_head(reader) -> tuple[int, dict]:
+        line = await reader.readline()
+        parts = line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+            raise OSError(f"malformed upstream status line {line!r}")
+        status = int(parts[1])
+        headers: dict = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return status, headers
+
+    async def _forward(
+        self,
+        replica: _Replica,
+        request: http.Request,
+        path: str,
+    ) -> tuple[int, dict, bytes]:
+        """Forward one request; a transport failure sidelines the replica."""
+        try:
+            result = await asyncio.wait_for(
+                self._exchange(
+                    replica, request.method, path, request.headers, request.body
+                ),
+                self.probe_timeout + 35.0,  # covers one ?wait= long-poll leg
+            )
+        except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError) as exc:
+            replica.last_error = str(exc)
+            self._set_health(replica, False)
+            raise http.HttpError(
+                503,
+                f"replica {replica.name} ({replica.url}) is unreachable: {exc}",
+                headers=(("Retry-After", "1"),),
+            ) from exc
+        self._stats["forwarded"] += 1
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+
+    async def _serve_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    request = await http.read_request(reader)
+                except http.HttpError as exc:
+                    writer.write(self._error(exc.status, str(exc), keep=False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                if request.method == "GET" and request.path == "/events":
+                    await self._handle_events(request, writer)
+                    break  # SSE ends by closing the connection
+                keep = request.keep_alive
+                try:
+                    response = await self._dispatch(request, keep)
+                except http.HttpError as exc:
+                    response = self._error(
+                        exc.status, str(exc), keep=keep, headers=exc.headers
+                    )
+                except ReproError as exc:
+                    response = self._error(400, str(exc), keep=keep)
+                except Exception as exc:  # noqa: BLE001 - last-resort guard
+                    response = self._error(500, str(exc), keep=keep)
+                writer.write(response)
+                await writer.drain()
+                if not keep:
+                    break
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    def _error(
+        self, status: int, message: str, *, keep: bool, headers: tuple = ()
+    ) -> bytes:
+        document = {
+            "schema": WIRE_SCHEMA,
+            "error": error_to_wire(http.HttpError(status, message)),
+        }
+        return http.render_response(
+            status,
+            http.json_body(document),
+            keep_alive=keep,
+            extra_headers=headers,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    async def _dispatch(self, request: http.Request, keep: bool) -> bytes:
+        parts = [part for part in request.path.split("/") if part]
+        if parts == ["health"] and request.method == "GET":
+            return http.render_response(
+                200, http.json_body(self._health()), keep_alive=keep
+            )
+        if parts == ["workers"]:
+            return self._handle_workers(request, keep)
+        if parts == ["workers", "register"] and request.method == "POST":
+            return self._register_worker(request, keep)
+        if parts == ["jobs"] and request.method == "POST":
+            return await self._submit(request, keep)
+        if parts == ["jobs"] and request.method == "GET":
+            return await self._list_jobs(request, keep)
+        if len(parts) >= 2 and parts[0] == "jobs":
+            return await self._forward_job(request, parts, keep)
+        raise http.HttpError(
+            404,
+            f"no route for {request.method} {request.path}; this is a sisd "
+            f"router: /health, /workers, /jobs, /jobs/{{id}}[@replica], "
+            f"/jobs/{{id}}/result, /jobs/{{id}}/cancel, /events?job_id=",
+        )
+
+    # ------------------------------------------------------------------ #
+    # Handlers
+    # ------------------------------------------------------------------ #
+    def _health(self) -> dict:
+        return {
+            "schema": WIRE_SCHEMA,
+            "status": "ok" if len(self._ring) else "degraded",
+            "role": "router",
+            "version": __version__,
+            "generation": self.generation,
+            "uptime_seconds": (
+                0.0
+                if self._started_at is None
+                else time.monotonic() - self._started_at
+            ),
+            "replicas": [
+                {
+                    "name": replica.name,
+                    "url": replica.url,
+                    "healthy": replica.healthy,
+                    "generation": replica.generation,
+                    "restarts": replica.restarts,
+                    "error": replica.last_error,
+                }
+                for replica in self._replicas
+            ],
+            "ring": {"nodes": len(self._ring), "vnodes": self._ring.vnodes},
+            "workers": list(self._workers),
+            "router": dict(self._stats),
+        }
+
+    def _handle_workers(self, request: http.Request, keep: bool) -> bytes:
+        if request.method != "GET":
+            raise http.HttpError(405, f"{request.method} not allowed on /workers")
+        with self._workers_lock:
+            workers = list(self._workers)
+        return http.render_response(
+            200,
+            http.json_body({"schema": WIRE_SCHEMA, "workers": workers}),
+            keep_alive=keep,
+        )
+
+    def _register_worker(self, request: http.Request, keep: bool) -> bytes:
+        document = request.json()
+        url = document.get("url")
+        if not isinstance(url, str) or "://" not in url:
+            raise http.HttpError(400, "register body needs a worker base url")
+        with self._workers_lock:
+            if url not in self._workers:
+                self._workers.append(url)
+            count = len(self._workers)
+        return http.render_response(
+            200,
+            http.json_body({"schema": WIRE_SCHEMA, "registered": url,
+                            "workers": count}),
+            keep_alive=keep,
+        )
+
+    def _fingerprint_of(self, body: bytes) -> str:
+        """The submitted work's content digest (the ring key)."""
+        try:
+            data = json.loads(body) if body else {}
+        except ValueError as exc:
+            raise http.HttpError(400, f"invalid JSON body: {exc}") from exc
+        if not isinstance(data, dict):
+            raise http.HttpError(400, "submit body must be a JSON object")
+        try:
+            if "job" in data:
+                return job_from_dict(data["job"]).fingerprint()
+            if "spec" in data:
+                return MiningSpec.from_dict(data["spec"]).to_job().fingerprint()
+            if "dataset" in data:
+                return MiningSpec.from_dict(data).to_job().fingerprint()
+        except ReproError as exc:
+            raise http.HttpError(400, str(exc)) from exc
+        raise http.HttpError(
+            400,
+            'submit body must be {"spec": {...}}, {"job": {...}}, or a bare '
+            "MiningSpec document",
+        )
+
+    async def _submit(self, request: http.Request, keep: bool) -> bytes:
+        fingerprint = self._fingerprint_of(request.body)
+        last_error: http.HttpError | None = None
+        for name in list(self._ring.preference(fingerprint)):
+            replica = self._by_name[name]
+            try:
+                status, headers, body = await self._forward(
+                    replica, request, "/jobs"
+                )
+            except http.HttpError as exc:
+                last_error = exc
+                continue  # owner down: the ring's next node takes the spec
+            self._stats["submitted"] += 1
+            return self._retag_response(
+                status, headers, body, replica.name, keep
+            )
+        if last_error is not None:
+            raise last_error
+        raise http.HttpError(
+            503,
+            "no healthy replica to place the job on",
+            headers=(("Retry-After", "1"),),
+        )
+
+    async def _list_jobs(self, request: http.Request, keep: bool) -> bytes:
+        """Merged listing across every healthy replica, tagged ids."""
+        healthy = [replica for replica in self._replicas if replica.healthy]
+        listings = await asyncio.gather(
+            *(self._forward(replica, request, "/jobs") for replica in healthy),
+            return_exceptions=True,
+        )
+        entries: list = []
+        for replica, outcome in zip(healthy, listings):
+            if isinstance(outcome, BaseException):
+                continue  # sidelined mid-listing; its jobs reappear next poll
+            status, _, body = outcome
+            if status != 200:
+                continue
+            try:
+                document = json.loads(body)
+            except ValueError:
+                continue
+            for entry in document.get("jobs", ()):
+                entry = dict(entry)
+                entry["job_id"] = dwire.tag_job_id(
+                    str(entry.get("job_id")), replica.name
+                )
+                entries.append(entry)
+        entries.sort(key=lambda entry: entry.get("job_id", ""))
+        return http.render_response(
+            200,
+            http.json_body({"schema": WIRE_SCHEMA, "jobs": entries}),
+            keep_alive=keep,
+        )
+
+    def _owning_replica(self, tagged: str) -> tuple[_Replica, str]:
+        local_id, name = dwire.untag_job_id(tagged)
+        if name is None or name not in self._by_name:
+            raise http.HttpError(
+                404,
+                f"job id {tagged!r} carries no known replica tag; routed "
+                f"ids look like job-0001@r0",
+            )
+        replica = self._by_name[name]
+        if not replica.healthy:
+            raise http.HttpError(
+                503,
+                f"replica {name} holding {tagged!r} is down; retry shortly",
+                headers=(("Retry-After", "1"),),
+            )
+        return replica, local_id
+
+    async def _forward_job(
+        self, request: http.Request, parts: list, keep: bool
+    ) -> bytes:
+        replica, local_id = self._owning_replica(parts[1])
+        suffix = "/" + "/".join(parts[2:]) if len(parts) > 2 else ""
+        query = ""
+        if request.query:
+            query = "?" + "&".join(
+                f"{key}={value}" for key, value in request.query.items()
+            )
+        status, headers, body = await self._forward(
+            replica, request, f"/jobs/{local_id}{suffix}{query}"
+        )
+        if suffix == "/result" or headers.get("content-encoding"):
+            # Result documents relay verbatim: their ETag is a hash of
+            # the replica's exact bytes, so rewriting would break client
+            # revalidation (and cost a decompress). The id inside stays
+            # replica-local; clients key on the tagged id they hold.
+            extra = tuple(
+                (name.title(), value)
+                for name, value in headers.items()
+                if name in _FORWARD_RESPONSE_HEADERS
+            )
+            return http.render_response(
+                status, body, keep_alive=keep, extra_headers=extra
+            )
+        return self._retag_response(status, headers, body, replica.name, keep)
+
+    def _retag_response(
+        self, status: int, headers: dict, body: bytes, name: str, keep: bool
+    ) -> bytes:
+        """Tag the ``job_id`` of a small JSON response with its replica."""
+        try:
+            document = json.loads(body) if body else {}
+        except ValueError:
+            document = None
+        if isinstance(document, dict) and "job_id" in document:
+            document["job_id"] = dwire.tag_job_id(
+                str(document["job_id"]), name
+            )
+            body = http.json_body(document)
+        extra = tuple(
+            (header.title(), value)
+            for header, value in headers.items()
+            if header in _FORWARD_RESPONSE_HEADERS
+        )
+        return http.render_response(
+            status, body, keep_alive=keep, extra_headers=extra
+        )
+
+    # ------------------------------------------------------------------ #
+    # SSE relay
+    # ------------------------------------------------------------------ #
+    async def _handle_events(self, request: http.Request, writer) -> None:
+        tagged = request.query.get("job_id")
+        if tagged is None:
+            writer.write(
+                self._error(
+                    501,
+                    "the router streams per-job events only: subscribe with "
+                    "/events?job_id=<id>@<replica> (a firehose across "
+                    "replicas would interleave unrelated sequence spaces)",
+                    keep=False,
+                )
+            )
+            await writer.drain()
+            return
+        try:
+            replica, local_id = self._owning_replica(tagged)
+        except http.HttpError as exc:
+            writer.write(
+                self._error(exc.status, str(exc), keep=False, headers=exc.headers)
+            )
+            await writer.drain()
+            return
+        query = f"?job_id={local_id}"
+        if "since" in request.query:
+            query += f"&since={request.query['since']}"
+        upstream_reader = upstream_writer = None
+        try:
+            upstream_reader, upstream_writer = await asyncio.open_connection(
+                replica.host, replica.port, limit=_UPSTREAM_LIMIT
+            )
+            lines = [
+                f"GET /events{query} HTTP/1.1",
+                f"Host: {replica.host}:{replica.port}",
+                "Accept: text/event-stream",
+                "Connection: close",
+            ]
+            lines.extend(
+                f"{name}: {value}"
+                for name, value in request.headers.items()
+                if name.lower() in _FORWARD_REQUEST_HEADERS
+            )
+            upstream_writer.write(
+                "\r\n".join(lines).encode("latin-1") + b"\r\n\r\n"
+            )
+            await upstream_writer.drain()
+            status, _ = await self._read_response_head(upstream_reader)
+            if status != 200:
+                writer.write(
+                    self._error(
+                        503,
+                        f"replica {replica.name} refused the event stream "
+                        f"(HTTP {status})",
+                        keep=False,
+                        headers=(("Retry-After", "1"),),
+                    )
+                )
+                await writer.drain()
+                return
+            writer.write(
+                (
+                    "HTTP/1.1 200 OK\r\n"
+                    "Content-Type: text/event-stream\r\n"
+                    "Cache-Control: no-store\r\n"
+                    "Connection: close\r\n"
+                    "\r\n"
+                ).encode("latin-1")
+            )
+            await writer.drain()
+            # Relay frame lines as-is, rewriting only the data lines'
+            # job id so the stream matches the tagged id the client
+            # subscribed under. JSON round-trip is value-exact (floats
+            # re-serialize shortest-repr), so payloads stay canonical.
+            while True:
+                line = await upstream_reader.readline()
+                if not line:
+                    break
+                if line.startswith(b"data:"):
+                    line = self._retag_data_line(line, local_id, replica.name)
+                writer.write(line)
+                if line in (b"\r\n", b"\n"):
+                    await writer.drain()  # frame boundary: flush
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            pass  # either side went away; client resumes via Last-Event-ID
+        finally:
+            if upstream_writer is not None:
+                upstream_writer.close()
+                try:
+                    await upstream_writer.wait_closed()
+                except (ConnectionError, OSError):  # pragma: no cover
+                    pass
+
+    @staticmethod
+    def _retag_data_line(line: bytes, local_id: str, name: str) -> bytes:
+        try:
+            document = json.loads(line[len(b"data:"):].strip())
+        except ValueError:
+            return line
+        if isinstance(document, dict) and document.get("job_id") == local_id:
+            document["job_id"] = dwire.tag_job_id(local_id, name)
+            return b"data: " + json.dumps(
+                document, allow_nan=False
+            ).encode("utf-8") + b"\r\n"
+        return line

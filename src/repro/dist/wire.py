@@ -1,0 +1,90 @@
+"""Framing shared by :mod:`repro.dist` workers and coordinators.
+
+Shard payloads carry arbitrary engine objects (scorers, numpy mask
+stacks), so unlike the JSON surface of :mod:`repro.server.wire` the
+compute tier speaks pickle over HTTP. That is safe only because workers
+are *trusted* peers of the coordinator — the daemon binds to localhost
+by default and the README says so out loud. Contexts are
+content-addressed (sha256 of the pickled bytes), which is what lets a
+repeat job ship nothing: the coordinator sends the digest, and only a
+worker that has never seen it asks for the bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from typing import Any
+
+from repro.errors import EngineError
+
+__all__ = [
+    "DIST_SCHEMA",
+    "PICKLE_CONTENT_TYPE",
+    "digest_of",
+    "dump",
+    "load",
+    "shard_request",
+    "tag_job_id",
+    "untag_job_id",
+]
+
+#: Version stamp carried by every shard envelope; bump on breaking changes.
+DIST_SCHEMA = 1
+
+#: Content type of pickled request/response bodies on the compute tier.
+PICKLE_CONTENT_TYPE = "application/x-repro-pickle"
+
+#: Shard-reply statuses a worker may answer with.
+REPLY_STATUSES = ("ok", "unknown-context", "error")
+
+
+def dump(obj: Any) -> bytes:
+    """Pickle one payload with the highest protocol (arrays stay binary)."""
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load(payload: bytes) -> Any:
+    """Unpickle one payload; raises :class:`EngineError` on garbage."""
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:  # noqa: BLE001 - any unpickling failure
+        raise EngineError(f"undecodable dist payload: {exc}") from exc
+
+
+def digest_of(payload: bytes) -> str:
+    """Content address of a pickled context (hex sha256)."""
+    return hashlib.sha256(payload).hexdigest()
+
+
+def shard_request(digest: str | None, fn: Any, items: list) -> dict:
+    """The ``POST /shards`` envelope a coordinator sends a worker."""
+    return {
+        "schema": DIST_SCHEMA,
+        "context": digest,
+        "fn": fn,
+        "items": items,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Federated job ids
+# --------------------------------------------------------------------- #
+#: Separator between a replica-local job id and its replica name. Job
+#: ids are ``job-NNNN`` per service, so ids from different replicas
+#: collide; the router tags each id with the replica that owns it and
+#: the tag itself routes every follow-up request — no routing table.
+JOB_TAG = "@"
+
+
+def tag_job_id(job_id: str, replica: str) -> str:
+    """Qualify a replica-local job id with its owning replica's name."""
+    return f"{job_id}{JOB_TAG}{replica}"
+
+
+def untag_job_id(tagged: str) -> tuple[str, str | None]:
+    """Split a routed job id into ``(local_id, replica_name | None)``."""
+    local, sep, replica = tagged.rpartition(JOB_TAG)
+    if not sep:
+        return tagged, None
+    return local, replica

@@ -439,6 +439,7 @@ def resolve_executor(
     *,
     start_method: str | None = None,
     shared_memory: bool = False,
+    dist_workers: Iterable[str] | None = None,
 ) -> Executor:
     """Map a ``--workers`` count to a backend.
 
@@ -447,7 +448,21 @@ def resolve_executor(
     asked); negative counts raise. ``shared_memory`` is meaningless for
     serial execution and is silently ignored there — there is no second
     process to share with.
+
+    ``dist_workers`` — worker-daemon URLs (``sisd worker``) — overrides
+    the local backends entirely with a
+    :class:`repro.dist.DistExecutor` sharding across those nodes
+    (``workers``/``shared_memory`` are then ignored: parallelism is the
+    node count). The determinism contract still holds: the distributed
+    executor merges shard replies in canonical order, so its results
+    are bit-identical to serial.
     """
+    if dist_workers is not None:
+        urls = [url for url in dist_workers if url]
+        if urls:
+            from repro.dist.executor import DistExecutor
+
+            return DistExecutor(urls)
     count = normalize_workers(workers)
     if count <= 1:
         return SerialExecutor()

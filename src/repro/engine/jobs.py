@@ -11,7 +11,10 @@ per-target fan-outs (many datasets × many configs) one call.
 
 from __future__ import annotations
 
+import os
+import tempfile
 import time
+import uuid
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
@@ -464,6 +467,43 @@ def _run_job_task(job: MiningJob) -> JobResult:
     return run_job(job)
 
 
+class FileYieldFlag:
+    """A preemption flag that crosses process boundaries.
+
+    The thread backend preempts with a ``threading.Event``; a process
+    pool cannot share one. This flag signals through the existence of a
+    marker file instead: :meth:`set` touches it, :meth:`is_set` is one
+    ``os.path.exists`` — cheap enough to poll at iteration boundaries —
+    and the object pickles by value (it is just a path), so it rides
+    into a worker process alongside the job. The *scheduler* owns the
+    file's lifetime: :meth:`dispose` unlinks it once the task ends,
+    whatever the outcome.
+    """
+
+    def __init__(self, path: str | None = None) -> None:
+        self.path = path or os.path.join(
+            tempfile.gettempdir(), f"repro-yield-{uuid.uuid4().hex}.flag"
+        )
+
+    def set(self) -> None:
+        """Request preemption (idempotent)."""
+        with open(self.path, "wb"):
+            pass
+
+    def is_set(self) -> bool:
+        """True once preemption was requested (a cheap stat call)."""
+        return os.path.exists(self.path)
+
+    def dispose(self) -> None:
+        """Remove the marker file (idempotent; missing is fine)."""
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+        except OSError:  # pragma: no cover - temp-dir races are benign
+            pass
+
+
 def run_job_with_workers(
     job: MiningJob,
     workers: int | None,
@@ -488,8 +528,10 @@ def run_job_with_workers(
     ``None`` — it can instead ship a picklable ``belief_handle``
     (:meth:`repro.engine.cache.BeliefCache.handle`) that each worker
     process resolves into its own cache over the shared on-disk spill.
-    ``yield_event`` (a ``threading.Event``) is the thread-backend
-    preemption flag, polled between iterations (see :func:`run_job`).
+    ``yield_event`` is the preemption flag, polled between iterations
+    (see :func:`run_job`): a ``threading.Event`` from the thread
+    backend, or a :class:`FileYieldFlag` from the process backend —
+    anything with a cheap ``is_set()`` works.
     """
     if belief_cache is None and belief_handle is not None:
         belief_cache = belief_handle.resolve()

@@ -49,7 +49,13 @@ from repro.engine.cache import BeliefCache, LRUCache, resolve_belief_cache
 from repro.engine.executor import BACKENDS, resolve_executor, resolve_pool
 
 __all__ = ["BACKENDS", "JobStatus", "MiningService"]
-from repro.engine.jobs import JobResult, MiningJob, run_job, run_job_with_workers
+from repro.engine.jobs import (
+    FileYieldFlag,
+    JobResult,
+    MiningJob,
+    run_job,
+    run_job_with_workers,
+)
 from repro.errors import DeadlineExpired, EngineError, JobPreempted
 from repro.events import MiningObserver, SchedulerEvent, broadcast
 
@@ -688,9 +694,13 @@ class MiningService:
         iterations are already in the belief cache and replay for free
         when the job is re-dispatched. The preempted job goes back to
         the queue (``"preempted"`` event) with its future unresolved;
-        waiters simply wait longer. Returns False for jobs that are not
-        running or whose backend cannot preempt (process workers, where
-        the flag cannot cross the boundary).
+        waiters simply wait longer. The thread backend signals through
+        a ``threading.Event``; the process backend through a
+        :class:`~repro.engine.jobs.FileYieldFlag`, which crosses the
+        pool boundary as a marker-file path. (On the process backend,
+        give the service a spill-backed belief cache — ``store=`` — or
+        the re-run repeats the preempted iterations from scratch.)
+        Returns False for jobs that are not running.
         """
         post: list = []
         requested = False
@@ -971,8 +981,7 @@ class MiningService:
                     # In-process workers share the belief cache; worker
                     # *processes* cannot (no pickling across the boundary).
                     # The yield flag enables cooperative preemption at
-                    # iteration boundaries (thread backend only — an
-                    # Event cannot cross a process boundary).
+                    # iteration boundaries.
                     record.yield_flag = threading.Event()
                     pool_future = self._pool.submit(
                         run_job_with_workers,
@@ -988,12 +997,15 @@ class MiningService:
                     # A spill-backed belief cache *can* reach worker
                     # processes: ship its picklable handle, which each
                     # worker resolves into a process-local cache over
-                    # the shared on-disk spill.
+                    # the shared on-disk spill. Preemption crosses the
+                    # boundary the same way — a FileYieldFlag pickles by
+                    # value and signals through the filesystem.
                     handle = (
                         self._belief_cache.handle()
                         if self._belief_cache is not None
                         else None
                     )
+                    record.yield_flag = FileYieldFlag()
                     pool_future = self._pool.submit(
                         run_job_with_workers,
                         record.job,
@@ -1001,6 +1013,7 @@ class MiningService:
                         start_method,
                         shared_memory,
                         belief_handle=handle,
+                        yield_event=record.yield_flag,
                     )
             except Exception as exc:
                 # e.g. submit raced a shutdown: the pool refused the
@@ -1038,6 +1051,13 @@ class MiningService:
                 lambda future, record=record: self._on_task_done(record, future)
             )
 
+    @staticmethod
+    def _dispose_yield_flag(record: "_Record") -> None:
+        """Detach the record's preemption flag, unlinking a file-backed one."""
+        flag, record.yield_flag = record.yield_flag, None
+        if isinstance(flag, FileYieldFlag):
+            flag.dispose()
+
     def _on_task_done(self, record: _Record, pool_future: Future) -> None:
         """Completion callback of a dispatched pool task."""
         post: list = []
@@ -1056,7 +1076,7 @@ class MiningService:
                 record.state = "queued"
                 record.boost = 0
                 record.enqueued_at = time.monotonic()
-                record.yield_flag = None
+                self._dispose_yield_flag(record)
                 self._refresh_pass_locked(record)
                 self._push_locked(record)
                 self._n_queued += 1
@@ -1065,6 +1085,7 @@ class MiningService:
                 self._dispatch_locked(post)
                 self._run_post(post)
                 return
+            self._dispose_yield_flag(record)
             if self._inflight.get(record.fp) is record:
                 del self._inflight[record.fp]
             waiters = [record] + [p for p in record.proxies if p.state == "queued"]

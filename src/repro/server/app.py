@@ -622,6 +622,21 @@ class MiningServer:
         for status in statuses:
             counts[status.value] = counts.get(status.value, 0) + 1
         cache = self.service.cache_stats
+        store_section = None
+        if self.service.store is not None:
+            store_section = dict(self.service.store.stats())
+            belief_cache = self.service.belief_cache
+            spill = None if belief_cache is None else belief_cache.spill
+            if spill is not None:
+                s = spill.stats
+                lookups = s.hits + s.misses
+                store_section["belief_spill"] = {
+                    "hits": s.hits,
+                    "misses": s.misses,
+                    "stores": s.stores,
+                    "errors": s.errors,
+                    "hit_rate": (s.hits / lookups) if lookups else None,
+                }
         return {
             "schema": wire.WIRE_SCHEMA,
             "status": "ok",
@@ -645,6 +660,7 @@ class MiningServer:
                 "misses": cache.misses,
                 "evictions": cache.evictions,
             },
+            "store": store_section,
             "events": self.hub.stats(),
         }
 

@@ -88,8 +88,13 @@ class Request:
         return self.headers.get("connection", "").lower() != "close"
 
 
-async def read_request(reader) -> Request | None:
-    """Parse one request off the stream; ``None`` on a clean EOF."""
+async def read_request(reader, *, max_body: int = MAX_BODY_BYTES) -> Request | None:
+    """Parse one request off the stream; ``None`` on a clean EOF.
+
+    ``max_body`` overrides the default body cap: the JSON surface keeps
+    the conservative :data:`MAX_BODY_BYTES`, while the dist worker tier
+    (pickled shard payloads carrying numpy stacks) raises it.
+    """
     try:
         line = await reader.readline()
     except (ConnectionError, OSError):
@@ -133,8 +138,8 @@ async def read_request(reader) -> Request | None:
             n = int(length)
         except ValueError:
             raise HttpError(400, f"bad Content-Length {length!r}") from None
-        if n < 0 or n > MAX_BODY_BYTES:
-            raise HttpError(413, f"body of {n} bytes exceeds {MAX_BODY_BYTES}")
+        if n < 0 or n > max_body:
+            raise HttpError(413, f"body of {n} bytes exceeds {max_body}")
         body = await reader.readexactly(n) if n else b""
     elif headers.get("transfer-encoding"):
         raise HttpError(501, "chunked request bodies are not supported")

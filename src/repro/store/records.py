@@ -153,6 +153,15 @@ class JobStore:
     def pending_ops(self) -> int:
         return self._log.pending_ops
 
+    def stats(self) -> dict:
+        """Operational counters for health reporting.
+
+        ``records`` is every scheduler record held durably;
+        ``journal_lag`` is the journal tail not yet folded into the
+        sqlite snapshot (how much replay a crash right now would cost).
+        """
+        return {"records": len(self), "journal_lag": self.pending_ops}
+
     def compact(self) -> None:
         """Fold the journal tail into the sqlite snapshot now."""
         self._log.compact()

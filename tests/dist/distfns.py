@@ -1,0 +1,32 @@
+"""Module-level shard functions for the distributed-tier tests.
+
+Shards ship ``fn`` by pickle *reference*, so the functions must live in
+an importable module — both in this test process (the coordinator) and
+inside any worker subprocess the tests spawn. ``tests/dist/conftest.py``
+puts this directory on ``sys.path``; the subprocess tests extend
+``PYTHONPATH`` the same way.
+"""
+
+import time
+
+
+def echo(context, item):
+    return (context, item)
+
+
+def add(context, item):
+    return context + item
+
+
+def square(context, item):
+    return context + item * item
+
+
+def slow_add(context, item):
+    """~0.3s per item: long enough to SIGKILL a worker mid-shard."""
+    time.sleep(0.3)
+    return context + item
+
+
+def boom(context, item):
+    raise ValueError(f"boom on {item!r}")

@@ -1,0 +1,101 @@
+"""Consistent-hash ring: determinism, balance, and minimal movement."""
+
+import pytest
+
+from repro.dist.ring import HashRing
+from repro.errors import EngineError
+
+KEYS = [f"fingerprint-{i:04d}" for i in range(1000)]
+
+
+class TestMembership:
+    def test_add_is_idempotent(self):
+        ring = HashRing(["a", "b"])
+        ring.add("a")
+        assert len(ring) == 2
+        assert ring.nodes == {"a", "b"}
+
+    def test_remove_is_idempotent(self):
+        ring = HashRing(["a", "b"])
+        ring.remove("missing")
+        ring.remove("b")
+        ring.remove("b")
+        assert ring.nodes == {"a"}
+
+    def test_contains(self):
+        ring = HashRing(["a"])
+        assert "a" in ring
+        assert "b" not in ring
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(EngineError):
+            HashRing().node_for("anything")
+
+    def test_vnodes_must_be_positive(self):
+        with pytest.raises(EngineError):
+            HashRing(vnodes=0)
+
+
+class TestPlacement:
+    def test_identical_across_instances(self):
+        """Same membership => same placement, in any construction order."""
+        forward = HashRing(["r0", "r1", "r2"])
+        backward = HashRing(["r2", "r1", "r0"])
+        for key in KEYS:
+            assert forward.node_for(key) == backward.node_for(key)
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only"])
+        assert all(ring.node_for(key) == "only" for key in KEYS)
+
+    def test_spread_is_roughly_balanced(self):
+        ring = HashRing(["r0", "r1", "r2"])
+        counts = {"r0": 0, "r1": 0, "r2": 0}
+        for key in KEYS:
+            counts[ring.node_for(key)] += 1
+        # 64 vnodes per node: each should hold a meaningful share.
+        assert all(count > len(KEYS) * 0.15 for count in counts.values()), counts
+
+    def test_preference_starts_at_owner_and_covers_all(self):
+        ring = HashRing(["r0", "r1", "r2"])
+        for key in KEYS[:50]:
+            order = list(ring.preference(key))
+            assert order[0] == ring.node_for(key)
+            assert sorted(order) == ["r0", "r1", "r2"]
+
+    def test_preference_deterministic(self):
+        a = HashRing(["r0", "r1", "r2"])
+        b = HashRing(["r0", "r1", "r2"])
+        for key in KEYS[:50]:
+            assert list(a.preference(key)) == list(b.preference(key))
+
+
+class TestMinimalMovement:
+    def test_removal_only_moves_the_dead_nodes_keys(self):
+        """Keys not owned by the removed node keep their replica."""
+        ring = HashRing(["r0", "r1", "r2"])
+        before = {key: ring.node_for(key) for key in KEYS}
+        ring.remove("r1")
+        for key in KEYS:
+            if before[key] != "r1":
+                assert ring.node_for(key) == before[key]
+            else:
+                assert ring.node_for(key) in ("r0", "r2")
+
+    def test_rejoin_restores_original_placement(self):
+        ring = HashRing(["r0", "r1", "r2"])
+        before = {key: ring.node_for(key) for key in KEYS}
+        ring.remove("r1")
+        ring.add("r1")
+        assert {key: ring.node_for(key) for key in KEYS} == before
+
+    def test_addition_moves_a_bounded_share(self):
+        ring = HashRing(["r0", "r1", "r2"])
+        before = {key: ring.node_for(key) for key in KEYS}
+        ring.add("r3")
+        moved = sum(1 for key in KEYS if ring.node_for(key) != before[key])
+        # Expected movement ~ 1/4 of keys; generous upper bound.
+        assert 0 < moved < len(KEYS) * 0.45, moved
+        for key in KEYS:
+            if ring.node_for(key) != before[key]:
+                assert ring.node_for(key) == "r3"

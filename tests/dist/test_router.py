@@ -1,0 +1,207 @@
+"""MiningRouter federation: routing, tagging, SSE relay, failover.
+
+Two real MiningServer replicas behind a real router, all on ephemeral
+ports; the stock :class:`~repro.client.RemoteWorkspace` talks to the
+router exactly as it would to a single server.
+"""
+
+import re
+import time
+
+import pytest
+
+from repro.client import RemoteError, RemoteWorkspace
+from repro.dist.executor import DistExecutor
+from repro.dist.router import MiningRouter
+from repro.server import MiningServer
+from repro.spec import MiningSpec
+
+TAGGED_ID = re.compile(r"^job-\d+@r[01]$")
+
+
+def _spec(seed, iterations=2):
+    return MiningSpec.build(
+        "synthetic",
+        n_iterations=iterations,
+        beam_width=4,
+        max_depth=2,
+        top_k=8,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def federation():
+    """(router, router_handle, replica_handles): 2 replicas + router."""
+    replicas = [
+        MiningServer(port=0, backend="thread", max_workers=2).run_in_thread()
+        for _ in range(2)
+    ]
+    router = MiningRouter(
+        [handle.url for handle in replicas],
+        check_interval=0.3,
+        probe_timeout=10.0,
+    )
+    router_handle = router.run_in_thread()
+    yield router, router_handle, replicas
+    router_handle.stop()
+    for handle in replicas:
+        handle.stop()
+
+
+@pytest.fixture(scope="module")
+def routed(federation):
+    _, router_handle, _ = federation
+    return RemoteWorkspace(router_handle.url, timeout=60.0)
+
+
+class TestHealth:
+    def test_document_shape(self, federation, routed):
+        doc = routed.health()
+        assert doc["role"] == "router"
+        assert doc["status"] == "ok"
+        assert doc["ring"]["nodes"] == 2
+        names = [replica["name"] for replica in doc["replicas"]]
+        assert names == ["r0", "r1"]
+        assert all(replica["healthy"] for replica in doc["replicas"])
+        assert all(replica["generation"] for replica in doc["replicas"])
+        assert set(doc["router"]) == {"submitted", "forwarded", "rebalances"}
+
+
+class TestRouting:
+    def test_submit_status_result_through_router(self, routed):
+        job_id = routed.submit(_spec(0))
+        assert TAGGED_ID.match(job_id), job_id
+        result = routed.result(job_id, timeout=60.0)
+        assert result is not None  # decoded JobResult, not a raw document
+        assert routed.status(job_id).value == "done"
+
+    def test_same_spec_lands_on_same_replica(self, routed):
+        first = routed.submit(_spec(1))
+        second = routed.submit(_spec(1))
+        assert first.rpartition("@")[2] == second.rpartition("@")[2]
+
+    def test_routed_result_document_matches_direct(self, federation, routed):
+        router, _, replicas = federation
+        job_id = routed.submit(_spec(2))
+        routed.result(job_id, timeout=60.0)
+        local_id, _, name = job_id.rpartition("@")
+        replica_url = replicas[int(name[1:])].url
+        direct = RemoteWorkspace(replica_url, timeout=60.0)
+        _, routed_doc = routed._request("GET", f"/jobs/{job_id}/result")
+        _, direct_doc = direct._request("GET", f"/jobs/{local_id}/result")
+        assert routed_doc["result"] == direct_doc["result"]
+
+    def test_merged_listing_tags_every_job(self, routed):
+        submitted = {routed.submit(_spec(seed)) for seed in (3, 4)}
+        for job_id in submitted:
+            routed.result(job_id, timeout=60.0)
+        listing = routed.jobs()
+        assert submitted <= set(listing)
+        assert all("@" in job_id for job_id in listing)
+
+    def test_cancel_route_forwards(self, routed):
+        job_id = routed.submit(_spec(5))
+        routed.result(job_id, timeout=60.0)
+        assert routed.cancel(job_id) is False  # already finished
+
+    def test_stream_through_router(self, routed):
+        iterations = list(routed.stream(_spec(6, iterations=3)))
+        assert len(iterations) == 3
+        assert [it.index for it in iterations] == [1, 2, 3]
+
+    def test_unknown_replica_tag_is_404(self, routed):
+        with pytest.raises(RemoteError) as excinfo:
+            routed.status("job-0001@zz")
+        assert excinfo.value.status == 404
+
+    def test_untagged_id_is_404(self, routed):
+        with pytest.raises(RemoteError) as excinfo:
+            routed.status("job-0001")
+        assert excinfo.value.status == 404
+
+    def test_bare_event_firehose_is_501(self, routed):
+        with pytest.raises(RemoteError) as excinfo:
+            routed._request("GET", "/events")
+        assert excinfo.value.status == 501
+
+    def test_unknown_route_is_404(self, routed):
+        with pytest.raises(RemoteError) as excinfo:
+            routed._request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+
+class TestWorkerRegistry:
+    def test_register_then_discover(self, federation, routed, worker_pair):
+        _, router_handle, _ = federation
+        for url in worker_pair:
+            _, doc = routed._request(
+                "POST", "/workers/register", {"url": url}
+            )
+            assert doc["registered"] == url
+        _, doc = routed._request("GET", "/workers")
+        assert set(worker_pair) <= set(doc["workers"])
+        # The executor bootstraps its node list from the router alone.
+        with DistExecutor(registry=router_handle.url) as executor:
+            assert executor.parallelism >= 2
+            with executor.session(10) as session:
+                assert session.map(_plus, [1, 2, 3]) == [11, 12, 13]
+        assert executor.stats["shards_remote"] > 0
+
+    def test_register_is_idempotent(self, routed, worker_pair):
+        for _ in range(2):
+            routed._request("POST", "/workers/register", {"url": worker_pair[0]})
+        _, doc = routed._request("GET", "/workers")
+        assert doc["workers"].count(worker_pair[0]) == 1
+
+    def test_register_rejects_bad_body(self, routed):
+        with pytest.raises(RemoteError) as excinfo:
+            routed._request("POST", "/workers/register", {"url": "no-scheme"})
+        assert excinfo.value.status == 400
+
+
+def _plus(context, item):
+    return context + item
+
+
+class TestReplicaFailover:
+    def test_dead_replica_503_then_survivor_takes_new_work(self):
+        """Kill the owner: held ids answer 503, fresh submits rebalance."""
+        replicas = [
+            MiningServer(port=0, backend="thread", max_workers=2).run_in_thread()
+            for _ in range(2)
+        ]
+        router = MiningRouter(
+            [handle.url for handle in replicas],
+            check_interval=0.2,
+            probe_timeout=2.0,
+        )
+        router_handle = router.run_in_thread()
+        live = []
+        try:
+            routed = RemoteWorkspace(router_handle.url, timeout=30.0)
+            job_id = routed.submit(_spec(7))
+            routed.result(job_id, timeout=60.0)
+            owner = int(job_id.rpartition("@")[2][1:])
+            replicas[owner].stop()
+            live = [replicas[1 - owner]]
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline:
+                doc = routed.health()
+                if not doc["replicas"][owner]["healthy"]:
+                    break
+                time.sleep(0.1)
+            else:
+                pytest.fail("router never noticed the dead replica")
+            assert doc["ring"]["nodes"] == 1
+            with pytest.raises(RemoteError) as excinfo:
+                routed.status(job_id)
+            assert excinfo.value.status == 503
+            # The identical spec now rebalances onto the survivor.
+            moved = routed.submit(_spec(7))
+            assert moved.rpartition("@")[2] == f"r{1 - owner}"
+            routed.result(moved, timeout=60.0)
+        finally:
+            router_handle.stop()
+            for handle in live:
+                handle.stop()

@@ -1,0 +1,99 @@
+"""Worker-daemon HTTP surface, exercised through :class:`WorkerClient`."""
+
+import pytest
+
+from distfns import add, boom
+from repro.dist import wire as dwire
+from repro.dist.executor import WorkerClient, WorkerUnavailable
+from repro.dist.worker import WorkerDaemon
+
+
+@pytest.fixture(scope="module")
+def client(worker_pair):
+    return WorkerClient(worker_pair[0], timeout=10.0)
+
+
+class TestHealth:
+    def test_document_shape(self, client):
+        doc = client.health()
+        assert doc["schema"] == dwire.DIST_SCHEMA
+        assert doc["status"] == "ok"
+        assert doc["role"] == "worker"
+        assert doc["parallelism"] == 2
+        assert isinstance(doc["generation"], str)
+        assert isinstance(doc["contexts"], list)
+        assert set(doc["shards"]) == {
+            "shards", "items", "context_misses", "errors",
+        }
+
+    def test_unreachable_worker_raises(self):
+        dead = WorkerClient("http://127.0.0.1:9", timeout=0.5)
+        with pytest.raises(WorkerUnavailable):
+            dead.health()
+
+
+class TestContexts:
+    def test_shard_against_unknown_context_is_a_miss(self, client):
+        digest = dwire.digest_of(b"never shipped")
+        reply = client.run_shard(digest, add, [1, 2])
+        assert reply["status"] == "unknown-context"
+
+    def test_put_then_run(self, client):
+        payload = dwire.dump(100)
+        digest = dwire.digest_of(payload)
+        client.put_context(digest, payload)
+        reply = client.run_shard(digest, add, [1, 2, 3])
+        assert reply["status"] == "ok"
+        assert reply["results"] == [101, 102, 103]
+        assert digest in client.health()["contexts"]
+
+    def test_digest_mismatch_rejected(self, client):
+        with pytest.raises(WorkerUnavailable, match="HTTP 400"):
+            client.put_context("0" * 64, dwire.dump("not those bytes"))
+
+    def test_none_context_needs_no_shipping(self, client):
+        reply = client.run_shard(None, lambda_context_free, [5])
+        assert reply == {
+            "schema": dwire.DIST_SCHEMA, "status": "ok", "results": [10],
+        }
+
+    def test_lru_eviction(self):
+        daemon = WorkerDaemon(max_contexts=2)
+        handle = daemon.run_in_thread()
+        try:
+            client = WorkerClient(daemon.url, timeout=10.0)
+            digests = []
+            for value in range(3):
+                payload = dwire.dump(value)
+                digest = dwire.digest_of(payload)
+                client.put_context(digest, payload)
+                digests.append(digest)
+            held = client.health()["contexts"]
+            assert digests[0] not in held  # oldest evicted
+            assert digests[1] in held and digests[2] in held
+        finally:
+            handle.stop()
+
+
+def lambda_context_free(context, item):
+    assert context is None
+    return item * 2
+
+
+class TestErrors:
+    def test_remote_exception_travels_back(self, client):
+        payload = dwire.dump("ctx")
+        digest = dwire.digest_of(payload)
+        client.put_context(digest, payload)
+        reply = client.run_shard(digest, boom, ["x"])
+        assert reply["status"] == "error"
+        assert isinstance(reply["error"], ValueError)
+        assert "boom on 'x'" in str(reply["error"])
+
+    def test_error_counter_increments(self, client):
+        before = client.health()["shards"]["errors"]
+        payload = dwire.dump("ctx")
+        digest = dwire.digest_of(payload)
+        client.put_context(digest, payload)
+        client.run_shard(digest, boom, ["y"])
+        assert client.health()["shards"]["errors"] == before + 1

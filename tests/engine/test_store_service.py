@@ -341,6 +341,31 @@ class TestPreemption:
         assert "preempted" in kinds
         assert kinds.count("dispatched") == 2  # ran, yielded, ran again
 
+    def test_process_backend_preempts_via_flag_file(self, tmp_path):
+        """Cooperative preemption crosses the process boundary.
+
+        The thread backend hands the worker a ``threading.Event``; the
+        process backend cannot, so the service plants a
+        :class:`~repro.engine.jobs.FileYieldFlag` instead. Same
+        contract: yield at the next iteration boundary, requeue, finish.
+        """
+        log = _ScheduleLog()
+        with MiningService(
+            max_workers=1, backend="process", observer=log, store=tmp_path
+        ) as service:
+            job_id = service.submit(_job(seed=5, n_iterations=8))
+            deadline = time.monotonic() + 60
+            while service.status(job_id) != JobStatus.RUNNING:
+                assert time.monotonic() < deadline, "job never started"
+                time.sleep(0.02)
+            assert service.preempt(job_id)
+            result = service.result(job_id, 180)
+            assert len(result.iterations) == 8
+        kinds = [e[0] for e in log.events if e[1] == job_id]
+        assert "preempt_requested" in kinds
+        assert "preempted" in kinds
+        assert kinds.count("dispatched") == 2  # ran, yielded, ran again
+
     def test_preempt_unknown_or_finished_job(self):
         with MiningService(backend="serial") as service:
             job_id = service.submit(_job())

@@ -68,6 +68,17 @@ class TestRestartRoundTrip:
                 assert job_result_to_dict(ws.result(i, 10)) == docs[i]
             assert time.monotonic() - started < 5.0
             assert health["jobs"]["by_status"].get("done") == 2
+            # A durable server surfaces its store's vitals: recovered
+            # record count, journal compaction lag, and the belief
+            # spill's hit accounting.
+            store_health = ws.health()["store"]
+            assert store_health["records"] == 2
+            assert store_health["journal_lag"] >= 0
+            spill = store_health["belief_spill"]
+            assert {"hits", "misses", "stores", "errors", "hit_rate"} <= set(
+                spill
+            )
+            assert spill["hit_rate"] is None or 0.0 <= spill["hit_rate"] <= 1.0
 
     def test_stream_on_restarted_server_heals_from_the_store(self, store_path):
         spec = _job(seed=3)

@@ -61,6 +61,7 @@ class TestHealth:
         assert health["service"]["max_workers"] == 2
         assert {"published", "subscribers", "dropped"} <= set(health["events"])
         assert "hits" in health["result_cache"]
+        assert health["store"] is None  # storeless server: nothing to report
 
 
 class TestSubmitResultLifecycle:
