@@ -1,0 +1,85 @@
+"""Baseline files: grandfather existing findings without silencing rules.
+
+A baseline is the escape hatch for *adopting* a new rule on an old
+tree: every current finding is recorded by its line-number-independent
+fingerprint, the CI gate goes green, and only *new* violations fail
+from then on. Policy (see README): a baseline entry is a debt marker —
+code this repo ships should fix the finding or carry an inline
+``# sisd: ignore[RULE]`` with a reason, not live in the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import REPORT_SCHEMA, Finding
+from repro.errors import AnalysisError
+
+__all__ = ["load_baseline", "write_baseline", "apply_baseline"]
+
+#: One baseline entry: (rule, path, fingerprint).
+BaselineKey = tuple[str, str, str]
+
+
+def _key(entry: dict) -> BaselineKey:
+    try:
+        return (str(entry["rule"]), str(entry["path"]), str(entry["fingerprint"]))
+    except (KeyError, TypeError) as exc:
+        raise AnalysisError(f"malformed baseline entry {entry!r}") from exc
+
+
+def load_baseline(path: str | Path) -> set[BaselineKey]:
+    """Read a baseline file into its set of grandfathered keys."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise AnalysisError(f"cannot read baseline {path}: {exc}") from exc
+    except ValueError as exc:
+        raise AnalysisError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict) or not isinstance(
+        document.get("findings"), list
+    ):
+        raise AnalysisError(
+            f"baseline {path} must be an object with a 'findings' list"
+        )
+    schema = document.get("schema", REPORT_SCHEMA)
+    if schema != REPORT_SCHEMA:
+        raise AnalysisError(
+            f"unsupported baseline schema {schema!r} (expected {REPORT_SCHEMA})"
+        )
+    return {_key(entry) for entry in document["findings"]}
+
+
+def write_baseline(path: str | Path, findings: Sequence[Finding]) -> None:
+    """Write the current findings as a baseline (sorted, reviewable)."""
+    entries = [
+        {
+            "rule": finding.rule,
+            "path": finding.path,
+            "fingerprint": finding.fingerprint,
+            "snippet": finding.snippet,
+        }
+        for finding in sorted(findings, key=lambda f: f.sort_key)
+    ]
+    document = {"schema": REPORT_SCHEMA, "findings": entries}
+    payload = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    try:
+        Path(path).write_text(payload, encoding="utf-8")
+    except OSError as exc:
+        raise AnalysisError(f"cannot write baseline {path}: {exc}") from exc
+
+
+def apply_baseline(
+    findings: Iterable[Finding], baseline: set[BaselineKey]
+) -> tuple[list[Finding], int]:
+    """Split findings into (new, grandfathered-count)."""
+    kept: list[Finding] = []
+    grandfathered = 0
+    for finding in findings:
+        if (finding.rule, finding.path, finding.fingerprint) in baseline:
+            grandfathered += 1
+        else:
+            kept.append(finding)
+    return kept, grandfathered

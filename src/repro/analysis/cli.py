@@ -1,0 +1,159 @@
+"""The ``sisd lint`` command: the contract checks as a CI-ready gate.
+
+Exit codes are the CI contract:
+
+- ``0`` — clean (or every finding pragma-silenced/baselined),
+- ``1`` — at least one new finding,
+- ``2`` — usage or environment error (unknown rule, unreadable
+  baseline, ``--changed`` without git).
+
+``--json`` output is stable-ordered (path, line, col, rule) so two runs
+over the same tree diff cleanly; it is what CI uploads as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.analysis.base import RULES
+from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
+from repro.analysis.engine import LintEngine, changed_files
+from repro.analysis.findings import REPORT_SCHEMA
+from repro.errors import AnalysisError
+
+__all__ = ["add_lint_arguments", "run_lint"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint flags to a parser (used by the ``sisd`` CLI)."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="json_output",
+        help="machine-readable report on stdout (stable-ordered; what CI "
+        "archives as an artifact)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids to run (default: all registered)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="grandfather findings recorded in FILE (fingerprint-matched, "
+        "line-number independent); only new findings fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="record the current findings into FILE and exit 0 (the "
+        "adopt-a-rule escape hatch; see the README policy)",
+    )
+    parser.add_argument(
+        "--changed", nargs="?", const="HEAD", default=None, metavar="REF",
+        help="lint only files changed vs. the git REF (default HEAD) plus "
+        "untracked files — the sub-second pre-commit path",
+    )
+    parser.add_argument(
+        "--explain", default=None, metavar="RULE",
+        help="print RULE's full documentation and exit",
+    )
+    parser.add_argument(
+        "--rules", action="store_true", dest="list_rules",
+        help="list the registered rules and exit",
+    )
+
+
+def _explain(rule_id: str) -> int:
+    rule = RULES.get(rule_id)  # raises AnalysisError listing known ids
+    print(rule.explain())
+    return 0
+
+
+def _list_rules() -> int:
+    for rule_id in RULES:
+        rule = RULES.get(rule_id)
+        print(f"{rule_id:8s} {rule.summary()}")
+    return 0
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute ``sisd lint`` from parsed arguments; returns the exit code."""
+    try:
+        return _run(args)
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run(args: argparse.Namespace) -> int:
+    if args.explain is not None:
+        return _explain(args.explain)
+    if args.list_rules:
+        return _list_rules()
+
+    selected = None
+    if args.select is not None:
+        selected = [token.strip() for token in args.select.split(",") if token.strip()]
+    engine = LintEngine(selected)
+
+    paths: Sequence[str] = args.paths
+    if args.changed is not None:
+        changed = changed_files(args.changed)
+        requested = engine.collect(paths)
+        wanted = {path.resolve() for path in requested}
+        paths = [str(path) for path in changed if path.resolve() in wanted]
+        if not paths:
+            return _report(args, engine, findings=[], suppressed=0, files=0,
+                           grandfathered=0)
+
+    report = engine.lint(paths)
+    findings = report.findings
+    grandfathered = 0
+    if args.write_baseline is not None:
+        write_baseline(args.write_baseline, findings)
+        print(
+            f"baseline with {len(findings)} finding(s) written to "
+            f"{args.write_baseline}"
+        )
+        return 0
+    if args.baseline is not None:
+        findings, grandfathered = apply_baseline(
+            findings, load_baseline(args.baseline)
+        )
+    return _report(
+        args,
+        engine,
+        findings=findings,
+        suppressed=report.suppressed,
+        files=report.files,
+        grandfathered=grandfathered,
+    )
+
+
+def _report(args, engine, *, findings, suppressed, files, grandfathered) -> int:
+    if args.json_output:
+        document = {
+            "schema": REPORT_SCHEMA,
+            "files": files,
+            "suppressed": suppressed,
+            "grandfathered": grandfathered,
+            "findings": [finding.to_dict() for finding in findings],
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        for finding in findings:
+            print(finding.format())
+        notes = []
+        if suppressed:
+            notes.append(f"{suppressed} pragma-suppressed")
+        if grandfathered:
+            notes.append(f"{grandfathered} baselined")
+        detail = f" ({', '.join(notes)})" if notes else ""
+        print(
+            f"{len(findings)} finding(s) across {files} file(s){detail}"
+        )
+    return 1 if findings else 0

@@ -1,0 +1,193 @@
+"""The lint engine: collect files once, parse once, run every rule.
+
+:class:`LintEngine` owns the O(files) discipline: each file is read and
+parsed into one shared :class:`~repro.analysis.source.SourceFile`
+(parent links, import table, pragma index), and every applicable rule
+visits that one tree. Findings come back pragma-filtered and sorted by
+``(path, line, col, rule)``, so two runs over the same tree produce
+byte-identical reports — which is what makes ``--json`` output
+diffable and the CI artifact reviewable.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import repro.analysis.rules  # noqa: F401  - registers the built-in pack
+from repro.analysis.base import RULES, LintRule
+from repro.analysis.findings import Finding
+from repro.analysis.source import SourceFile
+from repro.errors import AnalysisError
+
+__all__ = ["LintEngine", "LintReport", "changed_files"]
+
+#: Pseudo-rule id for files the parser rejects outright.
+SYNTAX_RULE = "E100"
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, in stable order."""
+
+    findings: list[Finding] = field(default_factory=list)
+    #: Findings silenced by inline ``# sisd: ignore[...]`` pragmas.
+    suppressed: int = 0
+    #: Python files examined.
+    files: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+class LintEngine:
+    """Run a rule set over files or directory trees.
+
+    Parameters
+    ----------
+    rules:
+        Rule ids to run (default: every registered rule). Unknown ids
+        raise, listing what is registered.
+    root:
+        Paths in findings are shown relative to this directory when
+        possible (default: the current working directory), keeping
+        reports machine-independent.
+    """
+
+    def __init__(
+        self,
+        rules: Iterable[str] | None = None,
+        *,
+        root: str | Path | None = None,
+    ) -> None:
+        ids = list(rules) if rules is not None else list(RULES)
+        self.rules: list[LintRule] = [RULES.get(rule_id)() for rule_id in ids]
+        self.root = Path(root) if root is not None else Path.cwd()
+
+    # ------------------------------------------------------------------ #
+    # File collection
+    # ------------------------------------------------------------------ #
+    def collect(self, paths: Sequence[str | Path]) -> list[Path]:
+        """Expand files/directories into a sorted list of ``.py`` files."""
+        collected: set[Path] = set()
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                collected.update(
+                    candidate
+                    for candidate in path.rglob("*.py")
+                    if "__pycache__" not in candidate.parts
+                )
+            elif path.is_file():
+                if path.suffix == ".py":
+                    collected.add(path)
+            else:
+                raise AnalysisError(f"no such file or directory: {path}")
+        return sorted(collected)
+
+    # ------------------------------------------------------------------ #
+    # Linting
+    # ------------------------------------------------------------------ #
+    def lint(self, paths: Sequence[str | Path]) -> LintReport:
+        """Lint every python file under ``paths``; see :class:`LintReport`."""
+        report = LintReport()
+        for path in self.collect(paths):
+            findings, suppressed = self.lint_file(path)
+            report.findings.extend(findings)
+            report.suppressed += suppressed
+            report.files += 1
+        report.findings.sort(key=lambda finding: finding.sort_key)
+        return report
+
+    def lint_file(self, path: Path) -> tuple[list[Finding], int]:
+        """Lint one file; returns (findings, pragma-suppressed count)."""
+        try:
+            source = SourceFile.from_path(path, root=self.root)
+        except SyntaxError as exc:
+            display = self._display(path)
+            return (
+                [
+                    Finding(
+                        rule=SYNTAX_RULE,
+                        path=display,
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1,
+                        message=f"file does not parse: {exc.msg}",
+                        snippet=(exc.text or "").strip(),
+                    )
+                ],
+                0,
+            )
+        except UnicodeDecodeError as exc:
+            return (
+                [
+                    Finding(
+                        rule=SYNTAX_RULE,
+                        path=self._display(path),
+                        line=1,
+                        col=0,
+                        message=f"file is not UTF-8: {exc}",
+                    )
+                ],
+                0,
+            )
+        findings: list[Finding] = []
+        suppressed = 0
+        for rule in self.rules:
+            if not rule.applies(source):
+                continue
+            for finding in rule.check(source):
+                if source.is_ignored(finding.rule, finding.line):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+        return findings, suppressed
+
+    def _display(self, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(self.root.resolve()).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+
+def changed_files(
+    ref: str, *, cwd: str | Path | None = None
+) -> list[Path]:
+    """Python files changed versus ``ref``, plus untracked ones.
+
+    The ``sisd lint --changed`` fast path: lints only what a commit
+    would touch, so the pre-commit hook stays sub-second on a large
+    tree.
+    """
+    base = Path(cwd) if cwd is not None else Path.cwd()
+    try:
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", "-z", ref, "--", "*.py"],
+            cwd=base,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard", "-z", "*.py"],
+            cwd=base,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except FileNotFoundError as exc:
+        raise AnalysisError("--changed needs git on PATH") from exc
+    except subprocess.CalledProcessError as exc:
+        detail = (exc.stderr or "").strip() or f"git exited {exc.returncode}"
+        raise AnalysisError(f"--changed {ref!r}: {detail}") from exc
+    names = set()
+    for blob in (diff.stdout, untracked.stdout):
+        names.update(name for name in blob.split("\0") if name)
+    return sorted(
+        path
+        for name in names
+        if (path := base / name).is_file() and path.suffix == ".py"
+    )

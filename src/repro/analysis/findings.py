@@ -1,0 +1,81 @@
+"""Lint findings: the one value type everything in :mod:`repro.analysis` trades in.
+
+A :class:`Finding` is a frozen record of one rule violation at one source
+location. Its identity for baseline purposes is the :attr:`fingerprint`
+— a digest of *(rule, path, source-line text)* rather than the line
+number, so grandfathered findings survive unrelated edits that merely
+shift code up or down the file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import AnalysisError
+
+__all__ = ["Finding", "REPORT_SCHEMA"]
+
+#: Version stamp on ``sisd lint --json`` reports and baseline files.
+REPORT_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is stored with forward slashes and relative to the lint
+    root whenever possible, so reports are stable across machines.
+    ``snippet`` is the stripped text of the flagged line — the basis of
+    the line-number-independent :attr:`fingerprint`.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-independent identity (baseline matching key)."""
+        payload = f"{self.rule}::{self.path}::{self.snippet}".encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()[:16]
+
+    @property
+    def sort_key(self) -> tuple[str, int, int, str]:
+        """The stable report order: path, then position, then rule."""
+        return (self.path, self.line, self.col, self.rule)
+
+    def format(self) -> str:
+        """Human one-liner: ``path:line:col: RULE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe form (what ``--json`` reports carry)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Finding":
+        """Rebuild a finding from its JSON form; malformed input raises."""
+        try:
+            return cls(
+                rule=str(data["rule"]),
+                path=str(data["path"]),
+                line=int(data["line"]),
+                col=int(data["col"]),
+                message=str(data["message"]),
+                snippet=str(data.get("snippet", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise AnalysisError(f"malformed finding document: {exc}") from exc

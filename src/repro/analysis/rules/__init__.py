@@ -1,0 +1,14 @@
+"""The built-in rule pack: importing this module registers every rule.
+
+Mirrors :func:`repro.registry._register_builtins` — ``import
+repro.analysis`` always sees the full rule vocabulary in
+:data:`repro.analysis.base.RULES`. Add a new rule module here and it is
+immediately runnable, explainable (``--explain``), and listed
+(``--rules``).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules import async_rules, determinism, pickling, resources
+
+__all__ = ["async_rules", "determinism", "pickling", "resources"]

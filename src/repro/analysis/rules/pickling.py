@@ -1,0 +1,169 @@
+"""Pickle-boundary rule: only module-level callables cross processes.
+
+Everything the engine fans out — executor shards, distributed shard
+functions, ``multiprocessing`` targets — is pickled on its way to the
+worker. Pickle serializes functions *by reference* (module + qualified
+name), so lambdas, closures, and functions defined inside another
+function raise ``PicklingError`` at submit time — on the spawn start
+method and the distributed tier only, which is exactly why the bug
+class slips through fork-only test runs. ``tests/dist/distfns.py``
+exists solely to keep test shard functions module-level; this rule
+makes the convention a machine-checked contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.base import LintRule, register_rule
+from repro.analysis.findings import Finding
+from repro.analysis.source import SourceFile
+
+#: Constructors whose result is a process pool (tracked via assignment).
+_POOL_FACTORIES = (
+    "concurrent.futures.ProcessPoolExecutor",
+    "multiprocessing.Pool",
+    "multiprocessing.pool.Pool",
+)
+
+#: Pool methods whose first argument crosses the process boundary.
+_POOL_METHODS = frozenset(
+    {"submit", "map", "imap", "imap_unordered", "apply", "apply_async", "starmap"}
+)
+
+#: Module-level functions of this repo whose ``fn`` argument is shipped
+#: to worker daemons (position after the context digest, or ``fn=``).
+_SHIPPING_FUNCTIONS = frozenset({"run_shard", "shard_request"})
+
+
+def _local_function_names(source: SourceFile) -> set[str]:
+    """Functions defined inside another function (unpicklable by name)."""
+    names: set[str] = set()
+    for node in ast.walk(source.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if source.enclosing_function(node) is not None:
+                names.add(node.name)
+    return names
+
+
+def _lambda_assigned_names(source: SourceFile) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _process_pool_names(source: SourceFile) -> set[str]:
+    """Names assigned from a process-pool constructor anywhere in the file."""
+    pools: set[str] = set()
+    for node in ast.walk(source.tree):
+        if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+            continue
+        qual = source.qualname(node.value.func)
+        if qual is None:
+            continue
+        if qual in _POOL_FACTORIES or qual.endswith(".ProcessPoolExecutor"):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    pools.add(target.id)
+                elif isinstance(target, ast.Attribute):
+                    pools.add(target.attr)
+    return pools
+
+
+@register_rule
+class NonPicklableCallableRule(LintRule):
+    """PKL001: callables crossing a process boundary must be module-level.
+
+    Pickle ships functions by reference: a lambda or a function defined
+    inside another function cannot be resolved on the worker side and
+    fails with ``PicklingError`` — but only on spawn/forkserver starts
+    and on the distributed tier, so fork-based tests never catch it.
+    Define the function at module top level (the
+    ``tests/dist/distfns.py`` convention) and pass parameters through
+    the context or ``functools.partial`` over a module-level function.
+    """
+
+    rule_id = "PKL001"
+    title = "non-module-level callable crosses a process boundary"
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        """Yield every violation of this rule found in ``source``."""
+        local_fns = _local_function_names(source)
+        lambda_names = _lambda_assigned_names(source)
+        pools = _process_pool_names(source)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for arg, what in self._boundary_args(source, node, pools):
+                problem = self._unpicklable(arg, local_fns, lambda_names)
+                if problem is not None:
+                    yield self.finding(
+                        source,
+                        arg,
+                        f"{problem} passed to {what} cannot pickle across "
+                        f"the process boundary; define it at module level",
+                    )
+
+    def _boundary_args(
+        self, source: SourceFile, node: ast.Call, pools: set[str]
+    ) -> Iterable[tuple[ast.AST, str]]:
+        """(argument, boundary-description) pairs shipped by this call."""
+        func = node.func
+        qual = source.qualname(func)
+        # multiprocessing.Process(target=...)
+        if qual in ("multiprocessing.Process", "multiprocessing.context.Process"):
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    yield keyword.value, "multiprocessing.Process(target=...)"
+            return
+        # <process pool>.submit(fn, ...) / .map(fn, ...) / ...
+        if isinstance(func, ast.Attribute) and func.attr in _POOL_METHODS:
+            owner = func.value
+            owner_name = None
+            if isinstance(owner, ast.Name):
+                owner_name = owner.id
+            elif isinstance(owner, ast.Attribute):
+                owner_name = owner.attr
+            if owner_name in pools:
+                if node.args:
+                    yield node.args[0], f"process pool .{func.attr}()"
+                return
+        # run_shard(digest, fn, items) / shard_request(digest, fn, items)
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name in _SHIPPING_FUNCTIONS:
+            if len(node.args) >= 2:
+                yield node.args[1], f"{name}()"
+            for keyword in node.keywords:
+                if keyword.arg == "fn":
+                    yield keyword.value, f"{name}(fn=...)"
+
+    @staticmethod
+    def _unpicklable(
+        arg: ast.AST, local_fns: set[str], lambda_names: set[str]
+    ) -> str | None:
+        # functools.partial(f, ...) pickles iff f does: check its head.
+        if isinstance(arg, ast.Call):
+            head = arg.func
+            head_name = head.attr if isinstance(head, ast.Attribute) else (
+                head.id if isinstance(head, ast.Name) else None
+            )
+            if head_name == "partial" and arg.args:
+                return NonPicklableCallableRule._unpicklable(
+                    arg.args[0], local_fns, lambda_names
+                )
+            return None
+        if isinstance(arg, ast.Lambda):
+            return "a lambda"
+        if isinstance(arg, ast.Name):
+            if arg.id in local_fns:
+                return f"locally-defined function {arg.id!r}"
+            if arg.id in lambda_names:
+                return f"lambda-valued name {arg.id!r}"
+        return None

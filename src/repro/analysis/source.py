@@ -1,0 +1,181 @@
+"""Shared per-file analysis context: parse once, every rule reads it.
+
+:class:`SourceFile` is the file-cache/symbol-table layer under the lint
+engine. Each file is read, parsed, and indexed exactly once per run —
+rules receive the finished :class:`SourceFile` and stay O(files):
+
+- :attr:`tree` — the ``ast`` module tree, with parent links
+  (:meth:`parent`, :meth:`ancestors`, :meth:`enclosing_function`);
+- :attr:`imports` — local name → fully qualified module/object name, so
+  rules match ``np.random.rand`` and ``numpy.random.rand`` identically
+  (:meth:`qualname` does the resolution);
+- pragma index — ``# sisd: ignore[RULE1,RULE2] reason`` comments, on
+  the flagged line or on a comment-only line immediately above it
+  (:meth:`ignored_rules`); ``ignore[*]`` silences every rule;
+- ``# sisd: critical`` — a file-level marker opting the module into the
+  determinism rule pack outside the built-in critical-path list.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["SourceFile"]
+
+#: ``# sisd: ignore[DET001]`` / ``# sisd: ignore[DET001,ASY001] reason``.
+_PRAGMA = re.compile(r"#\s*sisd:\s*ignore\[([A-Za-z0-9_*,\s]+)\]")
+
+#: ``# sisd: critical`` — opt a module into the determinism pack.
+_CRITICAL = re.compile(r"#\s*sisd:\s*critical\b")
+
+#: AST nodes that introduce a function scope.
+_FUNCTIONS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+class SourceFile:
+    """One parsed python file plus the indexes every rule shares."""
+
+    def __init__(self, path: Path, text: str, *, display_path: str | None = None):
+        self.path = Path(path)
+        self.text = text
+        self.lines = text.splitlines()
+        #: Forward-slash path shown in findings (stable across machines).
+        self.display_path = display_path or self.path.as_posix()
+        self.tree = ast.parse(text, filename=str(path))
+        self._parents: dict[int, ast.AST] = {}
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                self._parents[id(child)] = node
+        self.imports = self._index_imports()
+        self._pragmas = self._index_pragmas()
+        self.marked_critical = any(
+            _CRITICAL.search(line) for line in self.lines
+        )
+
+    @classmethod
+    def from_path(cls, path: Path, *, root: Path | None = None) -> "SourceFile":
+        """Read and parse ``path``; ``root`` relativizes the display path."""
+        path = Path(path)
+        display = None
+        if root is not None:
+            try:
+                display = path.resolve().relative_to(root.resolve()).as_posix()
+            except ValueError:
+                display = path.as_posix()
+        return cls(path, path.read_text(encoding="utf-8"), display_path=display)
+
+    # ------------------------------------------------------------------ #
+    # Indexes
+    # ------------------------------------------------------------------ #
+    def _index_imports(self) -> dict[str, str]:
+        table: dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    # ``import a.b`` binds ``a``; ``import a.b as c`` binds
+                    # ``c`` to the full dotted path.
+                    table[bound] = alias.name if alias.asname else bound
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    table[bound] = f"{node.module}.{alias.name}"
+        return table
+
+    def _index_pragmas(self) -> dict[int, frozenset[str]]:
+        pragmas: dict[int, set[str]] = {}
+        for lineno, raw in enumerate(self.lines, 1):
+            match = _PRAGMA.search(raw)
+            if match is None:
+                continue
+            rules = {
+                token.strip()
+                for token in match.group(1).split(",")
+                if token.strip()
+            }
+            pragmas.setdefault(lineno, set()).update(rules)
+            if raw.strip().startswith("#"):
+                # Comment-only line: the pragma covers the next line
+                # that actually holds code.
+                for later in range(lineno + 1, len(self.lines) + 1):
+                    if self.lines[later - 1].strip():
+                        pragmas.setdefault(later, set()).update(rules)
+                        break
+        return {line: frozenset(rules) for line, rules in pragmas.items()}
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def line(self, lineno: int) -> str:
+        """The 1-based source line, or '' past EOF (defensive)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def ignored_rules(self, lineno: int) -> frozenset[str]:
+        """Rule ids pragma-silenced on ``lineno`` (may contain ``*``)."""
+        return self._pragmas.get(lineno, frozenset())
+
+    def is_ignored(self, rule: str, lineno: int) -> bool:
+        """True when a pragma on/above ``lineno`` silences ``rule``."""
+        ignored = self.ignored_rules(lineno)
+        return "*" in ignored or rule in ignored
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """The direct parent of ``node`` in the tree (None for the root)."""
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Enclosing nodes, innermost first."""
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def enclosing_function(self, node: ast.AST) -> ast.AST | None:
+        """The nearest function scope holding ``node``, or None."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, _FUNCTIONS):
+                return ancestor
+        return None
+
+    def qualname(self, node: ast.AST) -> str | None:
+        """Resolve a Name/Attribute chain to a dotted name.
+
+        Leading names go through the import table, so ``np.random.rand``
+        resolves to ``numpy.random.rand`` when the file did
+        ``import numpy as np``. Returns None for anything that is not a
+        plain dotted chain (subscripts, calls, literals).
+        """
+        parts: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        root = self.imports.get(current.id, current.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def scopes(self) -> Iterator[ast.AST]:
+        """The module node plus every function definition, outer first."""
+        yield self.tree
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+
+def scope_statements(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk a scope without descending into nested function scopes."""
+    body = getattr(scope, "body", [])
+    stack = list(body) if isinstance(body, list) else [body]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _FUNCTIONS):
+            continue  # nested scope: its statements belong to it
+        stack.extend(ast.iter_child_nodes(node))

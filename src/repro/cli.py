@@ -19,6 +19,10 @@ Subcommands:
   :class:`repro.dist.DistExecutor` (see :mod:`repro.dist`).
 - ``sisd route`` — federate several ``sisd serve`` replicas behind one
   address, placing jobs by spec fingerprint over consistent hashing.
+- ``sisd lint`` — statically check the repo's contract invariants
+  (determinism, asyncio hygiene, pickle boundaries, resource safety;
+  see :mod:`repro.analysis`). ``--json`` for CI, ``--explain RULE`` for
+  the rationale, ``--changed`` for a sub-second pre-commit pass.
 - ``sisd experiment NAME`` — reproduce one of the paper's tables/figures.
 - ``sisd experiments`` — list the reproducible experiments.
 
@@ -263,6 +267,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="replica health-check cadence in seconds (default 2)",
     )
 
+    lint = sub.add_parser(
+        "lint",
+        help="statically check determinism/asyncio/pickle/resource contracts",
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+
     sub.add_parser("experiments", help="list reproducible tables/figures")
 
     exp = sub.add_parser("experiment", help="reproduce a paper table/figure")
@@ -496,6 +508,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_worker(args)
         if args.command == "route":
             return _cmd_route(args)
+        if args.command == "lint":
+            from repro.analysis.cli import run_lint
+
+            return run_lint(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
     except ReproError as exc:

@@ -57,7 +57,7 @@ def digest_of(payload: bytes) -> str:
     return hashlib.sha256(payload).hexdigest()
 
 
-def shard_request(digest: str | None, fn: Any, items: list) -> dict:
+def shard_request(digest: str | None, fn: Any, items: list[Any]) -> dict[str, Any]:
     """The ``POST /shards`` envelope a coordinator sends a worker."""
     return {
         "schema": DIST_SCHEMA,

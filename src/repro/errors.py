@@ -81,6 +81,15 @@ class JobPreempted(EngineError):
     """
 
 
+class AnalysisError(ReproError):
+    """Raised by the static-analysis engine (:mod:`repro.analysis`).
+
+    Examples: an unknown lint rule id passed to ``sisd lint --explain``,
+    a malformed baseline file, or a ``--changed`` ref that git cannot
+    resolve.
+    """
+
+
 class ConvergenceError(ReproError):
     """Raised when an iterative solver fails to converge.
 

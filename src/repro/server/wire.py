@@ -45,7 +45,7 @@ WIRE_SCHEMA = 1
 EVENT_TYPES = ("iteration", "candidate", "schedule", "job", "job_failed")
 
 
-def _check_schema(data: dict, what: str) -> None:
+def _check_schema(data: dict[str, Any], what: str) -> None:
     schema = data.get("schema", WIRE_SCHEMA)
     if schema != WIRE_SCHEMA:
         raise ReproError(
@@ -56,9 +56,9 @@ def _check_schema(data: dict, what: str) -> None:
 # --------------------------------------------------------------------- #
 # Payload encodings
 # --------------------------------------------------------------------- #
-def iteration_to_wire(iteration: MiningIteration) -> dict:
+def iteration_to_wire(iteration: MiningIteration) -> dict[str, Any]:
     """Serialize one mining iteration (location + optional spread)."""
-    entry: dict = {
+    entry: dict[str, Any] = {
         "index": iteration.index,
         "location": result_to_dict(iteration.location),
     }
@@ -68,7 +68,7 @@ def iteration_to_wire(iteration: MiningIteration) -> dict:
     return entry
 
 
-def iteration_from_wire(data: dict) -> MiningIteration:
+def iteration_from_wire(data: dict[str, Any]) -> MiningIteration:
     """Rebuild one mining iteration from its wire form."""
     spread = data.get("spread")
     return MiningIteration(
@@ -78,7 +78,7 @@ def iteration_from_wire(data: dict) -> MiningIteration:
     )
 
 
-def candidate_to_wire(candidate: ScoredSubgroup) -> dict:
+def candidate_to_wire(candidate: ScoredSubgroup) -> dict[str, Any]:
     """Summarize one scored beam candidate for the stream.
 
     Candidates fire for *every* admissible subgroup (hundreds per beam
@@ -95,7 +95,7 @@ def candidate_to_wire(candidate: ScoredSubgroup) -> dict:
     }
 
 
-def scheduler_event_to_wire(event: SchedulerEvent) -> dict:
+def scheduler_event_to_wire(event: SchedulerEvent) -> dict[str, Any]:
     """Serialize one scheduling decision, including its job spec."""
     return {
         "kind": event.kind,
@@ -106,7 +106,7 @@ def scheduler_event_to_wire(event: SchedulerEvent) -> dict:
     }
 
 
-def scheduler_event_from_wire(data: dict) -> SchedulerEvent:
+def scheduler_event_from_wire(data: dict[str, Any]) -> SchedulerEvent:
     """Rebuild one scheduling decision from its wire form."""
     return SchedulerEvent(
         kind=data["kind"],
@@ -117,7 +117,7 @@ def scheduler_event_from_wire(data: dict) -> SchedulerEvent:
     )
 
 
-def job_state_to_wire(job_id: str, status, job: MiningJob) -> dict:
+def job_state_to_wire(job_id: str, status: Any, job: MiningJob) -> dict[str, Any]:
     """One job's lifecycle snapshot (the ``GET /jobs/{id}`` body)."""
     return {
         "schema": WIRE_SCHEMA,
@@ -133,7 +133,7 @@ def job_state_to_wire(job_id: str, status, job: MiningJob) -> dict:
     }
 
 
-def error_to_wire(error: BaseException) -> dict:
+def error_to_wire(error: BaseException) -> dict[str, Any]:
     """Serialize an exception as ``{"type", "message"}``."""
     return {"type": type(error).__name__, "message": str(error)}
 
@@ -141,7 +141,7 @@ def error_to_wire(error: BaseException) -> dict:
 # --------------------------------------------------------------------- #
 # Event envelopes (what SSE ``data:`` lines carry)
 # --------------------------------------------------------------------- #
-def iteration_event(job_id: str, iteration: MiningIteration) -> dict:
+def iteration_event(job_id: str, iteration: MiningIteration) -> dict[str, Any]:
     """Envelope for one mined iteration of one job."""
     return {
         "schema": WIRE_SCHEMA,
@@ -151,7 +151,7 @@ def iteration_event(job_id: str, iteration: MiningIteration) -> dict:
     }
 
 
-def candidate_event(job_id: str, candidate: ScoredSubgroup) -> dict:
+def candidate_event(job_id: str, candidate: ScoredSubgroup) -> dict[str, Any]:
     """Envelope for one scored beam candidate of one job (summary)."""
     return {
         "schema": WIRE_SCHEMA,
@@ -161,7 +161,7 @@ def candidate_event(job_id: str, candidate: ScoredSubgroup) -> dict:
     }
 
 
-def schedule_event(event: SchedulerEvent) -> dict:
+def schedule_event(event: SchedulerEvent) -> dict[str, Any]:
     """Envelope for one scheduling decision (self-tagged with its job id)."""
     return {
         "schema": WIRE_SCHEMA,
@@ -171,7 +171,7 @@ def schedule_event(event: SchedulerEvent) -> dict:
     }
 
 
-def job_event(job_id: str, result: JobResult) -> dict:
+def job_event(job_id: str, result: JobResult) -> dict[str, Any]:
     """Envelope for one completed job, carrying its whole result."""
     return {
         "schema": WIRE_SCHEMA,
@@ -181,7 +181,7 @@ def job_event(job_id: str, result: JobResult) -> dict:
     }
 
 
-def job_failed_event(job_id: str, job: MiningJob, error: BaseException) -> dict:
+def job_failed_event(job_id: str, job: MiningJob, error: BaseException) -> dict[str, Any]:
     """Envelope for one failed job."""
     return {
         "schema": WIRE_SCHEMA,
@@ -209,10 +209,10 @@ class RemoteEvent:
     job_id: str | None
     data: Any
     seq: int = 0
-    raw: dict | None = None
+    raw: dict[str, Any] | None = None
 
 
-def event_from_wire(data: dict, seq: int = 0) -> RemoteEvent:
+def event_from_wire(data: dict[str, Any], seq: int = 0) -> RemoteEvent:
     """Decode one event envelope, materializing its payload."""
     if not isinstance(data, dict):
         raise ReproError(f"event document must be an object, got {type(data).__name__}")
@@ -239,11 +239,11 @@ def event_from_wire(data: dict, seq: int = 0) -> RemoteEvent:
     return RemoteEvent(type=kind, job_id=job_id, data=payload, seq=seq, raw=data)
 
 
-def job_result_to_wire(result: JobResult) -> dict:
+def job_result_to_wire(result: JobResult) -> dict[str, Any]:
     """Serialize one whole job result (the ``GET .../result`` payload)."""
     return job_result_to_dict(result)
 
 
-def job_result_from_wire(data: dict) -> JobResult:
+def job_result_from_wire(data: dict[str, Any]) -> JobResult:
     """Rebuild one whole job result from its wire form."""
     return job_result_from_dict(data)

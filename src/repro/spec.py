@@ -34,6 +34,7 @@ True
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields, replace
+from typing import Any, TypeVar
 
 from repro.engine.cache import fingerprint as _fingerprint
 from repro.engine.jobs import MiningJob
@@ -44,8 +45,10 @@ from repro.search.config import SearchConfig
 #: Schema version embedded in serialized specs; bump on breaking changes.
 SPEC_SCHEMA = 1
 
+_S = TypeVar("_S")
 
-def _section_from_dict(cls, data: dict | None, section: str):
+
+def _section_from_dict(cls: type[_S], data: dict[str, Any] | None, section: str) -> _S:
     """Build one section dataclass from its dict, rejecting unknown keys."""
     if data is None:
         data = {}
@@ -63,7 +66,7 @@ def _section_from_dict(cls, data: dict | None, section: str):
         raise ReproError(f"invalid spec section {section!r}: {exc}") from exc
 
 
-def _name_tuple(value, field_name: str) -> tuple[str, ...] | None:
+def _name_tuple(value: Any, field_name: str) -> tuple[str, ...] | None:
     """Coerce a list of names to a tuple; reject bare strings.
 
     ``targets="ab"`` would silently become ``('a', 'b')`` under a plain
@@ -85,7 +88,7 @@ class DatasetSpec:
 
     name: str
     seed: int = 0
-    kwargs: dict = field(default_factory=dict)
+    kwargs: dict[str, Any] = field(default_factory=dict)
     targets: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
@@ -123,7 +126,7 @@ class ModelSpec:
     """Whose beliefs: the background-model kind and an optional prior."""
 
     kind: str = "gaussian"
-    prior: dict | None = None
+    prior: dict[str, Any] | None = None
 
     def __post_init__(self) -> None:
         if self.prior is not None:
@@ -332,9 +335,9 @@ class MiningSpec:
     # Construction helpers
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _route_flat(kwargs: dict) -> dict[str, dict]:
+    def _route_flat(kwargs: dict[str, Any]) -> dict[str, dict[str, Any]]:
         """Route flat keywords to ``{section: {field: value}}`` dicts."""
-        sections: dict[str, dict] = {}
+        sections: dict[str, dict[str, Any]] = {}
         for key, value in kwargs.items():
             try:
                 section, field_name = _FLAT_FIELDS[key]
@@ -347,7 +350,7 @@ class MiningSpec:
         return sections
 
     @classmethod
-    def build(cls, dataset: str, *, name: str = "", **kwargs) -> "MiningSpec":
+    def build(cls, dataset: str, *, name: str = "", **kwargs: Any) -> "MiningSpec":
         """Flat-keyword constructor: route each kwarg to its section.
 
         ``MiningSpec.build("water", kind="spread", workers=4)`` spares
@@ -365,7 +368,7 @@ class MiningSpec:
             },
         )
 
-    def with_changes(self, **kwargs) -> "MiningSpec":
+    def with_changes(self, **kwargs: Any) -> "MiningSpec":
         """A copy with flat keywords applied (see :meth:`build`)."""
         name = kwargs.pop("name", self.name)
         updated = {
@@ -456,9 +459,9 @@ class MiningSpec:
     # ------------------------------------------------------------------ #
     # Serialization and identity
     # ------------------------------------------------------------------ #
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """JSON-safe sectioned form (tuples become lists)."""
-        document: dict = {"schema": SPEC_SCHEMA}
+        document: dict[str, Any] = {"schema": SPEC_SCHEMA}
         if self.name:
             document["name"] = self.name
         document["dataset"] = {
@@ -491,7 +494,7 @@ class MiningSpec:
         return document
 
     @classmethod
-    def from_dict(cls, data: dict) -> "MiningSpec":
+    def from_dict(cls, data: dict[str, Any]) -> "MiningSpec":
         """Rebuild a spec; unknown sections or keys fail loudly.
 
         Absent sections keep their defaults; ``"dataset"`` may be a bare

@@ -22,6 +22,7 @@ import os
 import tempfile
 import threading
 from pathlib import Path
+from typing import Any
 
 from repro.errors import EngineError
 from repro.store.wal import DurableLog
@@ -63,7 +64,7 @@ class JobStore:
     # ------------------------------------------------------------------ #
     # Records
     # ------------------------------------------------------------------ #
-    def put(self, doc: dict) -> None:
+    def put(self, doc: dict[str, Any]) -> None:
         """Durably upsert one record document (keyed by its job id)."""
         if doc.get("schema") != RECORD_SCHEMA:
             raise EngineError(
@@ -77,7 +78,7 @@ class JobStore:
             raise EngineError(f"record state {doc.get('state')!r} is not storable")
         self._log.put(str(job_id), doc)
 
-    def get(self, job_id: str) -> dict | None:
+    def get(self, job_id: str) -> dict[str, Any] | None:
         """The stored record for ``job_id``, or ``None``."""
         return self._log.get(str(job_id))
 
@@ -85,7 +86,7 @@ class JobStore:
         """Durably forget ``job_id`` (a no-op if absent)."""
         self._log.delete(str(job_id))
 
-    def records(self) -> list[dict]:
+    def records(self) -> list[dict[str, Any]]:
         """Every stored record, ordered by submission sequence number."""
         docs = list(self._log.snapshot().values())
         docs.sort(key=lambda doc: (doc.get("seq", 0), doc.get("job_id", "")))
@@ -112,7 +113,7 @@ class JobStore:
         to tell a restart apart from sequence-number redelivery.
         """
         with self._meta_lock:
-            meta = {}
+            meta: dict[str, Any] = {}
             try:
                 meta = json.loads(self.meta_path.read_text(encoding="utf-8"))
             except FileNotFoundError:
@@ -120,7 +121,7 @@ class JobStore:
             except ValueError:
                 pass  # corrupt meta: restart the counter rather than die
             if not isinstance(meta, dict):
-                meta = {}
+                meta: dict[str, Any] = {}
             generation = int(meta.get("generation", 0)) + 1
             meta["generation"] = generation
             fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
@@ -153,7 +154,7 @@ class JobStore:
     def pending_ops(self) -> int:
         return self._log.pending_ops
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, int]:
         """Operational counters for health reporting.
 
         ``records`` is every scheduler record held durably;
@@ -173,5 +174,5 @@ class JobStore:
     def __enter__(self) -> "JobStore":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()

@@ -1,0 +1,30 @@
+"""Shared fixture: every rule test lints a snippet planted at a chosen path.
+
+Rules scope themselves by display path (``applies_to``), so fixtures
+are written into a temp tree at path suffixes the rules recognise —
+``<tmp>/repro/engine/cache.py`` for the determinism pack,
+``<tmp>/repro/store/mod.py`` for RES002 — and linted with the temp root
+as the engine root.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import LintEngine, LintReport
+
+
+@pytest.fixture
+def lint_snippet(tmp_path):
+    """Write ``code`` at ``relpath`` under a temp root and lint it."""
+
+    def _lint(relpath: str, code: str, rules=None) -> LintReport:
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(code), encoding="utf-8")
+        engine = LintEngine(rules, root=tmp_path)
+        return engine.lint([path])
+
+    return _lint

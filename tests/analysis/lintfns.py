@@ -1,0 +1,10 @@
+"""Tiny shared assertions for the lint-rule tests."""
+
+from __future__ import annotations
+
+from repro.analysis import LintReport
+
+
+def rule_ids(report: LintReport) -> list[str]:
+    """The rule ids fired by a report, in report order."""
+    return [finding.rule for finding in report.findings]

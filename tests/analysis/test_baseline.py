@@ -1,0 +1,97 @@
+"""Baseline round-trip: write, load, grandfather — and reject garbage."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.errors import AnalysisError
+
+
+def _finding(line: int = 4, snippet: str = "return time.time()") -> Finding:
+    return Finding(
+        rule="DET001",
+        path="repro/engine/cache.py",
+        line=line,
+        col=11,
+        message="time.time() varies run to run",
+        snippet=snippet,
+    )
+
+
+class TestRoundTrip:
+    def test_written_findings_are_grandfathered(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, [_finding()])
+        baseline = load_baseline(baseline_path)
+        kept, grandfathered = apply_baseline([_finding()], baseline)
+        assert kept == []
+        assert grandfathered == 1
+
+    def test_fingerprint_survives_line_moves(self, tmp_path):
+        # The file grew above the finding; the baseline still matches.
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, [_finding(line=4)])
+        baseline = load_baseline(baseline_path)
+        kept, grandfathered = apply_baseline([_finding(line=40)], baseline)
+        assert kept == []
+        assert grandfathered == 1
+
+    def test_new_finding_is_kept(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, [_finding()])
+        baseline = load_baseline(baseline_path)
+        new = _finding(snippet="return time.time_ns()")
+        kept, grandfathered = apply_baseline([new], baseline)
+        assert kept == [new]
+        assert grandfathered == 0
+
+    def test_baseline_file_is_sorted_and_reviewable(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        first = _finding()
+        second = Finding(
+            rule="ASY001", path="repro/server/app.py", line=9, col=4,
+            message="time.sleep() blocks", snippet="time.sleep(1)",
+        )
+        write_baseline(baseline_path, [second, first])
+        document = json.loads(baseline_path.read_text())
+        paths = [entry["path"] for entry in document["findings"]]
+        assert paths == sorted(paths)
+        assert all("snippet" in entry for entry in document["findings"])
+
+
+class TestValidation:
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(AnalysisError, match="cannot read"):
+            load_baseline(tmp_path / "absent.json")
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(AnalysisError, match="not valid JSON"):
+            load_baseline(path)
+
+    def test_wrong_shape_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(["not", "an", "object"]))
+        with pytest.raises(AnalysisError, match="findings"):
+            load_baseline(path)
+
+    def test_unsupported_schema_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"schema": 99, "findings": []}))
+        with pytest.raises(AnalysisError, match="schema"):
+            load_baseline(path)
+
+    def test_malformed_entry_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"schema": 1, "findings": [{"rule": "X"}]}))
+        with pytest.raises(AnalysisError, match="malformed baseline entry"):
+            load_baseline(path)

@@ -1,0 +1,109 @@
+"""``sisd lint --changed``: lint only what a commit would touch."""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import subprocess
+import textwrap
+
+import pytest
+
+from repro.analysis import changed_files
+from repro.analysis.cli import add_lint_arguments, run_lint
+from repro.errors import AnalysisError
+
+pytestmark = pytest.mark.skipif(
+    shutil.which("git") is None, reason="git not on PATH"
+)
+
+_BAD = textwrap.dedent(
+    """
+    import time
+
+    def stamp():
+        return time.time()
+    """
+)
+
+
+def _git(repo, *argv):
+    subprocess.run(
+        ["git", *argv],
+        cwd=repo,
+        check=True,
+        capture_output=True,
+        env={
+            "GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@example.com",
+            "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@example.com",
+            "HOME": str(repo),
+            "PATH": os.environ["PATH"],
+        },
+    )
+
+
+@pytest.fixture
+def repo(tmp_path, monkeypatch):
+    """A git repo with two committed critical modules, cwd inside."""
+    monkeypatch.chdir(tmp_path)
+    engine = tmp_path / "repro" / "engine"
+    engine.mkdir(parents=True)
+    (engine / "cache.py").write_text("def fine():\n    return 1\n")
+    (engine / "jobs.py").write_text("def fine():\n    return 2\n")
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-qm", "seed")
+    return tmp_path
+
+
+def run_cli(*argv: str) -> int:
+    parser = argparse.ArgumentParser(prog="sisd lint")
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(list(argv)))
+
+
+class TestChangedFiles:
+    def test_modified_and_untracked_are_listed(self, repo):
+        (repo / "repro" / "engine" / "cache.py").write_text(_BAD)
+        (repo / "repro" / "engine" / "fresh.py").write_text("x = 1\n")
+        names = [path.name for path in changed_files("HEAD", cwd=repo)]
+        assert names == ["cache.py", "fresh.py"]
+
+    def test_clean_checkout_lists_nothing(self, repo):
+        assert changed_files("HEAD", cwd=repo) == []
+
+    def test_bad_ref_raises(self, repo):
+        with pytest.raises(AnalysisError, match="no-such-ref"):
+            changed_files("no-such-ref", cwd=repo)
+
+
+class TestChangedMode:
+    def test_only_changed_files_are_linted(self, repo, capsys):
+        # Both files would fire DET001, but only cache.py changed.
+        (repo / "repro" / "engine" / "cache.py").write_text(_BAD)
+        assert run_cli("--changed", "HEAD", ".") == 1
+        out = capsys.readouterr().out
+        assert "cache.py" in out
+        assert "jobs.py" not in out
+
+    def test_untracked_files_are_included(self, repo, capsys):
+        # repro/spec.py is determinism-critical and was never committed.
+        (repo / "repro" / "spec.py").write_text(_BAD)
+        assert run_cli("--changed", "HEAD", ".") == 1
+        assert "spec.py" in capsys.readouterr().out
+
+    def test_no_changes_is_a_clean_run(self, repo, capsys):
+        assert run_cli("--changed", "HEAD", ".") == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_changed_respects_requested_paths(self, repo, capsys):
+        # The change is outside the requested subtree: nothing to lint.
+        outside = repo / "other"
+        outside.mkdir()
+        (outside / "mod.py").write_text(_BAD)
+        assert run_cli("--changed", "HEAD", "repro") == 0
+
+    def test_bad_ref_exits_two(self, repo, capsys):
+        assert run_cli("--changed", "no-such-ref", ".") == 2
+        assert "no-such-ref" in capsys.readouterr().err

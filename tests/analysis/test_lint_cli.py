@@ -1,0 +1,156 @@
+"""``sisd lint`` end to end: exit codes, --json stability, baselines."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import RULES
+from repro.analysis.cli import add_lint_arguments, run_lint
+
+
+def run_cli(*argv: str) -> int:
+    """Parse ``argv`` exactly like the ``sisd lint`` subcommand and run it."""
+    parser = argparse.ArgumentParser(prog="sisd lint")
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(list(argv)))
+
+
+@pytest.fixture
+def tree(tmp_path, monkeypatch):
+    """A temp tree with one clean and one violating module, cwd inside."""
+    monkeypatch.chdir(tmp_path)
+    bad = tmp_path / "repro" / "engine" / "cache.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(
+        textwrap.dedent(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        )
+    )
+    good = tmp_path / "repro" / "clean.py"
+    good.write_text("def fine():\n    return 1\n")
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        assert run_cli(str(tmp_path)) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tree, capsys):
+        assert run_cli(".") == 1
+        out = capsys.readouterr().out
+        assert "repro/engine/cache.py:5:11: DET001" in out
+
+    def test_missing_path_exits_two(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert run_cli("no/such/dir") == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, tree, capsys):
+        assert run_cli("--select", "NOPE999", ".") == 2
+        assert "NOPE999" in capsys.readouterr().err
+
+    def test_syntax_error_reports_e100(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "broken.py").write_text("def broken(:\n")
+        assert run_cli(".") == 1
+        assert "E100" in capsys.readouterr().out
+
+
+class TestSelection:
+    def test_select_limits_rules(self, tree, capsys):
+        assert run_cli("--select", "ASY001", ".") == 0
+        assert run_cli("--select", "DET001", ".") == 1
+
+    def test_explain_prints_docstring(self, capsys):
+        assert run_cli("--explain", "DET001") == 0
+        out = capsys.readouterr().out
+        assert "DET001" in out
+        assert len(out.splitlines()) > 1
+
+    def test_explain_unknown_rule_exits_two(self, capsys):
+        assert run_cli("--explain", "NOPE999") == 2
+
+    def test_rules_lists_the_registry(self, capsys):
+        assert run_cli("--rules") == 0
+        out = capsys.readouterr().out
+        for rule_id in RULES:
+            assert rule_id in out
+
+
+class TestJsonOutput:
+    def test_document_shape(self, tree, capsys):
+        assert run_cli("--json", ".") == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == 1
+        assert document["files"] == 2
+        finding = document["findings"][0]
+        assert finding["rule"] == "DET001"
+        assert finding["path"] == "repro/engine/cache.py"
+        assert set(finding) >= {"rule", "path", "line", "col", "message",
+                                "snippet", "fingerprint"}
+
+    def test_output_is_stable_across_runs(self, tree, capsys):
+        run_cli("--json", ".")
+        first = capsys.readouterr().out
+        run_cli("--json", ".")
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_findings_are_sorted(self, tree, capsys):
+        more = tree / "repro" / "engine" / "jobs.py"
+        more.write_text("import time\n\ndef t():\n    return time.time()\n")
+        run_cli("--json", ".")
+        document = json.loads(capsys.readouterr().out)
+        keys = [
+            (f["path"], f["line"], f["col"], f["rule"])
+            for f in document["findings"]
+        ]
+        assert keys == sorted(keys)
+
+
+class TestBaselineFlow:
+    def test_write_then_apply_goes_green(self, tree, capsys):
+        assert run_cli("--write-baseline", "baseline.json", ".") == 0
+        capsys.readouterr()
+        assert run_cli("--baseline", "baseline.json", ".") == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_new_violation_still_fails(self, tree, capsys):
+        run_cli("--write-baseline", "baseline.json", ".")
+        capsys.readouterr()
+        extra = tree / "repro" / "engine" / "jobs.py"
+        extra.write_text("import time\n\ndef t():\n    return time.time()\n")
+        assert run_cli("--baseline", "baseline.json", ".") == 1
+        out = capsys.readouterr().out
+        assert "repro/engine/jobs.py" in out
+        assert "repro/engine/cache.py" not in out
+
+    def test_unreadable_baseline_exits_two(self, tree, capsys):
+        assert run_cli("--baseline", "absent.json", ".") == 2
+        assert "baseline" in capsys.readouterr().err
+
+
+class TestPragmaReporting:
+    def test_suppressed_count_shows_in_summary(self, tmp_path, monkeypatch,
+                                               capsys):
+        monkeypatch.chdir(tmp_path)
+        mod = tmp_path / "repro" / "engine" / "cache.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text(
+            "import time\n\ndef t():\n"
+            "    return time.time()  # sisd: ignore[DET001] probe\n"
+        )
+        assert run_cli(".") == 0
+        assert "1 pragma-suppressed" in capsys.readouterr().out

@@ -1,0 +1,89 @@
+"""Inline ``# sisd: ignore[...]`` pragmas silence findings, audited."""
+
+from __future__ import annotations
+
+from lintfns import rule_ids
+
+
+class TestPragmas:
+    def test_same_line_pragma_suppresses(self, lint_snippet):
+        report = lint_snippet(
+            "repro/engine/cache.py",
+            """
+            import time
+
+            def stamp():
+                return time.time()  # sisd: ignore[DET001] ttl probe only
+            """,
+        )
+        assert report.clean
+        assert report.suppressed == 1
+
+    def test_comment_line_above_suppresses(self, lint_snippet):
+        report = lint_snippet(
+            "repro/engine/cache.py",
+            """
+            import time
+
+            def stamp():
+                # sisd: ignore[DET001] ttl probe only
+                return time.time()
+            """,
+        )
+        assert report.clean
+        assert report.suppressed == 1
+
+    def test_pragma_lists_multiple_rules(self, lint_snippet):
+        report = lint_snippet(
+            "repro/engine/cache.py",
+            """
+            import random
+            import time
+
+            def stamp():
+                # sisd: ignore[DET001, DET002]
+                return time.time() + random.random()
+            """,
+        )
+        assert report.clean
+        assert report.suppressed == 2
+
+    def test_star_pragma_silences_every_rule(self, lint_snippet):
+        report = lint_snippet(
+            "repro/engine/cache.py",
+            """
+            import time
+
+            def stamp():
+                return time.time()  # sisd: ignore[*] exempt fixture
+            """,
+        )
+        assert report.clean
+        assert report.suppressed == 1
+
+    def test_wrong_rule_id_does_not_suppress(self, lint_snippet):
+        report = lint_snippet(
+            "repro/engine/cache.py",
+            """
+            import time
+
+            def stamp():
+                return time.time()  # sisd: ignore[DET002]
+            """,
+        )
+        assert rule_ids(report) == ["DET001"]
+        assert report.suppressed == 0
+
+    def test_pragma_only_covers_its_own_line(self, lint_snippet):
+        report = lint_snippet(
+            "repro/engine/cache.py",
+            """
+            import time
+
+            def stamp():
+                first = time.time()  # sisd: ignore[DET001]
+                return first, time.time()
+            """,
+        )
+        assert rule_ids(report) == ["DET001"]
+        assert report.suppressed == 1

@@ -1,0 +1,164 @@
+"""ASY001/ASY002 fire inside coroutines and stay quiet everywhere else."""
+
+from __future__ import annotations
+
+from lintfns import rule_ids
+
+
+class TestBlockingInAsync:
+    def test_time_sleep_in_coroutine_fires(self, lint_snippet):
+        report = lint_snippet(
+            "repro/server/app.py",
+            """
+            import time
+
+            async def handler():
+                time.sleep(1)
+            """,
+        )
+        assert rule_ids(report) == ["ASY001"]
+        assert "await asyncio.sleep" in report.findings[0].message
+
+    def test_open_and_http_in_coroutine_fire(self, lint_snippet):
+        report = lint_snippet(
+            "repro/server/app.py",
+            """
+            from http.client import HTTPConnection
+
+            async def handler(path):
+                conn = HTTPConnection("host", 80)
+                with open(path) as fh:
+                    return fh.read(), conn
+            """,
+        )
+        assert rule_ids(report) == ["ASY001", "ASY001"]
+
+    def test_sleep_in_plain_function_is_quiet(self, lint_snippet):
+        # Thread-run helpers (like WorkerDaemon._register_loop) may sleep.
+        report = lint_snippet(
+            "repro/server/app.py",
+            """
+            import time
+
+            def register_loop():
+                time.sleep(1)
+            """,
+        )
+        assert report.clean
+
+    def test_sync_helper_nested_in_coroutine_is_quiet(self, lint_snippet):
+        # The sleep belongs to the nested def, which runs in an executor.
+        report = lint_snippet(
+            "repro/server/app.py",
+            """
+            import asyncio
+            import time
+
+            async def handler(loop):
+                def work():
+                    time.sleep(1)
+                return await loop.run_in_executor(None, work)
+            """,
+        )
+        assert report.clean
+
+    def test_asyncio_sleep_is_quiet(self, lint_snippet):
+        report = lint_snippet(
+            "repro/server/app.py",
+            """
+            import asyncio
+
+            async def handler():
+                await asyncio.sleep(1)
+            """,
+        )
+        assert report.clean
+
+
+class TestAwaitUnderLock:
+    def test_await_inside_with_lock_fires(self, lint_snippet):
+        report = lint_snippet(
+            "repro/server/app.py",
+            """
+            import threading
+
+            class Service:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                async def update(self):
+                    with self._lock:
+                        await self.refresh()
+            """,
+        )
+        assert rule_ids(report) == ["ASY002"]
+        assert "_lock" in report.findings[0].message
+
+    def test_direct_lock_constructor_fires(self, lint_snippet):
+        report = lint_snippet(
+            "repro/server/app.py",
+            """
+            import threading
+
+            async def update(shared):
+                with threading.Lock():
+                    await shared.refresh()
+            """,
+        )
+        assert rule_ids(report) == ["ASY002"]
+
+    def test_await_after_lock_released_is_quiet(self, lint_snippet):
+        report = lint_snippet(
+            "repro/server/app.py",
+            """
+            import threading
+
+            class Service:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                async def update(self):
+                    with self._lock:
+                        snapshot = dict(self.state)
+                    await self.push(snapshot)
+            """,
+        )
+        assert report.clean
+
+    def test_async_with_asyncio_lock_is_quiet(self, lint_snippet):
+        report = lint_snippet(
+            "repro/server/app.py",
+            """
+            import asyncio
+
+            class Service:
+                def __init__(self):
+                    self._lock = asyncio.Lock()
+
+                async def update(self):
+                    async with self._lock:
+                        await self.refresh()
+            """,
+        )
+        assert report.clean
+
+    def test_nested_coroutine_await_is_its_own(self, lint_snippet):
+        # The await belongs to the nested coroutine, which runs later,
+        # after the outer with block exited.
+        report = lint_snippet(
+            "repro/server/app.py",
+            """
+            import threading
+
+            class Service:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                async def update(self):
+                    with self._lock:
+                        async def later():
+                            await self.refresh()
+                        self.pending = later
+            """,
+        )
+        assert report.clean

@@ -1,0 +1,199 @@
+"""DET001/DET002/DET003 fire on violations and stay quiet on clean code."""
+
+from __future__ import annotations
+
+from lintfns import rule_ids
+
+
+class TestWallClock:
+    def test_time_time_fires_in_critical_module(self, lint_snippet):
+        report = lint_snippet(
+            "repro/engine/cache.py",
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+        )
+        assert rule_ids(report) == ["DET001"]
+        assert "time.time()" in report.findings[0].message
+
+    def test_datetime_now_fires(self, lint_snippet):
+        report = lint_snippet(
+            "repro/spec.py",
+            """
+            import datetime
+
+            def stamp():
+                return datetime.datetime.now()
+            """,
+        )
+        assert rule_ids(report) == ["DET001"]
+
+    def test_monotonic_is_quiet(self, lint_snippet):
+        report = lint_snippet(
+            "repro/engine/cache.py",
+            """
+            import time
+
+            def elapsed(start):
+                return time.monotonic() - start
+            """,
+        )
+        assert report.clean
+
+    def test_non_critical_module_is_quiet(self, lint_snippet):
+        # Same violation, but outside the critical-path list.
+        report = lint_snippet(
+            "repro/report/html.py",
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+        )
+        assert report.clean
+
+    def test_critical_marker_opts_a_module_in(self, lint_snippet):
+        report = lint_snippet(
+            "repro/report/html.py",
+            """
+            # sisd: critical
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+        )
+        assert rule_ids(report) == ["DET001"]
+
+
+class TestUnseededRandom:
+    def test_global_random_fires(self, lint_snippet):
+        report = lint_snippet(
+            "repro/engine/jobs.py",
+            """
+            import random
+
+            def draw():
+                return random.random()
+            """,
+        )
+        assert rule_ids(report) == ["DET002"]
+
+    def test_numpy_global_fires_through_alias(self, lint_snippet):
+        report = lint_snippet(
+            "repro/dist/executor.py",
+            """
+            import numpy as np
+
+            def draw():
+                return np.random.rand(3)
+            """,
+        )
+        assert rule_ids(report) == ["DET002"]
+
+    def test_unseeded_default_rng_fires(self, lint_snippet):
+        report = lint_snippet(
+            "repro/dist/ring.py",
+            """
+            import numpy as np
+
+            def make_rng():
+                return np.random.default_rng()
+            """,
+        )
+        assert rule_ids(report) == ["DET002"]
+
+    def test_seeded_default_rng_is_quiet(self, lint_snippet):
+        report = lint_snippet(
+            "repro/dist/ring.py",
+            """
+            import numpy as np
+
+            def make_rng(seed):
+                return np.random.default_rng(seed)
+            """,
+        )
+        assert report.clean
+
+    def test_instance_rng_is_quiet(self, lint_snippet):
+        report = lint_snippet(
+            "repro/engine/jobs.py",
+            """
+            import random
+
+            def draw(seed):
+                rng = random.Random(seed)
+                return rng.random()
+            """,
+        )
+        assert report.clean
+
+
+class TestSetIteration:
+    def test_for_over_set_literal_fires(self, lint_snippet):
+        report = lint_snippet(
+            "repro/engine/cache.py",
+            """
+            def merge():
+                out = []
+                for key in {1, 2, 3}:
+                    out.append(key)
+                return out
+            """,
+        )
+        assert rule_ids(report) == ["DET003"]
+
+    def test_for_over_tracked_set_name_fires(self, lint_snippet):
+        report = lint_snippet(
+            "repro/engine/cache.py",
+            """
+            def merge(keys):
+                seen = set(keys)
+                out = []
+                for key in seen:
+                    out.append(key)
+                return out
+            """,
+        )
+        assert rule_ids(report) == ["DET003"]
+
+    def test_list_of_set_fires(self, lint_snippet):
+        report = lint_snippet(
+            "repro/engine/cache.py",
+            """
+            def order(keys):
+                return list(set(keys))
+            """,
+        )
+        assert rule_ids(report) == ["DET003"]
+
+    def test_sorted_set_is_quiet(self, lint_snippet):
+        report = lint_snippet(
+            "repro/engine/cache.py",
+            """
+            def order(keys):
+                seen = set(keys)
+                return sorted(seen), sorted(set(keys))
+            """,
+        )
+        assert report.clean
+
+    def test_rebound_name_is_not_tracked(self, lint_snippet):
+        # ``seen`` stops being a set after the rebind; don't flag it.
+        report = lint_snippet(
+            "repro/engine/cache.py",
+            """
+            def order(keys):
+                seen = set(keys)
+                seen = sorted(seen)
+                out = []
+                for key in seen:
+                    out.append(key)
+                return out
+            """,
+        )
+        assert report.clean

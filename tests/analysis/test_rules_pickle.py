@@ -1,0 +1,99 @@
+"""PKL001: callables crossing a process boundary must be module-level."""
+
+from __future__ import annotations
+
+from lintfns import rule_ids
+
+
+class TestPickleBoundary:
+    def test_lambda_to_process_pool_fires(self, lint_snippet):
+        report = lint_snippet(
+            "repro/dist/fanout.py",
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def run():
+                pool = ProcessPoolExecutor(2)
+                return pool.submit(lambda: 1)
+            """,
+        )
+        assert rule_ids(report) == ["PKL001"]
+        assert "lambda" in report.findings[0].message
+
+    def test_local_function_to_pool_map_fires(self, lint_snippet):
+        report = lint_snippet(
+            "repro/dist/fanout.py",
+            """
+            from multiprocessing import Pool
+
+            def run(items):
+                def work(item):
+                    return item * 2
+                pool = Pool(2)
+                return pool.map(work, items)
+            """,
+        )
+        assert rule_ids(report) == ["PKL001"]
+        assert "work" in report.findings[0].message
+
+    def test_partial_over_local_function_fires(self, lint_snippet):
+        report = lint_snippet(
+            "repro/dist/fanout.py",
+            """
+            from concurrent.futures import ProcessPoolExecutor
+            from functools import partial
+
+            def run():
+                def work(a, b):
+                    return a + b
+                pool = ProcessPoolExecutor(2)
+                return pool.submit(partial(work, 1))
+            """,
+        )
+        assert rule_ids(report) == ["PKL001"]
+
+    def test_multiprocessing_process_target_fires(self, lint_snippet):
+        report = lint_snippet(
+            "repro/dist/fanout.py",
+            """
+            import multiprocessing
+
+            def run():
+                proc = multiprocessing.Process(target=lambda: 1)
+                proc.start()
+            """,
+        )
+        assert rule_ids(report) == ["PKL001"]
+
+    def test_module_level_function_is_quiet(self, lint_snippet):
+        report = lint_snippet(
+            "repro/dist/fanout.py",
+            """
+            from concurrent.futures import ProcessPoolExecutor
+            from functools import partial
+
+            def work(item):
+                return item * 2
+
+            def run(items):
+                pool = ProcessPoolExecutor(2)
+                pool.submit(work, items[0])
+                pool.submit(partial(work, 1))
+                return pool.map(work, items)
+            """,
+        )
+        assert report.clean
+
+    def test_thread_pool_lambda_is_quiet(self, lint_snippet):
+        # Threads share the heap; nothing pickles.
+        report = lint_snippet(
+            "repro/dist/fanout.py",
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            def run():
+                pool = ThreadPoolExecutor(2)
+                return pool.submit(lambda: 1)
+            """,
+        )
+        assert report.clean

@@ -1,0 +1,150 @@
+"""RES001/RES002: handles release on all paths; renames fsync first."""
+
+from __future__ import annotations
+
+from lintfns import rule_ids
+
+
+class TestUnclosedHandle:
+    def test_bare_connect_fires(self, lint_snippet):
+        report = lint_snippet(
+            "repro/store/db.py",
+            """
+            import sqlite3
+
+            def query():
+                conn = sqlite3.connect("state.db")
+                return conn.execute("select 1").fetchone()
+            """,
+        )
+        assert rule_ids(report) == ["RES001"]
+        assert "close()" in report.findings[0].message
+
+    def test_shared_memory_wants_close_and_unlink(self, lint_snippet):
+        report = lint_snippet(
+            "repro/dist/shm.py",
+            """
+            from multiprocessing import shared_memory
+
+            def alloc():
+                seg = shared_memory.SharedMemory(create=True, size=64)
+                seg.buf[0] = 1
+            """,
+        )
+        assert rule_ids(report) == ["RES001"]
+        assert "unlink()" in report.findings[0].message
+
+    def test_with_block_is_quiet(self, lint_snippet):
+        report = lint_snippet(
+            "repro/store/db.py",
+            """
+            def read(path):
+                with open(path) as fh:
+                    return fh.read()
+            """,
+        )
+        assert report.clean
+
+    def test_try_finally_close_is_quiet(self, lint_snippet):
+        report = lint_snippet(
+            "repro/store/db.py",
+            """
+            import sqlite3
+
+            def query():
+                conn = sqlite3.connect("state.db")
+                try:
+                    return conn.execute("select 1").fetchone()
+                finally:
+                    conn.close()
+            """,
+        )
+        assert report.clean
+
+    def test_returned_handle_is_quiet(self, lint_snippet):
+        # Ownership moves to the caller; closing here would be wrong.
+        report = lint_snippet(
+            "repro/store/db.py",
+            """
+            def acquire(path):
+                fh = open(path)
+                return fh
+            """,
+        )
+        assert report.clean
+
+    def test_handle_stored_in_registry_is_quiet(self, lint_snippet):
+        report = lint_snippet(
+            "repro/store/db.py",
+            """
+            import sqlite3
+
+            def register(pool):
+                conn = sqlite3.connect("state.db")
+                pool["main"] = conn
+            """,
+        )
+        assert report.clean
+
+
+class TestRenameWithoutFsync:
+    def test_write_then_rename_without_fsync_fires(self, lint_snippet):
+        report = lint_snippet(
+            "repro/store/records.py",
+            """
+            import json
+            import os
+
+            def publish(tmp, path, doc):
+                with open(tmp, "w") as fh:
+                    json.dump(doc, fh)
+                os.replace(tmp, path)
+            """,
+        )
+        assert rule_ids(report) == ["RES002"]
+        assert "fsync" in report.findings[0].message
+
+    def test_fsync_before_rename_is_quiet(self, lint_snippet):
+        report = lint_snippet(
+            "repro/store/records.py",
+            """
+            import json
+            import os
+
+            def publish(tmp, path, doc):
+                with open(tmp, "w") as fh:
+                    json.dump(doc, fh)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, path)
+            """,
+        )
+        assert report.clean
+
+    def test_rename_without_a_write_is_quiet(self, lint_snippet):
+        # Pure moves (rotation, cleanup) publish nothing new.
+        report = lint_snippet(
+            "repro/store/records.py",
+            """
+            import os
+
+            def rotate(old, new):
+                os.replace(old, new)
+            """,
+        )
+        assert report.clean
+
+    def test_rule_is_scoped_to_the_store_package(self, lint_snippet):
+        # Same pattern elsewhere is not durability-critical.
+        report = lint_snippet(
+            "repro/report/html.py",
+            """
+            import os
+
+            def publish(tmp, path, doc):
+                with open(tmp, "w") as fh:
+                    fh.write(doc)
+                os.replace(tmp, path)
+            """,
+        )
+        assert report.clean
