@@ -79,9 +79,12 @@ def measure(seed: int = 0):
         with watch:
             result = miner.search_locations()
         executor.close()
+        # A coarse clock (or a trivially small run) can report ~0 elapsed;
+        # floor it so the speedup/throughput divisions below stay finite.
+        elapsed = max(watch.elapsed, 1e-9)
         if reference is None:
             reference = result
-            serial_elapsed = watch.elapsed
+            serial_elapsed = elapsed
         else:
             # Parallelism must not change what gets mined — bit for bit,
             # regardless of worker count or transport.
@@ -89,17 +92,17 @@ def measure(seed: int = 0):
             assert result.best.description == reference.best.description
             assert result.best.score.ic == reference.best.score.ic
         label = f"{workers}{' +shm' if shared_memory else ''}"
-        rows.append((label, watch.elapsed, serial_elapsed / watch.elapsed))
+        rows.append((label, watch.elapsed, serial_elapsed / elapsed))
         runs_document.append(
             {
                 "workers": workers,
                 "shared_memory": shared_memory,
                 "seconds": round(watch.elapsed, 4),
-                "speedup_vs_serial": round(serial_elapsed / watch.elapsed, 4),
+                "speedup_vs_serial": round(serial_elapsed / elapsed, 4),
                 # Throughput, the scheduler-facing number: how many beam
                 # candidates this backend scored per wall-clock second.
                 "candidates": result.n_evaluated,
-                "candidates_per_sec": round(result.n_evaluated / watch.elapsed, 1),
+                "candidates_per_sec": round(result.n_evaluated / elapsed, 1),
             }
         )
 

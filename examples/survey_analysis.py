@@ -1,0 +1,162 @@
+"""Survey analysis: dataframe ingestion, case weights, served batch jobs.
+
+The wikimedia-style survey workflow, end to end on synthetic data:
+
+1. **Ingest** — survey responses arrive as a dataframe (pandas when
+   installed; the example falls back to a plain mapping of column
+   arrays, which :func:`repro.from_dataframe` accepts equally).
+2. **Weight** — the sample over-represents some regions, so each
+   respondent gets a post-stratification weight (population share over
+   sample share). A row with weight 2 counts exactly like two identical
+   respondents everywhere in the scoring stack.
+3. **Mine** — one batch job per platform segment is submitted to the
+   served engine (thread backend: the segment datasets are registered
+   factories in this process) and mined with the weights riding the
+   spec.
+4. **Report** — results come back as a :class:`repro.ResultSet`; with
+   pandas installed the report is a DataFrame, without it the same rows
+   print as plain dicts. ``weighted_coverage`` is the share of the
+   *weighted* population a subgroup covers — the number a survey analyst
+   actually quotes.
+
+Run with::
+
+    PYTHONPATH=src python examples/survey_analysis.py
+"""
+
+import numpy as np
+
+from repro import MiningSpec, ResultSet, Workspace, from_dataframe
+from repro.registry import DATASETS
+
+try:
+    import pandas
+except ImportError:  # the example runs fine without the [dataframe] extra
+    pandas = None
+
+#: True population share per region; the sample skews away from this.
+POPULATION_SHARES = {"north": 0.25, "south": 0.25, "east": 0.3, "west": 0.2}
+SAMPLE_SHARES = {"north": 0.45, "south": 0.25, "east": 0.2, "west": 0.1}
+
+SEGMENTS = ("mobile", "desktop")
+
+
+def make_survey_columns(seed: int = 0, n_respondents: int = 1200) -> dict:
+    """Synthetic survey responses with one planted satisfied segment.
+
+    Young respondents from the south rate both satisfaction targets
+    visibly higher — the subgroup the miner should surface.
+    """
+    rng = np.random.default_rng(seed)
+    regions = np.array(sorted(SAMPLE_SHARES))
+    region = rng.choice(regions, size=n_respondents, p=[SAMPLE_SHARES[r] for r in regions])
+    platform = rng.choice(SEGMENTS, size=n_respondents, p=[0.65, 0.35])
+    age = rng.integers(18, 80, size=n_respondents).astype(float)
+    tenure_years = np.round(rng.exponential(3.0, size=n_respondents), 2)
+    sat_content = rng.normal(0.0, 1.0, size=n_respondents)
+    sat_interface = rng.normal(0.0, 1.0, size=n_respondents)
+    planted = (region == "south") & (age <= 35.0)
+    sat_content[planted] += 1.6
+    sat_interface[planted] += 1.1
+    return {
+        "region": region,
+        "platform": platform,
+        "age": age,
+        "tenure_years": tenure_years,
+        "sat_content": sat_content,
+        "sat_interface": sat_interface,
+    }
+
+
+def post_stratification_weights(region: np.ndarray) -> np.ndarray:
+    """Weight each respondent by population share / sample share."""
+    n = region.shape[0]
+    weights = np.empty(n)
+    for name in POPULATION_SHARES:
+        mask = region == name
+        sample_share = mask.sum() / n
+        weights[mask] = POPULATION_SHARES[name] / sample_share
+    return weights
+
+
+def segment_frame(columns: dict, platform: str) -> dict:
+    """The per-segment slice, with the segmenting column dropped."""
+    mask = columns["platform"] == platform
+    return {c: v[mask] for c, v in columns.items() if c != "platform"}
+
+
+def main() -> None:
+    columns = make_survey_columns(seed=0)
+    weights = post_stratification_weights(columns["region"])
+    columns = {**columns, "weight": weights}
+    frame = pandas.DataFrame(columns) if pandas is not None else columns
+    kind = "pandas DataFrame" if pandas is not None else "mapping of arrays"
+    print(f"ingesting survey responses from a {kind}")
+
+    # One dataset + one spec per platform segment. The factories close
+    # over the in-memory frames, so the service must run in-process: the
+    # thread backend shares this interpreter's DATASETS registry, which a
+    # spawned worker process would not see.
+    datasets = {}
+    for segment in SEGMENTS:
+        sliced = segment_frame(columns, segment)
+        dataset = from_dataframe(
+            sliced if pandas is None else pandas.DataFrame(sliced),
+            target=["sat_content", "sat_interface"],
+            weights="weight",
+            name=f"survey-{segment}",
+        )
+        datasets[segment] = dataset
+        dataset_name = f"survey_{segment}"
+        if dataset_name not in DATASETS:
+            DATASETS.register(
+                dataset_name, lambda seed=0, _d=dataset, **kwargs: _d
+            )
+        print(
+            f"  {segment}: {dataset.n_rows} respondents, "
+            f"total weight {dataset.total_weight():.1f}"
+        )
+
+    with Workspace(service_backend="thread") as workspace:
+        job_ids = {
+            segment: workspace.submit(
+                MiningSpec.build(
+                    f"survey_{segment}",
+                    name=f"survey-{segment}",
+                    kind="location",
+                    n_iterations=2,
+                    weights=tuple(datasets[segment].weights),
+                    backend="thread",
+                )
+            )
+            for segment in SEGMENTS
+        }
+        for segment, job_id in job_ids.items():
+            result = workspace.result(job_id)
+            results = ResultSet.from_result(result, dataset=datasets[segment])
+            print(f"\n=== segment: {segment} ===")
+            if pandas is not None:
+                report = results.to_dataframe()
+                columns_shown = [
+                    "iteration", "description", "size",
+                    "coverage", "weighted_coverage", "si",
+                ]
+                print(report[columns_shown].to_string(index=False))
+            else:
+                for row in results.rows():
+                    print(
+                        f"  [{row['iteration']}] {row['description']}  "
+                        f"(n={row['size']}, coverage={row['coverage']:.1%}, "
+                        f"weighted={row['weighted_coverage']:.1%}, "
+                        f"SI={row['si']:.2f})"
+                    )
+
+    print(
+        "\nThe planted segment (young southern respondents) tops both "
+        "reports; its weighted coverage differs from its row coverage "
+        "because the south is re-weighted to its population share."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -46,6 +46,8 @@ from repro.datasets import (
     make_socio,
     make_synthetic,
     make_water,
+    from_dataframe,
+    to_dataframe,
     read_csv,
     write_csv,
 )
@@ -80,6 +82,7 @@ from repro.search import (
     LocationBeamSearch,
     LocationPatternResult,
     MiningIteration,
+    ResultSet,
     ScoredSubgroup,
     SearchConfig,
     SearchResult,
@@ -157,6 +160,8 @@ __all__ = [
     "make_mammals",
     "make_socio",
     "make_water",
+    "from_dataframe",
+    "to_dataframe",
     "read_csv",
     "write_csv",
     # language
@@ -194,6 +199,7 @@ __all__ = [
     "LocationPatternResult",
     "SpreadPatternResult",
     "MiningIteration",
+    "ResultSet",
     "ScoredSubgroup",
     "SearchResult",
     "SpreadObjective",

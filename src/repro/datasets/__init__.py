@@ -15,11 +15,14 @@ from repro.datasets.socio import make_socio
 from repro.datasets.water import make_water
 from repro.datasets.registry import available_datasets, load_dataset
 from repro.datasets.io import read_csv, write_csv
+from repro.datasets.frame import from_dataframe, to_dataframe
 
 __all__ = [
     "AttributeKind",
     "Column",
     "Dataset",
+    "from_dataframe",
+    "to_dataframe",
     "make_synthetic",
     "make_crime",
     "make_mammals",

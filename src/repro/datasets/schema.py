@@ -92,6 +92,29 @@ class Column:
         return self.domain().shape[0] <= 1
 
 
+def validate_weights(weights, n_rows: int) -> np.ndarray | None:
+    """Validate case weights: ``None`` or ``n_rows`` positive finite floats.
+
+    Returns a fresh float64 copy (callers may hand in lists or views) or
+    ``None``. Zero and negative weights are rejected — a zero-weight row
+    should simply be dropped before mining, and silently carrying it
+    would divide empty subgroups by zero deep in the scoring stack.
+    """
+    if weights is None:
+        return None
+    arr = np.asarray(weights, dtype=float)
+    if arr.ndim != 1 or arr.shape[0] != n_rows:
+        raise DataError(
+            f"weights must be a 1-D array of length {n_rows}, "
+            f"got shape {arr.shape}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise DataError("weights contain NaN/inf")
+    if np.any(arr <= 0.0):
+        raise DataError("weights must be strictly positive")
+    return arr.copy()
+
+
 class Dataset:
     """A named dataset: description columns + a real-valued target matrix.
 
@@ -109,6 +132,13 @@ class Dataset:
         Optional side information not visible to the search (e.g. latitude/
         longitude for map rendering, planted ground-truth labels for tests).
         Values must be 1-D arrays of length ``n`` or arbitrary scalars.
+    weights:
+        Optional per-row case weights (``n`` positive finite floats).
+        A row with weight ``w`` counts as ``w`` copies in every
+        sufficient statistic the mining stack computes (frequency
+        semantics: weight 2 ≡ the row appearing twice). ``None`` means
+        unit weights, and the scoring stack takes the exact unweighted
+        code path, so results are bit-identical to pre-weights versions.
     """
 
     def __init__(
@@ -118,6 +148,7 @@ class Dataset:
         targets: np.ndarray,
         target_names: Sequence[str],
         metadata: Mapping[str, object] | None = None,
+        weights: np.ndarray | None = None,
     ) -> None:
         if not name:
             raise DataError("Dataset name must be non-empty")
@@ -159,6 +190,7 @@ class Dataset:
         self.targets = targets
         self.target_names = list(target_names)
         self.metadata: dict[str, object] = dict(metadata or {})
+        self.weights = validate_weights(weights, n)
 
     # ------------------------------------------------------------------ #
     # Shape accessors
@@ -217,9 +249,31 @@ class Dataset:
         """One target column as a 1-D array."""
         return self.targets[:, self.target_index(name)]
 
+    @property
+    def has_weights(self) -> bool:
+        """True when non-unit case weights are attached."""
+        return self.weights is not None
+
+    def total_weight(self) -> float:
+        """Sum of the case weights (``n_rows`` for unit weights)."""
+        if self.weights is None:
+            return float(self.n_rows)
+        return float(self.weights.sum())
+
     # ------------------------------------------------------------------ #
     # Derived datasets
     # ------------------------------------------------------------------ #
+    def with_weights(self, weights: np.ndarray | None) -> "Dataset":
+        """A copy carrying the given case weights (``None`` removes them)."""
+        return Dataset(
+            self.name,
+            [self._columns[c] for c in self._order],
+            self.targets,
+            self.target_names,
+            metadata=self.metadata,
+            weights=weights,
+        )
+
     def with_targets(self, names: Sequence[str]) -> "Dataset":
         """A view-like copy restricted to the given target columns."""
         idx = [self.target_index(n) for n in names]
@@ -229,6 +283,7 @@ class Dataset:
             self.targets[:, idx],
             [self.target_names[i] for i in idx],
             metadata=self.metadata,
+            weights=self.weights,
         )
 
     def subset(self, rows: np.ndarray, *, name: str | None = None) -> "Dataset":
@@ -254,6 +309,7 @@ class Dataset:
             self.targets[index],
             self.target_names,
             metadata=metadata,
+            weights=self.weights[index] if self.weights is not None else None,
         )
 
     # ------------------------------------------------------------------ #

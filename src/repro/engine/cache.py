@@ -128,6 +128,12 @@ def dataset_content_fingerprint(dataset) -> str:
             _feed("values", "\x00".join(str(v) for v in values).encode("utf-8"))
         else:
             _feed("values", np.ascontiguousarray(values).tobytes())
+    # Case weights change every score the loop computes, so they are part
+    # of the content; fed only when present, which keeps the digest of
+    # every unweighted dataset identical to pre-weights versions.
+    weights = getattr(dataset, "weights", None)
+    if weights is not None:
+        _feed("weights", np.ascontiguousarray(weights, dtype=float).tobytes())
     result = digest.hexdigest()
     try:
         dataset._content_fingerprint = result

@@ -71,6 +71,13 @@ class MiningJob:
         Forwarded to the dataset generator.
     targets:
         Optional subset of target attributes to model.
+    weights:
+        Optional per-row case weights (one positive finite number per
+        dataset row; frequency semantics — weight 2 ≡ the row twice).
+        Applied to the loaded dataset before mining; fingerprint-relevant
+        but omitted from :meth:`spec` when ``None`` so pre-weights
+        fingerprints stay stable. The beam strategy only; the single-shot
+        strategies reject weights.
     prior:
         Optional explicit background prior as ``{"mean": [...],
         "cov": [[...]]}``; ``None`` uses the empirical prior.
@@ -110,6 +117,7 @@ class MiningJob:
     dataset_seed: int = 0
     dataset_kwargs: dict = field(default_factory=dict)
     targets: tuple[str, ...] | None = None
+    weights: tuple[float, ...] | None = None
     prior: dict | None = None
     kind: str = "location"
     sparsity: int | None = None
@@ -151,6 +159,18 @@ class MiningJob:
             )
         if self.targets is not None:
             object.__setattr__(self, "targets", tuple(self.targets))
+        if self.weights is not None:
+            try:
+                weights = tuple(float(w) for w in self.weights)
+            except (TypeError, ValueError):
+                raise EngineError(
+                    f"weights must be a sequence of numbers, got {self.weights!r}"
+                ) from None
+            if not weights:
+                raise EngineError("weights must be non-empty or None")
+            if any(not np.isfinite(w) or w <= 0.0 for w in weights):
+                raise EngineError("weights must be positive finite numbers")
+            object.__setattr__(self, "weights", weights)
         if self.prior is not None and not (
             isinstance(self.prior, dict) and {"mean", "cov"} <= set(self.prior)
         ):
@@ -196,6 +216,12 @@ class MiningJob:
                 f"strategy {self.strategy!r} is single-shot (no belief-state "
                 f"iteration); n_iterations must be 1, got {self.n_iterations}"
             )
+        if self.weights is not None:
+            # The single-shot searches score with unweighted statistics;
+            # silently dropping the weights would mislabel the results.
+            raise EngineError(
+                f"strategy {self.strategy!r} does not support case weights"
+            )
         if self.prior is not None:
             # branch_bound builds its own fresh model and quality_beam
             # scores its result SI against the empirical model — neither
@@ -214,8 +240,13 @@ class MiningJob:
         return hash(self.fingerprint())
 
     def spec(self) -> dict:
-        """The name-free canonical spec (what the job computes)."""
-        return {
+        """The name-free canonical spec (what the job computes).
+
+        ``weights`` appears only when set: pre-weights specs — and every
+        fingerprint, cache key, and golden derived from them — stay
+        byte-identical.
+        """
+        document = {
             "dataset": self.dataset,
             "dataset_seed": self.dataset_seed,
             "dataset_kwargs": self.dataset_kwargs,
@@ -231,6 +262,9 @@ class MiningJob:
             "strategy": self.strategy,
             "measure": self.measure,
         }
+        if self.weights is not None:
+            document["weights"] = list(self.weights)
+        return document
 
     def fingerprint(self) -> str:
         """Stable digest of the spec; equal work ⇒ equal fingerprint.
@@ -421,6 +455,15 @@ def run_job(
         cache=dataset_cache,
         **job.dataset_kwargs,
     )
+    if job.weights is not None:
+        if len(job.weights) != dataset.n_rows:
+            raise EngineError(
+                f"job carries {len(job.weights)} weights but dataset "
+                f"{job.dataset!r} has {dataset.n_rows} rows"
+            )
+        # A fresh derived dataset: the cached (shared) instance is never
+        # mutated, so unweighted jobs keep hitting the same object.
+        dataset = dataset.with_weights(np.asarray(job.weights, dtype=float))
     started = time.perf_counter()
     if job.strategy == "beam":
         miner = SubgroupDiscovery(

@@ -39,9 +39,15 @@ def split_points(
     Returns
     -------
     numpy.ndarray
-        Sorted unique thresholds, each strictly inside the column's value
-        range (thresholds at the extremes would yield conditions that are
-        trivially true in one direction).
+        Sorted thresholds, each strictly inside the column's value range
+        (thresholds at the extremes would yield conditions that are
+        trivially true in one direction), deduplicated by *extension
+        equivalence*: two thresholds with no data value between them
+        induce the same ``<=`` and the same ``>=`` row sets, so only the
+        smallest threshold of each equivalence class is kept (an
+        order-preserving, deterministic collapse). On constant or
+        low-cardinality columns this is what stops the beam from scoring
+        the same subgroup once per redundant threshold.
 
     Notes
     -----
@@ -57,6 +63,12 @@ def split_points(
         raise LanguageError(f"n_split_points must be >= 1, got {n_split_points}")
 
     values = column.values
+    if not np.all(np.isfinite(values)):
+        # Column validation normally guarantees this; a loud error beats
+        # the silent empty threshold set NaN comparisons would produce.
+        raise LanguageError(
+            f"column {column.name!r} has NaN/inf values; split points undefined"
+        )
     lo, hi = float(values.min()), float(values.max())
     if lo == hi:
         return np.empty(0)
@@ -75,4 +87,18 @@ def split_points(
     # Keep thresholds that split the data: strictly above the minimum for
     # "<=" usefulness is not required (x <= lo selects the minimum rows),
     # but thresholds outside (lo, hi] on both sides are useless.
-    return unique[(unique >= lo) & (unique <= hi)]
+    unique = unique[(unique >= lo) & (unique <= hi)]
+    if unique.shape[0] <= 1:
+        return unique
+    # Extension-equivalence collapse. "x <= t" selects by how many values
+    # fall at or below t, "x >= t" by how many fall strictly below — both
+    # monotone in t, so thresholds sharing the (count_le, count_lt) pair
+    # induce identical masks in *both* directions. Keep the first (the
+    # smallest) threshold of each class; order is preserved by re-sorting
+    # the surviving indices.
+    ordered = np.sort(values)
+    count_le = np.searchsorted(ordered, unique, side="right")
+    count_lt = np.searchsorted(ordered, unique, side="left")
+    keys = np.stack([count_le, count_lt], axis=1)
+    _, first = np.unique(keys, axis=0, return_index=True)
+    return unique[np.sort(first)]

@@ -40,15 +40,23 @@ class BackgroundModel:
         Initial expectation: every point starts as ``N(prior.mean,
         prior.cov)`` (the MaxEnt distribution under the user's expected
         mean and covariance).
+    weights:
+        Optional per-row case weights (frequency semantics: a row with
+        weight ``w`` behaves as ``w`` independent copies in every
+        sufficient statistic). ``None`` keeps the exact unweighted code
+        path, so unit weights stay bit-identical to no weights.
     """
 
     #: What the engine's shared-memory transport may extract when a
     #: frozen model ships to pool workers (:func:`repro.engine.shm.publish`):
-    #: the row partition (scales with the data) and the per-block
-    #: parameter lists; the nested prior declares its own arrays.
-    __shm_arrays__ = ("_partition", "_means", "_covs", "prior")
+    #: the row partition (scales with the data), the per-block parameter
+    #: lists, and the case weights; the nested prior declares its own
+    #: arrays. ``_weights`` may be ``None`` — the transport skips it.
+    __shm_arrays__ = ("_partition", "_means", "_covs", "prior", "_weights")
 
-    def __init__(self, n_rows: int, prior: Prior) -> None:
+    def __init__(
+        self, n_rows: int, prior: Prior, weights: np.ndarray | None = None
+    ) -> None:
         if n_rows <= 0:
             raise ModelError(f"n_rows must be positive, got {n_rows}")
         self.prior = prior
@@ -57,17 +65,44 @@ class BackgroundModel:
         self._means: list[np.ndarray] = [prior.mean.copy()]
         self._covs: list[np.ndarray] = [prior.cov.copy()]
         self._constraints: list[PatternConstraint] = []
+        self._weights = self._check_weights(weights, n_rows)
+
+    @staticmethod
+    def _check_weights(weights, n_rows: int) -> np.ndarray | None:
+        if weights is None:
+            return None
+        arr = np.asarray(weights, dtype=float)
+        if arr.ndim != 1 or arr.shape[0] != n_rows:
+            raise ModelError(
+                f"weights must be a 1-D array of length {n_rows}, got shape {arr.shape}"
+            )
+        if not np.all(np.isfinite(arr)) or np.any(arr <= 0.0):
+            raise ModelError("weights must be positive finite floats")
+        return arr.copy()
 
     # ------------------------------------------------------------------ #
     # Constructors
     # ------------------------------------------------------------------ #
     @classmethod
-    def from_targets(cls, targets: np.ndarray, **prior_kwargs) -> "BackgroundModel":
-        """Model with the empirical prior of ``targets`` (paper's setup)."""
+    def from_targets(
+        cls,
+        targets: np.ndarray,
+        weights: np.ndarray | None = None,
+        **prior_kwargs,
+    ) -> "BackgroundModel":
+        """Model with the empirical prior of ``targets`` (paper's setup).
+
+        With ``weights``, the prior is the *weighted* empirical mean and
+        covariance — consistent with the duplicated-rows interpretation.
+        """
         targets = np.asarray(targets, dtype=float)
         if targets.ndim == 1:
             targets = targets[:, None]
-        return cls(targets.shape[0], empirical_prior(targets, **prior_kwargs))
+        return cls(
+            targets.shape[0],
+            empirical_prior(targets, weights=weights, **prior_kwargs),
+            weights=weights,
+        )
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -93,6 +128,11 @@ class BackgroundModel:
     def constraints(self) -> tuple[PatternConstraint, ...]:
         """Patterns assimilated so far, in order."""
         return tuple(self._constraints)
+
+    @property
+    def weights(self) -> np.ndarray | None:
+        """Case weights the model was built with (``None`` = unit)."""
+        return self._weights
 
     def block_mean(self, block: int) -> np.ndarray:
         """Mean parameter of one block (copy)."""
@@ -121,7 +161,7 @@ class BackgroundModel:
 
     def copy(self) -> "BackgroundModel":
         """Deep copy; used by searches that score hypothetical updates."""
-        clone = BackgroundModel(self._n_rows, self.prior)
+        clone = BackgroundModel(self._n_rows, self.prior, weights=self._weights)
         clone._partition = BlockPartition(self._n_rows)
         clone._partition._labels[:] = self._partition.labels
         clone._partition._n_blocks = self._partition.n_blocks
@@ -148,16 +188,34 @@ class BackgroundModel:
             raise ModelError("subgroup extension is empty")
         return mask
 
+    def _block_weights(self, mask: np.ndarray) -> np.ndarray:
+        """Weighted row count of each block inside ``mask`` (float array).
+
+        Unweighted models return the exact integer block counts as
+        floats, so every statistic built on them is bit-identical to the
+        historical count-based arithmetic.
+        """
+        if self._weights is None:
+            return self._partition.counts_in(mask).astype(float)
+        return np.bincount(
+            self._partition.labels[mask],
+            weights=self._weights[mask],
+            minlength=self._partition.n_blocks,
+        )
+
     def subgroup_mean_distribution(self, indices) -> tuple[np.ndarray, np.ndarray]:
         """Distribution of the subgroup mean statistic ``f_I(Y)``.
 
         Under the model, ``f_I(Y) ~ N(mu_I, Sigma_I)`` with
         ``mu_I = sum_{i in I} mu_i / |I|`` and — being a mean of
         independent Gaussians — ``Sigma_I = sum_{i in I} Sigma_i / |I|^2``
-        (DESIGN.md §2, correction 2).
+        (DESIGN.md §2, correction 2). With case weights, counts become
+        weighted counts and ``|I|`` the total subgroup weight: a row of
+        weight ``w`` contributes like ``w`` independent copies, so the
+        covariance stays *linear* in ``w`` (frequency semantics).
         """
         mask = self._as_mask(indices)
-        counts = self._partition.counts_in(mask)
+        counts = self._block_weights(mask)
         size = float(counts.sum())
         mu = np.zeros(self.dim)
         cov = np.zeros((self.dim, self.dim))
@@ -172,9 +230,9 @@ class BackgroundModel:
         return self.subgroup_mean_distribution(indices)[0]
 
     def pooled_cov(self, indices) -> np.ndarray:
-        """Average per-point covariance over the subgroup."""
+        """Average per-point covariance over the subgroup (weight-aware)."""
         mask = self._as_mask(indices)
-        counts = self._partition.counts_in(mask)
+        counts = self._block_weights(mask)
         size = float(counts.sum())
         cov = np.zeros((self.dim, self.dim))
         for block in np.flatnonzero(counts):
@@ -185,14 +243,14 @@ class BackgroundModel:
         """Per-block data for spread computations over a subgroup.
 
         Returns ``(counts, means, covs)`` restricted to blocks that
-        intersect the subgroup, with ``counts`` the number of subgroup
-        rows in each.
+        intersect the subgroup, with ``counts`` the (weighted) number of
+        subgroup rows in each.
         """
         mask = self._as_mask(indices)
-        counts = self._partition.counts_in(mask)
+        counts = self._block_weights(mask)
         inside = np.flatnonzero(counts)
         return (
-            counts[inside].astype(float),
+            counts[inside],
             [self._means[b] for b in inside],
             [self._covs[b] for b in inside],
         )
@@ -253,11 +311,11 @@ class BackgroundModel:
             )
         mask = constraint.mask(self._n_rows)
         self._split_for(mask)
-        counts = self._partition.counts_in(mask)
+        counts = self._block_weights(mask)
         inside = np.flatnonzero(counts)
         lam = location_multiplier(
             [self._covs[b] for b in inside],
-            counts[inside].astype(float),
+            counts[inside],
             [self._means[b] for b in inside],
             constraint.mean,
         )
@@ -271,13 +329,15 @@ class BackgroundModel:
             )
         mask = constraint.mask(self._n_rows)
         self._split_for(mask)
-        counts = self._partition.counts_in(mask)
+        counts = self._block_weights(mask)
         inside = np.flatnonzero(counts)
         w = constraint.direction
         s = np.array([float(w @ self._covs[b] @ w) for b in inside])
         e = np.array([float(w @ (constraint.center - self._means[b])) for b in inside])
+        # The statistic normalizes by the (weighted) subgroup size; for
+        # unit weights counts.sum() equals constraint.size exactly.
         lam = solve_spread_multiplier(
-            s, e, counts[inside].astype(float), float(constraint.size),
+            s, e, counts[inside], float(counts.sum()),
             constraint.variance,
         )
         for block in inside:

@@ -51,6 +51,7 @@ class Prior:
 def empirical_prior(
     targets: np.ndarray,
     *,
+    weights: np.ndarray | None = None,
     jitter: float = 1e-9,
     shrinkage: float = 0.0,
 ) -> Prior:
@@ -60,6 +61,11 @@ def empirical_prior(
     ----------
     targets:
         ``(n, d)`` target matrix (a 1-D array is treated as one target).
+    weights:
+        Optional per-row case weights. The prior becomes the *weighted*
+        empirical mean and (1/W-normalized) covariance, matching the
+        belief a user would form from the reweighted population; ``None``
+        takes the exact unweighted code path.
     jitter:
         Relative diagonal jitter: ``jitter * mean(diag)`` is added to the
         covariance diagonal so downstream Cholesky factorizations cannot
@@ -77,9 +83,28 @@ def empirical_prior(
     if not 0.0 <= shrinkage <= 1.0:
         raise ModelError(f"shrinkage must be in [0, 1], got {shrinkage}")
 
-    mean = targets.mean(axis=0)
-    centered = targets - mean
-    cov = (centered.T @ centered) / targets.shape[0]
+    if weights is None:
+        mean = targets.mean(axis=0)
+        centered = targets - mean
+        cov = (centered.T @ centered) / targets.shape[0]
+    else:
+        w = np.asarray(weights, dtype=float)
+        if w.ndim != 1 or w.shape[0] != targets.shape[0]:
+            raise ModelError(
+                f"weights must be 1-D of length {targets.shape[0]}, got shape {w.shape}"
+            )
+        if not np.all(np.isfinite(w)) or np.any(w <= 0.0):
+            raise ModelError("weights must be positive finite floats")
+        # Premultiplied forms: with unit weights every intermediate is
+        # bit-identical to the unweighted branch (w == 1.0 premultiplies
+        # and n/W == 1.0 rescales without changing a single bit), which
+        # the engine's weighted-determinism contract relies on. The
+        # sqrt(w) form keeps the product an x.T @ x of one buffer, the
+        # same BLAS syrk call the unweighted branch hits.
+        total = float(w.sum())
+        mean = (targets * w[:, None]).mean(axis=0) * (targets.shape[0] / total)
+        scaled = (targets - mean) * np.sqrt(w)[:, None]
+        cov = scaled.T @ scaled / total
     if shrinkage > 0.0:
         cov = (1.0 - shrinkage) * cov + shrinkage * np.diag(np.diag(cov))
     diag_scale = float(np.mean(np.diag(cov)))

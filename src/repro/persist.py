@@ -287,8 +287,8 @@ def job_to_dict(job: MiningJob) -> dict:
 _JOB_KEYS = frozenset(
     {
         "schema", "name", "dataset", "dataset_seed", "dataset_kwargs",
-        "targets", "prior", "kind", "sparsity", "n_iterations", "seed",
-        "config", "gamma", "eta", "strategy", "measure", "priority",
+        "targets", "weights", "prior", "kind", "sparsity", "n_iterations",
+        "seed", "config", "gamma", "eta", "strategy", "measure", "priority",
         "deadline",
     }
 )
@@ -311,6 +311,7 @@ def job_from_dict(data: dict) -> MiningJob:
     if unknown:
         raise ReproError(f"unknown job spec keys: {sorted(unknown)}")
     targets = data.get("targets")
+    weights = data.get("weights")
     sparsity = data.get("sparsity")
     try:
         return MiningJob(
@@ -319,6 +320,7 @@ def job_from_dict(data: dict) -> MiningJob:
             dataset_seed=int(data.get("dataset_seed", 0)),
             dataset_kwargs=dict(data.get("dataset_kwargs") or {}),
             targets=tuple(targets) if targets is not None else None,
+            weights=tuple(weights) if weights is not None else None,
             prior=data.get("prior"),
             kind=data.get("kind", "location"),
             sparsity=int(sparsity) if sparsity is not None else None,

@@ -11,6 +11,7 @@ from repro.search.config import SearchConfig
 from repro.search.results import (
     LocationPatternResult,
     MiningIteration,
+    ResultSet,
     ScoredSubgroup,
     SearchResult,
     SpreadPatternResult,
@@ -24,6 +25,7 @@ __all__ = [
     "LocationPatternResult",
     "SpreadPatternResult",
     "MiningIteration",
+    "ResultSet",
     "ScoredSubgroup",
     "SearchResult",
     "LocationBeamSearch",

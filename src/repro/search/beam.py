@@ -54,6 +54,9 @@ class LocationICScorer:
         "_onehot",
         "_block_means",
         "_block_covs",
+        "_weights",
+        "_wtargets",
+        "_wonehot",
     )
 
     def __init__(self, model: BackgroundModel, targets: np.ndarray) -> None:
@@ -67,6 +70,7 @@ class LocationICScorer:
             )
         self.model = model
         self.targets = targets
+        self._weights = model.weights
         self._labels = np.asarray(model.labels)
         self._n_blocks = model.n_blocks
         self._block_means = np.stack(
@@ -78,6 +82,14 @@ class LocationICScorer:
         # One-hot block membership for batched per-block counts.
         self._onehot = np.zeros((model.n_rows, model.n_blocks))
         self._onehot[np.arange(model.n_rows), self._labels] = 1.0
+        # Weighted views: premultiplying by the case weights turns the
+        # same matmuls into weighted sums, so one code shape serves both.
+        if self._weights is None:
+            self._wtargets = None
+            self._wonehot = None
+        else:
+            self._wtargets = self.targets * self._weights[:, None]
+            self._wonehot = self._onehot * self._weights[:, None]
 
         first = self._block_covs[0]
         self._uniform_cov = all(
@@ -89,16 +101,30 @@ class LocationICScorer:
             self._logdet = log_det_psd(first)
 
     def score_masks(self, masks: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """ICs and observed means for a ``(k, n)`` boolean mask stack."""
+        """ICs and observed means for a ``(k, n)`` boolean mask stack.
+
+        On weighted models, ``sizes`` is the total subgroup weight and
+        the per-block counts are weighted counts; the IC formulas below
+        are unchanged because the weighted model covariance stays
+        ``Sigma_I = sum_b c_b Sigma_b / W^2`` with weighted ``c_b``
+        (frequency semantics — see the background model).
+        """
         masks = np.asarray(masks)
         if masks.ndim != 2 or masks.shape[1] != self.model.n_rows:
             raise SearchError(f"masks must be (k, {self.model.n_rows}), got {masks.shape}")
         fmasks = masks.astype(float)
-        sizes = fmasks.sum(axis=1)
-        if np.any(sizes == 0):
-            raise SearchError("cannot score an empty subgroup")
-        observed = (fmasks @ self.targets) / sizes[:, None]
-        block_counts = fmasks @ self._onehot  # (k, B)
+        if self._weights is None:
+            sizes = fmasks.sum(axis=1)
+            if np.any(sizes == 0):
+                raise SearchError("cannot score an empty subgroup")
+            observed = (fmasks @ self.targets) / sizes[:, None]
+            block_counts = fmasks @ self._onehot  # (k, B)
+        else:
+            sizes = fmasks @ self._weights
+            if np.any(sizes == 0):
+                raise SearchError("cannot score an empty subgroup")
+            observed = (fmasks @ self._wtargets) / sizes[:, None]
+            block_counts = fmasks @ self._wonehot  # (k, B), weighted
         model_means = (block_counts @ self._block_means) / sizes[:, None]
         diffs = observed - model_means
         d = self.model.dim

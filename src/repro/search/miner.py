@@ -111,10 +111,12 @@ class SubgroupDiscovery:
         self.targets = dataset.targets
         self.config = config
         self.dl_params = dl_params
+        # Case weights (if any) ride the dataset; the model owns them from
+        # here on and every scorer/objective reads them off the model.
         self.model = (
-            BackgroundModel(dataset.n_rows, prior)
+            BackgroundModel(dataset.n_rows, prior, weights=dataset.weights)
             if prior is not None
-            else BackgroundModel.from_targets(self.targets)
+            else BackgroundModel.from_targets(self.targets, weights=dataset.weights)
         )
         self.operator = RefinementOperator(
             dataset,
@@ -328,7 +330,16 @@ class SubgroupDiscovery:
         size = int(mask.sum())
         if size == 0:
             raise SearchError(f"description {description} has an empty extension")
-        observed = self.targets[mask].mean(axis=0)
+        if self.model.weights is None:
+            observed = self.targets[mask].mean(axis=0)
+        else:
+            # Premultiplied weighted mean: bit-identical to the branch
+            # above under unit weights (see stats._weighted_mean).
+            sub = self.targets[mask]
+            w = self.model.weights[mask]
+            observed = (sub * w[:, None]).mean(axis=0) * (
+                sub.shape[0] / float(w.sum())
+            )
         score = score_location(
             self.model, mask, observed, len(description.canonical()),
             params=self.dl_params,

@@ -116,3 +116,104 @@ class MiningIteration:
     index: int
     location: LocationPatternResult
     spread: SpreadPatternResult | None = None
+
+
+class ResultSet:
+    """Tabular view over mined iterations, dataframe-exportable.
+
+    Wraps the :class:`MiningIteration` sequence a run produced and flattens
+    it to one row per presented pattern (a ``kind="spread"`` iteration
+    contributes a location row *and* a spread row). Rows are plain dicts,
+    so :meth:`rows` works without pandas; :meth:`to_dataframe` needs the
+    ``sisd[dataframe]`` extra.
+
+    ``dataset`` (or any object with ``n_rows``/``weights``) supplies the
+    case weights used for the ``weighted_coverage`` column — the share of
+    total case weight the subgroup covers, which is what coverage *means*
+    on a propensity-weighted population. Without weights the two coverage
+    columns coincide.
+    """
+
+    def __init__(self, iterations, *, dataset=None) -> None:
+        self.iterations: tuple[MiningIteration, ...] = tuple(iterations)
+        for iteration in self.iterations:
+            if not isinstance(iteration, MiningIteration):
+                raise TypeError(
+                    f"expected MiningIteration, got {type(iteration).__name__}"
+                )
+        self._weights = getattr(dataset, "weights", None) if dataset is not None else None
+        self._total_weight = (
+            float(self._weights.sum()) if self._weights is not None else None
+        )
+
+    @classmethod
+    def from_result(cls, result, *, dataset=None) -> "ResultSet":
+        """Lift a job result (anything with ``.iterations``) to a ResultSet."""
+        return cls(result.iterations, dataset=dataset)
+
+    def __len__(self) -> int:
+        return len(self.iterations)
+
+    def __iter__(self):
+        return iter(self.iterations)
+
+    def _weighted_coverage(self, indices: np.ndarray, coverage: float) -> float:
+        if self._weights is None:
+            return coverage
+        return float(self._weights[indices].sum()) / self._total_weight
+
+    def rows(self) -> list[dict]:
+        """One plain dict per pattern, in presentation order."""
+        out: list[dict] = []
+        for iteration in self.iterations:
+            location = iteration.location
+            coverage = location.coverage
+            out.append(
+                {
+                    "iteration": iteration.index,
+                    "kind": "location",
+                    "description": str(location.description),
+                    "n_conditions": len(location.description),
+                    "size": location.size,
+                    "coverage": coverage,
+                    "weighted_coverage": self._weighted_coverage(
+                        location.indices, coverage
+                    ),
+                    "ic": location.score.ic,
+                    "dl": location.score.dl,
+                    "si": location.si,
+                    "mean": [float(x) for x in location.mean],
+                    "direction": None,
+                    "variance": None,
+                }
+            )
+            spread = iteration.spread
+            if spread is not None:
+                n_rows_cov = coverage  # same subgroup as the location row
+                out.append(
+                    {
+                        "iteration": iteration.index,
+                        "kind": "spread",
+                        "description": str(spread.description),
+                        "n_conditions": len(spread.description),
+                        "size": spread.size,
+                        "coverage": n_rows_cov,
+                        "weighted_coverage": self._weighted_coverage(
+                            spread.indices, n_rows_cov
+                        ),
+                        "ic": spread.score.ic,
+                        "dl": spread.score.dl,
+                        "si": spread.si,
+                        "mean": [float(x) for x in spread.center],
+                        "direction": [float(x) for x in spread.direction],
+                        "variance": float(spread.variance),
+                    }
+                )
+        return out
+
+    def to_dataframe(self):
+        """The rows as a pandas DataFrame (needs the ``[dataframe]`` extra)."""
+        from repro.datasets.frame import _require_pandas
+
+        pandas = _require_pandas()
+        return pandas.DataFrame(self.rows())

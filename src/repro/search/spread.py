@@ -63,8 +63,10 @@ class SpreadObjective:
             raise SearchError("spread search needs a subgroup with >= 2 rows")
         self.counts = counts
         self.block_covs = np.stack(covs)           # (B, d, d)
-        self.empirical_cov = subgroup_cov(targets, indices)
-        self.center = subgroup_mean(targets, indices)
+        # On weighted models, counts/size above are already weighted; the
+        # empirical (data-side) statistics must weight identically.
+        self.empirical_cov = subgroup_cov(targets, indices, weights=model.weights)
+        self.center = subgroup_mean(targets, indices, weights=model.weights)
         self.pooled_model_cov = (
             np.einsum("b,bde->de", counts, self.block_covs) / self.size
         )

@@ -33,6 +33,7 @@ True
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, TypeVar
 
@@ -82,14 +83,39 @@ def _name_tuple(value: Any, field_name: str) -> tuple[str, ...] | None:
     return tuple(value)
 
 
+def _weight_tuple(value: Any, field_name: str) -> tuple[float, ...] | None:
+    """Coerce case weights to a validated tuple of positive finite floats."""
+    if value is None:
+        return None
+    if isinstance(value, (str, bytes)) or not hasattr(value, "__iter__"):
+        raise ReproError(f"{field_name} must be a list of numbers or null")
+    try:
+        weights = tuple(float(w) for w in value)
+    except (TypeError, ValueError):
+        raise ReproError(f"{field_name} must be a list of numbers") from None
+    if not weights:
+        raise ReproError(f"{field_name} must be non-empty or null")
+    if any(not math.isfinite(w) or w <= 0.0 for w in weights):
+        raise ReproError(f"{field_name} must be positive finite numbers")
+    return weights
+
+
 @dataclass(frozen=True)
 class DatasetSpec:
-    """What data to mine: a registered dataset name plus its parameters."""
+    """What data to mine: a registered dataset name plus its parameters.
+
+    ``weights`` carries optional per-row case weights (frequency
+    semantics; one positive finite number per dataset row). They change
+    every score the loop computes, so they are fingerprint-relevant —
+    and they are *omitted* from serialized/fingerprinted forms when
+    ``None``, which keeps every pre-weights fingerprint stable.
+    """
 
     name: str
     seed: int = 0
     kwargs: dict[str, Any] = field(default_factory=dict)
     targets: tuple[str, ...] | None = None
+    weights: tuple[float, ...] | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -105,6 +131,9 @@ class DatasetSpec:
             # not reach inside a validated frozen spec.
             object.__setattr__(self, "kwargs", dict(self.kwargs))
         object.__setattr__(self, "targets", _name_tuple(self.targets, "targets"))
+        object.__setattr__(
+            self, "weights", _weight_tuple(self.weights, "dataset weights")
+        )
 
 
 @dataclass(frozen=True)
@@ -245,6 +274,7 @@ _FLAT_FIELDS: dict[str, tuple[str, str]] = {
     "dataset_seed": ("dataset", "seed"),
     "dataset_kwargs": ("dataset", "kwargs"),
     "targets": ("dataset", "targets"),
+    "weights": ("dataset", "weights"),
     "n_split_points": ("language", "n_split_points"),
     "split_strategy": ("language", "split_strategy"),
     "attributes": ("language", "attributes"),
@@ -405,6 +435,7 @@ class MiningSpec:
             dataset_seed=self.dataset.seed,
             dataset_kwargs=dict(self.dataset.kwargs),
             targets=self.dataset.targets,
+            weights=self.dataset.weights,
             prior=self.model.prior,
             kind=self.search.kind,
             sparsity=self.search.sparsity,
@@ -429,6 +460,7 @@ class MiningSpec:
                 seed=job.dataset_seed,
                 kwargs=dict(job.dataset_kwargs),
                 targets=job.targets,
+                weights=job.weights,
             ),
             language=LanguageSpec(
                 n_split_points=config.n_split_points,
@@ -472,6 +504,10 @@ class MiningSpec:
             if self.dataset.targets is not None
             else None,
         }
+        if self.dataset.weights is not None:
+            # Emitted only when set: pre-weights documents and their
+            # fingerprints stay byte-identical.
+            document["dataset"]["weights"] = list(self.dataset.weights)
         document["language"] = {
             "n_split_points": self.language.n_split_points,
             "split_strategy": self.language.split_strategy,

@@ -124,10 +124,21 @@ class Chi2Mixture:
         return float(out) if np.isscalar(q) else out
 
     def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
-        """Draw from the *exact* mixture (for approximation-quality tests)."""
-        reps = np.repeat(self.coefficients, self.weights.astype(int))
-        draws = rng.chisquare(1.0, size=(size, reps.shape[0]))
-        return draws @ reps
+        """Draw from the *exact* mixture (for approximation-quality tests).
+
+        Integer multiplicities expand to repeated chi2(1) draws. For
+        fractional weights — weighted subgroups produce non-integer block
+        weights — ``w`` i.i.d. chi2(1) variables sum to a chi2(w), which
+        stays exact for any real ``w > 0``, so each coefficient draws a
+        single chi2(weight) instead of being silently floored.
+        """
+        integral = np.equal(np.floor(self.weights), self.weights)
+        if integral.all():
+            reps = np.repeat(self.coefficients, self.weights.astype(int))
+            draws = rng.chisquare(1.0, size=(size, reps.shape[0]))
+            return draws @ reps
+        draws = rng.chisquare(self.weights, size=(size, self.weights.shape[0]))
+        return draws @ self.coefficients
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -16,7 +16,9 @@ from repro.errors import ModelError
 from repro.utils.validation import check_unit_vector
 
 
-def _subgroup(targets: np.ndarray, indices) -> np.ndarray:
+def _subgroup(
+    targets: np.ndarray, indices, weights: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray | None]:
     targets = np.asarray(targets, dtype=float)
     if targets.ndim == 1:
         targets = targets[:, None]
@@ -24,28 +26,59 @@ def _subgroup(targets: np.ndarray, indices) -> np.ndarray:
     if arr.dtype == bool:
         if arr.shape[0] != targets.shape[0]:
             raise ModelError("boolean mask length does not match targets")
-        sub = targets[arr]
+        idx = arr
     else:
-        sub = targets[arr.astype(np.int64)]
+        idx = arr.astype(np.int64)
+    sub = targets[idx]
     if sub.shape[0] == 0:
         raise ModelError("subgroup is empty")
-    return sub
+    if weights is None:
+        return sub, None
+    w = np.asarray(weights, dtype=float)
+    if w.ndim != 1 or w.shape[0] != targets.shape[0]:
+        raise ModelError("weights length does not match targets")
+    return sub, w[idx]
 
 
-def subgroup_mean(targets: np.ndarray, indices) -> np.ndarray:
-    """Eq. 1: the location statistic ``f_I`` evaluated on the data."""
-    return _subgroup(targets, indices).mean(axis=0)
+def _weighted_mean(sub: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """``sum w_i y_i / sum w_i``, evaluated so that unit weights reduce
+    to the exact unweighted operations: premultiplying by ``w == 1.0``
+    and rescaling by ``n / sum(w) == 1.0`` leave every intermediate
+    bit-identical to ``sub.mean(axis=0)``. A direct ``w @ sub / w.sum()``
+    would route through BLAS and drift in the last ulp."""
+    return (sub * w[:, None]).mean(axis=0) * (sub.shape[0] / float(w.sum()))
 
 
-def subgroup_cov(targets: np.ndarray, indices) -> np.ndarray:
+def subgroup_mean(targets: np.ndarray, indices, weights: np.ndarray | None = None) -> np.ndarray:
+    """Eq. 1: the location statistic ``f_I`` evaluated on the data.
+
+    With case ``weights`` (frequency semantics: weight ``w`` counts the
+    row ``w`` times) the statistic becomes ``sum w_i y_i / sum w_i``;
+    ``weights=None`` takes the exact unweighted code path.
+    """
+    sub, w = _subgroup(targets, indices, weights)
+    if w is None:
+        return sub.mean(axis=0)
+    return _weighted_mean(sub, w)
+
+
+def subgroup_cov(targets: np.ndarray, indices, weights: np.ndarray | None = None) -> np.ndarray:
     """Empirical covariance of the subgroup (1/|I| normalization).
 
     This is the matrix ``S`` with ``g_I^w = w' S w``; the spread search
-    optimizes ``w`` against it.
+    optimizes ``w`` against it. With case weights the normalization is
+    the total subgroup weight ``W = sum w_i`` and the center is the
+    weighted mean, matching the duplicated-rows interpretation.
     """
-    sub = _subgroup(targets, indices)
-    centered = sub - sub.mean(axis=0)
-    return (centered.T @ centered) / sub.shape[0]
+    sub, w = _subgroup(targets, indices, weights)
+    if w is None:
+        centered = sub - sub.mean(axis=0)
+        return (centered.T @ centered) / sub.shape[0]
+    # sqrt(w) premultiplication keeps this an x.T @ x of a single buffer
+    # (the same BLAS syrk call as above), so unit weights stay
+    # bit-identical to the unweighted branch.
+    scaled = (sub - _weighted_mean(sub, w)) * np.sqrt(w)[:, None]
+    return scaled.T @ scaled / float(w.sum())
 
 
 def subgroup_spread(
@@ -54,20 +87,26 @@ def subgroup_spread(
     direction: np.ndarray,
     *,
     center: np.ndarray | None = None,
+    weights: np.ndarray | None = None,
 ) -> float:
     """Eq. 2: the spread statistic ``g_I^w`` evaluated on the data.
 
     ``center`` defaults to the empirical subgroup mean (the paper's
     definition); passing it explicitly supports evaluating the statistic
-    a pattern was originally communicated with.
+    a pattern was originally communicated with. With case weights the
+    mean squared projection is weight-averaged, ``sum w p^2 / sum w``.
     """
-    sub = _subgroup(targets, indices)
+    sub, w = _subgroup(targets, indices, weights)
     direction = check_unit_vector(direction, "direction")
     if direction.shape[0] != sub.shape[1]:
         raise ModelError(
             f"direction has dim {direction.shape[0]}, targets have {sub.shape[1]}"
         )
     if center is None:
-        center = sub.mean(axis=0)
+        center = sub.mean(axis=0) if w is None else _weighted_mean(sub, w)
     projections = (sub - np.asarray(center, dtype=float)) @ direction
-    return float(np.mean(projections**2))
+    if w is None:
+        return float(np.mean(projections**2))
+    return float(
+        np.mean(projections**2 * w) * (projections.shape[0] / float(w.sum()))
+    )

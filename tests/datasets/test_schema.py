@@ -143,3 +143,49 @@ class TestDataset:
         text = small_dataset().summary()
         for name in ("num", "cat", "bin", "ord", "t1"):
             assert name in text
+
+
+class TestWeights:
+    def test_default_is_unweighted(self):
+        ds = small_dataset()
+        assert not ds.has_weights
+        assert ds.weights is None
+        assert ds.total_weight() == 4.0
+
+    def test_with_weights_attaches_copy(self):
+        source = np.array([1.0, 2.0, 0.5, 1.5])
+        ds = small_dataset().with_weights(source)
+        assert ds.has_weights
+        assert ds.total_weight() == pytest.approx(5.0)
+        source[0] = 99.0  # the dataset must hold its own copy
+        assert ds.weights[0] == 1.0
+
+    def test_with_weights_none_removes(self):
+        ds = small_dataset().with_weights(np.ones(4)).with_weights(None)
+        assert not ds.has_weights
+
+    def test_weights_propagate_through_subset(self):
+        ds = small_dataset().with_weights(np.array([1.0, 2.0, 3.0, 4.0]))
+        sub = ds.subset(np.array([3, 1]))
+        np.testing.assert_array_equal(sub.weights, [4.0, 2.0])
+
+    def test_weights_propagate_through_with_targets(self):
+        ds = small_dataset().with_weights(np.array([1.0, 2.0, 3.0, 4.0]))
+        np.testing.assert_array_equal(
+            ds.with_targets(["t2"]).weights, [1.0, 2.0, 3.0, 4.0]
+        )
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            np.ones(3),                      # wrong length
+            np.ones((4, 1)),                 # wrong ndim
+            np.array([1.0, 0.0, 1.0, 1.0]),  # zero
+            np.array([1.0, -1.0, 1.0, 1.0]),  # negative
+            np.array([1.0, np.nan, 1.0, 1.0]),
+            np.array([1.0, np.inf, 1.0, 1.0]),
+        ],
+    )
+    def test_invalid_weights_rejected(self, bad):
+        with pytest.raises(DataError):
+            small_dataset().with_weights(bad)

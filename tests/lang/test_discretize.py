@@ -28,9 +28,19 @@ class TestPercentile:
 
 class TestStrategies:
     def test_width(self):
+        # With only {0, 10} in the data all four width thresholds select
+        # the same rows in both directions, so they collapse to the first.
         col = Column("x", AttributeKind.NUMERIC, np.array([0.0, 10.0]))
-        np.testing.assert_allclose(split_points(col, n_split_points=4, strategy="width"),
-                                   [2.0, 4.0, 6.0, 8.0])
+        np.testing.assert_allclose(
+            split_points(col, n_split_points=4, strategy="width"), [2.0]
+        )
+
+    def test_width_distinct_thresholds_survive(self):
+        col = Column("x", AttributeKind.NUMERIC, np.arange(11.0))
+        np.testing.assert_allclose(
+            split_points(col, n_split_points=4, strategy="width"),
+            [2.0, 4.0, 6.0, 8.0],
+        )
 
     def test_levels(self):
         col = Column("x", AttributeKind.NUMERIC, np.array([1.0, 2.0, 2.0, 5.0]))
@@ -58,6 +68,45 @@ class TestEdgeCases:
     def test_constant_column(self):
         col = Column("x", AttributeKind.NUMERIC, np.full(10, 3.0))
         assert split_points(col).size == 0
+
+    def test_constant_column_width_strategy(self):
+        col = Column("x", AttributeKind.NUMERIC, np.full(10, 3.0))
+        assert split_points(col, strategy="width").size == 0
+
+    def test_two_distinct_values_collapse_to_one_threshold(self):
+        # All four width thresholds of a {0, 1} column sit strictly between
+        # the levels; each induces the same "<=" and ">=" row sets, so
+        # exactly one survives.
+        col = Column("x", AttributeKind.NUMERIC, np.array([0.0] * 5 + [1.0] * 5))
+        points = split_points(col, n_split_points=4, strategy="width")
+        assert points.size == 1
+        assert int((col.values <= points[0]).sum()) == 5
+
+    def test_two_distinct_values_percentile_keeps_level_thresholds(self):
+        # Percentile thresholds that land exactly on the two levels are
+        # extension-distinct (one is useful for "<=", the other for ">=")
+        # and must both survive the collapse.
+        col = Column("x", AttributeKind.NUMERIC, np.array([0.0] * 5 + [1.0] * 5))
+        np.testing.assert_allclose(split_points(col), [0.0, 1.0])
+
+    def test_collapse_is_deterministic_and_order_preserving(self):
+        col = Column("x", AttributeKind.NUMERIC, np.array([0.0, 0.0, 1.0, 1.0]))
+        a = split_points(col, n_split_points=9)
+        b = split_points(col, n_split_points=9)
+        np.testing.assert_array_equal(a, b)
+        assert np.all(np.diff(a) > 0)
+
+    def test_nan_values_raise(self):
+        col = Column("x", AttributeKind.NUMERIC, np.arange(10.0))
+        col.values[3] = np.nan  # bypasses Column validation on purpose
+        with pytest.raises(LanguageError, match="NaN"):
+            split_points(col)
+
+    def test_inf_values_raise(self):
+        col = Column("x", AttributeKind.NUMERIC, np.arange(10.0))
+        col.values[0] = np.inf
+        with pytest.raises(LanguageError, match="NaN"):
+            split_points(col)
 
     def test_categorical_rejected(self):
         col = Column("c", AttributeKind.CATEGORICAL, np.array(["a", "b"]))

@@ -3,12 +3,15 @@
 import numpy as np
 import pytest
 
+from repro.errors import DataError
 from repro.interest.si import PatternScore
 from repro.lang.conditions import EqualsCondition
 from repro.lang.description import Description
 from repro.model.patterns import LocationConstraint, SpreadConstraint
 from repro.search.results import (
     LocationPatternResult,
+    MiningIteration,
+    ResultSet,
     ScoredSubgroup,
     SpreadPatternResult,
 )
@@ -81,3 +84,75 @@ class TestSpreadPatternResult:
         )
         assert "+0.600" in str(result)
         assert "-0.800" in str(result)
+
+
+def _iteration(index=1, with_spread=False):
+    indices = np.array([0, 2])
+    location = LocationPatternResult(
+        description=description(),
+        indices=indices,
+        mean=np.array([1.5]),
+        score=PatternScore(ic=5.0, dl=1.1),
+        coverage=0.2,
+    )
+    spread = None
+    if with_spread:
+        spread = SpreadPatternResult(
+            description=description(),
+            indices=indices,
+            direction=np.array([1.0]),
+            variance=0.5,
+            center=np.array([1.5]),
+            score=PatternScore(ic=3.0, dl=2.1),
+        )
+    return MiningIteration(index=index, location=location, spread=spread)
+
+
+class _FakeWeightedDataset:
+    def __init__(self, weights):
+        self.weights = weights
+
+
+class TestResultSet:
+    def test_rows_flatten_location_and_spread(self):
+        results = ResultSet([_iteration(1, with_spread=True), _iteration(2)])
+        rows = results.rows()
+        assert [r["kind"] for r in rows] == ["location", "spread", "location"]
+        assert rows[0]["size"] == 2
+        assert rows[0]["si"] == pytest.approx(5.0 / 1.1)
+        assert rows[1]["variance"] == 0.5
+        assert len(results) == 2
+        assert all(isinstance(i, MiningIteration) for i in results)
+
+    def test_unweighted_coverages_coincide(self):
+        rows = ResultSet([_iteration()]).rows()
+        assert rows[0]["weighted_coverage"] == rows[0]["coverage"]
+
+    def test_weighted_coverage_uses_case_weights(self):
+        # Rows 0 and 2 carry weight 3 of a total 10: 30% of the weighted
+        # population versus the 20% row coverage recorded by the search.
+        dataset = _FakeWeightedDataset(np.array([2.0, 3.0, 1.0, 4.0]))
+        rows = ResultSet([_iteration()], dataset=dataset).rows()
+        assert rows[0]["coverage"] == pytest.approx(0.2)
+        assert rows[0]["weighted_coverage"] == pytest.approx(0.3)
+
+    def test_from_result_lifts_job_results(self):
+        class _FakeJobResult:
+            iterations = (_iteration(),)
+
+        results = ResultSet.from_result(_FakeJobResult())
+        assert len(results) == 1
+
+    def test_rejects_non_iterations(self):
+        with pytest.raises(TypeError, match="MiningIteration"):
+            ResultSet(["nope"])
+
+    def test_to_dataframe_needs_pandas(self):
+        try:
+            import pandas  # noqa: F401
+        except ImportError:
+            with pytest.raises(DataError, match=r"sisd\[dataframe\]"):
+                ResultSet([_iteration()]).to_dataframe()
+        else:
+            frame = ResultSet([_iteration(1, with_spread=True)]).to_dataframe()
+            assert list(frame["kind"]) == ["location", "spread"]

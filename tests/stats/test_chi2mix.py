@@ -96,3 +96,45 @@ class TestDistribution:
         mixture = Chi2Mixture(np.array([1.0, 2.0]))
         assert isinstance(mixture.logpdf(3.0), float)
         assert isinstance(mixture.cdf(3.0), float)
+
+
+class TestFractionalWeightSampling:
+    """Regression: ``sample()`` used to floor fractional weights via
+    ``astype(int)``, silently truncating the weighted block counts a
+    case-weighted subgroup produces (weight 2.9 sampled as 2)."""
+
+    def test_fractional_weight_moments(self):
+        rng = np.random.default_rng(7)
+        mixture = Chi2Mixture(np.array([1.0]), weights=np.array([2.5]))
+        samples = mixture.sample(rng, 60_000)
+        # sum of w i.i.d. chi2(1) = chi2(w): mean w, variance 2w — exact
+        # for any real w > 0, not just integers.
+        assert samples.mean() == pytest.approx(2.5, rel=0.02)
+        assert samples.var() == pytest.approx(5.0, rel=0.05)
+
+    def test_fractional_weights_match_mixture_moments(self):
+        rng = np.random.default_rng(3)
+        a = np.array([0.4, 1.3])
+        w = np.array([2.7, 5.2])
+        mixture = Chi2Mixture(a, weights=w)
+        samples = mixture.sample(rng, 80_000)
+        assert samples.mean() == pytest.approx(mixture.mean, rel=0.02)
+        assert samples.var() == pytest.approx(mixture.variance, rel=0.05)
+
+    def test_sub_unit_weight_not_floored_to_nothing(self):
+        """weight 0.9 used to floor to 0 repetitions — a zero sample."""
+        rng = np.random.default_rng(11)
+        mixture = Chi2Mixture(np.array([1.0]), weights=np.array([0.9]))
+        samples = mixture.sample(rng, 20_000)
+        assert samples.mean() == pytest.approx(0.9, rel=0.05)
+
+    def test_integral_weights_keep_exact_repeat_path(self):
+        """Integer weights must reproduce the historical draw bit-for-bit."""
+        a = np.array([0.2, 0.7])
+        w = np.array([3.0, 2.0])
+        mixture = Chi2Mixture(a, weights=w)
+        sampled = mixture.sample(np.random.default_rng(5), 50)
+        reps = np.repeat(a, w.astype(int))
+        rng = np.random.default_rng(5)
+        expected = rng.chisquare(1.0, size=(50, reps.shape[0])) @ reps
+        np.testing.assert_array_equal(sampled, expected)

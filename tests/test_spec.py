@@ -308,3 +308,71 @@ class TestExecutorSharedMemory:
         toggled = spec.with_changes(shared_memory=True)
         assert toggled.executor.shared_memory is True
         assert spec.executor.shared_memory is False
+
+
+class TestDatasetWeights:
+    def test_build_routes_weights_to_dataset_section(self):
+        spec = MiningSpec.build("synthetic", weights=(1.0, 2.0, 0.5))
+        assert spec.dataset.weights == (1.0, 2.0, 0.5)
+
+    def test_weights_normalized_to_float_tuple(self):
+        spec = MiningSpec.build("synthetic", weights=[1, 2])
+        assert spec.dataset.weights == (1.0, 2.0)
+        assert all(isinstance(w, float) for w in spec.dataset.weights)
+
+    @pytest.mark.parametrize("bad", ["heavy", (), (1.0, -2.0), (1.0, float("nan"))])
+    def test_invalid_weights_rejected(self, bad):
+        with pytest.raises(ReproError, match="weights"):
+            MiningSpec.build("synthetic", weights=bad)
+
+    def test_to_dict_omits_unset_weights(self):
+        """Pre-weights spec documents must stay byte-identical."""
+        assert "weights" not in MiningSpec.build("synthetic").to_dict()["dataset"]
+
+    def test_json_round_trip(self):
+        spec = MiningSpec.build("synthetic", weights=(1.0, 2.5))
+        document = json.loads(json.dumps(spec.to_dict()))
+        assert document["dataset"]["weights"] == [1.0, 2.5]
+        assert MiningSpec.from_dict(document) == spec
+
+    def test_job_round_trip(self):
+        spec = MiningSpec.build("synthetic", weights=(1.0, 2.5))
+        job = spec.to_job()
+        assert job.weights == (1.0, 2.5)
+        assert MiningSpec.from_job(job).dataset.weights == (1.0, 2.5)
+
+    def test_weights_change_the_fingerprint(self):
+        plain = MiningSpec.build("synthetic")
+        weighted = MiningSpec.build("synthetic", weights=(1.0, 2.0))
+        assert plain.fingerprint() != weighted.fingerprint()
+
+    def test_unweighted_fingerprint_unchanged_by_the_field(self):
+        # Adding the weights *field* must not have moved any existing
+        # fingerprint: two unweighted builds agree and differ only from
+        # genuinely weighted ones.
+        assert (
+            MiningSpec.build("synthetic").fingerprint()
+            == MiningSpec.from_dict(
+                MiningSpec.build("synthetic").to_dict()
+            ).fingerprint()
+        )
+
+
+class TestDatasetContentFingerprint:
+    def test_weights_feed_the_content_fingerprint(self):
+        import numpy as np
+
+        from repro.datasets import make_synthetic
+        from repro.engine.cache import dataset_content_fingerprint
+
+        dataset = make_synthetic(0)
+        plain = dataset_content_fingerprint(dataset)
+        ones = dataset_content_fingerprint(
+            dataset.with_weights(np.ones(dataset.n_rows))
+        )
+        halves = dataset_content_fingerprint(
+            dataset.with_weights(np.full(dataset.n_rows, 0.5))
+        )
+        assert plain != ones  # weighted content is different content
+        assert ones != halves
+        assert plain == dataset_content_fingerprint(make_synthetic(0))
