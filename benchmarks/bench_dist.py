@@ -21,6 +21,7 @@ import os
 import time
 from pathlib import Path
 
+from bench_schema import envelope
 from repro.datasets import make_synthetic
 from repro.dist.executor import DistExecutor
 from repro.dist.worker import WorkerDaemon
@@ -101,7 +102,7 @@ def measure(seed: int = 0) -> list:
 
     JSON_PATH.write_text(
         json.dumps(
-            {
+            envelope({
                 "benchmark": "dist",
                 "cpu_count": os.cpu_count(),
                 "n_evaluated": serial.n_evaluated,
@@ -116,7 +117,7 @@ def measure(seed: int = 0) -> list:
                     for count, seconds in timings.items()
                 },
                 "bit_identical": True,  # asserted above, every node count
-            },
+            }),
             indent=2,
         )
         + "\n"

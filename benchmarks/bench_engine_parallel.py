@@ -26,6 +26,7 @@ import os
 import pickle
 from pathlib import Path
 
+from bench_schema import envelope
 from repro.datasets.synthetic import make_synthetic
 from repro.engine.executor import resolve_executor
 from repro.engine.shm import ArrayStore, publish
@@ -108,7 +109,7 @@ def measure(seed: int = 0):
 
     JSON_PATH.write_text(
         json.dumps(
-            {
+            envelope({
                 "benchmark": "engine_parallel",
                 "dataset": {
                     "name": "synthetic-x16",
@@ -119,7 +120,7 @@ def measure(seed: int = 0):
                 "cpu_count": os.cpu_count(),
                 "context_payload": payload,
                 "runs": runs_document,
-            },
+            }),
             indent=2,
         )
         + "\n"

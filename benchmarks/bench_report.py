@@ -1,0 +1,108 @@
+"""Merge the tracked ``BENCH_*.json`` artifacts into one report.
+
+Usage::
+
+    python benchmarks/bench_report.py [--out bench_report.json]
+
+Reads whichever of the three tracked perf files exist at the repo root
+(a partial benchmark run produces a partial report, not an error),
+checks they share one ``schema_version``, and emits a merged document:
+the shared header plus one section per benchmark. ``--out`` writes it
+as JSON (the CI artifact); without it the report prints as text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from bench_schema import BENCH_FILES, BENCH_SCHEMA, REPO_ROOT, git_rev
+
+
+def load_artifacts(root: Path = REPO_ROOT) -> dict[str, dict]:
+    """``{benchmark name: stamped document}`` for every readable file."""
+    artifacts: dict[str, dict] = {}
+    for filename in BENCH_FILES:
+        path = root / filename
+        if not path.exists():
+            continue
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"skipping {filename}: {exc}", file=sys.stderr)
+            continue
+        artifacts[document.get("benchmark", path.stem)] = document
+    return artifacts
+
+
+def merge(artifacts: dict[str, dict]) -> dict:
+    """One document over every artifact; rejects mixed schema versions."""
+    versions = {
+        doc.get("schema_version") for doc in artifacts.values()
+    }
+    if len(versions) > 1:
+        raise SystemExit(
+            f"refusing to merge mixed schema versions {sorted(map(str, versions))}; "
+            f"re-run the stale benchmarks"
+        )
+    revs = {doc.get("git_rev") for doc in artifacts.values()}
+    return {
+        "schema_version": next(iter(versions), BENCH_SCHEMA),
+        "git_rev": revs.pop() if len(revs) == 1 else git_rev(),
+        "benchmarks": artifacts,
+        "missing": [
+            name
+            for name in BENCH_FILES
+            if not any(
+                doc.get("benchmark", "") in name
+                for doc in artifacts.values()
+            )
+        ],
+    }
+
+
+def format_report(report: dict) -> str:
+    """A short text rendering for terminals and CI logs."""
+    lines = [
+        f"bench report  schema={report['schema_version']}  "
+        f"rev={report['git_rev'] or '?'}",
+    ]
+    for name, doc in sorted(report["benchmarks"].items()):
+        stamped = doc.get("generated_at", "?")
+        keys = [
+            key
+            for key in doc
+            if key
+            not in ("schema_version", "git_rev", "generated_at", "benchmark")
+        ]
+        lines.append(f"  {name:16s} at {stamped}  ({', '.join(sorted(keys))})")
+    for missing in report["missing"]:
+        lines.append(f"  (missing: {missing})")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the merged report as JSON instead of text",
+    )
+    parser.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="directory holding the BENCH_*.json files (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+    root = Path(args.root) if args.root else REPO_ROOT
+    report = merge(load_artifacts(root))
+    if args.out:
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"bench report written to {args.out}")
+    else:
+        print(format_report(report))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

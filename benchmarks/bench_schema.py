@@ -1,0 +1,59 @@
+"""The shared envelope of every ``BENCH_*.json`` perf artifact.
+
+The three tracked benchmark files (engine_parallel, server, dist) are
+compared across commits, so each needs to say *which* commit and *when*
+it was measured, in one agreed shape. :func:`envelope` stamps a result
+document with that header; :mod:`bench_report` merges the stamped files
+into one cross-tier report and refuses mixed schema versions.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+
+#: Version of the shared benchmark-artifact shape; bump on breaking
+#: changes to the envelope keys (not to a bench's own payload).
+BENCH_SCHEMA = 1
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The tracked perf artifacts, in report order.
+BENCH_FILES = (
+    "BENCH_engine_parallel.json",
+    "BENCH_server.json",
+    "BENCH_dist.json",
+)
+
+
+def git_rev() -> str | None:
+    """Short hash of the measured checkout; ``None`` outside a repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def envelope(document: dict) -> dict:
+    """Stamp one benchmark result document with the shared header.
+
+    The header keys lead so a human diffing two artifacts sees the
+    provenance first; the bench's own payload follows untouched.
+    """
+    return {
+        "schema_version": BENCH_SCHEMA,
+        "git_rev": git_rev(),
+        "generated_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        **document,
+    }

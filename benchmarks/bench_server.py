@@ -23,6 +23,7 @@ import threading
 import time
 from pathlib import Path
 
+from bench_schema import envelope
 from repro.api import Workspace
 from repro.client import RemoteWorkspace
 from repro.report.tables import format_table
@@ -106,7 +107,7 @@ def measure(seed: int = 0) -> list:
     ]
     JSON_PATH.write_text(
         json.dumps(
-            {
+            envelope({
                 "benchmark": "server",
                 "n_jobs": N_JOBS,
                 "cpu_count": os.cpu_count(),
@@ -120,7 +121,7 @@ def measure(seed: int = 0) -> list:
                 "events_streamed": events_seen,
                 "events_published": health["events"]["published"],
                 "events_dropped": health["events"]["dropped"],
-            },
+            }),
             indent=2,
         )
         + "\n"

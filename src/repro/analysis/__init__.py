@@ -11,6 +11,7 @@ runs:
 DET001 no wall-clock reads in fingerprint/cache/merge-critical modules
 DET002 no global/unseeded RNG in determinism-critical modules
 DET003 no bare set iteration in determinism-critical modules
+DET004 instrumented modules read clocks via the repro.obs.clock seam
 ASY001 no blocking calls lexically inside ``async def``
 ASY002 never ``await`` while holding a ``threading.Lock``
 PKL001 callables crossing a process boundary must be module-level

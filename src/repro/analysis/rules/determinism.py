@@ -18,7 +18,7 @@ from repro.analysis.base import LintRule, register_rule
 from repro.analysis.findings import Finding
 from repro.analysis.source import SourceFile, scope_statements
 
-__all__ = ["CRITICAL_PATHS"]
+__all__ = ["CRITICAL_PATHS", "INSTRUMENTED_PATHS"]
 
 #: Modules whose output feeds fingerprints, cache keys, or shard merges.
 #: New cache-keyed modules belong on this list (or carry the
@@ -251,3 +251,90 @@ class SetIterationRule(_CriticalRule):
                 if ancestor.func.id in ("sorted", "min", "max", "sum", "len"):
                     return True
         return False
+
+
+#: Modules whose clock reads must route through :mod:`repro.obs.clock`.
+#: These are the instrumented tiers: their timers feed metrics and trace
+#: spans, and tests pin them with ``clock.fixed(...)`` — a direct
+#: ``time.*`` read there is invisible to that seam. A newly instrumented
+#: module belongs on this list the moment it grows its first timer.
+INSTRUMENTED_PATHS = (
+    "repro/obs/",
+    "repro/search/beam.py",
+    "repro/search/miner.py",
+    "repro/engine/service.py",
+    "repro/engine/jobs.py",
+    "repro/dist/executor.py",
+    "repro/dist/worker.py",
+    "repro/dist/router.py",
+    "repro/server/app.py",
+    "repro/server/hub.py",
+)
+
+#: Clock reads the seam wraps. ``time.sleep`` is deliberately absent:
+#: sleeping is pacing, not measurement, and stays allowed.
+_CLOCK_READS = frozenset(
+    f"time.{name}"
+    for name in (
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "thread_time",
+        "thread_time_ns",
+    )
+)
+
+#: Seam function replacing each direct read (the finding's suggestion).
+_SEAM_FOR = {
+    "time.time": "clock.wall_time",
+    "time.time_ns": "clock.wall_time",
+    "time.monotonic": "clock.monotonic",
+    "time.monotonic_ns": "clock.monotonic",
+}
+
+
+@register_rule
+class ClockSeamRule(LintRule):
+    """DET004: instrumented modules read clocks via the repro.obs.clock seam.
+
+    The instrumented tiers (beam phases, scheduler, dist shards, server)
+    time themselves into metrics and trace spans, and their tests pin
+    time with ``repro.obs.clock.fixed(...)``. A direct ``time.*`` read
+    in one of those modules bypasses the seam: the timer works in
+    production but cannot be frozen in tests, and mixed clock bases
+    (seam here, raw read there) produce negative or skewed durations.
+    Route reads through ``clock.monotonic()`` / ``clock.perf_counter()``
+    / ``clock.wall_time()`` instead. ``time.sleep`` is pacing, not
+    measurement, and stays allowed; the seam module itself is the one
+    place raw reads belong.
+    """
+
+    rule_id = "DET004"
+    title = "direct clock read bypassing the repro.obs.clock seam"
+    applies_to = INSTRUMENTED_PATHS
+
+    def applies(self, source: SourceFile) -> bool:
+        """Instrumented modules, minus the seam module itself."""
+        if source.display_path.endswith("repro/obs/clock.py"):
+            return False
+        return super().applies(source)
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        """Yield every violation of this rule found in ``source``."""
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                qual = source.qualname(node.func)
+                if qual in _CLOCK_READS:
+                    seam = _SEAM_FOR.get(qual, "clock.perf_counter")
+                    yield self.finding(
+                        source,
+                        node,
+                        f"{qual}() bypasses the repro.obs.clock seam in an "
+                        f"instrumented module; call {seam}() so tests can "
+                        f"pin time with clock.fixed(...)",
+                    )

@@ -40,6 +40,7 @@ from repro.engine.jobs import JobResult, run_job
 from repro.engine.service import JobStatus, MiningService
 from repro.errors import EngineError, SearchError
 from repro.events import MiningObserver, broadcast
+from repro.obs.profile import ProfileReport, profile_block
 from repro.search.miner import SubgroupDiscovery
 from repro.search.results import MiningIteration
 from repro.session import MiningSession
@@ -166,6 +167,9 @@ class Workspace:
         belief_cache: BeliefCache | bool | None = None,
     ) -> None:
         self.observer = observer
+        #: The :class:`~repro.obs.profile.ProfileReport` of the last
+        #: ``mine(..., profile=...)`` call (``None`` until one runs).
+        self.last_profile: ProfileReport | None = None
         self._belief_cache_arg = belief_cache
         self.belief_cache = resolve_belief_cache(belief_cache)
         self._service = service
@@ -182,17 +186,32 @@ class Workspace:
     # Inline execution
     # ------------------------------------------------------------------ #
     def mine(
-        self, spec: MiningSpec | dict, *, observer: MiningObserver | None = None
+        self,
+        spec: MiningSpec | dict,
+        *,
+        observer: MiningObserver | None = None,
+        profile=False,
     ) -> JobResult:
         """Run one spec to completion, inline, and return its result.
 
         Candidate and iteration events fire live on the composed
         observers; ``on_job`` fires once at the end.
+
+        ``profile`` opts into per-phase timing: any truthy value
+        captures a :class:`~repro.obs.profile.ProfileReport` (a diff of
+        the already-instrumented metrics registry around the run, so
+        profiling adds no measurement cost) into :attr:`last_profile`; a
+        *callable* additionally receives the rendered report text
+        (``profile=print`` prints the table). The mined result is
+        byte-identical either way.
         """
         spec = _as_spec(spec)
         composed = broadcast(self.observer, observer)
+        block = profile_block() if profile else None
         executor = _spec_executor(spec)
         try:
+            if block is not None:
+                block.__enter__()
             result = run_job(
                 spec.to_job(),
                 executor=executor,
@@ -200,9 +219,14 @@ class Workspace:
                 belief_cache=self.belief_cache,
             )
         finally:
+            if block is not None:
+                block.__exit__()
+                self.last_profile = block.report
             # A shared-memory executor holds a persistent worker pool;
             # release it deterministically, not at garbage collection.
             executor.close()
+        if callable(profile):
+            profile(self.last_profile.format())
         if composed is not None:
             composed.on_job(result)
         return result

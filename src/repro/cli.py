@@ -19,6 +19,10 @@ Subcommands:
   :class:`repro.dist.DistExecutor` (see :mod:`repro.dist`).
 - ``sisd route`` — federate several ``sisd serve`` replicas behind one
   address, placing jobs by spec fingerprint over consistent hashing.
+- ``sisd top URL`` — live ASCII dashboard over the ``GET /metrics``
+  endpoint of any tier (server, worker daemon, or router).
+- ``sisd admin usage|compact URL`` — per-tenant submission counters
+  (read from ``/metrics``) and forced store compaction.
 - ``sisd lint`` — statically check the repo's contract invariants
   (determinism, asyncio hygiene, pickle boundaries, resource safety;
   see :mod:`repro.analysis`). ``--json`` for CI, ``--explain RULE`` for
@@ -267,6 +271,46 @@ def _build_parser() -> argparse.ArgumentParser:
         help="replica health-check cadence in seconds (default 2)",
     )
 
+    top = sub.add_parser(
+        "top", help="live ASCII dashboard over a /metrics endpoint"
+    )
+    top.add_argument(
+        "url", help="base URL of a sisd server, worker, or router"
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="refresh cadence in seconds (default 2)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (scripts, tests)",
+    )
+    top.add_argument(
+        "--token", default=None,
+        help="bearer token for an auth-enabled endpoint",
+    )
+
+    admin = sub.add_parser(
+        "admin", help="operational commands against a running server"
+    )
+    admin_sub = admin.add_subparsers(dest="admin_command", required=True)
+    usage = admin_sub.add_parser(
+        "usage", help="per-tenant submit/reject/preempt counters"
+    )
+    usage.add_argument("url", help="base URL of a sisd server")
+    usage.add_argument(
+        "--token", default=None,
+        help="bearer token for an auth-enabled endpoint",
+    )
+    compact = admin_sub.add_parser(
+        "compact", help="fold the server's store journal into its snapshot"
+    )
+    compact.add_argument("url", help="base URL of a durable sisd server")
+    compact.add_argument(
+        "--token", default=None,
+        help="bearer token for an auth-enabled endpoint",
+    )
+
     lint = sub.add_parser(
         "lint",
         help="statically check determinism/asyncio/pickle/resource contracts",
@@ -482,6 +526,42 @@ def _cmd_route(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.console import render_dashboard, scrape
+
+    if args.once:
+        print(render_dashboard(scrape(args.url, token=args.token), source=args.url))
+        return 0
+    import time as _time  # live-poll cadence only; nothing measured
+
+    try:
+        while True:
+            frame = render_dashboard(
+                scrape(args.url, token=args.token), source=args.url
+            )
+            # ANSI clear + home keeps the frame in place like top(1).
+            print(f"\x1b[2J\x1b[H{frame}", flush=True)
+            _time.sleep(max(args.interval, 0.1))
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_admin(args: argparse.Namespace) -> int:
+    from repro.obs.console import post_json, scrape, usage_table
+
+    if args.admin_command == "usage":
+        print(usage_table(scrape(args.url, token=args.token), source=args.url))
+        return 0
+    # compact
+    document = post_json(args.url, "/admin/compact", token=args.token)
+    store = document.get("store", {})
+    print(
+        f"compacted: journal lag {document.get('journal_lag_before', 0)} -> "
+        f"{store.get('journal_lag', 0)} ({store.get('records', 0)} records)"
+    )
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     result = EXPERIMENTS[args.name](args.seed)
     print(result.format())
@@ -508,6 +588,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_worker(args)
         if args.command == "route":
             return _cmd_route(args)
+        if args.command == "top":
+            return _cmd_top(args)
+        if args.command == "admin":
+            return _cmd_admin(args)
         if args.command == "lint":
             from repro.analysis.cli import run_lint
 

@@ -23,7 +23,6 @@ Failure policy, in one place:
 from __future__ import annotations
 
 import threading
-import time
 from concurrent.futures import ThreadPoolExecutor
 from http.client import HTTPConnection
 from typing import Any, Callable, Iterable
@@ -31,6 +30,15 @@ from urllib.parse import urlsplit
 
 from repro.dist import wire as dwire
 from repro.errors import EngineError
+from repro.obs import clock
+from repro.obs.instruments import (
+    DIST_CONTEXTS_SHIPPED,
+    DIST_FAILOVERS,
+    DIST_SHARD_RTT,
+    DIST_SHARDS_LOCAL,
+    DIST_SHARDS_REMOTE,
+)
+from repro.obs.trace import TRACER, TraceContext, current
 
 __all__ = ["DistExecutor", "ShardError", "WorkerClient", "WorkerUnavailable"]
 
@@ -105,9 +113,11 @@ class WorkerClient:
                 f"HTTP {status} {body[:200]!r}"
             )
 
-    def run_shard(self, digest: str | None, fn, items: list) -> dict:
+    def run_shard(
+        self, digest: str | None, fn, items: list, trace: dict | None = None
+    ) -> dict:
         """Execute one shard remotely; returns the decoded reply envelope."""
-        payload = dwire.dump(dwire.shard_request(digest, fn, items))
+        payload = dwire.dump(dwire.shard_request(digest, fn, items, trace=trace))
         status, body = self._exchange("POST", "/shards", payload)
         if status != 200:
             raise WorkerUnavailable(
@@ -348,14 +358,18 @@ class DistExecutor:
         bounds = self._chunks(len(items))
         if not bounds:
             return []
+        # The ambient trace context is thread-local; capture it here (the
+        # caller's thread) so shards dispatched on pool threads still
+        # parent under the submitting job's trace.
+        ctx = current()
         results: list = [None] * len(items)
         if len(bounds) == 1:
-            outputs = [self._run_shard(session, 0, fn, items)]
+            outputs = [self._run_shard(session, 0, fn, items, ctx)]
             spans = [bounds[0]]
         else:
             futures = [
                 self._pool.submit(
-                    self._run_shard, session, index, fn, items[start:stop]
+                    self._run_shard, session, index, fn, items[start:stop], ctx
                 )
                 for index, (start, stop) in enumerate(bounds)
             ]
@@ -368,7 +382,12 @@ class DistExecutor:
         return results
 
     def _run_shard(
-        self, session: _DistSession, shard_index: int, fn, items: list
+        self,
+        session: _DistSession,
+        shard_index: int,
+        fn,
+        items: list,
+        ctx: TraceContext | None = None,
     ) -> list:
         """Execute one shard: remote with failover, locally as last resort."""
         n = len(self._states)
@@ -376,19 +395,21 @@ class DistExecutor:
         tried_any = False
         for offset in range(n):
             state = self._states[(shard_index + offset) % n]
-            now = time.monotonic()
+            now = clock.monotonic()
             with self._lock:
                 if not state.alive(now):
                     continue
             tried_any = True
             try:
-                shard_results = self._run_on_worker(session, state, fn, items)
+                shard_results = self._run_on_worker(session, state, fn, items, ctx)
             except WorkerUnavailable as exc:
                 last_unavailable = exc
+                DIST_FAILOVERS.inc()
                 with self._lock:
-                    state.mark_dead(time.monotonic())
+                    state.mark_dead(clock.monotonic())
                     self.stats["failovers"] += 1
                 continue
+            DIST_SHARDS_REMOTE.inc()
             with self._lock:
                 state.mark_alive()
                 self.stats["shards_remote"] += 1
@@ -401,31 +422,54 @@ class DistExecutor:
             raise WorkerUnavailable(
                 f"no live worker could run shard {shard_index}{detail}"
             )
+        DIST_SHARDS_LOCAL.inc()
         with self._lock:
             self.stats["shards_local"] += 1
-        return [fn(session._context, item) for item in items]
+        t_local = clock.perf_counter()
+        local_results = [fn(session._context, item) for item in items]
+        TRACER.record("shard", t_local, clock.perf_counter(), ctx,
+                      tags={"path": "local", "items": len(items)})
+        return local_results
 
     def _run_on_worker(
-        self, session: _DistSession, state: _WorkerState, fn, items: list
+        self,
+        session: _DistSession,
+        state: _WorkerState,
+        fn,
+        items: list,
+        ctx: TraceContext | None = None,
     ) -> list:
         """One remote attempt, shipping the context on a cache miss."""
         client = state.client
-        reply = client.run_shard(session._digest, fn, items)
-        if reply["status"] == "unknown-context":
-            with state.ship_lock:
-                with self._lock:
-                    need_ship = session._digest not in state.shipped
-                if need_ship:
-                    client.put_context(session._digest, session._payload)
-                    with self._lock:
-                        state.shipped.add(session._digest)
-                        self.stats["contexts_shipped"] += 1
-            reply = client.run_shard(session._digest, fn, items)
+        # The shard span is opened *before* the request so its context
+        # can ride the envelope — the worker parents its own span under
+        # this one, stitching both processes into one trace.
+        span = TRACER.start("shard", parent=ctx) if ctx is not None else None
+        wire_trace = span.context.to_wire() if span is not None else None
+        try:
+            reply = self._timed_shard(client, session._digest, fn, items, wire_trace)
             if reply["status"] == "unknown-context":
-                raise WorkerUnavailable(
-                    f"worker {client.url} still misses context "
-                    f"{session._digest[:12]} after shipping it"
+                with state.ship_lock:
+                    with self._lock:
+                        need_ship = session._digest not in state.shipped
+                    if need_ship:
+                        client.put_context(session._digest, session._payload)
+                        DIST_CONTEXTS_SHIPPED.inc()
+                        with self._lock:
+                            state.shipped.add(session._digest)
+                            self.stats["contexts_shipped"] += 1
+                reply = self._timed_shard(
+                    client, session._digest, fn, items, wire_trace
                 )
+        finally:
+            if span is not None:
+                span.tag("worker", client.url).tag("items", len(items))
+                TRACER.finish(span)
+        if reply["status"] == "unknown-context":
+            raise WorkerUnavailable(
+                f"worker {client.url} still misses context "
+                f"{session._digest[:12]} after shipping it"
+            )
         if reply["status"] == "error":
             # fn itself raised remotely: deterministic, so re-raise as-is
             # instead of failing over N times.
@@ -440,3 +484,13 @@ class DistExecutor:
                 f"for a {len(items)}-item shard"
             )
         return results
+
+    @staticmethod
+    def _timed_shard(
+        client: WorkerClient, digest: str | None, fn, items: list, trace
+    ) -> dict:
+        """One shard round trip, observed into the per-worker RTT histogram."""
+        started = clock.perf_counter()
+        reply = client.run_shard(digest, fn, items, trace=trace)
+        DIST_SHARD_RTT.labels(client.url).observe(clock.perf_counter() - started)
+        return reply

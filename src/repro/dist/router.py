@@ -30,12 +30,20 @@ import asyncio
 import json
 import secrets
 import threading
-import time
 from urllib.parse import urlsplit
 
 from repro.dist import wire as dwire
 from repro.dist.ring import HashRing
 from repro.errors import EngineError, ReproError
+from repro.obs import clock
+from repro.obs.instruments import (
+    METRICS,
+    ROUTER_FORWARDED,
+    ROUTER_REBALANCES,
+    ROUTER_SUBMITTED,
+)
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
+from repro.obs.trace import TRACER
 from repro.persist import job_from_dict
 from repro.server import http
 from repro.server.app import ServerHandle
@@ -150,7 +158,7 @@ class MiningRouter:
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
-        self._started_at = time.monotonic()
+        self._started_at = clock.monotonic()
         self._checker = asyncio.ensure_future(self._check_loop())
 
     async def serve_forever(self) -> None:
@@ -275,6 +283,7 @@ class MiningRouter:
         else:
             self._ring.remove(replica.name)
         self._stats["rebalances"] += 1
+        ROUTER_REBALANCES.inc()
 
     # ------------------------------------------------------------------ #
     # Upstream plumbing
@@ -360,6 +369,7 @@ class MiningRouter:
                 headers=(("Retry-After", "1"),),
             ) from exc
         self._stats["forwarded"] += 1
+        ROUTER_FORWARDED.inc()
         return result
 
     # ------------------------------------------------------------------ #
@@ -438,6 +448,13 @@ class MiningRouter:
             return http.render_response(
                 200, http.json_body(self._health()), keep_alive=keep
             )
+        if parts == ["metrics"] and request.method == "GET":
+            return http.render_response(
+                200,
+                METRICS.render().encode("utf-8"),
+                content_type=PROMETHEUS_CONTENT_TYPE,
+                keep_alive=keep,
+            )
         if parts == ["workers"]:
             return self._handle_workers(request, keep)
         if parts == ["workers", "register"] and request.method == "POST":
@@ -451,8 +468,9 @@ class MiningRouter:
         raise http.HttpError(
             404,
             f"no route for {request.method} {request.path}; this is a sisd "
-            f"router: /health, /workers, /jobs, /jobs/{{id}}[@replica], "
-            f"/jobs/{{id}}/result, /jobs/{{id}}/cancel, /events?job_id=",
+            f"router: /health, /metrics, /workers, /jobs, "
+            f"/jobs/{{id}}[@replica], /jobs/{{id}}/result, "
+            f"/jobs/{{id}}/cancel, /events?job_id=",
         )
 
     # ------------------------------------------------------------------ #
@@ -468,7 +486,7 @@ class MiningRouter:
             "uptime_seconds": (
                 0.0
                 if self._started_at is None
-                else time.monotonic() - self._started_at
+                else clock.monotonic() - self._started_at
             ),
             "replicas": [
                 {
@@ -484,6 +502,10 @@ class MiningRouter:
             "ring": {"nodes": len(self._ring), "vnodes": self._ring.vnodes},
             "workers": list(self._workers),
             "router": dict(self._stats),
+            "observability": {
+                "metrics": "/metrics",
+                "spans_retained": len(TRACER.finished()),
+            },
         }
 
     def _handle_workers(self, request: http.Request, keep: bool) -> bytes:
@@ -549,6 +571,7 @@ class MiningRouter:
                 last_error = exc
                 continue  # owner down: the ring's next node takes the spec
             self._stats["submitted"] += 1
+            ROUTER_SUBMITTED.inc()
             return self._retag_response(
                 status, headers, body, replica.name, keep
             )

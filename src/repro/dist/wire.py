@@ -57,14 +57,29 @@ def digest_of(payload: bytes) -> str:
     return hashlib.sha256(payload).hexdigest()
 
 
-def shard_request(digest: str | None, fn: Any, items: list[Any]) -> dict[str, Any]:
-    """The ``POST /shards`` envelope a coordinator sends a worker."""
-    return {
+def shard_request(
+    digest: str | None,
+    fn: Any,
+    items: list[Any],
+    trace: dict[str, str] | None = None,
+) -> dict[str, Any]:
+    """The ``POST /shards`` envelope a coordinator sends a worker.
+
+    ``trace`` is the optional wire form of a
+    :class:`repro.obs.trace.TraceContext`: the worker parents its shard
+    span under it, which is what stitches remote execution into the
+    submitting job's trace. Old workers ignore the extra key; absent or
+    malformed contexts decode to ``None`` — tracing never fails a shard.
+    """
+    request: dict[str, Any] = {
         "schema": DIST_SCHEMA,
         "context": digest,
         "fn": fn,
         "items": items,
     }
+    if trace is not None:
+        request["trace"] = trace
+    return request
 
 
 # --------------------------------------------------------------------- #

@@ -38,6 +38,17 @@ from urllib.parse import urlsplit
 
 from repro.dist import wire as dwire
 from repro.errors import EngineError
+from repro.obs import clock
+from repro.obs.instruments import (
+    METRICS,
+    WORKER_CONTEXT_MISSES,
+    WORKER_ERRORS,
+    WORKER_ITEMS,
+    WORKER_SHARD_SECONDS,
+    WORKER_SHARDS,
+)
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
+from repro.obs.trace import TRACER, TraceContext
 from repro.server import http
 from repro.server.app import ServerHandle
 from repro.version import __version__
@@ -116,7 +127,7 @@ class WorkerDaemon:
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
-        self._started_at = time.monotonic()
+        self._started_at = clock.monotonic()
         if self.register_with is not None:
             threading.Thread(
                 target=self._register_loop,
@@ -269,6 +280,12 @@ class WorkerDaemon:
         parts = [part for part in request.path.split("/") if part]
         if parts == ["health"] and request.method == "GET":
             return http.render_response(200, http.json_body(self._health()))
+        if parts == ["metrics"] and request.method == "GET":
+            return http.render_response(
+                200,
+                METRICS.render().encode("utf-8"),
+                content_type=PROMETHEUS_CONTENT_TYPE,
+            )
         if len(parts) == 2 and parts[0] == "contexts" and request.method == "PUT":
             return self._put_context(parts[1], request.body)
         if parts == ["shards"] and request.method == "POST":
@@ -276,7 +293,8 @@ class WorkerDaemon:
         raise http.HttpError(
             404,
             f"no route for {request.method} {request.path}; this is a "
-            f"sisd worker daemon: /health, /contexts/{{digest}}, /shards",
+            f"sisd worker daemon: /health, /metrics, /contexts/{{digest}}, "
+            f"/shards",
         )
 
     # ------------------------------------------------------------------ #
@@ -295,10 +313,14 @@ class WorkerDaemon:
             "uptime_seconds": (
                 0.0
                 if self._started_at is None
-                else time.monotonic() - self._started_at
+                else clock.monotonic() - self._started_at
             ),
             "contexts": digests,
             "shards": dict(self._stats),
+            "observability": {
+                "metrics": "/metrics",
+                "spans_retained": len(TRACER.finished()),
+            },
         }
 
     def _put_context(self, digest: str, body: bytes) -> bytes:
@@ -337,25 +359,36 @@ class WorkerDaemon:
             # Content-addressed miss: ask the coordinator for the bytes
             # (it pushes once, then every later shard rides the cache).
             self._stats["context_misses"] += 1
+            WORKER_CONTEXT_MISSES.inc()
             reply = {"schema": dwire.DIST_SCHEMA, "status": "unknown-context"}
             return http.render_response(
                 200, dwire.dump(reply), content_type=dwire.PICKLE_CONTENT_TYPE
             )
+        trace_ctx = TraceContext.from_wire(envelope.get("trace"))
         loop = asyncio.get_running_loop()
         reply = await loop.run_in_executor(
-            self._pool, self._execute, context, fn, items
+            self._pool, self._execute, context, fn, items, trace_ctx
         )
         return http.render_response(
             200, dwire.dump(reply), content_type=dwire.PICKLE_CONTENT_TYPE
         )
 
-    def _execute(self, context, fn, items: list) -> dict:
+    def _execute(self, context, fn, items: list, trace_ctx=None) -> dict:
         """Run one shard in order; errors travel back as the exception."""
+        started = clock.perf_counter()
         try:
             results = [fn(context, item) for item in items]
         except BaseException as exc:  # noqa: BLE001 - shipped to the caller
             self._stats["errors"] += 1
+            WORKER_ERRORS.inc()
             return {"schema": dwire.DIST_SCHEMA, "status": "error", "error": exc}
+        ended = clock.perf_counter()
+        WORKER_SHARD_SECONDS.observe(ended - started)
+        WORKER_SHARDS.inc()
+        WORKER_ITEMS.inc(len(items))
+        TRACER.record(
+            "worker.shard", started, ended, trace_ctx, tags={"items": len(items)}
+        )
         self._stats["shards"] += 1
         self._stats["items"] += len(items)
         return {"schema": dwire.DIST_SCHEMA, "status": "ok", "results": results}

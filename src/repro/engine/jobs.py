@@ -11,9 +11,9 @@ per-target fan-outs (many datasets × many configs) one call.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import tempfile
-import time
 import uuid
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
@@ -31,6 +31,8 @@ from repro.errors import EngineError, JobPreempted
 from repro.events import MiningObserver
 from repro.interest.dl import DLParams
 from repro.model.priors import Prior
+from repro.obs import clock
+from repro.obs.trace import TraceContext, activate
 from repro.search.config import SearchConfig
 from repro.search.miner import SubgroupDiscovery
 from repro.search.results import LocationPatternResult, MiningIteration
@@ -464,7 +466,7 @@ def run_job(
         # A fresh derived dataset: the cached (shared) instance is never
         # mutated, so unweighted jobs keep hitting the same object.
         dataset = dataset.with_weights(np.asarray(job.weights, dtype=float))
-    started = time.perf_counter()
+    started = clock.perf_counter()
     if job.strategy == "beam":
         miner = SubgroupDiscovery(
             dataset,
@@ -501,7 +503,7 @@ def run_job(
     return JobResult(
         job=job,
         iterations=tuple(iterations),
-        elapsed_seconds=time.perf_counter() - started,
+        elapsed_seconds=clock.perf_counter() - started,
     )
 
 
@@ -556,6 +558,8 @@ def run_job_with_workers(
     observer: MiningObserver | None = None,
     yield_event=None,
     belief_handle=None,
+    trace=None,
+    dist_workers=None,
 ) -> JobResult:
     """:func:`run_job` with the executor resolved from a worker count.
 
@@ -575,20 +579,34 @@ def run_job_with_workers(
     (see :func:`run_job`): a ``threading.Event`` from the thread
     backend, or a :class:`FileYieldFlag` from the process backend —
     anything with a cheap ``is_set()`` works.
+    ``trace`` is an optional :class:`~repro.obs.trace.TraceContext` (or
+    its wire-dict form, which is how the service's process backend ships
+    it): it is activated for the duration of the run so engine-internal
+    phase spans attach to the submitting job's trace. It never reaches
+    the miner's inputs — results are bit-identical with or without it.
+    ``dist_workers`` (a sequence of worker-daemon URLs) routes the run
+    through a :class:`~repro.dist.DistExecutor` instead of a local pool,
+    so a submitted job's trace extends across the remote shards.
     """
     if belief_cache is None and belief_handle is not None:
         belief_cache = belief_handle.resolve()
+    ctx = trace if isinstance(trace, TraceContext) else TraceContext.from_wire(trace)
     executor = resolve_executor(
-        workers, start_method=start_method, shared_memory=shared_memory
+        workers,
+        start_method=start_method,
+        shared_memory=shared_memory,
+        dist_workers=dist_workers,
     )
+    scope = activate(ctx) if ctx is not None else contextlib.nullcontext()
     try:
-        return run_job(
-            job,
-            executor=executor,
-            belief_cache=belief_cache,
-            observer=observer,
-            should_yield=yield_event.is_set if yield_event is not None else None,
-        )
+        with scope:
+            return run_job(
+                job,
+                executor=executor,
+                belief_cache=belief_cache,
+                observer=observer,
+                should_yield=yield_event.is_set if yield_event is not None else None,
+            )
     finally:
         executor.close()
 

@@ -36,10 +36,10 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
-import time
 from concurrent.futures import CancelledError, Future
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from enum import Enum
+from typing import Sequence
 
 from repro.engine.cache import BeliefCache, LRUCache, resolve_belief_cache
 
@@ -58,6 +58,29 @@ from repro.engine.jobs import (
 )
 from repro.errors import DeadlineExpired, EngineError, JobPreempted
 from repro.events import MiningObserver, SchedulerEvent, broadcast
+from repro.obs import clock
+from repro.obs.instruments import (
+    BELIEF_SPILL_HIT_RATIO,
+    BELIEF_SPILL_HITS,
+    BELIEF_SPILL_MISSES,
+    JOBS_FINISHED,
+    JOBS_PREEMPTED,
+    JOBS_SUBMITTED,
+    METRICS,
+    QUEUE_AGED,
+    QUEUE_DEPTH,
+    QUEUE_WAIT,
+    RESULT_CACHE_HIT_RATIO,
+    RESULT_CACHE_HITS,
+    RESULT_CACHE_MISSES,
+    STORE_JOURNAL_LAG,
+    STORE_RECORDS,
+)
+from repro.obs.trace import TRACER, activate
+
+#: Tenant label for untenanted submissions (Prometheus labels cannot be
+#: empty without ambiguity; "-" is unambiguous and greppable).
+_NO_TENANT = "-"
 
 
 class _SwallowingObserver(MiningObserver):
@@ -144,6 +167,13 @@ _STATE_TO_STATUS = {
 }
 
 
+def _finish(record: "_Record", state: str) -> None:
+    """Move a record to a terminal state (stamp + finished counter)."""
+    record.state = state
+    record.finished_wall = clock.wall_time()
+    JOBS_FINISHED.labels(state).inc()
+
+
 class _Record:
     """Scheduler bookkeeping of one submission.
 
@@ -183,6 +213,8 @@ class _Record:
         "yield_flag",
         "submitted_wall",
         "finished_wall",
+        "trace",
+        "trace_enqueued",
     )
 
     def __init__(
@@ -202,9 +234,9 @@ class _Record:
         self.seq = seq
         self.priority = job.priority
         self.boost = 0
-        self.enqueued_at = time.monotonic()
+        self.enqueued_at = clock.monotonic()
         self.deadline_at = (
-            None if job.deadline is None else time.monotonic() + job.deadline
+            None if job.deadline is None else clock.monotonic() + job.deadline
         )
         # Scheduling urgency: the record's own deadline, tightened by the
         # earliest deadline of any coalesced duplicate. Ordering only —
@@ -229,8 +261,12 @@ class _Record:
         #: Cooperative-preemption flag handed to a thread-backend worker.
         self.yield_flag = None
         #: Wall-clock stamps for the durable store and terminal TTL.
-        self.submitted_wall = time.time()
+        self.submitted_wall = clock.wall_time()
         self.finished_wall: float | None = None
+        #: Trace context of the submission's root span (None untraced)
+        #: and the perf-counter stamp the "schedule" span starts from.
+        self.trace = None
+        self.trace_enqueued = clock.perf_counter()
 
     def sort_key(self) -> tuple:
         """Dispatch order: priority ↓, tenant fair share, deadline ↑, arrival ↑.
@@ -416,8 +452,35 @@ class MiningService:
         #: tenant cannot bank credit and then monopolize the queue.
         self._tenant_pass: dict[str, float] = {}
         self._vtime = 0.0
+        # Pull-style gauges (queue depth, cache ratios, journal lag)
+        # refresh at scrape time; the collector is removed on shutdown so
+        # a later service in the same process takes over the gauges.
+        METRICS.register_collector(self._collect_metrics)
         if self._store is not None:
             self._recover_from_store()
+
+    def _collect_metrics(self) -> None:
+        """Refresh this service's pull-style gauges (runs per scrape)."""
+        QUEUE_DEPTH.set(self._n_queued)
+        stats = self._cache.stats
+        RESULT_CACHE_HITS.set(stats.hits)
+        RESULT_CACHE_MISSES.set(stats.misses)
+        RESULT_CACHE_HIT_RATIO.set(stats.hit_rate)
+        if self._store is not None:
+            store_stats = self._store.stats()
+            STORE_RECORDS.set(store_stats["records"])
+            STORE_JOURNAL_LAG.set(store_stats["journal_lag"])
+        spill = (
+            self._belief_cache.spill if self._belief_cache is not None else None
+        )
+        if spill is not None and hasattr(spill, "stats"):
+            spill_stats = spill.stats
+            total = spill_stats.hits + spill_stats.misses
+            BELIEF_SPILL_HITS.set(spill_stats.hits)
+            BELIEF_SPILL_MISSES.set(spill_stats.misses)
+            BELIEF_SPILL_HIT_RATIO.set(
+                spill_stats.hits / total if total else 0.0
+            )
 
     # ------------------------------------------------------------------ #
     # Client API
@@ -429,6 +492,7 @@ class MiningService:
         workers: int | None = None,
         start_method: str | None = None,
         shared_memory: bool = False,
+        dist_workers: Sequence[str] | None = None,
         observer: MiningObserver | None = None,
         tenant: str | None = None,
         tenant_share: float = 1.0,
@@ -436,10 +500,14 @@ class MiningService:
         """Queue a job; returns its id. Cached specs resolve instantly.
 
         ``workers``/``start_method``/``shared_memory`` parallelize the
-        search *inside* the job (the spec's executor section); the
-        determinism contract makes them — and hence these parameters —
-        irrelevant to the result, so the cache stays keyed by the job
-        fingerprint alone. A submission whose fingerprint is already
+        search *inside* the job (the spec's executor section);
+        ``dist_workers`` (worker-daemon URLs) instead fans the job's
+        shards out to remote workers through a
+        :class:`~repro.dist.DistExecutor` — the submission's trace then
+        spans the remote shards end to end. The determinism contract
+        makes all of them — and hence these parameters — irrelevant to
+        the result, so the cache stays keyed by the job fingerprint
+        alone. A submission whose fingerprint is already
         queued or running coalesces onto that in-flight job (one mining
         run, every waiter gets the result); scheduling terms come from
         the job's ``priority``/``deadline`` fields.
@@ -474,23 +542,30 @@ class MiningService:
         post: list = []
         serial_record: _Record | None = None
         wrapped = _SwallowingObserver(observer) if observer is not None else None
+        # Root span of this submission's trace: everything downstream —
+        # the schedule wait, the engine's phase spans, dist shards —
+        # parents under it. Purely observational; ids never reach the
+        # job's inputs or fingerprint.
+        root = TRACER.start("submit")
+        root.tag("job", job.name).tag("tenant", tenant or _NO_TENANT)
+        JOBS_SUBMITTED.labels(tenant or _NO_TENANT).inc()
         with self._lock:
             record = _Record(
                 job_id,
                 job,
                 fp,
                 next(self._seq),
-                (workers, start_method, shared_memory),
+                (workers, start_method, shared_memory, dist_workers),
                 observer=wrapped,
                 tenant=tenant,
                 tenant_share=tenant_share,
             )
+            record.trace = root.context
             self._records[job_id] = record
             self._emit_later(post, "queued", record)
             cached = self._cache.get(fp)
             if cached is not None:
-                record.state = "done"
-                record.finished_wall = time.time()
+                _finish(record, "done")
                 record.future.set_result(cached)
                 self._emit_later(post, "cache_hit", record)
                 post.append(
@@ -505,7 +580,7 @@ class MiningService:
             elif self._pool is None:
                 if (
                     record.deadline_at is not None
-                    and time.monotonic() >= record.deadline_at
+                    and clock.monotonic() >= record.deadline_at
                 ):
                     self._expire_locked(record, post)
                 else:
@@ -549,29 +624,34 @@ class MiningService:
         self._run_post(post)
         if serial_record is not None:
             self._run_serial(serial_record)
+        root.tag("job_id", job_id)
+        TRACER.finish(root)
         return job_id
 
     def _run_serial(self, record: _Record) -> None:
         """Execute one job inline (the ``"serial"`` backend's dispatch)."""
-        workers, start_method, shared_memory = record.opts
+        workers, start_method, shared_memory, dist_workers = record.opts
         executor = resolve_executor(
-            workers, start_method=start_method, shared_memory=shared_memory
+            workers,
+            start_method=start_method,
+            shared_memory=shared_memory,
+            dist_workers=dist_workers,
         )
         record.live = record.observer is not None
         try:
             # Serial backend: candidate/iteration events fire live, on
             # the service-wide observers and the submission's own
             # (swallowed on failure — see _SwallowingObserver).
-            result = run_job(
-                record.job,
-                executor=executor,
-                observer=broadcast(self._live_observer, record.observer),
-                belief_cache=self._belief_cache,
-            )
+            with activate(record.trace):
+                result = run_job(
+                    record.job,
+                    executor=executor,
+                    observer=broadcast(self._live_observer, record.observer),
+                    belief_cache=self._belief_cache,
+                )
         except Exception as exc:  # surface via result(), like a pool would
             with self._lock:
-                record.state = "failed"
-                record.finished_wall = time.time()
+                _finish(record, "failed")
                 record.future.set_exception(exc)
             self._persist_now(record)
             if self._live_observer is not None:
@@ -580,8 +660,7 @@ class MiningService:
                 record.observer.on_job_failed(record.job, exc)
         else:
             with self._lock:
-                record.state = "done"
-                record.finished_wall = time.time()
+                _finish(record, "done")
                 self._cache.put(record.fp, result)
                 record.future.set_result(result)
             self._persist_now(record)
@@ -626,7 +705,7 @@ class MiningService:
         to raise — it is never held until a worker slot frees just to
         learn its job expired.
         """
-        give_up_at = None if timeout is None else time.monotonic() + timeout
+        give_up_at = None if timeout is None else clock.monotonic() + timeout
         while True:
             self.status(job_id)  # lazily expires an overdue queued job
             with self._lock:
@@ -643,7 +722,7 @@ class MiningService:
                         # otherwise (a proxy on started work never
                         # expires; _expire_if_due_locked mirrors this).
                         expire_at = record.deadline_at
-            now = time.monotonic()
+            now = clock.monotonic()
             waits = []
             if give_up_at is not None:
                 waits.append(give_up_at - now)
@@ -652,7 +731,7 @@ class MiningService:
             try:
                 return future.result(timeout=min(waits) if waits else None)
             except FuturesTimeoutError:
-                if give_up_at is not None and time.monotonic() >= give_up_at:
+                if give_up_at is not None and clock.monotonic() >= give_up_at:
                     raise
                 # Deadline wake-up: loop — status() above expires the
                 # record, after which the future resolves immediately.
@@ -671,8 +750,7 @@ class MiningService:
             if record.state != "queued":
                 return False
             record.future.cancel()
-            record.state = "cancelled"
-            record.finished_wall = time.time()
+            _finish(record, "cancelled")
             if record.proxy_of is not None:
                 if record in record.proxy_of.proxies:
                     record.proxy_of.proxies.remove(record)
@@ -741,12 +819,12 @@ class MiningService:
         failures, cancellations and expiries do not raise here — the
         returned statuses tell that story.
         """
-        deadline = None if timeout is None else time.monotonic() + timeout
+        deadline = None if timeout is None else clock.monotonic() + timeout
         with self._lock:
             futures = [record.future for record in self._records.values()]
         for future in futures:
             remaining = (
-                None if deadline is None else max(0.0, deadline - time.monotonic())
+                None if deadline is None else max(0.0, deadline - clock.monotonic())
             )
             try:
                 future.result(timeout=remaining)
@@ -819,6 +897,7 @@ class MiningService:
         running jobs. A durable store is compacted and closed either way
         (a crash that skips this is what the WAL is for).
         """
+        METRICS.remove_collector(self._collect_metrics)
         if self._pool is None:
             if self._store is not None:
                 self._store.close()
@@ -845,8 +924,7 @@ class MiningService:
                     if record.state != "queued":
                         continue
                     record.future.cancel()
-                    record.state = "cancelled"
-                    record.finished_wall = time.time()
+                    _finish(record, "cancelled")
                     if record.proxy_of is None:
                         self._n_queued -= 1
                         if self._inflight.get(record.fp) is record:
@@ -893,7 +971,7 @@ class MiningService:
         """
         if self.aging_seconds is None or not self._queue:
             return
-        now = time.monotonic()
+        now = clock.monotonic()
         # Walk the heap, not self._records: the record table keeps every
         # submission ever made (it backs status()), while the heap holds
         # only queued primaries plus a few stale boosted entries — the
@@ -909,6 +987,7 @@ class MiningService:
             boost = int(waited / self.aging_seconds)
             if boost > record.boost:
                 record.boost = boost
+                QUEUE_AGED.inc()
                 self._push_locked(record)
                 self._emit_later(
                     post, "aged", record,
@@ -937,7 +1016,7 @@ class MiningService:
                 continue
             if (
                 record.deadline_at is not None
-                and time.monotonic() >= record.deadline_at
+                and clock.monotonic() >= record.deadline_at
             ):
                 self._n_queued -= 1
                 self._expire_locked(record, post)
@@ -950,6 +1029,13 @@ class MiningService:
             record.state = "running"
             self._n_queued -= 1
             self._running += 1
+            dispatched_at = clock.perf_counter()
+            QUEUE_WAIT.observe(
+                max(0.0, dispatched_at - record.trace_enqueued)
+            )
+            TRACER.record(
+                "schedule", record.trace_enqueued, dispatched_at, record.trace
+            )
             if record.tenant is not None:
                 # Stride accounting: the dispatch advances the tenant's
                 # pass by the inverse of its share (big shares advance
@@ -959,7 +1045,7 @@ class MiningService:
                 self._tenant_pass[record.tenant] = (
                     record.pass_value + 1.0 / record.tenant_share
                 )
-            workers, start_method, shared_memory = record.opts
+            workers, start_method, shared_memory, dist_workers = record.opts
             live_observer = None
             if self.backend == "thread":
                 # In-process workers can call back into this process, so
@@ -992,6 +1078,8 @@ class MiningService:
                         self._belief_cache,
                         live_observer,
                         record.yield_flag,
+                        trace=record.trace,
+                        dist_workers=dist_workers,
                     )
                 else:
                     # A spill-backed belief cache *can* reach worker
@@ -1014,6 +1102,8 @@ class MiningService:
                         shared_memory,
                         belief_handle=handle,
                         yield_event=record.yield_flag,
+                        trace=record.trace,
+                        dist_workers=dist_workers,
                     )
             except Exception as exc:
                 # e.g. submit raced a shutdown: the pool refused the
@@ -1028,8 +1118,7 @@ class MiningService:
                 ]
                 record.proxies = []
                 for waiter in waiters:
-                    waiter.state = "failed"
-                    waiter.finished_wall = time.time()
+                    _finish(waiter, "failed")
                     waiter.future.set_exception(exc)
                     self._persist_later(post, waiter)
                     if self._live_observer is not None:
@@ -1075,7 +1164,9 @@ class MiningService:
                 # the belief cache, so the re-run replays them for free.
                 record.state = "queued"
                 record.boost = 0
-                record.enqueued_at = time.monotonic()
+                record.enqueued_at = clock.monotonic()
+                record.trace_enqueued = clock.perf_counter()
+                JOBS_PREEMPTED.labels(record.tenant or _NO_TENANT).inc()
                 self._dispose_yield_flag(record)
                 self._refresh_pass_locked(record)
                 self._push_locked(record)
@@ -1092,8 +1183,7 @@ class MiningService:
             record.proxies = []
             if pool_future.cancelled():  # pragma: no cover - defensive
                 for waiter in waiters:
-                    waiter.state = "cancelled"
-                    waiter.finished_wall = time.time()
+                    _finish(waiter, "cancelled")
                     waiter.future.cancel()
                     self._persist_later(post, waiter)
             else:
@@ -1102,8 +1192,7 @@ class MiningService:
                     result = pool_future.result()
                     self._cache.put(record.fp, result)
                     for waiter in waiters:
-                        waiter.state = "done"
-                        waiter.finished_wall = time.time()
+                        _finish(waiter, "done")
                         waiter.future.set_result(result)
                         self._persist_later(post, waiter)
                         if waiter.observer is not None:
@@ -1121,8 +1210,7 @@ class MiningService:
                     )
                 else:
                     for waiter in waiters:
-                        waiter.state = "failed"
-                        waiter.finished_wall = time.time()
+                        _finish(waiter, "failed")
                         waiter.future.set_exception(exc)
                         self._persist_later(post, waiter)
                         if self._live_observer is not None:
@@ -1148,7 +1236,7 @@ class MiningService:
             # The shared mining run has started (or finished); the
             # duplicate's "must start by" budget is satisfied by it.
             return
-        if record.deadline_at is None or time.monotonic() < record.deadline_at:
+        if record.deadline_at is None or clock.monotonic() < record.deadline_at:
             return
         if record.proxy_of is None:
             self._n_queued -= 1
@@ -1161,9 +1249,8 @@ class MiningService:
         for coalesced duplicates (detaching from their primary, which
         keeps running for its other clients).
         """
-        overdue = time.monotonic() - (record.deadline_at or time.monotonic())
-        record.state = "expired"
-        record.finished_wall = time.time()
+        overdue = clock.monotonic() - (record.deadline_at or clock.monotonic())
+        _finish(record, "expired")
         record.future.set_exception(
             DeadlineExpired(
                 f"job {record.job_id} ({record.job.name}) missed its "
@@ -1264,7 +1351,7 @@ class MiningService:
             "tenant": record.tenant,
             "tenant_share": record.tenant_share,
             "submitted_at": record.submitted_wall,
-            "updated_at": time.time(),
+            "updated_at": clock.wall_time(),
             "job": persist.job_to_dict(record.job),
             "result": None,
             "error": None,
@@ -1294,7 +1381,7 @@ class MiningService:
         cap = self.max_terminal_records
         if ttl is None and cap is None:
             return
-        now = time.time()
+        now = clock.wall_time()
         terminal = [
             record
             for record in self._records.values()
@@ -1371,7 +1458,7 @@ class MiningService:
                     job,
                     str(doc.get("fingerprint") or job.fingerprint()),
                     next(self._seq),
-                    (None, None, False),
+                    (None, None, False, None),
                     tenant=doc.get("tenant"),
                     tenant_share=float(doc.get("tenant_share") or 1.0),
                 )
@@ -1379,7 +1466,7 @@ class MiningService:
                     doc.get("submitted_at") or record.submitted_wall
                 )
                 state = doc.get("state")
-                finished = float(doc.get("updated_at") or time.time())
+                finished = float(doc.get("updated_at") or clock.wall_time())
                 if state == "done" and doc.get("result") is not None:
                     try:
                         result = persist.job_result_from_dict(doc["result"])

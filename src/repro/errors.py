@@ -90,6 +90,16 @@ class AnalysisError(ReproError):
     """
 
 
+class ObsError(ReproError):
+    """Raised by the observability layer (:mod:`repro.obs`).
+
+    Examples: registering two instruments under one metric name with
+    different kinds or label sets, observing a non-finite value on a
+    histogram, or feeding ``sisd top`` a document that is not
+    Prometheus text.
+    """
+
+
 class ConvergenceError(ReproError):
     """Raised when an iterative solver fails to converge.
 

@@ -1,0 +1,59 @@
+"""The blessed clock: every instrumented module reads time through here.
+
+Observability code needs wall and monotonic clocks, yet the repository's
+determinism contract forbids results from depending on them. The way to
+keep those two facts compatible is a *seam*: one module that owns every
+``time.*`` read, so (a) the static gate can verify nothing on an
+instrumented path consults a clock directly (rule ``DET004`` in
+:mod:`repro.analysis.rules.determinism`), and (b) tests can freeze or
+step time in one place instead of monkeypatching half the codebase.
+
+The functions are deliberately thin aliases — the seam exists for
+*auditability and substitution*, not abstraction. Tests substitute via
+:func:`fixed`, which swaps the module-level callables and restores them
+on exit.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+__all__ = ["monotonic", "perf_counter", "wall_time", "fixed"]
+
+#: Monotonic clock for intervals that must survive wall-clock jumps
+#: (scheduler deadlines, uptime, RTT timeouts).
+monotonic: Callable[[], float] = time.monotonic
+
+#: Highest-resolution monotonic clock, for phase/span durations.
+perf_counter: Callable[[], float] = time.perf_counter
+
+#: Wall clock (seconds since the epoch), for human-facing stamps only —
+#: never for anything that feeds a fingerprint or a result.
+wall_time: Callable[[], float] = time.time
+
+
+@contextmanager
+def fixed(at: float = 1_000_000.0) -> Iterator[Callable[[float], None]]:
+    """Freeze all three clocks at ``at``; yields an ``advance(dt)``.
+
+    Purely a test utility: within the block every clock read returns the
+    frozen value, and the yielded callable moves it forward. The real
+    clocks are restored on exit even if the body raises.
+    """
+    global monotonic, perf_counter, wall_time
+    state = {"now": float(at)}
+
+    def read() -> float:
+        return state["now"]
+
+    def advance(dt: float) -> None:
+        state["now"] += dt
+
+    saved = (monotonic, perf_counter, wall_time)
+    monotonic = perf_counter = wall_time = read
+    try:
+        yield advance
+    finally:
+        monotonic, perf_counter, wall_time = saved

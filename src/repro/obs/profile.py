@@ -1,0 +1,116 @@
+"""Per-phase timing reports: the ``profile=`` hook behind Workspace.mine.
+
+A profile is a *diff of the metrics registry* around a block of work:
+snapshot :data:`~repro.obs.instruments.METRICS` before, run, snapshot
+after, and report every counter/histogram that moved. Because the hot
+paths are already instrumented (beam phases, miner steps, shard RTTs),
+profiling adds **zero** new measurement cost — the hook only pays for
+two snapshots and a table render.
+
+>>> from repro.obs.profile import profile_block
+>>> with profile_block() as report:          # doctest: +SKIP
+...     workspace.mine(spec)
+>>> print(report.format())                   # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from repro.obs import clock
+from repro.obs.instruments import METRICS
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["ProfileReport", "profile_block"]
+
+#: Rows are (metric, labels) pairs; histogram families surface as
+#: ``*_sum``/``*_count`` and are folded into one row each.
+_SECONDS_SUFFIX = "_seconds_sum"
+
+
+class ProfileReport:
+    """Mutable capture of one profiled block; render with :meth:`format`."""
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else METRICS
+        self._before: dict = {}
+        self._after: dict = {}
+        self._started = 0.0
+        self.elapsed = 0.0
+
+    # ----------------------------- capture ---------------------------- #
+    def start(self) -> "ProfileReport":
+        """Snapshot the registry; the block being profiled starts now."""
+        self._before = self.registry.snapshot()
+        self._started = clock.perf_counter()
+        return self
+
+    def stop(self) -> "ProfileReport":
+        """Snapshot again; deltas/format read the difference."""
+        self.elapsed = clock.perf_counter() - self._started
+        self._after = self.registry.snapshot()
+        return self
+
+    # ------------------------------ reads ----------------------------- #
+    def deltas(self) -> dict[str, dict[tuple[str, ...], float]]:
+        """Every sample that moved: ``{name: {labels: delta}}``."""
+        moved: dict[str, dict[tuple[str, ...], float]] = {}
+        for name, series in self._after.items():
+            baseline = self._before.get(name, {})
+            for labels, value in series.items():
+                delta = value - baseline.get(labels, 0.0)
+                if delta:
+                    moved.setdefault(name, {})[labels] = delta
+        return moved
+
+    def phase_seconds(self) -> dict[str, float]:
+        """Seconds per beam/step phase observed during the block."""
+        phases: dict[str, float] = {}
+        deltas = self.deltas()
+        for name in ("sisd_beam_phase_seconds_sum", "sisd_step_phase_seconds_sum"):
+            for labels, delta in deltas.get(name, {}).items():
+                key = labels[0] if labels else name
+                phases[key] = phases.get(key, 0.0) + delta
+        return phases
+
+    def format(self) -> str:
+        """The human-facing per-phase timing table."""
+        from repro.report.tables import format_table
+
+        deltas = self.deltas()
+        rows: list[tuple] = []
+        for name in sorted(deltas):
+            if name.endswith("_count") and name[:-6] + "_sum" in deltas:
+                continue  # folded into the _sum row below
+            for labels, delta in sorted(deltas[name].items()):
+                label_text = ",".join(labels)
+                if name.endswith("_sum"):
+                    base = name[:-4]
+                    count = deltas.get(base + "_count", {}).get(labels, 0.0)
+                    rows.append(
+                        (base, label_text, f"{delta:.4f}s", f"x{count:g}")
+                    )
+                else:
+                    rows.append((name, label_text, f"{delta:g}", ""))
+        if not rows:
+            rows.append(("(no instrumented activity)", "", "", ""))
+        table = format_table(
+            ["metric", "labels", "delta", "events"],
+            rows,
+            title=f"profile: {self.elapsed:.4f}s wall",
+        )
+        return table
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.format()
+
+
+class profile_block:
+    """``with profile_block() as report: ...`` captures a metrics diff."""
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.report = ProfileReport(registry)
+
+    def __enter__(self) -> ProfileReport:
+        return self.report.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.report.stop()

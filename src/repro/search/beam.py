@@ -31,6 +31,15 @@ from repro.lang.description import Description
 from repro.lang.refinement import RefinementOperator
 from repro.model.background import BackgroundModel
 from repro.model.gaussian import LOG_2PI
+from repro.obs import clock
+from repro.obs.instruments import (
+    BEAM_CANDIDATES,
+    BEAM_PHASE_CANDIDATE_GEN,
+    BEAM_PHASE_MERGE,
+    BEAM_PHASE_PRUNE,
+    BEAM_PHASE_SCORE,
+)
+from repro.obs.trace import TRACER, current
 from repro.search.config import SearchConfig
 from repro.search.results import ScoredSubgroup, SearchResult
 from repro.utils.linalg import log_det_psd, solve_psd
@@ -256,9 +265,15 @@ class LocationBeamSearch:
         depth_reached = 0
         expired = False
 
+        # Phase instrumentation: two clock reads per phase per level,
+        # recorded against pre-bound histogram children. Spans reuse the
+        # same boundaries and only materialize inside an active trace.
+        trace_ctx = current()
+
         # The scorer is shipped to the workers once per run, not per level.
         with self.executor.session(self.scorer) as session:
             for depth in range(1, config.max_depth + 1):
+                t_gen = clock.perf_counter()
                 candidates: list[tuple[Description, np.ndarray]] = []
                 shards: dict[str, list[int]] = {}
                 for parent_description, parent_mask in beam:
@@ -279,12 +294,25 @@ class LocationBeamSearch:
                             len(candidates)
                         )
                         candidates.append((refined, mask))
+                t_score = clock.perf_counter()
+                BEAM_PHASE_CANDIDATE_GEN.observe(t_score - t_gen)
+                TRACER.record("candidate_gen", t_gen, t_score, trace_ctx)
                 if expired or not candidates:
                     break
+                BEAM_CANDIDATES.inc(len(candidates))
 
                 depth_reached = depth
                 ics, observed = self._score_sharded(session, candidates, shards)
                 n_evaluated += len(candidates)
+                t_merge = clock.perf_counter()
+                BEAM_PHASE_SCORE.observe(t_merge - t_score)
+                TRACER.record(
+                    "score",
+                    t_score,
+                    t_merge,
+                    trace_ctx,
+                    tags={"depth": depth, "candidates": len(candidates)},
+                )
 
                 scored: list[ScoredSubgroup] = []
                 for (description, mask), ic, mean in zip(candidates, ics, observed):
@@ -301,12 +329,18 @@ class LocationBeamSearch:
                     log.add(entry)
                     if self.observer is not None:
                         self.observer.on_candidate(entry)
+                t_prune = clock.perf_counter()
+                BEAM_PHASE_MERGE.observe(t_prune - t_merge)
+                TRACER.record("merge", t_merge, t_prune, trace_ctx)
 
                 scored.sort(key=lambda e: -e.si)
                 beam = [
                     (entry.description, self._mask_of_entry(entry, n_rows))
                     for entry in scored[: config.beam_width]
                 ]
+                t_done = clock.perf_counter()
+                BEAM_PHASE_PRUNE.observe(t_done - t_prune)
+                TRACER.record("prune", t_prune, t_done, trace_ctx)
 
         ranked = log.ranked()
         return SearchResult(

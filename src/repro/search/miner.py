@@ -31,6 +31,14 @@ from repro.lang.description import Description
 from repro.lang.refinement import RefinementOperator
 from repro.model.background import BackgroundModel
 from repro.model.priors import Prior
+from repro.obs import clock
+from repro.obs.instruments import (
+    MINER_STEPS_MINED,
+    MINER_STEPS_REPLAYED,
+    STEP_PHASE_LOCATION,
+    STEP_PHASE_SPREAD,
+)
+from repro.obs.trace import TRACER, current
 from repro.search.beam import LocationBeamSearch, LocationICScorer
 from repro.search.config import SearchConfig
 from repro.search.results import (
@@ -284,14 +292,24 @@ class SubgroupDiscovery:
             )
             entry = self.belief_cache.get(key)
             if entry is not None:
+                MINER_STEPS_REPLAYED.inc()
                 return self._replay_step(entry)
+        trace_ctx = current()
         n_before = len(self.model.constraints)
+        t_location = clock.perf_counter()
         location = self.find_location()
         self.assimilate(location)
+        t_spread = clock.perf_counter()
+        STEP_PHASE_LOCATION.observe(t_spread - t_location)
+        TRACER.record("step.location", t_location, t_spread, trace_ctx)
         spread = None
         if kind == "spread":
             spread = self.find_spread_for(location, sparsity=sparsity)
             self.assimilate(spread)
+            t_done = clock.perf_counter()
+            STEP_PHASE_SPREAD.observe(t_done - t_spread)
+            TRACER.record("step.spread", t_spread, t_done, trace_ctx)
+        MINER_STEPS_MINED.inc()
         iteration = MiningIteration(
             index=len(self.history) + 1, location=location, spread=spread
         )

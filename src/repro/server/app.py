@@ -32,13 +32,16 @@ from __future__ import annotations
 import asyncio
 import secrets
 import threading
-import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 
 from repro.engine.service import JobStatus, MiningService
 from repro.errors import EngineError, ReproError
 from repro.events import MiningObserver
+from repro.obs import clock
+from repro.obs.instruments import HTTP_REQUESTS, JOBS_REJECTED, METRICS
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
+from repro.obs.trace import TRACER
 from repro.persist import job_from_dict
 from repro.server import http, wire
 from repro.server.hub import EventHub
@@ -79,9 +82,9 @@ def _wait_quietly(
     otherwise keep the process alive after Ctrl-C until the pool's
     atexit join drained it.
     """
-    give_up_at = time.monotonic() + timeout
+    give_up_at = clock.monotonic() + timeout
     while not stop.is_set():
-        leg = min(1.0, give_up_at - time.monotonic())
+        leg = min(1.0, give_up_at - clock.monotonic())
         if leg <= 0:
             return None
         try:
@@ -339,7 +342,7 @@ class MiningServer:
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
-        self._started_at = time.monotonic()
+        self._started_at = clock.monotonic()
 
     async def serve_forever(self) -> None:
         """Serve until cancelled (call :meth:`start` first)."""
@@ -479,7 +482,25 @@ class MiningServer:
                     if keep:
                         continue
                     break
+                if request.method == "GET" and request.path == "/metrics":
+                    # Prometheus text, not JSON: answered here rather than
+                    # through _dispatch's document pipeline.
+                    HTTP_REQUESTS.labels("/metrics").inc()
+                    keep = request.keep_alive
+                    writer.write(
+                        http.render_response(
+                            200,
+                            METRICS.render().encode("utf-8"),
+                            content_type=PROMETHEUS_CONTENT_TYPE,
+                            keep_alive=keep,
+                        )
+                    )
+                    await writer.drain()
+                    if keep:
+                        continue
+                    break
                 if request.method == "GET" and request.path == "/events":
+                    HTTP_REQUESTS.labels("/events").inc()
                     await self._handle_events(request, writer)
                     break  # SSE ends by closing the connection
                 extra: tuple = ()
@@ -562,7 +583,8 @@ class MiningServer:
         """
         if self.tenants is None:
             return None
-        if request.method == "GET" and request.path == "/health":
+        if request.method == "GET" and request.path in ("/health", "/metrics"):
+            # Liveness probes and metrics scrapers carry no credentials.
             return None
         token = http.bearer_token(request.headers)
         tenant = (
@@ -580,12 +602,30 @@ class MiningServer:
     # ------------------------------------------------------------------ #
     # Routing
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _route_label(parts: list[str]) -> str:
+        """The bounded route label of a request path (ids collapsed)."""
+        if not parts:
+            return "/"
+        if parts[0] == "jobs":
+            if len(parts) == 1:
+                return "/jobs"
+            if len(parts) == 3 and parts[2] in ("result", "cancel"):
+                return f"/jobs/{{id}}/{parts[2]}"
+            return "/jobs/{id}"
+        if parts[0] in ("health", "admin"):
+            return "/" + "/".join(parts)
+        return "other"
+
     async def _dispatch(
         self, request: http.Request, tenant: Tenant | None = None
     ) -> tuple[int, dict]:
         parts = [part for part in request.path.split("/") if part]
+        HTTP_REQUESTS.labels(self._route_label(parts)).inc()
         if parts == ["health"] and request.method == "GET":
             return 200, self._health()
+        if parts == ["admin", "compact"] and request.method == "POST":
+            return await self._compact()
         if parts == ["jobs"]:
             if request.method == "POST":
                 return await self._submit(request, tenant)
@@ -609,8 +649,8 @@ class MiningServer:
         raise http.HttpError(
             404,
             f"no route for {request.method} {request.path}; the API surface "
-            f"is /health, /jobs, /jobs/{{id}}, /jobs/{{id}}/result, "
-            f"/jobs/{{id}}/cancel, /events",
+            f"is /health, /metrics, /jobs, /jobs/{{id}}, /jobs/{{id}}/result, "
+            f"/jobs/{{id}}/cancel, /admin/compact, /events",
         )
 
     # ------------------------------------------------------------------ #
@@ -647,7 +687,7 @@ class MiningServer:
             "uptime_seconds": (
                 0.0
                 if self._started_at is None
-                else time.monotonic() - self._started_at
+                else clock.monotonic() - self._started_at
             ),
             "service": {
                 "backend": self.service.backend,
@@ -662,6 +702,27 @@ class MiningServer:
             },
             "store": store_section,
             "events": self.hub.stats(),
+            "observability": {
+                "metrics": "/metrics",
+                "spans_retained": len(TRACER.finished()),
+            },
+        }
+
+    async def _compact(self) -> tuple[int, dict]:
+        """``POST /admin/compact``: fold the store journal down now."""
+        store = self.service.store
+        if store is None:
+            raise http.HttpError(
+                409, "this server has no durable store to compact"
+            )
+        loop = asyncio.get_running_loop()
+        before = dict(store.stats())
+        await loop.run_in_executor(None, store.compact)
+        return 200, {
+            "schema": wire.WIRE_SCHEMA,
+            "compacted": True,
+            "journal_lag_before": before.get("journal_lag", 0),
+            "store": dict(store.stats()),
         }
 
     def _parse_submission(self, data: dict) -> tuple:
@@ -696,6 +757,7 @@ class MiningServer:
             return {}
         ok, retry_after = self.tenants.admit(tenant.name)
         if not ok:
+            JOBS_REJECTED.labels(tenant.name).inc()
             raise http.HttpError(
                 429,
                 f"tenant {tenant.name!r} is over its submission rate limit",
@@ -704,6 +766,7 @@ class MiningServer:
         if tenant.max_pending is not None:
             pending = self.service.tenant_load(tenant.name)
             if pending >= tenant.max_pending:
+                JOBS_REJECTED.labels(tenant.name).inc()
                 raise http.HttpError(
                     429,
                     f"tenant {tenant.name!r} has {pending} jobs pending, "

@@ -29,6 +29,15 @@ import threading
 from collections import deque
 from typing import Any
 
+from repro.obs.instruments import (
+    EVENTS_DROPPED,
+    EVENTS_PUBLISHED,
+    EVENTS_RETAINED,
+    EVENTS_SUBSCRIBERS,
+    METRICS,
+    SSE_RESUME_GAPS,
+)
+
 __all__ = ["EventHub", "Subscription"]
 
 #: Sentinel a closing hub enqueues so blocked subscribers wake up.
@@ -113,6 +122,7 @@ class EventHub:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._dropped_total = 0
         self._closed = False
+        METRICS.register_collector(self._collect_metrics)
 
     # ------------------------------------------------------------------ #
     # Loop binding and lifecycle
@@ -124,6 +134,7 @@ class EventHub:
 
     def close(self) -> None:
         """Stop delivery and wake every blocked subscriber with ``None``."""
+        METRICS.remove_collector(self._collect_metrics)
         with self._lock:
             if self._closed:
                 return
@@ -221,6 +232,14 @@ class EventHub:
             if since is None:
                 backlog: list = []
             else:
+                # A resume whose anchor predates the retained history has
+                # irrecoverably missed events; count the gap so operators
+                # can size ``history`` from /metrics instead of guessing.
+                oldest = (
+                    self._history[0][0] if self._history else self._latest + 1
+                )
+                if oldest - 1 > since:
+                    SSE_RESUME_GAPS.inc()
                 backlog = [
                     entry
                     for entry in self._history
@@ -263,3 +282,11 @@ class EventHub:
                 "subscribers": len(self._subscribers),
                 "dropped": self._dropped_total,
             }
+
+    def _collect_metrics(self) -> None:
+        """Refresh the stream gauges at scrape time (registry collector)."""
+        stats = self.stats()
+        EVENTS_PUBLISHED.set(float(stats["published"]))
+        EVENTS_RETAINED.set(float(stats["retained"]))
+        EVENTS_SUBSCRIBERS.set(float(stats["subscribers"]))
+        EVENTS_DROPPED.set(float(stats["dropped"]))

@@ -197,3 +197,107 @@ class TestSetIteration:
             """,
         )
         assert report.clean
+
+
+class TestClockSeam:
+    def test_perf_counter_fires_in_an_instrumented_module(self, lint_snippet):
+        report = lint_snippet(
+            "repro/search/beam.py",
+            """
+            import time
+
+            def phase():
+                return time.perf_counter()
+            """,
+        )
+        assert rule_ids(report) == ["DET004"]
+        assert "clock.perf_counter()" in report.findings[0].message
+
+    def test_monotonic_suggests_the_matching_seam(self, lint_snippet):
+        report = lint_snippet(
+            "repro/server/app.py",
+            """
+            import time
+
+            def uptime(start):
+                return time.monotonic() - start
+            """,
+        )
+        assert rule_ids(report) == ["DET004"]
+        assert "clock.monotonic()" in report.findings[0].message
+
+    def test_wall_clock_fires_both_packs_in_a_critical_module(self, lint_snippet):
+        # jobs.py is on both lists: DET001 (fingerprint safety) and
+        # DET004 (seam routing) each flag a raw ``time.time()``.
+        report = lint_snippet(
+            "repro/engine/jobs.py",
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+        )
+        assert sorted(rule_ids(report)) == ["DET001", "DET004"]
+
+    def test_fires_everywhere_under_the_obs_package(self, lint_snippet):
+        report = lint_snippet(
+            "repro/obs/instruments.py",
+            """
+            import time
+
+            def now():
+                return time.monotonic_ns()
+            """,
+        )
+        assert rule_ids(report) == ["DET004"]
+
+    def test_the_seam_module_itself_is_exempt(self, lint_snippet):
+        report = lint_snippet(
+            "repro/obs/clock.py",
+            """
+            import time
+
+            monotonic = time.monotonic
+
+            def read():
+                return time.perf_counter()
+            """,
+        )
+        assert report.clean
+
+    def test_time_sleep_is_pacing_not_measurement(self, lint_snippet):
+        report = lint_snippet(
+            "repro/dist/worker.py",
+            """
+            import time
+
+            def backoff(seconds):
+                time.sleep(seconds)
+            """,
+        )
+        assert report.clean
+
+    def test_seam_reads_are_quiet(self, lint_snippet):
+        report = lint_snippet(
+            "repro/dist/executor.py",
+            """
+            from repro.obs import clock
+
+            def rtt(start):
+                return clock.perf_counter() - start
+            """,
+        )
+        assert report.clean
+
+    def test_uninstrumented_modules_are_quiet(self, lint_snippet):
+        report = lint_snippet(
+            "repro/report/html.py",
+            """
+            import time
+
+            def stamp():
+                return time.perf_counter()
+            """,
+        )
+        assert report.clean

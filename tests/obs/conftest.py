@@ -1,0 +1,19 @@
+"""Observability-test fixtures: a live worker daemon for trace tests.
+
+The trace-coherence tests need a real remote worker (the wire path is
+what carries the trace context), so one in-thread daemon on a real
+socket is shared per module — the same idiom as ``tests/dist``.
+"""
+
+import pytest
+
+from repro.dist.worker import WorkerDaemon
+
+
+@pytest.fixture(scope="module")
+def worker_url():
+    """One live worker daemon; yields its base URL."""
+    daemon = WorkerDaemon(parallelism=2)
+    handle = daemon.run_in_thread()
+    yield daemon.url
+    handle.stop()

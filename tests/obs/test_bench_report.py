@@ -1,0 +1,97 @@
+"""The shared benchmark envelope and the cross-tier report merger.
+
+``benchmarks/`` is not a package; the modules are loaded off its
+directory the same way the benches themselves import ``bench_schema``.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS_DIR = str(Path(__file__).resolve().parents[2] / "benchmarks")
+if BENCHMARKS_DIR not in sys.path:
+    sys.path.insert(0, BENCHMARKS_DIR)
+
+import bench_report  # noqa: E402
+import bench_schema  # noqa: E402
+
+
+class TestEnvelope:
+    def test_header_leads_and_payload_is_untouched(self):
+        document = bench_schema.envelope({"benchmark": "server", "p50": 1.5})
+        keys = list(document)
+        assert keys[:3] == ["schema_version", "git_rev", "generated_at"]
+        assert document["schema_version"] == bench_schema.BENCH_SCHEMA
+        assert document["benchmark"] == "server"
+        assert document["p50"] == 1.5
+
+    def test_git_rev_is_stamped_inside_this_repo(self):
+        document = bench_schema.envelope({})
+        assert document["git_rev"]  # the test runs inside the repo
+        assert document["generated_at"].startswith("20")
+
+    def test_tracked_artifacts_carry_the_envelope(self):
+        for filename in bench_schema.BENCH_FILES:
+            path = bench_schema.REPO_ROOT / filename
+            if not path.exists():
+                continue
+            document = json.loads(path.read_text())
+            assert document["schema_version"] == bench_schema.BENCH_SCHEMA, (
+                f"{filename} predates the bench envelope; re-run it"
+            )
+
+
+class TestMerge:
+    def _artifact(self, name, **payload):
+        return bench_schema.envelope({"benchmark": name, **payload})
+
+    def test_merges_and_lists_missing(self, tmp_path):
+        (tmp_path / "BENCH_server.json").write_text(
+            json.dumps(self._artifact("server", p50=2.0))
+        )
+        report = bench_report.merge(bench_report.load_artifacts(tmp_path))
+        assert report["schema_version"] == bench_schema.BENCH_SCHEMA
+        assert set(report["benchmarks"]) == {"server"}
+        assert report["missing"] == [
+            "BENCH_engine_parallel.json",
+            "BENCH_dist.json",
+        ]
+
+    def test_refuses_mixed_schema_versions(self, tmp_path):
+        (tmp_path / "BENCH_server.json").write_text(
+            json.dumps(self._artifact("server"))
+        )
+        stale = self._artifact("dist")
+        stale["schema_version"] = 0
+        (tmp_path / "BENCH_dist.json").write_text(json.dumps(stale))
+        with pytest.raises(SystemExit, match="mixed schema versions"):
+            bench_report.merge(bench_report.load_artifacts(tmp_path))
+
+    def test_unreadable_artifact_is_skipped(self, tmp_path, capsys):
+        (tmp_path / "BENCH_server.json").write_text("{not json")
+        artifacts = bench_report.load_artifacts(tmp_path)
+        assert artifacts == {}
+        assert "skipping BENCH_server.json" in capsys.readouterr().err
+
+    def test_format_report_names_every_section(self, tmp_path):
+        (tmp_path / "BENCH_dist.json").write_text(
+            json.dumps(self._artifact("dist", rtt_ms=3.0))
+        )
+        report = bench_report.merge(bench_report.load_artifacts(tmp_path))
+        text = bench_report.format_report(report)
+        assert "bench report" in text
+        assert "dist" in text
+        assert "(missing: BENCH_server.json)" in text
+
+    def test_main_writes_the_json_artifact(self, tmp_path, capsys):
+        (tmp_path / "BENCH_server.json").write_text(
+            json.dumps(self._artifact("server"))
+        )
+        out = tmp_path / "merged.json"
+        code = bench_report.main(["--root", str(tmp_path), "--out", str(out)])
+        assert code == 0
+        merged = json.loads(out.read_text())
+        assert merged["schema_version"] == bench_schema.BENCH_SCHEMA
+        assert "server" in merged["benchmarks"]

@@ -1,0 +1,44 @@
+"""The clock seam: thin aliases in production, freezable in tests."""
+
+import time
+
+import pytest
+
+from repro.obs import clock
+
+
+class TestRealClocks:
+    def test_aliases_track_the_stdlib(self):
+        assert clock.monotonic is time.monotonic
+        assert clock.perf_counter is time.perf_counter
+        assert clock.wall_time is time.time
+
+
+class TestFixed:
+    def test_freezes_all_three_clocks(self):
+        with clock.fixed(500.0):
+            assert clock.monotonic() == 500.0
+            assert clock.perf_counter() == 500.0
+            assert clock.wall_time() == 500.0
+
+    def test_advance_moves_every_clock(self):
+        with clock.fixed(100.0) as advance:
+            advance(2.5)
+            assert clock.monotonic() == 102.5
+            assert clock.perf_counter() == 102.5
+            advance(0.5)
+            assert clock.wall_time() == 103.0
+
+    def test_restores_real_clocks_on_exit(self):
+        with clock.fixed(0.0):
+            pass
+        assert clock.monotonic is time.monotonic
+        assert clock.perf_counter is time.perf_counter
+        assert clock.wall_time is time.time
+
+    def test_restores_real_clocks_after_an_exception(self):
+        with pytest.raises(RuntimeError):
+            with clock.fixed(0.0):
+                raise RuntimeError("body failed")
+        assert clock.monotonic is time.monotonic
+        assert clock.wall_time is time.time

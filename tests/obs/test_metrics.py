@@ -1,0 +1,254 @@
+"""MetricsRegistry contract: instruments, rendering, and the parser.
+
+Every test builds its own :class:`MetricsRegistry` — the process-wide
+``METRICS`` belongs to the instrumented modules and their integration
+tests; unit tests must not perturb it.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import clock
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsRegistry,
+    parse_prometheus,
+)
+
+
+class TestCounter:
+    def test_counts_up(self):
+        counter = MetricsRegistry().counter("c_total", "help")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increments(self):
+        counter = MetricsRegistry().counter("c_total", "help")
+        with pytest.raises(ObsError):
+            counter.inc(-1)
+        assert counter.value == 0.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g", "help")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7.0
+
+
+class TestHistogram:
+    def test_observations_land_in_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "h_seconds", "help", buckets=(0.1, 1.0, 10.0)
+        )
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        counts, total, count = histogram.snapshot()
+        assert counts == [1, 2, 1, 1]  # last bucket is +Inf
+        assert total == pytest.approx(56.05)
+        assert count == 5
+
+    def test_rejects_non_finite_observations(self):
+        histogram = MetricsRegistry().histogram("h_seconds", "help")
+        with pytest.raises(ObsError):
+            histogram.observe(float("nan"))
+        with pytest.raises(ObsError):
+            histogram.observe(float("inf"))
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ObsError):
+            MetricsRegistry().histogram("h", "help", buckets=(1.0, 0.5))
+        with pytest.raises(ObsError):
+            MetricsRegistry().histogram("h", "help", buckets=(1.0, 1.0))
+
+    def test_timer_reads_the_clock_seam(self):
+        histogram = MetricsRegistry().histogram("h_seconds", "help")
+        with clock.fixed(100.0) as advance:
+            with histogram.time():
+                advance(0.25)
+        assert histogram.sum == pytest.approx(0.25)
+        assert histogram.count == 1
+
+
+class TestLabels:
+    def test_children_are_memoized(self):
+        family = MetricsRegistry().counter("c_total", "help", labels=("t",))
+        assert family.labels("a") is family.labels("a")
+        assert family.labels("a") is not family.labels("b")
+
+    def test_label_arity_is_enforced(self):
+        family = MetricsRegistry().counter("c_total", "help", labels=("t",))
+        with pytest.raises(ObsError):
+            family.labels()
+        with pytest.raises(ObsError):
+            family.labels("a", "b")
+
+    def test_labeled_family_has_no_default_child(self):
+        family = MetricsRegistry().gauge("g", "help", labels=("t",))
+        with pytest.raises(ObsError):
+            family.default
+
+
+class TestRegistration:
+    def test_same_signature_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "help", labels=("t",))
+        second = registry.counter("c_total", "help", labels=("t",))
+        assert first is second
+
+    def test_kind_conflict_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("m", "help")
+        with pytest.raises(ObsError):
+            registry.gauge("m", "help")
+
+    def test_label_conflict_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("m_total", "help", labels=("t",))
+        with pytest.raises(ObsError):
+            registry.counter("m_total", "help", labels=("other",))
+
+    def test_bucket_conflict_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.histogram("h_seconds", "help", buckets=(0.1, 1.0))
+        with pytest.raises(ObsError):
+            registry.histogram("h_seconds", "help", buckets=(0.5, 1.0))
+
+    def test_bad_names_are_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObsError):
+            registry.counter("", "help")
+        with pytest.raises(ObsError):
+            registry.counter("has space", "help")
+        with pytest.raises(ObsError):
+            registry.counter("9starts_with_digit", "help")
+
+
+class TestRender:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total", "b help", labels=("t",)).labels("x").inc(3)
+        registry.counter("a_total", "a help").inc()
+        registry.histogram("h_seconds", "h help", buckets=(0.1, 1.0)).observe(0.5)
+        registry.gauge("g", "g help").set(-2.5)
+        return registry
+
+    def test_two_scrapes_are_byte_identical(self):
+        registry = self._populated()
+        assert registry.render() == registry.render()
+
+    def test_families_sorted_children_sorted(self):
+        registry = MetricsRegistry()
+        family = registry.counter("z_total", "z", labels=("t",))
+        family.labels("b").inc()
+        family.labels("a").inc(2)
+        registry.counter("a_total", "a").inc()
+        text = registry.render()
+        assert text.index("a_total") < text.index("z_total")
+        assert text.index('z_total{t="a"}') < text.index('z_total{t="b"}')
+
+    def test_help_and_type_lines(self):
+        text = self._populated().render()
+        assert "# HELP a_total a help" in text
+        assert "# TYPE a_total counter" in text
+        assert "# TYPE g gauge" in text
+        assert "# TYPE h_seconds histogram" in text
+
+    def test_render_parse_round_trip(self):
+        samples = parse_prometheus(self._populated().render())
+        assert samples["a_total"] == [({}, 1.0)]
+        assert samples["b_total"] == [({"t": "x"}, 3.0)]
+        assert samples["g"] == [({}, -2.5)]
+        assert samples["h_seconds_sum"] == [({}, 0.5)]
+        assert samples["h_seconds_count"] == [({}, 1.0)]
+        buckets = {
+            labels["le"]: value for labels, value in samples["h_seconds_bucket"]
+        }
+        assert buckets == {"0.1": 0.0, "1": 1.0, "+Inf": 1.0}
+
+    def test_escaped_label_values_round_trip(self):
+        registry = MetricsRegistry()
+        family = registry.counter("c_total", "help", labels=("t",))
+        tricky = 'with "quotes",\nnewline and \\slash'
+        family.labels(tricky).inc()
+        samples = parse_prometheus(registry.render())
+        (labels, value), = samples["c_total"]
+        assert labels == {"t": tricky}
+        assert value == 1.0
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render() == ""
+
+    def test_content_type_names_prometheus_text(self):
+        assert "text/plain" in PROMETHEUS_CONTENT_TYPE
+        assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE
+
+
+class TestCollectors:
+    def test_collectors_refresh_before_render(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth", "help")
+        state = {"value": 7.0}
+        registry.register_collector(lambda: gauge.set(state["value"]))
+        assert "depth 7" in registry.render()
+        state["value"] = 9.0
+        assert "depth 9" in registry.render()
+
+    def test_failing_collector_does_not_break_the_scrape(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth", "help")
+
+        def explode():
+            raise RuntimeError("mid-shutdown")
+
+        registry.register_collector(explode)
+        registry.register_collector(lambda: gauge.set(1.0))
+        assert "depth 1" in registry.render()
+
+    def test_remove_collector_is_lifecycle_safe(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth", "help")
+        collector = lambda: gauge.set(5.0)  # noqa: E731
+        registry.register_collector(collector)
+        registry.remove_collector(collector)
+        registry.remove_collector(collector)  # absent: no-op
+        assert "depth 0" in registry.render()
+
+
+class TestSnapshot:
+    def test_histograms_surface_as_sum_and_count(self):
+        registry = MetricsRegistry()
+        registry.histogram("h_seconds", "help", labels=("p",)).labels(
+            "score"
+        ).observe(0.5)
+        registry.counter("c_total", "help").inc(2)
+        snap = registry.snapshot()
+        assert snap["c_total"] == {(): 2.0}
+        assert snap["h_seconds_sum"] == {("score",): 0.5}
+        assert snap["h_seconds_count"] == {("score",): 1.0}
+
+    def test_default_latency_buckets_are_increasing(self):
+        assert list(LATENCY_BUCKETS) == sorted(set(LATENCY_BUCKETS))
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_are_lost_update_free(self):
+        counter = MetricsRegistry().counter("c_total", "help")
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 4000.0

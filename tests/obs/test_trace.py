@@ -1,0 +1,190 @@
+"""Tracer contract: spans, explicit propagation, and the wire form.
+
+Tests use private :class:`Tracer` instances (the process-wide ``TRACER``
+belongs to the instrumented tiers); the thread-local ``activate`` /
+``current`` pair is global by design and restored by every test.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import clock
+from repro.obs.trace import Span, TraceContext, Tracer, activate, current
+
+
+class TestSpanLifecycle:
+    def test_start_opens_finish_retains(self):
+        tracer = Tracer()
+        span = tracer.start("work")
+        assert span.ended is None
+        assert tracer.finished() == []
+        tracer.finish(span)
+        assert tracer.finished() == [span]
+        assert span.ended is not None
+
+    def test_finish_is_idempotent(self):
+        tracer = Tracer()
+        span = tracer.finish(tracer.start("work"))
+        first_end = span.ended
+        tracer.finish(span)
+        assert span.ended == first_end
+        assert len(tracer.finished()) == 1
+
+    def test_duration_reads_the_clock_seam(self):
+        tracer = Tracer()
+        with clock.fixed(10.0) as advance:
+            span = tracer.start("work")
+            advance(1.5)
+            tracer.finish(span)
+        assert span.duration == pytest.approx(1.5)
+        assert tracer.start("open").duration == 0.0
+
+    def test_root_span_starts_a_fresh_trace(self):
+        tracer = Tracer()
+        a, b = tracer.start("a"), tracer.start("b")
+        assert a.parent_id is None
+        assert a.trace_id != b.trace_id
+        assert a.span_id != b.span_id
+
+    def test_child_inherits_trace_and_parents_under_sender(self):
+        tracer = Tracer()
+        parent = tracer.start("parent")
+        child = tracer.start("child", parent=parent.context)
+        assert child.trace_id == parent.trace_id
+        assert child.parent_id == parent.span_id
+
+    def test_tags_stringify(self):
+        span = Tracer().start("work").tag("items", 42).tag("path", "remote")
+        assert span.tags == {"items": "42", "path": "remote"}
+
+
+class TestSpanContextManager:
+    def test_activates_its_context_for_the_block(self):
+        tracer = Tracer()
+        assert current() is None
+        with tracer.span("outer") as outer:
+            assert current() == outer.context
+            with tracer.span("inner", parent=current()) as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        assert current() is None
+        assert [span.name for span in tracer.finished()] == ["inner", "outer"]
+
+    def test_activate_ctx_false_leaves_the_thread_alone(self):
+        tracer = Tracer()
+        with tracer.span("quiet", activate_ctx=False):
+            assert current() is None
+
+    def test_finishes_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("body failed")
+        (span,) = tracer.finished()
+        assert span.name == "doomed"
+        assert span.ended is not None
+
+
+class TestRecord:
+    def test_none_parent_is_a_no_op(self):
+        tracer = Tracer()
+        assert tracer.record("phase", 1.0, 2.0, None) is None
+        assert tracer.finished() == []
+
+    def test_retains_the_measured_interval(self):
+        tracer = Tracer()
+        root = tracer.start("root")
+        span = tracer.record(
+            "phase", 5.0, 7.5, root.context, tags={"items": 3}
+        )
+        assert span.started == 5.0 and span.ended == 7.5
+        assert span.duration == 2.5
+        assert span.trace_id == root.trace_id
+        assert span.parent_id == root.span_id
+        assert span.tags == {"items": "3"}
+        assert tracer.finished() == [span]
+
+
+class TestWireForm:
+    def test_round_trip(self):
+        ctx = TraceContext("abc123", "def456")
+        assert TraceContext.from_wire(ctx.to_wire()) == ctx
+
+    @pytest.mark.parametrize(
+        "document",
+        [
+            None,
+            "not-a-dict",
+            42,
+            {},
+            {"trace_id": "abc"},
+            {"span_id": "abc"},
+            {"trace_id": 1, "span_id": "abc"},
+            {"trace_id": "abc", "span_id": None},
+        ],
+    )
+    def test_malformed_envelopes_decode_to_none(self, document):
+        assert TraceContext.from_wire(document) is None
+
+
+class TestReads:
+    def test_finished_filters_by_trace(self):
+        tracer = Tracer()
+        a = tracer.finish(tracer.start("a"))
+        tracer.finish(tracer.start("b"))
+        assert tracer.finished(a.trace_id) == [a]
+
+    def test_tree_groups_by_parent(self):
+        tracer = Tracer()
+        root = tracer.start("root")
+        child = tracer.finish(tracer.start("child", parent=root.context))
+        grandchild = tracer.finish(
+            tracer.start("grandchild", parent=child.context)
+        )
+        tracer.finish(root)
+        tree = tracer.tree(root.trace_id)
+        assert tree[None] == [root]
+        assert tree[root.span_id] == [child]
+        assert tree[child.span_id] == [grandchild]
+
+    def test_clear_drops_everything(self):
+        tracer = Tracer()
+        tracer.finish(tracer.start("a"))
+        tracer.clear()
+        assert tracer.finished() == []
+
+
+class TestRetention:
+    def test_oldest_spans_drop_silently(self):
+        tracer = Tracer(retention=3)
+        spans = [tracer.finish(tracer.start(f"s{i}")) for i in range(5)]
+        assert tracer.finished() == spans[2:]
+
+    def test_retention_must_be_positive(self):
+        with pytest.raises(ObsError):
+            Tracer(retention=0)
+
+
+class TestActivation:
+    def test_nesting_restores_the_previous_context(self):
+        outer = TraceContext("t", "outer")
+        inner = TraceContext("t", "inner")
+        with activate(outer):
+            with activate(inner):
+                assert current() == inner
+            assert current() == outer
+        assert current() is None
+
+    def test_context_is_thread_local(self):
+        seen = {}
+
+        def probe():
+            seen["other"] = current()
+
+        with activate(TraceContext("t", "s")):
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+        assert seen["other"] is None
